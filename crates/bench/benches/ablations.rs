@@ -1,0 +1,107 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! 1. criticality placement: Crit-CASRAS vs CASRAS-Crit (paper §5.2
+//!    finds them equivalent, hence the compact implementation),
+//! 2. the starvation cap (§3.2: 6,000 DRAM cycles, "never reached"),
+//! 3. page vs cache-line interleaving under FR-FCFS,
+//! 4. periodic CBP reset (§5.3.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critmem::experiments::TextTable;
+use critmem::PredictorKind;
+use critmem_bench::bench_runner;
+use critmem_predict::CbpMetric;
+use critmem_sched::SchedulerKind;
+
+fn ablation_tables() {
+    let mut r = bench_runner();
+    let apps = r.scale.apps.clone();
+
+    // 1. Arrangement: the two priority orders should track each other.
+    let mut t = TextTable::new(
+        "Ablation: Crit-CASRAS vs CASRAS-Crit (MaxStallTime, vs FR-FCFS)",
+        &["Crit-CASRAS", "CASRAS-Crit"],
+    );
+    for &app in &apps {
+        let base = r.baseline(app).cycles as f64;
+        let a = r
+            .parallel(app, SchedulerKind::CritCasRas, PredictorKind::cbp64(CbpMetric::MaxStallTime))
+            .cycles as f64;
+        let b = r
+            .parallel(app, SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::MaxStallTime))
+            .cycles as f64;
+        t.row(app, vec![TextTable::pct(base / a), TextTable::pct(base / b)]);
+    }
+    println!("{t}");
+
+    // 2. Starvation-cap sweep.
+    let mut t = TextTable::new(
+        "Ablation: starvation cap (MaxStallTime, avg speedup vs FR-FCFS)",
+        &["speedup"],
+    );
+    for cap in [1_500u64, 6_000, 24_000] {
+        let mut speedups = Vec::new();
+        for &app in &apps {
+            let base = r.baseline(app).cycles as f64;
+            let v = r.parallel_with(
+                app,
+                SchedulerKind::CasRasCrit,
+                PredictorKind::cbp64(CbpMetric::MaxStallTime),
+                &format!("cap{cap}"),
+                |mut c| {
+                    c.dram.starvation_cap = cap;
+                    c
+                },
+            );
+            speedups.push(base / v.cycles as f64);
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        t.row(format!("cap {cap}"), vec![TextTable::pct(avg)]);
+    }
+    println!("{t}");
+
+    // 3. Interleaving policy under plain FR-FCFS.
+    let mut t = TextTable::new(
+        "Ablation: address interleaving (FR-FCFS, cycles ratio page/cacheline)",
+        &["page vs cache-line"],
+    );
+    for &app in &apps {
+        let page = r.baseline(app).cycles as f64;
+        let line = r.parallel_with(
+            app,
+            SchedulerKind::FrFcfs,
+            PredictorKind::None,
+            "cacheline",
+            |mut c| {
+                c.dram.interleaving = critmem_dram::Interleaving::CacheLine;
+                c
+            },
+        );
+        t.row(app, vec![TextTable::ratio(line.cycles as f64 / page)]);
+    }
+    println!("{t}");
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_tables();
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("arrangement_pair", |b| {
+        b.iter(|| {
+            let mut r = bench_runner();
+            let base = r.baseline("mg").cycles;
+            let v = r
+                .parallel(
+                    "mg",
+                    SchedulerKind::CasRasCrit,
+                    PredictorKind::cbp64(CbpMetric::MaxStallTime),
+                )
+                .cycles;
+            (base, v)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

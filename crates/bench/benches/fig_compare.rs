@@ -1,0 +1,36 @@
+//! Regenerates the scheduler-comparison material: Figure 10
+//! (MaxStallTime vs AHB vs MORSE-P vs Crit-RL), Table 5 (counter
+//! widths), Table 7 (summary), the §5.1 naive-forwarding experiment,
+//! and the §5.3.2 table-reset study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critmem::experiments::{fig10, naive, reset_study, table5, table7};
+use critmem_bench::bench_runner;
+
+fn print_once() {
+    let mut r = bench_runner();
+    println!("{}", fig10(&mut r).to_table());
+    println!("{}", table5(&mut r).to_table());
+    println!("{}", naive(&mut r).to_table());
+    println!("{}", reset_study(&mut r).to_table());
+    let mut r2 = bench_runner();
+    // Table 7 composes figs 4/10/12; run it on its own runner so the
+    // print stays self-contained.
+    println!("{}", table7(&mut r2).to_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("comparison_figures");
+    g.sample_size(10);
+    g.bench_function("table5", |b| {
+        b.iter(|| {
+            let mut r = bench_runner();
+            table5(&mut r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates Figure 12: multiprogrammed weighted speedups normalized
+//! to PAR-BS, plus the maximum-slowdown fairness numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critmem::experiments::fig12;
+use critmem_bench::bench_runner;
+
+fn print_once() {
+    let mut r = bench_runner();
+    let f = fig12(&mut r);
+    println!("{}", f.to_table());
+    println!(
+        "max slowdown: TCM {:.3} vs MaxStallTime {:.3}",
+        f.max_slowdown_tcm, f.max_slowdown_crit
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("multiprogrammed");
+    g.sample_size(10);
+    g.bench_function("fig12", |b| {
+        b.iter(|| {
+            let mut r = bench_runner();
+            fig12(&mut r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates the parallel-workload figures: Figure 1 (ROB blocking),
+//! Figure 3 (binary criticality, both arrangements, table-size sweep),
+//! Figure 4 (ranked criticality), Figure 5 (MaxStallTime size sweep),
+//! Figure 6 (L2 miss latency split), and Figure 7 (prefetching).
+//!
+//! The regenerated tables are printed once, then the per-figure
+//! harnesses are timed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critmem::experiments::{fig1, fig3, fig4, fig5, fig6, fig7};
+use critmem_bench::bench_runner;
+
+fn print_once() {
+    let mut r = bench_runner();
+    println!("{}", fig1(&mut r).to_table());
+    let (a, b) = fig3(&mut r);
+    println!("{}", a.to_table());
+    println!("{}", b.to_table());
+    println!("{}", fig4(&mut r).to_table());
+    println!("{}", fig5(&mut r).to_table());
+    println!("{}", fig6(&mut r).to_table());
+    println!("{}", fig7(&mut r).to_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("parallel_figures");
+    g.sample_size(10);
+    g.bench_function("fig1", |b| {
+        b.iter(|| {
+            let mut r = bench_runner();
+            fig1(&mut r)
+        })
+    });
+    g.bench_function("fig4", |b| {
+        b.iter(|| {
+            let mut r = bench_runner();
+            fig4(&mut r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates the configuration-sweep figures: Figure 8 (ranks per
+//! channel, DDR3-1600/2133), Figure 9 (load-queue size), and Figure 11
+//! (MORSE command-evaluation width).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use critmem::experiments::{fig11, fig8, fig9};
+use critmem_bench::bench_runner;
+
+fn print_once() {
+    let mut r = bench_runner();
+    println!("{}", fig8(&mut r).to_table());
+    println!("{}", fig9(&mut r).to_table());
+    println!("{}", fig11(&mut r).to_table());
+}
+
+fn bench(c: &mut Criterion) {
+    print_once();
+    let mut g = c.benchmark_group("sweep_figures");
+    g.sample_size(10);
+    g.bench_function("fig9", |b| {
+        b.iter(|| {
+            let mut r = bench_runner();
+            fig9(&mut r)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Microbenchmarks of the simulator's hot kernels: the DRAM channel
+//! tick, scheduler arbitration, CBP lookup, cache probing, and the
+//! whole-system cycle. These bound the cost of the "lean controller"
+//! argument: CASRAS-Crit arbitration should cost no more than plain
+//! FR-FCFS arbitration (it is the same comparator, a few bits wider).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use critmem::{PredictorKind, SystemConfig, System, WorkloadKind};
+use critmem_common::{AccessKind, ChannelId, CoreId, Criticality, MemRequest};
+use critmem_dram::{AddressMapping, ChannelController, DramConfig, Interleaving};
+use critmem_predict::{CbpMetric, CommitBlockPredictor, TableSize};
+use critmem_sched::{Arrangement, CritFrFcfs, FrFcfs, SchedulerKind};
+
+fn loaded_controller(sched: Box<dyn critmem_dram::CommandScheduler>) -> ChannelController {
+    let cfg = DramConfig::paper_baseline();
+    let map = AddressMapping::new(cfg.org, Interleaving::Page);
+    let mut ctl = ChannelController::new(ChannelId(0), cfg, sched);
+    // Fill the queue with a mix of rows/banks/criticalities (channel 0
+    // rows are 4 KB apart under page interleaving).
+    for i in 0..48u64 {
+        let addr = (i % 24) * 4 * 1024 + (i % 16) * 64;
+        let req = MemRequest::new(i, addr, AccessKind::Read, CoreId((i % 8) as u8))
+            .with_criticality(if i % 3 == 0 {
+                Criticality::ranked(i * 10)
+            } else {
+                Criticality::non_critical()
+            });
+        let _ = ctl.enqueue(req, map.locate(addr));
+    }
+    ctl
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_kernels");
+    g.bench_function("channel_tick_frfcfs", |b| {
+        let mut ctl = loaded_controller(Box::new(FrFcfs::new()));
+        b.iter(|| black_box(ctl.tick()));
+    });
+    g.bench_function("channel_tick_casras_crit", |b| {
+        let mut ctl = loaded_controller(Box::new(CritFrFcfs::new(Arrangement::CasRasFirst)));
+        b.iter(|| black_box(ctl.tick()));
+    });
+    g.finish();
+}
+
+fn bench_cbp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cbp_kernels");
+    let mut cbp = CommitBlockPredictor::new(CbpMetric::MaxStallTime, TableSize::Entries(64));
+    for pc in 0..200u64 {
+        cbp.record_block(pc * 4, pc * 13 % 5_000);
+    }
+    g.bench_function("predict_64_entry", |b| {
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = (pc + 4) % 1_024;
+            black_box(cbp.predict(pc))
+        });
+    });
+    let mut unlimited = CommitBlockPredictor::new(CbpMetric::MaxStallTime, TableSize::Unlimited);
+    for pc in 0..200u64 {
+        unlimited.record_block(pc * 4, pc * 13 % 5_000);
+    }
+    g.bench_function("predict_unlimited", |b| {
+        let mut pc = 0u64;
+        b.iter(|| {
+            pc = (pc + 4) % 1_024;
+            black_box(unlimited.predict(pc))
+        });
+    });
+    g.finish();
+}
+
+fn bench_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system");
+    g.sample_size(10);
+    g.bench_function("cpu_cycle_8core", |b| {
+        let cfg = SystemConfig::paper_baseline(u64::MAX / 4)
+            .with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
+        let mut sys = System::new(cfg, &WorkloadKind::Parallel("mg"));
+        // Warm up past cold caches.
+        for _ in 0..20_000 {
+            sys.step();
+        }
+        b.iter(|| sys.step());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_cbp, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Shared scaffolding for the figure-regeneration benches.
+//!
+//! Each bench target regenerates one or more of the paper's figures or
+//! tables at bench scale, *prints* the regenerated rows/series (so
+//! `cargo bench` output contains the reproduction), and then times the
+//! underlying harness with Criterion.
+
+use critmem::experiments::{Runner, Scale};
+
+/// The scale used inside benches: small enough that Criterion's
+/// repeated sampling stays fast, large enough that predictors warm up.
+pub fn bench_scale() -> Scale {
+    Scale {
+        instructions: 2_500,
+        apps: vec!["art", "mg", "swim"],
+        sweep_apps: vec!["mg"],
+        bundles: vec!["AELV", "RFGI"],
+    }
+}
+
+/// A fresh runner at bench scale.
+pub fn bench_runner() -> Runner {
+    Runner::new(bench_scale())
+}

@@ -1,0 +1,252 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! Each entry tracks one outstanding line fill and the set of waiting
+//! *targets* (the accesses merged onto it). Table 1/3 configure 16
+//! entries per L1 and 64 for the shared L2 (halved to 32 for the
+//! multiprogrammed runs).
+
+use critmem_common::PhysAddr;
+
+/// Result of attempting to register a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated — the caller must send the fill
+    /// request downstream.
+    NewMiss,
+    /// An entry for the line already existed — the access was merged.
+    Merged,
+    /// No free entry; the access must be retried later.
+    Full,
+}
+
+/// One waiting access. The meaning of the fields is up to the caller
+/// (the hierarchy stores its token and write intent here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MshrTarget {
+    /// Caller-defined token identifying the stalled access.
+    pub token: u64,
+    /// Whether the access needs write (exclusive) permission.
+    pub is_write: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    line_addr: PhysAddr,
+    targets: Vec<MshrTarget>,
+    /// Whether any merged target needs exclusive permission.
+    wants_exclusive: bool,
+}
+
+/// A file of MSHR entries for one cache.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_cache::{MshrFile, MshrOutcome, MshrTarget};
+/// let mut m = MshrFile::new(2, 64);
+/// let t = MshrTarget { token: 1, is_write: false };
+/// assert_eq!(m.register(0x1000, t), MshrOutcome::NewMiss);
+/// assert_eq!(m.register(0x1010, t), MshrOutcome::Merged); // same line
+/// let (targets, _) = m.complete(0x1000).unwrap();
+/// assert_eq!(targets.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Entry>,
+    capacity: usize,
+    line_bytes: u64,
+    /// Peak simultaneous occupancy (for reports).
+    peak: usize,
+    merges: u64,
+    rejections: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries tracking `line_bytes`
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `line_bytes` is not a power of
+    /// two.
+    pub fn new(capacity: usize, line_bytes: u64) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be nonzero");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        MshrFile {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            line_bytes,
+            peak: 0,
+            merges: 0,
+            rejections: 0,
+        }
+    }
+
+    #[inline]
+    fn line(&self, addr: PhysAddr) -> PhysAddr {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// Registers a missing access. See [`MshrOutcome`].
+    pub fn register(&mut self, addr: PhysAddr, target: MshrTarget) -> MshrOutcome {
+        let line = self.line(addr);
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line_addr == line) {
+            e.targets.push(target);
+            e.wants_exclusive |= target.is_write;
+            self.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() == self.capacity {
+            self.rejections += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.push(Entry {
+            line_addr: line,
+            targets: vec![target],
+            wants_exclusive: target.is_write,
+        });
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::NewMiss
+    }
+
+    /// Registers a miss with no waiting target (prefetches).
+    pub fn register_prefetch(&mut self, addr: PhysAddr) -> MshrOutcome {
+        let line = self.line(addr);
+        if self.entries.iter().any(|e| e.line_addr == line) {
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() == self.capacity {
+            self.rejections += 1;
+            return MshrOutcome::Full;
+        }
+        self.entries.push(Entry { line_addr: line, targets: Vec::new(), wants_exclusive: false });
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::NewMiss
+    }
+
+    /// Completes the fill for `addr`'s line: frees the entry and
+    /// returns `(waiting targets, wants_exclusive)`. Returns `None` if
+    /// no entry matches (e.g. a spurious completion).
+    pub fn complete(&mut self, addr: PhysAddr) -> Option<(Vec<MshrTarget>, bool)> {
+        let line = self.line(addr);
+        let pos = self.entries.iter().position(|e| e.line_addr == line)?;
+        let e = self.entries.swap_remove(pos);
+        Some((e.targets, e.wants_exclusive))
+    }
+
+    /// Whether an outstanding fill exists for `addr`'s line.
+    pub fn pending(&self, addr: PhysAddr) -> bool {
+        let line = self.line(addr);
+        self.entries.iter().any(|e| e.line_addr == line)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the file is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Peak occupancy observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Accesses merged onto existing entries.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Accesses rejected because the file was full.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(token: u64) -> MshrTarget {
+        MshrTarget { token, is_write: false }
+    }
+
+    #[test]
+    fn allocates_then_merges() {
+        let mut m = MshrFile::new(4, 64);
+        assert_eq!(m.register(0x100, t(1)), MshrOutcome::NewMiss);
+        assert_eq!(m.register(0x120, t(2)), MshrOutcome::Merged);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.merges(), 1);
+    }
+
+    #[test]
+    fn full_file_rejects_new_lines_but_merges_existing() {
+        let mut m = MshrFile::new(2, 64);
+        m.register(0x000, t(1));
+        m.register(0x040, t(2));
+        assert_eq!(m.register(0x080, t(3)), MshrOutcome::Full);
+        assert_eq!(m.register(0x000, t(4)), MshrOutcome::Merged);
+        assert_eq!(m.rejections(), 1);
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn complete_returns_all_targets_in_order() {
+        let mut m = MshrFile::new(2, 64);
+        m.register(0x100, t(1));
+        m.register(0x110, t(2));
+        m.register(0x130, MshrTarget { token: 3, is_write: true });
+        let (targets, excl) = m.complete(0x100).unwrap();
+        assert_eq!(targets.iter().map(|x| x.token).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(excl, "merged write must request exclusive");
+        assert!(m.is_empty());
+        assert!(m.complete(0x100).is_none());
+    }
+
+    #[test]
+    fn prefetch_entries_carry_no_targets() {
+        let mut m = MshrFile::new(2, 64);
+        assert_eq!(m.register_prefetch(0x200), MshrOutcome::NewMiss);
+        assert_eq!(m.register_prefetch(0x200), MshrOutcome::Merged);
+        let (targets, excl) = m.complete(0x200).unwrap();
+        assert!(targets.is_empty());
+        assert!(!excl);
+    }
+
+    #[test]
+    fn demand_merges_onto_prefetch() {
+        let mut m = MshrFile::new(2, 64);
+        m.register_prefetch(0x200);
+        assert_eq!(m.register(0x200, t(9)), MshrOutcome::Merged);
+        let (targets, _) = m.complete(0x200).unwrap();
+        assert_eq!(targets.len(), 1);
+    }
+
+    #[test]
+    fn pending_tracks_lines() {
+        let mut m = MshrFile::new(2, 64);
+        m.register(0x100, t(1));
+        assert!(m.pending(0x13F));
+        assert!(!m.pending(0x140));
+    }
+
+    #[test]
+    fn peak_occupancy() {
+        let mut m = MshrFile::new(4, 64);
+        m.register(0x000, t(1));
+        m.register(0x040, t(2));
+        m.complete(0x000);
+        m.complete(0x040);
+        assert_eq!(m.peak(), 2);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Clock-domain crossing between the CPU core clock and the DRAM bus
+//! clock.
+//!
+//! The whole system is stepped at CPU-cycle granularity (4.27 GHz in the
+//! paper's configuration). The DRAM subsystem runs on the memory bus
+//! clock (1,066 MHz for DDR3-2133). [`ClockDivider`] converts the fast
+//! clock into ticks of the slow clock using integer error accumulation,
+//! so non-integral ratios (e.g. 4.27 GHz : 800 MHz for DDR3-1600) are
+//! handled exactly with no drift.
+
+/// Generates ticks of a slow clock while being stepped by a fast clock.
+///
+/// Classic Bresenham-style accumulator: every fast-clock cycle adds
+/// `slow_hz` to an accumulator; whenever the accumulator reaches
+/// `fast_hz` the slow clock ticks once. Over any window of `fast_hz`
+/// fast cycles exactly `slow_hz` slow ticks are produced.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_common::ClockDivider;
+///
+/// // 4 fast cycles per slow cycle, exactly.
+/// let mut div = ClockDivider::new(1, 4);
+/// let ticks: Vec<bool> = (0..8).map(|_| div.tick()).collect();
+/// assert_eq!(ticks.iter().filter(|&&t| t).count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClockDivider {
+    slow_hz: u64,
+    fast_hz: u64,
+    acc: u64,
+    slow_cycles: u64,
+    fast_cycles: u64,
+}
+
+impl ClockDivider {
+    /// Creates a divider producing `slow_hz` ticks per `fast_hz` steps.
+    ///
+    /// The two arguments only need to be in the correct *ratio*; passing
+    /// frequencies in MHz is as good as Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frequency is zero or if `slow_hz > fast_hz`.
+    pub fn new(slow_hz: u64, fast_hz: u64) -> Self {
+        assert!(slow_hz > 0 && fast_hz > 0, "clock frequencies must be nonzero");
+        assert!(
+            slow_hz <= fast_hz,
+            "slow clock ({slow_hz}) must not be faster than fast clock ({fast_hz})"
+        );
+        ClockDivider { slow_hz, fast_hz, acc: 0, slow_cycles: 0, fast_cycles: 0 }
+    }
+
+    /// Advances the fast clock by one cycle; returns `true` when the
+    /// slow clock ticks on this fast cycle.
+    #[inline]
+    pub fn tick(&mut self) -> bool {
+        self.fast_cycles += 1;
+        self.acc += self.slow_hz;
+        if self.acc >= self.fast_hz {
+            self.acc -= self.fast_hz;
+            self.slow_cycles += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of slow-clock cycles elapsed so far.
+    #[inline]
+    pub fn slow_cycles(&self) -> u64 {
+        self.slow_cycles
+    }
+
+    /// Number of fast-clock cycles elapsed so far.
+    #[inline]
+    pub fn fast_cycles(&self) -> u64 {
+        self.fast_cycles
+    }
+
+    /// Converts a duration measured in slow cycles to fast cycles,
+    /// rounding up. Useful for expressing DRAM-cycle thresholds (such as
+    /// the paper's 6,000-DRAM-cycle starvation cap) in CPU cycles.
+    #[inline]
+    pub fn slow_to_fast(&self, slow: u64) -> u64 {
+        // ceil(slow * fast / slow_hz)
+        (slow * self.fast_hz).div_ceil(self.slow_hz)
+    }
+
+    /// Converts a duration measured in fast cycles to slow cycles,
+    /// rounding down.
+    #[inline]
+    pub fn fast_to_slow(&self, fast: u64) -> u64 {
+        fast * self.slow_hz / self.fast_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_integer_ratio() {
+        let mut d = ClockDivider::new(1_066, 4_264);
+        // exactly 4:1
+        for i in 1..=4_264u64 {
+            let ticked = d.tick();
+            assert_eq!(ticked, i % 4 == 0, "cycle {i}");
+        }
+        assert_eq!(d.slow_cycles(), 1_066);
+    }
+
+    #[test]
+    fn ddr3_2133_under_4_27_ghz() {
+        // 1,066 MHz under 4,270 MHz: ratio ≈ 4.006.
+        let mut d = ClockDivider::new(1_066, 4_270);
+        let mut ticks = 0u64;
+        for _ in 0..4_270_000 {
+            if d.tick() {
+                ticks += 1;
+            }
+        }
+        assert_eq!(ticks, 1_066_000);
+    }
+
+    #[test]
+    fn ddr3_1600_ratio_is_fractional() {
+        // 800 MHz bus under 4,270 MHz core: 5.3375 CPU cycles per DRAM cycle.
+        let mut d = ClockDivider::new(800, 4_270);
+        for _ in 0..4_270_0 {
+            d.tick();
+        }
+        assert_eq!(d.slow_cycles(), 800 * 4_270_0 / 4_270);
+    }
+
+    #[test]
+    fn unit_ratio_ticks_every_cycle() {
+        let mut d = ClockDivider::new(5, 5);
+        assert!(d.tick());
+        assert!(d.tick());
+        assert_eq!(d.slow_cycles(), 2);
+        assert_eq!(d.fast_cycles(), 2);
+    }
+
+    #[test]
+    fn conversion_round_trip_bounds() {
+        let d = ClockDivider::new(1_066, 4_270);
+        let fast = d.slow_to_fast(6_000);
+        // 6,000 DRAM cycles is a little over 24,000 CPU cycles.
+        assert!(fast >= 24_000 && fast < 24_100, "fast = {fast}");
+        assert!(d.fast_to_slow(fast) >= 6_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be faster")]
+    fn rejects_inverted_ratio() {
+        let _ = ClockDivider::new(10, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_frequency() {
+        let _ = ClockDivider::new(0, 5);
+    }
+
+    proptest! {
+        /// Over any multiple of the fast frequency, the tick count is exact.
+        #[test]
+        fn no_drift(slow in 1u64..5_000, mult in 1u64..8) {
+            let fast = slow + (slow % 97) + 1; // fast >= slow
+            let mut d = ClockDivider::new(slow, fast);
+            let mut ticks = 0u64;
+            for _ in 0..fast * mult {
+                if d.tick() { ticks += 1; }
+            }
+            prop_assert_eq!(ticks, slow * mult);
+        }
+
+        /// The accumulator never produces two slow ticks without at
+        /// least one intervening fast cycle when slow < fast.
+        #[test]
+        fn ticks_are_spread(slow in 1u64..100, extra in 1u64..100) {
+            let fast = slow + extra;
+            let mut d = ClockDivider::new(slow, fast);
+            let mut prev = false;
+            let mut consecutive = 0u32;
+            for _ in 0..10_000 {
+                let t = d.tick();
+                if t && prev { consecutive += 1; }
+                prev = t;
+            }
+            // With slow <= fast/2 the ticks can never be adjacent.
+            if slow * 2 <= fast {
+                prop_assert_eq!(consecutive, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Strongly-typed identifiers for the hardware structures in the
+//! simulated CMP + DDR3 system.
+//!
+//! Newtypes (rather than bare `usize`s) keep a channel index from being
+//! confused with a rank or bank index when they travel together through
+//! the DRAM address-mapping and timing code.
+
+use std::fmt;
+
+/// Identifies one of the processor cores in the CMP (0-based).
+///
+/// # Examples
+///
+/// ```
+/// use critmem_common::CoreId;
+/// let c = CoreId(3);
+/// assert_eq!(c.index(), 3);
+/// assert_eq!(c.to_string(), "core3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u8);
+
+impl CoreId {
+    /// Returns the zero-based index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// Identifies a hardware thread. The simulated cores are single-threaded,
+/// so threads map 1:1 onto cores, but schedulers such as TCM and PAR-BS
+/// reason in terms of threads, so the distinction is kept in the API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// Returns the zero-based index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<CoreId> for ThreadId {
+    fn from(c: CoreId) -> Self {
+        ThreadId(c.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Identifies a DRAM channel (the paper's system has four, two for the
+/// multiprogrammed configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ChannelId(pub u8);
+
+impl ChannelId {
+    /// Returns the zero-based index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Identifies a rank within a channel (quad-rank DIMMs in the paper's
+/// baseline; Figure 8 sweeps 1/2/4 ranks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RankId(pub u8);
+
+impl RankId {
+    /// Returns the zero-based index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank{}", self.0)
+    }
+}
+
+/// Identifies a bank within a rank (eight per rank for DDR3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(pub u8);
+
+impl BankId {
+    /// Returns the zero-based index as a `usize`, for table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_index() {
+        assert_eq!(CoreId(7).index(), 7);
+        assert_eq!(ThreadId(5).index(), 5);
+        assert_eq!(ChannelId(3).index(), 3);
+        assert_eq!(RankId(2).index(), 2);
+        assert_eq!(BankId(6).index(), 6);
+    }
+
+    #[test]
+    fn thread_from_core() {
+        assert_eq!(ThreadId::from(CoreId(4)), ThreadId(4));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CoreId(0).to_string(), "core0");
+        assert_eq!(ChannelId(1).to_string(), "ch1");
+        assert_eq!(RankId(2).to_string(), "rank2");
+        assert_eq!(BankId(3).to_string(), "bank3");
+        assert_eq!(ThreadId(4).to_string(), "t4");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(CoreId(1) < CoreId(2));
+        assert!(BankId(0) < BankId(7));
+    }
+}

@@ -1,0 +1,221 @@
+//! The memory-request descriptor and the criticality annotation it
+//! carries.
+//!
+//! In the paper, when a load predicted critical misses in the L2, the
+//! criticality bits read from the Commit Block Predictor (CBP) are
+//! piggybacked onto the request over a slightly widened address bus
+//! (§3.2, Table 5). [`Criticality`] models those bits; [`MemRequest`]
+//! is the request as the DRAM transaction queue sees it.
+
+use crate::ids::{ChannelId, CoreId};
+use crate::{CpuCycle, PhysAddr};
+use std::fmt;
+
+/// Globally unique request identifier, assigned at L2-miss time.
+pub type ReqId = u64;
+
+/// What kind of DRAM transaction a request is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Demand read (load miss or instruction-fetch miss).
+    Read,
+    /// Write-back of a dirty line evicted from the L2.
+    Write,
+    /// Prefetcher-generated read; serviced at the lowest priority.
+    Prefetch,
+}
+
+impl AccessKind {
+    /// `true` for transactions that move data from DRAM to the chip
+    /// (demand reads and prefetches).
+    #[inline]
+    pub fn is_read(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::Prefetch)
+    }
+
+    /// `true` only for demand reads — the requests a blocked ROB is
+    /// actually waiting on.
+    #[inline]
+    pub fn is_demand_read(self) -> bool {
+        matches!(self, AccessKind::Read)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Prefetch => "prefetch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The criticality annotation supplied by the processor-side predictor.
+///
+/// The paper's schedulers prepend the criticality *magnitude* to the
+/// age comparator in the FR-FCFS arbiter (upper bits), so requests are
+/// ordered first by magnitude and only then by age. A `Binary`
+/// prediction is simply magnitude 1; the ranked CBP metrics
+/// (BlockCount, LastStallTime, MaxStallTime, TotalStallTime) supply
+/// wider magnitudes (Table 5: up to 27 bits).
+///
+/// # Examples
+///
+/// ```
+/// use critmem_common::Criticality;
+///
+/// let none = Criticality::non_critical();
+/// let binary = Criticality::binary();
+/// let ranked = Criticality::ranked(13_475);
+/// assert!(!none.is_critical());
+/// assert!(binary.is_critical());
+/// assert!(ranked.magnitude() > binary.magnitude());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Criticality {
+    magnitude: u64,
+}
+
+impl Criticality {
+    /// A request with no criticality flag (the common case).
+    #[inline]
+    pub fn non_critical() -> Self {
+        Criticality { magnitude: 0 }
+    }
+
+    /// A binary "critical" flag, as produced by the 1-bit Binary CBP.
+    #[inline]
+    pub fn binary() -> Self {
+        Criticality { magnitude: 1 }
+    }
+
+    /// A ranked criticality magnitude (block count or stall cycles).
+    /// A magnitude of zero is, by definition, non-critical.
+    #[inline]
+    pub fn ranked(magnitude: u64) -> Self {
+        Criticality { magnitude }
+    }
+
+    /// Whether the request was flagged critical at all.
+    #[inline]
+    pub fn is_critical(self) -> bool {
+        self.magnitude > 0
+    }
+
+    /// The magnitude the scheduler prepends to the age comparator.
+    #[inline]
+    pub fn magnitude(self) -> u64 {
+        self.magnitude
+    }
+}
+
+impl fmt::Display for Criticality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_critical() {
+            write!(f, "crit({})", self.magnitude)
+        } else {
+            f.write_str("non-crit")
+        }
+    }
+}
+
+/// A memory request as it travels from an L2 miss to a DRAM channel's
+/// transaction queue and back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Globally unique id; completion is reported by id.
+    pub id: ReqId,
+    /// Physical address of the 64 B line.
+    pub addr: PhysAddr,
+    /// Read, write-back, or prefetch.
+    pub kind: AccessKind,
+    /// The core (== thread) that generated the request. Write-backs
+    /// carry the id of the core whose eviction triggered them.
+    pub core: CoreId,
+    /// Criticality annotation from the processor-side predictor.
+    pub crit: Criticality,
+    /// CPU cycle at which the request left the L2 for the memory
+    /// controller; used for latency accounting.
+    pub issued_at: CpuCycle,
+}
+
+impl MemRequest {
+    /// Creates a non-critical request.
+    pub fn new(id: ReqId, addr: PhysAddr, kind: AccessKind, core: CoreId) -> Self {
+        MemRequest { id, addr, kind, core, crit: Criticality::non_critical(), issued_at: 0 }
+    }
+
+    /// Attaches a criticality annotation (builder style).
+    #[must_use]
+    pub fn with_criticality(mut self, crit: Criticality) -> Self {
+        self.crit = crit;
+        self
+    }
+
+    /// Stamps the CPU cycle at which the request entered the memory
+    /// system (builder style).
+    #[must_use]
+    pub fn with_issue_cycle(mut self, cycle: CpuCycle) -> Self {
+        self.issued_at = cycle;
+        self
+    }
+}
+
+/// Completion notification delivered by the DRAM subsystem back to the
+/// cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Which request finished.
+    pub id: ReqId,
+    /// The channel that serviced it.
+    pub channel: ChannelId,
+    /// CPU cycle at which the data burst finished.
+    pub finished_at: CpuCycle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn criticality_ordering_follows_magnitude() {
+        let a = Criticality::non_critical();
+        let b = Criticality::binary();
+        let c = Criticality::ranked(100);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn zero_ranked_is_non_critical() {
+        assert!(!Criticality::ranked(0).is_critical());
+        assert_eq!(Criticality::ranked(0), Criticality::non_critical());
+    }
+
+    #[test]
+    fn access_kind_read_classification() {
+        assert!(AccessKind::Read.is_read());
+        assert!(AccessKind::Prefetch.is_read());
+        assert!(!AccessKind::Write.is_read());
+        assert!(AccessKind::Read.is_demand_read());
+        assert!(!AccessKind::Prefetch.is_demand_read());
+    }
+
+    #[test]
+    fn request_builders_compose() {
+        let r = MemRequest::new(7, 0x1000, AccessKind::Read, CoreId(1))
+            .with_criticality(Criticality::ranked(42))
+            .with_issue_cycle(99);
+        assert_eq!(r.id, 7);
+        assert_eq!(r.crit.magnitude(), 42);
+        assert_eq!(r.issued_at, 99);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Criticality::non_critical().to_string(), "non-crit");
+        assert_eq!(Criticality::ranked(9).to_string(), "crit(9)");
+        assert_eq!(AccessKind::Prefetch.to_string(), "prefetch");
+    }
+}

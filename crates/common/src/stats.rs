@@ -1,0 +1,316 @@
+//! Lightweight statistics primitives used throughout the evaluation:
+//! event counters, running means, and fixed-bucket histograms.
+//!
+//! These are deliberately simple — the simulator's hot loops increment
+//! them billions of times, so every operation is a handful of integer
+//! instructions.
+
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_common::Counter;
+/// let mut loads = Counter::new("loads");
+/// loads.add(3);
+/// loads.inc();
+/// assert_eq!(loads.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a display name.
+    pub fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The display name given at construction.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.value)
+    }
+}
+
+/// An online mean over `u64` samples (e.g. per-request latencies).
+///
+/// Stores sum and count; exact for the magnitudes the simulator
+/// produces (sums stay far below 2^64).
+///
+/// # Examples
+///
+/// ```
+/// use critmem_common::RunningMean;
+/// let mut m = RunningMean::default();
+/// m.record(10);
+/// m.record(20);
+/// assert_eq!(m.mean(), Some(15.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunningMean {
+    sum: u64,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty mean.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        self.sum += sample;
+        self.count += 1;
+    }
+
+    /// The mean, or `None` before any sample was recorded.
+    #[inline]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Total of all samples.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Merges another mean into this one (e.g. across cores).
+    pub fn merge(&mut self, other: &RunningMean) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// A histogram over power-of-two buckets: bucket *i* holds samples in
+/// `[2^i, 2^(i+1))`, with bucket 0 holding 0 and 1.
+///
+/// Used for stall-time and latency distributions (Table 5 derives
+/// counter bit-widths from the maximum observed values, which the
+/// histogram also tracks exactly).
+///
+/// # Examples
+///
+/// ```
+/// use critmem_common::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(5);
+/// h.record(13_475);
+/// assert_eq!(h.max(), Some(13_475));
+/// assert_eq!(h.count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; 64], count: 0, sum: 0, max: 0, min: u64::MAX }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, sample: u64) {
+        let bucket = if sample < 2 { 0 } else { 63 - sample.leading_zeros() as usize };
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.max = self.max.max(sample);
+        self.min = self.min.min(sample);
+    }
+
+    /// Number of samples recorded.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest sample, or `None` if empty.
+    #[inline]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    #[inline]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Mean of all samples, or `None` if empty.
+    #[inline]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Raw bucket counts (bucket *i* covers `[2^i, 2^(i+1))`).
+    pub fn buckets(&self) -> &[u64; 64] {
+        &self.buckets
+    }
+
+    /// The number of bits needed to store the largest observed value —
+    /// the paper's Table 5 "Width" column.
+    pub fn required_bits(&self) -> u32 {
+        match self.max() {
+            None | Some(0) => 1,
+            Some(m) => 64 - m.leading_zeros(),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.to_string(), "x = 10");
+    }
+
+    #[test]
+    fn running_mean_empty_is_none() {
+        assert_eq!(RunningMean::new().mean(), None);
+    }
+
+    #[test]
+    fn running_mean_merge() {
+        let mut a = RunningMean::new();
+        let mut b = RunningMean::new();
+        a.record(10);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.mean(), Some(20.0));
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(4);
+        assert_eq!(h.buckets()[0], 2); // 0, 1
+        assert_eq!(h.buckets()[1], 2); // 2, 3
+        assert_eq!(h.buckets()[2], 1); // 4
+    }
+
+    #[test]
+    fn histogram_required_bits_matches_paper_table5() {
+        // Paper Table 5: max 13,475 -> 14 bits; 1,975,691 -> 21 bits;
+        // 112,753,587 -> 27 bits.
+        for (max, bits) in [(13_475u64, 14u32), (1_975_691, 21), (112_753_587, 27), (1, 1)] {
+            let mut h = Histogram::new();
+            h.record(max);
+            assert_eq!(h.required_bits(), bits, "max = {max}");
+        }
+    }
+
+    #[test]
+    fn histogram_empty_stats() {
+        let h = Histogram::new();
+        assert_eq!(h.max(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.required_bits(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn histogram_total_preserved(samples in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+            let mut h = Histogram::new();
+            for &s in &samples { h.record(s); }
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            if let Some(max) = samples.iter().max() {
+                prop_assert_eq!(h.max(), Some(*max));
+            }
+            let bucket_total: u64 = h.buckets().iter().sum();
+            prop_assert_eq!(bucket_total, samples.len() as u64);
+        }
+
+        #[test]
+        fn merge_is_sum(xs in proptest::collection::vec(0u64..10_000, 1..50),
+                        ys in proptest::collection::vec(0u64..10_000, 1..50)) {
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            for &x in &xs { a.record(x); }
+            for &y in &ys { b.record(y); }
+            let mut merged = a.clone();
+            merged.merge(&b);
+            prop_assert_eq!(merged.count(), a.count() + b.count());
+            let expect_max = a.max().unwrap().max(b.max().unwrap());
+            prop_assert_eq!(merged.max(), Some(expect_max));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Internal calibration probe: per-app baseline characteristics and
+//! the headline criticality speedup at small scale.
+use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem_predict::CbpMetric;
+use critmem_sched::SchedulerKind;
+use std::time::Instant;
+
+fn main() {
+    let instr: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    println!("instr/core = {instr}");
+    println!("{:<10} {:>10} {:>6} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6} {:>6}",
+        "app", "cycles", "IPC", "blkLd%", "blkCy%", "L2hit%", "rowhit%", "maxstall", "crit1%", "starv", "wall");
+    for app in critmem_workloads::PARALLEL_APPS {
+        let t0 = Instant::now();
+        let mut cfg = SystemConfig::paper_baseline(instr);
+        cfg.max_cycles = 500_000_000;
+        let base = run(cfg.clone(), &WorkloadKind::Parallel(app));
+        let crit_cfg = cfg.clone()
+            .with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
+        let crit = run(crit_cfg, &WorkloadKind::Parallel(app));
+        let speedup = base.cycles as f64 / crit.cycles as f64;
+        let ipc = instr as f64 * 8.0 / base.cycles as f64;
+        let rh: f64 = {
+            let hits: u64 = base.channels.iter().map(|c| c.row_hits).sum();
+            let tot: u64 = base.channels.iter().map(|c| c.row_hits + c.row_misses + c.row_conflicts).sum();
+            if tot == 0 { 0.0 } else { hits as f64 / tot as f64 }
+        };
+        let (one, _many) = crit.critical_queue_fractions();
+        let starv: u64 = base.channels.iter().map(|c| c.starvation_promotions).sum();
+        println!("{:<10} {:>10} {:>6.2} {:>6.1}% {:>6.1}% {:>6.1}% {:>7.1}% {:>+7.1}% {:>6.1}% {:>6} {:>5.1}s",
+            app, base.cycles, ipc,
+            base.blocked_load_fraction()*100.0, base.blocked_cycle_fraction()*100.0,
+            base.hierarchy.l2_hit_rate()*100.0, rh*100.0,
+            (speedup-1.0)*100.0, one*100.0, starv,
+            t0.elapsed().as_secs_f64());
+    }
+}

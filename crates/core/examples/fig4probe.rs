@@ -1,0 +1,14 @@
+use critmem::experiments::{fig4, Runner, Scale};
+fn main() {
+    let mut r = Runner::new(Scale {
+        instructions: 6_000,
+        apps: vec!["art", "mg", "swim"],
+        sweep_apps: vec!["mg"],
+        bundles: vec![],
+    });
+    let f = fig4(&mut r);
+    for s in &f.series {
+        println!("{:<16} avg {:+.2}%  per-app {:?}", s.label, (s.average()-1.0)*100.0,
+            s.per_app.iter().map(|v| format!("{:+.1}%", (v-1.0)*100.0)).collect::<Vec<_>>());
+    }
+}

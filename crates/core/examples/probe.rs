@@ -1,0 +1,18 @@
+//! Internal progress probe (not part of the public example set).
+use critmem::{System, SystemConfig, WorkloadKind};
+
+fn main() {
+    let app = std::env::args().nth(1).unwrap_or_else(|| "swim".into());
+    let app: &'static str = Box::leak(app.into_boxed_str());
+    let mut cfg = SystemConfig::paper_baseline(20_000);
+    cfg.max_cycles = u64::MAX;
+    let mut sys = System::new(cfg, &WorkloadKind::Parallel(app));
+    while !sys.done() && sys.now() < 20_000_000 {
+        sys.step();
+        if sys.now() % 500_000 == 0 {
+            let (q, ob) = sys.queue_depths();
+            eprintln!("cycle {:>9}: committed {:?} dramq={q} outbox={ob}", sys.now(), sys.committed());
+        }
+    }
+    eprintln!("done={} at cycle {}", sys.done(), sys.now());
+}

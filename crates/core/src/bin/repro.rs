@@ -1,0 +1,114 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation section.
+//!
+//! ```text
+//! repro [--scale quick|standard|full] [experiments...]
+//!
+//! experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+//!              fig11 fig12 table5 table7 naive reset all   (default: all)
+//! ```
+
+use critmem::experiments::{
+    self, config_dump, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
+    naive, reset_study, table5, table7, Runner, Scale,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale quick|standard|full] [experiments...]\n\
+         experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
+         table5 table7 naive reset all"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut scale = Scale::standard();
+    let mut selected: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("quick") => scale = Scale::quick(),
+                Some("standard") => scale = Scale::standard(),
+                Some("full") => scale = Scale::full(),
+                _ => usage(),
+            },
+            "--help" | "-h" => usage(),
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        selected.push("all".to_string());
+    }
+    let all = selected.iter().any(|s| s == "all");
+    let want = |name: &str| all || selected.iter().any(|s| s == name);
+
+    let mut r = Runner::new(scale);
+    r.verbose = true;
+    println!("critmem repro — ISCA 2013 criticality-aware memory scheduling");
+    println!(
+        "scale: {} instructions/core, apps: {:?}",
+        r.scale.instructions, r.scale.apps
+    );
+
+    if want("config") {
+        println!("{}", config_dump());
+    }
+    if want("fig1") {
+        println!("{}", fig1(&mut r).to_table());
+    }
+    if want("fig3") {
+        let (a, b) = fig3(&mut r);
+        println!("{}", a.to_table());
+        println!("{}", b.to_table());
+    }
+    if want("fig4") {
+        println!("{}", fig4(&mut r).to_table());
+    }
+    if want("fig5") {
+        println!("{}", fig5(&mut r).to_table());
+    }
+    if want("fig6") {
+        println!("{}", fig6(&mut r).to_table());
+    }
+    if want("fig7") {
+        println!("{}", fig7(&mut r).to_table());
+    }
+    if want("fig8") {
+        println!("{}", fig8(&mut r).to_table());
+    }
+    if want("fig9") {
+        println!("{}", fig9(&mut r).to_table());
+    }
+    if want("fig10") {
+        println!("{}", fig10(&mut r).to_table());
+    }
+    if want("fig11") {
+        println!("{}", fig11(&mut r).to_table());
+    }
+    if want("fig12") {
+        let f = fig12(&mut r);
+        println!("{}", f.to_table());
+        println!(
+            "max slowdown: TCM {:.3}, MaxStallTime {:.3} ({:+.1}% change)",
+            f.max_slowdown_tcm,
+            f.max_slowdown_crit,
+            (f.max_slowdown_crit / f.max_slowdown_tcm - 1.0) * 100.0
+        );
+    }
+    if want("table5") {
+        println!("{}", table5(&mut r).to_table());
+    }
+    if want("table7") {
+        println!("{}", table7(&mut r).to_table());
+    }
+    if want("naive") {
+        println!("{}", naive(&mut r).to_table());
+    }
+    if want("reset") {
+        println!("{}", reset_study(&mut r).to_table());
+    }
+    let _ = &experiments::TextTable::pct(1.0);
+    eprintln!("\n{} distinct simulations executed", r.runs_executed());
+}

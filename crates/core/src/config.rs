@@ -1,0 +1,211 @@
+//! Full-system configuration: the Tables 1 + 3 platform, the workload,
+//! the scheduler, and the processor-side predictor.
+
+use critmem_cache::{HierarchyConfig, PrefetchConfig};
+use critmem_cpu::CoreConfig;
+use critmem_dram::DramConfig;
+use critmem_predict::{CbpMetric, ClptMode, TableSize};
+use critmem_sched::SchedulerKind;
+
+/// Which processor-side criticality predictor each core carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredictorKind {
+    /// No predictor: all requests non-critical (FR-FCFS baseline).
+    None,
+    /// The Commit Block Predictor (§3).
+    Cbp {
+        /// Annotation metric.
+        metric: CbpMetric,
+        /// Table geometry.
+        size: TableSize,
+        /// Optional periodic reset interval in CPU cycles (§5.3.2).
+        reset_interval: Option<u64>,
+    },
+    /// Subramaniam et al.'s consumer-count predictor (§2).
+    Clpt(ClptMode),
+}
+
+impl PredictorKind {
+    /// The paper's default 64-entry CBP with the given metric.
+    pub fn cbp64(metric: CbpMetric) -> Self {
+        PredictorKind::Cbp { metric, size: TableSize::Entries(64), reset_interval: None }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> String {
+        match self {
+            PredictorKind::None => "none".into(),
+            PredictorKind::Cbp { metric, size, reset_interval } => {
+                let size = match size {
+                    TableSize::Entries(n) => format!("{n}-entry"),
+                    TableSize::Unlimited => "unlimited".into(),
+                };
+                let reset = if reset_interval.is_some() { "+reset" } else { "" };
+                format!("{} CBP ({size}){reset}", metric.name())
+            }
+            PredictorKind::Clpt(ClptMode::Binary { threshold }) => {
+                format!("CLPT-Binary(t={threshold})")
+            }
+            PredictorKind::Clpt(ClptMode::Consumers { .. }) => "CLPT-Consumers".into(),
+        }
+    }
+}
+
+/// The workload to run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// One of the nine parallel apps (Table 2), all cores running its
+    /// threads.
+    Parallel(&'static str),
+    /// A Table 4 bundle: four single-threaded apps on four cores.
+    Bundle(&'static str),
+    /// A single app alone on core 0 (for weighted-speedup baselines).
+    Alone(&'static str),
+}
+
+/// Complete system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Core microarchitecture (Table 1).
+    pub core: CoreConfig,
+    /// Cache hierarchy (Tables 1 and 3).
+    pub hierarchy: HierarchyConfig,
+    /// DRAM subsystem (Table 3).
+    pub dram: DramConfig,
+    /// CPU clock in MHz (Table 1: 4.27 GHz).
+    pub cpu_mhz: u64,
+    /// Memory scheduler.
+    pub scheduler: SchedulerKind,
+    /// Per-core criticality predictor.
+    pub predictor: PredictorKind,
+    /// Instructions each core must commit before the run ends.
+    pub instructions_per_core: u64,
+    /// Master seed for all per-thread RNGs.
+    pub seed: u64,
+    /// §5.1 naive forwarding: notify the controller when a load starts
+    /// blocking the ROB head (no predictor involved).
+    pub naive_forwarding: bool,
+    /// Side-channel latency for naive forwarding, in CPU cycles.
+    pub forward_latency: u64,
+    /// Safety valve: abort the run after this many CPU cycles.
+    pub max_cycles: u64,
+}
+
+impl SystemConfig {
+    /// The paper's 8-core parallel-workload baseline: FR-FCFS, no
+    /// predictor, quad-channel DDR3-2133.
+    pub fn paper_baseline(instructions_per_core: u64) -> Self {
+        SystemConfig {
+            cores: 8,
+            core: CoreConfig::paper_baseline(),
+            hierarchy: HierarchyConfig::paper_baseline(8),
+            dram: DramConfig::paper_baseline(),
+            cpu_mhz: 4_270,
+            scheduler: SchedulerKind::FrFcfs,
+            predictor: PredictorKind::None,
+            instructions_per_core,
+            seed: 0x15CA_2013,
+            naive_forwarding: false,
+            forward_latency: 24,
+            max_cycles: u64::MAX,
+        }
+    }
+
+    /// The quad-core multiprogrammed configuration of §5.8.2: half the
+    /// channels (2), half the L2 MSHRs (32), PAR-BS marking cap 5.
+    pub fn multiprogrammed_baseline(instructions_per_core: u64) -> Self {
+        let mut cfg = Self::paper_baseline(instructions_per_core);
+        cfg.cores = 4;
+        cfg.hierarchy = HierarchyConfig::paper_baseline(4);
+        cfg.hierarchy.l2_mshrs = 32;
+        cfg.dram.org.channels = 2;
+        cfg.scheduler = SchedulerKind::ParBs { marking_cap: 5 };
+        cfg
+    }
+
+    /// Enables the §5.5 L2 stream prefetcher (builder style).
+    #[must_use]
+    pub fn with_prefetcher(mut self) -> Self {
+        self.hierarchy.prefetch = Some(PrefetchConfig::default());
+        self
+    }
+
+    /// Sets the scheduler (builder style).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the predictor (builder style).
+    #[must_use]
+    pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
+        self.predictor = predictor;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        self.core.validate()?;
+        self.dram.validate()?;
+        if self.cores == 0 || self.cores != self.hierarchy.num_cores {
+            return Err(format!(
+                "core count ({}) must match hierarchy ({})",
+                self.cores, self.hierarchy.num_cores
+            ));
+        }
+        if self.cpu_mhz < self.dram.preset.bus_mhz {
+            return Err("CPU clock must be at least the DRAM bus clock".into());
+        }
+        if self.instructions_per_core == 0 {
+            return Err("instruction target must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_validate() {
+        SystemConfig::paper_baseline(1000).validate().unwrap();
+        SystemConfig::multiprogrammed_baseline(1000).validate().unwrap();
+    }
+
+    #[test]
+    fn multiprogrammed_halves_resources() {
+        let c = SystemConfig::multiprogrammed_baseline(1000);
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.dram.org.channels, 2);
+        assert_eq!(c.hierarchy.l2_mshrs, 32);
+        assert_eq!(c.scheduler, SchedulerKind::ParBs { marking_cap: 5 });
+    }
+
+    #[test]
+    fn validation_catches_core_mismatch() {
+        let mut c = SystemConfig::paper_baseline(1000);
+        c.cores = 4; // hierarchy still sized for 8
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn predictor_names() {
+        assert_eq!(PredictorKind::None.name(), "none");
+        assert_eq!(
+            PredictorKind::cbp64(CbpMetric::MaxStallTime).name(),
+            "MaxStallTime CBP (64-entry)"
+        );
+        assert_eq!(
+            PredictorKind::Clpt(ClptMode::Binary { threshold: 3 }).name(),
+            "CLPT-Binary(t=3)"
+        );
+    }
+}

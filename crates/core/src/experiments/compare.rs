@@ -1,0 +1,119 @@
+//! Reproductions of the scheduler-comparison figures: Figure 10
+//! (MaxStallTime vs AHB vs MORSE-P vs Crit-RL) and Figure 11 (MORSE
+//! under a restricted command-evaluation width).
+
+use crate::config::PredictorKind;
+use crate::experiments::harness::{Runner, TextTable};
+use crate::experiments::parallel_figs::{SpeedupFigure, SpeedupSeries};
+use crate::metrics::mean;
+use critmem_predict::CbpMetric;
+use critmem_sched::{MorseConfig, SchedulerKind};
+
+/// Figure 10: the proposed MaxStallTime scheduler against AHB,
+/// MORSE-P, and Crit-RL (MORSE with criticality features), per app.
+pub fn fig10(r: &mut Runner) -> SpeedupFigure {
+    let apps = r.scale.apps.clone();
+    let configs: [(&str, SchedulerKind, PredictorKind); 4] = [
+        (
+            "MaxStallTime",
+            SchedulerKind::CasRasCrit,
+            PredictorKind::cbp64(CbpMetric::MaxStallTime),
+        ),
+        ("AHB (Hur/Lin)", SchedulerKind::Ahb, PredictorKind::None),
+        ("MORSE-P", SchedulerKind::Morse(MorseConfig::default()), PredictorKind::None),
+        (
+            "Crit-RL",
+            SchedulerKind::Morse(MorseConfig { use_criticality: true, ..MorseConfig::default() }),
+            PredictorKind::cbp64(CbpMetric::Binary),
+        ),
+    ];
+    let mut series = Vec::new();
+    for (label, sched, pred) in configs {
+        let per_app = apps
+            .iter()
+            .map(|&app| {
+                let base = r.baseline(app);
+                let v = r.parallel(app, sched, pred);
+                base.cycles as f64 / v.cycles as f64
+            })
+            .collect();
+        series.push(SpeedupSeries { label: label.into(), per_app });
+    }
+    SpeedupFigure {
+        title: "Figure 10: state-of-the-art schedulers (vs FR-FCFS)".into(),
+        apps,
+        series,
+    }
+}
+
+/// Figure 11: MORSE-P performance as the number of ready commands it
+/// may evaluate per DRAM cycle shrinks (the silicon-cost argument of
+/// §5.8.1).
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// `(commands evaluated, average speedup vs FR-FCFS)`.
+    pub rows: Vec<(usize, f64)>,
+}
+
+impl Fig11 {
+    /// Renders the figure.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Figure 11: MORSE-P vs commands evaluated per DRAM cycle",
+            &["avg speedup vs FR-FCFS"],
+        );
+        for (cap, v) in &self.rows {
+            t.row(format!("{cap} commands"), vec![TextTable::pct(*v)]);
+        }
+        t
+    }
+
+    /// Speedup at a given evaluation cap.
+    pub fn at(&self, cap: usize) -> Option<f64> {
+        self.rows.iter().find(|(c, _)| *c == cap).map(|(_, v)| *v)
+    }
+}
+
+/// Runs Figure 11 over the runner's sweep apps.
+pub fn fig11(r: &mut Runner) -> Fig11 {
+    let apps = r.scale.sweep_apps.clone();
+    let mut rows = Vec::new();
+    for cap in [6usize, 9, 12, 15, 18, 21, 24] {
+        let speedups: Vec<f64> = apps
+            .iter()
+            .map(|&app| {
+                let base = r.baseline(app);
+                let v = r.parallel_with(
+                    app,
+                    SchedulerKind::Morse(MorseConfig { eval_cap: cap, ..MorseConfig::default() }),
+                    PredictorKind::None,
+                    &format!("cap{cap}"),
+                    |c| c,
+                );
+                base.cycles as f64 / v.cycles as f64
+            })
+            .collect();
+        rows.push((cap, mean(&speedups)));
+    }
+    Fig11 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::harness::Scale;
+
+    #[test]
+    fn fig11_covers_the_paper_sweep() {
+        let mut r = Runner::new(Scale {
+            instructions: 1_000,
+            apps: vec!["swim"],
+            sweep_apps: vec!["swim"],
+            bundles: vec![],
+        });
+        let f = fig11(&mut r);
+        assert_eq!(f.rows.len(), 7);
+        assert!(f.at(24).is_some());
+        assert!(f.at(5).is_none());
+    }
+}

@@ -1,0 +1,255 @@
+//! Shared experiment-harness machinery: run scaling, memoized
+//! simulation runs, and plain-text table rendering.
+
+use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::system::{run, RunStats};
+use critmem_sched::SchedulerKind;
+use critmem_workloads::PARALLEL_APPS;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// How big each simulation is. The paper runs 500 M instructions per
+/// application; here the scale is configurable so the full figure set
+/// regenerates in minutes (predictors warm up within thousands of
+/// loads because static-load populations are small — the paper's own
+/// Figure 5 argument).
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Instructions each core commits per run.
+    pub instructions: u64,
+    /// Apps used for the per-app figures (1, 3–7, 10).
+    pub apps: Vec<&'static str>,
+    /// Apps used for the configuration sweeps (Figures 8, 9, 11),
+    /// which multiply run counts.
+    pub sweep_apps: Vec<&'static str>,
+    /// Bundles used for the multiprogrammed study (Figure 12).
+    pub bundles: Vec<&'static str>,
+}
+
+impl Scale {
+    /// Tiny scale for unit/integration tests.
+    pub fn quick() -> Self {
+        Scale {
+            instructions: 3_000,
+            apps: vec!["art", "mg", "swim"],
+            sweep_apps: vec!["swim"],
+            bundles: vec!["AELV", "RFGI"],
+        }
+    }
+
+    /// The scale used by the `repro` binary: all nine apps, all eight
+    /// bundles.
+    pub fn standard() -> Self {
+        Scale {
+            instructions: 25_000,
+            apps: PARALLEL_APPS.to_vec(),
+            sweep_apps: vec!["art", "mg", "ocean", "swim"],
+            bundles: critmem_workloads::BUNDLES.iter().map(|b| b.name).collect(),
+        }
+    }
+
+    /// A larger scale for overnight runs (`repro --scale full`).
+    pub fn full() -> Self {
+        Scale { instructions: 150_000, ..Self::standard() }
+    }
+}
+
+/// Memoizing run executor shared by all experiments, so e.g. the
+/// FR-FCFS baseline for an app is simulated once even though every
+/// figure divides by it.
+pub struct Runner {
+    /// The scale in force.
+    pub scale: Scale,
+    /// Print a progress line per fresh simulation.
+    pub verbose: bool,
+    cache: HashMap<String, Rc<RunStats>>,
+    runs_executed: u64,
+}
+
+impl Runner {
+    /// Creates a runner.
+    pub fn new(scale: Scale) -> Self {
+        Runner { scale, verbose: false, cache: HashMap::new(), runs_executed: 0 }
+    }
+
+    /// Number of distinct simulations executed (not cache hits).
+    pub fn runs_executed(&self) -> u64 {
+        self.runs_executed
+    }
+
+    /// Runs (or recalls) a simulation under a unique `key`.
+    pub fn run_keyed(
+        &mut self,
+        key: String,
+        cfg: SystemConfig,
+        workload: &WorkloadKind,
+    ) -> Rc<RunStats> {
+        if let Some(hit) = self.cache.get(&key) {
+            return Rc::clone(hit);
+        }
+        if self.verbose {
+            eprintln!("  [run {:>3}] {key}", self.runs_executed + 1);
+        }
+        let stats = Rc::new(run(cfg, workload));
+        self.runs_executed += 1;
+        self.cache.insert(key.clone(), Rc::clone(&stats));
+        stats
+    }
+
+    /// Base configuration for a parallel run at this scale.
+    pub fn parallel_cfg(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::paper_baseline(self.scale.instructions);
+        cfg.max_cycles = self.scale.instructions.saturating_mul(20_000).max(1_000_000_000);
+        cfg
+    }
+
+    /// Runs a parallel app under `(scheduler, predictor)` with an
+    /// optional config transform; `tag` must uniquely identify the
+    /// transform.
+    pub fn parallel_with<F>(
+        &mut self,
+        app: &'static str,
+        scheduler: SchedulerKind,
+        predictor: PredictorKind,
+        tag: &str,
+        tweak: F,
+    ) -> Rc<RunStats>
+    where
+        F: FnOnce(SystemConfig) -> SystemConfig,
+    {
+        let cfg = tweak(
+            self.parallel_cfg().with_scheduler(scheduler).with_predictor(predictor),
+        );
+        let key = format!("{app}|{}|{}|{tag}", scheduler.name(), predictor.name());
+        self.run_keyed(key, cfg, &WorkloadKind::Parallel(app))
+    }
+
+    /// Runs a parallel app under `(scheduler, predictor)`.
+    pub fn parallel(
+        &mut self,
+        app: &'static str,
+        scheduler: SchedulerKind,
+        predictor: PredictorKind,
+    ) -> Rc<RunStats> {
+        self.parallel_with(app, scheduler, predictor, "", |c| c)
+    }
+
+    /// The FR-FCFS, predictor-less baseline for an app.
+    pub fn baseline(&mut self, app: &'static str) -> Rc<RunStats> {
+        self.parallel(app, SchedulerKind::FrFcfs, PredictorKind::None)
+    }
+}
+
+/// A plain-text table with row labels, column headers, and formatted
+/// cells — the rendering used for every reproduced figure/table.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<(String, Vec<String>)>,
+}
+
+impl TextTable {
+    /// Creates a table with a title and column headers (the first
+    /// column is the row label and needs no header entry).
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        self.rows.push((label.into(), cells));
+    }
+
+    /// Formats a ratio as a percentage delta ("+9.3%").
+    pub fn pct(ratio: f64) -> String {
+        format!("{:+.1}%", (ratio - 1.0) * 100.0)
+    }
+
+    /// Formats a fraction as a percentage ("48.6%").
+    pub fn frac(f: f64) -> String {
+        format!("{:.1}%", f * 100.0)
+    }
+
+    /// Formats a speedup ratio ("1.093x").
+    pub fn ratio(r: f64) -> String {
+        format!("{r:.3}x")
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(4))
+            .max()
+            .unwrap_or(4);
+        let col_w: Vec<usize> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                self.rows
+                    .iter()
+                    .filter_map(|(_, cells)| cells.get(i).map(|c| c.len()))
+                    .chain(std::iter::once(h.len()))
+                    .max()
+                    .unwrap_or(h.len())
+            })
+            .collect();
+        writeln!(f, "\n=== {} ===", self.title)?;
+        write!(f, "{:<label_w$}", "")?;
+        for (h, w) in self.headers.iter().zip(&col_w) {
+            write!(f, "  {h:>w$}")?;
+        }
+        writeln!(f)?;
+        for (label, cells) in &self.rows {
+            write!(f, "{label:<label_w$}")?;
+            for (c, w) in cells.iter().zip(&col_w) {
+                write!(f, "  {c:>w$}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_memoizes() {
+        let mut r = Runner::new(Scale { instructions: 500, ..Scale::quick() });
+        let a = r.baseline("swim");
+        let b = r.baseline("swim");
+        assert_eq!(r.runs_executed(), 1);
+        assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new("Demo", &["col1", "col2"]);
+        t.row("alpha", vec!["1.0".into(), "2.0".into()]);
+        t.row("b", vec!["3.0".into(), "4.0".into()]);
+        let s = t.to_string();
+        assert!(s.contains("=== Demo ==="));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        // Header + 2 rows + title.
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(TextTable::pct(1.093), "+9.3%");
+        assert_eq!(TextTable::frac(0.486), "48.6%");
+        assert_eq!(TextTable::ratio(1.0), "1.000x");
+    }
+}

@@ -1,0 +1,22 @@
+//! Per-figure/table experiment harnesses (see the DESIGN.md experiment
+//! index).
+//!
+//! Every function takes a memoizing [`Runner`] so that shared runs
+//! (notably each app's FR-FCFS baseline) are simulated once, and
+//! returns a structured result with a `to_table()` text rendering —
+//! the same rows/series the paper's figure reports.
+
+pub mod compare;
+pub mod harness;
+pub mod multiprog;
+pub mod parallel_figs;
+pub mod tables;
+
+pub use compare::{fig10, fig11, Fig11};
+pub use harness::{Runner, Scale, TextTable};
+pub use multiprog::{fig12, Fig12};
+pub use parallel_figs::{
+    fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Fig1, Fig6, Fig8, Fig9, SpeedupFigure,
+    SpeedupSeries,
+};
+pub use tables::{config_dump, naive, reset_study, table5, table7, NaiveResult, ResetResult, Table5, Table7};

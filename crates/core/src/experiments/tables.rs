@@ -1,0 +1,378 @@
+//! Reproductions of Table 5 (counter widths), Table 7 (scheduler
+//! summary), the §5.1 naive-forwarding experiment, the §5.3.2 periodic
+//! table-reset study, and the configuration dumps of Tables 1–4.
+
+use crate::config::PredictorKind;
+use crate::experiments::compare::fig10;
+use crate::experiments::harness::{Runner, TextTable};
+use crate::experiments::multiprog::fig12;
+use crate::experiments::parallel_figs::fig4;
+use crate::metrics::mean;
+use crate::overhead::{paper_counter_width, table7_qualitative, OverheadModel};
+use critmem_predict::CbpMetric;
+use critmem_sched::SchedulerKind;
+
+/// Table 5: maximum observed criticality-counter values and the bit
+/// widths they imply, measured vs the paper's 500M-instruction values.
+#[derive(Debug, Clone)]
+pub struct Table5 {
+    /// `(metric, max observed, bits, paper bits)`.
+    pub rows: Vec<(CbpMetric, u64, u32, u32)>,
+}
+
+impl Table5 {
+    /// Renders the table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table 5: criticality counter widths",
+            &["max observed", "bits (measured)", "bits (paper)"],
+        );
+        for (m, max, bits, paper) in &self.rows {
+            t.row(m.name(), vec![max.to_string(), bits.to_string(), paper.to_string()]);
+        }
+        t
+    }
+}
+
+/// Runs Table 5: worst-case observed counter values across all apps
+/// and cores under the CASRAS-Crit scheduler.
+pub fn table5(r: &mut Runner) -> Table5 {
+    let apps = r.scale.apps.clone();
+    let rows = CbpMetric::ALL
+        .map(|metric| {
+            let mut max_val = 0u64;
+            let mut max_bits = 1u32;
+            for &app in &apps {
+                let s = r.parallel(app, SchedulerKind::CasRasCrit, PredictorKind::cbp64(metric));
+                for obs in s.predictor_observed.iter().flatten() {
+                    max_val = max_val.max(obs.0);
+                    max_bits = max_bits.max(obs.1);
+                }
+            }
+            (metric, max_val, max_bits, paper_counter_width(metric))
+        })
+        .to_vec();
+    Table5 { rows }
+}
+
+/// Table 7: the cross-scheduler summary — measured speedups composed
+/// with the analytic storage model and the paper's qualitative rows.
+#[derive(Debug, Clone)]
+pub struct Table7 {
+    /// `(scheduler, parallel speedup, multiprog weighted speedup,
+    /// storage, processor-side?, scales?, low contention?)`.
+    pub rows: Vec<(String, Option<f64>, Option<f64>, String, bool, bool, bool)>,
+}
+
+impl Table7 {
+    /// Renders the table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Table 7: scheduler comparison summary",
+            &[
+                "parallel speedup (vs FR-FCFS)",
+                "multiprog W-speedup (vs PAR-BS)",
+                "storage (8 cores)",
+                "proc-side",
+                "hi-speed",
+                "low-contention",
+            ],
+        );
+        let yn = |b: bool| if b { "yes".to_string() } else { "no".to_string() };
+        let pct = |v: Option<f64>| {
+            v.map(|x| TextTable::pct(x)).unwrap_or_else(|| "-".to_string())
+        };
+        for (name, par, mp, storage, ps, hs, lc) in &self.rows {
+            t.row(
+                name.clone(),
+                vec![pct(*par), pct(*mp), storage.clone(), yn(*ps), yn(*hs), yn(*lc)],
+            );
+        }
+        t
+    }
+}
+
+/// Runs Table 7 (reuses the Figure 4 / 10 / 12 runs via the memoizing
+/// runner).
+pub fn table7(r: &mut Runner) -> Table7 {
+    let f4 = fig4(r);
+    let f10 = fig10(r);
+    let f12 = if r.scale.bundles.is_empty() { None } else { Some(fig12(r)) };
+    let quali = table7_qualitative();
+    let find = |name: &str| quali.iter().find(|q| q.scheduler == name).expect("row");
+    let mp = |label: &str| f12.as_ref().and_then(|f| f.average_of(label));
+    let binary = OverheadModel::paper_parallel(CbpMetric::Binary);
+    let maxstall = OverheadModel::paper_parallel(CbpMetric::MaxStallTime);
+    let rows = vec![
+        (
+            "AHB (Hur/Lin)".to_string(),
+            f10.average_of("AHB (Hur/Lin)"),
+            None,
+            find("AHB (Hur/Lin)").storage.clone(),
+            false,
+            true,
+            true,
+        ),
+        (
+            "TCM".to_string(),
+            None,
+            mp("TCM"),
+            find("TCM").storage.clone(),
+            false,
+            true,
+            false,
+        ),
+        (
+            "MORSE-P".to_string(),
+            f10.average_of("MORSE-P"),
+            None,
+            find("MORSE-P").storage.clone(),
+            true,
+            false,
+            true,
+        ),
+        (
+            "Binary CBP".to_string(),
+            f4.average_of("Binary"),
+            None,
+            format!("{}-{} B", binary.total_bytes_min(), binary.total_bytes_max()),
+            true,
+            true,
+            true,
+        ),
+        (
+            "MaxStallTime CBP".to_string(),
+            f4.average_of("MaxStallTime"),
+            mp("MaxStallTime"),
+            format!("{}-{} B", maxstall.total_bytes_min(), maxstall.total_bytes_max()),
+            true,
+            true,
+            true,
+        ),
+    ];
+    Table7 { rows }
+}
+
+/// §5.1: the predictor-less naive forwarding experiment (paper: 3.5%,
+/// "within simulation noise").
+#[derive(Debug, Clone)]
+pub struct NaiveResult {
+    /// Per-app speedups of naive forwarding over FR-FCFS.
+    pub per_app: Vec<(&'static str, f64)>,
+    /// Per-app speedups of the Binary CBP for contrast.
+    pub cbp_per_app: Vec<(&'static str, f64)>,
+}
+
+impl NaiveResult {
+    /// Average naive-forwarding speedup.
+    pub fn average(&self) -> f64 {
+        mean(&self.per_app.iter().map(|(_, v)| *v).collect::<Vec<_>>())
+    }
+
+    /// Average Binary CBP speedup.
+    pub fn cbp_average(&self) -> f64 {
+        mean(&self.cbp_per_app.iter().map(|(_, v)| *v).collect::<Vec<_>>())
+    }
+
+    /// Renders the comparison.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Section 5.1: naive predictor-less forwarding vs Binary CBP (vs FR-FCFS)",
+            &["naive forwarding", "Binary CBP"],
+        );
+        for (i, (app, v)) in self.per_app.iter().enumerate() {
+            t.row(*app, vec![TextTable::pct(*v), TextTable::pct(self.cbp_per_app[i].1)]);
+        }
+        t.row("Average", vec![TextTable::pct(self.average()), TextTable::pct(self.cbp_average())]);
+        t
+    }
+}
+
+/// Runs the §5.1 experiment.
+pub fn naive(r: &mut Runner) -> NaiveResult {
+    let apps = r.scale.apps.clone();
+    let mut per_app = Vec::new();
+    let mut cbp_per_app = Vec::new();
+    for &app in &apps {
+        let base = r.baseline(app);
+        let fwd = r.parallel_with(
+            app,
+            SchedulerKind::CasRasCrit,
+            PredictorKind::None,
+            "naive-fwd",
+            |mut c| {
+                c.naive_forwarding = true;
+                c
+            },
+        );
+        per_app.push((app, base.cycles as f64 / fwd.cycles as f64));
+        let cbp = r.parallel(app, SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::Binary));
+        cbp_per_app.push((app, base.cycles as f64 / cbp.cycles as f64));
+    }
+    NaiveResult { per_app, cbp_per_app }
+}
+
+/// §5.3.2: periodic CBP reset at 100K cycles on the paper's test set
+/// (everything except the {fft, mg, radix} training apps).
+#[derive(Debug, Clone)]
+pub struct ResetResult {
+    /// Test apps.
+    pub apps: Vec<&'static str>,
+    /// Per-app speedup without reset.
+    pub no_reset: Vec<f64>,
+    /// Per-app speedup with 100K-cycle reset.
+    pub with_reset: Vec<f64>,
+}
+
+impl ResetResult {
+    /// Averages `(no reset, with reset)`.
+    pub fn averages(&self) -> (f64, f64) {
+        (mean(&self.no_reset), mean(&self.with_reset))
+    }
+
+    /// Renders the comparison.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            "Section 5.3.2: 64-entry Binary CBP, periodic 100K-cycle reset (test set)",
+            &["no reset", "100K reset"],
+        );
+        for (i, app) in self.apps.iter().enumerate() {
+            t.row(*app, vec![TextTable::pct(self.no_reset[i]), TextTable::pct(self.with_reset[i])]);
+        }
+        let (a, b) = self.averages();
+        t.row("Average", vec![TextTable::pct(a), TextTable::pct(b)]);
+        t
+    }
+}
+
+/// Runs the §5.3.2 experiment.
+pub fn reset_study(r: &mut Runner) -> ResetResult {
+    let train = ["fft", "mg", "radix"];
+    let apps: Vec<&'static str> =
+        r.scale.apps.iter().copied().filter(|a| !train.contains(a)).collect();
+    let mut no_reset = Vec::new();
+    let mut with_reset = Vec::new();
+    for &app in &apps {
+        let base = r.baseline(app);
+        let plain =
+            r.parallel(app, SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::Binary));
+        no_reset.push(base.cycles as f64 / plain.cycles as f64);
+        let reset = r.parallel(
+            app,
+            SchedulerKind::CasRasCrit,
+            PredictorKind::Cbp {
+                metric: CbpMetric::Binary,
+                size: critmem_predict::TableSize::Entries(64),
+                reset_interval: Some(100_000),
+            },
+        );
+        with_reset.push(base.cycles as f64 / reset.cycles as f64);
+    }
+    ResetResult { apps, no_reset, with_reset }
+}
+
+/// Prints Tables 1–4 (the configuration tables) from the live config
+/// structures, so the dump can never drift from what is simulated.
+pub fn config_dump() -> String {
+    use critmem_cpu::CoreConfig;
+    use critmem_dram::DramConfig;
+    let core = CoreConfig::paper_baseline();
+    let dram = DramConfig::paper_baseline();
+    let t = dram.preset.timing;
+    let mut out = String::new();
+    let mut t1 = TextTable::new("Table 1: core parameters", &["value"]);
+    t1.row("Frequency", vec!["4.27 GHz".into()]);
+    t1.row("Number of cores", vec!["8".into()]);
+    t1.row("Fetch/Issue/Commit width", vec![format!("{}/{}/{}", core.fetch_width, core.issue_width, core.commit_width)]);
+    t1.row("Int/FP/Ld/St/Br units", vec![format!("{}/{}/{}/{}/{}", core.int_units, core.fp_units, core.ld_units, core.st_units, core.br_units)]);
+    t1.row("Int/FP multipliers", vec![format!("{}/{}", core.int_mul_units, core.fp_mul_units)]);
+    t1.row("ROB entries", vec![core.rob_entries.to_string()]);
+    t1.row("Ld/St queue entries", vec![format!("{}/{}", core.lq_entries, core.sq_entries)]);
+    t1.row("Max unresolved branches", vec![core.max_unresolved_branches.to_string()]);
+    t1.row("Branch mispredict penalty", vec![format!("{} cycles min.", core.mispredict_penalty)]);
+    out.push_str(&t1.to_string());
+
+    let mut t2 = TextTable::new("Table 2: parallel applications", &["suite"]);
+    for (app, suite) in [
+        ("scalparc", "Data mining (NU-MineBench)"),
+        ("cg", "NAS OpenMP"),
+        ("mg", "NAS OpenMP"),
+        ("art", "SPEC OpenMP"),
+        ("equake", "SPEC OpenMP"),
+        ("swim", "SPEC OpenMP"),
+        ("fft", "SPLASH-2"),
+        ("ocean", "SPLASH-2"),
+        ("radix", "SPLASH-2"),
+    ] {
+        t2.row(app, vec![suite.into()]);
+    }
+    out.push_str(&t2.to_string());
+
+    let mut t3 = TextTable::new("Table 3: L2 and DDR3-2133 memory", &["value"]);
+    t3.row("Shared L2", vec!["4 MB, 64 B block, 8-way".into()]);
+    t3.row("L2 MSHR entries", vec!["64".into()]);
+    t3.row("L2 round-trip latency", vec!["32 cycles (uncontended)".into()]);
+    t3.row("Transaction queue", vec![dram.queue_capacity.to_string()]);
+    t3.row("DRAM bus frequency", vec![format!("{} MHz (DDR)", dram.preset.bus_mhz)]);
+    t3.row("Channels", vec![format!("{} (2 for quad-core)", dram.org.channels)]);
+    t3.row("DIMM configuration", vec![format!("{}-rank per channel", dram.org.ranks_per_channel)]);
+    t3.row("Banks", vec![format!("{} per rank", dram.org.banks_per_rank)]);
+    t3.row("Row buffer size", vec![format!("{} B", dram.org.row_bytes)]);
+    t3.row("Address mapping", vec!["page interleaving".into()]);
+    t3.row("Row policy", vec!["open page".into()]);
+    t3.row("Burst length", vec![t.burst_len.to_string()]);
+    for (name, v) in [
+        ("tRCD", t.t_rcd), ("tCL", t.t_cl), ("tWL", t.t_wl), ("tCCD", t.t_ccd),
+        ("tWTR", t.t_wtr), ("tWR", t.t_wr), ("tRTP", t.t_rtp), ("tRP", t.t_rp),
+        ("tRRD", t.t_rrd), ("tRTRS", t.t_rtrs), ("tRAS", t.t_ras), ("tRC", t.t_rc),
+        ("tRFC", t.t_rfc),
+    ] {
+        t3.row(name, vec![format!("{v} DRAM cycles")]);
+    }
+    out.push_str(&t3.to_string());
+
+    let mut t4 = TextTable::new("Table 4: multiprogrammed workloads", &["apps", "classes"]);
+    for b in critmem_workloads::BUNDLES {
+        let classes: String = b
+            .apps
+            .iter()
+            .map(|a| critmem_workloads::app_class(a).expect("classified").letter())
+            .collect::<Vec<char>>()
+            .iter()
+            .collect();
+        t4.row(b.name, vec![b.apps.join(" - "), classes]);
+    }
+    out.push_str(&t4.to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::harness::Scale;
+
+    #[test]
+    fn config_dump_contains_all_four_tables() {
+        let s = config_dump();
+        for needle in ["Table 1", "Table 2", "Table 3", "Table 4", "tRFC", "RGTM"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn table5_measures_widths() {
+        let mut r = Runner::new(Scale {
+            instructions: 1_500,
+            apps: vec!["art"],
+            sweep_apps: vec![],
+            bundles: vec![],
+        });
+        let t = table5(&mut r);
+        assert_eq!(t.rows.len(), 5);
+        let binary = t.rows.iter().find(|r| r.0 == CbpMetric::Binary).unwrap();
+        assert_eq!(binary.1, 1, "binary max observed value is 1");
+        assert_eq!(binary.2, 1);
+        let max = t.rows.iter().find(|r| r.0 == CbpMetric::MaxStallTime).unwrap();
+        assert!(max.1 > 1, "stall times should exceed one cycle");
+    }
+}

@@ -1,0 +1,47 @@
+//! `critmem` — a full-system reproduction of *"Improving Memory
+//! Scheduling via Processor-Side Load Criticality Information"*
+//! (Ghose, Lee, Martínez; ISCA 2013) in Rust.
+//!
+//! The paper pairs a tiny per-core **Commit Block Predictor** — which
+//! learns the static loads that block the reorder-buffer head — with a
+//! lean FR-FCFS-derived DRAM scheduler that simply prepends the
+//! predicted criticality magnitude to its age comparator. This crate
+//! assembles the whole evaluation platform from the workspace's
+//! substrate crates and reproduces every figure and table of the
+//! paper's evaluation:
+//!
+//! * [`SystemConfig`] / [`System`] — the 8-core CMP of Tables 1 and 3,
+//! * [`experiments`] — one harness per paper figure/table,
+//! * [`overhead`] — the §5.7 storage-overhead accounting,
+//! * the `repro` binary — prints every reproduced table.
+//!
+//! # Quick start
+//!
+//! ```
+//! use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+//! use critmem_predict::CbpMetric;
+//! use critmem_sched::SchedulerKind;
+//!
+//! // Baseline FR-FCFS vs the paper's MaxStallTime CBP scheduler on a
+//! // small swim run (2 cores / 2k instructions to keep the doctest fast).
+//! let mut base = SystemConfig::paper_baseline(2_000);
+//! base.cores = 2;
+//! base.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
+//! let crit = base.clone()
+//!     .with_scheduler(SchedulerKind::CasRasCrit)
+//!     .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
+//!
+//! let b = run(base, &WorkloadKind::Parallel("swim"));
+//! let c = run(crit, &WorkloadKind::Parallel("swim"));
+//! assert!(b.cycles > 0 && c.cycles > 0);
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod overhead;
+pub mod system;
+
+pub use config::{PredictorKind, SystemConfig, WorkloadKind};
+pub use metrics::{geomean, speedup, Average};
+pub use system::{run, RunStats, System};

@@ -1,0 +1,424 @@
+//! The assembled system: cores + cache hierarchy + DRAM, advanced in
+//! lock-step under the CPU clock with the DRAM channels ticking on the
+//! divided bus clock.
+
+use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use critmem_cache::CacheHierarchy;
+use critmem_common::{ClockDivider, CoreId, CpuCycle, Criticality};
+use critmem_cpu::{
+    CbpPredictor, ClptPredictor, Core, CoreStats, InstrSource, LoadCriticalityPredictor,
+    NoPredictor,
+};
+use critmem_dram::{ChannelStats, DramSystem};
+use critmem_predict::{Clpt, CommitBlockPredictor};
+use critmem_workloads::{multi_app, parallel_app, AppThread};
+
+/// Aggregated result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// CPU cycle at which every core had committed its target.
+    pub cycles: u64,
+    /// Per-core CPU cycle at which the target was reached.
+    pub core_finish: Vec<u64>,
+    /// Per-core statistics.
+    pub cores: Vec<CoreStats>,
+    /// Cache-hierarchy statistics.
+    pub hierarchy: critmem_cache::HierarchyStats,
+    /// Per-channel DRAM statistics.
+    pub channels: Vec<ChannelStats>,
+    /// Per-core cycles during which the load queue was full.
+    pub lq_full_cycles: Vec<u64>,
+    /// Instruction target per core.
+    pub instructions_per_core: u64,
+    /// Per-core `(max counter value, bits)` observed by the predictor
+    /// (Table 5), if it has counters.
+    pub predictor_observed: Vec<Option<(u64, u32)>>,
+}
+
+impl RunStats {
+    /// IPC of one core over its measured window.
+    pub fn ipc(&self, core: usize) -> f64 {
+        self.instructions_per_core as f64 / self.core_finish[core] as f64
+    }
+
+    /// Fraction of committed loads that long-blocked the ROB head
+    /// (Figure 1, left panel), averaged over cores.
+    pub fn blocked_load_fraction(&self) -> f64 {
+        let loads: u64 = self.cores.iter().map(|c| c.loads).sum();
+        let blocked: u64 = self.cores.iter().map(|c| c.long_blocked_loads).sum();
+        if loads == 0 {
+            0.0
+        } else {
+            blocked as f64 / loads as f64
+        }
+    }
+
+    /// Fraction of execution cycles the ROB head was blocked by a
+    /// long-latency load (Figure 1, right panel), averaged over cores.
+    pub fn blocked_cycle_fraction(&self) -> f64 {
+        let total: u64 = self.cores.iter().map(|c| c.cycles).sum();
+        let blocked: u64 = self.cores.iter().map(|c| c.long_block_cycles).sum();
+        if total == 0 {
+            0.0
+        } else {
+            blocked as f64 / total as f64
+        }
+    }
+
+    /// Mean L2-miss latency (CPU cycles) of critical loads.
+    pub fn miss_latency_critical(&self) -> Option<f64> {
+        self.hierarchy.miss_latency_critical.mean()
+    }
+
+    /// Mean L2-miss latency (CPU cycles) of non-critical loads.
+    pub fn miss_latency_noncritical(&self) -> Option<f64> {
+        self.hierarchy.miss_latency_noncritical.mean()
+    }
+
+    /// Fraction of execution time the load queue was full, averaged
+    /// over cores (§5.6).
+    pub fn lq_full_fraction(&self) -> f64 {
+        let total: u64 = self.cores.iter().map(|c| c.cycles).sum();
+        let full: u64 = self.lq_full_cycles.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            full as f64 / total as f64
+        }
+    }
+
+    /// Fraction of DRAM ticks during which a transaction queue held at
+    /// least one (and more than one) critical read (§3.1).
+    pub fn critical_queue_fractions(&self) -> (f64, f64) {
+        let ticks: u64 = self.channels.iter().map(|c| c.ticks).sum();
+        let one: u64 = self.channels.iter().map(|c| c.ticks_with_critical).sum();
+        let many: u64 = self.channels.iter().map(|c| c.ticks_with_multiple_critical).sum();
+        if ticks == 0 {
+            (0.0, 0.0)
+        } else {
+            (one as f64 / ticks as f64, many as f64 / ticks as f64)
+        }
+    }
+}
+
+/// A pending naive-forwarding message (§5.1).
+#[derive(Debug, Clone, Copy)]
+struct ForwardMsg {
+    deliver_at: CpuCycle,
+    addr: u64,
+    core: CoreId,
+}
+
+/// The full simulated system.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    sources: Vec<Box<dyn InstrSource>>,
+    hierarchy: CacheHierarchy,
+    dram: DramSystem,
+    divider: ClockDivider,
+    now: CpuCycle,
+    core_finish: Vec<Option<u64>>,
+    lq_full_cycles: Vec<u64>,
+    forwards: Vec<ForwardMsg>,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("now", &self.now)
+            .field("cores", &self.cores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn build_predictor(kind: PredictorKind) -> Box<dyn LoadCriticalityPredictor> {
+    match kind {
+        PredictorKind::None => Box::new(NoPredictor),
+        PredictorKind::Cbp { metric, size, reset_interval } => {
+            let mut cbp = CommitBlockPredictor::new(metric, size);
+            if let Some(interval) = reset_interval {
+                cbp = cbp.with_reset_interval(interval);
+            }
+            Box::new(CbpPredictor::new(cbp))
+        }
+        PredictorKind::Clpt(mode) => Box::new(ClptPredictor::new(Clpt::new(mode))),
+    }
+}
+
+impl System {
+    /// Builds the system for a workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation or the workload
+    /// names an unknown application.
+    pub fn new(cfg: SystemConfig, workload: &WorkloadKind) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let sources: Vec<Box<dyn InstrSource>> = match workload {
+            WorkloadKind::Parallel(app) => {
+                let spec = parallel_app(app).unwrap_or_else(|| panic!("unknown parallel app {app}"));
+                (0..cfg.cores)
+                    .map(|c| Box::new(AppThread::new(&spec, c, cfg.seed)) as Box<dyn InstrSource>)
+                    .collect()
+            }
+            WorkloadKind::Bundle(name) => {
+                let bundle = critmem_workloads::bundle(name)
+                    .unwrap_or_else(|| panic!("unknown bundle {name}"));
+                assert_eq!(cfg.cores, 4, "bundles are four-application workloads");
+                bundle
+                    .apps
+                    .iter()
+                    .enumerate()
+                    .map(|(c, app)| {
+                        let spec =
+                            multi_app(app).unwrap_or_else(|| panic!("unknown app {app}"));
+                        Box::new(AppThread::new(&spec, c, cfg.seed)) as Box<dyn InstrSource>
+                    })
+                    .collect()
+            }
+            WorkloadKind::Alone(app) => {
+                assert_eq!(cfg.cores, 1, "alone runs use a single core");
+                let spec = multi_app(app)
+                    .or_else(|| parallel_app(app))
+                    .unwrap_or_else(|| panic!("unknown app {app}"));
+                vec![Box::new(AppThread::new(&spec, 0, cfg.seed)) as Box<dyn InstrSource>]
+            }
+        };
+        let cores = (0..cfg.cores)
+            .map(|c| {
+                Core::new(
+                    CoreId(c as u8),
+                    cfg.core,
+                    build_predictor(cfg.predictor),
+                    u64::MAX / 2, // the system, not the core, ends the run
+                )
+            })
+            .collect();
+        let num_threads = cfg.cores;
+        let dram = DramSystem::new(cfg.dram, |ch| {
+            cfg.scheduler.build(num_threads, u64::from(ch.0))
+        });
+        System {
+            hierarchy: CacheHierarchy::new(cfg.hierarchy),
+            dram,
+            divider: ClockDivider::new(cfg.dram.preset.bus_mhz, cfg.cpu_mhz),
+            now: 0,
+            core_finish: vec![None; cfg.cores],
+            lq_full_cycles: vec![0; cfg.cores],
+            forwards: Vec::new(),
+            cores,
+            sources,
+            cfg,
+        }
+    }
+
+    /// Current CPU cycle.
+    pub fn now(&self) -> CpuCycle {
+        self.now
+    }
+
+    /// Advances one CPU cycle.
+    pub fn step(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        // 1. Cores, in rotating order: shared-resource races (L2 MSHRs,
+        // transaction-queue slots) must not systematically favor
+        // low-numbered cores.
+        let n = self.cores.len();
+        let start = (now as usize) % n;
+        for k in 0..n {
+            let i = (start + k) % n;
+            let core = &mut self.cores[i];
+            let events = core.step(now, self.sources[i].as_mut(), &mut self.hierarchy);
+            if core.lq_full() {
+                self.lq_full_cycles[i] += 1;
+            }
+            if self.core_finish[i].is_none()
+                && core.stats().committed >= self.cfg.instructions_per_core
+            {
+                self.core_finish[i] = Some(now);
+            }
+            if self.cfg.naive_forwarding {
+                if let Some(b) = events.block_started {
+                    self.forwards.push(ForwardMsg {
+                        deliver_at: now + self.cfg.forward_latency,
+                        addr: b.addr & !63,
+                        core: CoreId(i as u8),
+                    });
+                }
+            }
+        }
+        // 2. Deliver naive-forwarding promotions.
+        if !self.forwards.is_empty() {
+            let mut i = 0;
+            while i < self.forwards.len() {
+                if self.forwards[i].deliver_at <= now {
+                    let m = self.forwards.swap_remove(i);
+                    self.dram.promote_by_addr(m.addr, m.core, Criticality::binary());
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // 3. Drain cache-miss requests into the DRAM queues.
+        while let Some(req) = self.hierarchy.pop_request(now) {
+            if let Err(back) = self.dram.enqueue(req) {
+                self.hierarchy.unpop_request(back);
+                break;
+            }
+        }
+        // 4. DRAM bus clock.
+        if self.divider.tick() {
+            for done in self.dram.tick() {
+                for c in self.hierarchy.dram_completed(&done.req, now) {
+                    self.cores[c.core.index()].mem_completed(c.token.0, c.done);
+                }
+            }
+        }
+    }
+
+    /// Per-core committed instruction counts (progress inspection).
+    pub fn committed(&self) -> Vec<u64> {
+        self.cores.iter().map(|c| c.stats().committed).collect()
+    }
+
+    /// Total transactions currently queued in the DRAM controllers and
+    /// requests waiting in the cache outbox (progress inspection).
+    pub fn queue_depths(&self) -> (usize, usize) {
+        (self.dram.total_queued(), self.hierarchy.outbox_len())
+    }
+
+    /// Whether every core has reached the instruction target.
+    pub fn done(&self) -> bool {
+        self.core_finish.iter().all(|f| f.is_some())
+    }
+
+    /// Runs to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` elapses first (deadlock guard).
+    pub fn run(mut self) -> RunStats {
+        while !self.done() {
+            assert!(
+                self.now < self.cfg.max_cycles,
+                "simulation exceeded {} cycles (possible deadlock)",
+                self.cfg.max_cycles
+            );
+            self.step();
+        }
+        self.into_stats()
+    }
+
+    /// Finalizes statistics without requiring completion.
+    pub fn into_stats(self) -> RunStats {
+        RunStats {
+            cycles: self.core_finish.iter().map(|f| f.unwrap_or(self.now)).max().unwrap_or(0),
+            core_finish: self.core_finish.iter().map(|f| f.unwrap_or(self.now)).collect(),
+            cores: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            hierarchy: self.hierarchy.stats().clone(),
+            channels: self.dram.channel_stats().into_iter().cloned().collect(),
+            lq_full_cycles: self.lq_full_cycles,
+            instructions_per_core: self.cfg.instructions_per_core,
+            predictor_observed: self
+                .cores
+                .iter()
+                .map(|c| c.predictor().observed_extremes())
+                .collect(),
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+    System::new(cfg, workload).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critmem_predict::CbpMetric;
+    use critmem_sched::SchedulerKind;
+
+    fn quick(instr: u64) -> SystemConfig {
+        let mut c = SystemConfig::paper_baseline(instr);
+        c.cores = 2;
+        c.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
+        c.max_cycles = 20_000_000;
+        c
+    }
+
+    #[test]
+    fn small_parallel_run_completes() {
+        let stats = run(quick(2_000), &WorkloadKind::Parallel("swim"));
+        assert!(stats.cycles > 0);
+        assert_eq!(stats.cores.len(), 2);
+        for c in &stats.cores {
+            assert!(c.committed >= 2_000);
+            assert!(c.loads > 0);
+        }
+        // Memory-intensive: the L2 must have missed.
+        assert!(stats.hierarchy.l2_misses > 0);
+        let dram_reads: u64 = stats.channels.iter().map(|c| c.reads_completed).sum();
+        assert!(dram_reads > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(quick(1_500), &WorkloadKind::Parallel("mg"));
+        let b = run(quick(1_500), &WorkloadKind::Parallel("mg"));
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.hierarchy.l2_misses, b.hierarchy.l2_misses);
+    }
+
+    #[test]
+    fn criticality_annotations_reach_dram() {
+        let cfg = quick(3_000)
+            .with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
+        let stats = run(cfg, &WorkloadKind::Parallel("swim"));
+        let crit_ticks: u64 = stats.channels.iter().map(|c| c.ticks_with_critical).sum();
+        assert!(crit_ticks > 0, "critical requests never reached a queue");
+        let crit_issued: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
+        assert!(crit_issued > 0);
+    }
+
+    #[test]
+    fn bundle_runs_on_four_cores() {
+        let mut cfg = SystemConfig::multiprogrammed_baseline(1_500);
+        cfg.max_cycles = 50_000_000;
+        let stats = run(cfg, &WorkloadKind::Bundle("AELV"));
+        assert_eq!(stats.cores.len(), 4);
+        assert!(stats.ipc(0) > 0.0);
+    }
+
+    #[test]
+    fn alone_run_uses_one_core() {
+        let mut cfg = SystemConfig::multiprogrammed_baseline(1_500);
+        cfg.cores = 1;
+        cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(1);
+        cfg.hierarchy.l2_mshrs = 32;
+        cfg.max_cycles = 50_000_000;
+        let stats = run(cfg, &WorkloadKind::Alone("mcf"));
+        assert_eq!(stats.cores.len(), 1);
+        assert!(stats.cores[0].committed >= 1_500);
+    }
+
+    #[test]
+    fn naive_forwarding_promotes_requests() {
+        let mut cfg = quick(3_000);
+        cfg.naive_forwarding = true;
+        cfg.scheduler = SchedulerKind::CasRasCrit;
+        let stats = run(cfg, &WorkloadKind::Parallel("art"));
+        let crit_ticks: u64 = stats.channels.iter().map(|c| c.ticks_with_critical).sum();
+        assert!(crit_ticks > 0, "forwarded blocks should mark queued requests");
+    }
+
+    #[test]
+    fn rob_blocking_is_observed() {
+        let stats = run(quick(3_000), &WorkloadKind::Parallel("art"));
+        assert!(stats.blocked_load_fraction() > 0.0);
+        assert!(stats.blocked_cycle_fraction() > 0.05, "art should stall the ROB a lot");
+    }
+}

@@ -1,0 +1,133 @@
+//! Core microarchitecture configuration (Table 1 of the paper).
+
+/// Parameters of one out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched/dispatched per cycle.
+    pub fetch_width: usize,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: usize,
+    /// Instructions committed per cycle.
+    pub commit_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Load-queue entries (Figure 9 sweeps 32/48/64).
+    pub lq_entries: usize,
+    /// Store-queue entries.
+    pub sq_entries: usize,
+    /// Post-commit store buffer entries (drains into the L1).
+    pub store_buffer: usize,
+    /// Issue-window scan depth (models the 32+32 issue queues).
+    pub issue_window: usize,
+    /// Integer ALU units.
+    pub int_units: usize,
+    /// Floating-point units.
+    pub fp_units: usize,
+    /// Load ports.
+    pub ld_units: usize,
+    /// Store ports.
+    pub st_units: usize,
+    /// Branch units.
+    pub br_units: usize,
+    /// Integer multipliers.
+    pub int_mul_units: usize,
+    /// Floating-point multipliers.
+    pub fp_mul_units: usize,
+    /// Maximum in-flight unresolved branches.
+    pub max_unresolved_branches: usize,
+    /// Minimum branch-misprediction redirect penalty in cycles.
+    pub mispredict_penalty: u64,
+    /// Minimum ROB-head stall (cycles) before a block is reported to
+    /// the CBP — set above the uncontended L2 round trip so only
+    /// DRAM-bound blocks train the predictor (L2-hit residues at the
+    /// commit stage are not the "blocks" the paper targets).
+    pub min_block_cycles: u64,
+}
+
+impl CoreConfig {
+    /// Table 1 baseline: 4-wide, 128-entry ROB, 32-entry LQ/SQ.
+    pub fn paper_baseline() -> Self {
+        CoreConfig {
+            fetch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_entries: 128,
+            lq_entries: 32,
+            sq_entries: 32,
+            store_buffer: 32,
+            issue_window: 40,
+            int_units: 2,
+            fp_units: 2,
+            ld_units: 2,
+            st_units: 2,
+            br_units: 2,
+            int_mul_units: 1,
+            fp_mul_units: 1,
+            max_unresolved_branches: 24,
+            mispredict_penalty: 9,
+            min_block_cycles: 40,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("fetch width", self.fetch_width),
+            ("issue width", self.issue_width),
+            ("commit width", self.commit_width),
+            ("ROB entries", self.rob_entries),
+            ("LQ entries", self.lq_entries),
+            ("SQ entries", self.sq_entries),
+            ("store buffer", self.store_buffer),
+            ("issue window", self.issue_window),
+            ("load units", self.ld_units),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be nonzero"));
+            }
+        }
+        if self.lq_entries > self.rob_entries {
+            return Err("load queue larger than ROB makes no sense".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table1() {
+        let c = CoreConfig::paper_baseline();
+        assert_eq!(c.fetch_width, 4);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.lq_entries, 32);
+        assert_eq!(c.sq_entries, 32);
+        assert_eq!(c.max_unresolved_branches, 24);
+        assert_eq!(c.mispredict_penalty, 9);
+        assert_eq!((c.int_units, c.fp_units, c.ld_units, c.st_units, c.br_units), (2, 2, 2, 2, 2));
+        assert_eq!((c.int_mul_units, c.fp_mul_units), (1, 1));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_zero_widths() {
+        let mut c = CoreConfig::paper_baseline();
+        c.issue_width = 0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::paper_baseline();
+        c.lq_entries = 256;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,129 @@
+//! The dynamic-instruction vocabulary executed by the simulated cores.
+//!
+//! Workload generators (the `critmem-workloads` crate) emit streams of
+//! [`Instr`]; the out-of-order core consumes them. Register
+//! dependencies are expressed positionally: `src1`/`src2` give the
+//! *distance* (in dynamic instructions) back to the producing
+//! instruction, which is how trace-driven simulators commonly encode
+//! dataflow without architecting a register file.
+
+use critmem_common::{Pc, PhysAddr};
+
+/// Operation class and operands of one dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrKind {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Integer multiply (3 cycles, one unit — Table 1).
+    IntMul,
+    /// Floating-point add/sub (3 cycles).
+    FpAlu,
+    /// Floating-point multiply (5 cycles, one unit).
+    FpMul,
+    /// Data-cache load.
+    Load {
+        /// Effective address.
+        addr: PhysAddr,
+    },
+    /// Data-cache store (address generation at issue, data written
+    /// post-commit through the store buffer).
+    Store {
+        /// Effective address.
+        addr: PhysAddr,
+    },
+    /// Conditional branch; `mispredict` is decided by the workload
+    /// generator's branch-accuracy model.
+    Branch {
+        /// Whether the (Alpha-21264-class) predictor misses this one.
+        mispredict: bool,
+    },
+}
+
+impl InstrKind {
+    /// Execution latency in cycles for non-memory operations (loads
+    /// and stores are timed by the cache hierarchy).
+    pub fn fixed_latency(self) -> u64 {
+        match self {
+            InstrKind::IntAlu => 1,
+            InstrKind::IntMul => 3,
+            InstrKind::FpAlu => 3,
+            InstrKind::FpMul => 5,
+            InstrKind::Branch { .. } => 1,
+            // Store "execution" is address generation.
+            InstrKind::Store { .. } => 1,
+            InstrKind::Load { .. } => 0,
+        }
+    }
+
+    /// Whether the instruction reads the data cache.
+    pub fn is_load(self) -> bool {
+        matches!(self, InstrKind::Load { .. })
+    }
+
+    /// Whether the instruction writes the data cache.
+    pub fn is_store(self) -> bool {
+        matches!(self, InstrKind::Store { .. })
+    }
+
+    /// Whether the instruction is a branch.
+    pub fn is_branch(self) -> bool {
+        matches!(self, InstrKind::Branch { .. })
+    }
+}
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Static program counter (used to index the CBP/CLPT).
+    pub pc: Pc,
+    /// Operation.
+    pub kind: InstrKind,
+    /// Distance (1-based, in dynamic instructions) to the first source
+    /// operand's producer, if any.
+    pub src1: Option<u16>,
+    /// Distance to the second source operand's producer, if any.
+    pub src2: Option<u16>,
+}
+
+impl Instr {
+    /// Convenience constructor for dependency-free instructions.
+    pub fn new(pc: Pc, kind: InstrKind) -> Self {
+        Instr { pc, kind, src1: None, src2: None }
+    }
+
+    /// Attaches source-operand producer distances (builder style).
+    #[must_use]
+    pub fn with_deps(mut self, src1: Option<u16>, src2: Option<u16>) -> Self {
+        self.src1 = src1;
+        self.src2 = src2;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_table1_style_units() {
+        assert_eq!(InstrKind::IntAlu.fixed_latency(), 1);
+        assert_eq!(InstrKind::IntMul.fixed_latency(), 3);
+        assert_eq!(InstrKind::FpMul.fixed_latency(), 5);
+        assert_eq!(InstrKind::Branch { mispredict: false }.fixed_latency(), 1);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(InstrKind::Load { addr: 0 }.is_load());
+        assert!(InstrKind::Store { addr: 0 }.is_store());
+        assert!(InstrKind::Branch { mispredict: true }.is_branch());
+        assert!(!InstrKind::IntAlu.is_load());
+    }
+
+    #[test]
+    fn builder_attaches_deps() {
+        let i = Instr::new(0x40, InstrKind::IntAlu).with_deps(Some(1), Some(4));
+        assert_eq!(i.src1, Some(1));
+        assert_eq!(i.src2, Some(4));
+    }
+}

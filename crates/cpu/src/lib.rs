@@ -1,0 +1,44 @@
+//! Cycle-level out-of-order core model for the `critmem` simulator.
+//!
+//! One [`Core`] implements the Table 1 microarchitecture of the ISCA
+//! 2013 paper being reproduced: 4-wide fetch/issue/commit, a 128-entry
+//! ROB, 32-entry load/store queues, per-class functional units, and —
+//! the part the paper hinges on — commit-stage detection of loads that
+//! block the ROB head, feeding a pluggable
+//! [`LoadCriticalityPredictor`] (CBP, CLPT, or none).
+//!
+//! # Examples
+//!
+//! ```
+//! use critmem_cpu::{Core, CoreConfig, Instr, InstrKind, InstrSource, NoPredictor};
+//! use critmem_cache::{CacheHierarchy, HierarchyConfig};
+//! use critmem_common::CoreId;
+//!
+//! struct Nops;
+//! impl InstrSource for Nops {
+//!     fn next_instr(&mut self) -> Instr {
+//!         Instr::new(0x40, InstrKind::IntAlu)
+//!     }
+//! }
+//!
+//! let mut core = Core::new(CoreId(0), CoreConfig::paper_baseline(),
+//!                          Box::new(NoPredictor), 100);
+//! let mut mem = CacheHierarchy::new(HierarchyConfig::paper_baseline(1));
+//! let mut src = Nops;
+//! let mut cycle = 0;
+//! while !core.done() {
+//!     cycle += 1;
+//!     core.step(cycle, &mut src, &mut mem);
+//! }
+//! assert!(core.stats().committed >= 100);
+//! ```
+
+pub mod config;
+pub mod core;
+pub mod instr;
+pub mod predictor;
+
+pub use crate::core::{BlockStart, Core, CoreStats, InstrSource, StepEvents, LONG_BLOCK_CYCLES};
+pub use config::CoreConfig;
+pub use instr::{Instr, InstrKind};
+pub use predictor::{CbpPredictor, ClptPredictor, LoadCriticalityPredictor, NoPredictor};

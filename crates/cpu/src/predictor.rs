@@ -1,0 +1,168 @@
+//! The interface between the core's commit/issue stages and a
+//! criticality predictor, plus adapters for the concrete predictors of
+//! the `critmem-predict` crate.
+//!
+//! The core calls:
+//!
+//! * [`LoadCriticalityPredictor::predict`] when a load issues to the
+//!   cache hierarchy (the prediction rides on any resulting memory
+//!   request),
+//! * [`LoadCriticalityPredictor::on_block_commit`] when a load that
+//!   blocked the ROB head finally commits (CBP training),
+//! * [`LoadCriticalityPredictor::on_load_commit`] for every committed
+//!   load with its observed direct-consumer count (CLPT training).
+
+use critmem_common::{CpuCycle, Criticality, Pc};
+use critmem_predict::{Clpt, CommitBlockPredictor};
+
+/// A per-core load criticality predictor as the core sees it.
+pub trait LoadCriticalityPredictor {
+    /// Prediction for a load issuing at `pc`.
+    fn predict(&mut self, pc: Pc) -> Criticality;
+
+    /// A load at `pc` blocked the ROB head for `stall_cycles` and has
+    /// now committed.
+    fn on_block_commit(&mut self, pc: Pc, stall_cycles: u64);
+
+    /// A load at `pc` committed having had `consumers` direct
+    /// consumers dispatched while it was in flight.
+    fn on_load_commit(&mut self, pc: Pc, consumers: u32);
+
+    /// Once-per-cycle housekeeping (periodic table reset).
+    fn tick(&mut self, now: CpuCycle);
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// `(max value written, bits required)` observed by a counter-based
+    /// predictor — feeds the Table 5 reproduction. `None` for
+    /// predictors without counters.
+    fn observed_extremes(&self) -> Option<(u64, u32)> {
+        None
+    }
+}
+
+/// The always-non-critical predictor (baseline FR-FCFS runs).
+#[derive(Debug, Default, Clone)]
+pub struct NoPredictor;
+
+impl LoadCriticalityPredictor for NoPredictor {
+    fn predict(&mut self, _pc: Pc) -> Criticality {
+        Criticality::non_critical()
+    }
+    fn on_block_commit(&mut self, _pc: Pc, _stall: u64) {}
+    fn on_load_commit(&mut self, _pc: Pc, _consumers: u32) {}
+    fn tick(&mut self, _now: CpuCycle) {}
+    fn name(&self) -> &'static str {
+        "none"
+    }
+}
+
+/// Adapter exposing a [`CommitBlockPredictor`] to the core.
+#[derive(Debug, Clone)]
+pub struct CbpPredictor {
+    cbp: CommitBlockPredictor,
+}
+
+impl CbpPredictor {
+    /// Wraps a CBP instance.
+    pub fn new(cbp: CommitBlockPredictor) -> Self {
+        CbpPredictor { cbp }
+    }
+
+    /// Access to the wrapped predictor (for statistics).
+    pub fn inner(&self) -> &CommitBlockPredictor {
+        &self.cbp
+    }
+}
+
+impl LoadCriticalityPredictor for CbpPredictor {
+    fn predict(&mut self, pc: Pc) -> Criticality {
+        self.cbp.predict(pc)
+    }
+    fn on_block_commit(&mut self, pc: Pc, stall_cycles: u64) {
+        self.cbp.record_block(pc, stall_cycles);
+    }
+    fn on_load_commit(&mut self, _pc: Pc, _consumers: u32) {}
+    fn tick(&mut self, now: CpuCycle) {
+        self.cbp.tick(now);
+    }
+    fn name(&self) -> &'static str {
+        self.cbp.metric().name()
+    }
+    fn observed_extremes(&self) -> Option<(u64, u32)> {
+        let h = &self.cbp.stats().written_values;
+        Some((h.max().unwrap_or(0), h.required_bits()))
+    }
+}
+
+/// Adapter exposing a [`Clpt`] (Subramaniam et al.) to the core.
+#[derive(Debug, Clone)]
+pub struct ClptPredictor {
+    clpt: Clpt,
+}
+
+impl ClptPredictor {
+    /// Wraps a CLPT instance.
+    pub fn new(clpt: Clpt) -> Self {
+        ClptPredictor { clpt }
+    }
+
+    /// Access to the wrapped predictor (for statistics).
+    pub fn inner(&self) -> &Clpt {
+        &self.clpt
+    }
+}
+
+impl LoadCriticalityPredictor for ClptPredictor {
+    fn predict(&mut self, pc: Pc) -> Criticality {
+        self.clpt.predict(pc)
+    }
+    fn on_block_commit(&mut self, _pc: Pc, _stall: u64) {}
+    fn on_load_commit(&mut self, pc: Pc, consumers: u32) {
+        self.clpt.record_consumers(pc, consumers);
+    }
+    fn tick(&mut self, _now: CpuCycle) {}
+    fn name(&self) -> &'static str {
+        match self.clpt.mode() {
+            critmem_predict::ClptMode::Binary { .. } => "CLPT-Binary",
+            critmem_predict::ClptMode::Consumers { .. } => "CLPT-Consumers",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critmem_predict::{CbpMetric, ClptMode, TableSize};
+
+    #[test]
+    fn no_predictor_never_marks() {
+        let mut p = NoPredictor;
+        p.on_block_commit(0x40, 1_000);
+        assert!(!p.predict(0x40).is_critical());
+    }
+
+    #[test]
+    fn cbp_adapter_trains_on_blocks() {
+        let mut p = CbpPredictor::new(CommitBlockPredictor::new(
+            CbpMetric::MaxStallTime,
+            TableSize::Entries(64),
+        ));
+        p.on_load_commit(0x40, 10); // ignored by CBP
+        assert!(!p.predict(0x40).is_critical());
+        p.on_block_commit(0x40, 77);
+        assert_eq!(p.predict(0x40).magnitude(), 77);
+        assert_eq!(p.name(), "MaxStallTime");
+    }
+
+    #[test]
+    fn clpt_adapter_trains_on_consumers() {
+        let mut p = ClptPredictor::new(Clpt::new(ClptMode::Binary { threshold: 3 }));
+        p.on_block_commit(0x40, 1_000); // ignored by CLPT
+        assert!(!p.predict(0x40).is_critical());
+        p.on_load_commit(0x40, 5);
+        assert!(p.predict(0x40).is_critical());
+        assert_eq!(p.name(), "CLPT-Binary");
+    }
+}

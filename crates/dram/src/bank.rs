@@ -1,0 +1,456 @@
+//! Per-bank, per-rank, and data-bus timing state machines.
+//!
+//! Each bank records the earliest DRAM cycle at which each command kind
+//! may next be issued to it (`next_*` fields), in the style of
+//! DRAMSim-class simulators. Issuing a command updates the constraints
+//! of the bank itself, its sibling banks in the same rank, and the
+//! shared data bus.
+
+use crate::command::{CommandKind, DramCommand};
+use crate::timing::TimingParams;
+use critmem_common::{DramCycle, RankId};
+
+/// Timing state of a single DRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bank {
+    /// Currently open row, if any.
+    pub open_row: Option<u32>,
+    /// Earliest cycle an ACTIVATE may issue.
+    pub next_act: DramCycle,
+    /// Earliest cycle a PRECHARGE may issue.
+    pub next_pre: DramCycle,
+    /// Earliest cycle a READ may issue.
+    pub next_rd: DramCycle,
+    /// Earliest cycle a WRITE may issue.
+    pub next_wr: DramCycle,
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank { open_row: None, next_act: 0, next_pre: 0, next_rd: 0, next_wr: 0 }
+    }
+}
+
+impl Bank {
+    /// Earliest cycle at which `kind` could legally issue to this bank,
+    /// considering only this bank's own constraints (the channel adds
+    /// bus and rank constraints on top).
+    pub fn earliest(&self, kind: CommandKind) -> DramCycle {
+        match kind {
+            CommandKind::Activate => self.next_act,
+            CommandKind::Precharge => self.next_pre,
+            CommandKind::Read => self.next_rd,
+            CommandKind::Write => self.next_wr,
+            CommandKind::Refresh => self.next_act,
+        }
+    }
+}
+
+/// The timing state of one DRAM channel: all its banks, the shared data
+/// bus, and per-rank refresh bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ChannelTiming {
+    banks: Vec<Bank>,
+    banks_per_rank: usize,
+    timing: TimingParams,
+    /// Cycle at which the data bus becomes free.
+    bus_free: DramCycle,
+    /// Rank that last transferred data (rank switches pay tRTRS).
+    last_data_rank: Option<RankId>,
+    /// Per-rank cycle at which the next refresh falls due.
+    refresh_due: Vec<DramCycle>,
+    /// Per-rank: refresh currently wanted (due and not yet issued).
+    refresh_pending: Vec<bool>,
+}
+
+impl ChannelTiming {
+    /// Creates the timing state for `ranks` x `banks_per_rank` banks.
+    pub fn new(ranks: usize, banks_per_rank: usize, timing: TimingParams) -> Self {
+        ChannelTiming {
+            banks: vec![Bank::default(); ranks * banks_per_rank],
+            banks_per_rank,
+            timing,
+            bus_free: 0,
+            last_data_rank: None,
+            refresh_due: (0..ranks)
+                .map(|r| timing.t_refi + (r as u64 * timing.t_refi / ranks.max(1) as u64))
+                .collect(),
+            refresh_pending: vec![false; ranks],
+        }
+    }
+
+    /// Number of ranks in the channel.
+    pub fn ranks(&self) -> usize {
+        self.refresh_due.len()
+    }
+
+    /// Number of banks per rank.
+    pub fn banks_per_rank(&self) -> usize {
+        self.banks_per_rank
+    }
+
+    /// The timing parameter set in force.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    #[inline]
+    fn bank_index(&self, rank: RankId, bank: critmem_common::BankId) -> usize {
+        rank.index() * self.banks_per_rank + bank.index()
+    }
+
+    /// Immutable view of a bank's state.
+    pub fn bank(&self, rank: RankId, bank: critmem_common::BankId) -> &Bank {
+        &self.banks[self.bank_index(rank, bank)]
+    }
+
+    /// Iterates over `(rank, bank, state)` for all banks.
+    pub fn banks(&self) -> impl Iterator<Item = (RankId, critmem_common::BankId, &Bank)> {
+        let bpr = self.banks_per_rank;
+        self.banks.iter().enumerate().map(move |(i, b)| {
+            (RankId((i / bpr) as u8), critmem_common::BankId((i % bpr) as u8), b)
+        })
+    }
+
+    /// Earliest cycle at which `cmd` may issue, considering bank, rank,
+    /// bus, and refresh constraints. Returns `None` if the command is
+    /// structurally impossible right now (e.g. CAS to a bank whose open
+    /// row differs, ACT to an already-open bank, REF with open banks).
+    pub fn earliest_issue(&self, cmd: &DramCommand) -> Option<DramCycle> {
+        let t = &self.timing;
+        match cmd.kind {
+            CommandKind::Activate => {
+                let b = self.bank(cmd.rank, cmd.bank);
+                if b.open_row.is_some() {
+                    return None;
+                }
+                Some(b.next_act)
+            }
+            CommandKind::Precharge => {
+                let b = self.bank(cmd.rank, cmd.bank);
+                b.open_row?;
+                Some(b.next_pre)
+            }
+            CommandKind::Read | CommandKind::Write => {
+                let b = self.bank(cmd.rank, cmd.bank);
+                if b.open_row != Some(cmd.row) {
+                    return None;
+                }
+                let own = b.earliest(cmd.kind);
+                // Data-bus availability: the burst must start no earlier
+                // than bus_free (+ tRTRS when switching ranks).
+                let data_lat =
+                    if cmd.kind == CommandKind::Read { t.t_cl } else { t.t_wl };
+                let mut bus_ready = self.bus_free;
+                if let Some(last) = self.last_data_rank {
+                    if last != cmd.rank {
+                        bus_ready += t.t_rtrs;
+                    }
+                }
+                // Command must issue such that issue + data_lat >= bus_ready.
+                let bus_constraint = bus_ready.saturating_sub(data_lat);
+                Some(own.max(bus_constraint))
+            }
+            CommandKind::Refresh => {
+                // All banks in the rank must be precharged.
+                let base = cmd.rank.index() * self.banks_per_rank;
+                let mut earliest = 0;
+                for b in &self.banks[base..base + self.banks_per_rank] {
+                    if b.open_row.is_some() {
+                        return None;
+                    }
+                    earliest = earliest.max(b.next_act);
+                }
+                Some(earliest)
+            }
+        }
+    }
+
+    /// Issues `cmd` at cycle `now`, updating all affected constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the command is not legal at `now`
+    /// according to [`Self::earliest_issue`].
+    pub fn issue(&mut self, cmd: &DramCommand, now: DramCycle) {
+        debug_assert!(
+            self.earliest_issue(cmd).map(|e| e <= now).unwrap_or(false),
+            "illegal command {cmd:?} at cycle {now}"
+        );
+        let t = self.timing;
+        let bl = t.burst_cycles();
+        let rank_base = cmd.rank.index() * self.banks_per_rank;
+        let idx = self.bank_index(cmd.rank, cmd.bank);
+        match cmd.kind {
+            CommandKind::Activate => {
+                let b = &mut self.banks[idx];
+                b.open_row = Some(cmd.row);
+                b.next_rd = b.next_rd.max(now + t.t_rcd);
+                b.next_wr = b.next_wr.max(now + t.t_rcd);
+                b.next_pre = b.next_pre.max(now + t.t_ras);
+                b.next_act = b.next_act.max(now + t.t_rc);
+                // tRRD to sibling banks in the same rank.
+                for i in rank_base..rank_base + self.banks_per_rank {
+                    if i != idx {
+                        let s = &mut self.banks[i];
+                        s.next_act = s.next_act.max(now + t.t_rrd);
+                    }
+                }
+            }
+            CommandKind::Precharge => {
+                let b = &mut self.banks[idx];
+                b.open_row = None;
+                b.next_act = b.next_act.max(now + t.t_rp);
+            }
+            CommandKind::Read => {
+                let data_start = now + t.t_cl;
+                self.bus_free = self.bus_free.max(data_start + bl);
+                self.last_data_rank = Some(cmd.rank);
+                {
+                    let b = &mut self.banks[idx];
+                    b.next_pre = b.next_pre.max(now + t.t_rtp);
+                }
+                // Same-rank CAS-to-CAS and read-to-write turnaround.
+                let rd_ok = now + t.t_ccd;
+                let wr_ok = (now + t.t_cl + bl + t.t_rtrs).saturating_sub(t.t_wl);
+                for i in rank_base..rank_base + self.banks_per_rank {
+                    let s = &mut self.banks[i];
+                    s.next_rd = s.next_rd.max(rd_ok);
+                    s.next_wr = s.next_wr.max(wr_ok);
+                }
+            }
+            CommandKind::Write => {
+                let data_start = now + t.t_wl;
+                self.bus_free = self.bus_free.max(data_start + bl);
+                self.last_data_rank = Some(cmd.rank);
+                {
+                    let b = &mut self.banks[idx];
+                    // Write recovery: PRE only after data end + tWR.
+                    b.next_pre = b.next_pre.max(now + t.t_wl + bl + t.t_wr);
+                }
+                let wr_ok = now + t.t_ccd;
+                let rd_ok = now + t.t_wl + bl + t.t_wtr;
+                for i in rank_base..rank_base + self.banks_per_rank {
+                    let s = &mut self.banks[i];
+                    s.next_wr = s.next_wr.max(wr_ok);
+                    s.next_rd = s.next_rd.max(rd_ok);
+                }
+            }
+            CommandKind::Refresh => {
+                for i in rank_base..rank_base + self.banks_per_rank {
+                    let s = &mut self.banks[i];
+                    s.next_act = s.next_act.max(now + t.t_rfc);
+                }
+                self.refresh_due[cmd.rank.index()] = now + t.t_refi;
+                self.refresh_pending[cmd.rank.index()] = false;
+            }
+        }
+    }
+
+    /// Marks refreshes that have fallen due by `now`; returns the ranks
+    /// (if any) with a pending refresh.
+    pub fn update_refresh(&mut self, now: DramCycle) -> Vec<RankId> {
+        let mut due = Vec::new();
+        for (r, (&d, pending)) in
+            self.refresh_due.iter().zip(self.refresh_pending.iter_mut()).enumerate()
+        {
+            if now >= d {
+                *pending = true;
+            }
+            if *pending {
+                due.push(RankId(r as u8));
+            }
+        }
+        due
+    }
+
+    /// Whether the given rank currently owes a refresh.
+    pub fn refresh_pending(&self, rank: RankId) -> bool {
+        self.refresh_pending[rank.index()]
+    }
+
+    /// Completion cycle of a CAS issued at `now` (when the full burst
+    /// has crossed the bus).
+    pub fn cas_done_at(&self, kind: CommandKind, now: DramCycle) -> DramCycle {
+        let t = &self.timing;
+        match kind {
+            CommandKind::Read => now + t.t_cl + t.burst_cycles(),
+            CommandKind::Write => now + t.t_wl + t.burst_cycles(),
+            _ => panic!("cas_done_at called for non-CAS command"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::DDR3_2133;
+    use critmem_common::BankId;
+
+    fn timing() -> TimingParams {
+        DDR3_2133.timing
+    }
+
+    fn cmd(kind: CommandKind, rank: u8, bank: u8, row: u32) -> DramCommand {
+        DramCommand { kind, rank: RankId(rank), bank: BankId(bank), row }
+    }
+
+    #[test]
+    fn fresh_bank_accepts_activate_immediately() {
+        let ct = ChannelTiming::new(4, 8, timing());
+        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Activate, 0, 0, 5)), Some(0));
+    }
+
+    #[test]
+    fn read_requires_open_matching_row() {
+        let mut ct = ChannelTiming::new(4, 8, timing());
+        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Read, 0, 0, 5)), None);
+        ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        // Open row 5: read row 5 OK after tRCD, row 6 impossible.
+        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Read, 0, 0, 5)), Some(timing().t_rcd));
+        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Read, 0, 0, 6)), None);
+    }
+
+    #[test]
+    fn act_to_pre_respects_tras() {
+        let mut ct = ChannelTiming::new(4, 8, timing());
+        ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 10);
+        let pre = cmd(CommandKind::Precharge, 0, 0, 0);
+        assert_eq!(ct.earliest_issue(&pre), Some(10 + timing().t_ras));
+    }
+
+    #[test]
+    fn row_cycle_time_between_activates() {
+        let mut ct = ChannelTiming::new(4, 8, timing());
+        ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        ct.issue(&cmd(CommandKind::Precharge, 0, 0, 0), timing().t_ras);
+        let act2 = cmd(CommandKind::Activate, 0, 0, 9);
+        // Constrained by both tRC (from ACT) and tRP (from PRE):
+        // tRAS + tRP = 50 = tRC here, so both give cycle 50.
+        assert_eq!(ct.earliest_issue(&act2), Some(timing().t_rc));
+    }
+
+    #[test]
+    fn trrd_applies_across_banks_same_rank_only() {
+        let mut ct = ChannelTiming::new(4, 8, timing());
+        ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Activate, 0, 1, 5)),
+            Some(timing().t_rrd)
+        );
+        // A different rank is unconstrained.
+        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Activate, 1, 0, 5)), Some(0));
+    }
+
+    #[test]
+    fn back_to_back_reads_respect_tccd() {
+        let mut ct = ChannelTiming::new(4, 8, timing());
+        ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        ct.issue(&cmd(CommandKind::Activate, 0, 1, 7), timing().t_rrd);
+        // Issue the first read late enough that both banks' tRCD has
+        // elapsed, so tCCD is the binding constraint for the second.
+        let t0 = 30;
+        ct.issue(&cmd(CommandKind::Read, 0, 0, 5), t0);
+        // Next read on any bank of the same rank waits tCCD.
+        let e = ct.earliest_issue(&cmd(CommandKind::Read, 0, 1, 7)).unwrap();
+        assert_eq!(e, t0 + timing().t_ccd);
+    }
+
+    #[test]
+    fn rank_switch_pays_trtrs_on_data_bus() {
+        let mut ct = ChannelTiming::new(4, 8, timing());
+        ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        ct.issue(&cmd(CommandKind::Activate, 1, 0, 5), 0);
+        let t0 = timing().t_rcd;
+        ct.issue(&cmd(CommandKind::Read, 0, 0, 5), t0);
+        // Read on rank 1: data may start only after bus_free + tRTRS.
+        // bus_free = t0 + tCL + 4. Issue time >= bus_free + tRTRS - tCL.
+        let e = ct.earliest_issue(&cmd(CommandKind::Read, 1, 0, 5)).unwrap();
+        let expect = t0 + timing().t_cl + 4 + timing().t_rtrs - timing().t_cl;
+        assert_eq!(e, expect);
+    }
+
+    #[test]
+    fn write_to_read_same_rank_pays_twtr() {
+        let mut ct = ChannelTiming::new(4, 8, timing());
+        ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        let t0 = timing().t_rcd;
+        ct.issue(&cmd(CommandKind::Write, 0, 0, 5), t0);
+        let e = ct.earliest_issue(&cmd(CommandKind::Read, 0, 0, 5)).unwrap();
+        assert_eq!(e, t0 + timing().t_wl + 4 + timing().t_wtr);
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let mut ct = ChannelTiming::new(4, 8, timing());
+        ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        let t0 = timing().t_rcd;
+        ct.issue(&cmd(CommandKind::Write, 0, 0, 5), t0);
+        let e = ct.earliest_issue(&cmd(CommandKind::Precharge, 0, 0, 0)).unwrap();
+        // PRE after write: tWL + burst + tWR, and also >= tRAS from ACT.
+        let expect = (t0 + timing().t_wl + 4 + timing().t_wr).max(timing().t_ras);
+        assert_eq!(e, expect);
+    }
+
+    #[test]
+    fn refresh_requires_all_banks_closed() {
+        let mut ct = ChannelTiming::new(2, 8, timing());
+        ct.issue(&cmd(CommandKind::Activate, 0, 3, 5), 0);
+        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Refresh, 0, 0, 0)), None);
+        ct.issue(&cmd(CommandKind::Precharge, 0, 3, 0), timing().t_ras);
+        let e = ct.earliest_issue(&cmd(CommandKind::Refresh, 0, 0, 0)).unwrap();
+        assert_eq!(e, timing().t_ras + timing().t_rp);
+    }
+
+    #[test]
+    fn refresh_blocks_rank_for_trfc() {
+        let mut ct = ChannelTiming::new(2, 8, timing());
+        ct.issue(&cmd(CommandKind::Refresh, 0, 0, 0), 100);
+        let e = ct.earliest_issue(&cmd(CommandKind::Activate, 0, 0, 1)).unwrap();
+        assert_eq!(e, 100 + timing().t_rfc);
+        // Other rank is unaffected.
+        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Activate, 1, 0, 1)), Some(0));
+    }
+
+    #[test]
+    fn refresh_becomes_pending_at_trefi() {
+        let mut ct = ChannelTiming::new(1, 8, timing());
+        assert!(ct.update_refresh(timing().t_refi - 1).is_empty());
+        let due = ct.update_refresh(timing().t_refi);
+        assert_eq!(due, vec![RankId(0)]);
+        assert!(ct.refresh_pending(RankId(0)));
+        // Issuing the refresh clears the pending flag and re-arms.
+        ct.issue(&cmd(CommandKind::Refresh, 0, 0, 0), timing().t_refi);
+        assert!(!ct.refresh_pending(RankId(0)));
+        assert!(ct.update_refresh(timing().t_refi + 10).is_empty());
+    }
+
+    #[test]
+    fn staggered_refresh_across_ranks() {
+        let ct = ChannelTiming::new(4, 8, timing());
+        // Ranks should not all refresh simultaneously.
+        let dues: Vec<u64> = (0..4).map(|r| ct.refresh_due[r]).collect();
+        let distinct: std::collections::HashSet<_> = dues.iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn cas_completion_times() {
+        let ct = ChannelTiming::new(1, 8, timing());
+        assert_eq!(ct.cas_done_at(CommandKind::Read, 100), 100 + 14 + 4);
+        assert_eq!(ct.cas_done_at(CommandKind::Write, 100), 100 + 7 + 4);
+    }
+
+    #[test]
+    fn activate_on_open_bank_is_illegal() {
+        let mut ct = ChannelTiming::new(1, 8, timing());
+        ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Activate, 0, 0, 6)), None);
+    }
+
+    #[test]
+    fn precharge_on_closed_bank_is_illegal() {
+        let ct = ChannelTiming::new(1, 8, timing());
+        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Precharge, 0, 0, 0)), None);
+    }
+}

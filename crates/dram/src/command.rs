@@ -1,0 +1,66 @@
+//! DRAM command vocabulary.
+
+use critmem_common::{BankId, RankId};
+
+/// A DRAM command kind as issued on the command bus.
+///
+/// `Read`/`Write` are the column (CAS) commands, `Activate` is the row
+/// (RAS) command, `Precharge` closes a row, and `Refresh` is the
+/// all-bank per-rank refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// Open (activate) a row in a bank.
+    Activate,
+    /// Close (precharge) a bank's open row.
+    Precharge,
+    /// Column read burst (CAS).
+    Read,
+    /// Column write burst (CAS-W).
+    Write,
+    /// All-bank refresh for one rank.
+    Refresh,
+}
+
+impl CommandKind {
+    /// Whether this is a column (CAS) command — the commands FR-FCFS
+    /// prioritizes first.
+    #[inline]
+    pub fn is_cas(self) -> bool {
+        matches!(self, CommandKind::Read | CommandKind::Write)
+    }
+
+    /// Whether this is the row-activate (RAS) command.
+    #[inline]
+    pub fn is_ras(self) -> bool {
+        matches!(self, CommandKind::Activate)
+    }
+}
+
+/// A fully specified command: what, where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramCommand {
+    /// Command kind.
+    pub kind: CommandKind,
+    /// Target rank.
+    pub rank: RankId,
+    /// Target bank (ignored for `Refresh`).
+    pub bank: BankId,
+    /// Target row (meaningful for `Activate` only).
+    pub row: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cas_classification() {
+        assert!(CommandKind::Read.is_cas());
+        assert!(CommandKind::Write.is_cas());
+        assert!(!CommandKind::Activate.is_cas());
+        assert!(!CommandKind::Precharge.is_cas());
+        assert!(!CommandKind::Refresh.is_cas());
+        assert!(CommandKind::Activate.is_ras());
+        assert!(!CommandKind::Read.is_ras());
+    }
+}

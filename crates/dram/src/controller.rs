@@ -1,0 +1,661 @@
+//! The per-channel memory controller: transaction queue management,
+//! refresh sequencing, read/write direction policy, candidate
+//! generation, and command issue.
+//!
+//! The controller is deliberately "lean" in the paper's sense: per DRAM
+//! cycle it generates the set of timing-ready commands and delegates the
+//! *choice* to a pluggable [`CommandScheduler`]. All criticality
+//! machinery lives in the scheduler and in the annotation carried by
+//! each transaction.
+
+use crate::bank::ChannelTiming;
+use crate::command::{CommandKind, DramCommand};
+use crate::config::DramConfig;
+use crate::mapping::DramLocation;
+use crate::queue::{Direction, Transaction};
+use crate::scheduler::{Candidate, CommandScheduler, SchedContext};
+use critmem_common::{ChannelId, DramCycle, MemRequest, RankId};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// A completed transaction handed back to the cache hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedTxn {
+    /// The original request.
+    pub req: MemRequest,
+    /// DRAM cycle at which the data burst finished.
+    pub done_at: DramCycle,
+    /// DRAM cycle at which the request entered the transaction queue.
+    pub arrival: DramCycle,
+}
+
+/// Aggregate statistics for one channel.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelStats {
+    /// Demand + prefetch reads completed.
+    pub reads_completed: u64,
+    /// Write-backs completed.
+    pub writes_completed: u64,
+    /// CAS commands that found their row already open.
+    pub row_hits: u64,
+    /// CAS commands that needed an ACTIVATE first (bank was closed).
+    pub row_misses: u64,
+    /// CAS commands that needed a PRECHARGE first (row conflict).
+    pub row_conflicts: u64,
+    /// Refresh commands issued.
+    pub refreshes: u64,
+    /// Total DRAM cycles simulated.
+    pub ticks: u64,
+    /// Sum over ticks of queue occupancy (for mean occupancy).
+    pub occupancy_sum: u64,
+    /// Ticks during which at least one queued read was flagged critical.
+    pub ticks_with_critical: u64,
+    /// Ticks during which more than one queued read was flagged critical.
+    pub ticks_with_multiple_critical: u64,
+    /// Sum of read service latencies (arrival to data) in DRAM cycles.
+    pub read_latency_sum: u64,
+    /// Number of starvation-cap promotions that occurred.
+    pub starvation_promotions: u64,
+    /// Transactions rejected because the queue was full.
+    pub rejected_full: u64,
+}
+
+impl ChannelStats {
+    /// Mean transaction-queue occupancy.
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.occupancy_sum as f64 / self.ticks as f64
+        }
+    }
+
+    /// Row-buffer hit rate among all CAS commands.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One DRAM channel: transaction queue + timing state + scheduler.
+pub struct ChannelController {
+    channel: ChannelId,
+    cfg: DramConfig,
+    timing: ChannelTiming,
+    queue: Vec<Transaction>,
+    inflight: BinaryHeap<Reverse<(DramCycle, u64)>>,
+    inflight_txns: Vec<(u64, CompletedTxn)>,
+    scheduler: Box<dyn CommandScheduler>,
+    now: DramCycle,
+    seq: u64,
+    direction: Direction,
+    draining: bool,
+    stats: ChannelStats,
+}
+
+impl std::fmt::Debug for ChannelController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelController")
+            .field("channel", &self.channel)
+            .field("now", &self.now)
+            .field("queue_len", &self.queue.len())
+            .field("scheduler", &self.scheduler.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChannelController {
+    /// Creates a controller for `channel` with the given scheduler.
+    pub fn new(channel: ChannelId, cfg: DramConfig, scheduler: Box<dyn CommandScheduler>) -> Self {
+        let timing = ChannelTiming::new(
+            cfg.org.ranks_per_channel as usize,
+            cfg.org.banks_per_rank as usize,
+            cfg.preset.timing,
+        );
+        ChannelController {
+            channel,
+            cfg,
+            timing,
+            queue: Vec::with_capacity(cfg.queue_capacity),
+            inflight: BinaryHeap::new(),
+            inflight_txns: Vec::new(),
+            scheduler,
+            now: 0,
+            seq: 0,
+            direction: Direction::Read,
+            draining: false,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Current DRAM cycle.
+    pub fn now(&self) -> DramCycle {
+        self.now
+    }
+
+    /// Number of queued transactions.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the transaction queue can accept another entry.
+    pub fn has_space(&self) -> bool {
+        self.queue.len() < self.cfg.queue_capacity
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &ChannelStats {
+        &self.stats
+    }
+
+    /// The scheduler's display name.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// Enqueues a request. Returns the request back if the queue is
+    /// full (the caller retries later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's address maps to a different channel.
+    pub fn enqueue(&mut self, req: MemRequest, loc: DramLocation) -> Result<(), MemRequest> {
+        assert_eq!(loc.channel, self.channel, "request routed to wrong channel");
+        if !self.has_space() {
+            self.stats.rejected_full += 1;
+            return Err(req);
+        }
+        let txn = Transaction::new(req, loc, self.now, self.seq);
+        self.seq += 1;
+        self.scheduler.on_enqueue(&txn, self.now);
+        self.queue.push(txn);
+        Ok(())
+    }
+
+    /// Raises the criticality annotation of an already-queued request,
+    /// identified by request id. Returns `true` if the request was
+    /// still queued. This models the §5.1 "naive" scheme where the
+    /// ROB-block event itself is forwarded to the controller over a
+    /// side channel.
+    pub fn promote_request(&mut self, id: critmem_common::ReqId, crit: critmem_common::Criticality) -> bool {
+        for txn in &mut self.queue {
+            if txn.req.id == id {
+                if crit > txn.req.crit {
+                    txn.req.crit = crit;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Raises the criticality of a queued read matching `(line
+    /// address, core)` — same purpose as [`Self::promote_request`]
+    /// when the sender only knows the address.
+    pub fn promote_by_addr(
+        &mut self,
+        addr: critmem_common::PhysAddr,
+        core: critmem_common::CoreId,
+        crit: critmem_common::Criticality,
+    ) -> bool {
+        for txn in &mut self.queue {
+            if txn.req.addr == addr && txn.req.core == core && txn.is_read() {
+                if crit > txn.req.crit {
+                    txn.req.crit = crit;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances the channel by one DRAM cycle; returns transactions
+    /// whose data finished transferring this cycle.
+    pub fn tick(&mut self) -> Vec<CompletedTxn> {
+        self.now += 1;
+        let now = self.now;
+        self.stats.ticks += 1;
+        self.stats.occupancy_sum += self.queue.len() as u64;
+        self.track_criticality_occupancy();
+        self.update_direction();
+
+        // Refresh has hard priority: a rank whose refresh has fallen
+        // due stops accepting new work until the REF has issued.
+        let pending_ranks = if self.cfg.refresh_enabled {
+            self.timing.update_refresh(now)
+        } else {
+            Vec::new()
+        };
+        let mut issued = false;
+        if !pending_ranks.is_empty() {
+            issued = self.try_refresh_sequence(&pending_ranks);
+        }
+
+        if !issued {
+            let candidates = self.build_candidates(&pending_ranks);
+            if !candidates.is_empty() {
+                let ctx = SchedContext {
+                    now,
+                    channel: self.channel,
+                    queue: &self.queue,
+                    timing: &self.timing,
+                    direction: self.direction,
+                };
+                self.scheduler.on_tick(&ctx);
+                if let Some(choice) = self.scheduler.select(&ctx, &candidates) {
+                    let cand = candidates[choice];
+                    self.issue_candidate(cand);
+                }
+            } else {
+                let ctx = SchedContext {
+                    now,
+                    channel: self.channel,
+                    queue: &self.queue,
+                    timing: &self.timing,
+                    direction: self.direction,
+                };
+                self.scheduler.on_tick(&ctx);
+            }
+        }
+
+        self.collect_completions()
+    }
+
+    fn track_criticality_occupancy(&mut self) {
+        let crit = self
+            .queue
+            .iter()
+            .filter(|t| t.is_read() && t.req.crit.is_critical())
+            .count();
+        if crit >= 1 {
+            self.stats.ticks_with_critical += 1;
+        }
+        if crit > 1 {
+            self.stats.ticks_with_multiple_critical += 1;
+        }
+    }
+
+    fn update_direction(&mut self) {
+        let writes = self.queue.iter().filter(|t| !t.is_read()).count();
+        let reads = self.queue.len() - writes;
+        match self.direction {
+            Direction::Read => {
+                if writes >= self.cfg.write_high_watermark {
+                    self.direction = Direction::Write;
+                    self.draining = true;
+                } else if reads == 0 && writes > 0 {
+                    self.direction = Direction::Write;
+                    self.draining = false;
+                }
+            }
+            Direction::Write => {
+                if writes == 0
+                    || (self.draining && writes <= self.cfg.write_low_watermark)
+                    || (!self.draining && reads > 0)
+                {
+                    self.direction = Direction::Read;
+                    self.draining = false;
+                }
+            }
+        }
+    }
+
+    /// Attempts to advance the refresh sequence for the first pending
+    /// rank; returns `true` if a command slot was consumed.
+    fn try_refresh_sequence(&mut self, pending: &[RankId]) -> bool {
+        let now = self.now;
+        for &rank in pending {
+            let refresh = DramCommand {
+                kind: CommandKind::Refresh,
+                rank,
+                bank: critmem_common::BankId(0),
+                row: 0,
+            };
+            if let Some(t) = self.timing.earliest_issue(&refresh) {
+                if t <= now {
+                    self.timing.issue(&refresh, now);
+                    self.stats.refreshes += 1;
+                    return true;
+                }
+                continue;
+            }
+            // Some bank is still open: precharge the first ready one.
+            let bpr = self.timing.banks_per_rank();
+            for b in 0..bpr {
+                let bank = critmem_common::BankId(b as u8);
+                if self.timing.bank(rank, bank).open_row.is_none() {
+                    continue;
+                }
+                let pre = DramCommand { kind: CommandKind::Precharge, rank, bank, row: 0 };
+                if let Some(t) = self.timing.earliest_issue(&pre) {
+                    if t <= now {
+                        self.timing.issue(&pre, now);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Generates the ready-command candidate list for this cycle.
+    ///
+    /// Starvation enforcement is the controller's job, not the
+    /// scheduler's (§3.2's 6,000-cycle cap): if any *ready* command
+    /// belongs to a transaction that has aged past the cap, only those
+    /// commands are offered to the scheduler, so even schedulers that
+    /// ignore the criticality annotation (plain FR-FCFS, AHB, …)
+    /// cannot starve a request indefinitely behind a stream of row
+    /// hits.
+    fn build_candidates(&mut self, refresh_ranks: &[RankId]) -> Vec<Candidate> {
+        let now = self.now;
+        let cap = self.cfg.starvation_cap;
+        // Count starvation promotions once per transaction.
+        for txn in &mut self.queue {
+            if !txn.starved && txn.age(now) > cap {
+                txn.starved = true;
+                self.stats.starvation_promotions += 1;
+            }
+        }
+        // One pass: which banks' open rows are still wanted by a
+        // same-direction transaction (so a PRE would waste row hits),
+        // and which banks have a starved transaction (those banks are
+        // quiesced: no non-starved work may issue there, or the
+        // starved PRE's tRTP window would keep sliding forever).
+        let bpr = self.timing.banks_per_rank();
+        let nbanks = self.timing.ranks() * bpr;
+        let mut open_row_wanted = vec![false; nbanks];
+        let mut starved_bank = vec![false; nbanks];
+        for txn in &self.queue {
+            if !txn.matches_direction(self.direction) {
+                continue;
+            }
+            let idx = txn.loc.rank.index() * bpr + txn.loc.bank.index();
+            if self.timing.bank(txn.loc.rank, txn.loc.bank).open_row == Some(txn.loc.row) {
+                open_row_wanted[idx] = true;
+            }
+            if txn.starved {
+                starved_bank[idx] = true;
+            }
+        }
+        let mut candidates = Vec::new();
+        for (i, txn) in self.queue.iter().enumerate() {
+            if !txn.matches_direction(self.direction) {
+                continue;
+            }
+            if refresh_ranks.contains(&txn.loc.rank) {
+                continue;
+            }
+            // Bank quiescence for the starvation cap (§3.2).
+            let idx = txn.loc.rank.index() * bpr + txn.loc.bank.index();
+            if starved_bank[idx] && !txn.starved {
+                continue;
+            }
+            let crit = txn.effective_criticality(now, cap);
+            let bank_state = self.timing.bank(txn.loc.rank, txn.loc.bank);
+            let (kind, row_hit) = match bank_state.open_row {
+                Some(r) if r == txn.loc.row => {
+                    let k = if txn.is_read() { CommandKind::Read } else { CommandKind::Write };
+                    (k, true)
+                }
+                Some(_) => {
+                    // Row conflict: precharge, but not while another
+                    // serviceable transaction still wants the open row
+                    // — unless this transaction is starved, in which
+                    // case it may close the row regardless.
+                    let idx = txn.loc.rank.index() * bpr + txn.loc.bank.index();
+                    if open_row_wanted[idx] && !txn.starved {
+                        continue;
+                    }
+                    (CommandKind::Precharge, false)
+                }
+                None => (CommandKind::Activate, false),
+            };
+            let cmd = DramCommand { kind, rank: txn.loc.rank, bank: txn.loc.bank, row: txn.loc.row };
+            if let Some(t) = self.timing.earliest_issue(&cmd) {
+                if t <= now {
+                    candidates.push(Candidate { txn: i, cmd, row_hit, crit });
+                }
+            }
+        }
+        candidates
+    }
+
+    fn issue_candidate(&mut self, cand: Candidate) {
+        let now = self.now;
+        self.timing.issue(&cand.cmd, now);
+        match cand.cmd.kind {
+            CommandKind::Activate => {
+                self.queue[cand.txn].caused_activate = true;
+            }
+            CommandKind::Precharge => {
+                self.queue[cand.txn].caused_precharge = true;
+            }
+            CommandKind::Read | CommandKind::Write => {
+                let txn = self.queue.swap_remove(cand.txn);
+                if txn.caused_precharge {
+                    self.stats.row_conflicts += 1;
+                } else if txn.caused_activate {
+                    self.stats.row_misses += 1;
+                } else {
+                    self.stats.row_hits += 1;
+                }
+                let done_at = self.timing.cas_done_at(cand.cmd.kind, now);
+                self.scheduler.on_complete(&txn, now);
+                let completed = CompletedTxn { req: txn.req, done_at, arrival: txn.arrival };
+                let key = self.seq;
+                self.seq += 1;
+                self.inflight.push(Reverse((done_at, key)));
+                self.inflight_txns.push((key, completed));
+            }
+            CommandKind::Refresh => unreachable!("refresh issued outside candidate path"),
+        }
+    }
+
+    fn collect_completions(&mut self) -> Vec<CompletedTxn> {
+        let now = self.now;
+        let mut out = Vec::new();
+        while let Some(&Reverse((done, key))) = self.inflight.peek() {
+            if done > now {
+                break;
+            }
+            self.inflight.pop();
+            let pos = self
+                .inflight_txns
+                .iter()
+                .position(|(k, _)| *k == key)
+                .expect("in-flight bookkeeping out of sync");
+            let (_, txn) = self.inflight_txns.swap_remove(pos);
+            if txn.req.kind.is_read() {
+                self.stats.reads_completed += 1;
+                self.stats.read_latency_sum += txn.done_at - txn.arrival;
+            } else {
+                self.stats.writes_completed += 1;
+            }
+            out.push(txn);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{AddressMapping, Interleaving};
+    use crate::scheduler::Fcfs;
+    use critmem_common::{AccessKind, CoreId};
+
+    fn controller() -> (ChannelController, AddressMapping) {
+        let cfg = DramConfig::paper_baseline();
+        let map = AddressMapping::new(cfg.org, Interleaving::Page);
+        (ChannelController::new(ChannelId(0), cfg, Box::new(Fcfs::new())), map)
+    }
+
+    fn read_req(id: u64, addr: u64) -> MemRequest {
+        MemRequest::new(id, addr, AccessKind::Read, CoreId(0))
+    }
+
+    #[test]
+    fn single_read_completes_with_expected_latency() {
+        let (mut ctl, map) = controller();
+        let addr = 0u64;
+        ctl.enqueue(read_req(1, addr), map.locate(addr)).unwrap();
+        let mut done = None;
+        for _ in 0..200 {
+            let completions = ctl.tick();
+            if let Some(c) = completions.into_iter().next() {
+                done = Some(c);
+                break;
+            }
+        }
+        let c = done.expect("read never completed");
+        // Closed bank: ACT at cycle 1, READ at 1+tRCD, data at +tCL+4.
+        let t = DDR3_2133_T;
+        assert_eq!(c.done_at, 1 + t.0 + t.1 + 4);
+        assert_eq!(c.req.id, 1);
+    }
+
+    const DDR3_2133_T: (u64, u64) = (14, 14); // (tRCD, tCL)
+
+    #[test]
+    fn row_hit_second_read_is_faster() {
+        let (mut ctl, map) = controller();
+        ctl.enqueue(read_req(1, 0), map.locate(0)).unwrap();
+        ctl.enqueue(read_req(2, 64), map.locate(64)).unwrap();
+        let mut done = Vec::new();
+        for _ in 0..200 {
+            done.extend(ctl.tick());
+            if done.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 2);
+        assert_eq!(ctl.stats().row_hits, 1);
+        // Second read issues tCCD after the first, not tRCD.
+        let gap = done[1].done_at - done[0].done_at;
+        assert_eq!(gap, 4); // tCCD
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let (mut ctl, map) = controller();
+        for i in 0..64 {
+            ctl.enqueue(read_req(i, i * 4096), map.locate(0)).unwrap_or_else(|_| {
+                panic!("queue should accept 64 entries, failed at {i}")
+            });
+        }
+        assert!(ctl.enqueue(read_req(99, 0), map.locate(0)).is_err());
+        assert_eq!(ctl.stats().rejected_full, 1);
+    }
+
+    #[test]
+    fn writes_drain_when_no_reads() {
+        let (mut ctl, map) = controller();
+        let req = MemRequest::new(1, 0, AccessKind::Write, CoreId(0));
+        ctl.enqueue(req, map.locate(0)).unwrap();
+        let mut done = Vec::new();
+        for _ in 0..200 {
+            done.extend(ctl.tick());
+            if !done.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(ctl.stats().writes_completed, 1);
+    }
+
+    #[test]
+    fn reads_prioritized_over_writes_below_watermark() {
+        let (mut ctl, map) = controller();
+        // One write, then a read: the read should finish first because
+        // the controller stays in read mode.
+        let w = MemRequest::new(1, 4096, AccessKind::Write, CoreId(0));
+        ctl.enqueue(w, map.locate(4096)).unwrap();
+        ctl.enqueue(read_req(2, 0), map.locate(0)).unwrap();
+        let mut order = Vec::new();
+        for _ in 0..500 {
+            for c in ctl.tick() {
+                order.push(c.req.id);
+            }
+            if order.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(order, vec![2, 1]);
+    }
+
+    #[test]
+    fn refresh_eventually_issues() {
+        let (mut ctl, _map) = controller();
+        let trefi = 8_328u64;
+        for _ in 0..trefi + 200 {
+            ctl.tick();
+        }
+        assert!(ctl.stats().refreshes >= 1, "no refresh after tREFI");
+    }
+
+    #[test]
+    fn starvation_cap_promotes_old_requests() {
+        // A stream of row hits to bank 0 must not starve a conflicting
+        // request forever once the cap kicks in.
+        let mut cfg = DramConfig::paper_baseline();
+        cfg.starvation_cap = 200;
+        cfg.refresh_enabled = false;
+        let map = AddressMapping::new(cfg.org, Interleaving::Page);
+        let mut ctl = ChannelController::new(ChannelId(0), cfg, Box::new(Fcfs::new()));
+        let victim = 16 * 1024 * 1024; // same bank, different row (big offset)
+        let vloc = map.locate(victim);
+        let base = map.locate(0);
+        assert_eq!(vloc.channel, base.channel);
+        ctl.enqueue(read_req(1, victim), vloc).unwrap();
+        let mut completed = false;
+        for i in 0..4_000u64 {
+            for c in ctl.tick() {
+                if c.req.id == 1 {
+                    completed = true;
+                }
+            }
+            if completed {
+                break;
+            }
+            // Keep feeding row hits to row 0 (FCFS will serve oldest
+            // first anyway; this exercises the promotion accounting).
+            if i % 8 == 0 {
+                let addr = (i % 16) * 64;
+                let _ = ctl.enqueue(read_req(100 + i, addr), map.locate(addr));
+            }
+        }
+        assert!(completed, "victim request starved");
+    }
+
+    #[test]
+    fn occupancy_tracks_queue() {
+        let (mut ctl, map) = controller();
+        ctl.enqueue(read_req(1, 0), map.locate(0)).unwrap();
+        ctl.tick();
+        assert!(ctl.stats().occupancy_sum >= 1);
+        assert_eq!(ctl.stats().ticks, 1);
+    }
+}
+
+#[cfg(test)]
+mod refresh_gate_tests {
+    use super::*;
+    use crate::scheduler::Fcfs;
+    use critmem_common::ChannelId;
+
+    #[test]
+    fn disabling_refresh_suppresses_ref_commands() {
+        let mut cfg = DramConfig::paper_baseline();
+        cfg.refresh_enabled = false;
+        let mut ctl = ChannelController::new(ChannelId(0), cfg, Box::new(Fcfs::new()));
+        for _ in 0..cfg.preset.timing.t_refi * 3 {
+            ctl.tick();
+        }
+        assert_eq!(ctl.stats().refreshes, 0);
+    }
+}

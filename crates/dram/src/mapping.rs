@@ -1,0 +1,225 @@
+//! Physical-address to DRAM-coordinate mapping.
+//!
+//! The paper's configuration uses *page interleaving* (Table 3):
+//! consecutive addresses stay within one row buffer until the row is
+//! exhausted, and consecutive rows are spread across channels, then
+//! banks, then ranks. This maximizes row-buffer locality for streaming
+//! access patterns, which is what makes FR-FCFS's CAS-over-RAS rule
+//! profitable.
+//!
+//! A cache-line interleaving alternative is provided for the ablation
+//! benches (design decision 5 in DESIGN.md).
+
+use crate::config::DramOrganization;
+use critmem_common::{BankId, ChannelId, PhysAddr, RankId};
+
+/// Where a physical address lands in the DRAM system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramLocation {
+    /// Channel servicing the address.
+    pub channel: ChannelId,
+    /// Rank within the channel.
+    pub rank: RankId,
+    /// Bank within the rank.
+    pub bank: BankId,
+    /// Row within the bank.
+    pub row: u32,
+    /// Column (cache-line granularity) within the row.
+    pub column: u32,
+}
+
+/// Interleaving policy for splitting an address into DRAM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Interleaving {
+    /// Row bits above channel/bank/rank bits: a whole row's worth of
+    /// consecutive addresses map to the same bank (the paper's policy).
+    #[default]
+    Page,
+    /// Channel/bank bits directly above the line offset: consecutive
+    /// lines round-robin across channels and banks.
+    CacheLine,
+}
+
+/// Address mapper for a given DRAM organization.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_dram::{AddressMapping, DramOrganization, Interleaving};
+///
+/// let org = DramOrganization::paper_baseline();
+/// let map = AddressMapping::new(org, Interleaving::Page);
+/// let a = map.locate(0x0000);
+/// let b = map.locate(0x0040); // next cache line
+/// // Page interleaving: same row, adjacent column.
+/// assert_eq!(a.row, b.row);
+/// assert_eq!(a.bank, b.bank);
+/// assert_eq!(b.column, a.column + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    org: DramOrganization,
+    interleaving: Interleaving,
+    line_bits: u32,
+    col_bits: u32,
+    chan_bits: u32,
+    bank_bits: u32,
+    rank_bits: u32,
+}
+
+impl AddressMapping {
+    /// Builds a mapper for the organization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension of the organization is not a power of
+    /// two (hardware address slicing requires it).
+    pub fn new(org: DramOrganization, interleaving: Interleaving) -> Self {
+        let pow2 = |n: u64, what: &str| -> u32 {
+            assert!(n.is_power_of_two(), "{what} ({n}) must be a power of two");
+            n.trailing_zeros()
+        };
+        let line_bits = pow2(org.line_bytes, "line size");
+        let lines_per_row = org.row_bytes / org.line_bytes;
+        AddressMapping {
+            org,
+            interleaving,
+            line_bits,
+            col_bits: pow2(lines_per_row, "lines per row"),
+            chan_bits: pow2(org.channels as u64, "channel count"),
+            bank_bits: pow2(org.banks_per_rank as u64, "banks per rank"),
+            rank_bits: pow2(org.ranks_per_channel as u64, "ranks per channel"),
+        }
+    }
+
+    /// The organization this mapper was built for.
+    pub fn organization(&self) -> DramOrganization {
+        self.org
+    }
+
+    /// Maps a physical address to its DRAM coordinates.
+    pub fn locate(&self, addr: PhysAddr) -> DramLocation {
+        let mut a = addr >> self.line_bits;
+        let mut take = |bits: u32| -> u64 {
+            let v = a & ((1u64 << bits) - 1);
+            a >>= bits;
+            v
+        };
+        match self.interleaving {
+            Interleaving::Page => {
+                let column = take(self.col_bits) as u32;
+                let channel = ChannelId(take(self.chan_bits) as u8);
+                let bank = BankId(take(self.bank_bits) as u8);
+                let rank = RankId(take(self.rank_bits) as u8);
+                let row = (a & 0xFFFF_FFFF) as u32;
+                DramLocation { channel, rank, bank, row, column }
+            }
+            Interleaving::CacheLine => {
+                let channel = ChannelId(take(self.chan_bits) as u8);
+                let bank = BankId(take(self.bank_bits) as u8);
+                let rank = RankId(take(self.rank_bits) as u8);
+                let column = take(self.col_bits) as u32;
+                let row = (a & 0xFFFF_FFFF) as u32;
+                DramLocation { channel, rank, bank, row, column }
+            }
+        }
+    }
+
+    /// Number of cache lines per row buffer (16 for 1 KB rows of 64 B
+    /// lines).
+    pub fn lines_per_row(&self) -> u64 {
+        1u64 << self.col_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> AddressMapping {
+        AddressMapping::new(DramOrganization::paper_baseline(), Interleaving::Page)
+    }
+
+    #[test]
+    fn sixteen_lines_per_1kb_row() {
+        assert_eq!(baseline().lines_per_row(), 16);
+    }
+
+    #[test]
+    fn page_interleave_keeps_row_until_exhausted() {
+        let m = baseline();
+        let first = m.locate(0);
+        for line in 1..16u64 {
+            let loc = m.locate(line * 64);
+            assert_eq!(loc.row, first.row);
+            assert_eq!(loc.bank, first.bank);
+            assert_eq!(loc.rank, first.rank);
+            assert_eq!(loc.channel, first.channel);
+            assert_eq!(loc.column, line as u32);
+        }
+        // The 17th line moves to the next channel (page interleaving).
+        let next = m.locate(16 * 64);
+        assert_ne!(next.channel, first.channel);
+        assert_eq!(next.column, 0);
+    }
+
+    #[test]
+    fn page_interleave_walks_channels_then_banks_then_ranks() {
+        let m = baseline();
+        let row_bytes = 1024u64;
+        // 4 channels: pages 0..4 hit channels 0..4.
+        for ch in 0..4u64 {
+            assert_eq!(m.locate(ch * row_bytes).channel, ChannelId(ch as u8));
+        }
+        // After all channels, the bank advances.
+        let loc = m.locate(4 * row_bytes);
+        assert_eq!(loc.channel, ChannelId(0));
+        assert_eq!(loc.bank, BankId(1));
+        // After 4 channels x 8 banks, the rank advances.
+        let loc = m.locate(32 * row_bytes);
+        assert_eq!(loc.bank, BankId(0));
+        assert_eq!(loc.rank, RankId(1));
+        // After 4 x 8 x 4, the row advances.
+        let loc = m.locate(128 * row_bytes);
+        assert_eq!(loc.rank, RankId(0));
+        assert_eq!(loc.row, 1);
+    }
+
+    #[test]
+    fn cache_line_interleave_round_robins_channels() {
+        let m = AddressMapping::new(DramOrganization::paper_baseline(), Interleaving::CacheLine);
+        for line in 0..8u64 {
+            let loc = m.locate(line * 64);
+            assert_eq!(loc.channel, ChannelId((line % 4) as u8));
+        }
+    }
+
+    #[test]
+    fn distinct_addresses_distinct_locations() {
+        let m = baseline();
+        let a = m.locate(0x1234_5678 & !63);
+        let b = m.locate((0x1234_5678 & !63) + 64);
+        assert_ne!((a.row, a.column, a.bank.0, a.rank.0, a.channel.0),
+                   (b.row, b.column, b.bank.0, b.rank.0, b.channel.0));
+    }
+
+    #[test]
+    fn two_channel_multiprogrammed_organization() {
+        let mut org = DramOrganization::paper_baseline();
+        org.channels = 2;
+        let m = AddressMapping::new(org, Interleaving::Page);
+        let a = m.locate(1024);
+        let b = m.locate(2 * 1024);
+        assert_eq!(a.channel, ChannelId(1));
+        assert_eq!(b.channel, ChannelId(0));
+        assert_eq!(b.bank, BankId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut org = DramOrganization::paper_baseline();
+        org.channels = 3;
+        let _ = AddressMapping::new(org, Interleaving::Page);
+    }
+}

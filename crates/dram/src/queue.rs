@@ -1,0 +1,144 @@
+//! The per-channel transaction queue entry.
+
+use crate::mapping::DramLocation;
+use critmem_common::{AccessKind, Criticality, DramCycle, MemRequest, ThreadId};
+
+/// A memory transaction waiting in (or moving through) a channel's
+/// transaction queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// The originating request (carries the criticality annotation).
+    pub req: MemRequest,
+    /// Decoded DRAM coordinates.
+    pub loc: DramLocation,
+    /// DRAM cycle at which the transaction entered the queue — the
+    /// "sequence number" the FR-FCFS age comparator uses.
+    pub arrival: DramCycle,
+    /// Monotonic arrival sequence number (ties in `arrival` are broken
+    /// by insertion order).
+    pub seq: u64,
+    /// Whether an ACTIVATE has been issued on behalf of this
+    /// transaction since it arrived (used for row-hit accounting).
+    pub caused_activate: bool,
+    /// Whether a PRECHARGE (row conflict) was issued on its behalf.
+    pub caused_precharge: bool,
+    /// Whether the starvation cap has already promoted this
+    /// transaction (so the promotion is counted once).
+    pub starved: bool,
+}
+
+impl Transaction {
+    /// Creates a queued transaction.
+    pub fn new(req: MemRequest, loc: DramLocation, arrival: DramCycle, seq: u64) -> Self {
+        Transaction {
+            req,
+            loc,
+            arrival,
+            seq,
+            caused_activate: false,
+            caused_precharge: false,
+            starved: false,
+        }
+    }
+
+    /// The issuing thread (== core in this simulator).
+    #[inline]
+    pub fn thread(&self) -> ThreadId {
+        ThreadId::from(self.req.core)
+    }
+
+    /// Whether this transaction moves data toward the processor.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        self.req.kind.is_read()
+    }
+
+    /// Age of the transaction in DRAM cycles.
+    #[inline]
+    pub fn age(&self, now: DramCycle) -> u64 {
+        now.saturating_sub(self.arrival)
+    }
+
+    /// The criticality the scheduler should act on: the annotation from
+    /// the processor side, overridden to the maximum once the
+    /// starvation cap has been exceeded (§3.2).
+    #[inline]
+    pub fn effective_criticality(&self, now: DramCycle, starvation_cap: u64) -> Criticality {
+        if self.age(now) > starvation_cap {
+            Criticality::ranked(u64::MAX)
+        } else {
+            self.req.crit
+        }
+    }
+
+    /// Whether this transaction is eligible in the given service
+    /// direction (prefetches ride with reads).
+    #[inline]
+    pub fn matches_direction(&self, dir: Direction) -> bool {
+        match dir {
+            Direction::Read => self.req.kind.is_read(),
+            Direction::Write => self.req.kind == AccessKind::Write,
+        }
+    }
+}
+
+/// Which kind of transactions the controller is currently servicing.
+///
+/// Reads are serviced preferentially; writes are buffered and drained
+/// in batches (watermark policy) to amortize bus-turnaround penalties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Servicing demand reads and prefetches.
+    Read,
+    /// Draining buffered write-backs.
+    Write,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critmem_common::{BankId, ChannelId, CoreId, RankId};
+
+    fn txn(kind: AccessKind, arrival: DramCycle, crit: Criticality) -> Transaction {
+        let req = MemRequest::new(1, 0x40, kind, CoreId(0)).with_criticality(crit);
+        let loc = DramLocation {
+            channel: ChannelId(0),
+            rank: RankId(0),
+            bank: BankId(0),
+            row: 0,
+            column: 1,
+        };
+        Transaction::new(req, loc, arrival, 0)
+    }
+
+    #[test]
+    fn age_saturates() {
+        let t = txn(AccessKind::Read, 100, Criticality::non_critical());
+        assert_eq!(t.age(50), 0);
+        assert_eq!(t.age(150), 50);
+    }
+
+    #[test]
+    fn starvation_cap_promotes_to_max() {
+        let t = txn(AccessKind::Read, 0, Criticality::non_critical());
+        assert!(!t.effective_criticality(6_000, 6_000).is_critical());
+        let c = t.effective_criticality(6_001, 6_000);
+        assert_eq!(c.magnitude(), u64::MAX);
+    }
+
+    #[test]
+    fn starvation_preserves_annotation_before_cap() {
+        let t = txn(AccessKind::Read, 0, Criticality::ranked(7));
+        assert_eq!(t.effective_criticality(100, 6_000).magnitude(), 7);
+    }
+
+    #[test]
+    fn prefetch_rides_with_reads() {
+        let t = txn(AccessKind::Prefetch, 0, Criticality::non_critical());
+        assert!(t.matches_direction(Direction::Read));
+        assert!(!t.matches_direction(Direction::Write));
+        let w = txn(AccessKind::Write, 0, Criticality::non_critical());
+        assert!(w.matches_direction(Direction::Write));
+        assert!(!w.matches_direction(Direction::Read));
+    }
+}

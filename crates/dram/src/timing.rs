@@ -1,0 +1,247 @@
+//! DDR3 timing parameters and device presets.
+//!
+//! The baseline preset reproduces Table 3 of the paper (Micron
+//! DDR3-2133, quad-rank, eight banks per rank, 1 KB row buffer, burst
+//! length 8). DDR3-1600 and DDR3-1066 presets support the Figure 8 rank
+//! sweep and the paper's note that trends hold on slower parts.
+//!
+//! All parameters are in DRAM (bus) clock cycles. A DDR3-2133 part runs
+//! its bus at 1,066 MHz and transfers data on both edges.
+
+/// The set of JEDEC-style timing constraints the bank state machines
+/// enforce, in DRAM cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingParams {
+    /// ACT to internal read/write (RAS-to-CAS delay).
+    pub t_rcd: u64,
+    /// CAS latency: READ to first data beat.
+    pub t_cl: u64,
+    /// Write latency: WRITE to first data beat.
+    pub t_wl: u64,
+    /// CAS-to-CAS delay (same rank).
+    pub t_ccd: u64,
+    /// Write-to-read turnaround (same rank), from end of write data.
+    pub t_wtr: u64,
+    /// Write recovery: end of write data to PRECHARGE.
+    pub t_wr: u64,
+    /// READ to PRECHARGE.
+    pub t_rtp: u64,
+    /// PRECHARGE to ACT (row precharge time).
+    pub t_rp: u64,
+    /// ACT to ACT, different banks of the same rank.
+    pub t_rrd: u64,
+    /// Rank-to-rank data-bus switch penalty.
+    pub t_rtrs: u64,
+    /// ACT to PRECHARGE (row active time).
+    pub t_ras: u64,
+    /// ACT to ACT, same bank (row cycle time).
+    pub t_rc: u64,
+    /// REFRESH cycle time (rank busy after REF).
+    pub t_rfc: u64,
+    /// Average refresh interval: 8,192 refresh commands every 64 ms.
+    pub t_refi: u64,
+    /// Burst length in bus transfers (8 for DDR3); data occupies the
+    /// bus for `burst_len / 2` DRAM cycles.
+    pub burst_len: u64,
+}
+
+impl TimingParams {
+    /// Number of DRAM cycles one data burst occupies the bus.
+    #[inline]
+    pub fn burst_cycles(&self) -> u64 {
+        self.burst_len / 2
+    }
+
+    /// Validates internal consistency (e.g. `tRAS + tRP <= tRC` is the
+    /// usual JEDEC relation, `tRC >= tRAS`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// relation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.t_rc < self.t_ras {
+            return Err(format!("tRC ({}) must be >= tRAS ({})", self.t_rc, self.t_ras));
+        }
+        if self.burst_len == 0 || self.burst_len % 2 != 0 {
+            return Err(format!("burst length ({}) must be a positive even number", self.burst_len));
+        }
+        if self.t_refi <= self.t_rfc {
+            return Err(format!("tREFI ({}) must exceed tRFC ({})", self.t_refi, self.t_rfc));
+        }
+        for (name, v) in [
+            ("tRCD", self.t_rcd),
+            ("tCL", self.t_cl),
+            ("tWL", self.t_wl),
+            ("tCCD", self.t_ccd),
+            ("tRP", self.t_rp),
+            ("tRAS", self.t_ras),
+        ] {
+            if v == 0 {
+                return Err(format!("{name} must be nonzero"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A DDR3 speed grade with its bus frequency and timing set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevicePreset {
+    /// Human-readable name, e.g. `"DDR3-2133"`.
+    pub name: &'static str,
+    /// Bus (command) clock in MHz; the data rate is twice this.
+    pub bus_mhz: u64,
+    /// Timing constraints at this speed grade.
+    pub timing: TimingParams,
+}
+
+/// Micron DDR3-2133 exactly as listed in Table 3 of the paper.
+pub const DDR3_2133: DevicePreset = DevicePreset {
+    name: "DDR3-2133",
+    bus_mhz: 1_066,
+    timing: TimingParams {
+        t_rcd: 14,
+        t_cl: 14,
+        t_wl: 7,
+        t_ccd: 4,
+        t_wtr: 8,
+        t_wr: 16,
+        t_rtp: 8,
+        t_rp: 14,
+        t_rrd: 6,
+        t_rtrs: 2,
+        t_ras: 36,
+        t_rc: 50,
+        t_rfc: 118,
+        // 64 ms / 8,192 refreshes = 7.8125 us; at 1,066 MHz that is
+        // 8,328 DRAM cycles.
+        t_refi: 8_328,
+        burst_len: 8,
+    },
+};
+
+/// DDR3-1600 (800 MHz bus), scaled from the same Micron part family.
+pub const DDR3_1600: DevicePreset = DevicePreset {
+    name: "DDR3-1600",
+    bus_mhz: 800,
+    timing: TimingParams {
+        t_rcd: 11,
+        t_cl: 11,
+        t_wl: 6,
+        t_ccd: 4,
+        t_wtr: 6,
+        t_wr: 12,
+        t_rtp: 6,
+        t_rp: 11,
+        t_rrd: 5,
+        t_rtrs: 2,
+        t_ras: 28,
+        t_rc: 39,
+        t_rfc: 88,
+        t_refi: 6_250,
+        burst_len: 8,
+    },
+};
+
+/// DDR3-1066 (533 MHz bus) — the speed grade the original MORSE design
+/// targeted; the paper reports its trends hold here too.
+pub const DDR3_1066: DevicePreset = DevicePreset {
+    name: "DDR3-1066",
+    bus_mhz: 533,
+    timing: TimingParams {
+        t_rcd: 7,
+        t_cl: 7,
+        t_wl: 4,
+        t_ccd: 4,
+        t_wtr: 4,
+        t_wr: 8,
+        t_rtp: 4,
+        t_rp: 7,
+        t_rrd: 4,
+        t_rtrs: 2,
+        t_ras: 20,
+        t_rc: 27,
+        t_rfc: 59,
+        t_refi: 4_164,
+        burst_len: 8,
+    },
+};
+
+/// Looks a preset up by name (`"DDR3-2133"`, `"DDR3-1600"`,
+/// `"DDR3-1066"`). Returns `None` for unknown names.
+pub fn preset_by_name(name: &str) -> Option<DevicePreset> {
+    match name {
+        "DDR3-2133" => Some(DDR3_2133),
+        "DDR3-1600" => Some(DDR3_1600),
+        "DDR3-1066" => Some(DDR3_1066),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for p in [DDR3_2133, DDR3_1600, DDR3_1066] {
+            p.timing.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn table3_values() {
+        let t = DDR3_2133.timing;
+        assert_eq!(t.t_rcd, 14);
+        assert_eq!(t.t_cl, 14);
+        assert_eq!(t.t_wl, 7);
+        assert_eq!(t.t_ccd, 4);
+        assert_eq!(t.t_wtr, 8);
+        assert_eq!(t.t_wr, 16);
+        assert_eq!(t.t_rtp, 8);
+        assert_eq!(t.t_rp, 14);
+        assert_eq!(t.t_rrd, 6);
+        assert_eq!(t.t_rtrs, 2);
+        assert_eq!(t.t_ras, 36);
+        assert_eq!(t.t_rc, 50);
+        assert_eq!(t.t_rfc, 118);
+        assert_eq!(t.burst_len, 8);
+        assert_eq!(DDR3_2133.bus_mhz, 1_066);
+    }
+
+    #[test]
+    fn burst_occupies_four_cycles() {
+        assert_eq!(DDR3_2133.timing.burst_cycles(), 4);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(preset_by_name("DDR3-2133"), Some(DDR3_2133));
+        assert_eq!(preset_by_name("DDR3-1600"), Some(DDR3_1600));
+        assert_eq!(preset_by_name("DDR4-3200"), None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut t = DDR3_2133.timing;
+        t.t_rc = 10; // < tRAS
+        assert!(t.validate().is_err());
+        let mut t = DDR3_2133.timing;
+        t.burst_len = 7;
+        assert!(t.validate().is_err());
+        let mut t = DDR3_2133.timing;
+        t.t_refi = 100; // < tRFC
+        assert!(t.validate().is_err());
+        let mut t = DDR3_2133.timing;
+        t.t_rcd = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn refresh_interval_is_64ms_over_8192() {
+        // 7.8125 us at 1,066 MHz.
+        let expect = (7.8125e-6 * 1_066e6) as u64;
+        assert!((DDR3_2133.timing.t_refi as i64 - expect as i64).abs() <= 2);
+    }
+}

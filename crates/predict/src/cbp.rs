@@ -1,0 +1,401 @@
+//! The Commit Block Predictor (CBP) — §3 of the paper.
+//!
+//! A per-core, PC-indexed, tagless, direct-mapped table. When a load
+//! blocks at the ROB head, counter logic next to the commit stage
+//! measures the stall; when the stalled load finally commits, the
+//! observed value is written to the table under one of five metrics.
+//! When a later dynamic load issues, its PC indexes the table and the
+//! stored value travels with the memory request as its criticality
+//! magnitude.
+//!
+//! Because the table is tagless, different static loads alias onto the
+//! same entry; §5.3.1–5.3.2 of the paper study the resulting
+//! mispredictions and the periodic-reset mitigation, both of which are
+//! modeled here.
+
+use critmem_common::{Criticality, CpuCycle, Histogram, Pc};
+use std::collections::HashMap;
+
+/// How a ROB-head block is recorded into the CBP (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CbpMetric {
+    /// A single saturating bit: "this load has blocked before".
+    Binary,
+    /// Number of times the load has blocked the ROB head.
+    BlockCount,
+    /// The most recent observed stall duration (cycles).
+    LastStallTime,
+    /// The largest observed stall duration (cycles) — the paper's
+    /// best-performing metric (+9.3% average).
+    MaxStallTime,
+    /// Accumulated stall cycles over the whole execution.
+    TotalStallTime,
+}
+
+impl CbpMetric {
+    /// All five metrics, in the order the paper presents them.
+    pub const ALL: [CbpMetric; 5] = [
+        CbpMetric::Binary,
+        CbpMetric::BlockCount,
+        CbpMetric::LastStallTime,
+        CbpMetric::MaxStallTime,
+        CbpMetric::TotalStallTime,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CbpMetric::Binary => "Binary",
+            CbpMetric::BlockCount => "BlockCount",
+            CbpMetric::LastStallTime => "LastStallTime",
+            CbpMetric::MaxStallTime => "MaxStallTime",
+            CbpMetric::TotalStallTime => "TotalStallTime",
+        }
+    }
+}
+
+impl std::fmt::Display for CbpMetric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// CBP table geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableSize {
+    /// A direct-mapped, tagless table with this many entries (must be a
+    /// power of two). The paper sweeps 64 / 256 / 1,024.
+    Entries(usize),
+    /// The paper's idealized fully-associative table with unbounded
+    /// entries — no aliasing.
+    Unlimited,
+}
+
+/// Observation statistics used by Table 5 (counter widths) and the
+/// aliasing analysis of §5.3.2.
+#[derive(Debug, Clone, Default)]
+pub struct CbpStats {
+    /// Distribution of values written to the table.
+    pub written_values: Histogram,
+    /// Lookups that returned "critical".
+    pub critical_predictions: u64,
+    /// Total lookups.
+    pub lookups: u64,
+    /// Table resets performed.
+    pub resets: u64,
+    /// Distinct static PCs that ever blocked the ROB head.
+    pub static_blockers: u64,
+}
+
+/// The Commit Block Predictor.
+///
+/// See the [module documentation](self) for the hardware analogy. All
+/// cycle values are CPU cycles.
+#[derive(Debug, Clone)]
+pub struct CommitBlockPredictor {
+    metric: CbpMetric,
+    size: TableSize,
+    /// Direct-mapped storage (used when `size` is `Entries`).
+    table: Vec<u64>,
+    index_mask: usize,
+    /// Fully-associative storage (used when `size` is `Unlimited`).
+    assoc: HashMap<Pc, u64>,
+    /// Tracks which static PCs have been seen blocking (for stats).
+    seen_blockers: HashMap<Pc, ()>,
+    /// Periodic reset interval in CPU cycles (§5.3.2), if enabled.
+    reset_interval: Option<CpuCycle>,
+    next_reset: CpuCycle,
+    stats: CbpStats,
+}
+
+impl CommitBlockPredictor {
+    /// Creates a predictor with the given metric and geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bounded size is zero or not a power of two.
+    pub fn new(metric: CbpMetric, size: TableSize) -> Self {
+        let (table, index_mask) = match size {
+            TableSize::Entries(n) => {
+                assert!(n > 0 && n.is_power_of_two(), "CBP size must be a power of two, got {n}");
+                (vec![0u64; n], n - 1)
+            }
+            TableSize::Unlimited => (Vec::new(), 0),
+        };
+        CommitBlockPredictor {
+            metric,
+            size,
+            table,
+            index_mask,
+            assoc: HashMap::new(),
+            seen_blockers: HashMap::new(),
+            reset_interval: None,
+            next_reset: 0,
+            stats: CbpStats::default(),
+        }
+    }
+
+    /// Enables periodic table reset every `interval` CPU cycles
+    /// (builder style). The paper trains the interval on {fft, mg,
+    /// radix} and settles on 100K cycles.
+    #[must_use]
+    pub fn with_reset_interval(mut self, interval: CpuCycle) -> Self {
+        assert!(interval > 0, "reset interval must be nonzero");
+        self.reset_interval = Some(interval);
+        self.next_reset = interval;
+        self
+    }
+
+    /// The annotation metric in force.
+    pub fn metric(&self) -> CbpMetric {
+        self.metric
+    }
+
+    /// The table geometry in force.
+    pub fn size(&self) -> TableSize {
+        self.size
+    }
+
+    /// Observation statistics.
+    pub fn stats(&self) -> &CbpStats {
+        &self.stats
+    }
+
+    #[inline]
+    fn index(&self, pc: Pc) -> usize {
+        // Instructions are word-aligned; drop the low bits like a
+        // branch predictor would.
+        ((pc >> 2) as usize) & self.index_mask
+    }
+
+    /// Advances predictor-local time; performs the periodic reset when
+    /// it falls due.
+    pub fn tick(&mut self, now: CpuCycle) {
+        if let Some(interval) = self.reset_interval {
+            if now >= self.next_reset {
+                self.table.iter_mut().for_each(|e| *e = 0);
+                self.assoc.clear();
+                self.stats.resets += 1;
+                self.next_reset = now + interval;
+            }
+        }
+    }
+
+    /// Records that the load at `pc` blocked the ROB head for
+    /// `stall_cycles` before committing. Called by the commit stage
+    /// when a stalled load finally retires.
+    pub fn record_block(&mut self, pc: Pc, stall_cycles: u64) {
+        if self.seen_blockers.insert(pc, ()).is_none() {
+            self.stats.static_blockers += 1;
+        }
+        let new = |old: u64| -> u64 {
+            match self.metric {
+                CbpMetric::Binary => 1,
+                CbpMetric::BlockCount => old + 1,
+                CbpMetric::LastStallTime => stall_cycles,
+                CbpMetric::MaxStallTime => old.max(stall_cycles),
+                CbpMetric::TotalStallTime => old + stall_cycles,
+            }
+        };
+        let written = match self.size {
+            TableSize::Entries(_) => {
+                let i = self.index(pc);
+                let v = new(self.table[i]);
+                self.table[i] = v;
+                v
+            }
+            TableSize::Unlimited => {
+                let e = self.assoc.entry(pc).or_insert(0);
+                *e = new(*e);
+                *e
+            }
+        };
+        self.stats.written_values.record(written);
+    }
+
+    /// Looks up the criticality prediction for a load at `pc`, as done
+    /// when the load issues to memory.
+    pub fn predict(&mut self, pc: Pc) -> Criticality {
+        self.stats.lookups += 1;
+        let v = match self.size {
+            TableSize::Entries(_) => self.table[self.index(pc)],
+            TableSize::Unlimited => self.assoc.get(&pc).copied().unwrap_or(0),
+        };
+        if v > 0 {
+            self.stats.critical_predictions += 1;
+        }
+        Criticality::ranked(v)
+    }
+
+    /// Side-effect-free lookup (no statistics), for analysis passes.
+    pub fn peek(&self, pc: Pc) -> Criticality {
+        let v = match self.size {
+            TableSize::Entries(_) => self.table[self.index(pc)],
+            TableSize::Unlimited => self.assoc.get(&pc).copied().unwrap_or(0),
+        };
+        Criticality::ranked(v)
+    }
+
+    /// Fraction of table entries currently marked (nonzero) — the
+    /// saturation measure of §5.3.2. For the unlimited table this is
+    /// the number of marked static PCs.
+    pub fn saturation(&self) -> f64 {
+        match self.size {
+            TableSize::Entries(n) => {
+                self.table.iter().filter(|&&v| v > 0).count() as f64 / n as f64
+            }
+            TableSize::Unlimited => self.assoc.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binary_saturates_at_one() {
+        let mut cbp = CommitBlockPredictor::new(CbpMetric::Binary, TableSize::Entries(64));
+        cbp.record_block(0x100, 500);
+        cbp.record_block(0x100, 900);
+        assert_eq!(cbp.predict(0x100).magnitude(), 1);
+    }
+
+    #[test]
+    fn block_count_increments() {
+        let mut cbp = CommitBlockPredictor::new(CbpMetric::BlockCount, TableSize::Entries(64));
+        for _ in 0..5 {
+            cbp.record_block(0x100, 10);
+        }
+        assert_eq!(cbp.predict(0x100).magnitude(), 5);
+    }
+
+    #[test]
+    fn last_stall_tracks_most_recent() {
+        let mut cbp = CommitBlockPredictor::new(CbpMetric::LastStallTime, TableSize::Entries(64));
+        cbp.record_block(0x100, 500);
+        cbp.record_block(0x100, 20);
+        assert_eq!(cbp.predict(0x100).magnitude(), 20);
+    }
+
+    #[test]
+    fn max_stall_keeps_maximum() {
+        let mut cbp = CommitBlockPredictor::new(CbpMetric::MaxStallTime, TableSize::Entries(64));
+        cbp.record_block(0x100, 500);
+        cbp.record_block(0x100, 20);
+        assert_eq!(cbp.predict(0x100).magnitude(), 500);
+    }
+
+    #[test]
+    fn total_stall_accumulates() {
+        let mut cbp =
+            CommitBlockPredictor::new(CbpMetric::TotalStallTime, TableSize::Entries(64));
+        cbp.record_block(0x100, 500);
+        cbp.record_block(0x100, 20);
+        assert_eq!(cbp.predict(0x100).magnitude(), 520);
+    }
+
+    #[test]
+    fn unseen_pc_is_non_critical() {
+        let mut cbp = CommitBlockPredictor::new(CbpMetric::Binary, TableSize::Entries(64));
+        assert!(!cbp.predict(0xBEEF).is_critical());
+    }
+
+    #[test]
+    fn direct_mapped_table_aliases() {
+        let mut cbp = CommitBlockPredictor::new(CbpMetric::Binary, TableSize::Entries(64));
+        // PCs 0x0 and 0x400 (= 64 words apart) share entry 0.
+        cbp.record_block(0x0, 100);
+        assert!(cbp.predict(64 * 4).is_critical(), "aliased PC should hit the same entry");
+    }
+
+    #[test]
+    fn unlimited_table_does_not_alias() {
+        let mut cbp = CommitBlockPredictor::new(CbpMetric::Binary, TableSize::Unlimited);
+        cbp.record_block(0x0, 100);
+        assert!(cbp.predict(0x0).is_critical());
+        assert!(!cbp.predict(64 * 4).is_critical());
+    }
+
+    #[test]
+    fn periodic_reset_clears_table() {
+        let mut cbp = CommitBlockPredictor::new(CbpMetric::Binary, TableSize::Entries(64))
+            .with_reset_interval(100_000);
+        cbp.record_block(0x100, 50);
+        cbp.tick(99_999);
+        assert!(cbp.predict(0x100).is_critical());
+        cbp.tick(100_000);
+        assert!(!cbp.predict(0x100).is_critical());
+        assert_eq!(cbp.stats().resets, 1);
+    }
+
+    #[test]
+    fn saturation_grows_with_distinct_blockers() {
+        let mut cbp = CommitBlockPredictor::new(CbpMetric::Binary, TableSize::Entries(64));
+        assert_eq!(cbp.saturation(), 0.0);
+        for i in 0..32u64 {
+            cbp.record_block(i * 4, 10);
+        }
+        assert_eq!(cbp.saturation(), 0.5);
+    }
+
+    #[test]
+    fn stats_track_static_blockers_and_widths() {
+        let mut cbp =
+            CommitBlockPredictor::new(CbpMetric::MaxStallTime, TableSize::Unlimited);
+        cbp.record_block(0x100, 13_475); // paper's max observed stall
+        cbp.record_block(0x104, 5);
+        cbp.record_block(0x100, 9);
+        assert_eq!(cbp.stats().static_blockers, 2);
+        assert_eq!(cbp.stats().written_values.required_bits(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_size() {
+        let _ = CommitBlockPredictor::new(CbpMetric::Binary, TableSize::Entries(100));
+    }
+
+    proptest! {
+        /// The unlimited table's prediction for a PC equals the metric
+        /// fold over exactly that PC's history.
+        #[test]
+        fn unlimited_matches_reference(
+            history in proptest::collection::vec((0u64..8, 1u64..10_000), 1..100)
+        ) {
+            for metric in CbpMetric::ALL {
+                let mut cbp = CommitBlockPredictor::new(metric, TableSize::Unlimited);
+                for &(pc_sel, stall) in &history {
+                    cbp.record_block(pc_sel * 4, stall);
+                }
+                // Reference fold for PC 0.
+                let mine: Vec<u64> = history.iter()
+                    .filter(|(p, _)| *p == 0)
+                    .map(|&(_, s)| s)
+                    .collect();
+                let expect = match metric {
+                    CbpMetric::Binary => u64::from(!mine.is_empty()),
+                    CbpMetric::BlockCount => mine.len() as u64,
+                    CbpMetric::LastStallTime => mine.last().copied().unwrap_or(0),
+                    CbpMetric::MaxStallTime => mine.iter().copied().max().unwrap_or(0),
+                    CbpMetric::TotalStallTime => mine.iter().sum(),
+                };
+                prop_assert_eq!(cbp.predict(0).magnitude(), expect);
+            }
+        }
+
+        /// A bounded table never reports a PC non-critical that was
+        /// recorded and not reset (aliasing only *adds* marks).
+        #[test]
+        fn aliasing_is_conservative(pcs in proptest::collection::vec(0u64..100_000, 1..50)) {
+            let mut cbp = CommitBlockPredictor::new(CbpMetric::Binary, TableSize::Entries(64));
+            for &pc in &pcs {
+                cbp.record_block(pc, 1);
+            }
+            for &pc in &pcs {
+                prop_assert!(cbp.predict(pc).is_critical());
+            }
+        }
+    }
+}

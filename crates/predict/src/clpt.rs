@@ -1,0 +1,197 @@
+//! The Critical Load Prediction Table of Subramaniam et al.,
+//! reproduced as the paper does (§2, §5.3.3) for comparison against
+//! the CBP.
+//!
+//! The CLPT observes, at rename time, how many *direct consumers* each
+//! load has; loads whose consumer count meets a threshold are marked
+//! critical the next time they issue. The paper evaluates two flavors:
+//! a binary marking (`CLPT-Binary`, threshold 3 — and a threshold-2
+//! variant in §5.3.3) and a ranked variant (`CLPT-Consumers`) where
+//! the raw consumer count is sent to the scheduler as the criticality
+//! magnitude.
+
+use critmem_common::{Criticality, Pc};
+use std::collections::HashMap;
+
+/// How CLPT predictions are presented to the memory scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClptMode {
+    /// Mark critical when consumer count >= threshold (paper default 3).
+    Binary {
+        /// Minimum direct-consumer count for a load to be marked.
+        threshold: u32,
+    },
+    /// For loads marked critical (count >= threshold), send the
+    /// consumer count itself as the criticality magnitude so the
+    /// scheduler can prioritize among them (the paper's
+    /// CLPT-Consumers).
+    Consumers {
+        /// Minimum direct-consumer count for a load to be marked.
+        threshold: u32,
+    },
+}
+
+/// PC-indexed table of per-load direct-consumer counts.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_predict::{Clpt, ClptMode};
+///
+/// let mut clpt = Clpt::new(ClptMode::Binary { threshold: 3 });
+/// clpt.record_consumers(0x400, 4);
+/// assert!(clpt.predict(0x400).is_critical());
+/// clpt.record_consumers(0x404, 1); // 85% of loads look like this
+/// assert!(!clpt.predict(0x404).is_critical());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Clpt {
+    mode: ClptMode,
+    /// Most recent consumer count per static load.
+    table: HashMap<Pc, u32>,
+    /// Lookups / critical marks, for the §5.3.3 analysis.
+    lookups: u64,
+    critical: u64,
+    /// Distribution of recorded consumer counts.
+    single_consumer: u64,
+    recorded: u64,
+}
+
+impl Clpt {
+    /// Creates an empty table.
+    pub fn new(mode: ClptMode) -> Self {
+        Clpt {
+            mode,
+            table: HashMap::new(),
+            lookups: 0,
+            critical: 0,
+            single_consumer: 0,
+            recorded: 0,
+        }
+    }
+
+    /// The prediction mode in force.
+    pub fn mode(&self) -> ClptMode {
+        self.mode
+    }
+
+    /// Records the observed direct-consumer count of the load at `pc`
+    /// (called when the load's consumers have all been renamed — in
+    /// the simulator, at the load's commit).
+    pub fn record_consumers(&mut self, pc: Pc, consumers: u32) {
+        self.recorded += 1;
+        if consumers <= 1 {
+            self.single_consumer += 1;
+        }
+        self.table.insert(pc, consumers);
+    }
+
+    /// Looks up the criticality prediction for a load issuing at `pc`.
+    pub fn predict(&mut self, pc: Pc) -> Criticality {
+        self.lookups += 1;
+        let count = self.table.get(&pc).copied().unwrap_or(0);
+        let crit = match self.mode {
+            ClptMode::Binary { threshold } => {
+                if count >= threshold {
+                    Criticality::binary()
+                } else {
+                    Criticality::non_critical()
+                }
+            }
+            ClptMode::Consumers { threshold } => {
+                if count >= threshold {
+                    Criticality::ranked(u64::from(count))
+                } else {
+                    Criticality::non_critical()
+                }
+            }
+        };
+        if crit.is_critical() {
+            self.critical += 1;
+        }
+        crit
+    }
+
+    /// Fraction of recorded loads that had at most one direct consumer
+    /// — the paper measures roughly 85%, which is why CLPT fails to
+    /// stratify loads for the memory scheduler.
+    pub fn single_consumer_fraction(&self) -> f64 {
+        if self.recorded == 0 {
+            0.0
+        } else {
+            self.single_consumer as f64 / self.recorded as f64
+        }
+    }
+
+    /// Fraction of lookups that produced a critical mark.
+    pub fn critical_fraction(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.critical as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_gates_binary_marking() {
+        let mut c = Clpt::new(ClptMode::Binary { threshold: 3 });
+        c.record_consumers(0x10, 2);
+        c.record_consumers(0x20, 3);
+        assert!(!c.predict(0x10).is_critical());
+        assert!(c.predict(0x20).is_critical());
+    }
+
+    #[test]
+    fn threshold_two_variant() {
+        let mut c = Clpt::new(ClptMode::Binary { threshold: 2 });
+        c.record_consumers(0x10, 2);
+        assert!(c.predict(0x10).is_critical());
+    }
+
+    #[test]
+    fn consumers_mode_ranks_by_count_above_threshold() {
+        let mut c = Clpt::new(ClptMode::Consumers { threshold: 3 });
+        c.record_consumers(0x10, 7);
+        c.record_consumers(0x20, 2);
+        assert_eq!(c.predict(0x10).magnitude(), 7);
+        assert!(!c.predict(0x20).is_critical(), "below threshold is unmarked");
+    }
+
+    #[test]
+    fn unseen_load_is_non_critical() {
+        let mut c = Clpt::new(ClptMode::Consumers { threshold: 3 });
+        assert!(!c.predict(0x999).is_critical());
+    }
+
+    #[test]
+    fn latest_count_wins() {
+        let mut c = Clpt::new(ClptMode::Consumers { threshold: 3 });
+        c.record_consumers(0x10, 9);
+        c.record_consumers(0x10, 3);
+        assert_eq!(c.predict(0x10).magnitude(), 3);
+    }
+
+    #[test]
+    fn single_consumer_fraction_tracks() {
+        let mut c = Clpt::new(ClptMode::Consumers { threshold: 3 });
+        c.record_consumers(0x10, 1);
+        c.record_consumers(0x20, 0);
+        c.record_consumers(0x30, 5);
+        c.record_consumers(0x40, 1);
+        assert!((c.single_consumer_fraction() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn critical_fraction_tracks_lookups() {
+        let mut c = Clpt::new(ClptMode::Binary { threshold: 3 });
+        c.record_consumers(0x10, 5);
+        c.predict(0x10);
+        c.predict(0x20);
+        assert!((c.critical_fraction() - 0.5).abs() < 1e-9);
+    }
+}

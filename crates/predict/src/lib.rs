@@ -1,0 +1,29 @@
+//! Processor-side load criticality predictors.
+//!
+//! This crate implements the paper's central hardware contribution, the
+//! **Commit Block Predictor** ([`CommitBlockPredictor`], §3): a small,
+//! tagless, direct-mapped, PC-indexed SRAM per core that learns which
+//! static load instructions block the head of the reorder buffer, under
+//! five annotation metrics ([`CbpMetric`]). It also reproduces the
+//! comparison predictor of Subramaniam et al. ([`Clpt`], §2), which
+//! gauges criticality by a load's number of direct consumers.
+//!
+//! # Examples
+//!
+//! ```
+//! use critmem_predict::{CbpMetric, CommitBlockPredictor, TableSize};
+//!
+//! let mut cbp = CommitBlockPredictor::new(CbpMetric::MaxStallTime, TableSize::Entries(64));
+//! // A load at PC 0x400 blocked the ROB head for 250 cycles.
+//! cbp.record_block(0x400, 250);
+//! // The next dynamic instance is predicted critical with magnitude 250.
+//! let crit = cbp.predict(0x400);
+//! assert!(crit.is_critical());
+//! assert_eq!(crit.magnitude(), 250);
+//! ```
+
+pub mod cbp;
+pub mod clpt;
+
+pub use cbp::{CbpMetric, CbpStats, CommitBlockPredictor, TableSize};
+pub use clpt::{Clpt, ClptMode};

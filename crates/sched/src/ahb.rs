@@ -1,0 +1,202 @@
+//! AHB — the adaptive history-based scheduler of Hur and Lin (MICRO
+//! 2004), reimplemented from the published description.
+//!
+//! AHB keeps a short history of recently issued commands and uses a set
+//! of history-based arbiters to (a) minimize expected latency caused by
+//! resource switching (rank switches, read/write bus turnarounds) and
+//! (b) match the *issued* read/write mix to the *arriving* mix so
+//! neither queue backs up.
+//!
+//! Faithfulness note (also recorded in DESIGN.md): the original builds
+//! offline-optimized FSM arbiters for an IBM Power5 memory system; here
+//! the same two objectives are expressed as an online cost function over
+//! the ready commands, with switch penalties taken from the live DDR3
+//! timing parameters. The paper under reproduction observes that AHB,
+//! designed for slower DDR2-era parts, gains little (≈1.6%) on a
+//! high-speed DDR3 system — the behavior this reimplementation also
+//! exhibits.
+
+use critmem_common::RankId;
+use critmem_dram::{Candidate, CommandKind, CommandScheduler, SchedContext};
+
+/// The AHB scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_sched::Ahb;
+/// use critmem_dram::CommandScheduler;
+/// assert_eq!(Ahb::new().name(), "AHB");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ahb {
+    /// Rank of the most recent CAS (switching pays tRTRS).
+    last_rank: Option<RankId>,
+    /// Direction of the most recent CAS (`true` = read).
+    last_was_read: Option<bool>,
+    /// Arriving mix this epoch.
+    arrived_reads: u64,
+    arrived_writes: u64,
+    /// Issued mix this epoch.
+    issued_reads: u64,
+    issued_writes: u64,
+}
+
+impl Default for Ahb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ahb {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Ahb {
+            last_rank: None,
+            last_was_read: None,
+            arrived_reads: 0,
+            arrived_writes: 0,
+            issued_reads: 0,
+            issued_writes: 0,
+        }
+    }
+
+    /// Expected-latency cost of issuing `cand` given recent history.
+    /// Lower is better.
+    fn cost(&self, ctx: &SchedContext<'_>, cand: &Candidate) -> i64 {
+        let t = ctx.timing.timing();
+        let mut cost: i64 = 0;
+        match cand.cmd.kind {
+            CommandKind::Read | CommandKind::Write => {
+                // Rank-switch penalty on the data bus.
+                if let Some(last) = self.last_rank {
+                    if last != cand.cmd.rank {
+                        cost += t.t_rtrs as i64;
+                    }
+                }
+                // Bus turnaround penalty.
+                let is_read = cand.cmd.kind == CommandKind::Read;
+                if let Some(last_read) = self.last_was_read {
+                    if last_read != is_read {
+                        cost += t.t_wtr as i64;
+                    }
+                }
+                // Mix matching: penalize the direction that is already
+                // ahead of its arriving share.
+                let issued = self.issued_reads + self.issued_writes;
+                let arrived = self.arrived_reads + self.arrived_writes;
+                if issued > 16 && arrived > 16 {
+                    let read_share_arrived =
+                        self.arrived_reads as f64 / arrived as f64;
+                    let read_share_issued = self.issued_reads as f64 / issued as f64;
+                    let ahead = if is_read {
+                        read_share_issued - read_share_arrived
+                    } else {
+                        read_share_arrived - read_share_issued
+                    };
+                    if ahead > 0.1 {
+                        cost += 2;
+                    }
+                }
+            }
+            // Non-CAS commands cost a full access of extra latency, so
+            // CAS is preferred — same spirit as FR-FCFS.
+            CommandKind::Activate => cost += (t.t_rcd + t.t_cl) as i64,
+            CommandKind::Precharge => cost += (t.t_rp + t.t_rcd + t.t_cl) as i64,
+            CommandKind::Refresh => cost += t.t_rfc as i64,
+        }
+        // Gentle age bias to bound queueing delay.
+        let age = ctx.queue[cand.txn].age(ctx.now) as i64;
+        cost - age / 64
+    }
+}
+
+impl CommandScheduler for Ahb {
+    fn select(&mut self, ctx: &SchedContext<'_>, candidates: &[Candidate]) -> Option<usize> {
+        let choice = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (self.cost(ctx, c), ctx.queue[c.txn].seq))
+            .map(|(i, _)| i)?;
+        let cand = &candidates[choice];
+        if cand.cmd.kind.is_cas() {
+            self.last_rank = Some(cand.cmd.rank);
+            let is_read = cand.cmd.kind == CommandKind::Read;
+            self.last_was_read = Some(is_read);
+            if is_read {
+                self.issued_reads += 1;
+            } else {
+                self.issued_writes += 1;
+            }
+        }
+        Some(choice)
+    }
+
+    fn on_enqueue(&mut self, txn: &critmem_dram::Transaction, _now: u64) {
+        if txn.is_read() {
+            self.arrived_reads += 1;
+        } else {
+            self.arrived_writes += 1;
+        }
+    }
+
+    fn name(&self) -> &str {
+        "AHB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{mk_candidate, mk_ctx, mk_txn, Timing};
+
+    #[test]
+    fn prefers_cas_over_activate() {
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(1, 1, 1)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        let cands = vec![
+            mk_candidate(0, CommandKind::Activate, false, 0),
+            mk_candidate(1, CommandKind::Read, true, 0),
+        ];
+        let mut s = Ahb::new();
+        assert_eq!(s.select(&ctx, &cands), Some(1));
+    }
+
+    #[test]
+    fn prefers_same_rank_cas_after_history() {
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(1, 1, 1)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        // Prime history with a read on rank 0.
+        let warm = vec![mk_candidate(0, CommandKind::Read, true, 0)];
+        let mut s = Ahb::new();
+        s.select(&ctx, &warm);
+        // Now rank 1 vs rank 0 read: rank 0 avoids tRTRS, and wins even
+        // though the rank-1 request is older.
+        let mut c_rank1 = mk_candidate(0, CommandKind::Read, true, 0);
+        c_rank1.cmd.rank = RankId(1);
+        let c_rank0 = mk_candidate(1, CommandKind::Read, true, 0);
+        assert_eq!(s.select(&ctx, &[c_rank1, c_rank0]), Some(1));
+    }
+
+    #[test]
+    fn age_eventually_dominates() {
+        // A very old activate beats a fresh read once its age bonus
+        // exceeds the CAS preference.
+        let mut old = mk_txn(0, 0, 0);
+        old.arrival = 0;
+        let mut fresh = mk_txn(1, 1, 90);
+        fresh.arrival = 9_990; // just arrived
+        let queue = vec![old, fresh];
+        let t = Timing::default_timing();
+        let mut ctx = mk_ctx(&queue, &t);
+        ctx.now = 10_000;
+        let cands = vec![
+            mk_candidate(0, CommandKind::Activate, false, 0),
+            mk_candidate(1, CommandKind::Read, true, 0),
+        ];
+        let mut s = Ahb::new();
+        assert_eq!(s.select(&ctx, &cands), Some(0));
+    }
+}

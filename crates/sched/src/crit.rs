@@ -1,0 +1,183 @@
+//! The paper's criticality-aware FR-FCFS variants (§3.2).
+//!
+//! Two arrangements of the priority order:
+//!
+//! * [`Arrangement::CritFirst`] (**Crit-CASRAS**): (1) critical CAS,
+//!   (2) critical RAS, (3) non-critical CAS, (4) non-critical RAS —
+//!   needs an extra arbitration level beyond FR-FCFS.
+//! * [`Arrangement::CasRasFirst`] (**CASRAS-Crit**): (1) critical CAS,
+//!   (2) non-critical CAS, (3) critical RAS, (4) non-critical RAS —
+//!   implementable by simply prepending the criticality magnitude to
+//!   the age comparator (upper bits), which is why the paper advocates
+//!   it.
+//!
+//! Within each group ties are broken oldest-first. With a *ranked*
+//! predictor the criticality magnitude stratifies requests within the
+//! critical groups; with the Binary predictor the magnitude is 0 or 1
+//! and the behavior degenerates to the paper's "first take".
+
+use critmem_dram::{Candidate, CommandScheduler, SchedContext};
+
+/// Which priority arrangement to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrangement {
+    /// Crit-CASRAS: criticality outranks CAS-over-RAS.
+    CritFirst,
+    /// CASRAS-Crit: CAS-over-RAS outranks criticality (the compact
+    /// implementation the paper recommends).
+    CasRasFirst,
+}
+
+impl Arrangement {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arrangement::CritFirst => "Crit-CASRAS",
+            Arrangement::CasRasFirst => "CASRAS-Crit",
+        }
+    }
+}
+
+/// Criticality-aware FR-FCFS.
+///
+/// The scheduler itself is stateless: all intelligence lives in the
+/// processor-side predictor whose annotation rides on each request.
+/// This is the paper's "lean controller" argument — the arbiter is an
+/// FR-FCFS comparator a few bits wider.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_sched::{Arrangement, CritFrFcfs};
+/// use critmem_dram::CommandScheduler;
+/// let s = CritFrFcfs::new(Arrangement::CasRasFirst);
+/// assert_eq!(s.name(), "CASRAS-Crit");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CritFrFcfs {
+    arrangement: Arrangement,
+}
+
+impl CritFrFcfs {
+    /// Creates the scheduler with the given arrangement.
+    pub fn new(arrangement: Arrangement) -> Self {
+        CritFrFcfs { arrangement }
+    }
+
+    /// The arrangement in force.
+    pub fn arrangement(&self) -> Arrangement {
+        self.arrangement
+    }
+}
+
+impl CommandScheduler for CritFrFcfs {
+    fn select(&mut self, ctx: &SchedContext<'_>, candidates: &[Candidate]) -> Option<usize> {
+        match self.arrangement {
+            Arrangement::CritFirst => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| {
+                    (
+                        !c.crit.is_critical(),
+                        !c.cmd.kind.is_cas(),
+                        std::cmp::Reverse(c.crit.magnitude()),
+                        ctx.queue[c.txn].seq,
+                    )
+                })
+                .map(|(i, _)| i),
+            Arrangement::CasRasFirst => candidates
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| {
+                    (
+                        !c.cmd.kind.is_cas(),
+                        std::cmp::Reverse(c.crit.magnitude()),
+                        ctx.queue[c.txn].seq,
+                    )
+                })
+                .map(|(i, _)| i),
+        }
+    }
+
+    fn name(&self) -> &str {
+        self.arrangement.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{mk_candidate, mk_ctx, mk_txn, Timing};
+    use critmem_dram::CommandKind;
+
+    #[test]
+    fn casras_crit_prefers_cas_even_non_critical() {
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(1, 0, 1)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        // Candidate 0: critical ACT; candidate 1: non-critical READ.
+        let cands = vec![
+            mk_candidate(0, CommandKind::Activate, false, 100),
+            mk_candidate(1, CommandKind::Read, true, 0),
+        ];
+        let mut s = CritFrFcfs::new(Arrangement::CasRasFirst);
+        assert_eq!(s.select(&ctx, &cands), Some(1));
+    }
+
+    #[test]
+    fn crit_casras_prefers_critical_ras_over_noncrit_cas() {
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(1, 0, 1)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        let cands = vec![
+            mk_candidate(0, CommandKind::Activate, false, 100),
+            mk_candidate(1, CommandKind::Read, true, 0),
+        ];
+        let mut s = CritFrFcfs::new(Arrangement::CritFirst);
+        assert_eq!(s.select(&ctx, &cands), Some(0));
+    }
+
+    #[test]
+    fn magnitude_stratifies_within_cas_group() {
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(1, 0, 1), mk_txn(2, 0, 2)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        let cands = vec![
+            mk_candidate(0, CommandKind::Read, true, 5),
+            mk_candidate(1, CommandKind::Read, true, 250),
+            mk_candidate(2, CommandKind::Read, true, 0),
+        ];
+        for arr in [Arrangement::CasRasFirst, Arrangement::CritFirst] {
+            let mut s = CritFrFcfs::new(arr);
+            assert_eq!(s.select(&ctx, &cands), Some(1), "{}", arr.name());
+        }
+    }
+
+    #[test]
+    fn age_breaks_ties_at_equal_magnitude() {
+        let queue = vec![mk_txn(0, 0, 9), mk_txn(1, 0, 4)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        let cands = vec![
+            mk_candidate(0, CommandKind::Read, true, 7),
+            mk_candidate(1, CommandKind::Read, true, 7),
+        ];
+        let mut s = CritFrFcfs::new(Arrangement::CasRasFirst);
+        assert_eq!(s.select(&ctx, &cands), Some(1));
+    }
+
+    #[test]
+    fn without_criticality_both_reduce_to_frfcfs() {
+        let queue = vec![mk_txn(0, 0, 5), mk_txn(1, 0, 2)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        let cands = vec![
+            mk_candidate(0, CommandKind::Read, true, 0),
+            mk_candidate(1, CommandKind::Activate, false, 0),
+        ];
+        for arr in [Arrangement::CasRasFirst, Arrangement::CritFirst] {
+            let mut s = CritFrFcfs::new(arr);
+            assert_eq!(s.select(&ctx, &cands), Some(0), "{}", arr.name());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! FR-FCFS (Rixner et al.): first-ready, first-come-first-served — the
+//! baseline scheduler the whole paper builds on.
+//!
+//! Priority: CAS commands (column accesses to already-open rows) over
+//! RAS/PRE commands; ties broken by age (oldest first).
+
+use critmem_dram::{Candidate, CommandScheduler, SchedContext};
+
+/// The FR-FCFS scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_sched::FrFcfs;
+/// use critmem_dram::CommandScheduler;
+/// let s = FrFcfs::new();
+/// assert_eq!(s.name(), "FR-FCFS");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FrFcfs;
+
+impl FrFcfs {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        FrFcfs
+    }
+}
+
+impl CommandScheduler for FrFcfs {
+    fn select(&mut self, ctx: &SchedContext<'_>, candidates: &[Candidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| (!c.cmd.kind.is_cas(), ctx.queue[c.txn].seq))
+            .map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &str {
+        "FR-FCFS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{ctx_with, mk_candidate, mk_txn};
+    use critmem_dram::CommandKind;
+
+    #[test]
+    fn cas_beats_older_ras() {
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(1, 0, 10)];
+        let (timing, _) = ctx_with(&queue);
+        let ctx = SchedContext {
+            now: 50,
+            channel: critmem_common::ChannelId(0),
+            queue: &queue,
+            timing: &timing,
+            direction: critmem_dram::Direction::Read,
+        };
+        let cands = vec![
+            mk_candidate(0, CommandKind::Activate, false, 0),
+            mk_candidate(1, CommandKind::Read, true, 0),
+        ];
+        let mut s = FrFcfs::new();
+        assert_eq!(s.select(&ctx, &cands), Some(1));
+    }
+
+    #[test]
+    fn age_breaks_ties_within_cas() {
+        let queue = vec![mk_txn(0, 0, 7), mk_txn(1, 0, 3)];
+        let (timing, _) = ctx_with(&queue);
+        let ctx = SchedContext {
+            now: 50,
+            channel: critmem_common::ChannelId(0),
+            queue: &queue,
+            timing: &timing,
+            direction: critmem_dram::Direction::Read,
+        };
+        let cands = vec![
+            mk_candidate(0, CommandKind::Read, true, 0),
+            mk_candidate(1, CommandKind::Read, true, 0),
+        ];
+        let mut s = FrFcfs::new();
+        assert_eq!(s.select(&ctx, &cands), Some(1)); // seq 3 older
+    }
+
+    #[test]
+    fn empty_candidates_idle() {
+        let queue: Vec<critmem_dram::Transaction> = Vec::new();
+        let (timing, _) = ctx_with(&queue);
+        let ctx = SchedContext {
+            now: 50,
+            channel: critmem_common::ChannelId(0),
+            queue: &queue,
+            timing: &timing,
+            direction: critmem_dram::Direction::Read,
+        };
+        let mut s = FrFcfs::new();
+        assert_eq!(s.select(&ctx, &[]), None);
+    }
+}

@@ -1,0 +1,155 @@
+//! Memory schedulers for the `critmem` simulator.
+//!
+//! Implements the paper's criticality-aware FR-FCFS variants
+//! ([`CritFrFcfs`]: Crit-CASRAS and CASRAS-Crit, §3.2) together with
+//! every scheduler it compares against (§5.8): plain [`FrFcfs`],
+//! [`Ahb`] (Hur/Lin), [`ParBs`] (Mutlu/Moscibroda), [`Tcm`] (Kim et
+//! al., plus the TCM+criticality hybrid), and the [`Morse`] RL
+//! scheduler (MORSE-P / Crit-RL).
+//!
+//! [`SchedulerKind`] is the configuration-level enumeration used by the
+//! experiment harness to instantiate one scheduler per channel.
+//!
+//! # Examples
+//!
+//! ```
+//! use critmem_sched::SchedulerKind;
+//!
+//! let kind = SchedulerKind::CasRasCrit;
+//! let sched = kind.build(8, 0);
+//! assert_eq!(sched.name(), "CASRAS-Crit");
+//! ```
+
+pub mod ahb;
+pub mod atlas;
+pub mod crit;
+pub mod frfcfs;
+pub mod minimalist;
+pub mod morse;
+pub mod parbs;
+pub mod tcm;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use ahb::Ahb;
+pub use atlas::Atlas;
+pub use crit::{Arrangement, CritFrFcfs};
+pub use frfcfs::FrFcfs;
+pub use minimalist::MinimalistOpenPage;
+pub use morse::{Morse, MorseConfig};
+pub use parbs::ParBs;
+pub use tcm::{Tcm, TcmTiebreak};
+
+use critmem_dram::CommandScheduler;
+
+/// Configuration-level scheduler selector.
+///
+/// Criticality-aware kinds rely on the *requests* carrying criticality
+/// annotations from a processor-side predictor; the scheduler itself is
+/// predictor-agnostic (the paper's division of labor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerKind {
+    /// Strict first-come-first-served.
+    Fcfs,
+    /// FR-FCFS baseline (Rixner et al.).
+    FrFcfs,
+    /// Crit-CASRAS: criticality above CAS/RAS (§3.2).
+    CritCasRas,
+    /// CASRAS-Crit: CAS/RAS above criticality — the advocated design.
+    CasRasCrit,
+    /// Adaptive history-based (Hur/Lin).
+    Ahb,
+    /// ATLAS: least-attained-service ranking (Kim et al., HPCA 2010).
+    Atlas,
+    /// Minimalist Open-page: MLP-based thread ranking with short
+    /// row-hit bursts (Kaseridis et al., MICRO 2011).
+    Minimalist,
+    /// Parallelism-aware batch scheduling, with marking cap.
+    ParBs {
+        /// Per-(thread, bank) marking cap (paper: 5).
+        marking_cap: usize,
+    },
+    /// Thread cluster memory scheduling.
+    Tcm {
+        /// Tiebreak within a priority level.
+        tiebreak: TcmTiebreak,
+    },
+    /// MORSE-style RL scheduler (MORSE-P or Crit-RL).
+    Morse(MorseConfig),
+}
+
+impl SchedulerKind {
+    /// Instantiates a scheduler for one channel. `num_threads` sizes
+    /// the per-thread state of TCM; `channel_seed` decorrelates the
+    /// seeded RNGs of different channels.
+    pub fn build(self, num_threads: usize, channel_seed: u64) -> Box<dyn CommandScheduler> {
+        match self {
+            SchedulerKind::Fcfs => Box::new(critmem_dram::Fcfs::new()),
+            SchedulerKind::FrFcfs => Box::new(FrFcfs::new()),
+            SchedulerKind::CritCasRas => Box::new(CritFrFcfs::new(Arrangement::CritFirst)),
+            SchedulerKind::CasRasCrit => Box::new(CritFrFcfs::new(Arrangement::CasRasFirst)),
+            SchedulerKind::Ahb => Box::new(Ahb::new()),
+            SchedulerKind::Atlas => Box::new(Atlas::new(num_threads)),
+            SchedulerKind::Minimalist => Box::new(MinimalistOpenPage::new(num_threads)),
+            SchedulerKind::ParBs { marking_cap } => Box::new(ParBs::new(marking_cap)),
+            SchedulerKind::Tcm { tiebreak } => {
+                Box::new(Tcm::new(num_threads, tiebreak, 0xC0FFEE ^ channel_seed))
+            }
+            SchedulerKind::Morse(cfg) => {
+                let cfg = MorseConfig { seed: cfg.seed ^ channel_seed.wrapping_mul(0x9E37), ..cfg };
+                Box::new(Morse::new(cfg))
+            }
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Fcfs => "FCFS",
+            SchedulerKind::FrFcfs => "FR-FCFS",
+            SchedulerKind::CritCasRas => "Crit-CASRAS",
+            SchedulerKind::CasRasCrit => "CASRAS-Crit",
+            SchedulerKind::Ahb => "AHB",
+            SchedulerKind::Atlas => "ATLAS",
+            SchedulerKind::Minimalist => "Minimalist",
+            SchedulerKind::ParBs { .. } => "PAR-BS",
+            SchedulerKind::Tcm { tiebreak: TcmTiebreak::FrFcfs } => "TCM",
+            SchedulerKind::Tcm { tiebreak: TcmTiebreak::CritFrFcfs } => "TCM+Crit",
+            SchedulerKind::Morse(cfg) => {
+                if cfg.use_criticality {
+                    "Crit-RL"
+                } else {
+                    "MORSE-P"
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds_and_names_consistently() {
+        let kinds = [
+            SchedulerKind::Fcfs,
+            SchedulerKind::FrFcfs,
+            SchedulerKind::CritCasRas,
+            SchedulerKind::CasRasCrit,
+            SchedulerKind::Ahb,
+            SchedulerKind::Atlas,
+            SchedulerKind::Minimalist,
+            SchedulerKind::ParBs { marking_cap: 5 },
+            SchedulerKind::Tcm { tiebreak: TcmTiebreak::FrFcfs },
+            SchedulerKind::Tcm { tiebreak: TcmTiebreak::CritFrFcfs },
+            SchedulerKind::Morse(MorseConfig::default()),
+            SchedulerKind::Morse(MorseConfig { use_criticality: true, ..Default::default() }),
+        ];
+        for kind in kinds {
+            let built = kind.build(8, 3);
+            assert_eq!(built.name(), kind.name());
+        }
+    }
+}

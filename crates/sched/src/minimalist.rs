@@ -1,0 +1,166 @@
+//! Minimalist Open-page — Kaseridis, Stuecheli, John (MICRO 2011),
+//! discussed by the paper (§6.2) as a contrasting, *memory-side*
+//! notion of "criticality": threads with low memory-level parallelism
+//! rank above high-MLP threads, which rank above prefetches.
+//!
+//! The original also fixes a short open-page burst (it precharges
+//! after a small number of row hits); here the burst cap is modeled by
+//! demoting a bank's further row hits once the cap is reached in favor
+//! of other ready work, while the thread-MLP ranking is computed from
+//! each thread's in-flight request count.
+
+use critmem_common::AccessKind;
+use critmem_dram::{Candidate, CommandScheduler, SchedContext};
+
+/// The Minimalist Open-page scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_sched::MinimalistOpenPage;
+/// use critmem_dram::CommandScheduler;
+/// assert_eq!(MinimalistOpenPage::new(4).name(), "Minimalist");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinimalistOpenPage {
+    num_threads: usize,
+    /// Row hits issued in the current burst, per bank index.
+    burst: Vec<u32>,
+    /// Burst cap (the original uses ~4 accesses per activation).
+    burst_cap: u32,
+    banks_per_rank: usize,
+    last_bank: Option<usize>,
+}
+
+impl MinimalistOpenPage {
+    /// Creates the scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero.
+    pub fn new(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "thread count must be nonzero");
+        MinimalistOpenPage {
+            num_threads,
+            burst: Vec::new(),
+            burst_cap: 4,
+            banks_per_rank: 0,
+            last_bank: None,
+        }
+    }
+
+    /// Thread MLP = number of in-flight (queued) read requests; low
+    /// MLP means each request matters more (the scheduler's notion of
+    /// a "critical" thread).
+    fn thread_mlp(&self, ctx: &SchedContext<'_>) -> Vec<u32> {
+        let mut mlp = vec![0u32; self.num_threads];
+        for txn in ctx.queue {
+            if txn.is_read() {
+                let t = txn.thread().index();
+                if t < self.num_threads {
+                    mlp[t] += 1;
+                }
+            }
+        }
+        mlp
+    }
+}
+
+impl CommandScheduler for MinimalistOpenPage {
+    fn select(&mut self, ctx: &SchedContext<'_>, candidates: &[Candidate]) -> Option<usize> {
+        if self.banks_per_rank != ctx.timing.banks_per_rank() {
+            self.banks_per_rank = ctx.timing.banks_per_rank();
+            self.burst = vec![0; ctx.timing.ranks() * self.banks_per_rank];
+        }
+        let mlp = self.thread_mlp(ctx);
+        let choice = candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| {
+                let txn = &ctx.queue[c.txn];
+                let t = txn.thread().index().min(self.num_threads - 1);
+                let bank_idx =
+                    c.cmd.rank.index() * self.banks_per_rank + c.cmd.bank.index();
+                let burst_exhausted =
+                    c.row_hit && self.burst.get(bank_idx).copied().unwrap_or(0) >= self.burst_cap;
+                (
+                    // Prefetches always rank below demand requests.
+                    txn.req.kind == AccessKind::Prefetch,
+                    // Short open-page bursts: an exhausted bank's row
+                    // hits yield to other ready work.
+                    burst_exhausted,
+                    !c.cmd.kind.is_cas(),
+                    // Low-MLP threads first.
+                    mlp[t],
+                    txn.seq,
+                )
+            })
+            .map(|(i, _)| i)?;
+        let cand = &candidates[choice];
+        let bank_idx = cand.cmd.rank.index() * self.banks_per_rank + cand.cmd.bank.index();
+        if cand.cmd.kind.is_cas() {
+            if self.last_bank == Some(bank_idx) && cand.row_hit {
+                self.burst[bank_idx] += 1;
+            } else {
+                self.burst[bank_idx] = 1;
+            }
+            self.last_bank = Some(bank_idx);
+        } else {
+            self.burst[bank_idx] = 0;
+        }
+        Some(choice)
+    }
+
+    fn name(&self) -> &str {
+        "Minimalist"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{mk_candidate, mk_ctx, mk_txn, Timing};
+    use critmem_dram::CommandKind;
+
+    #[test]
+    fn low_mlp_thread_wins() {
+        let mut s = MinimalistOpenPage::new(2);
+        // Thread 0 has 3 in-flight reads; thread 1 has 1.
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(0, 1, 1), mk_txn(0, 2, 2), mk_txn(1, 3, 9)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        let cands = vec![
+            mk_candidate(0, CommandKind::Read, true, 0),
+            mk_candidate(3, CommandKind::Read, true, 0),
+        ];
+        assert_eq!(s.select(&ctx, &cands), Some(1), "low-MLP thread should win");
+    }
+
+    #[test]
+    fn burst_cap_demotes_long_row_hit_runs() {
+        let mut s = MinimalistOpenPage::new(1);
+        let queue: Vec<_> = (0..8).map(|i| mk_txn(0, 0, i)).collect();
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        // Same-bank row hits forever; plus one ACT on another bank.
+        let mut cands: Vec<_> =
+            (0..4).map(|i| mk_candidate(i, CommandKind::Read, true, 0)).collect();
+        let mut act = mk_candidate(7, CommandKind::Activate, false, 0);
+        act.cmd.bank = critmem_common::BankId(3);
+        cands.push(act);
+        // First four picks stay in the row-hit burst...
+        for _ in 0..4 {
+            let pick = s.select(&ctx, &cands).unwrap();
+            assert!(cands[pick].cmd.kind.is_cas());
+        }
+        // ...then the burst cap forces the ACT through.
+        let pick = s.select(&ctx, &cands).unwrap();
+        assert_eq!(cands[pick].cmd.kind, CommandKind::Activate);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_threads() {
+        let _ = MinimalistOpenPage::new(0);
+    }
+}

@@ -1,0 +1,195 @@
+//! PAR-BS — parallelism-aware batch scheduling (Mutlu & Moscibroda,
+//! ISCA 2008), the baseline the paper normalizes its multiprogrammed
+//! results to (Figure 12, marking cap 5).
+//!
+//! The scheduler forms *batches*: when no marked requests remain, it
+//! marks up to `marking_cap` oldest requests per (thread, bank). Marked
+//! requests are strictly prioritized over unmarked ones, which bounds
+//! each thread's interference. Within a batch, threads are ranked
+//! shortest-job-first (by maximum per-bank marked count, then total
+//! marked count), preserving each thread's bank-level parallelism.
+//! Priority order: marked > row-hit > thread rank > age.
+
+use critmem_common::ReqId;
+use critmem_dram::{Candidate, CommandScheduler, SchedContext, Transaction};
+use std::collections::{HashMap, HashSet};
+
+/// The PAR-BS scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_sched::ParBs;
+/// use critmem_dram::CommandScheduler;
+/// assert_eq!(ParBs::new(5).name(), "PAR-BS");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParBs {
+    marking_cap: usize,
+    marked: HashSet<ReqId>,
+    /// thread index -> rank (0 = highest priority); recomputed per batch.
+    thread_rank: HashMap<u8, usize>,
+    batches_formed: u64,
+}
+
+impl ParBs {
+    /// Creates the scheduler with the given per-(thread, bank) marking
+    /// cap (the paper uses 5).
+    pub fn new(marking_cap: usize) -> Self {
+        assert!(marking_cap > 0, "marking cap must be nonzero");
+        ParBs {
+            marking_cap,
+            marked: HashSet::new(),
+            thread_rank: HashMap::new(),
+            batches_formed: 0,
+        }
+    }
+
+    /// Number of batches formed so far.
+    pub fn batches_formed(&self) -> u64 {
+        self.batches_formed
+    }
+
+    /// Whether a request is marked in the current batch.
+    pub fn is_marked(&self, id: ReqId) -> bool {
+        self.marked.contains(&id)
+    }
+
+    fn form_batch(&mut self, queue: &[Transaction]) {
+        self.marked.clear();
+        self.thread_rank.clear();
+        if queue.is_empty() {
+            return;
+        }
+        self.batches_formed += 1;
+        // Group requests by (thread, bank), oldest first.
+        let mut groups: HashMap<(u8, u8, u8), Vec<&Transaction>> = HashMap::new();
+        for t in queue {
+            groups
+                .entry((t.thread().0, t.loc.rank.0, t.loc.bank.0))
+                .or_default()
+                .push(t);
+        }
+        // Per-thread marked load for shortest-job-first ranking.
+        let mut max_bank_load: HashMap<u8, usize> = HashMap::new();
+        let mut total_load: HashMap<u8, usize> = HashMap::new();
+        for ((thread, _, _), mut txns) in groups {
+            txns.sort_by_key(|t| t.seq);
+            let marked_here = txns.len().min(self.marking_cap);
+            for t in txns.iter().take(marked_here) {
+                self.marked.insert(t.req.id);
+            }
+            let e = max_bank_load.entry(thread).or_insert(0);
+            *e = (*e).max(marked_here);
+            *total_load.entry(thread).or_insert(0) += marked_here;
+        }
+        // Shortest job first: smaller max-bank-load, then smaller total.
+        let mut threads: Vec<u8> = max_bank_load.keys().copied().collect();
+        threads.sort_by_key(|t| (max_bank_load[t], total_load[t], *t));
+        for (rank, t) in threads.into_iter().enumerate() {
+            self.thread_rank.insert(t, rank);
+        }
+    }
+}
+
+impl CommandScheduler for ParBs {
+    fn select(&mut self, ctx: &SchedContext<'_>, candidates: &[Candidate]) -> Option<usize> {
+        // Re-batch when the current batch is exhausted (no queued
+        // request is still marked).
+        let any_marked = ctx.queue.iter().any(|t| self.marked.contains(&t.req.id));
+        if !any_marked {
+            self.form_batch(ctx.queue);
+        }
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| {
+                let txn = &ctx.queue[c.txn];
+                let marked = self.marked.contains(&txn.req.id);
+                let rank = self
+                    .thread_rank
+                    .get(&txn.thread().0)
+                    .copied()
+                    .unwrap_or(usize::MAX);
+                (!marked, !c.cmd.kind.is_cas(), rank, txn.seq)
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn on_complete(&mut self, txn: &Transaction, _now: u64) {
+        self.marked.remove(&txn.req.id);
+    }
+
+    fn name(&self) -> &str {
+        "PAR-BS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{mk_candidate, mk_ctx, mk_txn, mk_txn_at, Timing};
+    use critmem_dram::CommandKind;
+
+    #[test]
+    fn marks_up_to_cap_per_thread_bank() {
+        let mut s = ParBs::new(2);
+        let queue: Vec<Transaction> = (0..5).map(|i| mk_txn(0, 0, i)).collect();
+        s.form_batch(&queue);
+        let marked = queue.iter().filter(|t| s.is_marked(t.req.id)).count();
+        assert_eq!(marked, 2);
+        // The two oldest are the ones marked.
+        assert!(s.is_marked(queue[0].req.id));
+        assert!(s.is_marked(queue[1].req.id));
+    }
+
+    #[test]
+    fn shortest_job_first_ranking() {
+        let mut s = ParBs::new(5);
+        // Thread 0: 4 requests to one bank. Thread 1: 1 request.
+        let mut queue: Vec<Transaction> = (0..4).map(|i| mk_txn(0, 0, i)).collect();
+        queue.push(mk_txn(1, 1, 10));
+        s.form_batch(&queue);
+        assert!(s.thread_rank[&1] < s.thread_rank[&0], "lighter thread ranks higher");
+    }
+
+    #[test]
+    fn marked_beats_unmarked_even_row_hit() {
+        let mut s = ParBs::new(1);
+        // Two requests from thread 0 to the same bank: only the older
+        // gets marked (cap 1).
+        let queue = vec![mk_txn_at(0, 0, 0, 0, 0), mk_txn_at(0, 0, 1, 5, 0)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        // Candidate 1 (unmarked) is a row hit; candidate 0 (marked) is not.
+        let cands = vec![
+            mk_candidate(0, CommandKind::Activate, false, 0),
+            mk_candidate(1, CommandKind::Read, true, 0),
+        ];
+        assert_eq!(s.select(&ctx, &cands), Some(0));
+    }
+
+    #[test]
+    fn new_batch_forms_when_exhausted() {
+        let mut s = ParBs::new(5);
+        let queue = vec![mk_txn(0, 0, 0)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        let cands = vec![mk_candidate(0, CommandKind::Read, true, 0)];
+        s.select(&ctx, &cands);
+        assert_eq!(s.batches_formed(), 1);
+        s.on_complete(&queue[0], 0);
+        // Queue now holds a different request; selecting again forms a
+        // second batch.
+        let queue2 = vec![mk_txn(1, 0, 1)];
+        let ctx2 = mk_ctx(&queue2, &t);
+        s.select(&ctx2, &cands);
+        assert_eq!(s.batches_formed(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_cap() {
+        let _ = ParBs::new(0);
+    }
+}

@@ -1,0 +1,257 @@
+//! TCM — thread cluster memory scheduling (Kim et al., MICRO 2010),
+//! plus the paper's proposed TCM+MaxStallTime hybrid (§5.8.2).
+//!
+//! Every quantum, threads are clustered by memory intensity: the least
+//! intensive threads whose combined bandwidth stays below a threshold
+//! form the *latency-sensitive* cluster and are strictly prioritized;
+//! the remaining *bandwidth-sensitive* threads are ranked and
+//! periodically shuffled to even out slowdowns. Within equal thread
+//! priority, vanilla TCM performs FR-FCFS; the hybrid variant replaces
+//! that tiebreak with criticality-aware FR-FCFS (CASRAS-Crit), which is
+//! exactly how the paper builds TCM+MaxStallTime.
+
+use critmem_dram::{Candidate, CommandScheduler, SchedContext, Transaction};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Tiebreak policy within one thread-priority level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcmTiebreak {
+    /// Plain FR-FCFS (vanilla TCM).
+    FrFcfs,
+    /// Criticality-aware FR-FCFS (the paper's TCM+MaxStallTime).
+    CritFrFcfs,
+}
+
+/// The TCM scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_sched::{Tcm, TcmTiebreak};
+/// use critmem_dram::CommandScheduler;
+/// let s = Tcm::new(8, TcmTiebreak::FrFcfs, 7);
+/// assert_eq!(s.name(), "TCM");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tcm {
+    num_threads: usize,
+    tiebreak: TcmTiebreak,
+    /// Clustering quantum in DRAM cycles.
+    quantum: u64,
+    /// Bandwidth-cluster shuffle interval in DRAM cycles.
+    shuffle_interval: u64,
+    /// Fraction of total bandwidth granted to the latency cluster.
+    cluster_threshold: f64,
+    /// Requests enqueued per thread in the current quantum.
+    reqs: Vec<u64>,
+    /// `true` if the thread is latency-sensitive this quantum.
+    latency_cluster: Vec<bool>,
+    /// Priority rank within the bandwidth cluster (lower = higher).
+    bw_rank: Vec<usize>,
+    next_quantum: u64,
+    next_shuffle: u64,
+    rng: SmallRng,
+}
+
+impl Tcm {
+    /// Creates the scheduler for `num_threads` threads with the given
+    /// tiebreak and RNG seed (shuffling is part of the algorithm and
+    /// must be reproducible).
+    pub fn new(num_threads: usize, tiebreak: TcmTiebreak, seed: u64) -> Self {
+        assert!(num_threads > 0, "thread count must be nonzero");
+        Tcm {
+            num_threads,
+            tiebreak,
+            quantum: 10_000,
+            shuffle_interval: 800,
+            cluster_threshold: 0.10,
+            reqs: vec![0; num_threads],
+            // Until the first quantum completes, everyone is
+            // latency-sensitive (no information yet).
+            latency_cluster: vec![true; num_threads],
+            bw_rank: (0..num_threads).collect(),
+            next_quantum: 10_000,
+            next_shuffle: 800,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Overrides the clustering quantum (builder style).
+    #[must_use]
+    pub fn with_quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0);
+        self.quantum = quantum;
+        self.next_quantum = quantum;
+        self
+    }
+
+    /// Current cluster assignment (for tests and reports).
+    pub fn latency_cluster(&self) -> &[bool] {
+        &self.latency_cluster
+    }
+
+    fn recluster(&mut self) {
+        let total: u64 = self.reqs.iter().sum();
+        let mut order: Vec<usize> = (0..self.num_threads).collect();
+        order.sort_by_key(|&t| (self.reqs[t], t));
+        let budget = (total as f64 * self.cluster_threshold).ceil() as u64;
+        let mut used = 0u64;
+        for t in 0..self.num_threads {
+            self.latency_cluster[t] = false;
+        }
+        for &t in &order {
+            if used + self.reqs[t] <= budget {
+                self.latency_cluster[t] = true;
+                used += self.reqs[t];
+            } else {
+                break;
+            }
+        }
+        // Bandwidth cluster initially ranked least-intensive-first.
+        let mut rank = 0;
+        for &t in &order {
+            if !self.latency_cluster[t] {
+                self.bw_rank[t] = rank;
+                rank += 1;
+            } else {
+                self.bw_rank[t] = 0;
+            }
+        }
+        self.reqs.iter_mut().for_each(|r| *r = 0);
+    }
+
+    fn shuffle(&mut self) {
+        // Permute the ranks of bandwidth-cluster threads (insertion
+        // shuffle approximated by a uniform random permutation).
+        let bw: Vec<usize> =
+            (0..self.num_threads).filter(|&t| !self.latency_cluster[t]).collect();
+        let mut ranks: Vec<usize> = (0..bw.len()).collect();
+        ranks.shuffle(&mut self.rng);
+        for (i, &t) in bw.iter().enumerate() {
+            self.bw_rank[t] = ranks[i];
+        }
+    }
+
+    fn priority_key(&self, ctx: &SchedContext<'_>, c: &Candidate) -> impl Ord {
+        let txn = &ctx.queue[c.txn];
+        let thread = txn.thread().index().min(self.num_threads - 1);
+        let crit_mag = match self.tiebreak {
+            TcmTiebreak::FrFcfs => 0,
+            TcmTiebreak::CritFrFcfs => c.crit.magnitude(),
+        };
+        (
+            !self.latency_cluster[thread],
+            self.bw_rank[thread],
+            !c.cmd.kind.is_cas(),
+            std::cmp::Reverse(crit_mag),
+            txn.seq,
+        )
+    }
+}
+
+impl CommandScheduler for Tcm {
+    fn select(&mut self, ctx: &SchedContext<'_>, candidates: &[Candidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| self.priority_key(ctx, c))
+            .map(|(i, _)| i)
+    }
+
+    fn on_enqueue(&mut self, txn: &Transaction, _now: u64) {
+        let t = txn.thread().index();
+        if t < self.num_threads {
+            self.reqs[t] += 1;
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &SchedContext<'_>) {
+        if ctx.now >= self.next_quantum {
+            self.recluster();
+            self.next_quantum = ctx.now + self.quantum;
+        }
+        if ctx.now >= self.next_shuffle {
+            self.shuffle();
+            self.next_shuffle = ctx.now + self.shuffle_interval;
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self.tiebreak {
+            TcmTiebreak::FrFcfs => "TCM",
+            TcmTiebreak::CritFrFcfs => "TCM+Crit",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{mk_candidate, mk_ctx, mk_txn, Timing};
+    use critmem_dram::CommandKind;
+
+    fn drive_quantum(s: &mut Tcm, heavy: u8, light: u8, reqs_heavy: u64) {
+        for i in 0..reqs_heavy {
+            s.on_enqueue(&mk_txn(heavy, 0, i), 0);
+        }
+        s.on_enqueue(&mk_txn(light, 0, 999), 0);
+        s.recluster();
+    }
+
+    #[test]
+    fn light_thread_lands_in_latency_cluster() {
+        let mut s = Tcm::new(2, TcmTiebreak::FrFcfs, 1);
+        drive_quantum(&mut s, 0, 1, 100);
+        assert!(s.latency_cluster()[1], "light thread should be latency-sensitive");
+        assert!(!s.latency_cluster()[0], "heavy thread should be bandwidth-sensitive");
+    }
+
+    #[test]
+    fn latency_cluster_wins_arbitration() {
+        let mut s = Tcm::new(2, TcmTiebreak::FrFcfs, 1);
+        drive_quantum(&mut s, 0, 1, 100);
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(1, 1, 50)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        // Heavy thread has a row hit and is older; light thread still wins.
+        let cands = vec![
+            mk_candidate(0, CommandKind::Read, true, 0),
+            mk_candidate(1, CommandKind::Activate, false, 0),
+        ];
+        assert_eq!(s.select(&ctx, &cands), Some(1));
+    }
+
+    #[test]
+    fn crit_tiebreak_orders_within_cluster() {
+        let mut s = Tcm::new(2, TcmTiebreak::CritFrFcfs, 1);
+        // Both threads in the same (default latency) cluster.
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(0, 1, 5)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        let cands = vec![
+            mk_candidate(0, CommandKind::Read, true, 0),
+            mk_candidate(1, CommandKind::Read, true, 400),
+        ];
+        assert_eq!(s.select(&ctx, &cands), Some(1), "critical request should win tie");
+        // Vanilla TCM would pick the older one.
+        let mut v = Tcm::new(2, TcmTiebreak::FrFcfs, 1);
+        assert_eq!(v.select(&ctx, &cands), Some(0));
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_per_seed() {
+        let mut a = Tcm::new(8, TcmTiebreak::FrFcfs, 42);
+        let mut b = Tcm::new(8, TcmTiebreak::FrFcfs, 42);
+        for i in 0..800u64 {
+            a.on_enqueue(&mk_txn((i % 8) as u8, 0, i), 0);
+            b.on_enqueue(&mk_txn((i % 8) as u8, 0, i), 0);
+        }
+        a.recluster();
+        b.recluster();
+        a.shuffle();
+        b.shuffle();
+        assert_eq!(a.bw_rank, b.bw_rank);
+    }
+}

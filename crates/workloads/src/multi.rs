@@ -1,0 +1,257 @@
+//! Single-threaded SPEC 2000 / NAS stand-ins and the eight
+//! four-application multiprogrammed bundles of Table 4.
+//!
+//! Each app is classified as the paper does (following its Table 4
+//! annotations): **P** — processor-sensitive (small footprint, high
+//! ILP, branchy), **C** — cache-sensitive (working set around the L2
+//! slice), **M** — memory-sensitive (footprint far beyond the L2).
+
+use crate::spec::{AddrPattern, AppSpec, DepSpec, OpClass, Phase, StaticOp};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// The paper's sensitivity classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppClass {
+    /// Processor-sensitive.
+    Processor,
+    /// Cache-sensitive.
+    Cache,
+    /// Memory-sensitive.
+    Memory,
+}
+
+impl AppClass {
+    /// Single-letter form used in Table 4.
+    pub fn letter(self) -> char {
+        match self {
+            AppClass::Processor => 'P',
+            AppClass::Cache => 'C',
+            AppClass::Memory => 'M',
+        }
+    }
+}
+
+/// A multiprogrammed bundle: name plus its four applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bundle {
+    /// Bundle mnemonic (Table 4 row label).
+    pub name: &'static str,
+    /// The four applications, in order.
+    pub apps: [&'static str; 4],
+}
+
+/// Table 4: the eight four-application bundles.
+pub const BUNDLES: [Bundle; 8] = [
+    Bundle { name: "AELV", apps: ["ammp", "ep", "lu", "vpr"] },
+    Bundle { name: "CMLI", apps: ["crafty", "mesa", "lu", "is"] },
+    Bundle { name: "GAMV", apps: ["mg1", "ammp", "mesa", "vpr"] },
+    Bundle { name: "GDPC", apps: ["mg1", "mgrid", "parser", "crafty"] },
+    Bundle { name: "GSMV", apps: ["mg1", "sp", "mesa", "vpr"] },
+    Bundle { name: "RFEV", apps: ["art1", "mcf", "ep", "vpr"] },
+    Bundle { name: "RFGI", apps: ["art1", "mcf", "mg1", "is"] },
+    Bundle { name: "RGTM", apps: ["art1", "mg1", "twolf", "mesa"] },
+];
+
+/// All distinct single-threaded apps appearing in the bundles.
+pub const MULTI_APPS: [&str; 14] = [
+    "ammp", "art1", "crafty", "ep", "is", "lu", "mcf", "mesa", "mg1", "mgrid", "parser", "sp",
+    "twolf", "vpr",
+];
+
+/// The sensitivity class of a single-threaded app (per Table 4's
+/// annotations). Returns `None` for unknown names.
+pub fn app_class(name: &str) -> Option<AppClass> {
+    Some(match name {
+        "ep" | "crafty" | "mesa" => AppClass::Processor,
+        "ammp" | "lu" | "vpr" | "mgrid" | "parser" | "sp" | "art1" => AppClass::Cache,
+        "is" | "mg1" | "mcf" | "twolf" => AppClass::Memory,
+        _ => return None,
+    })
+}
+
+fn load(pat: AddrPattern) -> StaticOp {
+    StaticOp::new(OpClass::Load(pat))
+}
+
+fn alu() -> StaticOp {
+    StaticOp::new(OpClass::IntAlu)
+}
+
+fn fp() -> StaticOp {
+    StaticOp::new(OpClass::FpAlu)
+}
+
+fn branch() -> StaticOp {
+    StaticOp::new(OpClass::Branch)
+}
+
+/// A processor-sensitive kernel: small, L1/L2-resident working set,
+/// lots of ALU work and branches.
+fn processor_kernel(name: &'static str, accuracy: f64, fp_heavy: bool) -> AppSpec {
+    let mut ops = Vec::new();
+    for i in 0..4 {
+        ops.push(load(AddrPattern::Stream { stride: 8, region: 96 * KB }));
+        let work = if fp_heavy { fp() } else { alu() };
+        ops.push(work.dep(DepSpec::PrevLoad));
+        ops.push(alu().dep(DepSpec::Dist(1)));
+        ops.push(alu().dep(DepSpec::Dist(1)));
+        if i % 2 == 0 {
+            ops.push(branch().dep(DepSpec::Dist(1)));
+        }
+    }
+    ops.push(StaticOp::new(OpClass::Store(AddrPattern::Stream {
+        stride: 8,
+        region: 32 * KB,
+    })));
+    AppSpec { name, phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: accuracy }
+}
+
+/// A cache-sensitive kernel: working set comparable to an L2 share.
+fn cache_kernel(name: &'static str, region: u64, accuracy: f64) -> AppSpec {
+    let mut ops = Vec::new();
+    for _ in 0..3 {
+        ops.push(load(AddrPattern::Stream { stride: 8, region }));
+        ops.push(fp().dep(DepSpec::PrevLoad));
+        ops.push(alu().dep(DepSpec::Dist(1)));
+    }
+    ops.push(load(AddrPattern::Random { region }));
+    ops.push(alu().dep(DepSpec::PrevLoad));
+    for _ in 0..4 {
+        ops.push(alu());
+    }
+    ops.push(StaticOp::new(OpClass::Store(AddrPattern::Stream { stride: 8, region })));
+    ops.push(branch());
+    AppSpec { name, phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: accuracy }
+}
+
+/// A memory-sensitive kernel; `chase` adds mcf-style dependent misses.
+/// Hot loads are emitted as a back-to-back independent group so most
+/// misses complete in the shadow of the burst leader (see the parallel
+/// generators): the critical population stays sparse, as in real code.
+fn memory_kernel(name: &'static str, region: u64, chase: bool, accuracy: f64) -> AppSpec {
+    let mut ops = Vec::new();
+    if chase {
+        ops.push(load(AddrPattern::Random { region }));
+        ops.push(load(AddrPattern::Chase { region }).dep(DepSpec::PrevLoad));
+        ops.push(alu().dep(DepSpec::PrevLoad));
+        for _ in 0..6 {
+            ops.push(alu());
+        }
+    } else {
+        // Independent unit-stride streams: aligned miss bursts.
+        for _ in 0..3 {
+            ops.push(load(AddrPattern::Stream { stride: 8, region }));
+        }
+        for k in 0..3u16 {
+            ops.push(alu().dep(DepSpec::Dist(3 - k)));
+        }
+        ops.push(load(AddrPattern::Random { region }));
+        ops.push(alu().dep(DepSpec::PrevLoad));
+        for _ in 0..6 {
+            ops.push(alu());
+        }
+    }
+    ops.push(StaticOp::new(OpClass::Store(AddrPattern::Stream { stride: 8, region })));
+    ops.push(branch().dep(DepSpec::Dist(1)));
+    AppSpec { name, phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: accuracy }
+}
+
+/// Looks up a single-threaded (multiprogrammed-bundle) app by name.
+/// Returns `None` for unknown names.
+pub fn multi_app(name: &str) -> Option<AppSpec> {
+    let spec = match name {
+        // Processor-sensitive.
+        "ep" => processor_kernel("ep", 0.995, true),
+        "crafty" => processor_kernel("crafty", 0.93, false),
+        "mesa" => processor_kernel("mesa", 0.98, true),
+        // Cache-sensitive.
+        "ammp" => cache_kernel("ammp", 1_536 * KB, 0.98),
+        "lu" => cache_kernel("lu", MB, 0.99),
+        "vpr" => cache_kernel("vpr", 1_280 * KB, 0.95),
+        "mgrid" => cache_kernel("mgrid", 2 * MB, 0.99),
+        "parser" => cache_kernel("parser", MB, 0.94),
+        "sp" => cache_kernel("sp", 2 * MB, 0.99),
+        "art1" => cache_kernel("art1", 2_560 * KB, 0.99),
+        // Memory-sensitive.
+        "is" => memory_kernel("is", 16 * MB, false, 0.97),
+        "mg1" => memory_kernel("mg1", 16 * MB, false, 0.99),
+        "mcf" => memory_kernel("mcf", 24 * MB, true, 0.96),
+        "twolf" => memory_kernel("twolf", 12 * MB, false, 0.95),
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// Looks a bundle up by its Table 4 mnemonic.
+pub fn bundle(name: &str) -> Option<Bundle> {
+    BUNDLES.iter().copied().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AppThread;
+    use critmem_cpu::{InstrKind, InstrSource};
+
+    #[test]
+    fn all_multi_apps_exist_and_validate() {
+        for name in MULTI_APPS {
+            let spec = multi_app(name).unwrap_or_else(|| panic!("missing {name}"));
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(spec.name, name);
+            assert!(app_class(name).is_some(), "{name} has no class");
+        }
+    }
+
+    #[test]
+    fn bundles_reference_known_apps() {
+        for b in BUNDLES {
+            for app in b.apps {
+                assert!(multi_app(app).is_some(), "{}: unknown app {app}", b.name);
+            }
+        }
+        assert_eq!(bundle("RGTM").unwrap().apps[2], "twolf");
+        assert!(bundle("XXXX").is_none());
+    }
+
+    #[test]
+    fn table4_class_annotations() {
+        // Spot-check against the paper's Table 4 letters.
+        let classes = |b: &str| -> String {
+            bundle(b)
+                .unwrap()
+                .apps
+                .iter()
+                .map(|a| app_class(a).unwrap().letter())
+                .collect()
+        };
+        assert_eq!(classes("AELV"), "CPCC");
+        assert_eq!(classes("CMLI"), "PPCM");
+        assert_eq!(classes("GAMV"), "MCPC");
+        assert_eq!(classes("GDPC"), "MCCP");
+        assert_eq!(classes("GSMV"), "MCPC");
+        assert_eq!(classes("RFEV"), "CMPC");
+        assert_eq!(classes("RFGI"), "CMMM");
+        assert_eq!(classes("RGTM"), "CMMP");
+    }
+
+    #[test]
+    fn memory_apps_touch_far_more_lines_than_processor_apps() {
+        let distinct_lines = |name: &str| -> usize {
+            let spec = multi_app(name).unwrap();
+            let mut t = AppThread::new(&spec, 0, 3);
+            let mut lines = std::collections::HashSet::new();
+            for _ in 0..20_000 {
+                if let InstrKind::Load { addr } = t.next_instr().kind {
+                    lines.insert(addr / 64);
+                }
+            }
+            lines.len()
+        };
+        let mcf = distinct_lines("mcf");
+        let crafty = distinct_lines("crafty");
+        assert!(mcf > 4 * crafty, "mcf={mcf} crafty={crafty}");
+    }
+}

@@ -1,0 +1,506 @@
+//! The workload-specification machinery: loop templates of static
+//! operations that unroll into deterministic dynamic instruction
+//! streams.
+//!
+//! Each application is a set of *phases*; each phase is a loop body of
+//! [`StaticOp`]s. Unrolling a phase produces recurring static PCs —
+//! exactly the property the Commit Block Predictor exploits (§5.3.1 of
+//! the paper: 10^5–10^7 dynamic critical loads stem from a few hundred
+//! static instructions).
+//!
+//! Address behavior per static op is described by an [`AddrPattern`];
+//! dataflow by [`DepSpec`] distances. Together with a per-(app, core)
+//! seeded RNG this makes every stream fully deterministic.
+
+use critmem_common::{Pc, PhysAddr};
+use critmem_cpu::{Instr, InstrKind, InstrSource};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Private-region base address for a core: 4 GB apart so partitions
+/// never collide.
+pub fn core_base(core: usize) -> PhysAddr {
+    0x1_0000_0000u64 * (core as u64 + 1)
+}
+
+/// Base of the region shared by all threads of a parallel app.
+pub const SHARED_BASE: PhysAddr = 0x8000_0000;
+
+/// How a static memory operation generates addresses across loop
+/// iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrPattern {
+    /// Sequential walk: `base + (iter * stride) % region`, private to
+    /// the core. Sixteen 64 B lines share a 1 KB DRAM row, so streams
+    /// are row-buffer friendly and prefetchable.
+    Stream {
+        /// Step in bytes per iteration.
+        stride: u64,
+        /// Region size in bytes (wraps around).
+        region: u64,
+    },
+    /// Uniform-random line within a private region (scatter/gather).
+    Random {
+        /// Region size in bytes.
+        region: u64,
+    },
+    /// Pointer chase: random address *and* a serial dependence on the
+    /// previous load (art's double-indirect neural nets).
+    Chase {
+        /// Region size in bytes.
+        region: u64,
+    },
+    /// Sequential walk in the region shared by all threads.
+    SharedStream {
+        /// Step in bytes per iteration.
+        stride: u64,
+        /// Region size in bytes.
+        region: u64,
+    },
+    /// Random line in the shared region.
+    SharedRandom {
+        /// Region size in bytes.
+        region: u64,
+    },
+}
+
+/// Dataflow of a static operation's source operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DepSpec {
+    /// No register dependence.
+    #[default]
+    None,
+    /// Depends on the instruction `n` back in the dynamic stream.
+    Dist(u16),
+    /// Depends on the most recently emitted load (serializing chases).
+    PrevLoad,
+}
+
+/// Operation class of a static op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// Integer ALU.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Floating-point add.
+    FpAlu,
+    /// Floating-point multiply.
+    FpMul,
+    /// Conditional branch (misprediction drawn from the app's accuracy).
+    Branch,
+    /// Load with the given address pattern.
+    Load(AddrPattern),
+    /// Store with the given address pattern.
+    Store(AddrPattern),
+}
+
+/// One static instruction in a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticOp {
+    /// Operation class.
+    pub class: OpClass,
+    /// First source operand.
+    pub dep1: DepSpec,
+    /// Second source operand.
+    pub dep2: DepSpec,
+}
+
+impl StaticOp {
+    /// A dependency-free op.
+    pub fn new(class: OpClass) -> Self {
+        StaticOp { class, dep1: DepSpec::None, dep2: DepSpec::None }
+    }
+
+    /// Sets the first dependence (builder style).
+    #[must_use]
+    pub fn dep(mut self, d: DepSpec) -> Self {
+        self.dep1 = d;
+        self
+    }
+
+    /// Sets both dependences (builder style).
+    #[must_use]
+    pub fn deps(mut self, d1: DepSpec, d2: DepSpec) -> Self {
+        self.dep1 = d1;
+        self.dep2 = d2;
+        self
+    }
+}
+
+/// A loop: its body plus how many iterations run before the app moves
+/// to the next phase (round-robin).
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// The loop body.
+    pub ops: Vec<StaticOp>,
+    /// Iterations before switching to the next phase.
+    pub iterations: u64,
+}
+
+/// A complete application specification.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Benchmark name as in the paper's tables.
+    pub name: &'static str,
+    /// Loop phases, visited round-robin.
+    pub phases: Vec<Phase>,
+    /// Branch-predictor accuracy (Alpha 21264-class).
+    pub branch_accuracy: f64,
+}
+
+impl AppSpec {
+    /// Number of static load instructions across all phases.
+    pub fn static_loads(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|p| p.ops.iter().filter(|o| matches!(o.class, OpClass::Load(_))).count())
+            .sum()
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency (empty phases,
+    /// zero regions, out-of-range accuracy).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err(format!("{}: no phases", self.name));
+        }
+        if !(0.5..=1.0).contains(&self.branch_accuracy) {
+            return Err(format!("{}: branch accuracy {} out of range", self.name, self.branch_accuracy));
+        }
+        for (pi, p) in self.phases.iter().enumerate() {
+            if p.ops.is_empty() || p.iterations == 0 {
+                return Err(format!("{}: phase {pi} empty", self.name));
+            }
+            for op in &p.ops {
+                let region = match op.class {
+                    OpClass::Load(pat) | OpClass::Store(pat) => match pat {
+                        AddrPattern::Stream { region, .. }
+                        | AddrPattern::Random { region }
+                        | AddrPattern::Chase { region }
+                        | AddrPattern::SharedStream { region, .. }
+                        | AddrPattern::SharedRandom { region } => Some(region),
+                    },
+                    _ => None,
+                };
+                if let Some(r) = region {
+                    if r == 0 {
+                        return Err(format!("{}: zero-sized region in phase {pi}", self.name));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One thread of an application, unrolled on demand — implements
+/// [`InstrSource`] for a [`critmem_cpu::Core`].
+///
+/// # Examples
+///
+/// ```
+/// use critmem_workloads::{parallel_app, AppThread};
+/// use critmem_cpu::InstrSource;
+///
+/// let spec = parallel_app("fft").unwrap();
+/// let mut t0 = AppThread::new(&spec, 0, 42);
+/// let mut t0b = AppThread::new(&spec, 0, 42);
+/// // Deterministic: two identically-seeded threads emit the same stream.
+/// for _ in 0..1000 {
+///     assert_eq!(t0.next_instr(), t0b.next_instr());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AppThread {
+    spec: AppSpec,
+    core: usize,
+    rng: SmallRng,
+    phase: usize,
+    iter_in_phase: u64,
+    global_iter: u64,
+    op_idx: usize,
+    /// Dynamic instructions since the last emitted load.
+    since_load: u16,
+    /// Per-phase PC bases keep static PCs distinct across phases.
+    phase_pc_base: Vec<Pc>,
+    /// Per-phase private-region base offsets.
+    phase_addr_base: Vec<PhysAddr>,
+}
+
+impl AppThread {
+    /// Instantiates thread `core` of `spec` with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`AppSpec::validate`].
+    pub fn new(spec: &AppSpec, core: usize, seed: u64) -> Self {
+        spec.validate().expect("invalid app spec");
+        let mut pc = 0x1000u64;
+        let mut phase_pc_base = Vec::new();
+        let mut phase_addr_base = Vec::new();
+        let mut addr_off = 0u64;
+        for p in &spec.phases {
+            phase_pc_base.push(pc);
+            pc += (p.ops.len() as u64) * 4 + 64;
+            phase_addr_base.push(addr_off);
+            // Give each phase its own address neighborhood, spaced by
+            // the largest region any of its ops uses.
+            let max_region: u64 = p
+                .ops
+                .iter()
+                .filter_map(|o| match o.class {
+                    OpClass::Load(pat) | OpClass::Store(pat) => match pat {
+                        AddrPattern::Stream { region, .. }
+                        | AddrPattern::Random { region }
+                        | AddrPattern::Chase { region } => Some(region),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(4096);
+            addr_off += max_region * p.ops.len() as u64;
+        }
+        let mix = (core as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed;
+        AppThread {
+            spec: spec.clone(),
+            core,
+            rng: SmallRng::seed_from_u64(mix),
+            phase: 0,
+            iter_in_phase: 0,
+            global_iter: 0,
+            op_idx: 0,
+            since_load: u16::MAX,
+            phase_pc_base,
+            phase_addr_base,
+        }
+    }
+
+    /// The app name.
+    pub fn name(&self) -> &'static str {
+        self.spec.name
+    }
+
+    fn op_addr(&mut self, op_idx: usize, pattern: AddrPattern) -> PhysAddr {
+        let iter = self.global_iter;
+        let align = |a: u64| a & !7;
+        match pattern {
+            AddrPattern::Stream { stride, region } => {
+                let base = core_base(self.core)
+                    + self.phase_addr_base[self.phase]
+                    + op_idx as u64 * region;
+                base + (iter * stride) % region
+            }
+            AddrPattern::Random { region } => {
+                let base = core_base(self.core)
+                    + self.phase_addr_base[self.phase]
+                    + op_idx as u64 * region;
+                base + align(self.rng.gen_range(0..region))
+            }
+            AddrPattern::Chase { region } => {
+                let base = core_base(self.core)
+                    + self.phase_addr_base[self.phase]
+                    + op_idx as u64 * region;
+                base + align(self.rng.gen_range(0..region))
+            }
+            AddrPattern::SharedStream { stride, region } => {
+                SHARED_BASE + op_idx as u64 * region + (iter * stride) % region
+            }
+            AddrPattern::SharedRandom { region } => {
+                SHARED_BASE + op_idx as u64 * region + align(self.rng.gen_range(0..region))
+            }
+        }
+    }
+
+    fn resolve_dep(&self, d: DepSpec) -> Option<u16> {
+        match d {
+            DepSpec::None => None,
+            DepSpec::Dist(n) => Some(n),
+            DepSpec::PrevLoad => {
+                if self.since_load == u16::MAX {
+                    None
+                } else {
+                    Some(self.since_load + 1)
+                }
+            }
+        }
+    }
+}
+
+impl InstrSource for AppThread {
+    fn next_instr(&mut self) -> Instr {
+        let op = self.spec.phases[self.phase].ops[self.op_idx];
+        let pc = self.phase_pc_base[self.phase] + self.op_idx as u64 * 4;
+        let src1 = self.resolve_dep(op.dep1);
+        let src2 = self.resolve_dep(op.dep2);
+        let kind = match op.class {
+            OpClass::IntAlu => InstrKind::IntAlu,
+            OpClass::IntMul => InstrKind::IntMul,
+            OpClass::FpAlu => InstrKind::FpAlu,
+            OpClass::FpMul => InstrKind::FpMul,
+            OpClass::Branch => InstrKind::Branch {
+                mispredict: self.rng.gen::<f64>() > self.spec.branch_accuracy,
+            },
+            OpClass::Load(pat) => InstrKind::Load { addr: self.op_addr(self.op_idx, pat) },
+            OpClass::Store(pat) => InstrKind::Store { addr: self.op_addr(self.op_idx, pat) },
+        };
+        // Track distance to the previous load for `PrevLoad` deps.
+        if matches!(kind, InstrKind::Load { .. }) {
+            self.since_load = 0;
+        } else if self.since_load != u16::MAX {
+            self.since_load = self.since_load.saturating_add(1);
+        }
+        // Advance the loop cursor.
+        self.op_idx += 1;
+        if self.op_idx == self.spec.phases[self.phase].ops.len() {
+            self.op_idx = 0;
+            self.iter_in_phase += 1;
+            self.global_iter += 1;
+            if self.iter_in_phase >= self.spec.phases[self.phase].iterations {
+                self.iter_in_phase = 0;
+                self.phase = (self.phase + 1) % self.spec.phases.len();
+            }
+        }
+        Instr { pc, kind, src1, src2 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> AppSpec {
+        AppSpec {
+            name: "tiny",
+            phases: vec![Phase {
+                ops: vec![
+                    StaticOp::new(OpClass::Load(AddrPattern::Stream {
+                        stride: 64,
+                        region: 1 << 20,
+                    })),
+                    StaticOp::new(OpClass::IntAlu).dep(DepSpec::PrevLoad),
+                    StaticOp::new(OpClass::Branch),
+                ],
+                iterations: 10,
+            }],
+            branch_accuracy: 1.0,
+        }
+    }
+
+    #[test]
+    fn static_pcs_recur_across_iterations() {
+        let spec = tiny_spec();
+        let mut t = AppThread::new(&spec, 0, 1);
+        let first: Vec<Pc> = (0..3).map(|_| t.next_instr().pc).collect();
+        let second: Vec<Pc> = (0..3).map(|_| t.next_instr().pc).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn stream_addresses_advance_by_stride() {
+        let spec = tiny_spec();
+        let mut t = AppThread::new(&spec, 0, 1);
+        let mut loads = Vec::new();
+        for _ in 0..9 {
+            if let InstrKind::Load { addr } = t.next_instr().kind {
+                loads.push(addr);
+            }
+        }
+        assert_eq!(loads.len(), 3);
+        assert_eq!(loads[1] - loads[0], 64);
+        assert_eq!(loads[2] - loads[1], 64);
+    }
+
+    #[test]
+    fn prev_load_dep_resolves_to_distance_one_consumer() {
+        let spec = tiny_spec();
+        let mut t = AppThread::new(&spec, 0, 1);
+        let _load = t.next_instr();
+        let alu = t.next_instr();
+        assert_eq!(alu.src1, Some(1), "ALU immediately after load depends on it");
+    }
+
+    #[test]
+    fn cores_get_disjoint_private_regions() {
+        let spec = tiny_spec();
+        let mut a = AppThread::new(&spec, 0, 1);
+        let mut b = AppThread::new(&spec, 1, 1);
+        let addr_a = loop {
+            if let InstrKind::Load { addr } = a.next_instr().kind {
+                break addr;
+            }
+        };
+        let addr_b = loop {
+            if let InstrKind::Load { addr } = b.next_instr().kind {
+                break addr;
+            }
+        };
+        assert_ne!(addr_a >> 32, addr_b >> 32);
+    }
+
+    #[test]
+    fn shared_pattern_is_common_across_cores() {
+        let spec = AppSpec {
+            name: "shared",
+            phases: vec![Phase {
+                ops: vec![StaticOp::new(OpClass::Load(AddrPattern::SharedStream {
+                    stride: 64,
+                    region: 1 << 16,
+                }))],
+                iterations: 5,
+            }],
+            branch_accuracy: 1.0,
+        };
+        let mut a = AppThread::new(&spec, 0, 1);
+        let mut b = AppThread::new(&spec, 3, 9);
+        let ia = a.next_instr();
+        let ib = b.next_instr();
+        match (ia.kind, ib.kind) {
+            (InstrKind::Load { addr: x }, InstrKind::Load { addr: y }) => assert_eq!(x, y),
+            other => panic!("expected loads, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phases_rotate() {
+        let spec = AppSpec {
+            name: "two-phase",
+            phases: vec![
+                Phase { ops: vec![StaticOp::new(OpClass::IntAlu)], iterations: 2 },
+                Phase { ops: vec![StaticOp::new(OpClass::FpAlu)], iterations: 1 },
+            ],
+            branch_accuracy: 1.0,
+        };
+        let mut t = AppThread::new(&spec, 0, 1);
+        let kinds: Vec<InstrKind> = (0..6).map(|_| t.next_instr().kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                InstrKind::IntAlu,
+                InstrKind::IntAlu,
+                InstrKind::FpAlu,
+                InstrKind::IntAlu,
+                InstrKind::IntAlu,
+                InstrKind::FpAlu,
+            ]
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut s = tiny_spec();
+        s.branch_accuracy = 0.2;
+        assert!(s.validate().is_err());
+        let mut s = tiny_spec();
+        s.phases.clear();
+        assert!(s.validate().is_err());
+        let mut s = tiny_spec();
+        s.phases[0].ops[0] =
+            StaticOp::new(OpClass::Load(AddrPattern::Random { region: 0 }));
+        assert!(s.validate().is_err());
+    }
+}

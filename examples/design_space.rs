@@ -1,0 +1,61 @@
+//! Design-space walk (§5.6): how the value of criticality information
+//! changes with memory parallelism (ranks per channel) and processor
+//! buffering (load-queue size).
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem_dram::timing::preset_by_name;
+use critmem_predict::CbpMetric;
+use critmem_sched::SchedulerKind;
+
+fn measure(cfg: SystemConfig, workload: &WorkloadKind) -> (u64, u64) {
+    let base = run(cfg.clone(), workload);
+    let crit = run(
+        cfg.with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime)),
+        workload,
+    );
+    (base.cycles, crit.cycles)
+}
+
+fn main() {
+    let instructions = 10_000;
+    let workload = WorkloadKind::Parallel("mg");
+
+    println!("rank sweep (DDR3-2133, app = mg): fewer ranks => more contention");
+    for ranks in [1u8, 2, 4] {
+        let mut cfg = SystemConfig::paper_baseline(instructions);
+        cfg.dram.preset = preset_by_name("DDR3-2133").expect("preset");
+        cfg.dram.org.ranks_per_channel = ranks;
+        let (base, crit) = measure(cfg, &workload);
+        println!(
+            "  {ranks} rank(s): criticality gain {:+.1}%",
+            (base as f64 / crit as f64 - 1.0) * 100.0
+        );
+    }
+
+    println!("\nload-queue sweep (app = mg): bigger LQ absorbs some stalls");
+    for lq in [32usize, 48, 64] {
+        let mut cfg = SystemConfig::paper_baseline(instructions);
+        cfg.core.lq_entries = lq;
+        let (base, crit) = measure(cfg, &workload);
+        println!(
+            "  LQ {lq:>2}: criticality gain {:+.1}%",
+            (base as f64 / crit as f64 - 1.0) * 100.0
+        );
+    }
+
+    println!("\ndevice sweep (4 ranks, app = mg): trends hold across speed grades");
+    for dev in ["DDR3-1066", "DDR3-1600", "DDR3-2133"] {
+        let mut cfg = SystemConfig::paper_baseline(instructions);
+        cfg.dram.preset = preset_by_name(dev).expect("preset");
+        let (base, crit) = measure(cfg, &workload);
+        println!(
+            "  {dev}: criticality gain {:+.1}%",
+            (base as f64 / crit as f64 - 1.0) * 100.0
+        );
+    }
+}

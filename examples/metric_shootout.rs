@@ -1,0 +1,54 @@
+//! Metric shootout: compare all five CBP annotation metrics (§3.1) and
+//! the CLPT alternative on a pointer-chasing workload.
+//!
+//! `art` is the paper's most scheduling-sensitive app (double-indirect
+//! pointer chasing over a huge footprint), which makes the differences
+//! between ranking metrics visible even in a short run.
+//!
+//! ```text
+//! cargo run --release --example metric_shootout
+//! ```
+
+use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem_predict::{CbpMetric, ClptMode};
+use critmem_sched::SchedulerKind;
+
+fn main() {
+    let instructions = 15_000;
+    let workload = WorkloadKind::Parallel("art");
+    let base_cfg = SystemConfig::paper_baseline(instructions);
+
+    println!("app = art, {instructions} instructions/core, CASRAS-Crit scheduler\n");
+    let baseline = run(base_cfg.clone(), &workload);
+    println!("{:<18} {:>12} cycles  (baseline)", "FR-FCFS", baseline.cycles);
+
+    let mut candidates: Vec<(String, PredictorKind)> = CbpMetric::ALL
+        .iter()
+        .map(|&m| (format!("CBP {}", m.name()), PredictorKind::cbp64(m)))
+        .collect();
+    candidates.push((
+        "CLPT-Binary".to_string(),
+        PredictorKind::Clpt(ClptMode::Binary { threshold: 3 }),
+    ));
+    candidates.push((
+        "CLPT-Consumers".to_string(),
+        PredictorKind::Clpt(ClptMode::Consumers { threshold: 3 }),
+    ));
+
+    for (name, pred) in candidates {
+        let cfg = base_cfg
+            .clone()
+            .with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(pred);
+        let stats = run(cfg, &workload);
+        let speedup = baseline.cycles as f64 / stats.cycles as f64;
+        let (one, many) = stats.critical_queue_fractions();
+        println!(
+            "{name:<18} {:>12} cycles  {:+6.1}%  (queue had >=1 critical {:4.1}% / >1 critical {:4.1}% of time)",
+            stats.cycles,
+            (speedup - 1.0) * 100.0,
+            one * 100.0,
+            many * 100.0,
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: measure the paper's headline result on one workload.
+//!
+//! Runs the `swim` parallel workload on the 8-core CMP twice — once
+//! under baseline FR-FCFS and once with the 64-entry MaxStallTime
+//! Commit Block Predictor feeding the CASRAS-Crit scheduler — and
+//! reports the speedup.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem_predict::CbpMetric;
+use critmem_sched::SchedulerKind;
+
+fn main() {
+    let instructions = 20_000;
+    let workload = WorkloadKind::Parallel("swim");
+
+    println!("simulating swim on 8 cores, {instructions} instructions/core ...");
+
+    // Baseline: FR-FCFS, no criticality information.
+    let baseline_cfg = SystemConfig::paper_baseline(instructions);
+    let baseline = run(baseline_cfg.clone(), &workload);
+
+    // The paper's design: a tiny per-core CBP + a lean criticality-
+    // aware FR-FCFS (criticality bits prepended to the age comparator).
+    let crit_cfg = baseline_cfg
+        .with_scheduler(SchedulerKind::CasRasCrit)
+        .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
+    let crit = run(crit_cfg, &workload);
+
+    let speedup = baseline.cycles as f64 / crit.cycles as f64;
+    println!();
+    println!("FR-FCFS baseline : {:>12} cycles", baseline.cycles);
+    println!("MaxStallTime CBP : {:>12} cycles", crit.cycles);
+    println!("speedup          : {:+.1}%", (speedup - 1.0) * 100.0);
+    println!();
+    println!(
+        "ROB head blocked by long-latency loads {:.1}% of cycles (baseline)",
+        baseline.blocked_cycle_fraction() * 100.0
+    );
+    if let (Some(c), Some(n)) = (crit.miss_latency_critical(), crit.miss_latency_noncritical()) {
+        println!("L2 miss latency with criticality scheduling: critical {c:.0} vs non-critical {n:.0} CPU cycles");
+    }
+}

@@ -1,0 +1,161 @@
+//! DDR3 protocol-conformance properties: bandwidth bounds, refresh
+//! cadence, and timing-window checks on the controller's observable
+//! behavior under randomized traffic.
+
+use critmem_common::{AccessKind, ChannelId, CoreId, MemRequest};
+use critmem_dram::{
+    AddressMapping, ChannelController, DramConfig, Fcfs, Interleaving,
+};
+use proptest::prelude::*;
+
+/// Drives random reads through one channel; returns (completions with
+/// cycles, total cycles elapsed, stats snapshot fields).
+fn drive_random(seeds: &[u64]) -> (Vec<(u64, u64)>, u64, u64) {
+    let cfg = DramConfig::paper_baseline();
+    let map = AddressMapping::new(cfg.org, Interleaving::Page);
+    let mut ctl = ChannelController::new(ChannelId(0), cfg, Box::new(Fcfs::new()));
+    let mut to_send: Vec<MemRequest> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            // Channel-0 addresses: rows are 4 KB apart.
+            let addr = (s % 2_048) * 4_096 + (s % 16) * 64;
+            MemRequest::new(i as u64, addr, AccessKind::Read, CoreId((s % 8) as u8))
+        })
+        .collect();
+    let total = to_send.len();
+    let mut done = Vec::new();
+    let mut cycles = 0u64;
+    while done.len() < total && cycles < 2_000_000 {
+        cycles += 1;
+        if let Some(req) = to_send.pop() {
+            let loc = map.locate(req.addr);
+            if let Err(back) = ctl.enqueue(req, loc) {
+                to_send.push(back); // queue full; retry next cycle
+            }
+        }
+        for c in ctl.tick() {
+            done.push((c.req.id, c.done_at));
+        }
+    }
+    let refreshes = ctl.stats().refreshes;
+    (done, cycles, refreshes)
+}
+
+#[test]
+fn data_bus_bandwidth_is_never_exceeded() {
+    // Each read occupies the bus for 4 DRAM cycles; N reads cannot
+    // complete in fewer than 4N cycles on one channel.
+    let seeds: Vec<u64> = (0..300).map(|i| i * 37 + 5).collect();
+    let (done, cycles, _) = drive_random(&seeds);
+    assert_eq!(done.len(), 300);
+    assert!(
+        cycles >= 4 * 300,
+        "300 bursts in {cycles} cycles violates bus bandwidth"
+    );
+    // Completions are causally ordered in time.
+    let max_done = done.iter().map(|&(_, d)| d).max().unwrap();
+    assert!(max_done <= cycles + 20);
+}
+
+#[test]
+fn refresh_cadence_matches_trefi() {
+    // Idle channel for 10 * tREFI: each of the 4 ranks must have
+    // refreshed about 10 times.
+    let cfg = DramConfig::paper_baseline();
+    let mut ctl = ChannelController::new(ChannelId(0), cfg, Box::new(Fcfs::new()));
+    let trefi = cfg.preset.timing.t_refi;
+    for _ in 0..10 * trefi {
+        ctl.tick();
+    }
+    let refreshes = ctl.stats().refreshes;
+    let expect = 10 * 4; // 10 intervals x 4 ranks
+    assert!(
+        (refreshes as i64 - expect as i64).abs() <= 8,
+        "expected ~{expect} refreshes, got {refreshes}"
+    );
+}
+
+#[test]
+fn row_hits_have_lower_latency_than_conflicts() {
+    // Sixteen sequential lines in one row (after the opening ACT, all
+    // row hits) versus sixteen different rows of one bank.
+    let cfg = DramConfig::paper_baseline();
+    let map = AddressMapping::new(cfg.org, Interleaving::Page);
+    let service = |addrs: Vec<u64>| -> u64 {
+        let mut ctl = ChannelController::new(ChannelId(0), cfg, Box::new(Fcfs::new()));
+        for (i, a) in addrs.iter().enumerate() {
+            ctl.enqueue(
+                MemRequest::new(i as u64, *a, AccessKind::Read, CoreId(0)),
+                map.locate(*a),
+            )
+            .unwrap();
+        }
+        let mut cycles = 0;
+        let mut finished = 0;
+        while finished < addrs.len() && cycles < 100_000 {
+            cycles += 1;
+            finished += ctl.tick().len();
+        }
+        cycles
+    };
+    let same_row: Vec<u64> = (0..16).map(|i| i * 64).collect();
+    let conflicts: Vec<u64> = (0..16).map(|i| i * 128 * 1024).collect();
+    let fast = service(same_row);
+    let slow = service(conflicts);
+    assert!(
+        slow > fast * 2,
+        "row conflicts ({slow}) should cost far more than row hits ({fast})"
+    );
+}
+
+#[test]
+fn bank_parallelism_beats_serial_banks() {
+    let cfg = DramConfig::paper_baseline();
+    let map = AddressMapping::new(cfg.org, Interleaving::Page);
+    let service = |addrs: Vec<u64>| -> u64 {
+        let mut ctl = ChannelController::new(ChannelId(0), cfg, Box::new(Fcfs::new()));
+        for (i, a) in addrs.iter().enumerate() {
+            ctl.enqueue(
+                MemRequest::new(i as u64, *a, AccessKind::Read, CoreId(0)),
+                map.locate(*a),
+            )
+            .unwrap();
+        }
+        let mut cycles = 0;
+        let mut finished = 0;
+        while finished < addrs.len() && cycles < 100_000 {
+            cycles += 1;
+            finished += ctl.tick().len();
+        }
+        cycles
+    };
+    // 8 requests spread across 8 banks (page interleave: +4 KB steps)
+    // vs 8 row conflicts within one bank (+128 KB steps).
+    let spread: Vec<u64> = (0..8).map(|i| i * 4 * 1024).collect();
+    let serial: Vec<u64> = (0..8).map(|i| i * 128 * 1024).collect();
+    let par = service(spread);
+    let ser = service(serial);
+    assert!(
+        ser as f64 > par as f64 * 1.8,
+        "bank-level parallelism should roughly halve service time ({par} vs {ser})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random read mixes always complete, never exceed bus bandwidth,
+    /// and refresh continues under load.
+    #[test]
+    fn random_traffic_conserves_and_bounds(seeds in proptest::collection::vec(0u64..1_000_000, 50..150)) {
+        let (done, cycles, _) = drive_random(&seeds);
+        prop_assert_eq!(done.len(), seeds.len());
+        prop_assert!(cycles >= 4 * seeds.len() as u64);
+        // Unique ids: nothing serviced twice.
+        let mut ids: Vec<u64> = done.iter().map(|&(id, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), seeds.len());
+    }
+}

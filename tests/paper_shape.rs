@@ -1,0 +1,75 @@
+//! Shape tests: the paper's qualitative claims must hold at test
+//! scale. These deliberately use loose thresholds — the claim under
+//! test is *direction and ordering*, not magnitude (see DESIGN.md §8).
+
+use critmem::experiments::{fig1, fig4, Runner, Scale};
+use critmem::metrics::mean;
+
+fn runner() -> Runner {
+    Runner::new(Scale {
+        instructions: 6_000,
+        apps: vec!["art", "mg", "swim"],
+        sweep_apps: vec!["mg"],
+        bundles: vec![],
+    })
+}
+
+#[test]
+fn rob_blocking_dominates_execution_time() {
+    // Paper Figure 1: few dynamic loads block the head, but they block
+    // it for a large share of cycles.
+    let mut r = runner();
+    let f = fig1(&mut r);
+    assert!(
+        f.avg_cycle_fraction() > 0.15,
+        "long-latency loads should dominate stall time, got {:.3}",
+        f.avg_cycle_fraction()
+    );
+    assert!(
+        f.avg_load_fraction() < 0.5,
+        "only a minority of loads should block, got {:.3}",
+        f.avg_load_fraction()
+    );
+    assert!(
+        f.avg_cycle_fraction() > 2.0 * f.avg_load_fraction(),
+        "cycle share must far exceed load share"
+    );
+}
+
+#[test]
+fn criticality_scheduling_beats_frfcfs_and_clpt_does_not() {
+    // Paper Figures 3/4: CBP-based criticality produces real speedups;
+    // the CLPT criterion does not help the memory scheduler.
+    let mut r = runner();
+    let f = fig4(&mut r);
+    let cbp_best = ["BlockCount", "MaxStallTime", "TotalStallTime"]
+        .iter()
+        .map(|m| f.average_of(m).unwrap())
+        .fold(f64::MIN, f64::max);
+    let binary = f.average_of("Binary").unwrap();
+    let clpt = f.average_of("CLPT-Consumers").unwrap();
+    assert!(binary > 1.0, "Binary CBP should speed up execution, got {binary:.3}");
+    assert!(cbp_best > 1.01, "ranked CBP should show a clear gain, got {cbp_best:.3}");
+    // At test scale the fine Binary-vs-ranked ordering is within
+    // noise (the paper's gap is ~3 points at 500M instructions);
+    // require only that ranking stays in the same band.
+    assert!(
+        cbp_best >= binary - 0.06,
+        "ranking should not lose badly to binary ({cbp_best:.3} vs {binary:.3})"
+    );
+    assert!(
+        clpt < binary,
+        "CLPT should underperform the CBP ({clpt:.3} vs {binary:.3})"
+    );
+    assert!((0.95..1.08).contains(&clpt), "CLPT should be near-neutral, got {clpt:.3}");
+}
+
+#[test]
+fn speedups_are_not_noise() {
+    // The averaged criticality gain must exceed seed-to-seed noise.
+    let mut r = runner();
+    let f = fig4(&mut r);
+    let series = f.series.iter().find(|s| s.label == "MaxStallTime").unwrap();
+    let avg = mean(&series.per_app);
+    assert!(avg > 1.0, "average MaxStallTime speedup {avg:.3} should exceed 1.0");
+}

@@ -1,0 +1,136 @@
+//! End-to-end predictor behavior: CBP training through the real
+//! commit stage, table-size/aliasing effects, periodic reset, and the
+//! §5.1 naive-forwarding contrast.
+
+use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem_predict::{CbpMetric, TableSize};
+use critmem_sched::SchedulerKind;
+
+fn cfg(instructions: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_baseline(instructions);
+    cfg.cores = 4;
+    cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(4);
+    cfg.max_cycles = 300_000_000;
+    cfg
+}
+
+#[test]
+fn cbp_learns_and_requests_become_critical() {
+    let stats = run(
+        cfg(4_000)
+            .with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(PredictorKind::cbp64(CbpMetric::Binary)),
+        &WorkloadKind::Parallel("swim"),
+    );
+    let issued: u64 = stats.cores.iter().map(|c| c.issued_loads).sum();
+    let critical: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
+    assert!(critical > 0, "CBP never marked a load");
+    assert!(critical < issued, "CBP should not mark every load");
+    // §3.1: queues hold critical loads a substantial share of time.
+    let (one, many) = stats.critical_queue_fractions();
+    assert!(one > 0.05, "critical loads should appear in queues ({one:.3})");
+    assert!(many <= one);
+}
+
+#[test]
+fn observed_counter_widths_are_plausible() {
+    // Table 5: Binary is one bit; stall metrics span >= 8 bits even at
+    // small scale; TotalStallTime observes the largest values.
+    let metric_max = |metric: CbpMetric| -> (u64, u32) {
+        let stats = run(
+            cfg(4_000)
+                .with_scheduler(SchedulerKind::CasRasCrit)
+                .with_predictor(PredictorKind::cbp64(metric)),
+            &WorkloadKind::Parallel("art"),
+        );
+        stats
+            .predictor_observed
+            .iter()
+            .flatten()
+            .fold((0, 0), |acc, &(v, b)| (acc.0.max(v), acc.1.max(b)))
+    };
+    let (bin_max, bin_bits) = metric_max(CbpMetric::Binary);
+    assert_eq!((bin_max, bin_bits), (1, 1));
+    let (max_stall, stall_bits) = metric_max(CbpMetric::MaxStallTime);
+    assert!(max_stall > 100, "stalls should exceed 100 cycles, got {max_stall}");
+    assert!(stall_bits >= 8);
+    let (total, _) = metric_max(CbpMetric::TotalStallTime);
+    assert!(total >= max_stall, "total stall accumulates beyond max");
+}
+
+#[test]
+fn aliased_64_entry_table_tracks_unlimited_closely() {
+    // §5.3.1: the 64-entry table performs within a whisker of the
+    // unlimited table because static-load populations are small.
+    let run_with = |size: TableSize| {
+        run(
+            cfg(5_000).with_scheduler(SchedulerKind::CasRasCrit).with_predictor(
+                PredictorKind::Cbp { metric: CbpMetric::MaxStallTime, size, reset_interval: None },
+            ),
+            &WorkloadKind::Parallel("mg"),
+        )
+        .cycles as f64
+    };
+    let small = run_with(TableSize::Entries(64));
+    let unlimited = run_with(TableSize::Unlimited);
+    let ratio = small / unlimited;
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "64-entry vs unlimited should be within 10% ({ratio:.3})"
+    );
+}
+
+#[test]
+fn periodic_reset_clears_saturation_without_breaking_anything() {
+    let stats = run(
+        cfg(10_000).with_scheduler(SchedulerKind::CasRasCrit).with_predictor(
+            PredictorKind::Cbp {
+                metric: CbpMetric::Binary,
+                size: TableSize::Entries(64),
+                reset_interval: Some(5_000),
+            },
+        ),
+        &WorkloadKind::Parallel("swim"),
+    );
+    // The run spans several reset intervals, and the predictor kept
+    // marking loads after each reset.
+    let critical: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
+    assert!(stats.cycles > 3 * 5_000, "run too short to cover resets: {}", stats.cycles);
+    assert!(critical > 0);
+}
+
+#[test]
+fn naive_forwarding_marks_queued_requests_but_learns_nothing() {
+    let mut c = cfg(4_000).with_scheduler(SchedulerKind::CasRasCrit);
+    c.naive_forwarding = true;
+    let stats = run(c, &WorkloadKind::Parallel("art"));
+    // Requests got promoted in the queues...
+    let (one, _) = stats.critical_queue_fractions();
+    assert!(one > 0.0, "naive forwarding should promote queued requests");
+    // ...but no load ever *issues* critical (there is no predictor).
+    let critical: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
+    assert_eq!(critical, 0);
+}
+
+#[test]
+fn clpt_marks_are_disjoint_from_dram_boundness() {
+    // The paper's §5.3.3 finding: CLPT targets a load population
+    // largely complementary to the CBP's. In the synthetic workloads
+    // the heavily-consumed loads are cache-resident, so despite CLPT
+    // marking loads at issue, the DRAM queues see few critical ones.
+    let stats = run(
+        cfg(4_000)
+            .with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(PredictorKind::Clpt(critmem_predict::ClptMode::Binary {
+                threshold: 3,
+            })),
+        &WorkloadKind::Parallel("swim"),
+    );
+    let issued_crit: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
+    assert!(issued_crit > 0, "CLPT should mark the heavily-consumed loads");
+    let (one, _) = stats.critical_queue_fractions();
+    assert!(
+        one < 0.2,
+        "CLPT-marked loads should rarely reach DRAM (queue-critical {one:.3})"
+    );
+}

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: end-to-end request flow through
+//! cores, caches, every scheduler, and the DDR3 model.
+
+use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem_predict::{CbpMetric, ClptMode, TableSize};
+use critmem_sched::{MorseConfig, SchedulerKind, TcmTiebreak};
+
+fn small_cfg(instructions: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_baseline(instructions);
+    cfg.cores = 4;
+    cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(4);
+    cfg.max_cycles = 200_000_000;
+    cfg
+}
+
+#[test]
+fn every_scheduler_completes_a_parallel_run() {
+    let schedulers = [
+        SchedulerKind::Fcfs,
+        SchedulerKind::FrFcfs,
+        SchedulerKind::CritCasRas,
+        SchedulerKind::CasRasCrit,
+        SchedulerKind::Ahb,
+        SchedulerKind::ParBs { marking_cap: 5 },
+        SchedulerKind::Tcm { tiebreak: TcmTiebreak::FrFcfs },
+        SchedulerKind::Tcm { tiebreak: TcmTiebreak::CritFrFcfs },
+        SchedulerKind::Morse(MorseConfig::default()),
+        SchedulerKind::Morse(MorseConfig { use_criticality: true, ..Default::default() }),
+    ];
+    for sched in schedulers {
+        let cfg = small_cfg(2_000)
+            .with_scheduler(sched)
+            .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
+        let stats = run(cfg, &WorkloadKind::Parallel("mg"));
+        assert!(stats.cycles > 0, "{}", sched.name());
+        for (i, c) in stats.cores.iter().enumerate() {
+            assert!(c.committed >= 2_000, "{} core {i} under target", sched.name());
+        }
+        // Conservation: every demand L2 miss eventually produced a DRAM
+        // read (plus prefetch-free run means reads >= misses is not
+        // exact because of MSHR merges; check reads > 0 and no huge
+        // mismatch instead).
+        let dram_reads: u64 = stats.channels.iter().map(|c| c.reads_completed).sum();
+        assert!(dram_reads > 0, "{}", sched.name());
+    }
+}
+
+#[test]
+fn every_predictor_kind_completes() {
+    let predictors = [
+        PredictorKind::None,
+        PredictorKind::cbp64(CbpMetric::Binary),
+        PredictorKind::cbp64(CbpMetric::BlockCount),
+        PredictorKind::cbp64(CbpMetric::LastStallTime),
+        PredictorKind::cbp64(CbpMetric::MaxStallTime),
+        PredictorKind::cbp64(CbpMetric::TotalStallTime),
+        PredictorKind::Cbp {
+            metric: CbpMetric::MaxStallTime,
+            size: TableSize::Unlimited,
+            reset_interval: None,
+        },
+        PredictorKind::Cbp {
+            metric: CbpMetric::Binary,
+            size: TableSize::Entries(64),
+            reset_interval: Some(50_000),
+        },
+        PredictorKind::Clpt(ClptMode::Binary { threshold: 3 }),
+        PredictorKind::Clpt(ClptMode::Consumers { threshold: 3 }),
+    ];
+    for pred in predictors {
+        let cfg = small_cfg(1_500)
+            .with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(pred);
+        let stats = run(cfg, &WorkloadKind::Parallel("equake"));
+        assert!(stats.cycles > 0, "{}", pred.name());
+    }
+}
+
+#[test]
+fn all_parallel_apps_run_end_to_end() {
+    for app in critmem_workloads::PARALLEL_APPS {
+        let stats = run(small_cfg(1_200), &WorkloadKind::Parallel(app));
+        assert!(stats.cycles > 0, "{app}");
+        assert!(stats.hierarchy.l2_misses > 0, "{app} should miss the L2");
+        let loads: u64 = stats.cores.iter().map(|c| c.loads).sum();
+        assert!(loads > 0, "{app}");
+    }
+}
+
+#[test]
+fn all_bundles_run_end_to_end() {
+    for b in critmem_workloads::BUNDLES {
+        let mut cfg = SystemConfig::multiprogrammed_baseline(1_200);
+        cfg.max_cycles = 200_000_000;
+        let stats = run(cfg, &WorkloadKind::Bundle(b.name));
+        assert_eq!(stats.cores.len(), 4, "{}", b.name);
+        for i in 0..4 {
+            assert!(stats.ipc(i) > 0.0, "{} app {i}", b.name);
+        }
+    }
+}
+
+#[test]
+fn prefetcher_reduces_baseline_cycles_on_streaming_app() {
+    let base = run(small_cfg(4_000), &WorkloadKind::Parallel("swim"));
+    let pf = run(small_cfg(4_000).with_prefetcher(), &WorkloadKind::Parallel("swim"));
+    assert!(pf.hierarchy.prefetches_sent > 0);
+    assert!(
+        pf.cycles < base.cycles,
+        "stream prefetching should speed up swim ({} vs {})",
+        pf.cycles,
+        base.cycles
+    );
+    assert!(pf.hierarchy.prefetch_useful > 0);
+}
+
+#[test]
+fn refresh_actually_happens_in_long_runs() {
+    let stats = run(small_cfg(6_000), &WorkloadKind::Parallel("swim"));
+    let refreshes: u64 = stats.channels.iter().map(|c| c.refreshes).sum();
+    assert!(refreshes > 0, "tREFI should have elapsed at least once");
+}
+
+#[test]
+fn identical_configs_are_bit_identical() {
+    let a = run(small_cfg(2_000), &WorkloadKind::Parallel("radix"));
+    let b = run(small_cfg(2_000), &WorkloadKind::Parallel("radix"));
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.core_finish, b.core_finish);
+    assert_eq!(a.hierarchy.l2_misses, b.hierarchy.l2_misses);
+    let reads =
+        |s: &critmem::RunStats| s.channels.iter().map(|c| c.reads_completed).sum::<u64>();
+    assert_eq!(reads(&a), reads(&b));
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run(small_cfg(2_000), &WorkloadKind::Parallel("radix"));
+    let mut cfg = small_cfg(2_000);
+    cfg.seed ^= 0xDEAD_BEEF;
+    let b = run(cfg, &WorkloadKind::Parallel("radix"));
+    assert_ne!(a.cycles, b.cycles, "seed must influence random address streams");
+}
+
+#[test]
+fn ddr3_1066_and_1600_presets_run() {
+    for dev in ["DDR3-1066", "DDR3-1600"] {
+        let mut cfg = small_cfg(1_500);
+        cfg.dram.preset = critmem_dram::timing::preset_by_name(dev).unwrap();
+        let stats = run(cfg, &WorkloadKind::Parallel("mg"));
+        assert!(stats.cycles > 0, "{dev}");
+    }
+}
+
+#[test]
+fn slower_memory_means_more_cycles() {
+    let mut fast = small_cfg(3_000);
+    fast.dram.preset = critmem_dram::timing::preset_by_name("DDR3-2133").unwrap();
+    let mut slow = small_cfg(3_000);
+    slow.dram.preset = critmem_dram::timing::preset_by_name("DDR3-1066").unwrap();
+    let f = run(fast, &WorkloadKind::Parallel("swim"));
+    let s = run(slow, &WorkloadKind::Parallel("swim"));
+    assert!(
+        s.cycles > f.cycles,
+        "halving the bus clock must cost cycles ({} vs {})",
+        s.cycles,
+        f.cycles
+    );
+}
+
+#[test]
+fn cacheline_interleaving_also_works() {
+    let mut cfg = small_cfg(1_500);
+    cfg.dram.interleaving = critmem_dram::Interleaving::CacheLine;
+    let stats = run(cfg, &WorkloadKind::Parallel("ocean"));
+    assert!(stats.cycles > 0);
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over the workload generators: every app must
+//! emit well-formed, deterministic instruction streams whose
+//! dependences are resolvable by the core.
+
+use critmem_cpu::{InstrKind, InstrSource};
+use critmem_workloads::{multi_app, parallel_app, AppThread, MULTI_APPS, PARALLEL_APPS};
+use proptest::prelude::*;
+
+fn all_specs() -> Vec<critmem_workloads::AppSpec> {
+    PARALLEL_APPS
+        .iter()
+        .map(|a| parallel_app(a).unwrap())
+        .chain(MULTI_APPS.iter().map(|a| multi_app(a).unwrap()))
+        .collect()
+}
+
+#[test]
+fn every_app_stream_is_deterministic() {
+    for spec in all_specs() {
+        let mut a = AppThread::new(&spec, 2, 99);
+        let mut b = AppThread::new(&spec, 2, 99);
+        for i in 0..5_000 {
+            assert_eq!(a.next_instr(), b.next_instr(), "{} diverged at {i}", spec.name);
+        }
+    }
+}
+
+#[test]
+fn dependences_point_backwards_and_near() {
+    // A src distance must be positive and small enough that the
+    // producer can still be in a 128-entry ROB when the consumer
+    // dispatches; otherwise the dependence silently degrades.
+    for spec in all_specs() {
+        let mut t = AppThread::new(&spec, 0, 7);
+        for i in 0..5_000u64 {
+            let instr = t.next_instr();
+            for d in [instr.src1, instr.src2].into_iter().flatten() {
+                assert!(d > 0, "{}: zero dependence distance", spec.name);
+                assert!(
+                    u64::from(d) <= 127,
+                    "{}: dependence distance {d} exceeds ROB reach at instr {i}",
+                    spec.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn memory_addresses_are_canonical() {
+    for spec in all_specs() {
+        let mut t = AppThread::new(&spec, 3, 7);
+        for _ in 0..5_000 {
+            let instr = t.next_instr();
+            if let InstrKind::Load { addr } | InstrKind::Store { addr } = instr.kind {
+                assert_eq!(addr % 8, 0, "{}: misaligned address {addr:#x}", spec.name);
+                assert!(addr > 0, "{}: null-ish address", spec.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn static_pc_population_is_loop_bounded() {
+    // The CBP's premise (§5.3.1): dynamic loads stem from a small
+    // static population.
+    for spec in all_specs() {
+        let mut t = AppThread::new(&spec, 0, 7);
+        let mut pcs = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            let i = t.next_instr();
+            if matches!(i.kind, InstrKind::Load { .. }) {
+                pcs.insert(i.pc);
+            }
+        }
+        assert!(
+            pcs.len() <= 200,
+            "{}: {} static loads — should be loop-bounded",
+            spec.name,
+            pcs.len()
+        );
+        assert!(!pcs.is_empty(), "{}", spec.name);
+    }
+}
+
+#[test]
+fn branch_mispredict_rate_tracks_accuracy() {
+    for spec in all_specs() {
+        let mut t = AppThread::new(&spec, 0, 7);
+        let mut branches = 0u64;
+        let mut mispredicts = 0u64;
+        for _ in 0..100_000 {
+            if let InstrKind::Branch { mispredict } = t.next_instr().kind {
+                branches += 1;
+                mispredicts += u64::from(mispredict);
+            }
+        }
+        if branches < 500 {
+            continue;
+        }
+        let rate = mispredicts as f64 / branches as f64;
+        let expect = 1.0 - spec.branch_accuracy;
+        assert!(
+            (rate - expect).abs() < 0.02,
+            "{}: mispredict rate {rate:.3} vs configured {expect:.3}",
+            spec.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Seeds and cores always produce valid streams (no panics,
+    /// aligned addresses, bounded dependences).
+    #[test]
+    fn arbitrary_seed_and_core_are_safe(seed in any::<u64>(), core in 0usize..8, app_i in 0usize..9) {
+        let spec = parallel_app(PARALLEL_APPS[app_i]).unwrap();
+        let mut t = AppThread::new(&spec, core, seed);
+        for _ in 0..2_000 {
+            let i = t.next_instr();
+            if let InstrKind::Load { addr } | InstrKind::Store { addr } = i.kind {
+                prop_assert_eq!(addr % 8, 0);
+            }
+            for d in [i.src1, i.src2].into_iter().flatten() {
+                prop_assert!(d > 0 && d <= 127);
+            }
+        }
+    }
+
+    /// Different cores of a parallel app never emit the same private
+    /// stream (they may share the shared region only).
+    #[test]
+    fn cores_differ(app_i in 0usize..9) {
+        let spec = parallel_app(PARALLEL_APPS[app_i]).unwrap();
+        let mut a = AppThread::new(&spec, 0, 1);
+        let mut b = AppThread::new(&spec, 1, 1);
+        let differs = (0..1_000).any(|_| a.next_instr() != b.next_instr());
+        prop_assert!(differs);
+    }
+}
