@@ -6,10 +6,10 @@
 //! 3. page vs cache-line interleaving under FR-FCFS,
 //! 4. periodic CBP reset (§5.3.2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use critmem::experiments::TextTable;
 use critmem::PredictorKind;
 use critmem_bench::bench_runner;
+use critmem_bench::{criterion_group, criterion_main, Criterion};
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 
@@ -25,12 +25,23 @@ fn ablation_tables() {
     for &app in &apps {
         let base = r.baseline(app).cycles as f64;
         let a = r
-            .parallel(app, SchedulerKind::CritCasRas, PredictorKind::cbp64(CbpMetric::MaxStallTime))
+            .parallel(
+                app,
+                SchedulerKind::CritCasRas,
+                PredictorKind::cbp64(CbpMetric::MaxStallTime),
+            )
             .cycles as f64;
         let b = r
-            .parallel(app, SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::MaxStallTime))
+            .parallel(
+                app,
+                SchedulerKind::CasRasCrit,
+                PredictorKind::cbp64(CbpMetric::MaxStallTime),
+            )
             .cycles as f64;
-        t.row(app, vec![TextTable::pct(base / a), TextTable::pct(base / b)]);
+        t.row(
+            app,
+            vec![TextTable::pct(base / a), TextTable::pct(base / b)],
+        );
     }
     println!("{t}");
 

@@ -3,9 +3,9 @@
 //! widths), Table 7 (summary), the §5.1 naive-forwarding experiment,
 //! and the §5.3.2 table-reset study.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use critmem::experiments::{fig10, naive, reset_study, table5, table7};
 use critmem_bench::bench_runner;
+use critmem_bench::{criterion_group, criterion_main, Criterion};
 
 fn print_once() {
     let mut r = bench_runner();

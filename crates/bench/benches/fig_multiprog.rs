@@ -1,9 +1,9 @@
 //! Regenerates Figure 12: multiprogrammed weighted speedups normalized
 //! to PAR-BS, plus the maximum-slowdown fairness numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use critmem::experiments::fig12;
 use critmem_bench::bench_runner;
+use critmem_bench::{criterion_group, criterion_main, Criterion};
 
 fn print_once() {
     let mut r = bench_runner();

@@ -6,9 +6,9 @@
 //! The regenerated tables are printed once, then the per-figure
 //! harnesses are timed.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use critmem::experiments::{fig1, fig3, fig4, fig5, fig6, fig7};
 use critmem_bench::bench_runner;
+use critmem_bench::{criterion_group, criterion_main, Criterion};
 
 fn print_once() {
     let mut r = bench_runner();

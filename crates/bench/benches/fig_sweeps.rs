@@ -2,9 +2,9 @@
 //! channel, DDR3-1600/2133), Figure 9 (load-queue size), and Figure 11
 //! (MORSE command-evaluation width).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use critmem::experiments::{fig11, fig8, fig9};
 use critmem_bench::bench_runner;
+use critmem_bench::{criterion_group, criterion_main, Criterion};
 
 fn print_once() {
     let mut r = bench_runner();

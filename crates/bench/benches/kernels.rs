@@ -4,8 +4,8 @@
 //! argument: CASRAS-Crit arbitration should cost no more than plain
 //! FR-FCFS arbitration (it is the same comparator, a few bits wider).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use critmem::{PredictorKind, SystemConfig, System, WorkloadKind};
+use critmem::{PredictorKind, System, SystemConfig, WorkloadKind};
+use critmem_bench::{black_box, criterion_group, criterion_main, Criterion};
 use critmem_common::{AccessKind, ChannelId, CoreId, Criticality, MemRequest};
 use critmem_dram::{AddressMapping, ChannelController, DramConfig, Interleaving};
 use critmem_predict::{CbpMetric, CommitBlockPredictor, TableSize};

@@ -1,14 +1,24 @@
-//! Shared scaffolding for the figure-regeneration benches.
+//! Shared scaffolding for the figure-regeneration benches, plus a
+//! self-contained micro-benchmark harness.
+//!
+//! The workspace builds in hermetic (offline) environments, so the
+//! benches cannot depend on Criterion. This crate provides a small
+//! API-compatible subset — [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — backed by `std::time::Instant`. Each
+//! bench function is warmed up, then sampled repeatedly; the harness
+//! prints the median and spread per sample.
 //!
 //! Each bench target regenerates one or more of the paper's figures or
 //! tables at bench scale, *prints* the regenerated rows/series (so
 //! `cargo bench` output contains the reproduction), and then times the
-//! underlying harness with Criterion.
+//! underlying harness.
 
 use critmem::experiments::{Runner, Scale};
+use std::time::{Duration, Instant};
 
-/// The scale used inside benches: small enough that Criterion's
-/// repeated sampling stays fast, large enough that predictors warm up.
+/// The scale used inside benches: small enough that repeated sampling
+/// stays fast, large enough that predictors warm up.
 pub fn bench_scale() -> Scale {
     Scale {
         instructions: 2_500,
@@ -21,4 +31,177 @@ pub fn bench_scale() -> Scale {
 /// A fresh runner at bench scale.
 pub fn bench_runner() -> Runner {
     Runner::new(bench_scale())
+}
+
+/// Identity function that defeats constant propagation, so benched
+/// expressions are not optimized away.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to each bench closure.
+pub struct Bencher {
+    /// Measured wall-clock for the whole batch, filled by [`Bencher::iter`].
+    sample: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f` over an adaptively chosen number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until it runs long enough to time.
+        let mut iters = 1u64;
+        let total = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 24 {
+                break elapsed;
+            }
+            iters *= 4;
+        };
+        self.sample = total;
+        self.iters = iters;
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    crit: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.crit.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        self.crit.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (kept for Criterion API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Minimal stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            crit: self,
+        }
+    }
+
+    /// Runs and reports one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.sample_size);
+        // One warm-up pass, then the timed samples.
+        for i in 0..=self.sample_size {
+            let mut b = Bencher {
+                sample: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b);
+            if i > 0 {
+                per_iter.push(b.sample.as_secs_f64() / b.iters.max(1) as f64);
+            }
+        }
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let lo = per_iter.first().copied().unwrap_or(0.0);
+        let hi = per_iter.last().copied().unwrap_or(0.0);
+        println!(
+            "bench {id:<44} median {}  [{} .. {}]  ({} samples)",
+            fmt_seconds(median),
+            fmt_seconds(lo),
+            fmt_seconds(hi),
+            per_iter.len()
+        );
+    }
+}
+
+/// Human-friendly duration formatting (ns/µs/ms/s).
+fn fmt_seconds(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:8.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:8.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:8.2} ms", s * 1e3)
+    } else {
+        format!("{s:8.3} s ")
+    }
+}
+
+/// Declares a bench group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1u64 + 1));
+            calls += 1;
+        });
+        g.finish();
+        assert!(calls >= 4, "warm-up + 3 samples");
+    }
+
+    #[test]
+    fn duration_formats_scale() {
+        assert!(fmt_seconds(2e-9).contains("ns"));
+        assert!(fmt_seconds(2e-6).contains("µs"));
+        assert!(fmt_seconds(2e-3).contains("ms"));
+        assert!(fmt_seconds(2.0).contains('s'));
+    }
 }

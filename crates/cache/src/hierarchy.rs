@@ -197,7 +197,10 @@ impl CacheHierarchy {
     ///
     /// Panics on inconsistent geometry (L1 line must divide L2 line).
     pub fn new(cfg: HierarchyConfig) -> Self {
-        assert!(cfg.num_cores > 0 && cfg.num_cores <= 8, "1..=8 cores supported");
+        assert!(
+            cfg.num_cores > 0 && cfg.num_cores <= 8,
+            "1..=8 cores supported"
+        );
         assert!(
             cfg.l2_line % cfg.l1_line == 0,
             "L1 line ({}) must divide L2 line ({})",
@@ -325,8 +328,10 @@ impl CacheHierarchy {
                     .with_criticality(crit)
                     .with_issue_cycle(now);
                 self.next_req += 1;
-                self.outbox
-                    .push_back(OutboxEntry { req, ready_at: now + self.cfg.l2_to_mem_latency });
+                self.outbox.push_back(OutboxEntry {
+                    req,
+                    ready_at: now + self.cfg.l2_to_mem_latency,
+                });
                 self.train_prefetcher(addr, core, now);
                 AccessOutcome::Pending(AccessToken(token))
             }
@@ -347,7 +352,16 @@ impl CacheHierarchy {
     ) -> u64 {
         let token = self.next_token;
         self.next_token += 1;
-        self.info.insert(token, AccessInfo { addr, is_write, crit, start: now, core });
+        self.info.insert(
+            token,
+            AccessInfo {
+                addr,
+                is_write,
+                crit,
+                start: now,
+                core,
+            },
+        );
         token
     }
 
@@ -415,7 +429,10 @@ impl CacheHierarchy {
                 let halves = self.cfg.l2_line / self.cfg.l1_line;
                 let mut still_holds = false;
                 for h in 0..halves {
-                    if self.l1d[ci].peek(l2_victim_line + h * self.cfg.l1_line).is_some() {
+                    if self.l1d[ci]
+                        .peek(l2_victim_line + h * self.cfg.l1_line)
+                        .is_some()
+                    {
                         still_holds = true;
                     }
                 }
@@ -434,7 +451,9 @@ impl CacheHierarchy {
     }
 
     fn train_prefetcher(&mut self, addr: PhysAddr, core: CoreId, now: CpuCycle) {
-        let Some(pf) = self.prefetcher.as_mut() else { return };
+        let Some(pf) = self.prefetcher.as_mut() else {
+            return;
+        };
         let line_addr = self.l2.line_addr(addr);
         for pf_addr in pf.on_demand_miss(line_addr) {
             if self.l2.peek(pf_addr).is_some() || self.l2_mshr.pending(pf_addr) {
@@ -511,7 +530,9 @@ impl CacheHierarchy {
         let done = now + self.cfg.fill_latency;
         let mut completions = Vec::new();
         for target in targets {
-            let Some(info) = self.info.get(&target.token).copied() else { continue };
+            let Some(info) = self.info.get(&target.token).copied() else {
+                continue;
+            };
             // Directory update + L1 fill for the requesting core.
             {
                 let line = self.l2.peek_mut(line_addr).expect("just inserted");
@@ -558,13 +579,14 @@ mod tests {
         CacheHierarchy::new(HierarchyConfig::paper_baseline(cores))
     }
 
-    fn load(
-        h: &mut CacheHierarchy,
-        core: u8,
-        addr: u64,
-        now: u64,
-    ) -> AccessOutcome {
-        h.access(CoreId(core), addr, CacheAccessKind::Load, Criticality::non_critical(), now)
+    fn load(h: &mut CacheHierarchy, core: u8, addr: u64, now: u64) -> AccessOutcome {
+        h.access(
+            CoreId(core),
+            addr,
+            CacheAccessKind::Load,
+            Criticality::non_critical(),
+            now,
+        )
     }
 
     fn drain_and_complete(h: &mut CacheHierarchy, now: u64) -> Vec<CacheCompletion> {
@@ -630,8 +652,14 @@ mod tests {
         assert_eq!(reqs, 1);
         assert_eq!(completions.len(), 2);
         // Both halves now hit in L1.
-        assert!(matches!(load(&mut h, 0, 0x1000, 200), AccessOutcome::Done(_)));
-        assert!(matches!(load(&mut h, 0, 0x1020, 200), AccessOutcome::Done(_)));
+        assert!(matches!(
+            load(&mut h, 0, 0x1000, 200),
+            AccessOutcome::Done(_)
+        ));
+        assert!(matches!(
+            load(&mut h, 0, 0x1020, 200),
+            AccessOutcome::Done(_)
+        ));
     }
 
     #[test]
@@ -641,7 +669,7 @@ mod tests {
         load(&mut h, 0, 0x1000, 0);
         drain_and_complete(&mut h, 50);
         load(&mut h, 1, 0x1000, 100); // L2 hit, fills core 1's L1
-        // Core 0 stores: upgrade should invalidate core 1's copy.
+                                      // Core 0 stores: upgrade should invalidate core 1's copy.
         let out = h.access(
             CoreId(0),
             0x1000,
@@ -687,7 +715,13 @@ mod tests {
     #[test]
     fn criticality_rides_the_memory_request() {
         let mut h = hierarchy(1);
-        h.access(CoreId(0), 0x3000, CacheAccessKind::Load, Criticality::ranked(77), 0);
+        h.access(
+            CoreId(0),
+            0x3000,
+            CacheAccessKind::Load,
+            Criticality::ranked(77),
+            0,
+        );
         let req = h.pop_request(100).expect("request emitted");
         assert_eq!(req.crit.magnitude(), 77);
         assert_eq!(req.kind, AccessKind::Read);
@@ -696,8 +730,20 @@ mod tests {
     #[test]
     fn miss_latency_split_by_criticality() {
         let mut h = hierarchy(1);
-        h.access(CoreId(0), 0x3000, CacheAccessKind::Load, Criticality::ranked(9), 0);
-        h.access(CoreId(0), 0x9000, CacheAccessKind::Load, Criticality::non_critical(), 0);
+        h.access(
+            CoreId(0),
+            0x3000,
+            CacheAccessKind::Load,
+            Criticality::ranked(9),
+            0,
+        );
+        h.access(
+            CoreId(0),
+            0x9000,
+            CacheAccessKind::Load,
+            Criticality::non_critical(),
+            0,
+        );
         while let Some(req) = h.pop_request(1_000) {
             h.dram_completed(&req, 500);
         }
@@ -711,8 +757,14 @@ mod tests {
         let mut cfg = HierarchyConfig::paper_baseline(1);
         cfg.l1_mshrs = 2;
         let mut h = CacheHierarchy::new(cfg);
-        assert!(matches!(load(&mut h, 0, 0x0000, 0), AccessOutcome::Pending(_)));
-        assert!(matches!(load(&mut h, 0, 0x4000, 0), AccessOutcome::Pending(_)));
+        assert!(matches!(
+            load(&mut h, 0, 0x0000, 0),
+            AccessOutcome::Pending(_)
+        ));
+        assert!(matches!(
+            load(&mut h, 0, 0x4000, 0),
+            AccessOutcome::Pending(_)
+        ));
         assert_eq!(load(&mut h, 0, 0x8000, 0), AccessOutcome::Retry);
     }
 
@@ -721,11 +773,17 @@ mod tests {
         let mut cfg = HierarchyConfig::paper_baseline(1);
         cfg.l2_mshrs = 1;
         let mut h = CacheHierarchy::new(cfg);
-        assert!(matches!(load(&mut h, 0, 0x0000, 0), AccessOutcome::Pending(_)));
+        assert!(matches!(
+            load(&mut h, 0, 0x0000, 0),
+            AccessOutcome::Pending(_)
+        ));
         assert_eq!(load(&mut h, 0, 0x4000, 0), AccessOutcome::Retry);
         // After the first completes, the retry succeeds.
         drain_and_complete(&mut h, 100);
-        assert!(matches!(load(&mut h, 0, 0x4000, 200), AccessOutcome::Pending(_)));
+        assert!(matches!(
+            load(&mut h, 0, 0x4000, 200),
+            AccessOutcome::Pending(_)
+        ));
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl MshrFile {
     /// two.
     pub fn new(capacity: usize, line_bytes: u64) -> Self {
         assert!(capacity > 0, "MSHR capacity must be nonzero");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         MshrFile {
             entries: Vec::with_capacity(capacity),
             capacity,
@@ -119,7 +122,11 @@ impl MshrFile {
             self.rejections += 1;
             return MshrOutcome::Full;
         }
-        self.entries.push(Entry { line_addr: line, targets: Vec::new(), wants_exclusive: false });
+        self.entries.push(Entry {
+            line_addr: line,
+            targets: Vec::new(),
+            wants_exclusive: false,
+        });
         self.peak = self.peak.max(self.entries.len());
         MshrOutcome::NewMiss
     }
@@ -176,7 +183,10 @@ mod tests {
     use super::*;
 
     fn t(token: u64) -> MshrTarget {
-        MshrTarget { token, is_write: false }
+        MshrTarget {
+            token,
+            is_write: false,
+        }
     }
 
     #[test]
@@ -204,9 +214,18 @@ mod tests {
         let mut m = MshrFile::new(2, 64);
         m.register(0x100, t(1));
         m.register(0x110, t(2));
-        m.register(0x130, MshrTarget { token: 3, is_write: true });
+        m.register(
+            0x130,
+            MshrTarget {
+                token: 3,
+                is_write: true,
+            },
+        );
         let (targets, excl) = m.complete(0x100).unwrap();
-        assert_eq!(targets.iter().map(|x| x.token).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            targets.iter().map(|x| x.token).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert!(excl, "merged write must request exclusive");
         assert!(m.is_empty());
         assert!(m.complete(0x100).is_none());

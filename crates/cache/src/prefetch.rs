@@ -25,7 +25,12 @@ pub struct PrefetchConfig {
 
 impl Default for PrefetchConfig {
     fn default() -> Self {
-        PrefetchConfig { streams: 64, distance: 64, degree: 4, line_bytes: 64 }
+        PrefetchConfig {
+            streams: 64,
+            distance: 64,
+            degree: 4,
+            line_bytes: 64,
+        }
     }
 }
 
@@ -72,9 +77,20 @@ impl StreamPrefetcher {
     /// Panics if the configuration has zero streams/degree or a
     /// non-power-of-two line size.
     pub fn new(cfg: PrefetchConfig) -> Self {
-        assert!(cfg.streams > 0 && cfg.degree > 0, "streams and degree must be nonzero");
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
-        StreamPrefetcher { cfg, streams: Vec::with_capacity(cfg.streams), clock: 0, issued: 0 }
+        assert!(
+            cfg.streams > 0 && cfg.degree > 0,
+            "streams and degree must be nonzero"
+        );
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        StreamPrefetcher {
+            cfg,
+            streams: Vec::with_capacity(cfg.streams),
+            clock: 0,
+            issued: 0,
+        }
     }
 
     /// The configuration in force.
@@ -122,7 +138,13 @@ impl StreamPrefetcher {
         }
         // Allocate a new (untrained) stream pair of directions: assume
         // ascending first; direction is fixed by the second miss.
-        let s = Stream { last_line: line, next_pf: line + 1, dir: 1, trained: false, lru: clock };
+        let s = Stream {
+            last_line: line,
+            next_pf: line + 1,
+            dir: 1,
+            trained: false,
+            lru: clock,
+        };
         if self.streams.len() < self.cfg.streams {
             self.streams.push(s);
         } else if let Some(victim) = self.streams.iter_mut().min_by_key(|s| s.lru) {
@@ -139,7 +161,12 @@ mod tests {
     use super::*;
 
     fn pf() -> StreamPrefetcher {
-        StreamPrefetcher::new(PrefetchConfig { streams: 4, distance: 16, degree: 2, line_bytes: 64 })
+        StreamPrefetcher::new(PrefetchConfig {
+            streams: 4,
+            distance: 16,
+            degree: 2,
+            line_bytes: 64,
+        })
     }
 
     #[test]

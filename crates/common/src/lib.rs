@@ -33,11 +33,13 @@
 pub mod clock;
 pub mod ids;
 pub mod mem;
+pub mod rng;
 pub mod stats;
 
 pub use clock::ClockDivider;
 pub use ids::{BankId, ChannelId, CoreId, RankId, ThreadId};
-pub use mem::{AccessKind, Criticality, MemRequest, ReqId};
+pub use mem::{AccessKind, Criticality, MemRequest, ReqId, RequestObserver};
+pub use rng::SmallRng;
 pub use stats::{Counter, Histogram, RunningMean};
 
 /// A cycle count in the CPU clock domain.

@@ -123,7 +123,7 @@ impl fmt::Display for Criticality {
 
 /// A memory request as it travels from an L2 miss to a DRAM channel's
 /// transaction queue and back.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRequest {
     /// Globally unique id; completion is reported by id.
     pub id: ReqId,
@@ -144,7 +144,14 @@ pub struct MemRequest {
 impl MemRequest {
     /// Creates a non-critical request.
     pub fn new(id: ReqId, addr: PhysAddr, kind: AccessKind, core: CoreId) -> Self {
-        MemRequest { id, addr, kind, core, crit: Criticality::non_critical(), issued_at: 0 }
+        MemRequest {
+            id,
+            addr,
+            kind,
+            core,
+            crit: Criticality::non_critical(),
+            issued_at: 0,
+        }
     }
 
     /// Attaches a criticality annotation (builder style).
@@ -160,6 +167,34 @@ impl MemRequest {
     pub fn with_issue_cycle(mut self, cycle: CpuCycle) -> Self {
         self.issued_at = cycle;
         self
+    }
+}
+
+/// Observer of requests crossing the LLC-miss boundary into the DRAM
+/// transaction queues.
+///
+/// This is the seam the trace-capture subsystem (and future
+/// observability hooks) attach to. The system model is generic over the
+/// observer type, so the no-op implementation on `()` compiles away
+/// entirely — execution-driven runs without a sink pay nothing.
+pub trait RequestObserver {
+    /// Called once per request, at the CPU cycle on which it was
+    /// accepted into a DRAM channel's transaction queue.
+    fn on_enqueue(&mut self, now: CpuCycle, req: &MemRequest);
+}
+
+/// The disabled observer: every call is a no-op the optimizer removes.
+impl RequestObserver for () {
+    #[inline(always)]
+    fn on_enqueue(&mut self, _now: CpuCycle, _req: &MemRequest) {}
+}
+
+impl<O: RequestObserver> RequestObserver for Option<O> {
+    #[inline]
+    fn on_enqueue(&mut self, now: CpuCycle, req: &MemRequest) {
+        if let Some(obs) = self {
+            obs.on_enqueue(now, req);
+        }
     }
 }
 

@@ -158,13 +158,23 @@ impl Default for Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Histogram { buckets: [0; 64], count: 0, sum: 0, max: 0, min: u64::MAX }
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
     }
 
     /// Records one sample.
     #[inline]
     pub fn record(&mut self, sample: u64) {
-        let bucket = if sample < 2 { 0 } else { 63 - sample.leading_zeros() as usize };
+        let bucket = if sample < 2 {
+            0
+        } else {
+            63 - sample.leading_zeros() as usize
+        };
         self.buckets[bucket] += 1;
         self.count += 1;
         self.sum += sample;
@@ -225,7 +235,6 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn counter_basics() {
@@ -270,7 +279,12 @@ mod tests {
     fn histogram_required_bits_matches_paper_table5() {
         // Paper Table 5: max 13,475 -> 14 bits; 1,975,691 -> 21 bits;
         // 112,753,587 -> 27 bits.
-        for (max, bits) in [(13_475u64, 14u32), (1_975_691, 21), (112_753_587, 27), (1, 1)] {
+        for (max, bits) in [
+            (13_475u64, 14u32),
+            (1_975_691, 21),
+            (112_753_587, 27),
+            (1, 1),
+        ] {
             let mut h = Histogram::new();
             h.record(max);
             assert_eq!(h.required_bits(), bits, "max = {max}");
@@ -286,31 +300,56 @@ mod tests {
         assert_eq!(h.required_bits(), 1);
     }
 
-    proptest! {
-        #[test]
-        fn histogram_total_preserved(samples in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+    fn random_samples(
+        rng: &mut crate::SmallRng,
+        bound: u64,
+        min_len: u64,
+        max_len: u64,
+    ) -> Vec<u64> {
+        let n = rng.gen_range(min_len..max_len);
+        (0..n).map(|_| rng.gen_range(0..bound)).collect()
+    }
+
+    /// Seeded property sweep: recording never loses samples.
+    #[test]
+    fn histogram_total_preserved() {
+        let mut rng = crate::SmallRng::seed_from_u64(0x4157);
+        for _ in 0..64 {
+            let samples = random_samples(&mut rng, 1_000_000, 0, 200);
             let mut h = Histogram::new();
-            for &s in &samples { h.record(s); }
-            prop_assert_eq!(h.count(), samples.len() as u64);
+            for &s in &samples {
+                h.record(s);
+            }
+            assert_eq!(h.count(), samples.len() as u64);
             if let Some(max) = samples.iter().max() {
-                prop_assert_eq!(h.max(), Some(*max));
+                assert_eq!(h.max(), Some(*max));
             }
             let bucket_total: u64 = h.buckets().iter().sum();
-            prop_assert_eq!(bucket_total, samples.len() as u64);
+            assert_eq!(bucket_total, samples.len() as u64);
         }
+    }
 
-        #[test]
-        fn merge_is_sum(xs in proptest::collection::vec(0u64..10_000, 1..50),
-                        ys in proptest::collection::vec(0u64..10_000, 1..50)) {
+    /// Seeded property sweep: merge behaves like recording both sample
+    /// sets into one histogram.
+    #[test]
+    fn merge_is_sum() {
+        let mut rng = crate::SmallRng::seed_from_u64(0x6E12);
+        for _ in 0..64 {
+            let xs = random_samples(&mut rng, 10_000, 1, 50);
+            let ys = random_samples(&mut rng, 10_000, 1, 50);
             let mut a = Histogram::new();
             let mut b = Histogram::new();
-            for &x in &xs { a.record(x); }
-            for &y in &ys { b.record(y); }
+            for &x in &xs {
+                a.record(x);
+            }
+            for &y in &ys {
+                b.record(y);
+            }
             let mut merged = a.clone();
             merged.merge(&b);
-            prop_assert_eq!(merged.count(), a.count() + b.count());
+            assert_eq!(merged.count(), a.count() + b.count());
             let expect_max = a.max().unwrap().max(b.max().unwrap());
-            prop_assert_eq!(merged.max(), Some(expect_max));
+            assert_eq!(merged.max(), Some(expect_max));
         }
     }
 }

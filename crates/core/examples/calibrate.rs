@@ -6,16 +6,32 @@ use critmem_sched::SchedulerKind;
 use std::time::Instant;
 
 fn main() {
-    let instr: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let instr: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
     println!("instr/core = {instr}");
-    println!("{:<10} {:>10} {:>6} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6} {:>6}",
-        "app", "cycles", "IPC", "blkLd%", "blkCy%", "L2hit%", "rowhit%", "maxstall", "crit1%", "starv", "wall");
+    println!(
+        "{:<10} {:>10} {:>6} {:>7} {:>7} {:>7} {:>8} {:>8} {:>7} {:>6} {:>6}",
+        "app",
+        "cycles",
+        "IPC",
+        "blkLd%",
+        "blkCy%",
+        "L2hit%",
+        "rowhit%",
+        "maxstall",
+        "crit1%",
+        "starv",
+        "wall"
+    );
     for app in critmem_workloads::PARALLEL_APPS {
         let t0 = Instant::now();
         let mut cfg = SystemConfig::paper_baseline(instr);
         cfg.max_cycles = 500_000_000;
         let base = run(cfg.clone(), &WorkloadKind::Parallel(app));
-        let crit_cfg = cfg.clone()
+        let crit_cfg = cfg
+            .clone()
             .with_scheduler(SchedulerKind::CasRasCrit)
             .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
         let crit = run(crit_cfg, &WorkloadKind::Parallel(app));
@@ -23,8 +39,16 @@ fn main() {
         let ipc = instr as f64 * 8.0 / base.cycles as f64;
         let rh: f64 = {
             let hits: u64 = base.channels.iter().map(|c| c.row_hits).sum();
-            let tot: u64 = base.channels.iter().map(|c| c.row_hits + c.row_misses + c.row_conflicts).sum();
-            if tot == 0 { 0.0 } else { hits as f64 / tot as f64 }
+            let tot: u64 = base
+                .channels
+                .iter()
+                .map(|c| c.row_hits + c.row_misses + c.row_conflicts)
+                .sum();
+            if tot == 0 {
+                0.0
+            } else {
+                hits as f64 / tot as f64
+            }
         };
         let (one, _many) = crit.critical_queue_fractions();
         let starv: u64 = base.channels.iter().map(|c| c.starvation_promotions).sum();

@@ -5,12 +5,18 @@ use critmem_sched::SchedulerKind;
 fn main() {
     let app = std::env::args().nth(1).unwrap_or_else(|| "mg".into());
     let app: &'static str = Box::leak(app.into_boxed_str());
-    let n: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(25_000);
+    let n: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25_000);
     for (name, cfg) in [
         ("FR-FCFS", SystemConfig::paper_baseline(n)),
-        ("CASRAS-Crit/Binary", SystemConfig::paper_baseline(n)
-            .with_scheduler(SchedulerKind::CasRasCrit)
-            .with_predictor(PredictorKind::cbp64(CbpMetric::Binary))),
+        (
+            "CASRAS-Crit/Binary",
+            SystemConfig::paper_baseline(n)
+                .with_scheduler(SchedulerKind::CasRasCrit)
+                .with_predictor(PredictorKind::cbp64(CbpMetric::Binary)),
+        ),
     ] {
         let mut cfg = cfg;
         cfg.max_cycles = 2_000_000_000;
@@ -19,7 +25,8 @@ fn main() {
         let rh: u64 = s.channels.iter().map(|c| c.row_hits).sum();
         let rm: u64 = s.channels.iter().map(|c| c.row_misses).sum();
         let rc: u64 = s.channels.iter().map(|c| c.row_conflicts).sum();
-        let occ: f64 = s.channels.iter().map(|c| c.mean_occupancy()).sum::<f64>() / s.channels.len() as f64;
+        let occ: f64 =
+            s.channels.iter().map(|c| c.mean_occupancy()).sum::<f64>() / s.channels.len() as f64;
         let lat: f64 = {
             let sum: u64 = s.channels.iter().map(|c| c.read_latency_sum).sum();
             let n: u64 = s.channels.iter().map(|c| c.reads_completed).sum();
@@ -33,11 +40,19 @@ fn main() {
             *finish_max as f64 / *finish_min as f64);
         let sb: u64 = s.cores.iter().map(|c| c.sb_full_cycles).sum();
         let cyc: u64 = s.cores.iter().map(|c| c.cycles).sum();
-        println!("{:<20} sb_full {:.1}% of core-cycles", "", 100.0*sb as f64/cyc as f64);
+        println!(
+            "{:<20} sb_full {:.1}% of core-cycles",
+            "",
+            100.0 * sb as f64 / cyc as f64
+        );
         let (one, many) = s.critical_queue_fractions();
-        println!("{:<20} critq1 {:.1}% critq>1 {:.1}% issued_crit {:.1}%", "",
-            one*100.0, many*100.0,
+        println!(
+            "{:<20} critq1 {:.1}% critq>1 {:.1}% issued_crit {:.1}%",
+            "",
+            one * 100.0,
+            many * 100.0,
             100.0 * s.cores.iter().map(|c| c.issued_critical_loads).sum::<u64>() as f64
-                  / s.cores.iter().map(|c| c.issued_loads).sum::<u64>() as f64);
+                / s.cores.iter().map(|c| c.issued_loads).sum::<u64>() as f64
+        );
     }
 }

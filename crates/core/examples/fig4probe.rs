@@ -8,7 +8,14 @@ fn main() {
     });
     let f = fig4(&mut r);
     for s in &f.series {
-        println!("{:<16} avg {:+.2}%  per-app {:?}", s.label, (s.average()-1.0)*100.0,
-            s.per_app.iter().map(|v| format!("{:+.1}%", (v-1.0)*100.0)).collect::<Vec<_>>());
+        println!(
+            "{:<16} avg {:+.2}%  per-app {:?}",
+            s.label,
+            (s.average() - 1.0) * 100.0,
+            s.per_app
+                .iter()
+                .map(|v| format!("{:+.1}%", (v - 1.0) * 100.0))
+                .collect::<Vec<_>>()
+        );
     }
 }

@@ -11,7 +11,11 @@ fn main() {
         sys.step();
         if sys.now() % 500_000 == 0 {
             let (q, ob) = sys.queue_depths();
-            eprintln!("cycle {:>9}: committed {:?} dramq={q} outbox={ob}", sys.now(), sys.committed());
+            eprintln!(
+                "cycle {:>9}: committed {:?} dramq={q} outbox={ob}",
+                sys.now(),
+                sys.committed()
+            );
         }
     }
     eprintln!("done={} at cycle {}", sys.done(), sys.now());

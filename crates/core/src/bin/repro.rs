@@ -1,25 +1,145 @@
 //! `repro` — regenerates every table and figure of the paper's
-//! evaluation section.
+//! evaluation section, and manages request traces for scheduler-only
+//! studies.
 //!
 //! ```text
 //! repro [--scale quick|standard|full] [experiments...]
+//! repro trace capture <app> <file> [--scale ...]
+//! repro trace replay <file> --sched <name> [--max-outstanding N]
+//! repro trace sweep [app] [--scale ...]
 //!
 //! experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
-//!              fig11 fig12 table5 table7 naive reset all   (default: all)
+//!              fig11 fig12 table5 table7 naive reset tracesweep all
+//!              (default: all)
 //! ```
 
 use critmem::experiments::{
-    self, config_dump, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig8, fig9,
-    naive, reset_study, table5, table7, Runner, Scale,
+    self, config_dump, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig8, fig9, naive,
+    reset_study, table5, table7, trace_sweep, Runner, Scale,
 };
+use critmem_sched::SchedulerKind;
+use critmem_trace::{ReplayConfig, Trace, TraceReplayer};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale quick|standard|full] [experiments...]\n\
+         \x20      repro trace capture <app> <file> [--scale ...]\n\
+         \x20      repro trace replay <file> --sched <name> [--max-outstanding N]\n\
+         \x20      repro trace sweep [app] [--scale ...]\n\
          experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
-         table5 table7 naive reset all"
+         table5 table7 naive reset tracesweep all"
     );
     std::process::exit(2);
+}
+
+/// Leaks an app name into the `&'static str` the workload tables use,
+/// after validating it against the known app lists.
+fn static_app(name: &str) -> &'static str {
+    critmem_workloads::PARALLEL_APPS
+        .iter()
+        .find(|a| **a == name)
+        .copied()
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown parallel app {name:?} (expected one of {:?})",
+                critmem_workloads::PARALLEL_APPS
+            );
+            std::process::exit(2);
+        })
+}
+
+fn trace_main(args: Vec<String>, scale: Scale) -> ! {
+    let mut r = Runner::new(scale);
+    r.verbose = true;
+    match args.first().map(String::as_str) {
+        Some("capture") => {
+            let [_, app, file] = args.as_slice() else {
+                usage()
+            };
+            let app = static_app(app);
+            let trace = r.capture(app);
+            trace.save(std::path::Path::new(file)).unwrap_or_else(|e| {
+                eprintln!("cannot write {file}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "captured {} requests from {app} ({} instr/core) -> {file}",
+                trace.records.len(),
+                r.scale.instructions
+            );
+            std::process::exit(0);
+        }
+        Some("replay") => {
+            let mut file = None;
+            let mut sched = SchedulerKind::FrFcfs;
+            let mut replay_cfg = ReplayConfig::default();
+            let mut it = args.into_iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--sched" => match it.next().and_then(|s| SchedulerKind::from_name(&s)) {
+                        Some(k) => sched = k,
+                        None => usage(),
+                    },
+                    "--max-outstanding" => match it.next().and_then(|s| s.parse().ok()) {
+                        Some(n) => replay_cfg.max_outstanding = Some(n),
+                        None => usage(),
+                    },
+                    f if file.is_none() => file = Some(f.to_string()),
+                    _ => usage(),
+                }
+            }
+            let Some(file) = file else { usage() };
+            let trace = Trace::load(std::path::Path::new(&file)).unwrap_or_else(|e| {
+                eprintln!("cannot read {file}: {e}");
+                std::process::exit(1);
+            });
+            let dram_cfg = trace.fingerprint.dram_config().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            let threads = trace.fingerprint.cores as usize;
+            let dram =
+                critmem_dram::DramSystem::new(dram_cfg, |ch| sched.build(threads, u64::from(ch.0)));
+            let replayer = TraceReplayer::new(trace, dram, replay_cfg).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            let stats = replayer.run();
+            println!(
+                "replayed {} requests under {} in {} CPU cycles",
+                stats.completed,
+                sched.name(),
+                stats.cpu_cycles
+            );
+            println!(
+                "  mean read latency {:.0} cy, critical {:.0} cy ({} critical reads)",
+                stats.mean_read_latency(),
+                stats.mean_critical_read_latency(),
+                stats.critical_reads
+            );
+            let hits = stats.row_hits();
+            let total: u64 = stats
+                .channels
+                .iter()
+                .map(|c| c.row_hits + c.row_misses + c.row_conflicts)
+                .sum();
+            println!(
+                "  row hits {hits}/{total} ({:.1}%), throttle stalls {}, queue-full retries {}",
+                100.0 * hits as f64 / total.max(1) as f64,
+                stats.throttled_cycles,
+                stats.queue_full_retries
+            );
+            std::process::exit(0);
+        }
+        Some("sweep") => {
+            let app = args.get(1).map(String::as_str).unwrap_or("swim");
+            let sweep = trace_sweep(&mut r, static_app(app));
+            println!("{}", sweep.to_table());
+            println!("{}", sweep.timing_summary());
+            std::process::exit(0);
+        }
+        _ => usage(),
+    }
 }
 
 fn main() {
@@ -37,6 +157,9 @@ fn main() {
             "--help" | "-h" => usage(),
             other => selected.push(other.to_string()),
         }
+    }
+    if selected.first().map(String::as_str) == Some("trace") {
+        trace_main(selected.split_off(1), scale);
     }
     if selected.is_empty() {
         selected.push("all".to_string());
@@ -108,6 +231,11 @@ fn main() {
     }
     if want("reset") {
         println!("{}", reset_study(&mut r).to_table());
+    }
+    if want("tracesweep") {
+        let sweep = trace_sweep(&mut r, "swim");
+        println!("{}", sweep.to_table());
+        println!("{}", sweep.timing_summary());
     }
     let _ = &experiments::TextTable::pct(1.0);
     eprintln!("\n{} distinct simulations executed", r.runs_executed());

@@ -28,19 +28,31 @@ pub enum PredictorKind {
 impl PredictorKind {
     /// The paper's default 64-entry CBP with the given metric.
     pub fn cbp64(metric: CbpMetric) -> Self {
-        PredictorKind::Cbp { metric, size: TableSize::Entries(64), reset_interval: None }
+        PredictorKind::Cbp {
+            metric,
+            size: TableSize::Entries(64),
+            reset_interval: None,
+        }
     }
 
     /// Display name matching the paper's figures.
     pub fn name(self) -> String {
         match self {
             PredictorKind::None => "none".into(),
-            PredictorKind::Cbp { metric, size, reset_interval } => {
+            PredictorKind::Cbp {
+                metric,
+                size,
+                reset_interval,
+            } => {
                 let size = match size {
                     TableSize::Entries(n) => format!("{n}-entry"),
                     TableSize::Unlimited => "unlimited".into(),
                 };
-                let reset = if reset_interval.is_some() { "+reset" } else { "" };
+                let reset = if reset_interval.is_some() {
+                    "+reset"
+                } else {
+                    ""
+                };
                 format!("{} CBP ({size}){reset}", metric.name())
             }
             PredictorKind::Clpt(ClptMode::Binary { threshold }) => {
@@ -177,7 +189,9 @@ mod tests {
     #[test]
     fn baselines_validate() {
         SystemConfig::paper_baseline(1000).validate().unwrap();
-        SystemConfig::multiprogrammed_baseline(1000).validate().unwrap();
+        SystemConfig::multiprogrammed_baseline(1000)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -20,10 +20,17 @@ pub fn fig10(r: &mut Runner) -> SpeedupFigure {
             PredictorKind::cbp64(CbpMetric::MaxStallTime),
         ),
         ("AHB (Hur/Lin)", SchedulerKind::Ahb, PredictorKind::None),
-        ("MORSE-P", SchedulerKind::Morse(MorseConfig::default()), PredictorKind::None),
+        (
+            "MORSE-P",
+            SchedulerKind::Morse(MorseConfig::default()),
+            PredictorKind::None,
+        ),
         (
             "Crit-RL",
-            SchedulerKind::Morse(MorseConfig { use_criticality: true, ..MorseConfig::default() }),
+            SchedulerKind::Morse(MorseConfig {
+                use_criticality: true,
+                ..MorseConfig::default()
+            }),
             PredictorKind::cbp64(CbpMetric::Binary),
         ),
     ];
@@ -37,7 +44,10 @@ pub fn fig10(r: &mut Runner) -> SpeedupFigure {
                 base.cycles as f64 / v.cycles as f64
             })
             .collect();
-        series.push(SpeedupSeries { label: label.into(), per_app });
+        series.push(SpeedupSeries {
+            label: label.into(),
+            per_app,
+        });
     }
     SpeedupFigure {
         title: "Figure 10: state-of-the-art schedulers (vs FR-FCFS)".into(),
@@ -85,7 +95,10 @@ pub fn fig11(r: &mut Runner) -> Fig11 {
                 let base = r.baseline(app);
                 let v = r.parallel_with(
                     app,
-                    SchedulerKind::Morse(MorseConfig { eval_cap: cap, ..MorseConfig::default() }),
+                    SchedulerKind::Morse(MorseConfig {
+                        eval_cap: cap,
+                        ..MorseConfig::default()
+                    }),
                     PredictorKind::None,
                     &format!("cap{cap}"),
                     |c| c,

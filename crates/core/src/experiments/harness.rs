@@ -2,8 +2,10 @@
 //! simulation runs, and plain-text table rendering.
 
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
-use crate::system::{run, RunStats};
+use crate::system::{run, run_traced, RunStats};
+use critmem_dram::DramSystem;
 use critmem_sched::SchedulerKind;
+use critmem_trace::{ReplayConfig, ReplayStats, Trace, TraceReplayer};
 use critmem_workloads::PARALLEL_APPS;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -50,7 +52,10 @@ impl Scale {
 
     /// A larger scale for overnight runs (`repro --scale full`).
     pub fn full() -> Self {
-        Scale { instructions: 150_000, ..Self::standard() }
+        Scale {
+            instructions: 150_000,
+            ..Self::standard()
+        }
     }
 }
 
@@ -64,12 +69,23 @@ pub struct Runner {
     pub verbose: bool,
     cache: HashMap<String, Rc<RunStats>>,
     runs_executed: u64,
+    traces: HashMap<String, Rc<Trace>>,
+    replay_cache: HashMap<String, Rc<ReplayStats>>,
+    replays_executed: u64,
 }
 
 impl Runner {
     /// Creates a runner.
     pub fn new(scale: Scale) -> Self {
-        Runner { scale, verbose: false, cache: HashMap::new(), runs_executed: 0 }
+        Runner {
+            scale,
+            verbose: false,
+            cache: HashMap::new(),
+            runs_executed: 0,
+            traces: HashMap::new(),
+            replay_cache: HashMap::new(),
+            replays_executed: 0,
+        }
     }
 
     /// Number of distinct simulations executed (not cache hits).
@@ -77,13 +93,24 @@ impl Runner {
         self.runs_executed
     }
 
+    /// Number of distinct trace replays executed (not cache hits).
+    pub fn replays_executed(&self) -> u64 {
+        self.replays_executed
+    }
+
     /// Runs (or recalls) a simulation under a unique `key`.
+    ///
+    /// The memoization key is qualified with the run's instruction
+    /// budget: callers' keys encode app/scheduler/predictor, and the
+    /// budget is the remaining `Scale`-dependent input, so a runner
+    /// whose scale is changed mid-flight never recalls a stale result.
     pub fn run_keyed(
         &mut self,
         key: String,
         cfg: SystemConfig,
         workload: &WorkloadKind,
     ) -> Rc<RunStats> {
+        let key = format!("{key}@{}", cfg.instructions_per_core);
         if let Some(hit) = self.cache.get(&key) {
             return Rc::clone(hit);
         }
@@ -92,14 +119,78 @@ impl Runner {
         }
         let stats = Rc::new(run(cfg, workload));
         self.runs_executed += 1;
-        self.cache.insert(key.clone(), Rc::clone(&stats));
+        self.cache.insert(key, Rc::clone(&stats));
+        stats
+    }
+
+    /// Captures (or recalls) a parallel app's request trace at this
+    /// scale: one execution-driven FR-FCFS run with the paper's
+    /// MaxStallTime CBP attached, so the recorded requests carry the
+    /// processor-side criticality annotations (the scheduler itself
+    /// ignores them, so arrival timing is the FR-FCFS baseline's).
+    /// Every subsequent [`Runner::replay`] of the app reuses it.
+    pub fn capture(&mut self, app: &'static str) -> Rc<Trace> {
+        self.capture_with(
+            app,
+            PredictorKind::cbp64(critmem_predict::CbpMetric::MaxStallTime),
+        )
+    }
+
+    /// Captures (or recalls) an app's trace with a specific annotation
+    /// predictor (one capture per metric under study).
+    pub fn capture_with(&mut self, app: &'static str, predictor: PredictorKind) -> Rc<Trace> {
+        let key = format!("{app}|{}@{}", predictor.name(), self.scale.instructions);
+        if let Some(hit) = self.traces.get(&key) {
+            return Rc::clone(hit);
+        }
+        if self.verbose {
+            eprintln!("  [capture] {key}");
+        }
+        let cfg = self.parallel_cfg().with_predictor(predictor);
+        let (_, trace) = run_traced(cfg, &WorkloadKind::Parallel(app), app);
+        self.runs_executed += 1;
+        let trace = Rc::new(trace);
+        self.traces.insert(key, Rc::clone(&trace));
+        trace
+    }
+
+    /// Replays (or recalls) an app's captured trace under `scheduler`.
+    /// The DRAM system is rebuilt from the runner's own configuration —
+    /// same topology as the capture, scheduler swapped — so the
+    /// replayed controllers see exactly the recorded arrival stream.
+    pub fn replay(&mut self, app: &'static str, scheduler: SchedulerKind) -> Rc<ReplayStats> {
+        let key = format!(
+            "{app}|{}|replay@{}",
+            scheduler.name(),
+            self.scale.instructions
+        );
+        if let Some(hit) = self.replay_cache.get(&key) {
+            return Rc::clone(hit);
+        }
+        let trace = self.capture(app);
+        if self.verbose {
+            eprintln!("  [replay {:>3}] {key}", self.replays_executed + 1);
+        }
+        let cfg = self.parallel_cfg().with_scheduler(scheduler);
+        let num_threads = cfg.cores;
+        let dram = DramSystem::new(cfg.dram, |ch| scheduler.build(num_threads, u64::from(ch.0)));
+        let stats = TraceReplayer::new((*trace).clone(), dram, ReplayConfig::default())
+            .expect("runner-built DRAM system matches its own capture topology")
+            .run();
+        self.replays_executed += 1;
+        let stats = Rc::new(stats);
+        self.replay_cache.insert(key, Rc::clone(&stats));
         stats
     }
 
     /// Base configuration for a parallel run at this scale.
     pub fn parallel_cfg(&self) -> SystemConfig {
         let mut cfg = SystemConfig::paper_baseline(self.scale.instructions);
-        cfg.max_cycles = self.scale.instructions.saturating_mul(20_000).max(1_000_000_000);
+        cfg.max_cycles = self
+            .scale
+            .instructions
+            .saturating_mul(20_000)
+            .max(1_000_000_000);
         cfg
     }
 
@@ -118,7 +209,9 @@ impl Runner {
         F: FnOnce(SystemConfig) -> SystemConfig,
     {
         let cfg = tweak(
-            self.parallel_cfg().with_scheduler(scheduler).with_predictor(predictor),
+            self.parallel_cfg()
+                .with_scheduler(scheduler)
+                .with_predictor(predictor),
         );
         let key = format!("{app}|{}|{}|{tag}", scheduler.name(), predictor.name());
         self.run_keyed(key, cfg, &WorkloadKind::Parallel(app))
@@ -226,11 +319,67 @@ mod tests {
 
     #[test]
     fn runner_memoizes() {
-        let mut r = Runner::new(Scale { instructions: 500, ..Scale::quick() });
+        let mut r = Runner::new(Scale {
+            instructions: 500,
+            ..Scale::quick()
+        });
         let a = r.baseline("swim");
         let b = r.baseline("swim");
         assert_eq!(r.runs_executed(), 1);
         assert!(Rc::ptr_eq(&a, &b));
+    }
+
+    /// Regression: the memo key must track the active scale. Changing
+    /// `scale.instructions` between calls used to recall the old run.
+    #[test]
+    fn memo_key_tracks_scale() {
+        let mut r = Runner::new(Scale {
+            instructions: 500,
+            ..Scale::quick()
+        });
+        let a = r.baseline("swim");
+        r.scale.instructions = 900;
+        let b = r.baseline("swim");
+        assert_eq!(r.runs_executed(), 2, "scale change must force a fresh run");
+        assert!(!Rc::ptr_eq(&a, &b));
+        assert_ne!(a.cycles, b.cycles);
+        assert_eq!(b.instructions_per_core, 900);
+    }
+
+    #[test]
+    fn capture_memoizes_and_annotates() {
+        let mut r = Runner::new(Scale {
+            instructions: 500,
+            ..Scale::quick()
+        });
+        let t1 = r.capture("swim");
+        let t2 = r.capture("swim");
+        assert!(Rc::ptr_eq(&t1, &t2));
+        assert!(!t1.records.is_empty(), "swim must miss the L2");
+        assert_eq!(r.runs_executed(), 1);
+        // The CBP attached at capture time annotated at least one miss.
+        assert!(
+            t1.records.iter().any(|rec| rec.crit > 0),
+            "no criticality annotations captured"
+        );
+    }
+
+    #[test]
+    fn replays_memoize_per_scheduler() {
+        let mut r = Runner::new(Scale {
+            instructions: 500,
+            ..Scale::quick()
+        });
+        let a = r.replay("swim", SchedulerKind::FrFcfs);
+        let b = r.replay("swim", SchedulerKind::FrFcfs);
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(r.replays_executed(), 1);
+        let c = r.replay("swim", SchedulerKind::CasRasCrit);
+        assert_eq!(r.replays_executed(), 2);
+        assert_eq!(
+            a.completed, c.completed,
+            "same trace, every request serviced"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod harness;
 pub mod multiprog;
 pub mod parallel_figs;
 pub mod tables;
+pub mod trace_sweep;
 
 pub use compare::{fig10, fig11, Fig11};
 pub use harness::{Runner, Scale, TextTable};
@@ -19,4 +20,9 @@ pub use parallel_figs::{
     fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Fig1, Fig6, Fig8, Fig9, SpeedupFigure,
     SpeedupSeries,
 };
-pub use tables::{config_dump, naive, reset_study, table5, table7, NaiveResult, ResetResult, Table5, Table7};
+pub use tables::{
+    config_dump, naive, reset_study, table5, table7, NaiveResult, ResetResult, Table5, Table7,
+};
+pub use trace_sweep::{
+    default_schedulers, trace_sweep, trace_sweep_with, TraceSweep, TraceSweepRow,
+};

@@ -16,7 +16,9 @@ const SCHEDULERS: [(&str, SchedulerKind, PredictorKind); 4] = [
     ("FR-FCFS", SchedulerKind::FrFcfs, PredictorKind::None),
     (
         "TCM",
-        SchedulerKind::Tcm { tiebreak: TcmTiebreak::FrFcfs },
+        SchedulerKind::Tcm {
+            tiebreak: TcmTiebreak::FrFcfs,
+        },
         PredictorKind::None,
     ),
     (
@@ -30,7 +32,9 @@ const SCHEDULERS: [(&str, SchedulerKind, PredictorKind); 4] = [
     ),
     (
         "TCM+MaxStallTime",
-        SchedulerKind::Tcm { tiebreak: TcmTiebreak::CritFrFcfs },
+        SchedulerKind::Tcm {
+            tiebreak: TcmTiebreak::CritFrFcfs,
+        },
         PredictorKind::Cbp {
             metric: CbpMetric::MaxStallTime,
             size: critmem_predict::TableSize::Entries(64),
@@ -62,24 +66,40 @@ impl Fig12 {
             &headers,
         );
         for (i, b) in self.bundles.iter().enumerate() {
-            t.row(*b, self.series.iter().map(|(_, v)| TextTable::pct(v[i])).collect());
+            t.row(
+                *b,
+                self.series
+                    .iter()
+                    .map(|(_, v)| TextTable::pct(v[i]))
+                    .collect(),
+            );
         }
         t.row(
             "Average",
-            self.series.iter().map(|(_, v)| TextTable::pct(mean(v))).collect(),
+            self.series
+                .iter()
+                .map(|(_, v)| TextTable::pct(mean(v)))
+                .collect(),
         );
         t
     }
 
     /// Average normalized weighted speedup of a scheduler.
     pub fn average_of(&self, label: &str) -> Option<f64> {
-        self.series.iter().find(|(l, _)| l == label).map(|(_, v)| mean(v))
+        self.series
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| mean(v))
     }
 }
 
 fn multiprog_cfg(r: &Runner) -> SystemConfig {
     let mut cfg = SystemConfig::multiprogrammed_baseline(r.scale.instructions);
-    cfg.max_cycles = r.scale.instructions.saturating_mul(40_000).max(1_000_000_000);
+    cfg.max_cycles = r
+        .scale
+        .instructions
+        .saturating_mul(40_000)
+        .max(1_000_000_000);
     cfg
 }
 
@@ -103,23 +123,33 @@ fn bundle_run(
     pred: PredictorKind,
 ) -> Rc<crate::system::RunStats> {
     let cfg = multiprog_cfg(r).with_scheduler(sched).with_predictor(pred);
-    r.run_keyed(format!("bundle|{name}|{label}"), cfg, &WorkloadKind::Bundle(name))
+    r.run_keyed(
+        format!("bundle|{name}|{label}"),
+        cfg,
+        &WorkloadKind::Bundle(name),
+    )
 }
 
 /// Runs Figure 12 over the runner's bundles.
 pub fn fig12(r: &mut Runner) -> Fig12 {
     let bundles = r.scale.bundles.clone();
     // Alone IPCs per app (PAR-BS config).
-    let mut series: Vec<(String, Vec<f64>)> =
-        SCHEDULERS.iter().map(|(l, _, _)| (l.to_string(), Vec::new())).collect();
+    let mut series: Vec<(String, Vec<f64>)> = SCHEDULERS
+        .iter()
+        .map(|(l, _, _)| (l.to_string(), Vec::new()))
+        .collect();
     let mut ms_tcm = Vec::new();
     let mut ms_crit = Vec::new();
     for &bname in &bundles {
         let b = bundle(bname).expect("bundle exists");
-        let alone: Vec<f64> = b.apps.iter().map(|&a| {
-            // Leak-free static str: bundle apps are 'static already.
-            alone_ipc(r, a)
-        }).collect();
+        let alone: Vec<f64> = b
+            .apps
+            .iter()
+            .map(|&a| {
+                // Leak-free static str: bundle apps are 'static already.
+                alone_ipc(r, a)
+            })
+            .collect();
         // PAR-BS reference.
         let parbs = bundle_run(
             r,

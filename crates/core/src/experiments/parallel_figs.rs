@@ -43,16 +43,28 @@ impl SpeedupFigure {
         for (i, app) in self.apps.iter().enumerate() {
             t.row(
                 *app,
-                self.series.iter().map(|s| TextTable::pct(s.per_app[i])).collect(),
+                self.series
+                    .iter()
+                    .map(|s| TextTable::pct(s.per_app[i]))
+                    .collect(),
             );
         }
-        t.row("Average", self.series.iter().map(|s| TextTable::pct(s.average())).collect());
+        t.row(
+            "Average",
+            self.series
+                .iter()
+                .map(|s| TextTable::pct(s.average()))
+                .collect(),
+        );
         t
     }
 
     /// The average speedup of the series with the given label.
     pub fn average_of(&self, label: &str) -> Option<f64> {
-        self.series.iter().find(|s| s.label == label).map(|s| s.average())
+        self.series
+            .iter()
+            .find(|s| s.label == label)
+            .map(|s| s.average())
     }
 }
 
@@ -118,12 +130,7 @@ pub fn fig1(r: &mut Runner) -> Fig1 {
 
 /// Runs one speedup series: per-app speedup of `(sched, pred)` over
 /// the FR-FCFS baseline.
-fn series(
-    r: &mut Runner,
-    label: &str,
-    sched: SchedulerKind,
-    pred: PredictorKind,
-) -> SpeedupSeries {
+fn series(r: &mut Runner, label: &str, sched: SchedulerKind, pred: PredictorKind) -> SpeedupSeries {
     let apps = r.scale.apps.clone();
     let per_app = apps
         .iter()
@@ -133,7 +140,10 @@ fn series(
             base.cycles as f64 / v.cycles as f64
         })
         .collect();
-    SpeedupSeries { label: label.into(), per_app }
+    SpeedupSeries {
+        label: label.into(),
+        per_app,
+    }
 }
 
 /// Figure 3: Binary criticality — CLPT-Binary and the Binary CBP at
@@ -153,11 +163,18 @@ pub fn fig3(r: &mut Runner) -> (SpeedupFigure, SpeedupFigure) {
                 r,
                 &format!("Binary CBP {label}"),
                 sched,
-                PredictorKind::Cbp { metric: CbpMetric::Binary, size, reset_interval: None },
+                PredictorKind::Cbp {
+                    metric: CbpMetric::Binary,
+                    size,
+                    reset_interval: None,
+                },
             ));
         }
         figs.push(SpeedupFigure {
-            title: format!("Figure 3: Binary criticality under {} (vs FR-FCFS)", sched.name()),
+            title: format!(
+                "Figure 3: Binary criticality under {} (vs FR-FCFS)",
+                sched.name()
+            ),
             apps: r.scale.apps.clone(),
             series: s,
         });
@@ -173,7 +190,12 @@ pub fn fig4(r: &mut Runner) -> SpeedupFigure {
     let sched = SchedulerKind::CasRasCrit;
     let mut s = vec![
         series(r, "Binary", sched, PredictorKind::cbp64(CbpMetric::Binary)),
-        series(r, "CLPT-Consumers", sched, PredictorKind::Clpt(ClptMode::Consumers { threshold: 3 })),
+        series(
+            r,
+            "CLPT-Consumers",
+            sched,
+            PredictorKind::Clpt(ClptMode::Consumers { threshold: 3 }),
+        ),
     ];
     for metric in [
         CbpMetric::BlockCount,
@@ -181,7 +203,12 @@ pub fn fig4(r: &mut Runner) -> SpeedupFigure {
         CbpMetric::MaxStallTime,
         CbpMetric::TotalStallTime,
     ] {
-        s.push(series(r, metric.name(), sched, PredictorKind::cbp64(metric)));
+        s.push(series(
+            r,
+            metric.name(),
+            sched,
+            PredictorKind::cbp64(metric),
+        ));
     }
     SpeedupFigure {
         title: "Figure 4: ranked criticality, CASRAS-Crit (vs FR-FCFS)".into(),
@@ -198,7 +225,11 @@ pub fn fig5(r: &mut Runner) -> SpeedupFigure {
             r,
             &format!("{label} Table"),
             SchedulerKind::CasRasCrit,
-            PredictorKind::Cbp { metric: CbpMetric::MaxStallTime, size, reset_interval: None },
+            PredictorKind::Cbp {
+                metric: CbpMetric::MaxStallTime,
+                size,
+                reset_interval: None,
+            },
         ));
     }
     SpeedupFigure {
@@ -234,8 +265,9 @@ impl Fig6 {
         for (app, vals) in &self.rows {
             t.row(*app, vals.iter().map(|v| format!("{v:.0}")).collect());
         }
-        let avg: Vec<f64> =
-            (0..6).map(|i| mean(&self.rows.iter().map(|r| r.1[i]).collect::<Vec<_>>())).collect();
+        let avg: Vec<f64> = (0..6)
+            .map(|i| mean(&self.rows.iter().map(|r| r.1[i]).collect::<Vec<_>>()))
+            .collect();
         t.row("Average", avg.iter().map(|v| format!("{v:.0}")).collect());
         t
     }
@@ -264,9 +296,18 @@ pub fn fig6(r: &mut Runner) -> Fig6 {
         .iter()
         .map(|&app| {
             let configs = [
-                (SchedulerKind::FrFcfs, PredictorKind::cbp64(CbpMetric::MaxStallTime)),
-                (SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::Binary)),
-                (SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::MaxStallTime)),
+                (
+                    SchedulerKind::FrFcfs,
+                    PredictorKind::cbp64(CbpMetric::MaxStallTime),
+                ),
+                (
+                    SchedulerKind::CasRasCrit,
+                    PredictorKind::cbp64(CbpMetric::Binary),
+                ),
+                (
+                    SchedulerKind::CasRasCrit,
+                    PredictorKind::cbp64(CbpMetric::MaxStallTime),
+                ),
             ];
             let mut vals = [0.0f64; 6];
             for (i, (sched, pred)) in configs.into_iter().enumerate() {
@@ -358,7 +399,11 @@ pub fn fig8(r: &mut Runner) -> Fig8 {
     let apps = r.scale.sweep_apps.clone();
     let schedulers = [
         ("FR-FCFS", SchedulerKind::FrFcfs, PredictorKind::None),
-        ("Binary", SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::Binary)),
+        (
+            "Binary",
+            SchedulerKind::CasRasCrit,
+            PredictorKind::cbp64(CbpMetric::Binary),
+        ),
         (
             "MaxStallTime",
             SchedulerKind::CasRasCrit,
@@ -435,14 +480,20 @@ impl Fig9 {
             &["FR-FCFS", "Binary", "MaxStallTime"],
         );
         for (lq, vals) in &self.rows {
-            t.row(format!("LQ {lq}"), vals.iter().map(|v| TextTable::ratio(*v)).collect());
+            t.row(
+                format!("LQ {lq}"),
+                vals.iter().map(|v| TextTable::ratio(*v)).collect(),
+            );
         }
         t
     }
 
     /// Criticality gain (MaxStallTime over FR-FCFS) at an LQ size.
     pub fn crit_gain(&self, lq: usize) -> Option<f64> {
-        self.rows.iter().find(|(l, _)| *l == lq).map(|(_, v)| v[2] / v[0])
+        self.rows
+            .iter()
+            .find(|(l, _)| *l == lq)
+            .map(|(_, v)| v[2] / v[0])
     }
 }
 
@@ -451,8 +502,14 @@ pub fn fig9(r: &mut Runner) -> Fig9 {
     let apps = r.scale.sweep_apps.clone();
     let schedulers = [
         (SchedulerKind::FrFcfs, PredictorKind::None),
-        (SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::Binary)),
-        (SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::MaxStallTime)),
+        (
+            SchedulerKind::CasRasCrit,
+            PredictorKind::cbp64(CbpMetric::Binary),
+        ),
+        (
+            SchedulerKind::CasRasCrit,
+            PredictorKind::cbp64(CbpMetric::MaxStallTime),
+        ),
     ];
     // 32-entry FR-FCFS reference.
     let mut reference = Vec::new();
@@ -481,7 +538,10 @@ pub fn fig9(r: &mut Runner) -> Fig9 {
         }
         rows.push((lq, vals));
     }
-    Fig9 { rows, lq32_full_fraction: mean(&full_fracs) }
+    Fig9 {
+        rows,
+        lq32_full_fraction: mean(&full_fracs),
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +586,9 @@ mod tests {
         assert_eq!(f.rows.len(), 3);
         let (lq, vals) = f.rows[0];
         assert_eq!(lq, 32);
-        assert!((vals[0] - 1.0).abs() < 1e-9, "LQ32 FR-FCFS must be the unit reference");
+        assert!(
+            (vals[0] - 1.0).abs() < 1e-9,
+            "LQ32 FR-FCFS must be the unit reference"
+        );
     }
 }

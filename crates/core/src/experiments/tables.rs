@@ -28,7 +28,10 @@ impl Table5 {
             &["max observed", "bits (measured)", "bits (paper)"],
         );
         for (m, max, bits, paper) in &self.rows {
-            t.row(m.name(), vec![max.to_string(), bits.to_string(), paper.to_string()]);
+            t.row(
+                m.name(),
+                vec![max.to_string(), bits.to_string(), paper.to_string()],
+            );
         }
         t
     }
@@ -78,14 +81,28 @@ impl Table7 {
                 "low-contention",
             ],
         );
-        let yn = |b: bool| if b { "yes".to_string() } else { "no".to_string() };
+        let yn = |b: bool| {
+            if b {
+                "yes".to_string()
+            } else {
+                "no".to_string()
+            }
+        };
         let pct = |v: Option<f64>| {
-            v.map(|x| TextTable::pct(x)).unwrap_or_else(|| "-".to_string())
+            v.map(|x| TextTable::pct(x))
+                .unwrap_or_else(|| "-".to_string())
         };
         for (name, par, mp, storage, ps, hs, lc) in &self.rows {
             t.row(
                 name.clone(),
-                vec![pct(*par), pct(*mp), storage.clone(), yn(*ps), yn(*hs), yn(*lc)],
+                vec![
+                    pct(*par),
+                    pct(*mp),
+                    storage.clone(),
+                    yn(*ps),
+                    yn(*hs),
+                    yn(*lc),
+                ],
             );
         }
         t
@@ -97,7 +114,11 @@ impl Table7 {
 pub fn table7(r: &mut Runner) -> Table7 {
     let f4 = fig4(r);
     let f10 = fig10(r);
-    let f12 = if r.scale.bundles.is_empty() { None } else { Some(fig12(r)) };
+    let f12 = if r.scale.bundles.is_empty() {
+        None
+    } else {
+        Some(fig12(r))
+    };
     let quali = table7_qualitative();
     let find = |name: &str| quali.iter().find(|q| q.scheduler == name).expect("row");
     let mp = |label: &str| f12.as_ref().and_then(|f| f.average_of(label));
@@ -135,7 +156,11 @@ pub fn table7(r: &mut Runner) -> Table7 {
             "Binary CBP".to_string(),
             f4.average_of("Binary"),
             None,
-            format!("{}-{} B", binary.total_bytes_min(), binary.total_bytes_max()),
+            format!(
+                "{}-{} B",
+                binary.total_bytes_min(),
+                binary.total_bytes_max()
+            ),
             true,
             true,
             true,
@@ -144,7 +169,11 @@ pub fn table7(r: &mut Runner) -> Table7 {
             "MaxStallTime CBP".to_string(),
             f4.average_of("MaxStallTime"),
             mp("MaxStallTime"),
-            format!("{}-{} B", maxstall.total_bytes_min(), maxstall.total_bytes_max()),
+            format!(
+                "{}-{} B",
+                maxstall.total_bytes_min(),
+                maxstall.total_bytes_max()
+            ),
             true,
             true,
             true,
@@ -181,9 +210,18 @@ impl NaiveResult {
             &["naive forwarding", "Binary CBP"],
         );
         for (i, (app, v)) in self.per_app.iter().enumerate() {
-            t.row(*app, vec![TextTable::pct(*v), TextTable::pct(self.cbp_per_app[i].1)]);
+            t.row(
+                *app,
+                vec![TextTable::pct(*v), TextTable::pct(self.cbp_per_app[i].1)],
+            );
         }
-        t.row("Average", vec![TextTable::pct(self.average()), TextTable::pct(self.cbp_average())]);
+        t.row(
+            "Average",
+            vec![
+                TextTable::pct(self.average()),
+                TextTable::pct(self.cbp_average()),
+            ],
+        );
         t
     }
 }
@@ -206,10 +244,17 @@ pub fn naive(r: &mut Runner) -> NaiveResult {
             },
         );
         per_app.push((app, base.cycles as f64 / fwd.cycles as f64));
-        let cbp = r.parallel(app, SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::Binary));
+        let cbp = r.parallel(
+            app,
+            SchedulerKind::CasRasCrit,
+            PredictorKind::cbp64(CbpMetric::Binary),
+        );
         cbp_per_app.push((app, base.cycles as f64 / cbp.cycles as f64));
     }
-    NaiveResult { per_app, cbp_per_app }
+    NaiveResult {
+        per_app,
+        cbp_per_app,
+    }
 }
 
 /// §5.3.2: periodic CBP reset at 100K cycles on the paper's test set
@@ -237,7 +282,13 @@ impl ResetResult {
             &["no reset", "100K reset"],
         );
         for (i, app) in self.apps.iter().enumerate() {
-            t.row(*app, vec![TextTable::pct(self.no_reset[i]), TextTable::pct(self.with_reset[i])]);
+            t.row(
+                *app,
+                vec![
+                    TextTable::pct(self.no_reset[i]),
+                    TextTable::pct(self.with_reset[i]),
+                ],
+            );
         }
         let (a, b) = self.averages();
         t.row("Average", vec![TextTable::pct(a), TextTable::pct(b)]);
@@ -248,14 +299,22 @@ impl ResetResult {
 /// Runs the §5.3.2 experiment.
 pub fn reset_study(r: &mut Runner) -> ResetResult {
     let train = ["fft", "mg", "radix"];
-    let apps: Vec<&'static str> =
-        r.scale.apps.iter().copied().filter(|a| !train.contains(a)).collect();
+    let apps: Vec<&'static str> = r
+        .scale
+        .apps
+        .iter()
+        .copied()
+        .filter(|a| !train.contains(a))
+        .collect();
     let mut no_reset = Vec::new();
     let mut with_reset = Vec::new();
     for &app in &apps {
         let base = r.baseline(app);
-        let plain =
-            r.parallel(app, SchedulerKind::CasRasCrit, PredictorKind::cbp64(CbpMetric::Binary));
+        let plain = r.parallel(
+            app,
+            SchedulerKind::CasRasCrit,
+            PredictorKind::cbp64(CbpMetric::Binary),
+        );
         no_reset.push(base.cycles as f64 / plain.cycles as f64);
         let reset = r.parallel(
             app,
@@ -268,7 +327,11 @@ pub fn reset_study(r: &mut Runner) -> ResetResult {
         );
         with_reset.push(base.cycles as f64 / reset.cycles as f64);
     }
-    ResetResult { apps, no_reset, with_reset }
+    ResetResult {
+        apps,
+        no_reset,
+        with_reset,
+    }
 }
 
 /// Prints Tables 1–4 (the configuration tables) from the live config
@@ -283,13 +346,37 @@ pub fn config_dump() -> String {
     let mut t1 = TextTable::new("Table 1: core parameters", &["value"]);
     t1.row("Frequency", vec!["4.27 GHz".into()]);
     t1.row("Number of cores", vec!["8".into()]);
-    t1.row("Fetch/Issue/Commit width", vec![format!("{}/{}/{}", core.fetch_width, core.issue_width, core.commit_width)]);
-    t1.row("Int/FP/Ld/St/Br units", vec![format!("{}/{}/{}/{}/{}", core.int_units, core.fp_units, core.ld_units, core.st_units, core.br_units)]);
-    t1.row("Int/FP multipliers", vec![format!("{}/{}", core.int_mul_units, core.fp_mul_units)]);
+    t1.row(
+        "Fetch/Issue/Commit width",
+        vec![format!(
+            "{}/{}/{}",
+            core.fetch_width, core.issue_width, core.commit_width
+        )],
+    );
+    t1.row(
+        "Int/FP/Ld/St/Br units",
+        vec![format!(
+            "{}/{}/{}/{}/{}",
+            core.int_units, core.fp_units, core.ld_units, core.st_units, core.br_units
+        )],
+    );
+    t1.row(
+        "Int/FP multipliers",
+        vec![format!("{}/{}", core.int_mul_units, core.fp_mul_units)],
+    );
     t1.row("ROB entries", vec![core.rob_entries.to_string()]);
-    t1.row("Ld/St queue entries", vec![format!("{}/{}", core.lq_entries, core.sq_entries)]);
-    t1.row("Max unresolved branches", vec![core.max_unresolved_branches.to_string()]);
-    t1.row("Branch mispredict penalty", vec![format!("{} cycles min.", core.mispredict_penalty)]);
+    t1.row(
+        "Ld/St queue entries",
+        vec![format!("{}/{}", core.lq_entries, core.sq_entries)],
+    );
+    t1.row(
+        "Max unresolved branches",
+        vec![core.max_unresolved_branches.to_string()],
+    );
+    t1.row(
+        "Branch mispredict penalty",
+        vec![format!("{} cycles min.", core.mispredict_penalty)],
+    );
     out.push_str(&t1.to_string());
 
     let mut t2 = TextTable::new("Table 2: parallel applications", &["suite"]);
@@ -311,20 +398,44 @@ pub fn config_dump() -> String {
     let mut t3 = TextTable::new("Table 3: L2 and DDR3-2133 memory", &["value"]);
     t3.row("Shared L2", vec!["4 MB, 64 B block, 8-way".into()]);
     t3.row("L2 MSHR entries", vec!["64".into()]);
-    t3.row("L2 round-trip latency", vec!["32 cycles (uncontended)".into()]);
+    t3.row(
+        "L2 round-trip latency",
+        vec!["32 cycles (uncontended)".into()],
+    );
     t3.row("Transaction queue", vec![dram.queue_capacity.to_string()]);
-    t3.row("DRAM bus frequency", vec![format!("{} MHz (DDR)", dram.preset.bus_mhz)]);
-    t3.row("Channels", vec![format!("{} (2 for quad-core)", dram.org.channels)]);
-    t3.row("DIMM configuration", vec![format!("{}-rank per channel", dram.org.ranks_per_channel)]);
-    t3.row("Banks", vec![format!("{} per rank", dram.org.banks_per_rank)]);
+    t3.row(
+        "DRAM bus frequency",
+        vec![format!("{} MHz (DDR)", dram.preset.bus_mhz)],
+    );
+    t3.row(
+        "Channels",
+        vec![format!("{} (2 for quad-core)", dram.org.channels)],
+    );
+    t3.row(
+        "DIMM configuration",
+        vec![format!("{}-rank per channel", dram.org.ranks_per_channel)],
+    );
+    t3.row(
+        "Banks",
+        vec![format!("{} per rank", dram.org.banks_per_rank)],
+    );
     t3.row("Row buffer size", vec![format!("{} B", dram.org.row_bytes)]);
     t3.row("Address mapping", vec!["page interleaving".into()]);
     t3.row("Row policy", vec!["open page".into()]);
     t3.row("Burst length", vec![t.burst_len.to_string()]);
     for (name, v) in [
-        ("tRCD", t.t_rcd), ("tCL", t.t_cl), ("tWL", t.t_wl), ("tCCD", t.t_ccd),
-        ("tWTR", t.t_wtr), ("tWR", t.t_wr), ("tRTP", t.t_rtp), ("tRP", t.t_rp),
-        ("tRRD", t.t_rrd), ("tRTRS", t.t_rtrs), ("tRAS", t.t_ras), ("tRC", t.t_rc),
+        ("tRCD", t.t_rcd),
+        ("tCL", t.t_cl),
+        ("tWL", t.t_wl),
+        ("tCCD", t.t_ccd),
+        ("tWTR", t.t_wtr),
+        ("tWR", t.t_wr),
+        ("tRTP", t.t_rtp),
+        ("tRP", t.t_rp),
+        ("tRRD", t.t_rrd),
+        ("tRTRS", t.t_rtrs),
+        ("tRAS", t.t_ras),
+        ("tRC", t.t_rc),
         ("tRFC", t.t_rfc),
     ] {
         t3.row(name, vec![format!("{v} DRAM cycles")]);
@@ -336,7 +447,11 @@ pub fn config_dump() -> String {
         let classes: String = b
             .apps
             .iter()
-            .map(|a| critmem_workloads::app_class(a).expect("classified").letter())
+            .map(|a| {
+                critmem_workloads::app_class(a)
+                    .expect("classified")
+                    .letter()
+            })
             .collect::<Vec<char>>()
             .iter()
             .collect();
@@ -372,7 +487,11 @@ mod tests {
         let binary = t.rows.iter().find(|r| r.0 == CbpMetric::Binary).unwrap();
         assert_eq!(binary.1, 1, "binary max observed value is 1");
         assert_eq!(binary.2, 1);
-        let max = t.rows.iter().find(|r| r.0 == CbpMetric::MaxStallTime).unwrap();
+        let max = t
+            .rows
+            .iter()
+            .find(|r| r.0 == CbpMetric::MaxStallTime)
+            .unwrap();
         assert!(max.1 > 1, "stall times should exceed one cycle");
     }
 }

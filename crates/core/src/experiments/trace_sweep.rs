@@ -1,0 +1,232 @@
+//! Trace-driven scheduler sweep: capture an app's request stream once,
+//! replay it under every scheduler in the sweep, and validate the
+//! result against the execution-driven sweep — reporting both the
+//! per-scheduler DRAM metrics and the measured wall-clock speedup of
+//! the trace path.
+//!
+//! This is the workflow the trace subsystem exists for: the paper's
+//! design space (arrangements × scheduler baselines, §5.8) only varies
+//! the memory controller, so re-simulating cores, caches, and
+//! predictors for every point is pure overhead. One execution-driven
+//! capture (with the MaxStallTime CBP annotating each miss) amortizes
+//! across the whole sweep.
+
+use crate::config::PredictorKind;
+use crate::experiments::harness::{Runner, TextTable};
+use crate::system::RunStats;
+use critmem_predict::CbpMetric;
+use critmem_sched::SchedulerKind;
+use critmem_trace::ReplayStats;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// The default sweep: the paper's two criticality arrangements against
+/// FR-FCFS and two multiprogram-era baselines.
+pub fn default_schedulers() -> Vec<SchedulerKind> {
+    vec![
+        SchedulerKind::FrFcfs,
+        SchedulerKind::CasRasCrit,
+        SchedulerKind::CritCasRas,
+        SchedulerKind::ParBs { marking_cap: 5 },
+        SchedulerKind::Atlas,
+    ]
+}
+
+/// One scheduler's replayed and executed results.
+#[derive(Debug, Clone)]
+pub struct TraceSweepRow {
+    /// The scheduler configuration.
+    pub scheduler: SchedulerKind,
+    /// Trace-replay statistics.
+    pub replay: Rc<ReplayStats>,
+    /// Execution-driven statistics for the same scheduler (with the
+    /// same MaxStallTime CBP annotating requests).
+    pub execution: Rc<RunStats>,
+}
+
+impl TraceSweepRow {
+    /// Row-hit fraction of the replayed run.
+    pub fn replay_row_hit_rate(&self) -> f64 {
+        let hits: u64 = self.replay.channels.iter().map(|c| c.row_hits).sum();
+        let total: u64 = self
+            .replay
+            .channels
+            .iter()
+            .map(|c| c.row_hits + c.row_misses + c.row_conflicts)
+            .sum();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Result of [`trace_sweep`].
+#[derive(Debug, Clone)]
+pub struct TraceSweep {
+    /// The app swept.
+    pub app: &'static str,
+    /// Per-scheduler results, in sweep order (first row is FR-FCFS).
+    pub rows: Vec<TraceSweepRow>,
+    /// Wall-clock seconds for the one execution-driven capture.
+    pub capture_seconds: f64,
+    /// Wall-clock seconds for all replays together.
+    pub replay_seconds: f64,
+    /// Wall-clock seconds for the execution-driven sweep of the same
+    /// scheduler set.
+    pub execution_seconds: f64,
+}
+
+impl TraceSweep {
+    /// Wall-clock speedup of the replay sweep over the execution-driven
+    /// sweep (the quantity the trace subsystem is judged on).
+    pub fn sweep_speedup(&self) -> f64 {
+        self.execution_seconds / self.replay_seconds.max(1e-9)
+    }
+
+    /// Speedup including the (amortizable) capture cost.
+    pub fn sweep_speedup_with_capture(&self) -> f64 {
+        self.execution_seconds / (self.replay_seconds + self.capture_seconds).max(1e-9)
+    }
+
+    /// Execution-driven speedup of row `i` relative to the FR-FCFS row.
+    pub fn execution_speedup(&self, i: usize) -> f64 {
+        self.rows[0].execution.cycles as f64 / self.rows[i].execution.cycles as f64
+    }
+
+    /// Replay-side critical-read latency improvement of row `i`
+    /// relative to the FR-FCFS row (>1 means the scheduler served
+    /// critical reads faster than FR-FCFS did on the same arrivals).
+    pub fn replay_crit_latency_gain(&self, i: usize) -> f64 {
+        let base = self.rows[0].replay.mean_critical_read_latency();
+        let this = self.rows[i].replay.mean_critical_read_latency();
+        if this == 0.0 {
+            1.0
+        } else {
+            base / this
+        }
+    }
+
+    /// Renders the sweep table.
+    pub fn to_table(&self) -> TextTable {
+        let mut t = TextTable::new(
+            format!("Trace-driven scheduler sweep — {}", self.app),
+            &[
+                "read lat",
+                "crit lat",
+                "crit gain",
+                "row hits",
+                "exec speedup",
+            ],
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            t.row(
+                row.scheduler.name(),
+                vec![
+                    format!("{:.0}", row.replay.mean_read_latency()),
+                    format!("{:.0}", row.replay.mean_critical_read_latency()),
+                    TextTable::ratio(self.replay_crit_latency_gain(i)),
+                    TextTable::frac(row.replay_row_hit_rate()),
+                    TextTable::ratio(self.execution_speedup(i)),
+                ],
+            );
+        }
+        t
+    }
+
+    /// One-line wall-clock summary (the measured speedup claim).
+    pub fn timing_summary(&self) -> String {
+        format!(
+            "sweep wall-clock: capture {:.2}s + {} replays {:.2}s vs execution {:.2}s \
+             => {:.1}x faster (replays only), {:.1}x incl. capture",
+            self.capture_seconds,
+            self.rows.len(),
+            self.replay_seconds,
+            self.execution_seconds,
+            self.sweep_speedup(),
+            self.sweep_speedup_with_capture(),
+        )
+    }
+}
+
+/// Runs the trace-driven sweep for `app` over `schedulers` (first entry
+/// should be FR-FCFS — it is the normalization baseline), timing the
+/// replay path against the execution-driven path.
+///
+/// # Panics
+///
+/// Panics if `schedulers` is empty.
+pub fn trace_sweep_with(
+    runner: &mut Runner,
+    app: &'static str,
+    schedulers: &[SchedulerKind],
+) -> TraceSweep {
+    assert!(!schedulers.is_empty(), "sweep needs at least one scheduler");
+    let t0 = Instant::now();
+    let _trace = runner.capture(app);
+    let capture_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let replays: Vec<Rc<ReplayStats>> = schedulers.iter().map(|&s| runner.replay(app, s)).collect();
+    let replay_seconds = t1.elapsed().as_secs_f64();
+
+    let predictor = PredictorKind::cbp64(CbpMetric::MaxStallTime);
+    let t2 = Instant::now();
+    let executions: Vec<Rc<RunStats>> = schedulers
+        .iter()
+        .map(|&s| runner.parallel(app, s, predictor))
+        .collect();
+    let execution_seconds = t2.elapsed().as_secs_f64();
+
+    let rows = schedulers
+        .iter()
+        .zip(replays)
+        .zip(executions)
+        .map(|((&scheduler, replay), execution)| TraceSweepRow {
+            scheduler,
+            replay,
+            execution,
+        })
+        .collect();
+    TraceSweep {
+        app,
+        rows,
+        capture_seconds,
+        replay_seconds,
+        execution_seconds,
+    }
+}
+
+/// [`trace_sweep_with`] over the [`default_schedulers`] set.
+pub fn trace_sweep(runner: &mut Runner, app: &'static str) -> TraceSweep {
+    trace_sweep_with(runner, app, &default_schedulers())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::harness::Scale;
+
+    #[test]
+    fn sweep_replays_every_scheduler_over_one_capture() {
+        let mut r = Runner::new(Scale {
+            instructions: 600,
+            ..Scale::quick()
+        });
+        let sweep = trace_sweep(&mut r, "swim");
+        assert_eq!(sweep.rows.len(), 5);
+        // One capture + five execution runs; five distinct replays.
+        assert_eq!(r.runs_executed(), 6);
+        assert_eq!(r.replays_executed(), 5);
+        // Every replay serviced the same captured request set.
+        let n = sweep.rows[0].replay.completed;
+        assert!(n > 0);
+        for row in &sweep.rows {
+            assert_eq!(row.replay.completed, n);
+        }
+        let rendered = sweep.to_table().to_string();
+        assert!(rendered.contains("CASRAS-Crit"), "{rendered}");
+        assert!(sweep.timing_summary().contains("x faster"));
+    }
+}

@@ -44,4 +44,4 @@ pub mod system;
 
 pub use config::{PredictorKind, SystemConfig, WorkloadKind};
 pub use metrics::{geomean, speedup, Average};
-pub use system::{run, RunStats, System};
+pub use system::{run, run_traced, RunStats, System};

@@ -65,7 +65,11 @@ impl Average {
 ///
 /// Panics if the lengths differ or any alone-IPC is non-positive.
 pub fn weighted_speedup(shared: &RunStats, alone_ipc: &[f64]) -> f64 {
-    assert_eq!(shared.cores.len(), alone_ipc.len(), "per-app IPC length mismatch");
+    assert_eq!(
+        shared.cores.len(),
+        alone_ipc.len(),
+        "per-app IPC length mismatch"
+    );
     shared
         .core_finish
         .iter()
@@ -84,7 +88,11 @@ pub fn weighted_speedup(shared: &RunStats, alone_ipc: &[f64]) -> f64 {
 ///
 /// Panics if the lengths differ.
 pub fn max_slowdown(shared: &RunStats, alone_ipc: &[f64]) -> f64 {
-    assert_eq!(shared.cores.len(), alone_ipc.len(), "per-app IPC length mismatch");
+    assert_eq!(
+        shared.cores.len(),
+        alone_ipc.len(),
+        "per-app IPC length mismatch"
+    );
     (0..alone_ipc.len())
         .map(|i| alone_ipc[i] / shared.ipc(i))
         .fold(0.0f64, f64::max)

@@ -134,7 +134,11 @@ pub fn table7_qualitative() -> Vec<Table7Row> {
         },
         Table7Row {
             scheduler: "Binary CBP",
-            storage: format!("{}-{} B", binary.total_bytes_min(), binary.total_bytes_max()),
+            storage: format!(
+                "{}-{} B",
+                binary.total_bytes_min(),
+                binary.total_bytes_max()
+            ),
             processor_side: true,
             scales: true,
             low_contention: true,
@@ -203,7 +207,9 @@ mod tests {
     fn table7_includes_both_cbp_rows() {
         let rows = table7_qualitative();
         assert_eq!(rows.len(), 5);
-        assert!(rows.iter().any(|r| r.scheduler == "Binary CBP" && r.scales && r.processor_side));
+        assert!(rows
+            .iter()
+            .any(|r| r.scheduler == "Binary CBP" && r.scales && r.processor_side));
         assert!(rows.iter().any(|r| r.scheduler == "MORSE-P" && !r.scales));
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
 use critmem_cache::CacheHierarchy;
-use critmem_common::{ClockDivider, CoreId, CpuCycle, Criticality};
+use critmem_common::{ClockDivider, CoreId, CpuCycle, Criticality, RequestObserver};
 use critmem_cpu::{
     CbpPredictor, ClptPredictor, Core, CoreStats, InstrSource, LoadCriticalityPredictor,
     NoPredictor,
@@ -92,7 +92,11 @@ impl RunStats {
     pub fn critical_queue_fractions(&self) -> (f64, f64) {
         let ticks: u64 = self.channels.iter().map(|c| c.ticks).sum();
         let one: u64 = self.channels.iter().map(|c| c.ticks_with_critical).sum();
-        let many: u64 = self.channels.iter().map(|c| c.ticks_with_multiple_critical).sum();
+        let many: u64 = self
+            .channels
+            .iter()
+            .map(|c| c.ticks_with_multiple_critical)
+            .sum();
         if ticks == 0 {
             (0.0, 0.0)
         } else {
@@ -110,7 +114,12 @@ struct ForwardMsg {
 }
 
 /// The full simulated system.
-pub struct System {
+///
+/// Generic over a [`RequestObserver`] attached to the LLC-miss → DRAM
+/// enqueue boundary. The default `()` observer is a no-op the compiler
+/// erases, so execution-driven runs pay nothing for the seam; trace
+/// capture attaches a `TraceSink` via [`System::with_observer`].
+pub struct System<O: RequestObserver = ()> {
     cfg: SystemConfig,
     cores: Vec<Core>,
     sources: Vec<Box<dyn InstrSource>>,
@@ -121,9 +130,10 @@ pub struct System {
     core_finish: Vec<Option<u64>>,
     lq_full_cycles: Vec<u64>,
     forwards: Vec<ForwardMsg>,
+    observer: O,
 }
 
-impl std::fmt::Debug for System {
+impl<O: RequestObserver> std::fmt::Debug for System<O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("System")
             .field("now", &self.now)
@@ -135,7 +145,11 @@ impl std::fmt::Debug for System {
 fn build_predictor(kind: PredictorKind) -> Box<dyn LoadCriticalityPredictor> {
     match kind {
         PredictorKind::None => Box::new(NoPredictor),
-        PredictorKind::Cbp { metric, size, reset_interval } => {
+        PredictorKind::Cbp {
+            metric,
+            size,
+            reset_interval,
+        } => {
             let mut cbp = CommitBlockPredictor::new(metric, size);
             if let Some(interval) = reset_interval {
                 cbp = cbp.with_reset_interval(interval);
@@ -147,17 +161,31 @@ fn build_predictor(kind: PredictorKind) -> Box<dyn LoadCriticalityPredictor> {
 }
 
 impl System {
-    /// Builds the system for a workload.
+    /// Builds the system for a workload with the no-op observer.
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails validation or the workload
     /// names an unknown application.
     pub fn new(cfg: SystemConfig, workload: &WorkloadKind) -> Self {
+        Self::with_observer(cfg, workload, ())
+    }
+}
+
+impl<O: RequestObserver> System<O> {
+    /// Builds the system for a workload, attaching `observer` to the
+    /// LLC-miss → DRAM enqueue boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation or the workload
+    /// names an unknown application.
+    pub fn with_observer(cfg: SystemConfig, workload: &WorkloadKind, observer: O) -> Self {
         cfg.validate().expect("invalid system configuration");
         let sources: Vec<Box<dyn InstrSource>> = match workload {
             WorkloadKind::Parallel(app) => {
-                let spec = parallel_app(app).unwrap_or_else(|| panic!("unknown parallel app {app}"));
+                let spec =
+                    parallel_app(app).unwrap_or_else(|| panic!("unknown parallel app {app}"));
                 (0..cfg.cores)
                     .map(|c| Box::new(AppThread::new(&spec, c, cfg.seed)) as Box<dyn InstrSource>)
                     .collect()
@@ -171,8 +199,7 @@ impl System {
                     .iter()
                     .enumerate()
                     .map(|(c, app)| {
-                        let spec =
-                            multi_app(app).unwrap_or_else(|| panic!("unknown app {app}"));
+                        let spec = multi_app(app).unwrap_or_else(|| panic!("unknown app {app}"));
                         Box::new(AppThread::new(&spec, c, cfg.seed)) as Box<dyn InstrSource>
                     })
                     .collect()
@@ -210,6 +237,7 @@ impl System {
             cores,
             sources,
             cfg,
+            observer,
         }
     }
 
@@ -255,17 +283,23 @@ impl System {
             while i < self.forwards.len() {
                 if self.forwards[i].deliver_at <= now {
                     let m = self.forwards.swap_remove(i);
-                    self.dram.promote_by_addr(m.addr, m.core, Criticality::binary());
+                    self.dram
+                        .promote_by_addr(m.addr, m.core, Criticality::binary());
                 } else {
                     i += 1;
                 }
             }
         }
-        // 3. Drain cache-miss requests into the DRAM queues.
+        // 3. Drain cache-miss requests into the DRAM queues. The
+        // observer sees exactly the accepted requests, stamped with the
+        // cycle of successful enqueue.
         while let Some(req) = self.hierarchy.pop_request(now) {
-            if let Err(back) = self.dram.enqueue(req) {
-                self.hierarchy.unpop_request(back);
-                break;
+            match self.dram.enqueue(req) {
+                Ok(()) => self.observer.on_enqueue(now, &req),
+                Err(back) => {
+                    self.hierarchy.unpop_request(back);
+                    break;
+                }
             }
         }
         // 4. DRAM bus clock.
@@ -299,7 +333,17 @@ impl System {
     /// # Panics
     ///
     /// Panics if `max_cycles` elapses first (deadlock guard).
-    pub fn run(mut self) -> RunStats {
+    pub fn run(self) -> RunStats {
+        self.run_with_observer().0
+    }
+
+    /// Runs to completion, returning the statistics and the observer
+    /// (e.g. a filled trace sink).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_cycles` elapses first (deadlock guard).
+    pub fn run_with_observer(mut self) -> (RunStats, O) {
         while !self.done() {
             assert!(
                 self.now < self.cfg.max_cycles,
@@ -308,14 +352,28 @@ impl System {
             );
             self.step();
         }
-        self.into_stats()
+        self.into_stats_and_observer()
     }
 
     /// Finalizes statistics without requiring completion.
     pub fn into_stats(self) -> RunStats {
-        RunStats {
-            cycles: self.core_finish.iter().map(|f| f.unwrap_or(self.now)).max().unwrap_or(0),
-            core_finish: self.core_finish.iter().map(|f| f.unwrap_or(self.now)).collect(),
+        self.into_stats_and_observer().0
+    }
+
+    /// Finalizes statistics and hands the observer back.
+    pub fn into_stats_and_observer(self) -> (RunStats, O) {
+        let stats = RunStats {
+            cycles: self
+                .core_finish
+                .iter()
+                .map(|f| f.unwrap_or(self.now))
+                .max()
+                .unwrap_or(0),
+            core_finish: self
+                .core_finish
+                .iter()
+                .map(|f| f.unwrap_or(self.now))
+                .collect(),
             cores: self.cores.iter().map(|c| c.stats().clone()).collect(),
             hierarchy: self.hierarchy.stats().clone(),
             channels: self.dram.channel_stats().into_iter().cloned().collect(),
@@ -326,13 +384,31 @@ impl System {
                 .iter()
                 .map(|c| c.predictor().observed_extremes())
                 .collect(),
-        }
+        };
+        (stats, self.observer)
     }
 }
 
 /// Convenience: build and run in one call.
 pub fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
     System::new(cfg, workload).run()
+}
+
+/// Builds, runs, and captures the run's LLC-miss request stream as a
+/// trace labeled `source`.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`System::new`] / [`System::run`].
+pub fn run_traced(
+    cfg: SystemConfig,
+    workload: &WorkloadKind,
+    source: &str,
+) -> (RunStats, critmem_trace::Trace) {
+    let fingerprint = critmem_trace::Fingerprint::of(cfg.cores, cfg.cpu_mhz, &cfg.dram);
+    let sink = critmem_trace::TraceSink::new(fingerprint, source);
+    let (stats, sink) = System::with_observer(cfg, workload, sink).run_with_observer();
+    (stats, sink.into_trace())
 }
 
 #[cfg(test)]
@@ -412,13 +488,19 @@ mod tests {
         cfg.scheduler = SchedulerKind::CasRasCrit;
         let stats = run(cfg, &WorkloadKind::Parallel("art"));
         let crit_ticks: u64 = stats.channels.iter().map(|c| c.ticks_with_critical).sum();
-        assert!(crit_ticks > 0, "forwarded blocks should mark queued requests");
+        assert!(
+            crit_ticks > 0,
+            "forwarded blocks should mark queued requests"
+        );
     }
 
     #[test]
     fn rob_blocking_is_observed() {
         let stats = run(quick(3_000), &WorkloadKind::Parallel("art"));
         assert!(stats.blocked_load_fraction() > 0.0);
-        assert!(stats.blocked_cycle_fraction() > 0.05, "art should stall the ROB a lot");
+        assert!(
+            stats.blocked_cycle_fraction() > 0.05,
+            "art should stall the ROB a lot"
+        );
     }
 }

@@ -116,7 +116,10 @@ mod tests {
         assert_eq!(c.sq_entries, 32);
         assert_eq!(c.max_unresolved_branches, 24);
         assert_eq!(c.mispredict_penalty, 9);
-        assert_eq!((c.int_units, c.fp_units, c.ld_units, c.st_units, c.br_units), (2, 2, 2, 2, 2));
+        assert_eq!(
+            (c.int_units, c.fp_units, c.ld_units, c.st_units, c.br_units),
+            (2, 2, 2, 2, 2)
+        );
         assert_eq!((c.int_mul_units, c.fp_mul_units), (1, 1));
         c.validate().unwrap();
     }

@@ -210,17 +210,21 @@ impl Core {
 
     #[inline]
     fn entry(&self, seq: u64) -> Option<&RobEntry> {
-        seq.checked_sub(self.base_seq).and_then(|i| self.rob.get(i as usize))
+        seq.checked_sub(self.base_seq)
+            .and_then(|i| self.rob.get(i as usize))
     }
 
     #[inline]
     fn entry_mut(&mut self, seq: u64) -> Option<&mut RobEntry> {
-        seq.checked_sub(self.base_seq).and_then(|i| self.rob.get_mut(i as usize))
+        seq.checked_sub(self.base_seq)
+            .and_then(|i| self.rob.get_mut(i as usize))
     }
 
     fn dep_ready(&self, seq: u64, dist: Option<u16>) -> bool {
         let Some(d) = dist else { return true };
-        let Some(producer) = seq.checked_sub(u64::from(d)) else { return true };
+        let Some(producer) = seq.checked_sub(u64::from(d)) else {
+            return true;
+        };
         if producer < self.base_seq {
             return true; // already committed
         }
@@ -314,8 +318,10 @@ impl Core {
                     if !head.block_reported {
                         head.block_reported = true;
                         if let InstrKind::Load { addr } = head.instr.kind {
-                            events.block_started =
-                                Some(BlockStart { pc: head.instr.pc, addr });
+                            events.block_started = Some(BlockStart {
+                                pc: head.instr.pc,
+                                addr,
+                            });
                         }
                     }
                 }
@@ -361,13 +367,21 @@ impl Core {
 
     fn drain_store_buffer(&mut self, now: CpuCycle, mem: &mut CacheHierarchy) {
         // One new drain attempt per cycle, oldest waiting entry first.
-        let Some(pos) = self.store_buffer.iter().position(|(_, s)| *s == StoreState::Waiting)
+        let Some(pos) = self
+            .store_buffer
+            .iter()
+            .position(|(_, s)| *s == StoreState::Waiting)
         else {
             return;
         };
         let addr = self.store_buffer[pos].0;
-        match mem.access(self.id, addr, CacheAccessKind::Store, Criticality::non_critical(), now)
-        {
+        match mem.access(
+            self.id,
+            addr,
+            CacheAccessKind::Store,
+            Criticality::non_critical(),
+            now,
+        ) {
             AccessOutcome::Done(_) => {
                 self.store_buffer.remove(pos);
             }
@@ -400,8 +414,7 @@ impl Core {
             let seq = e.seq;
             let kind = e.instr.kind;
             let pc = e.instr.pc;
-            let ready =
-                self.dep_ready(seq, e.instr.src1) && self.dep_ready(seq, e.instr.src2);
+            let ready = self.dep_ready(seq, e.instr.src1) && self.dep_ready(seq, e.instr.src2);
             if !ready {
                 idx += 1;
                 continue;
@@ -558,11 +571,7 @@ mod tests {
         }
     }
 
-    fn run_core(
-        instrs: Vec<Instr>,
-        target: u64,
-        max_cycles: u64,
-    ) -> (Core, CacheHierarchy, u64) {
+    fn run_core(instrs: Vec<Instr>, target: u64, max_cycles: u64) -> (Core, CacheHierarchy, u64) {
         let mut core = Core::new(
             CoreId(0),
             CoreConfig::paper_baseline(),
@@ -589,11 +598,17 @@ mod tests {
 
     #[test]
     fn alu_stream_achieves_high_ipc() {
-        let instrs = vec![Instr::new(0x0, InstrKind::IntAlu), Instr::new(0x4, InstrKind::FpAlu)];
+        let instrs = vec![
+            Instr::new(0x0, InstrKind::IntAlu),
+            Instr::new(0x4, InstrKind::FpAlu),
+        ];
         let (core, _, cycles) = run_core(instrs, 4_000, 100_000);
         assert!(core.done());
         let ipc = core.stats().committed as f64 / cycles as f64;
-        assert!(ipc > 1.5, "independent ALU mix should exceed IPC 1.5, got {ipc:.2}");
+        assert!(
+            ipc > 1.5,
+            "independent ALU mix should exceed IPC 1.5, got {ipc:.2}"
+        );
     }
 
     #[test]
@@ -603,7 +618,10 @@ mod tests {
         let (core, _, cycles) = run_core(instrs, 2_000, 100_000);
         assert!(core.done());
         let ipc = core.stats().committed as f64 / cycles as f64;
-        assert!(ipc < 1.2, "serial chain should cap IPC near 1, got {ipc:.2}");
+        assert!(
+            ipc < 1.2,
+            "serial chain should cap IPC near 1, got {ipc:.2}"
+        );
     }
 
     #[test]
@@ -625,7 +643,10 @@ mod tests {
         let _ = instrs;
         let (core, _, _) = run_core(script, 128, 1_000_000);
         assert!(core.done());
-        assert!(core.stats().blocked_loads > 0, "DRAM-bound loads must block the head");
+        assert!(
+            core.stats().blocked_loads > 0,
+            "DRAM-bound loads must block the head"
+        );
         assert!(core.stats().block_cycles > 0);
     }
 
@@ -670,7 +691,10 @@ mod tests {
         }
         let (core, _, _) = run_core(script, 256, 2_000_000);
         assert!(core.done());
-        assert!(core.stats().lq_full_cycles > 0, "LQ should fill under miss pressure");
+        assert!(
+            core.stats().lq_full_cycles > 0,
+            "LQ should fill under miss pressure"
+        );
     }
 
     #[test]
@@ -685,7 +709,8 @@ mod tests {
             }
             fn on_block_commit(&mut self, _pc: Pc, _stall: u64) {}
             fn on_load_commit(&mut self, _pc: Pc, consumers: u32) {
-                self.max_consumers.set(self.max_consumers.get().max(consumers));
+                self.max_consumers
+                    .set(self.max_consumers.get().max(consumers));
             }
             fn tick(&mut self, _now: CpuCycle) {}
             fn name(&self) -> &'static str {
@@ -696,7 +721,9 @@ mod tests {
         let mut core = Core::new(
             CoreId(0),
             CoreConfig::paper_baseline(),
-            Box::new(Probe { max_consumers: seen.clone() }),
+            Box::new(Probe {
+                max_consumers: seen.clone(),
+            }),
             40,
         );
         let mut mem = CacheHierarchy::new(HierarchyConfig::paper_baseline(1));

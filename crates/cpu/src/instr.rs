@@ -88,7 +88,12 @@ pub struct Instr {
 impl Instr {
     /// Convenience constructor for dependency-free instructions.
     pub fn new(pc: Pc, kind: InstrKind) -> Self {
-        Instr { pc, kind, src1: None, src2: None }
+        Instr {
+            pc,
+            kind,
+            src1: None,
+            src2: None,
+        }
     }
 
     /// Attaches source-operand producer distances (builder style).

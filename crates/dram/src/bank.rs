@@ -27,7 +27,13 @@ pub struct Bank {
 
 impl Default for Bank {
     fn default() -> Self {
-        Bank { open_row: None, next_act: 0, next_pre: 0, next_rd: 0, next_wr: 0 }
+        Bank {
+            open_row: None,
+            next_act: 0,
+            next_pre: 0,
+            next_rd: 0,
+            next_wr: 0,
+        }
     }
 }
 
@@ -108,7 +114,11 @@ impl ChannelTiming {
     pub fn banks(&self) -> impl Iterator<Item = (RankId, critmem_common::BankId, &Bank)> {
         let bpr = self.banks_per_rank;
         self.banks.iter().enumerate().map(move |(i, b)| {
-            (RankId((i / bpr) as u8), critmem_common::BankId((i % bpr) as u8), b)
+            (
+                RankId((i / bpr) as u8),
+                critmem_common::BankId((i % bpr) as u8),
+                b,
+            )
         })
     }
 
@@ -139,8 +149,11 @@ impl ChannelTiming {
                 let own = b.earliest(cmd.kind);
                 // Data-bus availability: the burst must start no earlier
                 // than bus_free (+ tRTRS when switching ranks).
-                let data_lat =
-                    if cmd.kind == CommandKind::Read { t.t_cl } else { t.t_wl };
+                let data_lat = if cmd.kind == CommandKind::Read {
+                    t.t_cl
+                } else {
+                    t.t_wl
+                };
                 let mut bus_ready = self.bus_free;
                 if let Some(last) = self.last_data_rank {
                     if last != cmd.rank {
@@ -251,8 +264,11 @@ impl ChannelTiming {
     /// (if any) with a pending refresh.
     pub fn update_refresh(&mut self, now: DramCycle) -> Vec<RankId> {
         let mut due = Vec::new();
-        for (r, (&d, pending)) in
-            self.refresh_due.iter().zip(self.refresh_pending.iter_mut()).enumerate()
+        for (r, (&d, pending)) in self
+            .refresh_due
+            .iter()
+            .zip(self.refresh_pending.iter_mut())
+            .enumerate()
         {
             if now >= d {
                 *pending = true;
@@ -292,13 +308,21 @@ mod tests {
     }
 
     fn cmd(kind: CommandKind, rank: u8, bank: u8, row: u32) -> DramCommand {
-        DramCommand { kind, rank: RankId(rank), bank: BankId(bank), row }
+        DramCommand {
+            kind,
+            rank: RankId(rank),
+            bank: BankId(bank),
+            row,
+        }
     }
 
     #[test]
     fn fresh_bank_accepts_activate_immediately() {
         let ct = ChannelTiming::new(4, 8, timing());
-        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Activate, 0, 0, 5)), Some(0));
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Activate, 0, 0, 5)),
+            Some(0)
+        );
     }
 
     #[test]
@@ -307,7 +331,10 @@ mod tests {
         assert_eq!(ct.earliest_issue(&cmd(CommandKind::Read, 0, 0, 5)), None);
         ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
         // Open row 5: read row 5 OK after tRCD, row 6 impossible.
-        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Read, 0, 0, 5)), Some(timing().t_rcd));
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Read, 0, 0, 5)),
+            Some(timing().t_rcd)
+        );
         assert_eq!(ct.earliest_issue(&cmd(CommandKind::Read, 0, 0, 6)), None);
     }
 
@@ -339,7 +366,10 @@ mod tests {
             Some(timing().t_rrd)
         );
         // A different rank is unconstrained.
-        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Activate, 1, 0, 5)), Some(0));
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Activate, 1, 0, 5)),
+            Some(0)
+        );
     }
 
     #[test]
@@ -386,7 +416,9 @@ mod tests {
         ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
         let t0 = timing().t_rcd;
         ct.issue(&cmd(CommandKind::Write, 0, 0, 5), t0);
-        let e = ct.earliest_issue(&cmd(CommandKind::Precharge, 0, 0, 0)).unwrap();
+        let e = ct
+            .earliest_issue(&cmd(CommandKind::Precharge, 0, 0, 0))
+            .unwrap();
         // PRE after write: tWL + burst + tWR, and also >= tRAS from ACT.
         let expect = (t0 + timing().t_wl + 4 + timing().t_wr).max(timing().t_ras);
         assert_eq!(e, expect);
@@ -398,7 +430,9 @@ mod tests {
         ct.issue(&cmd(CommandKind::Activate, 0, 3, 5), 0);
         assert_eq!(ct.earliest_issue(&cmd(CommandKind::Refresh, 0, 0, 0)), None);
         ct.issue(&cmd(CommandKind::Precharge, 0, 3, 0), timing().t_ras);
-        let e = ct.earliest_issue(&cmd(CommandKind::Refresh, 0, 0, 0)).unwrap();
+        let e = ct
+            .earliest_issue(&cmd(CommandKind::Refresh, 0, 0, 0))
+            .unwrap();
         assert_eq!(e, timing().t_ras + timing().t_rp);
     }
 
@@ -406,10 +440,15 @@ mod tests {
     fn refresh_blocks_rank_for_trfc() {
         let mut ct = ChannelTiming::new(2, 8, timing());
         ct.issue(&cmd(CommandKind::Refresh, 0, 0, 0), 100);
-        let e = ct.earliest_issue(&cmd(CommandKind::Activate, 0, 0, 1)).unwrap();
+        let e = ct
+            .earliest_issue(&cmd(CommandKind::Activate, 0, 0, 1))
+            .unwrap();
         assert_eq!(e, 100 + timing().t_rfc);
         // Other rank is unaffected.
-        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Activate, 1, 0, 1)), Some(0));
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Activate, 1, 0, 1)),
+            Some(0)
+        );
     }
 
     #[test]
@@ -445,12 +484,18 @@ mod tests {
     fn activate_on_open_bank_is_illegal() {
         let mut ct = ChannelTiming::new(1, 8, timing());
         ct.issue(&cmd(CommandKind::Activate, 0, 0, 5), 0);
-        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Activate, 0, 0, 6)), None);
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Activate, 0, 0, 6)),
+            None
+        );
     }
 
     #[test]
     fn precharge_on_closed_bank_is_illegal() {
         let ct = ChannelTiming::new(1, 8, timing());
-        assert_eq!(ct.earliest_issue(&cmd(CommandKind::Precharge, 0, 0, 0)), None);
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Precharge, 0, 0, 0)),
+            None
+        );
     }
 }

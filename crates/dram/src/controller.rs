@@ -15,8 +15,8 @@ use crate::mapping::DramLocation;
 use crate::queue::{Direction, Transaction};
 use crate::scheduler::{Candidate, CommandScheduler, SchedContext};
 use critmem_common::{ChannelId, DramCycle, MemRequest, RankId};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A completed transaction handed back to the cache hierarchy.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -181,7 +181,11 @@ impl ChannelController {
     /// still queued. This models the §5.1 "naive" scheme where the
     /// ROB-block event itself is forwarded to the controller over a
     /// side channel.
-    pub fn promote_request(&mut self, id: critmem_common::ReqId, crit: critmem_common::Criticality) -> bool {
+    pub fn promote_request(
+        &mut self,
+        id: critmem_common::ReqId,
+        crit: critmem_common::Criticality,
+    ) -> bool {
         for txn in &mut self.queue {
             if txn.req.id == id {
                 if crit > txn.req.crit {
@@ -330,7 +334,12 @@ impl ChannelController {
                 if self.timing.bank(rank, bank).open_row.is_none() {
                     continue;
                 }
-                let pre = DramCommand { kind: CommandKind::Precharge, rank, bank, row: 0 };
+                let pre = DramCommand {
+                    kind: CommandKind::Precharge,
+                    rank,
+                    bank,
+                    row: 0,
+                };
                 if let Some(t) = self.timing.earliest_issue(&pre) {
                     if t <= now {
                         self.timing.issue(&pre, now);
@@ -399,7 +408,11 @@ impl ChannelController {
             let bank_state = self.timing.bank(txn.loc.rank, txn.loc.bank);
             let (kind, row_hit) = match bank_state.open_row {
                 Some(r) if r == txn.loc.row => {
-                    let k = if txn.is_read() { CommandKind::Read } else { CommandKind::Write };
+                    let k = if txn.is_read() {
+                        CommandKind::Read
+                    } else {
+                        CommandKind::Write
+                    };
                     (k, true)
                 }
                 Some(_) => {
@@ -415,10 +428,20 @@ impl ChannelController {
                 }
                 None => (CommandKind::Activate, false),
             };
-            let cmd = DramCommand { kind, rank: txn.loc.rank, bank: txn.loc.bank, row: txn.loc.row };
+            let cmd = DramCommand {
+                kind,
+                rank: txn.loc.rank,
+                bank: txn.loc.bank,
+                row: txn.loc.row,
+            };
             if let Some(t) = self.timing.earliest_issue(&cmd) {
                 if t <= now {
-                    candidates.push(Candidate { txn: i, cmd, row_hit, crit });
+                    candidates.push(Candidate {
+                        txn: i,
+                        cmd,
+                        row_hit,
+                        crit,
+                    });
                 }
             }
         }
@@ -446,7 +469,11 @@ impl ChannelController {
                 }
                 let done_at = self.timing.cas_done_at(cand.cmd.kind, now);
                 self.scheduler.on_complete(&txn, now);
-                let completed = CompletedTxn { req: txn.req, done_at, arrival: txn.arrival };
+                let completed = CompletedTxn {
+                    req: txn.req,
+                    done_at,
+                    arrival: txn.arrival,
+                };
                 let key = self.seq;
                 self.seq += 1;
                 self.inflight.push(Reverse((done_at, key)));
@@ -492,7 +519,10 @@ mod tests {
     fn controller() -> (ChannelController, AddressMapping) {
         let cfg = DramConfig::paper_baseline();
         let map = AddressMapping::new(cfg.org, Interleaving::Page);
-        (ChannelController::new(ChannelId(0), cfg, Box::new(Fcfs::new())), map)
+        (
+            ChannelController::new(ChannelId(0), cfg, Box::new(Fcfs::new())),
+            map,
+        )
     }
 
     fn read_req(id: u64, addr: u64) -> MemRequest {
@@ -544,9 +574,8 @@ mod tests {
     fn queue_capacity_is_enforced() {
         let (mut ctl, map) = controller();
         for i in 0..64 {
-            ctl.enqueue(read_req(i, i * 4096), map.locate(0)).unwrap_or_else(|_| {
-                panic!("queue should accept 64 entries, failed at {i}")
-            });
+            ctl.enqueue(read_req(i, i * 4096), map.locate(0))
+                .unwrap_or_else(|_| panic!("queue should accept 64 entries, failed at {i}"));
         }
         assert!(ctl.enqueue(read_req(99, 0), map.locate(0)).is_err());
         assert_eq!(ctl.stats().rejected_full, 1);

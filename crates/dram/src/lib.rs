@@ -89,7 +89,11 @@ impl DramSystem {
                 ChannelController::new(id, cfg, make_scheduler(id))
             })
             .collect();
-        DramSystem { controllers, mapping, cfg }
+        DramSystem {
+            controllers,
+            mapping,
+            cfg,
+        }
     }
 
     /// The configuration in force.
@@ -172,11 +176,11 @@ mod tests {
         // Page interleaving: rows 0..4 land on channels 0..4.
         for page in 0..4u64 {
             let addr = page * 1024;
-            dram.enqueue(MemRequest::new(page, addr, AccessKind::Read, CoreId(0))).unwrap();
+            dram.enqueue(MemRequest::new(page, addr, AccessKind::Read, CoreId(0)))
+                .unwrap();
         }
         assert_eq!(dram.total_queued(), 4);
-        let per_channel: Vec<usize> =
-            dram.controllers.iter().map(|c| c.queue_len()).collect();
+        let per_channel: Vec<usize> = dram.controllers.iter().map(|c| c.queue_len()).collect();
         assert_eq!(per_channel, vec![1, 1, 1, 1]);
     }
 
@@ -186,7 +190,8 @@ mod tests {
         let mut dram = DramSystem::new(cfg, |_| Box::new(Fcfs::new()));
         for page in 0..4u64 {
             let addr = page * 1024;
-            dram.enqueue(MemRequest::new(page, addr, AccessKind::Read, CoreId(0))).unwrap();
+            dram.enqueue(MemRequest::new(page, addr, AccessKind::Read, CoreId(0)))
+                .unwrap();
         }
         let mut completions = Vec::new();
         let mut cycles = 0;
@@ -206,8 +211,10 @@ mod tests {
         let mut dram = DramSystem::new(cfg, |_| Box::new(Fcfs::new()));
         // Two different banks, same channel (pages 0 and 4 both map to
         // channel 0).
-        dram.enqueue(MemRequest::new(1, 0, AccessKind::Read, CoreId(0))).unwrap();
-        dram.enqueue(MemRequest::new(2, 4 * 1024, AccessKind::Read, CoreId(0))).unwrap();
+        dram.enqueue(MemRequest::new(1, 0, AccessKind::Read, CoreId(0)))
+            .unwrap();
+        dram.enqueue(MemRequest::new(2, 4 * 1024, AccessKind::Read, CoreId(0)))
+            .unwrap();
         let mut completions = Vec::new();
         for _ in 0..500 {
             completions.extend(dram.tick());

@@ -112,7 +112,13 @@ impl AddressMapping {
                 let bank = BankId(take(self.bank_bits) as u8);
                 let rank = RankId(take(self.rank_bits) as u8);
                 let row = (a & 0xFFFF_FFFF) as u32;
-                DramLocation { channel, rank, bank, row, column }
+                DramLocation {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    column,
+                }
             }
             Interleaving::CacheLine => {
                 let channel = ChannelId(take(self.chan_bits) as u8);
@@ -120,7 +126,13 @@ impl AddressMapping {
                 let rank = RankId(take(self.rank_bits) as u8);
                 let column = take(self.col_bits) as u32;
                 let row = (a & 0xFFFF_FFFF) as u32;
-                DramLocation { channel, rank, bank, row, column }
+                DramLocation {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    column,
+                }
             }
         }
     }
@@ -199,8 +211,10 @@ mod tests {
         let m = baseline();
         let a = m.locate(0x1234_5678 & !63);
         let b = m.locate((0x1234_5678 & !63) + 64);
-        assert_ne!((a.row, a.column, a.bank.0, a.rank.0, a.channel.0),
-                   (b.row, b.column, b.bank.0, b.rank.0, b.channel.0));
+        assert_ne!(
+            (a.row, a.column, a.bank.0, a.rank.0, a.channel.0),
+            (b.row, b.column, b.bank.0, b.rank.0, b.channel.0)
+        );
     }
 
     #[test]

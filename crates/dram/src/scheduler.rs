@@ -101,10 +101,7 @@ mod tests {
     use crate::timing::DDR3_2133;
     use critmem_common::{AccessKind, BankId, CoreId, MemRequest, RankId};
 
-    fn mk_ctx<'a>(
-        queue: &'a [Transaction],
-        timing: &'a ChannelTiming,
-    ) -> SchedContext<'a> {
+    fn mk_ctx<'a>(queue: &'a [Transaction], timing: &'a ChannelTiming) -> SchedContext<'a> {
         SchedContext {
             now: 100,
             channel: ChannelId(0),

@@ -61,13 +61,22 @@ impl TimingParams {
     /// relation.
     pub fn validate(&self) -> Result<(), String> {
         if self.t_rc < self.t_ras {
-            return Err(format!("tRC ({}) must be >= tRAS ({})", self.t_rc, self.t_ras));
+            return Err(format!(
+                "tRC ({}) must be >= tRAS ({})",
+                self.t_rc, self.t_ras
+            ));
         }
         if self.burst_len == 0 || self.burst_len % 2 != 0 {
-            return Err(format!("burst length ({}) must be a positive even number", self.burst_len));
+            return Err(format!(
+                "burst length ({}) must be a positive even number",
+                self.burst_len
+            ));
         }
         if self.t_refi <= self.t_rfc {
-            return Err(format!("tREFI ({}) must exceed tRFC ({})", self.t_refi, self.t_rfc));
+            return Err(format!(
+                "tREFI ({}) must exceed tRFC ({})",
+                self.t_refi, self.t_rfc
+            ));
         }
         for (name, v) in [
             ("tRCD", self.t_rcd),
@@ -186,7 +195,9 @@ mod tests {
     #[test]
     fn presets_validate() {
         for p in [DDR3_2133, DDR3_1600, DDR3_1066] {
-            p.timing.validate().unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            p.timing
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
         }
     }
 

@@ -159,7 +159,10 @@ mod tests {
         c.record_consumers(0x10, 7);
         c.record_consumers(0x20, 2);
         assert_eq!(c.predict(0x10).magnitude(), 7);
-        assert!(!c.predict(0x20).is_critical(), "below threshold is unmarked");
+        assert!(
+            !c.predict(0x20).is_critical(),
+            "below threshold is unmarked"
+        );
     }
 
     #[test]

@@ -86,8 +86,7 @@ impl Ahb {
                 let issued = self.issued_reads + self.issued_writes;
                 let arrived = self.arrived_reads + self.arrived_writes;
                 if issued > 16 && arrived > 16 {
-                    let read_share_arrived =
-                        self.arrived_reads as f64 / arrived as f64;
+                    let read_share_arrived = self.arrived_reads as f64 / arrived as f64;
                     let read_share_issued = self.issued_reads as f64 / issued as f64;
                     let ahead = if is_read {
                         read_share_issued - read_share_arrived

@@ -81,7 +81,9 @@ impl Atlas {
         }
         let mut order: Vec<usize> = (0..self.num_threads).collect();
         order.sort_by(|&a, &b| {
-            self.attained[a].partial_cmp(&self.attained[b]).unwrap_or(std::cmp::Ordering::Equal)
+            self.attained[a]
+                .partial_cmp(&self.attained[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         for (r, &t) in order.iter().enumerate() {
             self.rank[t] = r;
@@ -146,7 +148,10 @@ mod tests {
             s.on_complete(&mk_txn(0, 0, 1), 0);
         }
         s.requantize();
-        assert!(s.ranks()[1] < s.ranks()[0], "thread 1 (less served) should rank higher");
+        assert!(
+            s.ranks()[1] < s.ranks()[0],
+            "thread 1 (less served) should rank higher"
+        );
         let queue = vec![mk_txn(0, 0, 0), mk_txn(1, 1, 5)];
         let t = Timing::default_timing();
         let ctx = mk_ctx(&queue, &t);

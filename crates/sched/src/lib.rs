@@ -97,10 +97,51 @@ impl SchedulerKind {
                 Box::new(Tcm::new(num_threads, tiebreak, 0xC0FFEE ^ channel_seed))
             }
             SchedulerKind::Morse(cfg) => {
-                let cfg = MorseConfig { seed: cfg.seed ^ channel_seed.wrapping_mul(0x9E37), ..cfg };
+                let cfg = MorseConfig {
+                    seed: cfg.seed ^ channel_seed.wrapping_mul(0x9E37),
+                    ..cfg
+                };
                 Box::new(Morse::new(cfg))
             }
         }
+    }
+
+    /// Parses a display name (as printed by [`SchedulerKind::name`],
+    /// case-insensitive) back into a kind, using the paper's default
+    /// parameters for the parameterized schedulers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use critmem_sched::SchedulerKind;
+    /// let k = SchedulerKind::from_name("casras-crit").unwrap();
+    /// assert_eq!(k, SchedulerKind::CasRasCrit);
+    /// assert!(SchedulerKind::from_name("nope").is_none());
+    /// ```
+    pub fn from_name(name: &str) -> Option<Self> {
+        let kind = match name.to_ascii_lowercase().as_str() {
+            "fcfs" => SchedulerKind::Fcfs,
+            "fr-fcfs" | "frfcfs" => SchedulerKind::FrFcfs,
+            "crit-casras" | "critcasras" => SchedulerKind::CritCasRas,
+            "casras-crit" | "casrascrit" => SchedulerKind::CasRasCrit,
+            "ahb" => SchedulerKind::Ahb,
+            "atlas" => SchedulerKind::Atlas,
+            "minimalist" => SchedulerKind::Minimalist,
+            "par-bs" | "parbs" => SchedulerKind::ParBs { marking_cap: 5 },
+            "tcm" => SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::FrFcfs,
+            },
+            "tcm+crit" => SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::CritFrFcfs,
+            },
+            "morse-p" | "morse" => SchedulerKind::Morse(MorseConfig::default()),
+            "crit-rl" => SchedulerKind::Morse(MorseConfig {
+                use_criticality: true,
+                ..Default::default()
+            }),
+            _ => return None,
+        };
+        Some(kind)
     }
 
     /// Display name matching the paper's figures.
@@ -114,8 +155,12 @@ impl SchedulerKind {
             SchedulerKind::Atlas => "ATLAS",
             SchedulerKind::Minimalist => "Minimalist",
             SchedulerKind::ParBs { .. } => "PAR-BS",
-            SchedulerKind::Tcm { tiebreak: TcmTiebreak::FrFcfs } => "TCM",
-            SchedulerKind::Tcm { tiebreak: TcmTiebreak::CritFrFcfs } => "TCM+Crit",
+            SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::FrFcfs,
+            } => "TCM",
+            SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::CritFrFcfs,
+            } => "TCM+Crit",
             SchedulerKind::Morse(cfg) => {
                 if cfg.use_criticality {
                     "Crit-RL"
@@ -142,14 +187,48 @@ mod tests {
             SchedulerKind::Atlas,
             SchedulerKind::Minimalist,
             SchedulerKind::ParBs { marking_cap: 5 },
-            SchedulerKind::Tcm { tiebreak: TcmTiebreak::FrFcfs },
-            SchedulerKind::Tcm { tiebreak: TcmTiebreak::CritFrFcfs },
+            SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::FrFcfs,
+            },
+            SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::CritFrFcfs,
+            },
             SchedulerKind::Morse(MorseConfig::default()),
-            SchedulerKind::Morse(MorseConfig { use_criticality: true, ..Default::default() }),
+            SchedulerKind::Morse(MorseConfig {
+                use_criticality: true,
+                ..Default::default()
+            }),
         ];
         for kind in kinds {
             let built = kind.build(8, 3);
             assert_eq!(built.name(), kind.name());
         }
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        let kinds = [
+            SchedulerKind::Fcfs,
+            SchedulerKind::FrFcfs,
+            SchedulerKind::CritCasRas,
+            SchedulerKind::CasRasCrit,
+            SchedulerKind::Ahb,
+            SchedulerKind::Atlas,
+            SchedulerKind::Minimalist,
+            SchedulerKind::ParBs { marking_cap: 5 },
+            SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::FrFcfs,
+            },
+            SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::CritFrFcfs,
+            },
+            SchedulerKind::Morse(MorseConfig::default()),
+        ];
+        for kind in kinds {
+            let parsed = SchedulerKind::from_name(kind.name())
+                .unwrap_or_else(|| panic!("{} must parse", kind.name()));
+            assert_eq!(parsed.name(), kind.name());
+        }
+        assert!(SchedulerKind::from_name("bogus").is_none());
     }
 }

@@ -79,8 +79,7 @@ impl CommandScheduler for MinimalistOpenPage {
             .min_by_key(|(_, c)| {
                 let txn = &ctx.queue[c.txn];
                 let t = txn.thread().index().min(self.num_threads - 1);
-                let bank_idx =
-                    c.cmd.rank.index() * self.banks_per_rank + c.cmd.bank.index();
+                let bank_idx = c.cmd.rank.index() * self.banks_per_rank + c.cmd.bank.index();
                 let burst_exhausted =
                     c.row_hit && self.burst.get(bank_idx).copied().unwrap_or(0) >= self.burst_cap;
                 (
@@ -126,7 +125,12 @@ mod tests {
     fn low_mlp_thread_wins() {
         let mut s = MinimalistOpenPage::new(2);
         // Thread 0 has 3 in-flight reads; thread 1 has 1.
-        let queue = vec![mk_txn(0, 0, 0), mk_txn(0, 1, 1), mk_txn(0, 2, 2), mk_txn(1, 3, 9)];
+        let queue = vec![
+            mk_txn(0, 0, 0),
+            mk_txn(0, 1, 1),
+            mk_txn(0, 2, 2),
+            mk_txn(1, 3, 9),
+        ];
         let t = Timing::default_timing();
         let ctx = mk_ctx(&queue, &t);
         let cands = vec![
@@ -143,8 +147,9 @@ mod tests {
         let t = Timing::default_timing();
         let ctx = mk_ctx(&queue, &t);
         // Same-bank row hits forever; plus one ACT on another bank.
-        let mut cands: Vec<_> =
-            (0..4).map(|i| mk_candidate(i, CommandKind::Read, true, 0)).collect();
+        let mut cands: Vec<_> = (0..4)
+            .map(|i| mk_candidate(i, CommandKind::Read, true, 0))
+            .collect();
         let mut act = mk_candidate(7, CommandKind::Activate, false, 0);
         act.cmd.bank = critmem_common::BankId(3);
         cands.push(act);

@@ -22,9 +22,8 @@
 //! matching but not beating MORSE, performance dropping as the
 //! command-evaluation cap shrinks — are what this model reproduces.
 
+use critmem_common::SmallRng;
 use critmem_dram::{Candidate, CommandKind, CommandScheduler, SchedContext};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Number of CMAC tilings.
 const TILINGS: usize = 8;
@@ -155,7 +154,10 @@ impl Morse {
         let age = txn.age(ctx.now);
         let log2b = |v: u64| 64 - v.leading_zeros().min(63);
         let (crit_bin, crit_mag) = if self.cfg.use_criticality {
-            (u32::from(c.crit.is_critical()), log2b(c.crit.magnitude().min(1 << 20)))
+            (
+                u32::from(c.crit.is_critical()),
+                log2b(c.crit.magnitude().min(1 << 20)),
+            )
         } else {
             (0, 0)
         };
@@ -226,9 +228,9 @@ impl CommandScheduler for Morse {
                 (idx, q, i)
             })
             .collect();
-        let explore = self.rng.gen::<f32>() < self.cfg.epsilon;
+        let explore = self.rng.gen_f32() < self.cfg.epsilon;
         let chosen = if explore {
-            let k = self.rng.gen_range(0..scored.len());
+            let k = self.rng.gen_range_usize(0..scored.len());
             &scored[k]
         } else {
             scored
@@ -239,8 +241,11 @@ impl CommandScheduler for Morse {
         let (idx, q, cand_i) = (chosen.0, chosen.1, chosen.2);
         self.sarsa_update(q);
         self.prev = Some((idx, q));
-        self.pending_reward =
-            if candidates[cand_i].cmd.kind.is_cas() { 1.0 } else { 0.0 };
+        self.pending_reward = if candidates[cand_i].cmd.kind.is_cas() {
+            1.0
+        } else {
+            0.0
+        };
         self.decisions += 1;
         Some(cand_i)
     }
@@ -281,13 +286,22 @@ mod tests {
         let queue: Vec<_> = (0..10).map(|i| mk_txn(0, i as u8 % 8, i)).collect();
         let t = Timing::default_timing();
         let ctx = mk_ctx(&queue, &t);
-        let cands: Vec<_> =
-            (0..10).map(|i| mk_candidate(i, CommandKind::Read, true, 0)).collect();
-        let mut s = Morse::new(MorseConfig { eval_cap: 3, epsilon: 0.0, ..Default::default() });
+        let cands: Vec<_> = (0..10)
+            .map(|i| mk_candidate(i, CommandKind::Read, true, 0))
+            .collect();
+        let mut s = Morse::new(MorseConfig {
+            eval_cap: 3,
+            epsilon: 0.0,
+            ..Default::default()
+        });
         for _ in 0..50 {
             let pick = s.select(&ctx, &cands).unwrap();
             // Only the three oldest (seq 0, 1, 2) are evaluable.
-            assert!(cands[pick].txn < 3, "picked {} beyond eval cap", cands[pick].txn);
+            assert!(
+                cands[pick].txn < 3,
+                "picked {} beyond eval cap",
+                cands[pick].txn
+            );
         }
     }
 
@@ -302,7 +316,10 @@ mod tests {
             mk_candidate(0, CommandKind::Activate, false, 0),
             mk_candidate(1, CommandKind::Read, true, 0),
         ];
-        let mut s = Morse::new(MorseConfig { epsilon: 0.10, ..Default::default() });
+        let mut s = Morse::new(MorseConfig {
+            epsilon: 0.10,
+            ..Default::default()
+        });
         // Train.
         for _ in 0..2_000 {
             s.select(&ctx, &cands);
@@ -315,7 +332,10 @@ mod tests {
                 cas_picks += 1;
             }
         }
-        assert!(cas_picks > 90, "agent failed to learn CAS preference: {cas_picks}/100");
+        assert!(
+            cas_picks > 90,
+            "agent failed to learn CAS preference: {cas_picks}/100"
+        );
     }
 
     #[test]
@@ -340,7 +360,10 @@ mod tests {
         let t = Timing::default_timing();
         let ctx = mk_ctx(&queue, &t);
         let plain = Morse::new(MorseConfig::default());
-        let crit = Morse::new(MorseConfig { use_criticality: true, ..Default::default() });
+        let crit = Morse::new(MorseConfig {
+            use_criticality: true,
+            ..Default::default()
+        });
         let cand = mk_candidate(0, CommandKind::Read, true, 500);
         let f_plain = plain.features(&ctx, &cand);
         let f_crit = crit.features(&ctx, &cand);
@@ -352,6 +375,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "eval_cap")]
     fn rejects_zero_cap() {
-        let _ = Morse::new(MorseConfig { eval_cap: 0, ..Default::default() });
+        let _ = Morse::new(MorseConfig {
+            eval_cap: 0,
+            ..Default::default()
+        });
     }
 }

@@ -150,7 +150,10 @@ mod tests {
         let mut queue: Vec<Transaction> = (0..4).map(|i| mk_txn(0, 0, i)).collect();
         queue.push(mk_txn(1, 1, 10));
         s.form_batch(&queue);
-        assert!(s.thread_rank[&1] < s.thread_rank[&0], "lighter thread ranks higher");
+        assert!(
+            s.thread_rank[&1] < s.thread_rank[&0],
+            "lighter thread ranks higher"
+        );
     }
 
     #[test]

@@ -10,10 +10,8 @@
 //! that tiebreak with criticality-aware FR-FCFS (CASRAS-Crit), which is
 //! exactly how the paper builds TCM+MaxStallTime.
 
+use critmem_common::SmallRng;
 use critmem_dram::{Candidate, CommandScheduler, SchedContext, Transaction};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Tiebreak policy within one thread-priority level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,10 +123,11 @@ impl Tcm {
     fn shuffle(&mut self) {
         // Permute the ranks of bandwidth-cluster threads (insertion
         // shuffle approximated by a uniform random permutation).
-        let bw: Vec<usize> =
-            (0..self.num_threads).filter(|&t| !self.latency_cluster[t]).collect();
+        let bw: Vec<usize> = (0..self.num_threads)
+            .filter(|&t| !self.latency_cluster[t])
+            .collect();
         let mut ranks: Vec<usize> = (0..bw.len()).collect();
-        ranks.shuffle(&mut self.rng);
+        self.rng.shuffle(&mut ranks);
         for (i, &t) in bw.iter().enumerate() {
             self.bw_rank[t] = ranks[i];
         }
@@ -204,8 +203,14 @@ mod tests {
     fn light_thread_lands_in_latency_cluster() {
         let mut s = Tcm::new(2, TcmTiebreak::FrFcfs, 1);
         drive_quantum(&mut s, 0, 1, 100);
-        assert!(s.latency_cluster()[1], "light thread should be latency-sensitive");
-        assert!(!s.latency_cluster()[0], "heavy thread should be bandwidth-sensitive");
+        assert!(
+            s.latency_cluster()[1],
+            "light thread should be latency-sensitive"
+        );
+        assert!(
+            !s.latency_cluster()[0],
+            "heavy thread should be bandwidth-sensitive"
+        );
     }
 
     #[test]
@@ -234,7 +239,11 @@ mod tests {
             mk_candidate(0, CommandKind::Read, true, 0),
             mk_candidate(1, CommandKind::Read, true, 400),
         ];
-        assert_eq!(s.select(&ctx, &cands), Some(1), "critical request should win tie");
+        assert_eq!(
+            s.select(&ctx, &cands),
+            Some(1),
+            "critical request should win tie"
+        );
         // Vanilla TCM would pick the older one.
         let mut v = Tcm::new(2, TcmTiebreak::FrFcfs, 1);
         assert_eq!(v.select(&ctx, &cands), Some(0));

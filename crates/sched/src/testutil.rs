@@ -55,22 +55,27 @@ pub fn mk_write_txn(core: u8, bank: u8, row: u32, seq: u64) -> Transaction {
 pub fn mk_candidate(txn: usize, kind: CommandKind, row_hit: bool, crit_mag: u64) -> Candidate {
     Candidate {
         txn,
-        cmd: DramCommand { kind, rank: RankId(0), bank: BankId(0), row: 0 },
+        cmd: DramCommand {
+            kind,
+            rank: RankId(0),
+            bank: BankId(0),
+            row: 0,
+        },
         row_hit,
         crit: Criticality::ranked(crit_mag),
     }
 }
 
 /// Builds a candidate with an explicit bank.
-pub fn mk_candidate_bank(
-    txn: usize,
-    kind: CommandKind,
-    bank: u8,
-    crit_mag: u64,
-) -> Candidate {
+pub fn mk_candidate_bank(txn: usize, kind: CommandKind, bank: u8, crit_mag: u64) -> Candidate {
     Candidate {
         txn,
-        cmd: DramCommand { kind, rank: RankId(0), bank: BankId(bank), row: 0 },
+        cmd: DramCommand {
+            kind,
+            rank: RankId(0),
+            bank: BankId(bank),
+            row: 0,
+        },
         row_hit: kind.is_cas(),
         crit: Criticality::ranked(crit_mag),
     }
@@ -83,5 +88,11 @@ pub fn ctx_with(_queue: &[Transaction]) -> (ChannelTiming, ()) {
 
 /// Builds a read-direction scheduling context at cycle 100.
 pub fn mk_ctx<'a>(queue: &'a [Transaction], timing: &'a ChannelTiming) -> SchedContext<'a> {
-    SchedContext { now: 100, channel: ChannelId(0), queue, timing, direction: Direction::Read }
+    SchedContext {
+        now: 100,
+        channel: ChannelId(0),
+        queue,
+        timing,
+        direction: Direction::Read,
+    }
 }

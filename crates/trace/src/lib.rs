@@ -1,0 +1,64 @@
+//! `critmem-trace`: memory-request trace capture & replay for
+//! scheduler-only studies.
+//!
+//! Execution-driven simulation pays for cores, caches, and predictors
+//! on every run — even when the experiment only varies the memory
+//! scheduler. This crate decouples the two phases:
+//!
+//! 1. **Capture** — a [`TraceSink`] attached to the system's request
+//!    observer seam records every LLC miss accepted into a DRAM
+//!    transaction queue: enqueue cycle, MSHR-issue cycle, address,
+//!    kind, core, and the criticality annotation the processor-side
+//!    predictor attached (the paper's §3.2 piggybacked bits).
+//! 2. **Replay** — a [`TraceReplayer`] drives a `DramSystem` directly
+//!    from the trace, injecting requests at their recorded CPU cycles
+//!    through the same clock divider. One capture then serves an entire
+//!    sweep of scheduler/arrangement configurations at a fraction of
+//!    the execution-driven cost.
+//!
+//! The binary format ([`Trace`], [`TraceWriter`], [`TraceReader`]) is
+//! compact (42 B/record), versioned, and self-describing: the header
+//! carries a [`Fingerprint`] of the capturing topology, and replay
+//! against a mismatched system is rejected with a field-by-field
+//! diagnosis.
+//!
+//! # Examples
+//!
+//! ```
+//! use critmem_trace::{Fingerprint, ReplayConfig, Trace, TraceRecord, TraceReplayer};
+//! use critmem_common::{AccessKind, CoreId, MemRequest, RequestObserver};
+//! use critmem_dram::{DramConfig, DramSystem, Fcfs};
+//!
+//! // A (tiny, hand-built) trace...
+//! let cfg = DramConfig::paper_baseline();
+//! let fingerprint = Fingerprint::of(8, 4_270, &cfg);
+//! let records = (0..4u64)
+//!     .map(|i| TraceRecord {
+//!         enqueue_cycle: 5 + i * 8,
+//!         issued_at: i * 8,
+//!         id: i,
+//!         addr: i * 1024,
+//!         crit: 0,
+//!         core: i as u8,
+//!         kind: AccessKind::Read,
+//!     })
+//!     .collect();
+//! let trace = Trace { fingerprint, source: "doc".into(), records };
+//!
+//! // ...round-trips through bytes and replays against any scheduler.
+//! let bytes = trace.to_bytes().unwrap();
+//! let trace = Trace::read_from(std::io::Cursor::new(bytes)).unwrap();
+//! let dram = DramSystem::new(cfg, |_| Box::new(Fcfs::new()));
+//! let stats = TraceReplayer::new(trace, dram, ReplayConfig::default())
+//!     .unwrap()
+//!     .run();
+//! assert_eq!(stats.completed, 4);
+//! ```
+
+pub mod format;
+pub mod replay;
+pub mod sink;
+
+pub use format::{Fingerprint, Trace, TraceError, TraceReader, TraceRecord, TraceWriter};
+pub use replay::{ReplayConfig, ReplayStats, TraceReplayer};
+pub use sink::TraceSink;

@@ -1,0 +1,359 @@
+//! The replay side: drive a [`DramSystem`] directly from a captured
+//! trace, skipping the cores and cache hierarchy entirely.
+//!
+//! Replay preserves the capturing run's clock structure: requests are
+//! injected at their recorded *CPU* cycles (before the divided DRAM
+//! tick of the same cycle, exactly as the execution-driven system
+//! enqueues before ticking), and the CPU→DRAM clock crossing uses the
+//! same Bresenham divider. With the same scheduler and controller
+//! configuration as the capture, queue evolution is therefore identical
+//! and per-channel request counts and row-hit/miss/conflict breakdowns
+//! reproduce exactly. With a *different* scheduler — the intended use —
+//! the recorded arrival times become an open-loop approximation of the
+//! processor, optionally tightened by a closed-loop throttle
+//! ([`ReplayConfig::max_outstanding`]) that mimics MSHR back-pressure.
+
+use crate::format::{Fingerprint, Trace, TraceError, TraceRecord};
+use critmem_common::ClockDivider;
+use critmem_dram::{timing::preset_by_name, ChannelStats, DramConfig, DramSystem};
+use std::collections::HashMap;
+
+impl Fingerprint {
+    /// Reconstructs a [`DramConfig`] with this fingerprint's topology,
+    /// taking controller *policy* knobs (queue capacity, watermarks,
+    /// starvation cap, refresh) from the paper baseline.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the preset name is unknown to this build.
+    pub fn dram_config(&self) -> Result<DramConfig, TraceError> {
+        let preset = preset_by_name(&self.preset).ok_or_else(|| {
+            TraceError::FingerprintMismatch(format!("unknown device preset {:?}", self.preset))
+        })?;
+        let mut cfg = DramConfig::paper_baseline();
+        cfg.preset = preset;
+        cfg.interleaving = self.interleaving;
+        cfg.org.channels = self.channels;
+        cfg.org.ranks_per_channel = self.ranks_per_channel;
+        cfg.org.banks_per_rank = self.banks_per_rank;
+        cfg.org.row_bytes = self.row_bytes;
+        cfg.org.line_bytes = self.line_bytes;
+        Ok(cfg)
+    }
+}
+
+/// Replay pacing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Closed-loop throttle: cap on requests in flight. `None` injects
+    /// purely by recorded cycle (open loop — and *exact* when scheduler
+    /// and controller config match the capture). A `Some(n)` cap mimics
+    /// the MSHR back-pressure of the capturing machine: a request whose
+    /// recorded cycle has arrived still waits until a slot frees up.
+    pub max_outstanding: Option<usize>,
+    /// Harvest statistics after exactly this many CPU cycles instead of
+    /// draining every outstanding request. Set to the capturing run's
+    /// final cycle to compare replay statistics against the execution
+    /// run bit-for-bit (the execution run also stops with requests in
+    /// flight the moment every core commits its target).
+    pub stop_at_cycle: Option<u64>,
+    /// Deadlock guard: abort if the replay exceeds this many CPU cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            max_outstanding: None,
+            stop_at_cycle: None,
+            max_cycles: 10_000_000_000,
+        }
+    }
+}
+
+/// Statistics of one replay run.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayStats {
+    /// Requests injected into the DRAM system.
+    pub injected: u64,
+    /// Requests whose completion was observed.
+    pub completed: u64,
+    /// CPU cycles simulated until the last completion.
+    pub cpu_cycles: u64,
+    /// CPU cycles on which injection stalled against the
+    /// `max_outstanding` throttle.
+    pub throttled_cycles: u64,
+    /// Injection attempts bounced off a full transaction queue.
+    pub queue_full_retries: u64,
+    /// Demand reads completed.
+    pub reads: u64,
+    /// Total demand-read latency (CPU cycles, injection to completion).
+    pub read_latency_sum: u64,
+    /// Critical demand reads completed.
+    pub critical_reads: u64,
+    /// Total latency of critical demand reads.
+    pub critical_read_latency_sum: u64,
+    /// Criticality-weighted latency: Σ latency × (1 + magnitude). The
+    /// scalar a criticality-aware scheduler is built to minimize.
+    pub weighted_latency_sum: u128,
+    /// Final per-channel controller statistics.
+    pub channels: Vec<ChannelStats>,
+}
+
+impl ReplayStats {
+    /// Mean demand-read latency in CPU cycles.
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads as f64
+        }
+    }
+
+    /// Mean latency of critical demand reads in CPU cycles.
+    pub fn mean_critical_read_latency(&self) -> f64 {
+        if self.critical_reads == 0 {
+            0.0
+        } else {
+            self.critical_read_latency_sum as f64 / self.critical_reads as f64
+        }
+    }
+
+    /// Total row hits across channels.
+    pub fn row_hits(&self) -> u64 {
+        self.channels.iter().map(|c| c.row_hits).sum()
+    }
+
+    /// Total requests serviced across channels (reads + writes).
+    pub fn requests_serviced(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.reads_completed + c.writes_completed)
+            .sum()
+    }
+}
+
+/// Drives a [`DramSystem`] from a captured trace.
+pub struct TraceReplayer {
+    records: Vec<TraceRecord>,
+    dram: DramSystem,
+    divider: ClockDivider,
+    cfg: ReplayConfig,
+}
+
+impl std::fmt::Debug for TraceReplayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReplayer")
+            .field("records", &self.records.len())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceReplayer {
+    /// Builds a replayer over `dram`, which the caller constructs with
+    /// whatever scheduler is under study.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the pairing if `dram`'s topology does not match the
+    /// trace's capture fingerprint (scheduler and queue capacity are
+    /// free to differ; organization, preset, and interleaving are not).
+    pub fn new(trace: Trace, dram: DramSystem, cfg: ReplayConfig) -> Result<Self, TraceError> {
+        let fp = &trace.fingerprint;
+        let system_fp = Fingerprint::of(fp.cores as usize, fp.cpu_mhz, dram.config());
+        fp.check_compatible(&system_fp)?;
+        let divider = ClockDivider::new(fp.bus_mhz, fp.cpu_mhz);
+        let mut records = trace.records;
+        // Capture emits records in nondecreasing enqueue order already;
+        // sort stably so hand-built traces behave too.
+        records.sort_by_key(|r| r.enqueue_cycle);
+        Ok(TraceReplayer {
+            records,
+            dram,
+            divider,
+            cfg,
+        })
+    }
+
+    /// Runs the trace to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replay exceeds [`ReplayConfig::max_cycles`]
+    /// (deadlock guard, mirroring the execution-driven system).
+    pub fn run(mut self) -> ReplayStats {
+        let mut stats = ReplayStats::default();
+        let total = self.records.len();
+        let mut idx = 0usize;
+        let mut outstanding = 0usize;
+        let mut inject_cycle: HashMap<u64, u64> = HashMap::new();
+        let mut crit_of: HashMap<u64, u64> = HashMap::new();
+        let mut now = 0u64;
+        while (idx < total || outstanding > 0)
+            && self.cfg.stop_at_cycle.is_none_or(|stop| now < stop)
+        {
+            now += 1;
+            assert!(
+                now < self.cfg.max_cycles,
+                "trace replay exceeded {} cycles (possible deadlock)",
+                self.cfg.max_cycles
+            );
+            // Inject every record whose recorded cycle has arrived,
+            // respecting the closed-loop throttle and queue space. This
+            // happens before the DRAM tick of the same CPU cycle —
+            // matching the execution-driven system's step order.
+            while idx < total && self.records[idx].enqueue_cycle <= now {
+                if let Some(cap) = self.cfg.max_outstanding {
+                    if outstanding >= cap {
+                        stats.throttled_cycles += 1;
+                        break;
+                    }
+                }
+                let rec = self.records[idx];
+                match self.dram.enqueue(rec.to_request()) {
+                    Ok(()) => {
+                        idx += 1;
+                        outstanding += 1;
+                        stats.injected += 1;
+                        inject_cycle.insert(rec.id, now);
+                        crit_of.insert(rec.id, rec.crit);
+                    }
+                    Err(_) => {
+                        // Transaction queue full: retry on a later cycle.
+                        stats.queue_full_retries += 1;
+                        break;
+                    }
+                }
+            }
+            if self.divider.tick() {
+                for done in self.dram.tick() {
+                    outstanding -= 1;
+                    stats.completed += 1;
+                    let start = inject_cycle.remove(&done.req.id).unwrap_or(now);
+                    let crit = crit_of.remove(&done.req.id).unwrap_or(0);
+                    let lat = now - start;
+                    if done.req.kind.is_demand_read() {
+                        stats.reads += 1;
+                        stats.read_latency_sum += lat;
+                        stats.weighted_latency_sum += u128::from(lat) * u128::from(1 + crit);
+                        if crit > 0 {
+                            stats.critical_reads += 1;
+                            stats.critical_read_latency_sum += lat;
+                        }
+                    }
+                }
+            }
+        }
+        stats.cpu_cycles = now;
+        stats.channels = self.dram.channel_stats().into_iter().cloned().collect();
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use critmem_common::AccessKind;
+    use critmem_dram::Fcfs;
+
+    fn synthetic_trace(n: u64) -> Trace {
+        let cfg = DramConfig::paper_baseline();
+        let fingerprint = Fingerprint::of(8, 4_270, &cfg);
+        let records = (0..n)
+            .map(|i| TraceRecord {
+                enqueue_cycle: 10 + i * 20,
+                issued_at: i * 20,
+                id: i,
+                addr: (i % 64) * 1024 + (i / 64) * 256 * 1024,
+                crit: if i % 4 == 0 { 100 + i } else { 0 },
+                core: (i % 8) as u8,
+                kind: if i % 5 == 4 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            })
+            .collect();
+        Trace {
+            fingerprint,
+            source: "synthetic".into(),
+            records,
+        }
+    }
+
+    fn dram_for(trace: &Trace) -> DramSystem {
+        let cfg = trace.fingerprint.dram_config().unwrap();
+        DramSystem::new(cfg, |_| Box::new(Fcfs::new()))
+    }
+
+    #[test]
+    fn replay_services_every_record() {
+        let trace = synthetic_trace(200);
+        let dram = dram_for(&trace);
+        let stats = TraceReplayer::new(trace, dram, ReplayConfig::default())
+            .unwrap()
+            .run();
+        assert_eq!(stats.injected, 200);
+        assert_eq!(stats.completed, 200);
+        assert_eq!(stats.requests_serviced(), 200);
+        assert!(stats.reads > 0 && stats.mean_read_latency() > 0.0);
+        assert!(stats.critical_reads > 0);
+        assert!(stats.weighted_latency_sum > u128::from(stats.read_latency_sum));
+    }
+
+    #[test]
+    fn throttle_delays_but_conserves() {
+        let trace = synthetic_trace(200);
+        let open = TraceReplayer::new(trace.clone(), dram_for(&trace), ReplayConfig::default())
+            .unwrap()
+            .run();
+        let throttled = TraceReplayer::new(
+            trace.clone(),
+            dram_for(&trace),
+            ReplayConfig {
+                max_outstanding: Some(2),
+                ..ReplayConfig::default()
+            },
+        )
+        .unwrap()
+        .run();
+        assert_eq!(throttled.completed, 200);
+        assert!(throttled.throttled_cycles > 0, "cap of 2 must bite");
+        assert!(throttled.cpu_cycles >= open.cpu_cycles);
+    }
+
+    #[test]
+    fn mismatched_topology_is_rejected() {
+        let trace = synthetic_trace(10);
+        let mut cfg = trace.fingerprint.dram_config().unwrap();
+        cfg.org.channels = 2;
+        let dram = DramSystem::new(cfg, |_| Box::new(Fcfs::new()));
+        let err = TraceReplayer::new(trace, dram, ReplayConfig::default()).unwrap_err();
+        assert!(matches!(err, TraceError::FingerprintMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let trace = synthetic_trace(150);
+        let a = TraceReplayer::new(trace.clone(), dram_for(&trace), ReplayConfig::default())
+            .unwrap()
+            .run();
+        let b = TraceReplayer::new(trace.clone(), dram_for(&trace), ReplayConfig::default())
+            .unwrap()
+            .run();
+        assert_eq!(a.cpu_cycles, b.cpu_cycles);
+        assert_eq!(a.read_latency_sum, b.read_latency_sum);
+        assert_eq!(a.row_hits(), b.row_hits());
+    }
+
+    #[test]
+    fn fingerprint_reconstructs_dram_config() {
+        let base = DramConfig::paper_baseline();
+        let fp = Fingerprint::of(8, 4_270, &base);
+        let cfg = fp.dram_config().unwrap();
+        assert_eq!(cfg.org, base.org);
+        assert_eq!(cfg.preset.name, base.preset.name);
+        assert_eq!(cfg.interleaving, base.interleaving);
+    }
+}

@@ -44,14 +44,38 @@ pub struct Bundle {
 
 /// Table 4: the eight four-application bundles.
 pub const BUNDLES: [Bundle; 8] = [
-    Bundle { name: "AELV", apps: ["ammp", "ep", "lu", "vpr"] },
-    Bundle { name: "CMLI", apps: ["crafty", "mesa", "lu", "is"] },
-    Bundle { name: "GAMV", apps: ["mg1", "ammp", "mesa", "vpr"] },
-    Bundle { name: "GDPC", apps: ["mg1", "mgrid", "parser", "crafty"] },
-    Bundle { name: "GSMV", apps: ["mg1", "sp", "mesa", "vpr"] },
-    Bundle { name: "RFEV", apps: ["art1", "mcf", "ep", "vpr"] },
-    Bundle { name: "RFGI", apps: ["art1", "mcf", "mg1", "is"] },
-    Bundle { name: "RGTM", apps: ["art1", "mg1", "twolf", "mesa"] },
+    Bundle {
+        name: "AELV",
+        apps: ["ammp", "ep", "lu", "vpr"],
+    },
+    Bundle {
+        name: "CMLI",
+        apps: ["crafty", "mesa", "lu", "is"],
+    },
+    Bundle {
+        name: "GAMV",
+        apps: ["mg1", "ammp", "mesa", "vpr"],
+    },
+    Bundle {
+        name: "GDPC",
+        apps: ["mg1", "mgrid", "parser", "crafty"],
+    },
+    Bundle {
+        name: "GSMV",
+        apps: ["mg1", "sp", "mesa", "vpr"],
+    },
+    Bundle {
+        name: "RFEV",
+        apps: ["art1", "mcf", "ep", "vpr"],
+    },
+    Bundle {
+        name: "RFGI",
+        apps: ["art1", "mcf", "mg1", "is"],
+    },
+    Bundle {
+        name: "RGTM",
+        apps: ["art1", "mg1", "twolf", "mesa"],
+    },
 ];
 
 /// All distinct single-threaded apps appearing in the bundles.
@@ -92,7 +116,10 @@ fn branch() -> StaticOp {
 fn processor_kernel(name: &'static str, accuracy: f64, fp_heavy: bool) -> AppSpec {
     let mut ops = Vec::new();
     for i in 0..4 {
-        ops.push(load(AddrPattern::Stream { stride: 8, region: 96 * KB }));
+        ops.push(load(AddrPattern::Stream {
+            stride: 8,
+            region: 96 * KB,
+        }));
         let work = if fp_heavy { fp() } else { alu() };
         ops.push(work.dep(DepSpec::PrevLoad));
         ops.push(alu().dep(DepSpec::Dist(1)));
@@ -105,7 +132,14 @@ fn processor_kernel(name: &'static str, accuracy: f64, fp_heavy: bool) -> AppSpe
         stride: 8,
         region: 32 * KB,
     })));
-    AppSpec { name, phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: accuracy }
+    AppSpec {
+        name,
+        phases: vec![Phase {
+            ops,
+            iterations: u64::MAX,
+        }],
+        branch_accuracy: accuracy,
+    }
 }
 
 /// A cache-sensitive kernel: working set comparable to an L2 share.
@@ -121,9 +155,19 @@ fn cache_kernel(name: &'static str, region: u64, accuracy: f64) -> AppSpec {
     for _ in 0..4 {
         ops.push(alu());
     }
-    ops.push(StaticOp::new(OpClass::Store(AddrPattern::Stream { stride: 8, region })));
+    ops.push(StaticOp::new(OpClass::Store(AddrPattern::Stream {
+        stride: 8,
+        region,
+    })));
     ops.push(branch());
-    AppSpec { name, phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: accuracy }
+    AppSpec {
+        name,
+        phases: vec![Phase {
+            ops,
+            iterations: u64::MAX,
+        }],
+        branch_accuracy: accuracy,
+    }
 }
 
 /// A memory-sensitive kernel; `chase` adds mcf-style dependent misses.
@@ -153,9 +197,19 @@ fn memory_kernel(name: &'static str, region: u64, chase: bool, accuracy: f64) ->
             ops.push(alu());
         }
     }
-    ops.push(StaticOp::new(OpClass::Store(AddrPattern::Stream { stride: 8, region })));
+    ops.push(StaticOp::new(OpClass::Store(AddrPattern::Stream {
+        stride: 8,
+        region,
+    })));
     ops.push(branch().dep(DepSpec::Dist(1)));
-    AppSpec { name, phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: accuracy }
+    AppSpec {
+        name,
+        phases: vec![Phase {
+            ops,
+            iterations: u64::MAX,
+        }],
+        branch_accuracy: accuracy,
+    }
 }
 
 /// Looks up a single-threaded (multiprogrammed-bundle) app by name.

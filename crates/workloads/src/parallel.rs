@@ -23,8 +23,9 @@ const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;
 
 /// Names of the nine parallel applications, in the paper's order.
-pub const PARALLEL_APPS: [&str; 9] =
-    ["art", "cg", "equake", "fft", "mg", "ocean", "radix", "scalparc", "swim"];
+pub const PARALLEL_APPS: [&str; 9] = [
+    "art", "cg", "equake", "fft", "mg", "ocean", "radix", "scalparc", "swim",
+];
 
 fn load(pat: AddrPattern) -> StaticOp {
     StaticOp::new(OpClass::Load(pat))
@@ -87,7 +88,10 @@ fn warm_load(ops: &mut Vec<StaticOp>, region: u64) {
 /// loads the memory scheduler never sees, because they hit in cache
 /// (the paper's §5.3.3 "complementary load populations" explanation).
 fn resident(ops: &mut Vec<StaticOp>) {
-    ops.push(load(AddrPattern::Stream { stride: 8, region: 16 * KB }));
+    ops.push(load(AddrPattern::Stream {
+        stride: 8,
+        region: 16 * KB,
+    }));
     ops.push(alu().dep(DepSpec::PrevLoad));
     ops.push(alu().dep(DepSpec::Dist(2)));
     ops.push(alu().dep(DepSpec::Dist(3)));
@@ -96,7 +100,13 @@ fn resident(ops: &mut Vec<StaticOp>) {
 /// Independent compute filler (instruction-level parallelism).
 fn compute(ops: &mut Vec<StaticOp>, n: usize) {
     for i in 0..n {
-        ops.push(if i % 3 == 0 { fpmul() } else if i % 3 == 1 { fp() } else { alu() });
+        ops.push(if i % 3 == 0 {
+            fpmul()
+        } else if i % 3 == 1 {
+            fp()
+        } else {
+            alu()
+        });
     }
 }
 
@@ -122,26 +132,49 @@ pub fn parallel_app(name: &str) -> Option<AppSpec> {
             resident(&mut ops);
             resident(&mut ops);
             compute(&mut ops, 12);
-            ops.push(store(AddrPattern::Stream { stride: 8, region: 128 * KB }));
+            ops.push(store(AddrPattern::Stream {
+                stride: 8,
+                region: 128 * KB,
+            }));
             ops.push(branch().dep(DepSpec::Dist(1)));
-            AppSpec { name: "art", phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: 0.99 }
+            AppSpec {
+                name: "art",
+                phases: vec![Phase {
+                    ops,
+                    iterations: u64::MAX,
+                }],
+                branch_accuracy: 0.99,
+            }
         }
         // NAS cg: sparse matrix-vector — index-array streams feeding
         // indirect gathers over the vector.
         "cg" => {
             let mut ops = Vec::new();
             hot_group(&mut ops, 2, 6 * MB); // matrix value arrays
-            ops.push(load(AddrPattern::Stream { stride: 8, region: 6 * MB })); // column indices
+            ops.push(load(AddrPattern::Stream {
+                stride: 8,
+                region: 6 * MB,
+            })); // column indices
             ops.push(load(AddrPattern::Random { region: 2 * MB }).dep(DepSpec::PrevLoad)); // x[col]
             ops.push(fp().dep(DepSpec::PrevLoad));
             ops.push(fp().dep(DepSpec::Dist(1)));
             resident(&mut ops);
             resident(&mut ops);
             compute(&mut ops, 10);
-            ops.push(store(AddrPattern::Stream { stride: 8, region: 512 * KB }));
+            ops.push(store(AddrPattern::Stream {
+                stride: 8,
+                region: 512 * KB,
+            }));
             ops.push(alu());
             ops.push(branch());
-            AppSpec { name: "cg", phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: 0.985 }
+            AppSpec {
+                name: "cg",
+                phases: vec![Phase {
+                    ops,
+                    iterations: u64::MAX,
+                }],
+                branch_accuracy: 0.985,
+            }
         }
         // SPEC-OMP equake: unstructured-mesh earthquake model — mixed
         // streams and irregular accesses, fp heavy.
@@ -150,41 +183,69 @@ pub fn parallel_app(name: &str) -> Option<AppSpec> {
             hot_group(&mut ops, 2, 5 * MB);
             ops.push(load(AddrPattern::Random { region: 2 * MB }));
             ops.push(fpmul().dep(DepSpec::PrevLoad));
-            ops.push(load(AddrPattern::SharedStream { stride: 8, region: MB }));
+            ops.push(load(AddrPattern::SharedStream {
+                stride: 8,
+                region: MB,
+            }));
             ops.push(fp().dep(DepSpec::PrevLoad));
             resident(&mut ops);
             resident(&mut ops);
             compute(&mut ops, 12);
-            ops.push(store(AddrPattern::Stream { stride: 8, region: 2 * MB }));
+            ops.push(store(AddrPattern::Stream {
+                stride: 8,
+                region: 2 * MB,
+            }));
             ops.push(alu());
             ops.push(branch().dep(DepSpec::Dist(2)));
-            AppSpec { name: "equake", phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: 0.98 }
+            AppSpec {
+                name: "equake",
+                phases: vec![Phase {
+                    ops,
+                    iterations: u64::MAX,
+                }],
+                branch_accuracy: 0.98,
+            }
         }
         // SPLASH-2 fft: a butterfly phase whose large power-of-two
         // stride opens a new row every access (poor row locality, bank
         // conflicts), alternating with a friendly streaming transpose.
         "fft" => {
             let mut butterfly = Vec::new();
-            butterfly.push(load(AddrPattern::Stream { stride: 4 * KB, region: 4 * MB }));
+            butterfly.push(load(AddrPattern::Stream {
+                stride: 4 * KB,
+                region: 4 * MB,
+            }));
             butterfly.push(fpmul().dep(DepSpec::PrevLoad));
             hot_group(&mut butterfly, 2, 4 * MB);
             butterfly.push(fp().deps(DepSpec::Dist(2), DepSpec::Dist(4)));
             resident(&mut butterfly);
             resident(&mut butterfly);
             compute(&mut butterfly, 12);
-            butterfly.push(store(AddrPattern::Stream { stride: 8, region: 4 * MB }));
+            butterfly.push(store(AddrPattern::Stream {
+                stride: 8,
+                region: 4 * MB,
+            }));
             butterfly.push(branch());
             let mut transpose = Vec::new();
             hot_group(&mut transpose, 3, 4 * MB);
             resident(&mut transpose);
             compute(&mut transpose, 12);
-            transpose.push(store(AddrPattern::Stream { stride: 8, region: 4 * MB }));
+            transpose.push(store(AddrPattern::Stream {
+                stride: 8,
+                region: 4 * MB,
+            }));
             transpose.push(branch());
             AppSpec {
                 name: "fft",
                 phases: vec![
-                    Phase { ops: butterfly, iterations: 400 },
-                    Phase { ops: transpose, iterations: 400 },
+                    Phase {
+                        ops: butterfly,
+                        iterations: 400,
+                    },
+                    Phase {
+                        ops: transpose,
+                        iterations: 400,
+                    },
                 ],
                 branch_accuracy: 0.99,
             }
@@ -194,14 +255,27 @@ pub fn parallel_app(name: &str) -> Option<AppSpec> {
         "mg" => {
             let mut ops = Vec::new();
             hot_group(&mut ops, 2, 8 * MB);
-            ops.push(load(AddrPattern::SharedStream { stride: 8, region: 2 * MB }));
+            ops.push(load(AddrPattern::SharedStream {
+                stride: 8,
+                region: 2 * MB,
+            }));
             ops.push(fp().dep(DepSpec::PrevLoad));
             resident(&mut ops);
             resident(&mut ops);
             compute(&mut ops, 12);
-            ops.push(store(AddrPattern::Stream { stride: 8, region: 4 * MB }));
+            ops.push(store(AddrPattern::Stream {
+                stride: 8,
+                region: 4 * MB,
+            }));
             ops.push(branch());
-            AppSpec { name: "mg", phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: 0.99 }
+            AppSpec {
+                name: "mg",
+                phases: vec![Phase {
+                    ops,
+                    iterations: u64::MAX,
+                }],
+                branch_accuracy: 0.99,
+            }
         }
         // SPLASH-2 ocean: many-array stencil sweeps — by far the
         // largest static-load population in the suite (§5.3.1 notes
@@ -215,7 +289,10 @@ pub fn parallel_app(name: &str) -> Option<AppSpec> {
                     if g % 10 == 9 {
                         // Vertical neighbor: a grid row (2 KB) away —
                         // the DRAM-bound accesses of the stencil.
-                        ops.push(load(AddrPattern::Stream { stride: 2 * KB, region: 4 * MB }));
+                        ops.push(load(AddrPattern::Stream {
+                            stride: 2 * KB,
+                            region: 4 * MB,
+                        }));
                         ops.push(fp().dep(DepSpec::PrevLoad));
                     } else {
                         // Horizontal neighbors: same or adjacent line;
@@ -228,12 +305,22 @@ pub fn parallel_app(name: &str) -> Option<AppSpec> {
                     }
                 }
                 compute(&mut ops, 10);
-                ops.push(store(AddrPattern::Stream { stride: 8, region: 256 * KB }));
+                ops.push(store(AddrPattern::Stream {
+                    stride: 8,
+                    region: 256 * KB,
+                }));
                 ops.push(alu());
                 ops.push(branch().dep(DepSpec::Dist(1)));
-                phases.push(Phase { ops, iterations: 300 + phase_idx * 100 });
+                phases.push(Phase {
+                    ops,
+                    iterations: 300 + phase_idx * 100,
+                });
             }
-            AppSpec { name: "ocean", phases, branch_accuracy: 0.99 }
+            AppSpec {
+                name: "ocean",
+                phases,
+                branch_accuracy: 0.99,
+            }
         }
         // SPLASH-2 radix: integer radix sort — sequential key reads,
         // L1-resident histogram updates, scattered permutation writes.
@@ -248,7 +335,14 @@ pub fn parallel_app(name: &str) -> Option<AppSpec> {
             ops.push(store(AddrPattern::Random { region: 8 * MB })); // scatter
             ops.push(alu());
             ops.push(branch());
-            AppSpec { name: "radix", phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: 0.97 }
+            AppSpec {
+                name: "radix",
+                phases: vec![Phase {
+                    ops,
+                    iterations: u64::MAX,
+                }],
+                branch_accuracy: 0.97,
+            }
         }
         // NU-MineBench scalparc: decision-tree induction — attribute
         // scans (streams) plus irregular node lookups over the shared
@@ -263,8 +357,18 @@ pub fn parallel_app(name: &str) -> Option<AppSpec> {
             ops.push(alu().dep(DepSpec::PrevLoad));
             resident(&mut ops);
             compute(&mut ops, 10);
-            ops.push(store(AddrPattern::Stream { stride: 8, region: 512 * KB }));
-            AppSpec { name: "scalparc", phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: 0.96 }
+            ops.push(store(AddrPattern::Stream {
+                stride: 8,
+                region: 512 * KB,
+            }));
+            AppSpec {
+                name: "scalparc",
+                phases: vec![Phase {
+                    ops,
+                    iterations: u64::MAX,
+                }],
+                branch_accuracy: 0.96,
+            }
         }
         // SPEC-OMP swim: shallow-water model — textbook unit-stride fp
         // streaming over several large grids.
@@ -275,10 +379,23 @@ pub fn parallel_app(name: &str) -> Option<AppSpec> {
             warm_load(&mut ops, 64 * KB);
             resident(&mut ops);
             compute(&mut ops, 14);
-            ops.push(store(AddrPattern::Stream { stride: 8, region: 8 * MB }));
-            ops.push(store(AddrPattern::Stream { stride: 8, region: 256 * KB }));
+            ops.push(store(AddrPattern::Stream {
+                stride: 8,
+                region: 8 * MB,
+            }));
+            ops.push(store(AddrPattern::Stream {
+                stride: 8,
+                region: 256 * KB,
+            }));
             ops.push(branch());
-            AppSpec { name: "swim", phases: vec![Phase { ops, iterations: u64::MAX }], branch_accuracy: 0.995 }
+            AppSpec {
+                name: "swim",
+                phases: vec![Phase {
+                    ops,
+                    iterations: u64::MAX,
+                }],
+                branch_accuracy: 0.995,
+            }
         }
         _ => return None,
     };

@@ -12,10 +12,9 @@
 //! dataflow by [`DepSpec`] distances. Together with a per-(app, core)
 //! seeded RNG this makes every stream fully deterministic.
 
+use critmem_common::SmallRng;
 use critmem_common::{Pc, PhysAddr};
 use critmem_cpu::{Instr, InstrKind, InstrSource};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Private-region base address for a core: 4 GB apart so partitions
 /// never collide.
@@ -109,7 +108,11 @@ pub struct StaticOp {
 impl StaticOp {
     /// A dependency-free op.
     pub fn new(class: OpClass) -> Self {
-        StaticOp { class, dep1: DepSpec::None, dep2: DepSpec::None }
+        StaticOp {
+            class,
+            dep1: DepSpec::None,
+            dep2: DepSpec::None,
+        }
     }
 
     /// Sets the first dependence (builder style).
@@ -154,7 +157,12 @@ impl AppSpec {
     pub fn static_loads(&self) -> usize {
         self.phases
             .iter()
-            .map(|p| p.ops.iter().filter(|o| matches!(o.class, OpClass::Load(_))).count())
+            .map(|p| {
+                p.ops
+                    .iter()
+                    .filter(|o| matches!(o.class, OpClass::Load(_)))
+                    .count()
+            })
             .sum()
     }
 
@@ -169,7 +177,10 @@ impl AppSpec {
             return Err(format!("{}: no phases", self.name));
         }
         if !(0.5..=1.0).contains(&self.branch_accuracy) {
-            return Err(format!("{}: branch accuracy {} out of range", self.name, self.branch_accuracy));
+            return Err(format!(
+                "{}: branch accuracy {} out of range",
+                self.name, self.branch_accuracy
+            ));
         }
         for (pi, p) in self.phases.iter().enumerate() {
             if p.ops.is_empty() || p.iterations == 0 {
@@ -343,10 +354,14 @@ impl InstrSource for AppThread {
             OpClass::FpAlu => InstrKind::FpAlu,
             OpClass::FpMul => InstrKind::FpMul,
             OpClass::Branch => InstrKind::Branch {
-                mispredict: self.rng.gen::<f64>() > self.spec.branch_accuracy,
+                mispredict: self.rng.gen_f64() > self.spec.branch_accuracy,
             },
-            OpClass::Load(pat) => InstrKind::Load { addr: self.op_addr(self.op_idx, pat) },
-            OpClass::Store(pat) => InstrKind::Store { addr: self.op_addr(self.op_idx, pat) },
+            OpClass::Load(pat) => InstrKind::Load {
+                addr: self.op_addr(self.op_idx, pat),
+            },
+            OpClass::Store(pat) => InstrKind::Store {
+                addr: self.op_addr(self.op_idx, pat),
+            },
         };
         // Track distance to the previous load for `PrevLoad` deps.
         if matches!(kind, InstrKind::Load { .. }) {
@@ -365,7 +380,12 @@ impl InstrSource for AppThread {
                 self.phase = (self.phase + 1) % self.spec.phases.len();
             }
         }
-        Instr { pc, kind, src1, src2 }
+        Instr {
+            pc,
+            kind,
+            src1,
+            src2,
+        }
     }
 }
 
@@ -421,7 +441,11 @@ mod tests {
         let mut t = AppThread::new(&spec, 0, 1);
         let _load = t.next_instr();
         let alu = t.next_instr();
-        assert_eq!(alu.src1, Some(1), "ALU immediately after load depends on it");
+        assert_eq!(
+            alu.src1,
+            Some(1),
+            "ALU immediately after load depends on it"
+        );
     }
 
     #[test]
@@ -470,8 +494,14 @@ mod tests {
         let spec = AppSpec {
             name: "two-phase",
             phases: vec![
-                Phase { ops: vec![StaticOp::new(OpClass::IntAlu)], iterations: 2 },
-                Phase { ops: vec![StaticOp::new(OpClass::FpAlu)], iterations: 1 },
+                Phase {
+                    ops: vec![StaticOp::new(OpClass::IntAlu)],
+                    iterations: 2,
+                },
+                Phase {
+                    ops: vec![StaticOp::new(OpClass::FpAlu)],
+                    iterations: 1,
+                },
             ],
             branch_accuracy: 1.0,
         };
@@ -499,8 +529,7 @@ mod tests {
         s.phases.clear();
         assert!(s.validate().is_err());
         let mut s = tiny_spec();
-        s.phases[0].ops[0] =
-            StaticOp::new(OpClass::Load(AddrPattern::Random { region: 0 }));
+        s.phases[0].ops[0] = StaticOp::new(OpClass::Load(AddrPattern::Random { region: 0 }));
         assert!(s.validate().is_err());
     }
 }

@@ -20,7 +20,10 @@ fn main() {
 
     println!("app = art, {instructions} instructions/core, CASRAS-Crit scheduler\n");
     let baseline = run(base_cfg.clone(), &workload);
-    println!("{:<18} {:>12} cycles  (baseline)", "FR-FCFS", baseline.cycles);
+    println!(
+        "{:<18} {:>12} cycles  (baseline)",
+        "FR-FCFS", baseline.cycles
+    );
 
     let mut candidates: Vec<(String, PredictorKind)> = CbpMetric::ALL
         .iter()

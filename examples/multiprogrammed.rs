@@ -19,7 +19,10 @@ fn main() {
     let instructions = 12_000;
     let bundle_name = "RFGI";
     let b = bundle(bundle_name).expect("known bundle");
-    println!("bundle {bundle_name}: {:?}, {instructions} instructions/app\n", b.apps);
+    println!(
+        "bundle {bundle_name}: {:?}, {instructions} instructions/app\n",
+        b.apps
+    );
 
     // Per-app alone IPCs on the PAR-BS baseline configuration.
     let alone: Vec<f64> = b
@@ -38,9 +41,19 @@ fn main() {
         .collect();
 
     let schedulers: Vec<(&str, SchedulerKind, PredictorKind)> = vec![
-        ("PAR-BS", SchedulerKind::ParBs { marking_cap: 5 }, PredictorKind::None),
+        (
+            "PAR-BS",
+            SchedulerKind::ParBs { marking_cap: 5 },
+            PredictorKind::None,
+        ),
         ("FR-FCFS", SchedulerKind::FrFcfs, PredictorKind::None),
-        ("TCM", SchedulerKind::Tcm { tiebreak: TcmTiebreak::FrFcfs }, PredictorKind::None),
+        (
+            "TCM",
+            SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::FrFcfs,
+            },
+            PredictorKind::None,
+        ),
         (
             "MaxStallTime",
             SchedulerKind::CasRasCrit,
@@ -48,7 +61,9 @@ fn main() {
         ),
         (
             "TCM+MaxStallTime",
-            SchedulerKind::Tcm { tiebreak: TcmTiebreak::CritFrFcfs },
+            SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::CritFrFcfs,
+            },
             PredictorKind::cbp64(CbpMetric::MaxStallTime),
         ),
     ];

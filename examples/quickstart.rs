@@ -40,7 +40,10 @@ fn main() {
         "ROB head blocked by long-latency loads {:.1}% of cycles (baseline)",
         baseline.blocked_cycle_fraction() * 100.0
     );
-    if let (Some(c), Some(n)) = (crit.miss_latency_critical(), crit.miss_latency_noncritical()) {
+    if let (Some(c), Some(n)) = (
+        crit.miss_latency_critical(),
+        crit.miss_latency_noncritical(),
+    ) {
         println!("L2 miss latency with criticality scheduling: critical {c:.0} vs non-critical {n:.0} CPU cycles");
     }
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full test suite, trace capture/replay
+# smoke test, and formatting. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== trace capture/replay smoke test"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/repro --scale quick trace capture swim "$tmp/swim.cmtr"
+./target/release/repro trace replay "$tmp/swim.cmtr" --sched fr-fcfs
+./target/release/repro trace replay "$tmp/swim.cmtr" --sched casras-crit
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

@@ -2,11 +2,8 @@
 //! cadence, and timing-window checks on the controller's observable
 //! behavior under randomized traffic.
 
-use critmem_common::{AccessKind, ChannelId, CoreId, MemRequest};
-use critmem_dram::{
-    AddressMapping, ChannelController, DramConfig, Fcfs, Interleaving,
-};
-use proptest::prelude::*;
+use critmem_common::{AccessKind, ChannelId, CoreId, MemRequest, SmallRng};
+use critmem_dram::{AddressMapping, ChannelController, DramConfig, Fcfs, Interleaving};
 
 /// Drives random reads through one channel; returns (completions with
 /// cycles, total cycles elapsed, stats snapshot fields).
@@ -142,20 +139,44 @@ fn bank_parallelism_beats_serial_banks() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Checks one random read mix: it completes fully, never exceeds bus
+/// bandwidth, and services nothing twice.
+fn check_random_traffic(seeds: &[u64]) {
+    let (done, cycles, _) = drive_random(seeds);
+    assert_eq!(done.len(), seeds.len());
+    assert!(cycles >= 4 * seeds.len() as u64);
+    // Unique ids: nothing serviced twice.
+    let mut ids: Vec<u64> = done.iter().map(|&(id, _)| id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), seeds.len());
+}
 
-    /// Random read mixes always complete, never exceed bus bandwidth,
-    /// and refresh continues under load.
-    #[test]
-    fn random_traffic_conserves_and_bounds(seeds in proptest::collection::vec(0u64..1_000_000, 50..150)) {
-        let (done, cycles, _) = drive_random(&seeds);
-        prop_assert_eq!(done.len(), seeds.len());
-        prop_assert!(cycles >= 4 * seeds.len() as u64);
-        // Unique ids: nothing serviced twice.
-        let mut ids: Vec<u64> = done.iter().map(|&(id, _)| id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        prop_assert_eq!(ids.len(), seeds.len());
+/// Random read mixes always complete, never exceed bus bandwidth, and
+/// refresh continues under load (8 seeded cases, formerly proptest).
+#[test]
+fn random_traffic_conserves_and_bounds() {
+    let mut rng = SmallRng::seed_from_u64(0xD3A7_0001);
+    for _ in 0..8 {
+        let len = rng.gen_range_usize(50..150);
+        let seeds: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1_000_000)).collect();
+        check_random_traffic(&seeds);
     }
+}
+
+/// Historical shrunk counterexample from the proptest era, kept as an
+/// explicit regression case.
+#[test]
+fn random_traffic_regression_case() {
+    let seeds: Vec<u64> = vec![
+        340305, 673967, 70043, 452625, 526179, 982033, 911739, 930820, 208686, 925944, 908912,
+        820727, 896724, 280194, 194450, 958146, 725010, 538972, 596178, 731920, 410781, 927855,
+        71657, 955985, 713116, 360120, 365962, 600724, 674749, 93715, 607629, 775639, 776268,
+        529662, 416305, 139156, 267507, 738745, 684273, 380987, 824416, 100553, 204802, 869540,
+        43898, 275999, 144141, 196949, 118583, 842576, 885190, 419852, 627943, 202245, 824751,
+        969958, 80517, 487537, 481663, 583406, 750346, 164720, 190797, 88180, 664961, 726401,
+        639903, 560351, 763593, 177872, 300655, 375149, 110792, 521412, 557791, 960124, 479951,
+        854247, 526721, 608223,
+    ];
+    check_random_traffic(&seeds);
 }

@@ -48,8 +48,14 @@ fn criticality_scheduling_beats_frfcfs_and_clpt_does_not() {
         .fold(f64::MIN, f64::max);
     let binary = f.average_of("Binary").unwrap();
     let clpt = f.average_of("CLPT-Consumers").unwrap();
-    assert!(binary > 1.0, "Binary CBP should speed up execution, got {binary:.3}");
-    assert!(cbp_best > 1.01, "ranked CBP should show a clear gain, got {cbp_best:.3}");
+    assert!(
+        binary > 1.0,
+        "Binary CBP should speed up execution, got {binary:.3}"
+    );
+    assert!(
+        cbp_best > 1.01,
+        "ranked CBP should show a clear gain, got {cbp_best:.3}"
+    );
     // At test scale the fine Binary-vs-ranked ordering is within
     // noise (the paper's gap is ~3 points at 500M instructions);
     // require only that ranking stays in the same band.
@@ -61,7 +67,10 @@ fn criticality_scheduling_beats_frfcfs_and_clpt_does_not() {
         clpt < binary,
         "CLPT should underperform the CBP ({clpt:.3} vs {binary:.3})"
     );
-    assert!((0.95..1.08).contains(&clpt), "CLPT should be near-neutral, got {clpt:.3}");
+    assert!(
+        (0.95..1.08).contains(&clpt),
+        "CLPT should be near-neutral, got {clpt:.3}"
+    );
 }
 
 #[test]
@@ -71,5 +80,8 @@ fn speedups_are_not_noise() {
     let f = fig4(&mut r);
     let series = f.series.iter().find(|s| s.label == "MaxStallTime").unwrap();
     let avg = mean(&series.per_app);
-    assert!(avg > 1.0, "average MaxStallTime speedup {avg:.3} should exceed 1.0");
+    assert!(
+        avg > 1.0,
+        "average MaxStallTime speedup {avg:.3} should exceed 1.0"
+    );
 }

@@ -28,7 +28,10 @@ fn cbp_learns_and_requests_become_critical() {
     assert!(critical < issued, "CBP should not mark every load");
     // §3.1: queues hold critical loads a substantial share of time.
     let (one, many) = stats.critical_queue_fractions();
-    assert!(one > 0.05, "critical loads should appear in queues ({one:.3})");
+    assert!(
+        one > 0.05,
+        "critical loads should appear in queues ({one:.3})"
+    );
     assert!(many <= one);
 }
 
@@ -52,7 +55,10 @@ fn observed_counter_widths_are_plausible() {
     let (bin_max, bin_bits) = metric_max(CbpMetric::Binary);
     assert_eq!((bin_max, bin_bits), (1, 1));
     let (max_stall, stall_bits) = metric_max(CbpMetric::MaxStallTime);
-    assert!(max_stall > 100, "stalls should exceed 100 cycles, got {max_stall}");
+    assert!(
+        max_stall > 100,
+        "stalls should exceed 100 cycles, got {max_stall}"
+    );
     assert!(stall_bits >= 8);
     let (total, _) = metric_max(CbpMetric::TotalStallTime);
     assert!(total >= max_stall, "total stall accumulates beyond max");
@@ -64,9 +70,13 @@ fn aliased_64_entry_table_tracks_unlimited_closely() {
     // unlimited table because static-load populations are small.
     let run_with = |size: TableSize| {
         run(
-            cfg(5_000).with_scheduler(SchedulerKind::CasRasCrit).with_predictor(
-                PredictorKind::Cbp { metric: CbpMetric::MaxStallTime, size, reset_interval: None },
-            ),
+            cfg(5_000)
+                .with_scheduler(SchedulerKind::CasRasCrit)
+                .with_predictor(PredictorKind::Cbp {
+                    metric: CbpMetric::MaxStallTime,
+                    size,
+                    reset_interval: None,
+                }),
             &WorkloadKind::Parallel("mg"),
         )
         .cycles as f64
@@ -83,19 +93,23 @@ fn aliased_64_entry_table_tracks_unlimited_closely() {
 #[test]
 fn periodic_reset_clears_saturation_without_breaking_anything() {
     let stats = run(
-        cfg(10_000).with_scheduler(SchedulerKind::CasRasCrit).with_predictor(
-            PredictorKind::Cbp {
+        cfg(10_000)
+            .with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(PredictorKind::Cbp {
                 metric: CbpMetric::Binary,
                 size: TableSize::Entries(64),
                 reset_interval: Some(5_000),
-            },
-        ),
+            }),
         &WorkloadKind::Parallel("swim"),
     );
     // The run spans several reset intervals, and the predictor kept
     // marking loads after each reset.
     let critical: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
-    assert!(stats.cycles > 3 * 5_000, "run too short to cover resets: {}", stats.cycles);
+    assert!(
+        stats.cycles > 3 * 5_000,
+        "run too short to cover resets: {}",
+        stats.cycles
+    );
     assert!(critical > 0);
 }
 
@@ -127,7 +141,10 @@ fn clpt_marks_are_disjoint_from_dram_boundness() {
         &WorkloadKind::Parallel("swim"),
     );
     let issued_crit: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
-    assert!(issued_crit > 0, "CLPT should mark the heavily-consumed loads");
+    assert!(
+        issued_crit > 0,
+        "CLPT should mark the heavily-consumed loads"
+    );
     let (one, _) = stats.critical_queue_fractions();
     assert!(
         one < 0.2,

@@ -22,10 +22,17 @@ fn every_scheduler_completes_a_parallel_run() {
         SchedulerKind::CasRasCrit,
         SchedulerKind::Ahb,
         SchedulerKind::ParBs { marking_cap: 5 },
-        SchedulerKind::Tcm { tiebreak: TcmTiebreak::FrFcfs },
-        SchedulerKind::Tcm { tiebreak: TcmTiebreak::CritFrFcfs },
+        SchedulerKind::Tcm {
+            tiebreak: TcmTiebreak::FrFcfs,
+        },
+        SchedulerKind::Tcm {
+            tiebreak: TcmTiebreak::CritFrFcfs,
+        },
         SchedulerKind::Morse(MorseConfig::default()),
-        SchedulerKind::Morse(MorseConfig { use_criticality: true, ..Default::default() }),
+        SchedulerKind::Morse(MorseConfig {
+            use_criticality: true,
+            ..Default::default()
+        }),
     ];
     for sched in schedulers {
         let cfg = small_cfg(2_000)
@@ -34,7 +41,11 @@ fn every_scheduler_completes_a_parallel_run() {
         let stats = run(cfg, &WorkloadKind::Parallel("mg"));
         assert!(stats.cycles > 0, "{}", sched.name());
         for (i, c) in stats.cores.iter().enumerate() {
-            assert!(c.committed >= 2_000, "{} core {i} under target", sched.name());
+            assert!(
+                c.committed >= 2_000,
+                "{} core {i} under target",
+                sched.name()
+            );
         }
         // Conservation: every demand L2 miss eventually produced a DRAM
         // read (plus prefetch-free run means reads >= misses is not
@@ -103,7 +114,10 @@ fn all_bundles_run_end_to_end() {
 #[test]
 fn prefetcher_reduces_baseline_cycles_on_streaming_app() {
     let base = run(small_cfg(4_000), &WorkloadKind::Parallel("swim"));
-    let pf = run(small_cfg(4_000).with_prefetcher(), &WorkloadKind::Parallel("swim"));
+    let pf = run(
+        small_cfg(4_000).with_prefetcher(),
+        &WorkloadKind::Parallel("swim"),
+    );
     assert!(pf.hierarchy.prefetches_sent > 0);
     assert!(
         pf.cycles < base.cycles,
@@ -128,8 +142,7 @@ fn identical_configs_are_bit_identical() {
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.core_finish, b.core_finish);
     assert_eq!(a.hierarchy.l2_misses, b.hierarchy.l2_misses);
-    let reads =
-        |s: &critmem::RunStats| s.channels.iter().map(|c| c.reads_completed).sum::<u64>();
+    let reads = |s: &critmem::RunStats| s.channels.iter().map(|c| c.reads_completed).sum::<u64>();
     assert_eq!(reads(&a), reads(&b));
 }
 
@@ -139,7 +152,10 @@ fn different_seeds_differ() {
     let mut cfg = small_cfg(2_000);
     cfg.seed ^= 0xDEAD_BEEF;
     let b = run(cfg, &WorkloadKind::Parallel("radix"));
-    assert_ne!(a.cycles, b.cycles, "seed must influence random address streams");
+    assert_ne!(
+        a.cycles, b.cycles,
+        "seed must influence random address streams"
+    );
 }
 
 #[test]
