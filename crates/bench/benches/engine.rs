@@ -1,0 +1,152 @@
+//! Benchmarks for the experiment engine and the controller hot path —
+//! the two halves of the "parallel engine + hot-path overhaul" work.
+//!
+//! Beyond the usual timing printout, this bench writes
+//! `BENCH_engine.json` at the workspace root: the measured after
+//! numbers next to the recorded pre-overhaul baseline, so the speedup
+//! claims in DESIGN.md are regenerable with `cargo bench --bench
+//! engine`.
+
+use critmem::experiments::{fig10, fig11, Runner, Scale};
+use critmem::pool::default_jobs;
+use critmem_bench::{black_box, Criterion};
+use critmem_common::{AccessKind, ChannelId, CoreId, Criticality, MemRequest};
+use critmem_dram::{AddressMapping, ChannelController, DramConfig, Interleaving};
+use critmem_sched::FrFcfs;
+use std::time::Instant;
+
+/// Pre-overhaul numbers, measured on the same harness (loaded/idle
+/// steady-state kernels below; serial quick-scale fig10+fig11) at
+/// commit 569405c, before the controller rework. Kept as the fixed
+/// "before" column of `BENCH_engine.json`.
+const BEFORE_LOADED_MTICKS: f64 = 1.35;
+const BEFORE_IDLE_MTICKS: f64 = 18.6;
+const BEFORE_COMPARE_SECONDS: f64 = 5.47;
+
+fn loaded_controller() -> (ChannelController, AddressMapping) {
+    let cfg = DramConfig::paper_baseline();
+    let map = AddressMapping::new(cfg.org, Interleaving::Page);
+    let mut ctl = ChannelController::new(ChannelId(0), cfg, Box::new(FrFcfs::new()));
+    for i in 0..48u64 {
+        enqueue(&mut ctl, &map, i);
+    }
+    (ctl, map)
+}
+
+fn enqueue(ctl: &mut ChannelController, map: &AddressMapping, id: u64) {
+    let addr = (id % 24) * 4 * 1024 + (id % 16) * 64;
+    let req = MemRequest::new(id, addr, AccessKind::Read, CoreId((id % 8) as u8)).with_criticality(
+        if id % 3 == 0 {
+            Criticality::ranked(id * 10)
+        } else {
+            Criticality::non_critical()
+        },
+    );
+    let _ = ctl.enqueue(req, map.locate(addr));
+}
+
+/// Steady-state tick throughput with a full transaction queue (every
+/// completion backfilled), in million ticks per second.
+fn measure_loaded_mticks(ticks: u64) -> f64 {
+    let (mut ctl, map) = loaded_controller();
+    let mut next_id = 48u64;
+    let mut done = Vec::with_capacity(16);
+    let t = Instant::now();
+    for _ in 0..ticks {
+        done.clear();
+        ctl.tick_into(&mut done);
+        for _ in &done {
+            enqueue(&mut ctl, &map, next_id);
+            next_id += 1;
+        }
+    }
+    black_box(ctl.stats().reads_completed);
+    ticks as f64 / t.elapsed().as_secs_f64() / 1e6
+}
+
+/// Tick throughput with an empty queue (the idle fast-forward path),
+/// in million ticks per second.
+fn measure_idle_mticks(ticks: u64) -> f64 {
+    let cfg = DramConfig::paper_baseline();
+    let mut ctl = ChannelController::new(ChannelId(0), cfg, Box::new(FrFcfs::new()));
+    let mut done = Vec::new();
+    let t = Instant::now();
+    for _ in 0..ticks {
+        ctl.tick_into(&mut done);
+    }
+    black_box(done.len());
+    ticks as f64 / t.elapsed().as_secs_f64() / 1e6
+}
+
+/// Wall-clock seconds for the quick-scale fig10+fig11 compare sweep on
+/// a fresh runner with `jobs` workers.
+fn measure_compare_seconds(jobs: usize) -> f64 {
+    let mut r = Runner::new(Scale::quick());
+    r.jobs = jobs;
+    let t = Instant::now();
+    black_box(r.run_parallel(fig10).to_table().to_string());
+    black_box(r.run_parallel(fig11).to_table().to_string());
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // Display benches through the usual harness first.
+    let mut c = Criterion::default();
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(5);
+    g.bench_function("channel_tick_loaded", |b| {
+        let (mut ctl, map) = loaded_controller();
+        let mut next_id = 48u64;
+        let mut done = Vec::with_capacity(16);
+        b.iter(|| {
+            done.clear();
+            ctl.tick_into(&mut done);
+            for _ in &done {
+                enqueue(&mut ctl, &map, next_id);
+                next_id += 1;
+            }
+        });
+    });
+    g.bench_function("channel_tick_idle", |b| {
+        let cfg = DramConfig::paper_baseline();
+        let mut ctl = ChannelController::new(ChannelId(0), cfg, Box::new(FrFcfs::new()));
+        let mut done = Vec::new();
+        b.iter(|| ctl.tick_into(&mut done));
+    });
+    g.finish();
+
+    // The recorded before/after study.
+    let loaded = measure_loaded_mticks(2_000_000);
+    let idle = measure_idle_mticks(20_000_000);
+    let serial = measure_compare_seconds(1);
+    // At least two workers so the plan/execute path is actually
+    // exercised even on a single-CPU host.
+    let jobs = default_jobs().max(2);
+    let parallel = measure_compare_seconds(jobs);
+    let cpus = default_jobs();
+
+    let json = format!(
+        "{{\n  \"host\": {{ \"cpus\": {cpus} }},\n  \"tick_kernel\": {{\n    \
+         \"loaded_before_mticks_per_s\": {BEFORE_LOADED_MTICKS},\n    \
+         \"loaded_after_mticks_per_s\": {loaded:.2},\n    \
+         \"loaded_speedup\": {:.2},\n    \
+         \"idle_before_mticks_per_s\": {BEFORE_IDLE_MTICKS},\n    \
+         \"idle_after_mticks_per_s\": {idle:.1},\n    \
+         \"idle_speedup\": {:.1},\n    \
+         \"acceptance\": \"loaded_speedup >= 1.5\"\n  }},\n  \"engine\": {{\n    \
+         \"workload\": \"repro --scale quick fig10 fig11 (fresh runner per measurement)\",\n    \
+         \"serial_before_seconds\": {BEFORE_COMPARE_SECONDS},\n    \
+         \"serial_after_seconds\": {serial:.2},\n    \
+         \"jobs\": {jobs},\n    \
+         \"parallel_seconds\": {parallel:.2},\n    \
+         \"parallel_speedup_vs_serial\": {:.2},\n    \
+         \"note\": \"parallel speedup requires >1 CPU; output is byte-identical either way\"\n  }}\n}}\n",
+        loaded / BEFORE_LOADED_MTICKS,
+        idle / BEFORE_IDLE_MTICKS,
+        serial / parallel,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("\n{json}");
+    println!("wrote {path}");
+}

@@ -1,0 +1,85 @@
+//! A counting wrapper around the system allocator, for regression
+//! tests that assert a hot path performs no heap allocation.
+//!
+//! Install it as the `#[global_allocator]` of a dedicated integration
+//! test binary (one test per binary, so no concurrent test thread can
+//! perturb the counts), warm the code under test to steady state, then
+//! [`CountingAllocator::reset`] and assert
+//! [`CountingAllocator::allocations`] stays at zero:
+//!
+//! ```ignore
+//! use critmem_common::alloc_probe::CountingAllocator;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAllocator = CountingAllocator::new();
+//!
+//! #[test]
+//! fn steady_state_is_allocation_free() {
+//!     warm_up();
+//!     ALLOC.reset();
+//!     hot_loop();
+//!     assert_eq!(ALLOC.allocations(), 0);
+//! }
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Delegates to [`System`] while counting every allocation event
+/// (`alloc`, `realloc`) and the bytes they request.
+pub struct CountingAllocator {
+    allocations: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CountingAllocator {
+    /// A fresh counter (const, so it can back a `static`).
+    pub const fn new() -> Self {
+        CountingAllocator {
+            allocations: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocation events (alloc + realloc calls) since the last reset.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::SeqCst)
+    }
+
+    /// Bytes requested by those events since the last reset.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::SeqCst)
+    }
+
+    /// Zeroes both counters.
+    pub fn reset(&self) {
+        self.allocations.store(0, Ordering::SeqCst);
+        self.bytes.store(0, Ordering::SeqCst);
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// SAFETY: pure delegation to `System`; the counters are side metadata
+// and never affect the returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::SeqCst);
+        self.bytes.fetch_add(layout.size() as u64, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocations.fetch_add(1, Ordering::SeqCst);
+        self.bytes.fetch_add(new_size as u64, Ordering::SeqCst);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}

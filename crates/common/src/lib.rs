@@ -30,6 +30,7 @@
 //! assert!(req.crit.is_critical());
 //! ```
 
+pub mod alloc_probe;
 pub mod clock;
 pub mod ids;
 pub mod mem;

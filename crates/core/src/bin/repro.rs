@@ -22,12 +22,13 @@ use critmem_trace::{ReplayConfig, Trace, TraceReplayer};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale quick|standard|full] [experiments...]\n\
+        "usage: repro [--scale quick|standard|full] [--jobs N] [experiments...]\n\
          \x20      repro trace capture <app> <file> [--scale ...]\n\
          \x20      repro trace replay <file> --sched <name> [--max-outstanding N]\n\
-         \x20      repro trace sweep [app] [--scale ...]\n\
+         \x20      repro trace sweep [app] [--scale ...] [--jobs N]\n\
          experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
-         table5 table7 naive reset tracesweep all"
+         table5 table7 naive reset tracesweep all\n\
+         --jobs N: simulation worker threads (default: available cores; 1 = serial)"
     );
     std::process::exit(2);
 }
@@ -48,9 +49,10 @@ fn static_app(name: &str) -> &'static str {
         })
 }
 
-fn trace_main(args: Vec<String>, scale: Scale) -> ! {
+fn trace_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
     let mut r = Runner::new(scale);
     r.verbose = true;
+    r.jobs = jobs;
     match args.first().map(String::as_str) {
         Some("capture") => {
             let [_, app, file] = args.as_slice() else {
@@ -132,8 +134,8 @@ fn trace_main(args: Vec<String>, scale: Scale) -> ! {
             std::process::exit(0);
         }
         Some("sweep") => {
-            let app = args.get(1).map(String::as_str).unwrap_or("swim");
-            let sweep = trace_sweep(&mut r, static_app(app));
+            let app = static_app(args.get(1).map(String::as_str).unwrap_or("swim"));
+            let sweep = trace_sweep(&mut r, app);
             println!("{}", sweep.to_table());
             println!("{}", sweep.timing_summary());
             std::process::exit(0);
@@ -145,6 +147,7 @@ fn trace_main(args: Vec<String>, scale: Scale) -> ! {
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale = Scale::standard();
+    let mut jobs = critmem::pool::default_jobs();
     let mut selected: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -154,12 +157,16 @@ fn main() {
                 Some("full") => scale = Scale::full(),
                 _ => usage(),
             },
+            "--jobs" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => usage(),
+            },
             "--help" | "-h" => usage(),
             other => selected.push(other.to_string()),
         }
     }
     if selected.first().map(String::as_str) == Some("trace") {
-        trace_main(selected.split_off(1), scale);
+        trace_main(selected.split_off(1), scale, jobs);
     }
     if selected.is_empty() {
         selected.push("all".to_string());
@@ -169,6 +176,7 @@ fn main() {
 
     let mut r = Runner::new(scale);
     r.verbose = true;
+    r.jobs = jobs;
     println!("critmem repro — ISCA 2013 criticality-aware memory scheduling");
     println!(
         "scale: {} instructions/core, apps: {:?}",
@@ -179,39 +187,39 @@ fn main() {
         println!("{}", config_dump());
     }
     if want("fig1") {
-        println!("{}", fig1(&mut r).to_table());
+        println!("{}", r.run_parallel(fig1).to_table());
     }
     if want("fig3") {
-        let (a, b) = fig3(&mut r);
+        let (a, b) = r.run_parallel(fig3);
         println!("{}", a.to_table());
         println!("{}", b.to_table());
     }
     if want("fig4") {
-        println!("{}", fig4(&mut r).to_table());
+        println!("{}", r.run_parallel(fig4).to_table());
     }
     if want("fig5") {
-        println!("{}", fig5(&mut r).to_table());
+        println!("{}", r.run_parallel(fig5).to_table());
     }
     if want("fig6") {
-        println!("{}", fig6(&mut r).to_table());
+        println!("{}", r.run_parallel(fig6).to_table());
     }
     if want("fig7") {
-        println!("{}", fig7(&mut r).to_table());
+        println!("{}", r.run_parallel(fig7).to_table());
     }
     if want("fig8") {
-        println!("{}", fig8(&mut r).to_table());
+        println!("{}", r.run_parallel(fig8).to_table());
     }
     if want("fig9") {
-        println!("{}", fig9(&mut r).to_table());
+        println!("{}", r.run_parallel(fig9).to_table());
     }
     if want("fig10") {
-        println!("{}", fig10(&mut r).to_table());
+        println!("{}", r.run_parallel(fig10).to_table());
     }
     if want("fig11") {
-        println!("{}", fig11(&mut r).to_table());
+        println!("{}", r.run_parallel(fig11).to_table());
     }
     if want("fig12") {
-        let f = fig12(&mut r);
+        let f = r.run_parallel(fig12);
         println!("{}", f.to_table());
         println!(
             "max slowdown: TCM {:.3}, MaxStallTime {:.3} ({:+.1}% change)",
@@ -221,18 +229,20 @@ fn main() {
         );
     }
     if want("table5") {
-        println!("{}", table5(&mut r).to_table());
+        println!("{}", r.run_parallel(table5).to_table());
     }
     if want("table7") {
-        println!("{}", table7(&mut r).to_table());
+        println!("{}", r.run_parallel(table7).to_table());
     }
     if want("naive") {
-        println!("{}", naive(&mut r).to_table());
+        println!("{}", r.run_parallel(naive).to_table());
     }
     if want("reset") {
-        println!("{}", reset_study(&mut r).to_table());
+        println!("{}", r.run_parallel(reset_study).to_table());
     }
     if want("tracesweep") {
+        // `trace_sweep` drives `run_parallel` itself, one phase at a
+        // time, so its wall-clock numbers stay meaningful.
         let sweep = trace_sweep(&mut r, "swim");
         println!("{}", sweep.to_table());
         println!("{}", sweep.timing_summary());

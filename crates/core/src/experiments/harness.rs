@@ -2,13 +2,14 @@
 //! simulation runs, and plain-text table rendering.
 
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::pool::scoped_map;
 use crate::system::{run, run_traced, RunStats};
 use critmem_dram::DramSystem;
 use critmem_sched::SchedulerKind;
 use critmem_trace::{ReplayConfig, ReplayStats, Trace, TraceReplayer};
 use critmem_workloads::PARALLEL_APPS;
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// How big each simulation is. The paper runs 500 M instructions per
 /// application; here the scale is configurable so the full figure set
@@ -59,6 +60,43 @@ impl Scale {
     }
 }
 
+/// One unit of deferred work recorded while planning (see
+/// [`Runner::run_parallel`]): an execution-driven run or a trace
+/// capture. Both occupy a "distinct simulation" slot.
+enum PlannedJob {
+    Run {
+        key: String,
+        cfg: SystemConfig,
+        workload: WorkloadKind,
+    },
+    Capture {
+        key: String,
+        app: &'static str,
+        cfg: SystemConfig,
+    },
+}
+
+/// A deferred trace replay (depends on its app's capture).
+struct PlannedReplay {
+    key: String,
+    app: &'static str,
+    scheduler: SchedulerKind,
+}
+
+/// The result of one executed [`PlannedJob`].
+enum JobResult {
+    Run(RunStats),
+    Capture(Trace),
+}
+
+/// Work collected by a planning pass.
+#[derive(Default)]
+struct Plan {
+    seen: HashSet<String>,
+    jobs: Vec<PlannedJob>,
+    replays: Vec<PlannedReplay>,
+}
+
 /// Memoizing run executor shared by all experiments, so e.g. the
 /// FR-FCFS baseline for an app is simulated once even though every
 /// figure divides by it.
@@ -67,11 +105,15 @@ pub struct Runner {
     pub scale: Scale,
     /// Print a progress line per fresh simulation.
     pub verbose: bool,
-    cache: HashMap<String, Rc<RunStats>>,
+    /// Worker threads for [`Runner::run_parallel`]; `1` means fully
+    /// serial (plan/execute is bypassed entirely).
+    pub jobs: usize,
+    cache: HashMap<String, Arc<RunStats>>,
     runs_executed: u64,
-    traces: HashMap<String, Rc<Trace>>,
-    replay_cache: HashMap<String, Rc<ReplayStats>>,
+    traces: HashMap<String, Arc<Trace>>,
+    replay_cache: HashMap<String, Arc<ReplayStats>>,
     replays_executed: u64,
+    planning: Option<Plan>,
 }
 
 impl Runner {
@@ -80,11 +122,13 @@ impl Runner {
         Runner {
             scale,
             verbose: false,
+            jobs: 1,
             cache: HashMap::new(),
             runs_executed: 0,
             traces: HashMap::new(),
             replay_cache: HashMap::new(),
             replays_executed: 0,
+            planning: None,
         }
     }
 
@@ -98,6 +142,158 @@ impl Runner {
         self.replays_executed
     }
 
+    /// A sorted, comparable snapshot of the memo tables: one
+    /// `(key, headline cycle count)` entry per cached run and replay.
+    /// Two runners that executed the same experiments must produce
+    /// identical snapshots regardless of `jobs` (the determinism
+    /// contract of [`Runner::run_parallel`]).
+    pub fn memo_snapshot(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .cache
+            .iter()
+            .map(|(k, s)| (k.clone(), s.cycles))
+            .chain(
+                self.replay_cache
+                    .iter()
+                    .map(|(k, s)| (k.clone(), s.cpu_cycles)),
+            )
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Runs `f` with this runner, fanning the simulations it needs out
+    /// across [`Runner::jobs`] worker threads.
+    ///
+    /// Three phases: (1) a *planning* dry run of `f` in which cache
+    /// misses return placeholder results and are recorded instead of
+    /// executed — sound because experiments derive *which* runs they
+    /// need from their structure (app lists, scheduler tables), never
+    /// from simulation results; (2) parallel execution of the recorded
+    /// runs, merged into the memo table in plan order (results are
+    /// keyed and the simulations are deterministic, so insertion order
+    /// is irrelevant to the table contents); (3) a re-run of `f` that
+    /// now hits the warm cache everywhere and therefore returns output
+    /// byte-identical to a serial run.
+    ///
+    /// With `jobs <= 1`, or when called reentrantly, `f` simply runs
+    /// serially.
+    pub fn run_parallel<T>(&mut self, f: impl Fn(&mut Runner) -> T) -> T {
+        if self.jobs <= 1 || self.planning.is_some() {
+            return f(self);
+        }
+        self.planning = Some(Plan::default());
+        let _ = f(self);
+        let plan = self.planning.take().expect("planning state vanished");
+        self.execute_plan(plan);
+        f(self)
+    }
+
+    /// Executes a collected plan across the worker pool and merges the
+    /// results into the memo tables.
+    fn execute_plan(&mut self, plan: Plan) {
+        // Progress lines are printed up front in plan order — the same
+        // content a serial run would emit, independent of which worker
+        // finishes first.
+        if self.verbose {
+            let mut n = self.runs_executed;
+            for job in &plan.jobs {
+                n += 1;
+                match job {
+                    PlannedJob::Run { key, .. } => eprintln!("  [run {n:>3}] {key}"),
+                    PlannedJob::Capture { key, .. } => eprintln!("  [capture] {key}"),
+                }
+            }
+        }
+        let executed = plan.jobs.len() as u64;
+        let keys: Vec<String> = plan
+            .jobs
+            .iter()
+            .map(|j| match j {
+                PlannedJob::Run { key, .. } | PlannedJob::Capture { key, .. } => key.clone(),
+            })
+            .collect();
+        let results = scoped_map(self.jobs, plan.jobs, |job| match job {
+            PlannedJob::Run { cfg, workload, .. } => JobResult::Run(run(cfg, &workload)),
+            PlannedJob::Capture { app, cfg, .. } => {
+                JobResult::Capture(run_traced(cfg, &WorkloadKind::Parallel(app), app).1)
+            }
+        });
+        for (key, result) in keys.into_iter().zip(results) {
+            match result {
+                JobResult::Run(stats) => {
+                    self.cache.insert(key, Arc::new(stats));
+                }
+                JobResult::Capture(trace) => {
+                    self.traces.insert(key, Arc::new(trace));
+                }
+            }
+        }
+        self.runs_executed += executed;
+
+        if plan.replays.is_empty() {
+            return;
+        }
+        if self.verbose {
+            let mut n = self.replays_executed;
+            for rep in &plan.replays {
+                n += 1;
+                eprintln!("  [replay {n:>3}] {}", rep.key);
+            }
+        }
+        let replayed = plan.replays.len() as u64;
+        let items: Vec<(String, Arc<Trace>, SchedulerKind, SystemConfig)> = plan
+            .replays
+            .into_iter()
+            .map(|rep| {
+                // The capture was part of the plan (or already cached),
+                // so this is a cache hit.
+                let trace = self.capture(rep.app);
+                let cfg = self.parallel_cfg().with_scheduler(rep.scheduler);
+                (rep.key, trace, rep.scheduler, cfg)
+            })
+            .collect();
+        let results = scoped_map(self.jobs, items, |(key, trace, scheduler, cfg)| {
+            let num_threads = cfg.cores;
+            let dram =
+                DramSystem::new(cfg.dram, |ch| scheduler.build(num_threads, u64::from(ch.0)));
+            let stats = TraceReplayer::new((*trace).clone(), dram, ReplayConfig::default())
+                .expect("runner-built DRAM system matches its own capture topology")
+                .run();
+            (key, stats)
+        });
+        for (key, stats) in results {
+            self.replay_cache.insert(key, Arc::new(stats));
+        }
+        self.replays_executed += replayed;
+    }
+
+    /// A structurally valid stand-in returned for cache misses during a
+    /// planning pass. Every derived metric (IPC, fractions, speedup
+    /// ratios) stays finite, so experiment code runs unmodified; the
+    /// numbers are discarded with the rest of the dry-run output.
+    fn placeholder_stats(cfg: &SystemConfig) -> RunStats {
+        RunStats {
+            cycles: 1,
+            core_finish: vec![1; cfg.cores],
+            cores: vec![Default::default(); cfg.cores],
+            hierarchy: Default::default(),
+            channels: vec![Default::default(); cfg.dram.org.channels as usize],
+            lq_full_cycles: vec![0; cfg.cores],
+            instructions_per_core: cfg.instructions_per_core.max(1),
+            predictor_observed: vec![None; cfg.cores],
+        }
+    }
+
+    /// Planning stand-in for a capture: right fingerprint, no records.
+    fn placeholder_trace(cfg: &SystemConfig, app: &str) -> Trace {
+        Trace {
+            fingerprint: critmem_trace::Fingerprint::of(cfg.cores, cfg.cpu_mhz, &cfg.dram),
+            source: app.to_string(),
+            records: Vec::new(),
+        }
+    }
+
     /// Runs (or recalls) a simulation under a unique `key`.
     ///
     /// The memoization key is qualified with the run's instruction
@@ -109,17 +305,28 @@ impl Runner {
         key: String,
         cfg: SystemConfig,
         workload: &WorkloadKind,
-    ) -> Rc<RunStats> {
+    ) -> Arc<RunStats> {
         let key = format!("{key}@{}", cfg.instructions_per_core);
         if let Some(hit) = self.cache.get(&key) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
+        }
+        if let Some(plan) = &mut self.planning {
+            let placeholder = Arc::new(Self::placeholder_stats(&cfg));
+            if plan.seen.insert(format!("run:{key}")) {
+                plan.jobs.push(PlannedJob::Run {
+                    key,
+                    cfg,
+                    workload: workload.clone(),
+                });
+            }
+            return placeholder;
         }
         if self.verbose {
             eprintln!("  [run {:>3}] {key}", self.runs_executed + 1);
         }
-        let stats = Rc::new(run(cfg, workload));
+        let stats = Arc::new(run(cfg, workload));
         self.runs_executed += 1;
-        self.cache.insert(key, Rc::clone(&stats));
+        self.cache.insert(key, Arc::clone(&stats));
         stats
     }
 
@@ -129,7 +336,7 @@ impl Runner {
     /// processor-side criticality annotations (the scheduler itself
     /// ignores them, so arrival timing is the FR-FCFS baseline's).
     /// Every subsequent [`Runner::replay`] of the app reuses it.
-    pub fn capture(&mut self, app: &'static str) -> Rc<Trace> {
+    pub fn capture(&mut self, app: &'static str) -> Arc<Trace> {
         self.capture_with(
             app,
             PredictorKind::cbp64(critmem_predict::CbpMetric::MaxStallTime),
@@ -138,19 +345,26 @@ impl Runner {
 
     /// Captures (or recalls) an app's trace with a specific annotation
     /// predictor (one capture per metric under study).
-    pub fn capture_with(&mut self, app: &'static str, predictor: PredictorKind) -> Rc<Trace> {
+    pub fn capture_with(&mut self, app: &'static str, predictor: PredictorKind) -> Arc<Trace> {
         let key = format!("{app}|{}@{}", predictor.name(), self.scale.instructions);
         if let Some(hit) = self.traces.get(&key) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
+        }
+        let cfg = self.parallel_cfg().with_predictor(predictor);
+        if let Some(plan) = &mut self.planning {
+            let placeholder = Arc::new(Self::placeholder_trace(&cfg, app));
+            if plan.seen.insert(format!("cap:{key}")) {
+                plan.jobs.push(PlannedJob::Capture { key, app, cfg });
+            }
+            return placeholder;
         }
         if self.verbose {
             eprintln!("  [capture] {key}");
         }
-        let cfg = self.parallel_cfg().with_predictor(predictor);
         let (_, trace) = run_traced(cfg, &WorkloadKind::Parallel(app), app);
         self.runs_executed += 1;
-        let trace = Rc::new(trace);
-        self.traces.insert(key, Rc::clone(&trace));
+        let trace = Arc::new(trace);
+        self.traces.insert(key, Arc::clone(&trace));
         trace
     }
 
@@ -158,16 +372,26 @@ impl Runner {
     /// The DRAM system is rebuilt from the runner's own configuration —
     /// same topology as the capture, scheduler swapped — so the
     /// replayed controllers see exactly the recorded arrival stream.
-    pub fn replay(&mut self, app: &'static str, scheduler: SchedulerKind) -> Rc<ReplayStats> {
+    pub fn replay(&mut self, app: &'static str, scheduler: SchedulerKind) -> Arc<ReplayStats> {
         let key = format!(
             "{app}|{}|replay@{}",
             scheduler.name(),
             self.scale.instructions
         );
         if let Some(hit) = self.replay_cache.get(&key) {
-            return Rc::clone(hit);
+            return Arc::clone(hit);
         }
         let trace = self.capture(app);
+        if let Some(plan) = &mut self.planning {
+            if plan.seen.insert(format!("rep:{key}")) {
+                plan.replays.push(PlannedReplay {
+                    key,
+                    app,
+                    scheduler,
+                });
+            }
+            return Arc::new(ReplayStats::default());
+        }
         if self.verbose {
             eprintln!("  [replay {:>3}] {key}", self.replays_executed + 1);
         }
@@ -178,8 +402,8 @@ impl Runner {
             .expect("runner-built DRAM system matches its own capture topology")
             .run();
         self.replays_executed += 1;
-        let stats = Rc::new(stats);
-        self.replay_cache.insert(key, Rc::clone(&stats));
+        let stats = Arc::new(stats);
+        self.replay_cache.insert(key, Arc::clone(&stats));
         stats
     }
 
@@ -204,7 +428,7 @@ impl Runner {
         predictor: PredictorKind,
         tag: &str,
         tweak: F,
-    ) -> Rc<RunStats>
+    ) -> Arc<RunStats>
     where
         F: FnOnce(SystemConfig) -> SystemConfig,
     {
@@ -223,12 +447,12 @@ impl Runner {
         app: &'static str,
         scheduler: SchedulerKind,
         predictor: PredictorKind,
-    ) -> Rc<RunStats> {
+    ) -> Arc<RunStats> {
         self.parallel_with(app, scheduler, predictor, "", |c| c)
     }
 
     /// The FR-FCFS, predictor-less baseline for an app.
-    pub fn baseline(&mut self, app: &'static str) -> Rc<RunStats> {
+    pub fn baseline(&mut self, app: &'static str) -> Arc<RunStats> {
         self.parallel(app, SchedulerKind::FrFcfs, PredictorKind::None)
     }
 }
@@ -326,7 +550,7 @@ mod tests {
         let a = r.baseline("swim");
         let b = r.baseline("swim");
         assert_eq!(r.runs_executed(), 1);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     /// Regression: the memo key must track the active scale. Changing
@@ -341,7 +565,7 @@ mod tests {
         r.scale.instructions = 900;
         let b = r.baseline("swim");
         assert_eq!(r.runs_executed(), 2, "scale change must force a fresh run");
-        assert!(!Rc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &b));
         assert_ne!(a.cycles, b.cycles);
         assert_eq!(b.instructions_per_core, 900);
     }
@@ -354,7 +578,7 @@ mod tests {
         });
         let t1 = r.capture("swim");
         let t2 = r.capture("swim");
-        assert!(Rc::ptr_eq(&t1, &t2));
+        assert!(Arc::ptr_eq(&t1, &t2));
         assert!(!t1.records.is_empty(), "swim must miss the L2");
         assert_eq!(r.runs_executed(), 1);
         // The CBP attached at capture time annotated at least one miss.
@@ -372,7 +596,7 @@ mod tests {
         });
         let a = r.replay("swim", SchedulerKind::FrFcfs);
         let b = r.replay("swim", SchedulerKind::FrFcfs);
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(r.replays_executed(), 1);
         let c = r.replay("swim", SchedulerKind::CasRasCrit);
         assert_eq!(r.replays_executed(), 2);

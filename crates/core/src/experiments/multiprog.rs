@@ -8,7 +8,7 @@ use crate::metrics::{max_slowdown, mean, weighted_speedup};
 use critmem_predict::CbpMetric;
 use critmem_sched::{SchedulerKind, TcmTiebreak};
 use critmem_workloads::bundle;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The schedulers Figure 12 compares (PAR-BS is the normalization
 /// baseline and appears implicitly as 1.0).
@@ -121,7 +121,7 @@ fn bundle_run(
     label: &str,
     sched: SchedulerKind,
     pred: PredictorKind,
-) -> Rc<crate::system::RunStats> {
+) -> Arc<crate::system::RunStats> {
     let cfg = multiprog_cfg(r).with_scheduler(sched).with_predictor(pred);
     r.run_keyed(
         format!("bundle|{name}|{label}"),

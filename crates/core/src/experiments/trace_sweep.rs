@@ -17,7 +17,7 @@ use crate::system::RunStats;
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 use critmem_trace::ReplayStats;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The default sweep: the paper's two criticality arrangements against
@@ -38,10 +38,10 @@ pub struct TraceSweepRow {
     /// The scheduler configuration.
     pub scheduler: SchedulerKind,
     /// Trace-replay statistics.
-    pub replay: Rc<ReplayStats>,
+    pub replay: Arc<ReplayStats>,
     /// Execution-driven statistics for the same scheduler (with the
     /// same MaxStallTime CBP annotating requests).
-    pub execution: Rc<RunStats>,
+    pub execution: Arc<RunStats>,
 }
 
 impl TraceSweepRow {
@@ -163,20 +163,26 @@ pub fn trace_sweep_with(
     schedulers: &[SchedulerKind],
 ) -> TraceSweep {
     assert!(!schedulers.is_empty(), "sweep needs at least one scheduler");
+    // Each phase goes through `run_parallel` separately so the
+    // wall-clock brackets enclose the actual (possibly parallel)
+    // simulation work rather than warm-cache recalls.
     let t0 = Instant::now();
-    let _trace = runner.capture(app);
+    let _trace = runner.run_parallel(|r| r.capture(app));
     let capture_seconds = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let replays: Vec<Rc<ReplayStats>> = schedulers.iter().map(|&s| runner.replay(app, s)).collect();
+    let replays: Vec<Arc<ReplayStats>> =
+        runner.run_parallel(|r| schedulers.iter().map(|&s| r.replay(app, s)).collect());
     let replay_seconds = t1.elapsed().as_secs_f64();
 
     let predictor = PredictorKind::cbp64(CbpMetric::MaxStallTime);
     let t2 = Instant::now();
-    let executions: Vec<Rc<RunStats>> = schedulers
-        .iter()
-        .map(|&s| runner.parallel(app, s, predictor))
-        .collect();
+    let executions: Vec<Arc<RunStats>> = runner.run_parallel(|r| {
+        schedulers
+            .iter()
+            .map(|&s| r.parallel(app, s, predictor))
+            .collect()
+    });
     let execution_seconds = t2.elapsed().as_secs_f64();
 
     let rows = schedulers

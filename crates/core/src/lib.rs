@@ -40,6 +40,7 @@ pub mod config;
 pub mod experiments;
 pub mod metrics;
 pub mod overhead;
+pub mod pool;
 pub mod system;
 
 pub use config::{PredictorKind, SystemConfig, WorkloadKind};

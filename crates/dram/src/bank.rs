@@ -264,6 +264,13 @@ impl ChannelTiming {
     /// (if any) with a pending refresh.
     pub fn update_refresh(&mut self, now: DramCycle) -> Vec<RankId> {
         let mut due = Vec::new();
+        self.update_refresh_into(now, &mut due);
+        due
+    }
+
+    /// Allocation-free variant of [`Self::update_refresh`]: appends the
+    /// pending ranks to `due` (which the caller clears and reuses).
+    pub fn update_refresh_into(&mut self, now: DramCycle, due: &mut Vec<RankId>) {
         for (r, (&d, pending)) in self
             .refresh_due
             .iter()
@@ -277,12 +284,48 @@ impl ChannelTiming {
                 due.push(RankId(r as u8));
             }
         }
-        due
+    }
+
+    /// Earliest cycle at which any rank's next refresh falls due. While
+    /// `now` is strictly below this (and no refresh is already
+    /// pending), [`Self::update_refresh`] is a guaranteed no-op — the
+    /// controller's idle fast path uses this to skip the scan.
+    pub fn earliest_refresh_due(&self) -> DramCycle {
+        self.refresh_due.iter().copied().min().unwrap_or(u64::MAX)
+    }
+
+    /// Whether any rank currently owes a refresh.
+    pub fn any_refresh_pending(&self) -> bool {
+        self.refresh_pending.iter().any(|&p| p)
     }
 
     /// Whether the given rank currently owes a refresh.
     pub fn refresh_pending(&self, rank: RankId) -> bool {
         self.refresh_pending[rank.index()]
+    }
+
+    /// The data-bus floor for a CAS of `kind` targeting `rank`: the
+    /// earliest issue cycle the shared bus permits (bank constraints
+    /// come on top). Exactly the bus term of [`Self::earliest_issue`];
+    /// the controller caches it per rank while generating candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not `Read` or `Write`.
+    pub fn cas_bus_floor(&self, kind: CommandKind, rank: RankId) -> DramCycle {
+        let t = &self.timing;
+        let data_lat = match kind {
+            CommandKind::Read => t.t_cl,
+            CommandKind::Write => t.t_wl,
+            _ => panic!("cas_bus_floor called for non-CAS command"),
+        };
+        let mut bus_ready = self.bus_free;
+        if let Some(last) = self.last_data_rank {
+            if last != rank {
+                bus_ready += t.t_rtrs;
+            }
+        }
+        bus_ready.saturating_sub(data_lat)
     }
 
     /// Completion cycle of a CAS issued at `now` (when the full burst

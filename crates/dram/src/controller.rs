@@ -79,6 +79,15 @@ impl ChannelStats {
             self.row_hits as f64 / total as f64
         }
     }
+
+    /// Mean read service latency (arrival to data) in DRAM cycles.
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.reads_completed == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_completed as f64
+        }
+    }
 }
 
 /// One DRAM channel: transaction queue + timing state + scheduler.
@@ -95,6 +104,27 @@ pub struct ChannelController {
     direction: Direction,
     draining: bool,
     stats: ChannelStats,
+    /// Queued write-backs, maintained incrementally so the per-cycle
+    /// direction policy never rescans the queue.
+    queued_writes: usize,
+    /// Queued reads currently flagged critical (incremental mirror of
+    /// the occupancy scan the stats used to do each cycle).
+    queued_crit_reads: usize,
+    /// Cycle at which the refresh bookkeeping next needs a look; while
+    /// `now` is below this and nothing is pending, the per-rank refresh
+    /// scan is skipped entirely.
+    refresh_check_at: DramCycle,
+    /// While `now` is strictly below this, the candidate set is
+    /// provably empty and generation is skipped. Valid only between
+    /// state changes: any enqueue, command issue, refresh activity, or
+    /// direction flip resets it to 0 (always rebuild).
+    no_cand_until: DramCycle,
+    // Scratch buffers reused across ticks: cleared, never shrunk.
+    refresh_ranks: Vec<RankId>,
+    cand_buf: Vec<Candidate>,
+    open_row_wanted: Vec<bool>,
+    starved_bank: Vec<bool>,
+    bus_floor: Vec<DramCycle>,
 }
 
 impl std::fmt::Debug for ChannelController {
@@ -116,19 +146,29 @@ impl ChannelController {
             cfg.org.banks_per_rank as usize,
             cfg.preset.timing,
         );
+        let nbanks = timing.ranks() * timing.banks_per_rank();
         ChannelController {
             channel,
             cfg,
             timing,
             queue: Vec::with_capacity(cfg.queue_capacity),
-            inflight: BinaryHeap::new(),
-            inflight_txns: Vec::new(),
+            inflight: BinaryHeap::with_capacity(cfg.queue_capacity),
+            inflight_txns: Vec::with_capacity(cfg.queue_capacity),
             scheduler,
             now: 0,
             seq: 0,
             direction: Direction::Read,
             draining: false,
             stats: ChannelStats::default(),
+            queued_writes: 0,
+            queued_crit_reads: 0,
+            refresh_check_at: 0,
+            no_cand_until: 0,
+            refresh_ranks: Vec::with_capacity(nbanks),
+            cand_buf: Vec::with_capacity(cfg.queue_capacity),
+            open_row_wanted: vec![false; nbanks],
+            starved_bank: vec![false; nbanks],
+            bus_floor: Vec::with_capacity(nbanks),
         }
     }
 
@@ -171,6 +211,12 @@ impl ChannelController {
         }
         let txn = Transaction::new(req, loc, self.now, self.seq);
         self.seq += 1;
+        self.no_cand_until = 0;
+        if !txn.is_read() {
+            self.queued_writes += 1;
+        } else if txn.req.crit.is_critical() {
+            self.queued_crit_reads += 1;
+        }
         self.scheduler.on_enqueue(&txn, self.now);
         self.queue.push(txn);
         Ok(())
@@ -189,6 +235,9 @@ impl ChannelController {
         for txn in &mut self.queue {
             if txn.req.id == id {
                 if crit > txn.req.crit {
+                    if txn.is_read() && crit.is_critical() && !txn.req.crit.is_critical() {
+                        self.queued_crit_reads += 1;
+                    }
                     txn.req.crit = crit;
                 }
                 return true;
@@ -209,6 +258,9 @@ impl ChannelController {
         for txn in &mut self.queue {
             if txn.req.addr == addr && txn.req.core == core && txn.is_read() {
                 if crit > txn.req.crit {
+                    if crit.is_critical() && !txn.req.crit.is_critical() {
+                        self.queued_crit_reads += 1;
+                    }
                     txn.req.crit = crit;
                 }
                 return true;
@@ -219,29 +271,67 @@ impl ChannelController {
 
     /// Advances the channel by one DRAM cycle; returns transactions
     /// whose data finished transferring this cycle.
+    ///
+    /// Convenience wrapper over [`Self::tick_into`]; hot callers should
+    /// pass a reused buffer to `tick_into` instead (the returned `Vec`
+    /// only allocates when completions actually occur).
     pub fn tick(&mut self) -> Vec<CompletedTxn> {
+        let mut out = Vec::new();
+        self.tick_into(&mut out);
+        out
+    }
+
+    /// Advances the channel by one DRAM cycle, appending transactions
+    /// whose data finished transferring this cycle to `out`.
+    ///
+    /// This is the allocation-free hot path: all per-cycle working sets
+    /// (candidate list, refresh ranks, per-bank masks) live in scratch
+    /// buffers owned by the controller, so steady-state ticks perform
+    /// no heap allocation at all.
+    pub fn tick_into(&mut self, out: &mut Vec<CompletedTxn>) {
         self.now += 1;
         let now = self.now;
         self.stats.ticks += 1;
         self.stats.occupancy_sum += self.queue.len() as u64;
-        self.track_criticality_occupancy();
+        if self.queued_crit_reads >= 1 {
+            self.stats.ticks_with_critical += 1;
+            if self.queued_crit_reads > 1 {
+                self.stats.ticks_with_multiple_critical += 1;
+            }
+        }
         self.update_direction();
 
         // Refresh has hard priority: a rank whose refresh has fallen
-        // due stops accepting new work until the REF has issued.
-        let pending_ranks = if self.cfg.refresh_enabled {
-            self.timing.update_refresh(now)
-        } else {
-            Vec::new()
-        };
+        // due stops accepting new work until the REF has issued. The
+        // per-rank scan is gated on a cached horizon: below
+        // `refresh_check_at` with nothing pending it is a no-op, so the
+        // common case skips it entirely.
+        self.refresh_ranks.clear();
+        if self.cfg.refresh_enabled && now >= self.refresh_check_at {
+            self.timing
+                .update_refresh_into(now, &mut self.refresh_ranks);
+            self.refresh_check_at = if self.refresh_ranks.is_empty() {
+                self.timing.earliest_refresh_due()
+            } else {
+                now // stay hot until the REF actually issues
+            };
+        }
         let mut issued = false;
-        if !pending_ranks.is_empty() {
-            issued = self.try_refresh_sequence(&pending_ranks);
+        if !self.refresh_ranks.is_empty() {
+            // Refresh filtering perturbs candidacy: drop any
+            // proven-empty window while a refresh is in progress.
+            self.no_cand_until = 0;
+            let ranks = std::mem::take(&mut self.refresh_ranks);
+            issued = self.try_refresh_sequence(&ranks);
+            self.refresh_ranks = ranks;
         }
 
         if !issued {
-            let candidates = self.build_candidates(&pending_ranks);
-            if !candidates.is_empty() {
+            if self.queue.is_empty() || now < self.no_cand_until {
+                // Fast path — the queue is empty, or a previous build
+                // proved no command can become ready before
+                // `no_cand_until` and nothing has changed since. The
+                // scheduler still observes the cycle.
                 let ctx = SchedContext {
                     now,
                     channel: self.channel,
@@ -250,42 +340,55 @@ impl ChannelController {
                     direction: self.direction,
                 };
                 self.scheduler.on_tick(&ctx);
-                if let Some(choice) = self.scheduler.select(&ctx, &candidates) {
-                    let cand = candidates[choice];
-                    self.issue_candidate(cand);
-                }
             } else {
-                let ctx = SchedContext {
-                    now,
-                    channel: self.channel,
-                    queue: &self.queue,
-                    timing: &self.timing,
-                    direction: self.direction,
+                let next_cand_at = self.build_candidates();
+                let candidates = std::mem::take(&mut self.cand_buf);
+                let choice = {
+                    let ctx = SchedContext {
+                        now,
+                        channel: self.channel,
+                        queue: &self.queue,
+                        timing: &self.timing,
+                        direction: self.direction,
+                    };
+                    self.scheduler.on_tick(&ctx);
+                    if candidates.is_empty() {
+                        None
+                    } else {
+                        self.scheduler.select(&ctx, &candidates)
+                    }
                 };
-                self.scheduler.on_tick(&ctx);
+                if let Some(i) = choice {
+                    self.issue_candidate(candidates[i]);
+                } else if candidates.is_empty() && self.refresh_ranks.is_empty() {
+                    // No refresh exclusions were in force, so the
+                    // emptiness proof holds until `next_cand_at`.
+                    self.no_cand_until = next_cand_at;
+                }
+                self.cand_buf = candidates;
             }
         }
 
-        self.collect_completions()
-    }
-
-    fn track_criticality_occupancy(&mut self) {
-        let crit = self
-            .queue
-            .iter()
-            .filter(|t| t.is_read() && t.req.crit.is_critical())
-            .count();
-        if crit >= 1 {
-            self.stats.ticks_with_critical += 1;
-        }
-        if crit > 1 {
-            self.stats.ticks_with_multiple_critical += 1;
-        }
+        self.collect_completions_into(out);
     }
 
     fn update_direction(&mut self) {
-        let writes = self.queue.iter().filter(|t| !t.is_read()).count();
+        debug_assert_eq!(
+            self.queued_writes,
+            self.queue.iter().filter(|t| !t.is_read()).count(),
+            "incremental write count out of sync"
+        );
+        debug_assert_eq!(
+            self.queued_crit_reads,
+            self.queue
+                .iter()
+                .filter(|t| t.is_read() && t.req.crit.is_critical())
+                .count(),
+            "incremental critical-read count out of sync"
+        );
+        let writes = self.queued_writes;
         let reads = self.queue.len() - writes;
+        let before = self.direction;
         match self.direction {
             Direction::Read => {
                 if writes >= self.cfg.write_high_watermark {
@@ -305,6 +408,9 @@ impl ChannelController {
                     self.draining = false;
                 }
             }
+        }
+        if self.direction != before {
+            self.no_cand_until = 0;
         }
     }
 
@@ -360,96 +466,123 @@ impl ChannelController {
     /// ignore the criticality annotation (plain FR-FCFS, AHB, …)
     /// cannot starve a request indefinitely behind a stream of row
     /// hits.
-    fn build_candidates(&mut self, refresh_ranks: &[RankId]) -> Vec<Candidate> {
+    /// Fills `cand_buf` with this cycle's ready commands. Returns the
+    /// earliest future cycle at which the candidate set could become
+    /// non-empty *absent any state change* — the caller may skip
+    /// generation until then if the set came back empty.
+    fn build_candidates(&mut self) -> DramCycle {
         let now = self.now;
         let cap = self.cfg.starvation_cap;
-        // Count starvation promotions once per transaction.
-        for txn in &mut self.queue {
-            if !txn.starved && txn.age(now) > cap {
-                txn.starved = true;
-                self.stats.starvation_promotions += 1;
-            }
-        }
-        // One pass: which banks' open rows are still wanted by a
-        // same-direction transaction (so a PRE would waste row hits),
+        let bpr = self.timing.banks_per_rank();
+        let ranks = self.timing.ranks();
+        let nbanks = ranks * bpr;
+        let mut next_cand_at = u64::MAX;
+        self.open_row_wanted.clear();
+        self.open_row_wanted.resize(nbanks, false);
+        self.starved_bank.clear();
+        self.starved_bank.resize(nbanks, false);
+        // One pass: count starvation promotions (once per transaction),
+        // and record which banks' open rows are still wanted by a
+        // same-direction transaction (so a PRE would waste row hits)
         // and which banks have a starved transaction (those banks are
         // quiesced: no non-starved work may issue there, or the
         // starved PRE's tRTP window would keep sliding forever).
-        let bpr = self.timing.banks_per_rank();
-        let nbanks = self.timing.ranks() * bpr;
-        let mut open_row_wanted = vec![false; nbanks];
-        let mut starved_bank = vec![false; nbanks];
-        for txn in &self.queue {
+        for txn in &mut self.queue {
+            if !txn.starved {
+                if txn.age(now) > cap {
+                    txn.starved = true;
+                    self.stats.starvation_promotions += 1;
+                } else {
+                    // A starvation crossing changes candidacy (and is
+                    // counted at an exact cycle): cap any emptiness
+                    // window at the next crossing.
+                    next_cand_at = next_cand_at.min(txn.arrival.saturating_add(cap + 1));
+                }
+            }
             if !txn.matches_direction(self.direction) {
                 continue;
             }
             let idx = txn.loc.rank.index() * bpr + txn.loc.bank.index();
             if self.timing.bank(txn.loc.rank, txn.loc.bank).open_row == Some(txn.loc.row) {
-                open_row_wanted[idx] = true;
+                self.open_row_wanted[idx] = true;
             }
             if txn.starved {
-                starved_bank[idx] = true;
+                self.starved_bank[idx] = true;
             }
         }
-        let mut candidates = Vec::new();
+        // All CAS candidates this cycle share one direction, so the
+        // data-bus floor only depends on the rank: compute it once per
+        // rank instead of once per queued transaction.
+        let cas_kind = match self.direction {
+            Direction::Read => CommandKind::Read,
+            Direction::Write => CommandKind::Write,
+        };
+        self.bus_floor.clear();
+        for r in 0..ranks {
+            self.bus_floor
+                .push(self.timing.cas_bus_floor(cas_kind, RankId(r as u8)));
+        }
+        self.cand_buf.clear();
         for (i, txn) in self.queue.iter().enumerate() {
             if !txn.matches_direction(self.direction) {
                 continue;
             }
-            if refresh_ranks.contains(&txn.loc.rank) {
+            if self.refresh_ranks.contains(&txn.loc.rank) {
                 continue;
             }
             // Bank quiescence for the starvation cap (§3.2).
             let idx = txn.loc.rank.index() * bpr + txn.loc.bank.index();
-            if starved_bank[idx] && !txn.starved {
+            if self.starved_bank[idx] && !txn.starved {
                 continue;
             }
-            let crit = txn.effective_criticality(now, cap);
-            let bank_state = self.timing.bank(txn.loc.rank, txn.loc.bank);
-            let (kind, row_hit) = match bank_state.open_row {
+            let bank = self.timing.bank(txn.loc.rank, txn.loc.bank);
+            let (kind, ready, row_hit) = match bank.open_row {
                 Some(r) if r == txn.loc.row => {
-                    let k = if txn.is_read() {
-                        CommandKind::Read
+                    let own = if txn.is_read() {
+                        bank.next_rd
                     } else {
-                        CommandKind::Write
+                        bank.next_wr
                     };
-                    (k, true)
+                    (
+                        cas_kind,
+                        own.max(self.bus_floor[txn.loc.rank.index()]),
+                        true,
+                    )
                 }
                 Some(_) => {
                     // Row conflict: precharge, but not while another
                     // serviceable transaction still wants the open row
                     // — unless this transaction is starved, in which
                     // case it may close the row regardless.
-                    let idx = txn.loc.rank.index() * bpr + txn.loc.bank.index();
-                    if open_row_wanted[idx] && !txn.starved {
+                    if self.open_row_wanted[idx] && !txn.starved {
                         continue;
                     }
-                    (CommandKind::Precharge, false)
+                    (CommandKind::Precharge, bank.next_pre, false)
                 }
-                None => (CommandKind::Activate, false),
+                None => (CommandKind::Activate, bank.next_act, false),
             };
-            let cmd = DramCommand {
-                kind,
-                rank: txn.loc.rank,
-                bank: txn.loc.bank,
-                row: txn.loc.row,
-            };
-            if let Some(t) = self.timing.earliest_issue(&cmd) {
-                if t <= now {
-                    candidates.push(Candidate {
-                        txn: i,
-                        cmd,
-                        row_hit,
-                        crit,
-                    });
-                }
+            if ready > now {
+                next_cand_at = next_cand_at.min(ready);
+                continue;
             }
+            self.cand_buf.push(Candidate {
+                txn: i,
+                cmd: DramCommand {
+                    kind,
+                    rank: txn.loc.rank,
+                    bank: txn.loc.bank,
+                    row: txn.loc.row,
+                },
+                row_hit,
+                crit: txn.effective_criticality(now, cap),
+            });
         }
-        candidates
+        next_cand_at
     }
 
     fn issue_candidate(&mut self, cand: Candidate) {
         let now = self.now;
+        self.no_cand_until = 0;
         self.timing.issue(&cand.cmd, now);
         match cand.cmd.kind {
             CommandKind::Activate => {
@@ -460,6 +593,11 @@ impl ChannelController {
             }
             CommandKind::Read | CommandKind::Write => {
                 let txn = self.queue.swap_remove(cand.txn);
+                if !txn.is_read() {
+                    self.queued_writes -= 1;
+                } else if txn.req.crit.is_critical() {
+                    self.queued_crit_reads -= 1;
+                }
                 if txn.caused_precharge {
                     self.stats.row_conflicts += 1;
                 } else if txn.caused_activate {
@@ -483,9 +621,8 @@ impl ChannelController {
         }
     }
 
-    fn collect_completions(&mut self) -> Vec<CompletedTxn> {
+    fn collect_completions_into(&mut self, out: &mut Vec<CompletedTxn>) {
         let now = self.now;
-        let mut out = Vec::new();
         while let Some(&Reverse((done, key))) = self.inflight.peek() {
             if done > now {
                 break;
@@ -505,7 +642,6 @@ impl ChannelController {
             }
             out.push(txn);
         }
-        out
     }
 }
 
@@ -659,6 +795,44 @@ mod tests {
             }
         }
         assert!(completed, "victim request starved");
+    }
+
+    #[test]
+    fn zero_tick_stats_do_not_divide_by_zero() {
+        let stats = ChannelStats::default();
+        assert_eq!(stats.mean_occupancy(), 0.0);
+        assert_eq!(stats.row_hit_rate(), 0.0);
+        assert_eq!(stats.mean_read_latency(), 0.0);
+    }
+
+    #[test]
+    fn tick_into_reuses_caller_buffer() {
+        let (mut ctl, map) = controller();
+        ctl.enqueue(read_req(1, 0), map.locate(0)).unwrap();
+        let mut out = Vec::with_capacity(4);
+        let mut done = Vec::new();
+        for _ in 0..200 {
+            out.clear();
+            ctl.tick_into(&mut out);
+            done.extend(out.drain(..));
+            if !done.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].req.id, 1);
+    }
+
+    #[test]
+    fn promotion_keeps_critical_occupancy_stats() {
+        let (mut ctl, map) = controller();
+        let addr = 16 * 1024 * 1024;
+        ctl.enqueue(read_req(1, addr), map.locate(addr)).unwrap();
+        ctl.tick();
+        assert_eq!(ctl.stats().ticks_with_critical, 0);
+        assert!(ctl.promote_request(1, critmem_common::Criticality::ranked(7)));
+        ctl.tick();
+        assert_eq!(ctl.stats().ticks_with_critical, 1);
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! dram.enqueue(MemRequest::new(1, 0x40, AccessKind::Read, CoreId(0))).unwrap();
 //! let mut completions = Vec::new();
 //! for _ in 0..100 {
-//!     completions.extend(dram.tick());
+//!     completions.extend_from_slice(dram.tick());
 //! }
 //! assert_eq!(completions.len(), 1);
 //! ```
@@ -59,6 +59,8 @@ pub struct DramSystem {
     controllers: Vec<ChannelController>,
     mapping: AddressMapping,
     cfg: DramConfig,
+    /// Completion buffer reused across ticks (returned by slice).
+    completions: Vec<CompletedTxn>,
 }
 
 impl std::fmt::Debug for DramSystem {
@@ -93,6 +95,7 @@ impl DramSystem {
             controllers,
             mapping,
             cfg,
+            completions: Vec::new(),
         }
     }
 
@@ -145,12 +148,16 @@ impl DramSystem {
     }
 
     /// Advances every channel one DRAM cycle; returns all completions.
-    pub fn tick(&mut self) -> Vec<CompletedTxn> {
-        let mut out = Vec::new();
+    ///
+    /// The returned slice borrows an internal buffer that is
+    /// overwritten by the next call, so callers copy out what they
+    /// need — this keeps the per-cycle path allocation-free.
+    pub fn tick(&mut self) -> &[CompletedTxn] {
+        self.completions.clear();
         for c in &mut self.controllers {
-            out.extend(c.tick());
+            c.tick_into(&mut self.completions);
         }
-        out
+        &self.completions
     }
 
     /// Per-channel statistics.
@@ -196,7 +203,7 @@ mod tests {
         let mut completions = Vec::new();
         let mut cycles = 0;
         while completions.len() < 4 && cycles < 500 {
-            completions.extend(dram.tick());
+            completions.extend_from_slice(dram.tick());
             cycles += 1;
         }
         assert_eq!(completions.len(), 4);
@@ -217,7 +224,7 @@ mod tests {
             .unwrap();
         let mut completions = Vec::new();
         for _ in 0..500 {
-            completions.extend(dram.tick());
+            completions.extend_from_slice(dram.tick());
             if completions.len() == 2 {
                 break;
             }

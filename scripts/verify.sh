@@ -5,7 +5,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== cargo build --release"
+build_start=$SECONDS
 cargo build --release
+echo "release build took $((SECONDS - build_start))s"
 
 echo "== cargo test -q"
 cargo test -q
@@ -17,7 +19,12 @@ trap 'rm -rf "$tmp"' EXIT
 ./target/release/repro trace replay "$tmp/swim.cmtr" --sched fr-fcfs
 ./target/release/repro trace replay "$tmp/swim.cmtr" --sched casras-crit
 
-echo "== cargo fmt --check"
+echo "== parallel engine smoke test (--jobs 2 must match serial output)"
+./target/release/repro --scale quick --jobs 1 fig10 > "$tmp/fig10.serial" 2>/dev/null
+./target/release/repro --scale quick --jobs 2 fig10 > "$tmp/fig10.jobs2" 2>/dev/null
+diff "$tmp/fig10.serial" "$tmp/fig10.jobs2"
+
+echo "== cargo fmt --check (fails on rustfmt drift)"
 cargo fmt --check
 
 echo "verify: OK"
