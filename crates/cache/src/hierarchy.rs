@@ -159,6 +159,37 @@ impl HierarchyStats {
     }
 }
 
+impl critmem_common::Observable for CacheHierarchy {
+    /// Emits one `cache.l2` component covering the shared L2 and its
+    /// MSHR file (the per-core L1s contribute to `cpu.coreN` IPC
+    /// instead of reporting separately).
+    fn observe(&self, v: &mut dyn critmem_common::MetricVisitor) {
+        v.component("cache.l2");
+        let s = &self.stats;
+        v.counter("l2_accesses", "accesses", s.l2_accesses);
+        v.counter("l2_hits", "accesses", s.l2_hits);
+        v.counter("l2_misses", "accesses", s.l2_misses);
+        v.gauge("l2_hit_rate", "ratio", s.l2_hit_rate());
+        v.gauge("mshr_occupancy", "entries", self.l2_mshr.len() as f64);
+        v.counter("mshr_peak", "entries", self.l2_mshr.peak() as u64);
+        v.counter("mshr_merges", "misses", self.l2_mshr.merges());
+        v.counter("mshr_rejections", "requests", self.l2_mshr.rejections());
+        v.counter("prefetches_sent", "requests", s.prefetches_sent);
+        v.counter("prefetch_useful", "hits", s.prefetch_useful);
+        v.counter("writebacks", "requests", s.writebacks);
+        v.gauge(
+            "miss_latency_critical",
+            "cpu-cycles",
+            s.miss_latency_critical.mean().unwrap_or(0.0),
+        );
+        v.gauge(
+            "miss_latency_noncritical",
+            "cpu-cycles",
+            s.miss_latency_noncritical.mean().unwrap_or(0.0),
+        );
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct AccessInfo {
     addr: PhysAddr,

@@ -11,7 +11,9 @@
 //!   load/store queue all the way to the DRAM transaction queue,
 //!   carrying the criticality annotation ([`Criticality`]) that is the
 //!   heart of the paper,
-//! * [`stats`] — counters and histograms used for the evaluation.
+//! * [`stats`] — counters and histograms used for the evaluation,
+//! * [`obs`] — the unified observability layer: metric registration,
+//!   epoch sampling, and JSONL/CSV time-series export.
 //!
 //! # Examples
 //!
@@ -34,12 +36,14 @@ pub mod alloc_probe;
 pub mod clock;
 pub mod ids;
 pub mod mem;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 
 pub use clock::ClockDivider;
 pub use ids::{BankId, ChannelId, CoreId, RankId, ThreadId};
 pub use mem::{AccessKind, Criticality, MemRequest, ReqId, RequestObserver};
+pub use obs::{MetricVisitor, Observable, Sampler, Schema, SeriesExport, SeriesSet};
 pub use rng::SmallRng;
 pub use stats::{Counter, Histogram, RunningMean};
 

@@ -1,0 +1,1072 @@
+//! Unified observability layer: a per-component metrics registry, a
+//! cycle-sampled time series, and JSONL/CSV export.
+//!
+//! Every simulated component — CPU cores, the cache hierarchy and its
+//! MSHRs, the criticality predictors, the DRAM channel controllers and
+//! their schedulers — maintains plain counter fields on its hot paths
+//! (a handful of integer adds per event; see [`crate::stats`]). This
+//! module is the *pull side*: it gives those scattered counters one
+//! coherent, documented surface.
+//!
+//! The design is a two-pass visitor:
+//!
+//! 1. **Registration** (once, at system construction): each component
+//!    walks its metrics through a [`MetricVisitor`], producing a
+//!    [`Schema`] — an ordered list of `(component, name, kind, unit)`
+//!    definitions. Registration is the only pass that allocates.
+//! 2. **Sampling** (every *epoch* cycles): the same walk runs again
+//!    with a row-writing visitor that appends one `f64` per registered
+//!    metric to the in-memory [`SeriesSet`]. Because registration and
+//!    sampling share one `observe` function per component
+//!    ([`Observable::observe`]), the schema and the rows cannot drift
+//!    apart.
+//!
+//! Nothing here runs on the per-cycle tick path: components keep
+//! incrementing their own fields, and the DRAM controller's
+//! allocation-free `tick_into` guarantee (enforced by
+//! `crates/dram/tests/tick_alloc.rs`) is untouched. Sampling cost is
+//! `O(metrics)` every epoch, amortized to nothing.
+//!
+//! The exported formats are documented in DESIGN.md §6e and validated
+//! by a serialize → parse → compare round-trip test.
+//!
+//! # Examples
+//!
+//! ```
+//! use critmem_common::obs::{MetricVisitor, Observable, Sampler, Schema};
+//!
+//! struct Widget { pulls: u64 }
+//! impl Observable for Widget {
+//!     fn observe(&self, v: &mut dyn MetricVisitor) {
+//!         v.counter("pulls", "events", self.pulls);
+//!         v.gauge("pull_rate", "events/cycle", self.pulls as f64 / 100.0);
+//!     }
+//! }
+//!
+//! let w = Widget { pulls: 42 };
+//! let schema = Schema::build(|v| {
+//!     v.component("widget");
+//!     w.observe(v);
+//! });
+//! let mut sampler = Sampler::new(schema, 100);
+//! assert!(sampler.due(100));
+//! sampler.sample(100, |v| {
+//!     v.component("widget");
+//!     w.observe(v);
+//! });
+//! let series = sampler.into_series();
+//! assert_eq!(series.len(), 1);
+//! assert_eq!(series.value(0, "widget.pulls"), Some(42.0));
+//! ```
+
+use std::fmt::Write as _;
+
+/// Whether a metric is a monotonically non-decreasing count or an
+/// instantaneous/derived reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Cumulative since the start of the run; consumers difference
+    /// adjacent samples for per-epoch rates. Exported as an integer.
+    Counter,
+    /// Instantaneous or derived value (occupancy, a rate, a mean).
+    /// Exported as a float.
+    Gauge,
+}
+
+impl MetricKind {
+    /// The lowercase schema string ("counter" / "gauge").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// One registered metric: its owning component, short name, kind, and
+/// unit. The full id is `component.name`, e.g. `dram.ch0.row_hits`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDef {
+    /// Owning component path, e.g. `cpu.core0` or `dram.ch2`.
+    pub component: String,
+    /// Metric name within the component, e.g. `row_hits`.
+    pub name: &'static str,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Unit string, e.g. `cycles`, `requests`, `ratio`.
+    pub unit: &'static str,
+}
+
+impl MetricDef {
+    /// The full dotted id (`component.name`).
+    pub fn id(&self) -> String {
+        format!("{}.{}", self.component, self.name)
+    }
+}
+
+/// The visitor each component walks its metrics through. One
+/// implementation collects a [`Schema`]; another writes a sample row.
+///
+/// Components must emit the same metrics in the same order on every
+/// walk — which is automatic when both passes share one
+/// [`Observable::observe`] body.
+pub trait MetricVisitor {
+    /// Switches the current component path for subsequent metrics.
+    fn component(&mut self, path: &str);
+    /// Visits a cumulative counter.
+    fn counter(&mut self, name: &'static str, unit: &'static str, value: u64);
+    /// Visits an instantaneous or derived gauge.
+    fn gauge(&mut self, name: &'static str, unit: &'static str, value: f64);
+}
+
+/// A component that exposes metrics to the observability layer.
+pub trait Observable {
+    /// Walks every metric of this component through `v`, in a fixed
+    /// order. Called once for registration and once per sample.
+    fn observe(&self, v: &mut dyn MetricVisitor);
+}
+
+/// The ordered metric definitions of one run configuration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    defs: Vec<MetricDef>,
+}
+
+impl Schema {
+    /// Builds a schema by running a registration pass over `walk`.
+    pub fn build(walk: impl FnOnce(&mut dyn MetricVisitor)) -> Self {
+        let mut c = SchemaCollector {
+            defs: Vec::new(),
+            component: String::new(),
+        };
+        walk(&mut c);
+        Schema { defs: c.defs }
+    }
+
+    /// The ordered definitions.
+    pub fn defs(&self) -> &[MetricDef] {
+        &self.defs
+    }
+
+    /// Number of metrics per sample row.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the schema is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Index of the metric with the given full dotted id.
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.defs.iter().position(|d| d.id() == id)
+    }
+}
+
+/// Registration-pass visitor: records definitions, ignores values.
+struct SchemaCollector {
+    defs: Vec<MetricDef>,
+    component: String,
+}
+
+impl MetricVisitor for SchemaCollector {
+    fn component(&mut self, path: &str) {
+        self.component.clear();
+        self.component.push_str(path);
+    }
+    fn counter(&mut self, name: &'static str, unit: &'static str, _value: u64) {
+        self.defs.push(MetricDef {
+            component: self.component.clone(),
+            name,
+            kind: MetricKind::Counter,
+            unit,
+        });
+    }
+    fn gauge(&mut self, name: &'static str, unit: &'static str, _value: f64) {
+        self.defs.push(MetricDef {
+            component: self.component.clone(),
+            name,
+            kind: MetricKind::Gauge,
+            unit,
+        });
+    }
+}
+
+/// Sampling-pass visitor: appends one value per registered metric.
+struct RowWriter<'a> {
+    schema: &'a Schema,
+    values: &'a mut Vec<f64>,
+    /// Index of the next expected metric within the row.
+    at: usize,
+    base: usize,
+}
+
+impl MetricVisitor for RowWriter<'_> {
+    fn component(&mut self, _path: &str) {}
+    fn counter(&mut self, name: &'static str, _unit: &'static str, value: u64) {
+        let def = &self.schema.defs[self.at];
+        debug_assert_eq!(def.name, name, "sample order diverged from schema");
+        debug_assert_eq!(def.kind, MetricKind::Counter);
+        self.at += 1;
+        self.values.push(value as f64);
+        let _ = self.base;
+    }
+    fn gauge(&mut self, name: &'static str, _unit: &'static str, value: f64) {
+        let def = &self.schema.defs[self.at];
+        debug_assert_eq!(def.name, name, "sample order diverged from schema");
+        debug_assert_eq!(def.kind, MetricKind::Gauge);
+        debug_assert!(value.is_finite(), "gauge {name} sampled non-finite {value}");
+        self.at += 1;
+        self.values
+            .push(if value.is_finite() { value } else { 0.0 });
+    }
+}
+
+/// A cycle-stamped time series over one [`Schema`]: row *i* holds the
+/// value of every registered metric at `cycles[i]`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SeriesSet {
+    schema: Schema,
+    cycles: Vec<u64>,
+    /// Row-major values, `cycles.len() * schema.len()` long.
+    values: Vec<f64>,
+}
+
+impl SeriesSet {
+    /// Creates an empty series over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        SeriesSet {
+            schema,
+            cycles: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The schema rows follow.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// The cycle stamps of all samples.
+    pub fn cycles(&self) -> &[u64] {
+        &self.cycles
+    }
+
+    /// The values of sample `row`, in schema order.
+    pub fn row(&self, row: usize) -> &[f64] {
+        let w = self.schema.len();
+        &self.values[row * w..(row + 1) * w]
+    }
+
+    /// The value of the metric with dotted id `id` at sample `row`.
+    pub fn value(&self, row: usize, id: &str) -> Option<f64> {
+        let i = self.schema.index_of(id)?;
+        self.row(row).get(i).copied()
+    }
+
+    /// The full column of a metric across all samples.
+    pub fn column(&self, id: &str) -> Option<Vec<f64>> {
+        let i = self.schema.index_of(id)?;
+        Some(
+            self.cycles
+                .iter()
+                .enumerate()
+                .map(|(r, _)| self.row(r)[i])
+                .collect(),
+        )
+    }
+}
+
+/// The epoch sampler: snapshots registered metrics every `epoch`
+/// cycles into a [`SeriesSet`].
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    epoch: u64,
+    next_at: u64,
+    series: SeriesSet,
+}
+
+impl Sampler {
+    /// Creates a sampler that fires every `epoch` cycles (first at
+    /// cycle `epoch`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero.
+    pub fn new(schema: Schema, epoch: u64) -> Self {
+        assert!(epoch > 0, "sampling epoch must be nonzero");
+        Sampler {
+            epoch,
+            next_at: epoch,
+            series: SeriesSet::new(schema),
+        }
+    }
+
+    /// The sampling epoch in cycles.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether a sample is due at `now`.
+    #[inline]
+    pub fn due(&self, now: u64) -> bool {
+        now >= self.next_at
+    }
+
+    /// Cycle stamp of the most recent sample, if any.
+    pub fn last_sampled(&self) -> Option<u64> {
+        self.series.cycles.last().copied()
+    }
+
+    /// Records one sample at `now` by running `walk` with a
+    /// row-writing visitor, then schedules the next epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `walk` emits a different number of metrics than the
+    /// schema registered.
+    pub fn sample(&mut self, now: u64, walk: impl FnOnce(&mut dyn MetricVisitor)) {
+        let before = self.series.values.len();
+        let mut w = RowWriter {
+            schema: &self.series.schema,
+            values: &mut self.series.values,
+            at: 0,
+            base: before,
+        };
+        walk(&mut w);
+        assert_eq!(
+            self.series.values.len() - before,
+            self.series.schema.len(),
+            "sample row width diverged from schema"
+        );
+        self.series.cycles.push(now);
+        // Epochs are anchored to the grid, not to the sample cycle, so
+        // a caller that checks `due` late does not drift.
+        while self.next_at <= now {
+            self.next_at += self.epoch;
+        }
+    }
+
+    /// Consumes the sampler, returning the recorded series.
+    pub fn into_series(self) -> SeriesSet {
+        self.series
+    }
+}
+
+/// One run's labeled series within a [`SeriesExport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSeries {
+    /// Unique run label (e.g. `swim|CASRAS-Crit|MaxStallTime-64`).
+    pub run: String,
+    /// The sampled time series.
+    pub series: SeriesSet,
+}
+
+/// A deterministic, mergeable collection of sampled runs, exportable
+/// as JSONL or CSV (and parseable back — see the round-trip tests).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SeriesExport {
+    /// Sampling epoch in CPU cycles (uniform across runs).
+    pub epoch: u64,
+    /// The runs, sorted by label (the deterministic merge order).
+    pub runs: Vec<RunSeries>,
+}
+
+impl SeriesExport {
+    /// Creates an empty export with the given epoch.
+    pub fn new(epoch: u64) -> Self {
+        SeriesExport {
+            epoch,
+            runs: Vec::new(),
+        }
+    }
+
+    /// Adds one run's series under `label`, keeping runs sorted by
+    /// label so that merge order — and therefore every export byte —
+    /// is independent of execution order (worker count, completion
+    /// interleaving).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is already present (runs must be uniquely
+    /// keyed) or contains characters that would break the line formats
+    /// (`"`, `\`, newline, or comma).
+    pub fn push(&mut self, label: impl Into<String>, series: SeriesSet) {
+        let run = label.into();
+        assert!(
+            !run.contains(['"', '\\', '\n', ',']),
+            "run label {run:?} contains characters reserved by the export formats"
+        );
+        match self.runs.binary_search_by(|r| r.run.as_str().cmp(&run)) {
+            Ok(_) => panic!("duplicate run label {run:?}"),
+            Err(i) => self.runs.insert(i, RunSeries { run, series }),
+        }
+    }
+
+    /// Merges another export into this one (e.g. per-worker exports).
+    ///
+    /// # Panics
+    ///
+    /// Panics on epoch mismatch or duplicate run labels.
+    pub fn merge(&mut self, other: SeriesExport) {
+        assert_eq!(
+            self.epoch, other.epoch,
+            "cannot merge exports with different epochs"
+        );
+        for r in other.runs {
+            self.push(r.run, r.series);
+        }
+    }
+
+    /// Serializes to JSON Lines (see DESIGN.md §6e): one `export`
+    /// header line, then per run one `run` line carrying the schema
+    /// followed by its `sample` lines in cycle order.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"export\",\"version\":1,\"epoch\":{},\"runs\":{}}}",
+            self.epoch,
+            self.runs.len()
+        );
+        for r in &self.runs {
+            let _ = write!(
+                out,
+                "{{\"type\":\"run\",\"run\":\"{}\",\"samples\":{},\"metrics\":[",
+                r.run,
+                r.series.len()
+            );
+            for (i, d) in r.series.schema.defs().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"id\":\"{}\",\"kind\":\"{}\",\"unit\":\"{}\"}}",
+                    d.id(),
+                    d.kind.as_str(),
+                    d.unit
+                );
+            }
+            out.push_str("]}\n");
+            for row in 0..r.series.len() {
+                let _ = write!(
+                    out,
+                    "{{\"type\":\"sample\",\"run\":\"{}\",\"cycle\":{},\"v\":[",
+                    r.run, r.series.cycles[row]
+                );
+                for (i, (v, d)) in r
+                    .series
+                    .row(row)
+                    .iter()
+                    .zip(r.series.schema.defs())
+                    .enumerate()
+                {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    format_value(&mut out, *v, d.kind);
+                }
+                out.push_str("]}\n");
+            }
+        }
+        out
+    }
+
+    /// Serializes to CSV: a header of `run,cycle,<metric ids…>`, then
+    /// one row per sample. Requires every run to share one schema
+    /// (true whenever the runs share a system configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if runs disagree on the schema.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let Some(first) = self.runs.first() else {
+            out.push_str("run,cycle\n");
+            return out;
+        };
+        let schema = &first.series.schema;
+        out.push_str("run,cycle");
+        for d in schema.defs() {
+            out.push(',');
+            out.push_str(&d.id());
+        }
+        out.push('\n');
+        for r in &self.runs {
+            assert_eq!(
+                r.series.schema, *schema,
+                "CSV export requires a uniform schema across runs"
+            );
+            for row in 0..r.series.len() {
+                let _ = write!(out, "{},{}", r.run, r.series.cycles[row]);
+                for (v, d) in r.series.row(row).iter().zip(schema.defs()) {
+                    out.push(',');
+                    format_value(&mut out, *v, d.kind);
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses the JSONL produced by [`SeriesExport::to_jsonl`].
+    ///
+    /// This accepts exactly the subset of JSON the emitter produces
+    /// (no escapes inside strings; run labels forbid them at `push`).
+    pub fn parse_jsonl(text: &str) -> Result<SeriesExport, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty export")?;
+        let header = json::parse(header)?;
+        let epoch = header.get_u64("epoch").ok_or("header missing epoch")?;
+        let mut export = SeriesExport::new(epoch);
+        let mut current: Option<RunSeries> = None;
+        for (ln, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let obj = json::parse(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+            match obj.get_str("type") {
+                Some("run") => {
+                    if let Some(done) = current.take() {
+                        export.push(done.run, done.series);
+                    }
+                    let run = obj
+                        .get_str("run")
+                        .ok_or_else(|| format!("line {}: run without label", ln + 1))?
+                        .to_string();
+                    let metrics = obj
+                        .get_array("metrics")
+                        .ok_or_else(|| format!("line {}: run without metrics", ln + 1))?;
+                    let mut defs = Vec::with_capacity(metrics.len());
+                    for m in metrics {
+                        let id = m.get_str("id").ok_or("metric without id")?;
+                        let (component, name) = id
+                            .rsplit_once('.')
+                            .ok_or_else(|| format!("metric id {id:?} has no component"))?;
+                        let kind = match m.get_str("kind") {
+                            Some("counter") => MetricKind::Counter,
+                            Some("gauge") => MetricKind::Gauge,
+                            other => return Err(format!("bad metric kind {other:?}")),
+                        };
+                        defs.push(MetricDef {
+                            component: component.to_string(),
+                            name: leak_name(name),
+                            kind,
+                            unit: leak_name(m.get_str("unit").unwrap_or("")),
+                        });
+                    }
+                    current = Some(RunSeries {
+                        run,
+                        series: SeriesSet::new(Schema { defs }),
+                    });
+                }
+                Some("sample") => {
+                    let cur = current
+                        .as_mut()
+                        .ok_or_else(|| format!("line {}: sample before any run", ln + 1))?;
+                    let cycle = obj
+                        .get_u64("cycle")
+                        .ok_or_else(|| format!("line {}: sample without cycle", ln + 1))?;
+                    let vals = obj
+                        .get_array("v")
+                        .ok_or_else(|| format!("line {}: sample without values", ln + 1))?;
+                    if vals.len() != cur.series.schema.len() {
+                        return Err(format!(
+                            "line {}: {} values for a {}-metric schema",
+                            ln + 1,
+                            vals.len(),
+                            cur.series.schema.len()
+                        ));
+                    }
+                    for v in vals {
+                        cur.series
+                            .values
+                            .push(v.as_f64().ok_or("non-numeric sample value")?);
+                    }
+                    cur.series.cycles.push(cycle);
+                }
+                other => return Err(format!("line {}: unknown type {other:?}", ln + 1)),
+            }
+        }
+        if let Some(done) = current.take() {
+            export.push(done.run, done.series);
+        }
+        Ok(export)
+    }
+
+    /// Parses the CSV produced by [`SeriesExport::to_csv`]. Metric
+    /// kinds are inferred from the value lexemes (no decimal point →
+    /// counter), which matches the emitter; units are not carried by
+    /// CSV and come back empty.
+    pub fn parse_csv(text: &str) -> Result<SeriesExport, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty CSV")?;
+        let mut cols = header.split(',');
+        if cols.next() != Some("run") || cols.next() != Some("cycle") {
+            return Err("CSV header must start with run,cycle".into());
+        }
+        let ids: Vec<&str> = cols.collect();
+        let mut export = SeriesExport::new(0);
+        let mut current: Option<RunSeries> = None;
+        for (ln, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = line.split(',');
+            let run = fields
+                .next()
+                .ok_or_else(|| format!("row {}: no run", ln + 2))?;
+            let cycle: u64 = fields
+                .next()
+                .and_then(|c| c.parse().ok())
+                .ok_or_else(|| format!("row {}: bad cycle", ln + 2))?;
+            let values: Vec<&str> = fields.collect();
+            if values.len() != ids.len() {
+                return Err(format!(
+                    "row {}: {} values for {} columns",
+                    ln + 2,
+                    values.len(),
+                    ids.len()
+                ));
+            }
+            if current.as_ref().is_none_or(|c| c.run != run) {
+                if let Some(done) = current.take() {
+                    export.push(done.run, done.series);
+                }
+                let defs = ids
+                    .iter()
+                    .zip(&values)
+                    .map(|(id, v)| {
+                        let (component, name) = id
+                            .rsplit_once('.')
+                            .ok_or_else(|| format!("metric id {id:?} has no component"))?;
+                        Ok(MetricDef {
+                            component: component.to_string(),
+                            name: leak_name(name),
+                            kind: if v.contains('.') {
+                                MetricKind::Gauge
+                            } else {
+                                MetricKind::Counter
+                            },
+                            unit: "",
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                current = Some(RunSeries {
+                    run: run.to_string(),
+                    series: SeriesSet::new(Schema { defs }),
+                });
+            }
+            let cur = current.as_mut().expect("just set");
+            for v in &values {
+                cur.series.values.push(
+                    v.parse::<f64>()
+                        .map_err(|e| format!("row {}: {e}", ln + 2))?,
+                );
+            }
+            cur.series.cycles.push(cycle);
+        }
+        if let Some(done) = current.take() {
+            export.push(done.run, done.series);
+        }
+        Ok(export)
+    }
+}
+
+/// Formats one value per its kind: counters as integers, gauges via
+/// `f64`'s shortest round-trip representation.
+fn format_value(out: &mut String, v: f64, kind: MetricKind) {
+    match kind {
+        MetricKind::Counter => {
+            let _ = write!(out, "{}", v as u64);
+        }
+        MetricKind::Gauge => {
+            if v == v.trunc() && v.abs() < 1e15 {
+                // Keep gauges recognizably floats in CSV kind inference.
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+    }
+}
+
+/// Interns a parsed metric name as `&'static str`. Parsing is a
+/// tooling/test path (export files are small); the few leaked names
+/// per parse are the price of keeping hot-path defs allocation-light.
+fn leak_name(s: &str) -> &'static str {
+    Box::leak(s.to_string().into_boxed_str())
+}
+
+/// A minimal JSON reader for the line format this module emits.
+mod json {
+    /// A parsed JSON value (subset: no string escapes).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (parsed as `f64`).
+        Num(f64),
+        /// A string without escapes.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Object field lookup.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        /// Object field as string.
+        pub fn get_str(&self, key: &str) -> Option<&str> {
+            match self.get(key)? {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        /// Object field as `u64`.
+        pub fn get_u64(&self, key: &str) -> Option<u64> {
+            match self.get(key)? {
+                Value::Num(n) if *n >= 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+        /// Object field as array.
+        pub fn get_array(&self, key: &str) -> Option<&[Value]> {
+            match self.get(key)? {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        /// Numeric value.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document from `text`.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && (b[*pos] as char).is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", c as char, pos))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => obj(b, pos),
+            Some(b'[') => arr(b, pos),
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') => lit(b, pos, "true", Value::Bool(true)),
+            Some(b'f') => lit(b, pos, "false", Value::Bool(false)),
+            Some(b'n') => lit(b, pos, "null", Value::Null),
+            Some(_) => number(b, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn lit(b: &[u8], pos: &mut usize, word: &str, v: Value) -> Result<Value, String> {
+        if b[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {pos}"))
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(b, pos, b'"')?;
+        let start = *pos;
+        while *pos < b.len() && b[*pos] != b'"' {
+            if b[*pos] == b'\\' {
+                return Err("string escapes are not supported".into());
+            }
+            *pos += 1;
+        }
+        if *pos >= b.len() {
+            return Err("unterminated string".into());
+        }
+        let s = std::str::from_utf8(&b[start..*pos])
+            .map_err(|e| e.to_string())?
+            .to_string();
+        *pos += 1;
+        Ok(s)
+    }
+
+    fn number(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        }
+        let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number {s:?} at offset {start}"))
+    }
+
+    fn arr(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(value(b, pos)?);
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected , or ] at offset {pos}")),
+            }
+        }
+    }
+
+    fn obj(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(b, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(b, pos);
+            let key = string(b, pos)?;
+            expect(b, pos, b':')?;
+            fields.push((key, value(b, pos)?));
+            skip_ws(b, pos);
+            match b.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected , or }} at offset {pos}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        a: u64,
+        b: f64,
+    }
+
+    impl Observable for Fake {
+        fn observe(&self, v: &mut dyn MetricVisitor) {
+            v.counter("events", "events", self.a);
+            v.gauge("level", "ratio", self.b);
+        }
+    }
+
+    fn sample_fake(f: &Fake, epoch: u64, points: &[(u64, u64, f64)]) -> SeriesSet {
+        let schema = Schema::build(|v| {
+            v.component("fake");
+            f.observe(v);
+        });
+        let mut s = Sampler::new(schema, epoch);
+        for &(cycle, a, b) in points {
+            let snap = Fake { a, b };
+            s.sample(cycle, |v| {
+                v.component("fake");
+                snap.observe(v);
+            });
+        }
+        s.into_series()
+    }
+
+    #[test]
+    fn schema_registration_orders_metrics() {
+        let f = Fake { a: 0, b: 0.0 };
+        let schema = Schema::build(|v| {
+            v.component("fake");
+            f.observe(v);
+        });
+        assert_eq!(schema.len(), 2);
+        assert_eq!(schema.defs()[0].id(), "fake.events");
+        assert_eq!(schema.defs()[0].kind, MetricKind::Counter);
+        assert_eq!(schema.defs()[1].id(), "fake.level");
+        assert_eq!(schema.defs()[1].unit, "ratio");
+    }
+
+    #[test]
+    fn sampler_epoch_grid() {
+        let f = Fake { a: 1, b: 0.5 };
+        let schema = Schema::build(|v| f.observe(v));
+        let mut s = Sampler::new(schema, 100);
+        assert!(!s.due(99));
+        assert!(s.due(100));
+        s.sample(100, |v| f.observe(v));
+        assert!(!s.due(150));
+        assert!(s.due(200));
+        // A late check lands back on the grid, not 250+100.
+        s.sample(250, |v| f.observe(v));
+        assert!(s.due(300));
+    }
+
+    #[test]
+    fn series_lookup_by_id() {
+        let f = Fake { a: 0, b: 0.0 };
+        let series = sample_fake(&f, 10, &[(10, 3, 0.25), (20, 7, 0.5)]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.value(0, "fake.events"), Some(3.0));
+        assert_eq!(series.value(1, "fake.level"), Some(0.5));
+        assert_eq!(series.column("fake.events"), Some(vec![3.0, 7.0]));
+        assert_eq!(series.value(0, "fake.nope"), None);
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let f = Fake { a: 0, b: 0.0 };
+        let mut export = SeriesExport::new(10);
+        export.push(
+            "runB",
+            sample_fake(&f, 10, &[(10, 1, 0.125), (20, 2, 1.0 / 3.0)]),
+        );
+        export.push("runA", sample_fake(&f, 10, &[(10, 9, 42.0)]));
+        // Deterministic order: sorted by label regardless of push order.
+        assert_eq!(export.runs[0].run, "runA");
+        let text = export.to_jsonl();
+        let parsed = SeriesExport::parse_jsonl(&text).expect("parse");
+        assert_eq!(parsed, export);
+        assert_eq!(parsed.to_jsonl(), text, "re-serialization is stable");
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let f = Fake { a: 0, b: 0.0 };
+        let mut export = SeriesExport::new(10);
+        export.push("r1", sample_fake(&f, 10, &[(10, 1, 0.125), (20, 2, 7.0)]));
+        export.push("r2", sample_fake(&f, 10, &[(10, 3, 0.75)]));
+        let text = export.to_csv();
+        let parsed = SeriesExport::parse_csv(&text).expect("parse");
+        // CSV does not carry the epoch or units; compare the rest.
+        assert_eq!(parsed.runs.len(), 2);
+        for (p, e) in parsed.runs.iter().zip(&export.runs) {
+            assert_eq!(p.run, e.run);
+            assert_eq!(p.series.cycles(), e.series.cycles());
+            assert_eq!(p.series.values, e.series.values);
+            let ids: Vec<String> = p.series.schema.defs().iter().map(|d| d.id()).collect();
+            let eids: Vec<String> = e.series.schema.defs().iter().map(|d| d.id()).collect();
+            assert_eq!(ids, eids);
+        }
+        assert_eq!(parsed.to_csv(), text, "re-serialization is stable");
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let f = Fake { a: 0, b: 0.0 };
+        let mk = |labels: &[&str]| {
+            let mut e = SeriesExport::new(5);
+            for l in labels {
+                e.push(*l, sample_fake(&f, 5, &[(5, 1, 1.5)]));
+            }
+            e
+        };
+        let mut a = mk(&["x"]);
+        a.merge(mk(&["z", "y"]));
+        let mut b = mk(&["y"]);
+        b.merge(mk(&["x", "z"]));
+        assert_eq!(a, b);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate run label")]
+    fn duplicate_labels_are_rejected() {
+        let f = Fake { a: 0, b: 0.0 };
+        let mut e = SeriesExport::new(5);
+        e.push("x", sample_fake(&f, 5, &[]));
+        e.push("x", sample_fake(&f, 5, &[]));
+    }
+
+    #[test]
+    fn empty_export_parses() {
+        let e = SeriesExport::new(1000);
+        let parsed = SeriesExport::parse_jsonl(&e.to_jsonl()).expect("parse");
+        assert_eq!(parsed, e);
+        assert_eq!(
+            SeriesExport::parse_csv(&e.to_csv())
+                .expect("csv")
+                .runs
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn gauge_formatting_survives_awkward_values() {
+        // Shortest-repr floats and integral gauges both round-trip.
+        let f = Fake { a: 0, b: 0.0 };
+        let mut e = SeriesExport::new(1);
+        e.push(
+            "r",
+            sample_fake(&f, 1, &[(1, u32::MAX as u64, 0.1 + 0.2), (2, 0, 3.0)]),
+        );
+        let parsed = SeriesExport::parse_jsonl(&e.to_jsonl()).expect("parse");
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn json_reader_handles_subset() {
+        let v = json::parse(r#"{"a":[1,2.5,"x"],"b":null,"c":true}"#).unwrap();
+        assert_eq!(v.get_array("a").unwrap().len(), 3);
+        assert_eq!(v.get("b"), Some(&json::Value::Null));
+        assert_eq!(v.get("c"), Some(&json::Value::Bool(true)));
+        assert!(json::parse("{oops").is_err());
+        assert!(json::parse(r#""esc\"ape""#).is_err());
+    }
+}

@@ -7,16 +7,20 @@
 //! repro trace capture <app> <file> [--scale ...]
 //! repro trace replay <file> --sched <name> [--max-outstanding N]
 //! repro trace sweep [app] [--scale ...]
+//! repro stats [apps...] [--sched <name>] [--pred <metric>]
+//!             [--epoch N] [--format jsonl|csv] [--out <file>]
 //!
 //! experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              fig11 fig12 table5 table7 naive reset tracesweep all
 //!              (default: all)
 //! ```
 
+use critmem::config::PredictorKind;
 use critmem::experiments::{
     self, config_dump, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig8, fig9, naive,
-    reset_study, table5, table7, trace_sweep, Runner, Scale,
+    reset_study, stats_export, table5, table7, trace_sweep, Runner, Scale,
 };
+use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 use critmem_trace::{ReplayConfig, Trace, TraceReplayer};
 
@@ -26,6 +30,8 @@ fn usage() -> ! {
          \x20      repro trace capture <app> <file> [--scale ...]\n\
          \x20      repro trace replay <file> --sched <name> [--max-outstanding N]\n\
          \x20      repro trace sweep [app] [--scale ...] [--jobs N]\n\
+         \x20      repro stats [apps...] [--sched <name>] [--pred <metric>|none] [--epoch N]\n\
+         \x20                  [--format jsonl|csv] [--out <file>] [--scale ...] [--jobs N]\n\
          experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
          table5 table7 naive reset tracesweep all\n\
          --jobs N: simulation worker threads (default: available cores; 1 = serial)"
@@ -144,6 +150,83 @@ fn trace_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
     }
 }
 
+/// Maps a `--pred` argument to a predictor: a CBP metric name (the
+/// paper's 64-entry table) or `none`.
+fn predictor_by_name(name: &str) -> Option<PredictorKind> {
+    let metric = match name.to_ascii_lowercase().as_str() {
+        "none" => return Some(PredictorKind::None),
+        "binary" => CbpMetric::Binary,
+        "blockcount" => CbpMetric::BlockCount,
+        "laststalltime" => CbpMetric::LastStallTime,
+        "maxstalltime" => CbpMetric::MaxStallTime,
+        "totalstalltime" => CbpMetric::TotalStallTime,
+        _ => return None,
+    };
+    Some(PredictorKind::cbp64(metric))
+}
+
+fn stats_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
+    let mut apps: Vec<&'static str> = Vec::new();
+    let mut sched = SchedulerKind::CasRasCrit;
+    let mut pred = PredictorKind::cbp64(CbpMetric::MaxStallTime);
+    let mut epoch = 10_000u64;
+    let mut format = "jsonl".to_string();
+    let mut out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sched" => match it.next().and_then(|s| SchedulerKind::from_name(&s)) {
+                Some(k) => sched = k,
+                None => usage(),
+            },
+            "--pred" => match it.next().and_then(|s| predictor_by_name(&s)) {
+                Some(p) => pred = p,
+                None => usage(),
+            },
+            "--epoch" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => epoch = n,
+                _ => usage(),
+            },
+            "--format" => match it.next().as_deref() {
+                Some(f @ ("jsonl" | "csv")) => format = f.to_string(),
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(f),
+                None => usage(),
+            },
+            app => apps.push(static_app(app)),
+        }
+    }
+    if apps.is_empty() {
+        apps = scale.apps.clone();
+    }
+    let mut r = Runner::new(scale);
+    r.verbose = true;
+    r.jobs = jobs;
+    let export = stats_export(&mut r, &apps, sched, pred, epoch);
+    let text = match format.as_str() {
+        "csv" => export.to_csv(),
+        _ => export.to_jsonl(),
+    };
+    match out {
+        Some(file) => {
+            std::fs::write(&file, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {file}: {e}");
+                std::process::exit(1);
+            });
+            let samples: usize = export.runs.iter().map(|r| r.series.len()).sum();
+            eprintln!(
+                "wrote {} runs, {samples} samples, {} metrics/sample -> {file}",
+                export.runs.len(),
+                export.runs.first().map_or(0, |r| r.series.schema().len())
+            );
+        }
+        None => print!("{text}"),
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale = Scale::standard();
@@ -167,6 +250,9 @@ fn main() {
     }
     if selected.first().map(String::as_str) == Some("trace") {
         trace_main(selected.split_off(1), scale, jobs);
+    }
+    if selected.first().map(String::as_str) == Some("stats") {
+        stats_main(selected.split_off(1), scale, jobs);
     }
     if selected.is_empty() {
         selected.push("all".to_string());

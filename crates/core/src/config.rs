@@ -103,6 +103,10 @@ pub struct SystemConfig {
     pub forward_latency: u64,
     /// Safety valve: abort the run after this many CPU cycles.
     pub max_cycles: u64,
+    /// When set, sample every registered metric each `N` CPU cycles
+    /// into an in-memory time series ([`crate::RunStats::series`]).
+    /// `None` (the default) disables sampling entirely.
+    pub sample_epoch: Option<u64>,
 }
 
 impl SystemConfig {
@@ -122,6 +126,7 @@ impl SystemConfig {
             naive_forwarding: false,
             forward_latency: 24,
             max_cycles: u64::MAX,
+            sample_epoch: None,
         }
     }
 
@@ -158,6 +163,14 @@ impl SystemConfig {
         self
     }
 
+    /// Enables metric sampling every `epoch` CPU cycles (builder
+    /// style).
+    #[must_use]
+    pub fn with_sampling(mut self, epoch: u64) -> Self {
+        self.sample_epoch = Some(epoch);
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -177,6 +190,9 @@ impl SystemConfig {
         }
         if self.instructions_per_core == 0 {
             return Err("instruction target must be nonzero".into());
+        }
+        if self.sample_epoch == Some(0) {
+            return Err("sampling epoch must be nonzero".into());
         }
         Ok(())
     }

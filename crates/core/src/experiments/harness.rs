@@ -282,6 +282,7 @@ impl Runner {
             lq_full_cycles: vec![0; cfg.cores],
             instructions_per_core: cfg.instructions_per_core.max(1),
             predictor_observed: vec![None; cfg.cores],
+            series: None,
         }
     }
 

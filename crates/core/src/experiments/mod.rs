@@ -10,6 +10,7 @@ pub mod compare;
 pub mod harness;
 pub mod multiprog;
 pub mod parallel_figs;
+pub mod stats_export;
 pub mod tables;
 pub mod trace_sweep;
 
@@ -20,6 +21,7 @@ pub use parallel_figs::{
     fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Fig1, Fig6, Fig8, Fig9, SpeedupFigure,
     SpeedupSeries,
 };
+pub use stats_export::stats_export;
 pub use tables::{
     config_dump, naive, reset_study, table5, table7, NaiveResult, ResetResult, Table5, Table7,
 };

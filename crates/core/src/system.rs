@@ -4,7 +4,10 @@
 
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
 use critmem_cache::CacheHierarchy;
-use critmem_common::{ClockDivider, CoreId, CpuCycle, Criticality, RequestObserver};
+use critmem_common::{
+    ClockDivider, CoreId, CpuCycle, Criticality, MetricVisitor, Observable, RequestObserver,
+    Sampler, Schema, SeriesSet,
+};
 use critmem_cpu::{
     CbpPredictor, ClptPredictor, Core, CoreStats, InstrSource, LoadCriticalityPredictor,
     NoPredictor,
@@ -33,12 +36,20 @@ pub struct RunStats {
     /// Per-core `(max counter value, bits)` observed by the predictor
     /// (Table 5), if it has counters.
     pub predictor_observed: Vec<Option<(u64, u32)>>,
+    /// Cycle-sampled metric time series, present when
+    /// [`SystemConfig::sample_epoch`] was set.
+    pub series: Option<SeriesSet>,
 }
 
 impl RunStats {
-    /// IPC of one core over its measured window.
+    /// IPC of one core over its measured window. Zero for a run that
+    /// never stepped (the core's finish cycle is zero).
     pub fn ipc(&self, core: usize) -> f64 {
-        self.instructions_per_core as f64 / self.core_finish[core] as f64
+        if self.core_finish[core] == 0 {
+            0.0
+        } else {
+            self.instructions_per_core as f64 / self.core_finish[core] as f64
+        }
     }
 
     /// Fraction of committed loads that long-blocked the ROB head
@@ -130,7 +141,30 @@ pub struct System<O: RequestObserver = ()> {
     core_finish: Vec<Option<u64>>,
     lq_full_cycles: Vec<u64>,
     forwards: Vec<ForwardMsg>,
+    sampler: Option<Sampler>,
     observer: O,
+}
+
+/// One registration/sampling pass over every observable component, in
+/// a fixed order: `cpu.coreN`, `cbp.coreN`, `cache.l2`, `dram.chN`.
+/// Driving both the schema build and every sample row through this one
+/// function guarantees they can never disagree.
+fn observe_components(
+    cores: &[Core],
+    hierarchy: &CacheHierarchy,
+    dram: &DramSystem,
+    v: &mut dyn MetricVisitor,
+) {
+    for (i, core) in cores.iter().enumerate() {
+        v.component(&format!("cpu.core{i}"));
+        core.stats().observe(v);
+    }
+    for (i, core) in cores.iter().enumerate() {
+        v.component(&format!("cbp.core{i}"));
+        core.predictor().observe_metrics(v);
+    }
+    hierarchy.observe(v);
+    dram.observe(v);
 }
 
 impl<O: RequestObserver> std::fmt::Debug for System<O> {
@@ -212,7 +246,7 @@ impl<O: RequestObserver> System<O> {
                 vec![Box::new(AppThread::new(&spec, 0, cfg.seed)) as Box<dyn InstrSource>]
             }
         };
-        let cores = (0..cfg.cores)
+        let cores: Vec<Core> = (0..cfg.cores)
             .map(|c| {
                 Core::new(
                     CoreId(c as u8),
@@ -226,14 +260,20 @@ impl<O: RequestObserver> System<O> {
         let dram = DramSystem::new(cfg.dram, |ch| {
             cfg.scheduler.build(num_threads, u64::from(ch.0))
         });
+        let hierarchy = CacheHierarchy::new(cfg.hierarchy);
+        let sampler = cfg.sample_epoch.map(|epoch| {
+            let schema = Schema::build(|v| observe_components(&cores, &hierarchy, &dram, v));
+            Sampler::new(schema, epoch)
+        });
         System {
-            hierarchy: CacheHierarchy::new(cfg.hierarchy),
+            hierarchy,
             dram,
             divider: ClockDivider::new(cfg.dram.preset.bus_mhz, cfg.cpu_mhz),
             now: 0,
             core_finish: vec![None; cfg.cores],
             lq_full_cycles: vec![0; cfg.cores],
             forwards: Vec::new(),
+            sampler,
             cores,
             sources,
             cfg,
@@ -310,6 +350,14 @@ impl<O: RequestObserver> System<O> {
                 }
             }
         }
+        // 5. Epoch sampling (pull-based: reads the counters the
+        // components already maintain; nothing runs when disabled).
+        if let Some(sampler) = &mut self.sampler {
+            if sampler.due(now) {
+                let (cores, hierarchy, dram) = (&self.cores, &self.hierarchy, &self.dram);
+                sampler.sample(now, |v| observe_components(cores, hierarchy, dram, v));
+            }
+        }
     }
 
     /// Per-core committed instruction counts (progress inspection).
@@ -361,7 +409,16 @@ impl<O: RequestObserver> System<O> {
     }
 
     /// Finalizes statistics and hands the observer back.
-    pub fn into_stats_and_observer(self) -> (RunStats, O) {
+    pub fn into_stats_and_observer(mut self) -> (RunStats, O) {
+        // Close the series with an end-of-run sample so the final
+        // counter values are always present, even mid-epoch.
+        let series = self.sampler.take().map(|mut sampler| {
+            if sampler.last_sampled() != Some(self.now) {
+                let (cores, hierarchy, dram) = (&self.cores, &self.hierarchy, &self.dram);
+                sampler.sample(self.now, |v| observe_components(cores, hierarchy, dram, v));
+            }
+            sampler.into_series()
+        });
         let stats = RunStats {
             cycles: self
                 .core_finish
@@ -384,6 +441,7 @@ impl<O: RequestObserver> System<O> {
                 .iter()
                 .map(|c| c.predictor().observed_extremes())
                 .collect(),
+            series,
         };
         (stats, self.observer)
     }

@@ -66,6 +66,36 @@ pub struct CoreStats {
     pub stall_histogram: Histogram,
 }
 
+impl CoreStats {
+    /// Instructions committed per cycle stepped.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+impl critmem_common::Observable for CoreStats {
+    /// Reports this core's pipeline metrics. The caller sets the
+    /// component path (e.g. `cpu.core0`) first.
+    fn observe(&self, v: &mut dyn critmem_common::MetricVisitor) {
+        v.counter("cycles", "cpu-cycles", self.cycles);
+        v.counter("committed", "instructions", self.committed);
+        v.gauge("ipc", "instructions-per-cycle", self.ipc());
+        v.counter("loads", "instructions", self.loads);
+        v.counter("stores", "instructions", self.stores);
+        v.counter("rob_head_blocked_cycles", "cpu-cycles", self.block_cycles);
+        v.counter("blocked_loads", "loads", self.blocked_loads);
+        v.counter("long_blocked_loads", "loads", self.long_blocked_loads);
+        v.counter("lq_full_cycles", "cpu-cycles", self.lq_full_cycles);
+        v.counter("sb_full_cycles", "cpu-cycles", self.sb_full_cycles);
+        v.counter("issued_loads", "loads", self.issued_loads);
+        v.counter("issued_critical_loads", "loads", self.issued_critical_loads);
+    }
+}
+
 /// Threshold (cycles) above which a ROB-head block counts as
 /// "long-latency" for the Figure 1 statistics.
 pub const LONG_BLOCK_CYCLES: u64 = 24;

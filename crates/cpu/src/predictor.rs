@@ -40,6 +40,11 @@ pub trait LoadCriticalityPredictor {
     fn observed_extremes(&self) -> Option<(u64, u32)> {
         None
     }
+
+    /// Reports predictor-internal metrics to the observability layer.
+    /// The caller sets the component path (e.g. `cbp.core0`) first.
+    /// The default reports nothing.
+    fn observe_metrics(&self, _v: &mut dyn critmem_common::MetricVisitor) {}
 }
 
 /// The always-non-critical predictor (baseline FR-FCFS runs).
@@ -93,6 +98,9 @@ impl LoadCriticalityPredictor for CbpPredictor {
     fn observed_extremes(&self) -> Option<(u64, u32)> {
         let h = &self.cbp.stats().written_values;
         Some((h.max().unwrap_or(0), h.required_bits()))
+    }
+    fn observe_metrics(&self, v: &mut dyn critmem_common::MetricVisitor) {
+        self.cbp.observe_metrics(v);
     }
 }
 

@@ -14,7 +14,7 @@ use crate::config::DramConfig;
 use crate::mapping::DramLocation;
 use crate::queue::{Direction, Transaction};
 use crate::scheduler::{Candidate, CommandScheduler, SchedContext};
-use critmem_common::{ChannelId, DramCycle, MemRequest, RankId};
+use critmem_common::{ChannelId, DramCycle, MemRequest, MetricVisitor, Observable, RankId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -58,6 +58,14 @@ pub struct ChannelStats {
     pub starvation_promotions: u64,
     /// Transactions rejected because the queue was full.
     pub rejected_full: u64,
+    /// DRAM cycles the data bus spent transferring CAS bursts
+    /// (`burst_len / 2` cycles per completed read or write).
+    pub bus_busy_cycles: u64,
+    /// Demand reads completed that carried a critical annotation.
+    pub critical_reads_completed: u64,
+    /// Sum of critical-read service latencies (arrival to data) in
+    /// DRAM cycles.
+    pub critical_read_latency_sum: u64,
 }
 
 impl ChannelStats {
@@ -87,6 +95,78 @@ impl ChannelStats {
         } else {
             self.read_latency_sum as f64 / self.reads_completed as f64
         }
+    }
+
+    /// Fraction of simulated DRAM cycles the data bus was transferring
+    /// a burst.
+    pub fn bus_utilization(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.bus_busy_cycles as f64 / self.ticks as f64
+        }
+    }
+
+    /// Mean service latency of critical reads in DRAM cycles.
+    pub fn mean_critical_read_latency(&self) -> f64 {
+        if self.critical_reads_completed == 0 {
+            0.0
+        } else {
+            self.critical_read_latency_sum as f64 / self.critical_reads_completed as f64
+        }
+    }
+
+    /// Mean service latency of non-critical reads in DRAM cycles.
+    pub fn mean_noncritical_read_latency(&self) -> f64 {
+        let n = self.reads_completed - self.critical_reads_completed;
+        if n == 0 {
+            0.0
+        } else {
+            (self.read_latency_sum - self.critical_read_latency_sum) as f64 / n as f64
+        }
+    }
+}
+
+impl Observable for ChannelStats {
+    fn observe(&self, v: &mut dyn MetricVisitor) {
+        v.counter("ticks", "dram-cycles", self.ticks);
+        v.counter("reads_completed", "requests", self.reads_completed);
+        v.counter("writes_completed", "requests", self.writes_completed);
+        v.counter(
+            "critical_reads_completed",
+            "requests",
+            self.critical_reads_completed,
+        );
+        v.counter("row_hits", "cas-commands", self.row_hits);
+        v.counter("row_misses", "cas-commands", self.row_misses);
+        v.counter("row_conflicts", "cas-commands", self.row_conflicts);
+        v.gauge("row_hit_rate", "ratio", self.row_hit_rate());
+        v.counter("bus_busy_cycles", "dram-cycles", self.bus_busy_cycles);
+        v.gauge("bus_utilization", "ratio", self.bus_utilization());
+        v.gauge("mean_occupancy", "transactions", self.mean_occupancy());
+        v.gauge("mean_read_latency", "dram-cycles", self.mean_read_latency());
+        v.gauge(
+            "mean_critical_read_latency",
+            "dram-cycles",
+            self.mean_critical_read_latency(),
+        );
+        v.gauge(
+            "mean_noncritical_read_latency",
+            "dram-cycles",
+            self.mean_noncritical_read_latency(),
+        );
+        v.counter("refreshes", "commands", self.refreshes);
+        v.counter(
+            "starvation_promotions",
+            "transactions",
+            self.starvation_promotions,
+        );
+        v.counter("rejected_full", "requests", self.rejected_full);
+        v.counter(
+            "ticks_with_critical",
+            "dram-cycles",
+            self.ticks_with_critical,
+        );
     }
 }
 
@@ -195,6 +275,15 @@ impl ChannelController {
     /// The scheduler's display name.
     pub fn scheduler_name(&self) -> &str {
         self.scheduler.name()
+    }
+
+    /// Reports channel statistics plus scheduler-internal metrics (the
+    /// latter `sched_`-prefixed) to the observability layer. The caller
+    /// is expected to have set the component path (e.g. `dram.ch0`).
+    pub fn observe_metrics(&self, v: &mut dyn critmem_common::MetricVisitor) {
+        self.stats.observe(v);
+        v.gauge("queue_depth", "transactions", self.queue.len() as f64);
+        self.scheduler.observe_metrics(v);
     }
 
     /// Enqueues a request. Returns the request back if the queue is
@@ -605,6 +694,7 @@ impl ChannelController {
                 } else {
                     self.stats.row_hits += 1;
                 }
+                self.stats.bus_busy_cycles += self.timing.timing().burst_cycles();
                 let done_at = self.timing.cas_done_at(cand.cmd.kind, now);
                 self.scheduler.on_complete(&txn, now);
                 let completed = CompletedTxn {
@@ -637,6 +727,10 @@ impl ChannelController {
             if txn.req.kind.is_read() {
                 self.stats.reads_completed += 1;
                 self.stats.read_latency_sum += txn.done_at - txn.arrival;
+                if txn.req.crit.is_critical() {
+                    self.stats.critical_reads_completed += 1;
+                    self.stats.critical_read_latency_sum += txn.done_at - txn.arrival;
+                }
             } else {
                 self.stats.writes_completed += 1;
             }

@@ -29,6 +29,8 @@
 //! assert_eq!(completions.len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bank;
 pub mod command;
 pub mod config;
@@ -168,6 +170,18 @@ impl DramSystem {
     /// Sum of queued transactions across channels.
     pub fn total_queued(&self) -> usize {
         self.controllers.iter().map(|c| c.queue_len()).sum()
+    }
+}
+
+impl critmem_common::Observable for DramSystem {
+    /// Emits one `dram.chN` component per channel, containing that
+    /// channel's [`ChannelStats`] metrics plus any `sched_`-prefixed
+    /// metrics the channel's scheduler reports.
+    fn observe(&self, v: &mut dyn critmem_common::MetricVisitor) {
+        for (i, c) in self.controllers.iter().enumerate() {
+            v.component(&format!("dram.ch{i}"));
+            c.observe_metrics(v);
+        }
     }
 }
 

@@ -11,7 +11,7 @@
 use crate::bank::ChannelTiming;
 use crate::command::DramCommand;
 use crate::queue::{Direction, Transaction};
-use critmem_common::{ChannelId, Criticality, DramCycle};
+use critmem_common::{ChannelId, Criticality, DramCycle, MetricVisitor};
 
 /// One issuable command, tied to the transaction it advances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +66,14 @@ pub trait CommandScheduler {
 
     /// Human-readable name for reports.
     fn name(&self) -> &str;
+
+    /// Reports scheduler-internal metrics to the observability layer.
+    ///
+    /// Implementations should emit metric names prefixed with `sched_`
+    /// so they group with (and cannot collide with) the owning
+    /// channel's [`crate::ChannelStats`] metrics inside the same
+    /// `dram.chN` component. The default reports nothing.
+    fn observe_metrics(&self, _v: &mut dyn MetricVisitor) {}
 }
 
 /// Strict first-come-first-served: always the oldest ready command.

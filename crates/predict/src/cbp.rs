@@ -87,6 +87,18 @@ pub struct CbpStats {
     pub static_blockers: u64,
 }
 
+impl CbpStats {
+    /// Fraction of lookups that predicted "critical" — the paper's
+    /// coverage measure. Zero before the first lookup.
+    pub fn coverage(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.critical_predictions as f64 / self.lookups as f64
+        }
+    }
+}
+
 /// The Commit Block Predictor.
 ///
 /// See the [module documentation](self) for the hardware analogy. All
@@ -162,6 +174,21 @@ impl CommitBlockPredictor {
     /// Observation statistics.
     pub fn stats(&self) -> &CbpStats {
         &self.stats
+    }
+
+    /// Reports the predictor's metrics to the observability layer. The
+    /// caller sets the component path (e.g. `cbp.core0`) first.
+    pub fn observe_metrics(&self, v: &mut dyn critmem_common::MetricVisitor) {
+        v.counter("lookups", "lookups", self.stats.lookups);
+        v.counter(
+            "critical_predictions",
+            "lookups",
+            self.stats.critical_predictions,
+        );
+        v.gauge("coverage", "ratio", self.stats.coverage());
+        v.gauge("saturation", "ratio", self.saturation());
+        v.counter("resets", "resets", self.stats.resets);
+        v.counter("static_blockers", "pcs", self.stats.static_blockers);
     }
 
     #[inline]

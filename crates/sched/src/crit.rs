@@ -56,23 +56,39 @@ impl Arrangement {
 #[derive(Debug, Clone)]
 pub struct CritFrFcfs {
     arrangement: Arrangement,
+    selections: u64,
+    critical_selections: u64,
 }
 
 impl CritFrFcfs {
     /// Creates the scheduler with the given arrangement.
     pub fn new(arrangement: Arrangement) -> Self {
-        CritFrFcfs { arrangement }
+        CritFrFcfs {
+            arrangement,
+            selections: 0,
+            critical_selections: 0,
+        }
     }
 
     /// The arrangement in force.
     pub fn arrangement(&self) -> Arrangement {
         self.arrangement
     }
+
+    /// Commands issued so far.
+    pub fn selections(&self) -> u64 {
+        self.selections
+    }
+
+    /// Commands issued on behalf of a critical request so far.
+    pub fn critical_selections(&self) -> u64 {
+        self.critical_selections
+    }
 }
 
 impl CommandScheduler for CritFrFcfs {
     fn select(&mut self, ctx: &SchedContext<'_>, candidates: &[Candidate]) -> Option<usize> {
-        match self.arrangement {
+        let pick = match self.arrangement {
             Arrangement::CritFirst => candidates
                 .iter()
                 .enumerate()
@@ -96,11 +112,27 @@ impl CommandScheduler for CritFrFcfs {
                     )
                 })
                 .map(|(i, _)| i),
+        };
+        if let Some(i) = pick {
+            self.selections += 1;
+            if candidates[i].crit.is_critical() {
+                self.critical_selections += 1;
+            }
         }
+        pick
     }
 
     fn name(&self) -> &str {
         self.arrangement.name()
+    }
+
+    fn observe_metrics(&self, v: &mut dyn critmem_common::MetricVisitor) {
+        v.counter("sched_selections", "commands", self.selections);
+        v.counter(
+            "sched_critical_selections",
+            "commands",
+            self.critical_selections,
+        );
     }
 }
 

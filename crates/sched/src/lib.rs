@@ -20,6 +20,8 @@
 //! assert_eq!(sched.name(), "CASRAS-Crit");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ahb;
 pub mod atlas;
 pub mod crit;

@@ -123,6 +123,10 @@ impl CommandScheduler for ParBs {
     fn name(&self) -> &str {
         "PAR-BS"
     }
+
+    fn observe_metrics(&self, v: &mut dyn critmem_common::MetricVisitor) {
+        v.counter("sched_batches_formed", "batches", self.batches_formed);
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //! ([`ReplayConfig::max_outstanding`]) that mimics MSHR back-pressure.
 
 use crate::format::{Fingerprint, Trace, TraceError, TraceRecord};
-use critmem_common::ClockDivider;
+use critmem_common::{ClockDivider, Observable, Sampler, Schema, SeriesSet};
 use critmem_dram::{timing::preset_by_name, ChannelStats, DramConfig, DramSystem};
 use std::collections::HashMap;
 
@@ -59,6 +59,9 @@ pub struct ReplayConfig {
     pub stop_at_cycle: Option<u64>,
     /// Deadlock guard: abort if the replay exceeds this many CPU cycles.
     pub max_cycles: u64,
+    /// When set, sample the per-channel DRAM metrics every `N` CPU
+    /// cycles into [`ReplayStats::series`].
+    pub sample_epoch: Option<u64>,
 }
 
 impl Default for ReplayConfig {
@@ -67,6 +70,7 @@ impl Default for ReplayConfig {
             max_outstanding: None,
             stop_at_cycle: None,
             max_cycles: 10_000_000_000,
+            sample_epoch: None,
         }
     }
 }
@@ -98,6 +102,9 @@ pub struct ReplayStats {
     pub weighted_latency_sum: u128,
     /// Final per-channel controller statistics.
     pub channels: Vec<ChannelStats>,
+    /// Cycle-sampled DRAM metrics, present when
+    /// [`ReplayConfig::sample_epoch`] was set.
+    pub series: Option<SeriesSet>,
 }
 
 impl ReplayStats {
@@ -184,6 +191,10 @@ impl TraceReplayer {
     /// (deadlock guard, mirroring the execution-driven system).
     pub fn run(mut self) -> ReplayStats {
         let mut stats = ReplayStats::default();
+        let mut sampler = self.cfg.sample_epoch.map(|epoch| {
+            let schema = Schema::build(|v| self.dram.observe(v));
+            Sampler::new(schema, epoch)
+        });
         let total = self.records.len();
         let mut idx = 0usize;
         let mut outstanding = 0usize;
@@ -244,9 +255,20 @@ impl TraceReplayer {
                     }
                 }
             }
+            if let Some(s) = &mut sampler {
+                if s.due(now) {
+                    s.sample(now, |v| self.dram.observe(v));
+                }
+            }
         }
         stats.cpu_cycles = now;
         stats.channels = self.dram.channel_stats().into_iter().cloned().collect();
+        stats.series = sampler.map(|mut s| {
+            if s.last_sampled() != Some(now) {
+                s.sample(now, |v| self.dram.observe(v));
+            }
+            s.into_series()
+        });
         stats
     }
 }

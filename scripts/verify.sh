@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, full test suite, trace capture/replay
-# smoke test, and formatting. Run from anywhere inside the repo.
+# Tier-1 verification: build, full test suite (unit + doc tests), docs,
+# trace capture/replay smoke test, stats-export smoke test, and
+# formatting. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,8 +10,11 @@ build_start=$SECONDS
 cargo build --release
 echo "release build took $((SECONDS - build_start))s"
 
-echo "== cargo test -q"
+echo "== cargo test -q (includes doc tests)"
 cargo test -q
+
+echo "== cargo doc --no-deps (warnings are errors; docs cannot rot)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo "== trace capture/replay smoke test"
 tmp="$(mktemp -d)"
@@ -23,6 +27,12 @@ echo "== parallel engine smoke test (--jobs 2 must match serial output)"
 ./target/release/repro --scale quick --jobs 1 fig10 > "$tmp/fig10.serial" 2>/dev/null
 ./target/release/repro --scale quick --jobs 2 fig10 > "$tmp/fig10.jobs2" 2>/dev/null
 diff "$tmp/fig10.serial" "$tmp/fig10.jobs2"
+
+echo "== stats export smoke test (JSONL, serial == --jobs 2)"
+./target/release/repro --scale quick --jobs 1 stats swim --epoch 20000 > "$tmp/stats.serial" 2>/dev/null
+./target/release/repro --scale quick --jobs 2 stats swim --epoch 20000 > "$tmp/stats.jobs2" 2>/dev/null
+diff "$tmp/stats.serial" "$tmp/stats.jobs2"
+head -c 120 "$tmp/stats.serial" | grep -q '"type":"export"'
 
 echo "== cargo fmt --check (fails on rustfmt drift)"
 cargo fmt --check

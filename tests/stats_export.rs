@@ -1,0 +1,120 @@
+//! End-to-end tests for the observability layer (DESIGN.md §6e): real
+//! sampled runs round-tripped through both export formats, the
+//! `--jobs` determinism contract, and the empty-run denominator audit.
+
+use critmem::config::PredictorKind;
+use critmem::experiments::{stats_export, Runner, Scale};
+use critmem::{SystemConfig, WorkloadKind};
+use critmem_common::SeriesExport;
+use critmem_predict::CbpMetric;
+use critmem_sched::SchedulerKind;
+
+fn sampled_export(jobs: usize) -> SeriesExport {
+    let mut r = Runner::new(Scale::quick());
+    r.jobs = jobs;
+    stats_export(
+        &mut r,
+        &["art", "mg", "swim"],
+        SchedulerKind::CasRasCrit,
+        PredictorKind::cbp64(CbpMetric::MaxStallTime),
+        5_000,
+    )
+}
+
+#[test]
+fn jsonl_round_trips_a_real_export() {
+    let export = sampled_export(1);
+    let text = export.to_jsonl();
+    let parsed = SeriesExport::parse_jsonl(&text).expect("emitted JSONL must parse");
+    assert_eq!(parsed, export);
+    // Re-serializing the parse is byte-identical (stable format).
+    assert_eq!(parsed.to_jsonl(), text);
+}
+
+#[test]
+fn csv_round_trips_values_and_cycles() {
+    let export = sampled_export(1);
+    let text = export.to_csv();
+    let parsed = SeriesExport::parse_csv(&text).expect("emitted CSV must parse");
+    assert_eq!(parsed.runs.len(), export.runs.len());
+    for (p, e) in parsed.runs.iter().zip(&export.runs) {
+        assert_eq!(p.run, e.run);
+        assert_eq!(p.series.cycles(), e.series.cycles());
+        for row in 0..e.series.len() {
+            assert_eq!(
+                p.series.row(row),
+                e.series.row(row),
+                "run {} row {row}",
+                e.run
+            );
+        }
+    }
+}
+
+#[test]
+fn jobs_1_and_jobs_4_produce_identical_exports() {
+    let serial = sampled_export(1);
+    let parallel = sampled_export(4);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.to_jsonl(), parallel.to_jsonl());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+}
+
+#[test]
+fn sampled_run_matches_unsampled_results() {
+    // Sampling is pull-based and must not perturb the simulation.
+    let mut cfg = SystemConfig::paper_baseline(2_000);
+    cfg.cores = 2;
+    cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
+    let plain = critmem::run(cfg.clone(), &WorkloadKind::Parallel("swim"));
+    let sampled = critmem::run(cfg.with_sampling(1_000), &WorkloadKind::Parallel("swim"));
+    assert_eq!(plain.cycles, sampled.cycles);
+    assert_eq!(plain.hierarchy.l2_misses, sampled.hierarchy.l2_misses);
+    assert!(plain.series.is_none());
+    let series = sampled.series.expect("sampling was enabled");
+    assert!(series.len() >= 2);
+    // The final sample reflects the end-of-run counters exactly.
+    let last = series.len() - 1;
+    assert_eq!(
+        series.value(last, "cache.l2.l2_misses"),
+        Some(sampled.hierarchy.l2_misses as f64)
+    );
+}
+
+#[test]
+fn empty_run_stats_stay_finite() {
+    // A system finalized before any step must not divide by zero
+    // anywhere in the derived statistics.
+    let mut cfg = SystemConfig::paper_baseline(1_000);
+    cfg.cores = 2;
+    cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
+    let stats = critmem::System::new(cfg.with_sampling(10_000), &WorkloadKind::Parallel("swim"))
+        .into_stats();
+    for core in 0..2 {
+        assert!(stats.ipc(core).is_finite());
+        assert!(stats.cores[core].ipc().is_finite());
+    }
+    assert!(stats.blocked_load_fraction().is_finite());
+    assert!(stats.blocked_cycle_fraction().is_finite());
+    assert!(stats.lq_full_fraction().is_finite());
+    let (one, many) = stats.critical_queue_fractions();
+    assert!(one.is_finite() && many.is_finite());
+    for ch in &stats.channels {
+        assert!(ch.row_hit_rate().is_finite());
+        assert!(ch.mean_occupancy().is_finite());
+        assert!(ch.mean_read_latency().is_finite());
+        assert!(ch.bus_utilization().is_finite());
+        assert!(ch.mean_critical_read_latency().is_finite());
+        assert!(ch.mean_noncritical_read_latency().is_finite());
+    }
+    // The end-of-run sample exists even though nothing ever ran, and
+    // every gauge in it is finite (RowWriter clamps non-finite values).
+    let series = stats.series.expect("sampling was enabled");
+    assert_eq!(series.len(), 1);
+    assert!(series.row(0).iter().all(|v| v.is_finite()));
+
+    // Replay stats share the audit.
+    let replay = critmem_trace::ReplayStats::default();
+    assert!(replay.mean_read_latency().is_finite());
+    assert!(replay.mean_critical_read_latency().is_finite());
+}
