@@ -36,7 +36,7 @@ fn loaded_controller() -> (ChannelController, AddressMapping) {
 fn enqueue(ctl: &mut ChannelController, map: &AddressMapping, id: u64) {
     let addr = (id % 24) * 4 * 1024 + (id % 16) * 64;
     let req = MemRequest::new(id, addr, AccessKind::Read, CoreId((id % 8) as u8)).with_criticality(
-        if id % 3 == 0 {
+        if id.is_multiple_of(3) {
             Criticality::ranked(id * 10)
         } else {
             Criticality::non_critical()

@@ -157,6 +157,46 @@ impl HierarchyStats {
             self.l2_hits as f64 / self.l2_accesses as f64
         }
     }
+
+    /// Serializes for the sweep journal.
+    pub fn encode(&self, w: &mut critmem_common::codec::ByteWriter) {
+        for v in [
+            self.l2_accesses,
+            self.l2_hits,
+            self.l2_misses,
+            self.prefetch_useful,
+            self.prefetches_sent,
+            self.writebacks,
+            self.upgrades,
+            self.invalidations,
+        ] {
+            w.put_u64(v);
+        }
+        self.miss_latency_critical.encode(w);
+        self.miss_latency_noncritical.encode(w);
+    }
+
+    /// Deserializes journaled hierarchy statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream.
+    pub fn decode(
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<Self, critmem_common::codec::CodecError> {
+        Ok(HierarchyStats {
+            l2_accesses: r.get_u64()?,
+            l2_hits: r.get_u64()?,
+            l2_misses: r.get_u64()?,
+            prefetch_useful: r.get_u64()?,
+            prefetches_sent: r.get_u64()?,
+            writebacks: r.get_u64()?,
+            upgrades: r.get_u64()?,
+            invalidations: r.get_u64()?,
+            miss_latency_critical: RunningMean::decode(r)?,
+            miss_latency_noncritical: RunningMean::decode(r)?,
+        })
+    }
 }
 
 impl critmem_common::Observable for CacheHierarchy {
@@ -233,7 +273,7 @@ impl CacheHierarchy {
             "1..=8 cores supported"
         );
         assert!(
-            cfg.l2_line % cfg.l1_line == 0,
+            cfg.l2_line.is_multiple_of(cfg.l1_line),
             "L1 line ({}) must divide L2 line ({})",
             cfg.l1_line,
             cfg.l2_line
@@ -521,6 +561,13 @@ impl CacheHierarchy {
     /// Number of requests waiting to enter the memory controllers.
     pub fn outbox_len(&self) -> usize {
         self.outbox.len()
+    }
+
+    /// Occupied shared-L2 MSHR entries — snapshotted by the
+    /// forward-progress watchdog to show how full the miss machinery
+    /// was at the moment of a livelock.
+    pub fn l2_mshr_occupancy(&self) -> usize {
+        self.l2_mshr.len()
     }
 
     /// Handles a DRAM completion. Returns one [`CacheCompletion`] for

@@ -1,0 +1,276 @@
+//! A tiny little-endian binary codec for on-disk artifacts.
+//!
+//! The sweep journal persists completed simulation results so an
+//! interrupted sweep can resume without re-running finished cells.
+//! Rather than pull in serde (this is an offline, zero-dependency
+//! build), every persisted statistics type implements a pair of
+//! hand-rolled methods over [`ByteWriter`] / [`ByteReader`]. The
+//! encoding is positional and versioned by its container, so decode
+//! errors surface as typed [`CodecError`]s instead of garbage numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use critmem_common::codec::{ByteReader, ByteWriter};
+//! let mut w = ByteWriter::new();
+//! w.put_u64(42);
+//! w.put_str("swim");
+//! w.put_f64(1.5);
+//! let bytes = w.into_bytes();
+//! let mut r = ByteReader::new(&bytes);
+//! assert_eq!(r.get_u64().unwrap(), 42);
+//! assert_eq!(r.get_str().unwrap(), "swim");
+//! assert_eq!(r.get_f64().unwrap(), 1.5);
+//! assert!(r.is_empty());
+//! ```
+
+use std::fmt;
+
+/// A decode failure: what was expected and where the stream ran out or
+/// went inconsistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Human-readable description of the inconsistency.
+    pub message: String,
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Growable little-endian encoder.
+#[derive(Debug, Clone, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128`.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw bit pattern (lossless).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed raw byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a length-prefixed `u64` sequence.
+    pub fn put_u64_seq(&mut self, xs: &[u64]) {
+        self.put_u32(xs.len() as u32);
+        for &x in xs {
+            self.put_u64(x);
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-style little-endian decoder over a byte slice.
+#[derive(Debug, Clone)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn err(&self, message: impl Into<String>) -> CodecError {
+        CodecError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.buf.len() - self.pos < n {
+            return Err(self.err(format!(
+                "need {n} bytes, {} remain",
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u128`.
+    pub fn get_u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its raw bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `bool`, rejecting anything but 0 or 1.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            n => Err(self.err(format!("invalid bool byte {n}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.err("invalid UTF-8 string"))
+    }
+
+    /// Reads a length-prefixed raw byte blob.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed `u64` sequence.
+    pub fn get_u64_seq(&mut self) -> Result<Vec<u64>, CodecError> {
+        let len = self.get_u32()? as usize;
+        (0..len).map(|_| self.get_u64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_u128(u128::MAX / 3);
+        w.put_f64(-0.125);
+        w.put_bool(true);
+        w.put_str("träce");
+        w.put_bytes(&[1, 2, 3]);
+        w.put_u64_seq(&[10, 20, 30]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.get_f64().unwrap(), -0.125);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "träce");
+        assert_eq!(r.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64_seq().unwrap(), vec![10, 20, 30]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..5]);
+        let err = r.get_u64().unwrap_err();
+        assert!(err.message.contains("need 8 bytes"), "{err}");
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        let mut r = ByteReader::new(&[9]);
+        assert!(r.get_bool().is_err());
+    }
+
+    #[test]
+    fn nan_round_trips_bit_exactly() {
+        let weird = f64::from_bits(0x7FF8_0000_DEAD_0001);
+        let mut w = ByteWriter::new();
+        w.put_f64(weird);
+        let bytes = w.into_bytes();
+        let got = ByteReader::new(&bytes).get_f64().unwrap();
+        assert_eq!(got.to_bits(), weird.to_bits());
+    }
+}

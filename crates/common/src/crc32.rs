@@ -1,0 +1,132 @@
+//! CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over byte slices.
+//!
+//! Used to guard on-disk artifacts against silent corruption: the CMTR
+//! trace format checksums its record chunks and the sweep journal
+//! frames every entry with a CRC, so a bit flip or a torn write is
+//! detected at load time instead of surfacing as a wrong experiment
+//! number hours later. Table-driven, dependency-free, and fast enough
+//! for the multi-megabyte artifacts the harness produces.
+//!
+//! # Examples
+//!
+//! ```
+//! use critmem_common::crc32;
+//! assert_eq!(crc32::checksum(b"123456789"), 0xCBF4_3926); // the standard check value
+//! assert_ne!(crc32::checksum(b"123456789"), crc32::checksum(b"123456788"));
+//! ```
+
+/// Reversed representation of the IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// An incremental CRC-32 accumulator for streamed data.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_common::crc32::{checksum, Crc32};
+/// let mut crc = Crc32::new();
+/// crc.update(b"hello ");
+/// crc.update(b"world");
+/// assert_eq!(crc.finish(), checksum(b"hello world"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh accumulator.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot checksum of a byte slice.
+pub fn checksum(bytes: &[u8]) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(bytes);
+    crc.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(checksum(b""), 0);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0u16..1500).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 7, 750, 1499, 1500] {
+            let mut crc = Crc32::new();
+            crc.update(&data[..split]);
+            crc.update(&data[split..]);
+            assert_eq!(crc.finish(), checksum(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let mut rng = crate::SmallRng::seed_from_u64(0xC12C);
+        let data: Vec<u8> = (0..256).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let clean = checksum(&data);
+        for _ in 0..64 {
+            let byte = rng.gen_range(0..data.len() as u64) as usize;
+            let bit = rng.gen_range(0..8) as u8;
+            let mut flipped = data.clone();
+            flipped[byte] ^= 1 << bit;
+            assert_ne!(checksum(&flipped), clean, "flip at {byte}:{bit} undetected");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! The typed error hierarchy of the simulator.
+//!
+//! Library crates return [`SimError`] for every *operational* failure —
+//! invalid configuration, unknown workloads, corrupt artifacts, a
+//! livelocked simulation, a panicked sweep cell — and keep `panic!`
+//! only for internal invariants ("this index came from our own table").
+//! The split is what lets the experiment harness degrade gracefully: a
+//! per-cell `SimError` is reported and the rest of a sweep completes,
+//! where a panic used to discard hours of finished work.
+//!
+//! The watchdog types live here too: [`WatchdogConfig`] tunes the
+//! forward-progress detector the system wires into its tick loop, and
+//! a trip produces a [`WatchdogSnapshot`] — ROB head PCs, MSHR
+//! occupancy, per-bank queue state — so a livelock is diagnosable from
+//! the error alone, without rerunning under a debugger.
+
+use crate::{CpuCycle, DramCycle, Pc};
+use std::fmt;
+
+/// Why the forward-progress watchdog tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogReason {
+    /// No core committed an instruction for this many CPU cycles.
+    NoCommit {
+        /// CPU cycles since the last observed commit on any core.
+        idle_cycles: u64,
+    },
+    /// A queued DRAM request aged far past the scheduler's starvation
+    /// cap — the cap should have forced it out long ago.
+    StarvedRequest {
+        /// Age of the oldest queued request, in DRAM cycles.
+        age: u64,
+        /// The watchdog's request-age limit that was exceeded.
+        limit: u64,
+    },
+    /// The run's hard cycle budget elapsed.
+    CycleLimit {
+        /// The configured budget, in CPU cycles.
+        max_cycles: u64,
+    },
+}
+
+impl fmt::Display for WatchdogReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchdogReason::NoCommit { idle_cycles } => {
+                write!(f, "no core committed for {idle_cycles} CPU cycles")
+            }
+            WatchdogReason::StarvedRequest { age, limit } => {
+                write!(
+                    f,
+                    "a queued request is {age} DRAM cycles old (limit {limit})"
+                )
+            }
+            WatchdogReason::CycleLimit { max_cycles } => {
+                write!(f, "cycle budget of {max_cycles} CPU cycles exhausted")
+            }
+        }
+    }
+}
+
+/// Forward-progress watchdog thresholds.
+///
+/// Defaults are far outside anything a healthy configuration produces
+/// (tier-1 workloads commit every few cycles and the §3.2 starvation
+/// cap bounds queue age at 6,000 DRAM cycles), so the watchdog never
+/// fires on working schedulers while still catching a wedged
+/// controller within milliseconds of wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Trip when no core commits for this many CPU cycles. `0`
+    /// disables the commit check.
+    pub no_commit_cycles: u64,
+    /// Trip when a queued DRAM request is older than this many DRAM
+    /// cycles (set well above the starvation cap). `0` disables the
+    /// age check.
+    pub max_request_age: u64,
+    /// How often (in CPU cycles) the checks run; a power of two keeps
+    /// the hot tick path to a mask-and-compare.
+    pub check_interval: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            // ~0.5 ms of a 4.27 GHz core: far longer than any real
+            // memory stall, far shorter than a wasted sweep.
+            no_commit_cycles: 2_000_000,
+            // 10x the paper's 6,000-cycle starvation cap.
+            max_request_age: 60_000,
+            check_interval: 4_096,
+        }
+    }
+}
+
+impl WatchdogConfig {
+    /// A watchdog that never fires (both checks disabled).
+    pub fn disabled() -> Self {
+        WatchdogConfig {
+            no_commit_cycles: 0,
+            max_request_age: 0,
+            check_interval: u64::MAX,
+        }
+    }
+
+    /// Whether any check is active.
+    pub fn enabled(&self) -> bool {
+        self.no_commit_cycles > 0 || self.max_request_age > 0
+    }
+}
+
+/// Queue state of one DRAM bank at the moment a watchdog tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankQueueState {
+    /// Channel index.
+    pub channel: u8,
+    /// Global bank index within the channel (rank * banks + bank).
+    pub bank: u16,
+    /// Transactions queued for this bank.
+    pub queued: usize,
+    /// Age of the oldest transaction targeting this bank, in DRAM
+    /// cycles.
+    pub oldest_age: DramCycle,
+}
+
+/// Everything needed to diagnose a livelock from the error value:
+/// where each core is stuck, how full the miss machinery is, and what
+/// every bank queue holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogSnapshot {
+    /// What tripped the watchdog.
+    pub reason: WatchdogReason,
+    /// CPU cycle at which the trip occurred.
+    pub cycle: CpuCycle,
+    /// Per-core committed instruction counts.
+    pub committed: Vec<u64>,
+    /// Per-core PC of the instruction blocking the ROB head (`None`
+    /// when the ROB is empty).
+    pub rob_head_pc: Vec<Option<Pc>>,
+    /// Occupied shared-L2 MSHR entries.
+    pub mshr_occupancy: usize,
+    /// Requests waiting in the cache hierarchy's outbox for a DRAM
+    /// queue slot.
+    pub outbox_len: usize,
+    /// Per-bank transaction-queue state across every channel (only
+    /// banks with at least one queued transaction are listed).
+    pub bank_queues: Vec<BankQueueState>,
+}
+
+impl fmt::Display for WatchdogSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "watchdog tripped at cycle {}: {}; committed {:?}; rob head pcs {:?}; \
+             l2 mshrs {} occupied, outbox {}; {} bank queue(s) non-empty",
+            self.cycle,
+            self.reason,
+            self.committed,
+            self.rob_head_pc,
+            self.mshr_occupancy,
+            self.outbox_len,
+            self.bank_queues.len()
+        )?;
+        for b in &self.bank_queues {
+            write!(
+                f,
+                "; ch{}/bank{}: {} queued, oldest {} cycles",
+                b.channel, b.bank, b.queued, b.oldest_age
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The operational error type shared by every library crate.
+#[derive(Debug)]
+pub enum SimError {
+    /// A configuration failed validation before any cycle ran.
+    Config(String),
+    /// A workload named an application or bundle this build does not
+    /// know.
+    UnknownWorkload {
+        /// What kind of name was looked up ("parallel app", "bundle",
+        /// ...).
+        kind: &'static str,
+        /// The unknown name.
+        name: String,
+    },
+    /// The forward-progress watchdog detected a livelock and stopped
+    /// the run; the boxed snapshot carries the diagnostic state.
+    Watchdog(Box<WatchdogSnapshot>),
+    /// A trace artifact was unreadable (corrupt, truncated, wrong
+    /// topology); the message is the trace layer's diagnosis.
+    Trace(String),
+    /// A persisted artifact (journal, export) failed to decode.
+    Artifact(String),
+    /// An I/O failure, with the path when one is known.
+    Io {
+        /// The file involved, if known.
+        path: Option<String>,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A sweep cell's worker panicked (after bounded retry); the
+    /// payload is the panic message.
+    CellPanic {
+        /// The panic payload, rendered as text.
+        payload: String,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::UnknownWorkload { kind, name } => {
+                write!(f, "unknown {kind} {name:?}")
+            }
+            SimError::Watchdog(snap) => write!(f, "{snap}"),
+            SimError::Trace(msg) => write!(f, "trace error: {msg}"),
+            SimError::Artifact(msg) => write!(f, "artifact error: {msg}"),
+            SimError::Io { path, source } => match path {
+                Some(p) => write!(f, "i/o error on {p}: {source}"),
+                None => write!(f, "i/o error: {source}"),
+            },
+            SimError::CellPanic { payload, attempts } => {
+                write!(f, "worker panicked after {attempts} attempt(s): {payload}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SimError {
+    fn from(source: std::io::Error) -> Self {
+        SimError::Io { path: None, source }
+    }
+}
+
+impl From<crate::codec::CodecError> for SimError {
+    fn from(e: crate::codec::CodecError) -> Self {
+        SimError::Artifact(e.to_string())
+    }
+}
+
+impl SimError {
+    /// The process exit code this error maps to: `2` for configuration
+    /// mistakes the user can fix before any cycle runs, `3` for a
+    /// watchdog trip (the run itself is pathological), `1` for
+    /// everything else (run/artifact/worker failures).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            SimError::Config(_) | SimError::UnknownWorkload { .. } => 2,
+            SimError::Watchdog(_) => 3,
+            _ => 1,
+        }
+    }
+
+    /// Attaches a path to a bare I/O error (no-op for other variants).
+    #[must_use]
+    pub fn with_path(self, path: &std::path::Path) -> Self {
+        match self {
+            SimError::Io { path: None, source } => SimError::Io {
+                path: Some(path.display().to_string()),
+                source,
+            },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot() -> WatchdogSnapshot {
+        WatchdogSnapshot {
+            reason: WatchdogReason::NoCommit {
+                idle_cycles: 2_000_000,
+            },
+            cycle: 5_000_000,
+            committed: vec![100, 90],
+            rob_head_pc: vec![Some(0x4000), None],
+            mshr_occupancy: 64,
+            outbox_len: 3,
+            bank_queues: vec![BankQueueState {
+                channel: 0,
+                bank: 5,
+                queued: 12,
+                oldest_age: 80_000,
+            }],
+        }
+    }
+
+    #[test]
+    fn display_carries_the_diagnosis() {
+        let err = SimError::Watchdog(Box::new(snapshot()));
+        let msg = err.to_string();
+        assert!(msg.contains("no core committed"), "{msg}");
+        assert!(msg.contains("ch0/bank5"), "{msg}");
+        assert!(msg.contains("mshrs 64"), "{msg}");
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_by_class() {
+        assert_eq!(SimError::Config("x".into()).exit_code(), 2);
+        assert_eq!(
+            SimError::UnknownWorkload {
+                kind: "parallel app",
+                name: "nope".into()
+            }
+            .exit_code(),
+            2
+        );
+        assert_eq!(SimError::Watchdog(Box::new(snapshot())).exit_code(), 3);
+        assert_eq!(SimError::Trace("bad".into()).exit_code(), 1);
+        assert_eq!(
+            SimError::CellPanic {
+                payload: "boom".into(),
+                attempts: 2
+            }
+            .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn io_error_gains_path() {
+        let e = SimError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"))
+            .with_path(std::path::Path::new("/tmp/x.journal"));
+        assert!(e.to_string().contains("/tmp/x.journal"));
+    }
+
+    #[test]
+    fn default_watchdog_is_enabled_and_generous() {
+        let w = WatchdogConfig::default();
+        assert!(w.enabled());
+        assert!(w.max_request_age >= 10 * 6_000);
+        assert!(!WatchdogConfig::disabled().enabled());
+    }
+}

@@ -34,6 +34,9 @@
 
 pub mod alloc_probe;
 pub mod clock;
+pub mod codec;
+pub mod crc32;
+pub mod error;
 pub mod ids;
 pub mod mem;
 pub mod obs;
@@ -41,6 +44,7 @@ pub mod rng;
 pub mod stats;
 
 pub use clock::ClockDivider;
+pub use error::{BankQueueState, SimError, WatchdogConfig, WatchdogReason, WatchdogSnapshot};
 pub use ids::{BankId, ChannelId, CoreId, RankId, ThreadId};
 pub use mem::{AccessKind, Criticality, MemRequest, ReqId, RequestObserver};
 pub use obs::{MetricVisitor, Observable, Sampler, Schema, SeriesExport, SeriesSet};

@@ -275,6 +275,34 @@ impl SeriesSet {
         self.row(row).get(i).copied()
     }
 
+    /// Serializes for the sweep journal, reusing the lossless JSONL
+    /// round trip (one single-run export under a fixed label).
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        let mut ex = SeriesExport::new(1);
+        ex.push("journal", self.clone());
+        w.put_str(&ex.to_jsonl());
+    }
+
+    /// Deserializes a journaled series.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream or malformed embedded JSONL.
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        let offset = r.position();
+        let text = r.get_str()?;
+        let ex = SeriesExport::parse_jsonl(&text)
+            .map_err(|message| crate::codec::CodecError { message, offset })?;
+        ex.runs
+            .into_iter()
+            .next()
+            .map(|run| run.series)
+            .ok_or_else(|| crate::codec::CodecError {
+                message: "journaled series export holds no run".into(),
+                offset,
+            })
+    }
+
     /// The full column of a metric across all samples.
     pub fn column(&self, id: &str) -> Option<Vec<f64>> {
         let i = self.schema.index_of(id)?;

@@ -5,6 +5,7 @@
 //! them billions of times, so every operation is a handful of integer
 //! instructions.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use std::fmt;
 
 /// A monotonically increasing event counter.
@@ -120,6 +121,24 @@ impl RunningMean {
         self.sum += other.sum;
         self.count += other.count;
     }
+
+    /// Serializes for the sweep journal.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.sum);
+        w.put_u64(self.count);
+    }
+
+    /// Deserializes a journaled mean.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        Ok(RunningMean {
+            sum: r.get_u64()?,
+            count: r.get_u64()?,
+        })
+    }
 }
 
 /// A histogram over power-of-two buckets: bucket *i* holds samples in
@@ -218,6 +237,35 @@ impl Histogram {
             None | Some(0) => 1,
             Some(m) => 64 - m.leading_zeros(),
         }
+    }
+
+    /// Serializes for the sweep journal.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64_seq(&self.buckets);
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.max);
+        w.put_u64(self.min);
+    }
+
+    /// Deserializes a journaled histogram.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream or a bucket count other than 64.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let raw = r.get_u64_seq()?;
+        let buckets: [u64; 64] = raw.try_into().map_err(|v: Vec<u64>| CodecError {
+            message: format!("histogram with {} buckets (expected 64)", v.len()),
+            offset: r.position(),
+        })?;
+        Ok(Histogram {
+            buckets,
+            count: r.get_u64()?,
+            sum: r.get_u64()?,
+            max: r.get_u64()?,
+            min: r.get_u64()?,
+        })
     }
 
     /// Merges another histogram into this one.

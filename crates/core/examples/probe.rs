@@ -9,7 +9,7 @@ fn main() {
     let mut sys = System::new(cfg, &WorkloadKind::Parallel(app));
     while !sys.done() && sys.now() < 20_000_000 {
         sys.step();
-        if sys.now() % 500_000 == 0 {
+        if sys.now().is_multiple_of(500_000) {
             let (q, ob) = sys.queue_depths();
             eprintln!(
                 "cycle {:>9}: committed {:?} dramq={q} outbox={ob}",

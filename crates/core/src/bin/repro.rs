@@ -20,13 +20,16 @@ use critmem::experiments::{
     self, config_dump, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig8, fig9, naive,
     reset_study, stats_export, table5, table7, trace_sweep, Runner, Scale,
 };
+use critmem::journal::SweepJournal;
+use critmem_common::SimError;
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 use critmem_trace::{ReplayConfig, Trace, TraceReplayer};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale quick|standard|full] [--jobs N] [experiments...]\n\
+        "usage: repro [--scale quick|standard|full] [--jobs N] [--journal <file> [--resume]]\n\
+         \x20            [experiments...]\n\
          \x20      repro trace capture <app> <file> [--scale ...]\n\
          \x20      repro trace replay <file> --sched <name> [--max-outstanding N]\n\
          \x20      repro trace sweep [app] [--scale ...] [--jobs N]\n\
@@ -34,9 +37,19 @@ fn usage() -> ! {
          \x20                  [--format jsonl|csv] [--out <file>] [--scale ...] [--jobs N]\n\
          experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
          table5 table7 naive reset tracesweep all\n\
-         --jobs N: simulation worker threads (default: available cores; 1 = serial)"
+         --jobs N: simulation worker threads (default: available cores; 1 = serial)\n\
+         --journal <file>: record completed cells for crash recovery\n\
+         --resume: reload a journal's completed cells, re-running only the missing ones\n\
+         exit codes: 0 ok, 2 configuration error, 3 watchdog (livelocked run), 1 other failure"
     );
     std::process::exit(2);
+}
+
+/// Prints a typed error and exits with its class's code (2 config,
+/// 3 watchdog, 1 otherwise).
+fn fail(err: SimError) -> ! {
+    eprintln!("error: {err}");
+    std::process::exit(err.exit_code());
 }
 
 /// Leaks an app name into the `&'static str` the workload tables use,
@@ -112,7 +125,7 @@ fn trace_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
                 eprintln!("{e}");
                 std::process::exit(1);
             });
-            let stats = replayer.run();
+            let stats = replayer.try_run().unwrap_or_else(|e| fail(e));
             println!(
                 "replayed {} requests under {} in {} CPU cycles",
                 stats.completed,
@@ -231,6 +244,8 @@ fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale = Scale::standard();
     let mut jobs = critmem::pool::default_jobs();
+    let mut journal_path: Option<String> = None;
+    let mut resume = false;
     let mut selected: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -244,9 +259,18 @@ fn main() {
                 Some(n) if n >= 1 => jobs = n,
                 _ => usage(),
             },
+            "--journal" => match args.next() {
+                Some(f) => journal_path = Some(f),
+                None => usage(),
+            },
+            "--resume" => resume = true,
             "--help" | "-h" => usage(),
             other => selected.push(other.to_string()),
         }
+    }
+    if resume && journal_path.is_none() {
+        eprintln!("--resume requires --journal <file>");
+        std::process::exit(2);
     }
     if selected.first().map(String::as_str) == Some("trace") {
         trace_main(selected.split_off(1), scale, jobs);
@@ -263,6 +287,28 @@ fn main() {
     let mut r = Runner::new(scale);
     r.verbose = true;
     r.jobs = jobs;
+    if let Some(path) = &journal_path {
+        let path = std::path::Path::new(path);
+        if resume && path.exists() {
+            match SweepJournal::resume(path) {
+                Ok((journal, entries)) => {
+                    eprintln!(
+                        "resumed {} completed cell(s) from {}",
+                        entries.len(),
+                        path.display()
+                    );
+                    r.preload(entries);
+                    r.set_journal(journal);
+                }
+                Err(e) => fail(e),
+            }
+        } else {
+            match SweepJournal::create(path) {
+                Ok(journal) => r.set_journal(journal),
+                Err(e) => fail(e),
+            }
+        }
+    }
     println!("critmem repro — ISCA 2013 criticality-aware memory scheduling");
     println!(
         "scale: {} instructions/core, apps: {:?}",
@@ -335,4 +381,22 @@ fn main() {
     }
     let _ = &experiments::TextTable::pct(1.0);
     eprintln!("\n{} distinct simulations executed", r.runs_executed());
+    if r.has_failures() {
+        println!("\n=== Failed cells ===");
+        for f in r.failures() {
+            println!("{}: {}", f.key, f.error);
+        }
+        println!(
+            "{} cell(s) failed; the affected table rows hold placeholder values. \
+             Re-run with --journal <file> --resume to retry only the missing cells.",
+            r.failures().len()
+        );
+        let code = r
+            .failures()
+            .iter()
+            .map(|f| f.error.exit_code())
+            .max()
+            .unwrap_or(1);
+        std::process::exit(code);
+    }
 }

@@ -107,6 +107,11 @@ pub struct SystemConfig {
     /// into an in-memory time series ([`crate::RunStats::series`]).
     /// `None` (the default) disables sampling entirely.
     pub sample_epoch: Option<u64>,
+    /// Forward-progress watchdog thresholds (livelock detection). The
+    /// defaults trip only on pathological runs; use
+    /// [`critmem_common::WatchdogConfig::disabled`] to turn the checks
+    /// off entirely.
+    pub watchdog: critmem_common::WatchdogConfig,
 }
 
 impl SystemConfig {
@@ -127,6 +132,7 @@ impl SystemConfig {
             forward_latency: 24,
             max_cycles: u64::MAX,
             sample_epoch: None,
+            watchdog: critmem_common::WatchdogConfig::default(),
         }
     }
 
@@ -193,6 +199,9 @@ impl SystemConfig {
         }
         if self.sample_epoch == Some(0) {
             return Err("sampling epoch must be nonzero".into());
+        }
+        if self.watchdog.enabled() && self.watchdog.check_interval == 0 {
+            return Err("watchdog check interval must be nonzero".into());
         }
         Ok(())
     }

@@ -2,8 +2,10 @@
 //! simulation runs, and plain-text table rendering.
 
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
-use crate::pool::scoped_map;
-use crate::system::{run, run_traced, RunStats};
+use crate::journal::{JournalEntry, SweepJournal};
+use crate::pool::scoped_map_isolated;
+use crate::system::{try_run, try_run_traced, RunStats};
+use critmem_common::SimError;
 use critmem_dram::DramSystem;
 use critmem_sched::SchedulerKind;
 use critmem_trace::{ReplayConfig, ReplayStats, Trace, TraceReplayer};
@@ -97,6 +99,17 @@ struct Plan {
     replays: Vec<PlannedReplay>,
 }
 
+/// One sweep cell that failed (panicked past retry, tripped the
+/// watchdog, or returned any other typed error). The rest of the sweep
+/// completed; the failed cell's memo slot holds a placeholder.
+#[derive(Debug)]
+pub struct CellFailure {
+    /// The memo key of the failed cell.
+    pub key: String,
+    /// What went wrong.
+    pub error: SimError,
+}
+
 /// Memoizing run executor shared by all experiments, so e.g. the
 /// FR-FCFS baseline for an app is simulated once even though every
 /// figure divides by it.
@@ -114,6 +127,8 @@ pub struct Runner {
     replay_cache: HashMap<String, Arc<ReplayStats>>,
     replays_executed: u64,
     planning: Option<Plan>,
+    failed: Vec<CellFailure>,
+    journal: Option<SweepJournal>,
 }
 
 impl Runner {
@@ -129,12 +144,75 @@ impl Runner {
             replay_cache: HashMap::new(),
             replays_executed: 0,
             planning: None,
+            failed: Vec::new(),
+            journal: None,
         }
     }
 
     /// Number of distinct simulations executed (not cache hits).
     pub fn runs_executed(&self) -> u64 {
         self.runs_executed
+    }
+
+    /// The sweep cells that failed so far (empty when everything ran
+    /// clean). Failed cells leave placeholder results in the memo
+    /// tables so the rest of a figure still renders; callers must
+    /// treat any entry here as invalidating the affected rows.
+    pub fn failures(&self) -> &[CellFailure] {
+        &self.failed
+    }
+
+    /// Whether any cell has failed.
+    pub fn has_failures(&self) -> bool {
+        !self.failed.is_empty()
+    }
+
+    /// Attaches a sweep journal: every simulation completed from now on
+    /// is appended, so an interrupted sweep can resume. A journal write
+    /// failure disables journaling with a warning rather than killing
+    /// the sweep — the results in memory are still good.
+    pub fn set_journal(&mut self, journal: SweepJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// Seeds the memo tables from journal entries recovered by
+    /// [`SweepJournal::resume`]; subsequent runs skip those cells.
+    pub fn preload(&mut self, entries: Vec<JournalEntry>) {
+        for entry in entries {
+            match entry {
+                JournalEntry::Run { key, stats } => {
+                    self.cache.insert(key, Arc::new(stats));
+                }
+                JournalEntry::Replay { key, stats } => {
+                    self.replay_cache.insert(key, Arc::new(stats));
+                }
+            }
+        }
+    }
+
+    fn journal_run(&mut self, key: &str, stats: &RunStats) {
+        if let Some(j) = &mut self.journal {
+            if let Err(e) = j.append_run(key, stats) {
+                eprintln!("warning: sweep journal write failed ({e}); journaling disabled");
+                self.journal = None;
+            }
+        }
+    }
+
+    fn journal_replay(&mut self, key: &str, stats: &ReplayStats) {
+        if let Some(j) = &mut self.journal {
+            if let Err(e) = j.append_replay(key, stats) {
+                eprintln!("warning: sweep journal write failed ({e}); journaling disabled");
+                self.journal = None;
+            }
+        }
+    }
+
+    /// Records a failed cell (and tells the operator immediately on
+    /// stderr; the summary report comes from [`Runner::failures`]).
+    fn record_failure(&mut self, key: String, error: SimError) {
+        eprintln!("  [FAILED] {key}: {error}");
+        self.failed.push(CellFailure { key, error });
     }
 
     /// Number of distinct trace replays executed (not cache hits).
@@ -206,27 +284,40 @@ impl Runner {
             }
         }
         let executed = plan.jobs.len() as u64;
-        let keys: Vec<String> = plan
-            .jobs
-            .iter()
-            .map(|j| match j {
-                PlannedJob::Run { key, .. } | PlannedJob::Capture { key, .. } => key.clone(),
-            })
-            .collect();
-        let results = scoped_map(self.jobs, plan.jobs, |job| match job {
-            PlannedJob::Run { cfg, workload, .. } => JobResult::Run(run(cfg, &workload)),
-            PlannedJob::Capture { app, cfg, .. } => {
-                JobResult::Capture(run_traced(cfg, &WorkloadKind::Parallel(app), app).1)
+        let jobs = plan.jobs;
+        let results = scoped_map_isolated(self.jobs, &jobs, |job| match job {
+            PlannedJob::Run { key, cfg, workload } => {
+                crate::faults::maybe_inject(key);
+                try_run(cfg.clone(), workload).map(JobResult::Run)
+            }
+            PlannedJob::Capture { key, app, cfg } => {
+                crate::faults::maybe_inject(key);
+                try_run_traced(cfg.clone(), &WorkloadKind::Parallel(app), app)
+                    .map(|(_, trace)| JobResult::Capture(trace))
             }
         });
-        for (key, result) in keys.into_iter().zip(results) {
-            match result {
-                JobResult::Run(stats) => {
+        for (job, result) in jobs.into_iter().zip(results) {
+            // Flatten: the outer error is a caught panic, the inner one
+            // a typed failure from the simulation itself.
+            match (job, result.and_then(|r| r)) {
+                (PlannedJob::Run { key, .. }, Ok(JobResult::Run(stats))) => {
+                    self.journal_run(&key, &stats);
                     self.cache.insert(key, Arc::new(stats));
                 }
-                JobResult::Capture(trace) => {
+                (PlannedJob::Capture { key, .. }, Ok(JobResult::Capture(trace))) => {
                     self.traces.insert(key, Arc::new(trace));
                 }
+                (PlannedJob::Run { key, cfg, .. }, Err(err)) => {
+                    self.cache
+                        .insert(key.clone(), Arc::new(Self::placeholder_stats(&cfg)));
+                    self.record_failure(key, err);
+                }
+                (PlannedJob::Capture { key, app, cfg }, Err(err)) => {
+                    self.traces
+                        .insert(key.clone(), Arc::new(Self::placeholder_trace(&cfg, app)));
+                    self.record_failure(key, err);
+                }
+                _ => unreachable!("job kind and result kind always match"),
             }
         }
         self.runs_executed += executed;
@@ -253,19 +344,54 @@ impl Runner {
                 (rep.key, trace, rep.scheduler, cfg)
             })
             .collect();
-        let results = scoped_map(self.jobs, items, |(key, trace, scheduler, cfg)| {
-            let num_threads = cfg.cores;
-            let dram =
-                DramSystem::new(cfg.dram, |ch| scheduler.build(num_threads, u64::from(ch.0)));
-            let stats = TraceReplayer::new((*trace).clone(), dram, ReplayConfig::default())
-                .expect("runner-built DRAM system matches its own capture topology")
-                .run();
-            (key, stats)
+        let results = scoped_map_isolated(self.jobs, &items, |(key, trace, scheduler, cfg)| {
+            crate::faults::maybe_inject(key);
+            Self::replay_cell(trace, *scheduler, cfg)
         });
-        for (key, stats) in results {
-            self.replay_cache.insert(key, Arc::new(stats));
+        for ((key, ..), result) in items.into_iter().zip(results) {
+            match result.and_then(|r| r) {
+                Ok(stats) => {
+                    self.journal_replay(&key, &stats);
+                    self.replay_cache.insert(key, Arc::new(stats));
+                }
+                Err(err) => {
+                    self.replay_cache
+                        .insert(key.clone(), Arc::new(ReplayStats::default()));
+                    self.record_failure(key, err);
+                }
+            }
         }
         self.replays_executed += replayed;
+    }
+
+    /// Builds a DRAM system with `scheduler` and replays `trace` on it
+    /// (the shared cell body of the serial and pooled replay paths).
+    fn replay_cell(
+        trace: &Arc<Trace>,
+        scheduler: SchedulerKind,
+        cfg: &SystemConfig,
+    ) -> Result<ReplayStats, SimError> {
+        let num_threads = cfg.cores;
+        let dram = DramSystem::new(cfg.dram, |ch| scheduler.build(num_threads, u64::from(ch.0)));
+        TraceReplayer::new((**trace).clone(), dram, ReplayConfig::default())
+            .map_err(|e| SimError::Trace(e.to_string()))?
+            .try_run()
+    }
+
+    /// Runs one cell on the calling thread under the same
+    /// panic-isolation and fault-injection policy as the worker pool,
+    /// so failure semantics do not depend on the job count.
+    fn isolated_cell<O: Send>(
+        key: &str,
+        f: impl Fn() -> Result<O, SimError> + Sync,
+    ) -> Result<O, SimError> {
+        scoped_map_isolated(1, &[()], |_| {
+            crate::faults::maybe_inject(key);
+            f()
+        })
+        .pop()
+        .expect("one item in, one result out")
+        .and_then(|r| r)
     }
 
     /// A structurally valid stand-in returned for cache misses during a
@@ -325,10 +451,22 @@ impl Runner {
         if self.verbose {
             eprintln!("  [run {:>3}] {key}", self.runs_executed + 1);
         }
-        let stats = Arc::new(run(cfg, workload));
+        let outcome = Self::isolated_cell(&key, || try_run(cfg.clone(), workload));
         self.runs_executed += 1;
-        self.cache.insert(key, Arc::clone(&stats));
-        stats
+        match outcome {
+            Ok(stats) => {
+                self.journal_run(&key, &stats);
+                let stats = Arc::new(stats);
+                self.cache.insert(key, Arc::clone(&stats));
+                stats
+            }
+            Err(err) => {
+                let stats = Arc::new(Self::placeholder_stats(&cfg));
+                self.cache.insert(key.clone(), Arc::clone(&stats));
+                self.record_failure(key, err);
+                stats
+            }
+        }
     }
 
     /// Captures (or recalls) a parallel app's request trace at this
@@ -362,11 +500,23 @@ impl Runner {
         if self.verbose {
             eprintln!("  [capture] {key}");
         }
-        let (_, trace) = run_traced(cfg, &WorkloadKind::Parallel(app), app);
+        let outcome = Self::isolated_cell(&key, || {
+            try_run_traced(cfg.clone(), &WorkloadKind::Parallel(app), app)
+        });
         self.runs_executed += 1;
-        let trace = Arc::new(trace);
-        self.traces.insert(key, Arc::clone(&trace));
-        trace
+        match outcome {
+            Ok((_, trace)) => {
+                let trace = Arc::new(trace);
+                self.traces.insert(key, Arc::clone(&trace));
+                trace
+            }
+            Err(err) => {
+                let trace = Arc::new(Self::placeholder_trace(&cfg, app));
+                self.traces.insert(key.clone(), Arc::clone(&trace));
+                self.record_failure(key, err);
+                trace
+            }
+        }
     }
 
     /// Replays (or recalls) an app's captured trace under `scheduler`.
@@ -397,15 +547,22 @@ impl Runner {
             eprintln!("  [replay {:>3}] {key}", self.replays_executed + 1);
         }
         let cfg = self.parallel_cfg().with_scheduler(scheduler);
-        let num_threads = cfg.cores;
-        let dram = DramSystem::new(cfg.dram, |ch| scheduler.build(num_threads, u64::from(ch.0)));
-        let stats = TraceReplayer::new((*trace).clone(), dram, ReplayConfig::default())
-            .expect("runner-built DRAM system matches its own capture topology")
-            .run();
+        let outcome = Self::isolated_cell(&key, || Self::replay_cell(&trace, scheduler, &cfg));
         self.replays_executed += 1;
-        let stats = Arc::new(stats);
-        self.replay_cache.insert(key, Arc::clone(&stats));
-        stats
+        match outcome {
+            Ok(stats) => {
+                self.journal_replay(&key, &stats);
+                let stats = Arc::new(stats);
+                self.replay_cache.insert(key, Arc::clone(&stats));
+                stats
+            }
+            Err(err) => {
+                let stats = Arc::new(ReplayStats::default());
+                self.replay_cache.insert(key.clone(), Arc::clone(&stats));
+                self.record_failure(key, err);
+                stats
+            }
+        }
     }
 
     /// Base configuration for a parallel run at this scale.

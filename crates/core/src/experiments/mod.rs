@@ -15,7 +15,7 @@ pub mod tables;
 pub mod trace_sweep;
 
 pub use compare::{fig10, fig11, Fig11};
-pub use harness::{Runner, Scale, TextTable};
+pub use harness::{CellFailure, Runner, Scale, TextTable};
 pub use multiprog::{fig12, Fig12};
 pub use parallel_figs::{
     fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Fig1, Fig6, Fig8, Fig9, SpeedupFigure,

@@ -58,13 +58,16 @@ pub fn table5(r: &mut Runner) -> Table5 {
     Table5 { rows }
 }
 
+/// One Table 7 row: `(scheduler, parallel speedup, multiprog weighted
+/// speedup, storage, processor-side?, scales?, low contention?)`.
+pub type Table7Row = (String, Option<f64>, Option<f64>, String, bool, bool, bool);
+
 /// Table 7: the cross-scheduler summary — measured speedups composed
 /// with the analytic storage model and the paper's qualitative rows.
 #[derive(Debug, Clone)]
 pub struct Table7 {
-    /// `(scheduler, parallel speedup, multiprog weighted speedup,
-    /// storage, processor-side?, scales?, low contention?)`.
-    pub rows: Vec<(String, Option<f64>, Option<f64>, String, bool, bool, bool)>,
+    /// The rendered comparison rows.
+    pub rows: Vec<Table7Row>,
 }
 
 impl Table7 {
@@ -88,10 +91,7 @@ impl Table7 {
                 "no".to_string()
             }
         };
-        let pct = |v: Option<f64>| {
-            v.map(|x| TextTable::pct(x))
-                .unwrap_or_else(|| "-".to_string())
-        };
+        let pct = |v: Option<f64>| v.map(TextTable::pct).unwrap_or_else(|| "-".to_string());
         for (name, par, mp, storage, ps, hs, lc) in &self.rows {
             t.row(
                 name.clone(),

@@ -1,0 +1,50 @@
+//! Feature-gated fault injection for the resilience test harness.
+//!
+//! Compiled to a no-op unless the `fault-inject` cargo feature is on.
+//! With the feature enabled, two environment variables arm panics at
+//! the start of a sweep cell's execution (both match on a substring of
+//! the cell's memo key):
+//!
+//! * `CRITMEM_FAULT_PANIC_KEY` — the cell panics on **every** attempt,
+//!   so bounded retry is exhausted and the cell is reported failed.
+//! * `CRITMEM_FAULT_PANIC_ONCE` — the cell panics on its **first**
+//!   attempt only, proving that the worker pool's retry recovers from
+//!   transient faults.
+//!
+//! Injection happens inside the worker's `catch_unwind` boundary, so
+//! an armed fault exercises exactly the path a real bug would take.
+
+/// Panics if an armed fault matches `key`. No-op without the
+/// `fault-inject` feature.
+#[cfg(feature = "fault-inject")]
+pub fn maybe_inject(key: &str) {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    if let Ok(pat) = std::env::var("CRITMEM_FAULT_PANIC_KEY") {
+        if !pat.is_empty() && key.contains(&pat) {
+            panic!("injected fault: cell {key:?} matched CRITMEM_FAULT_PANIC_KEY={pat:?}");
+        }
+    }
+    if let Ok(pat) = std::env::var("CRITMEM_FAULT_PANIC_ONCE") {
+        if !pat.is_empty() && key.contains(&pat) {
+            static FIRED: Mutex<Option<HashSet<String>>> = Mutex::new(None);
+            let mut fired = FIRED.lock().unwrap();
+            if fired
+                .get_or_insert_with(HashSet::new)
+                .insert(key.to_string())
+            {
+                panic!(
+                    "injected transient fault: cell {key:?} matched \
+                     CRITMEM_FAULT_PANIC_ONCE={pat:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Panics if an armed fault matches `key`. No-op without the
+/// `fault-inject` feature.
+#[cfg(not(feature = "fault-inject"))]
+#[inline(always)]
+pub fn maybe_inject(_key: &str) {}

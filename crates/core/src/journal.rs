@@ -1,0 +1,335 @@
+//! The on-disk sweep journal (`CMJR` format).
+//!
+//! As a sweep executes, the [`Runner`](crate::experiments::Runner)
+//! appends every *completed* simulation result — one CRC-framed record
+//! per memo-table entry — to a [`SweepJournal`]. If the process is
+//! killed mid-sweep (OOM, ^C, a machine reboot), `repro --resume`
+//! reopens the journal, recovers the longest valid prefix of records,
+//! preloads them into the memo tables, and re-runs **only the missing
+//! cells**. The simulator is deterministic and every persisted codec is
+//! lossless (f64s travel as raw bits), so a resumed sweep's final
+//! output is byte-identical to an uninterrupted run.
+//!
+//! # Format
+//!
+//! ```text
+//! "CMJR" magic | u32 version | record*
+//! record := u8 kind (1 = run, 2 = replay)
+//!         | u32 payload length
+//!         | payload bytes
+//!         | u32 CRC-32 of the payload
+//! payload := length-prefixed key string | stats encoding
+//! ```
+//!
+//! A record that is truncated (the tail of a killed write) or fails its
+//! CRC ends recovery: everything before it is trusted, the file is
+//! truncated back to the valid prefix, and appending continues from
+//! there. Failed cells are deliberately *not* journaled — a resume
+//! retries them, which is exactly what the operator wants after fixing
+//! whatever killed the run.
+
+use crate::system::RunStats;
+use critmem_common::codec::{ByteReader, ByteWriter};
+use critmem_common::{crc32, SimError};
+use critmem_trace::ReplayStats;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every journal file.
+pub const MAGIC: &[u8; 4] = b"CMJR";
+/// Format version written by this build.
+pub const VERSION: u32 = 1;
+
+const KIND_RUN: u8 = 1;
+const KIND_REPLAY: u8 = 2;
+
+/// One recovered journal record: a completed simulation keyed exactly
+/// as the runner's memo table keys it.
+#[derive(Debug)]
+pub enum JournalEntry {
+    /// An execution-driven run.
+    Run {
+        /// The runner's memo key.
+        key: String,
+        /// The persisted result.
+        stats: RunStats,
+    },
+    /// A trace replay.
+    Replay {
+        /// The runner's replay memo key.
+        key: String,
+        /// The persisted result.
+        stats: ReplayStats,
+    },
+}
+
+impl JournalEntry {
+    /// The memo key this entry restores.
+    pub fn key(&self) -> &str {
+        match self {
+            JournalEntry::Run { key, .. } | JournalEntry::Replay { key, .. } => key,
+        }
+    }
+}
+
+/// An append-only journal of completed sweep cells.
+#[derive(Debug)]
+pub struct SweepJournal {
+    file: File,
+    path: PathBuf,
+}
+
+fn io_err(path: &Path, source: std::io::Error) -> SimError {
+    SimError::from(source).with_path(path)
+}
+
+impl SweepJournal {
+    /// Creates (or truncates) a journal at `path` and writes the
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] if the file cannot be created or written.
+    pub fn create(path: &Path) -> Result<Self, SimError> {
+        let mut file = File::create(path).map_err(|e| io_err(path, e))?;
+        file.write_all(MAGIC).map_err(|e| io_err(path, e))?;
+        file.write_all(&VERSION.to_le_bytes())
+            .map_err(|e| io_err(path, e))?;
+        file.flush().map_err(|e| io_err(path, e))?;
+        Ok(SweepJournal {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Reopens an existing journal for resumption: decodes the longest
+    /// valid prefix of records, truncates away any torn tail (so the
+    /// next append starts on a record boundary), and returns the
+    /// recovered entries together with the reopened journal.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] if the file cannot be read or reopened, and
+    /// [`SimError::Artifact`] if the header is missing or from a
+    /// different format version (a torn *record* is recovery, a bad
+    /// *header* is the wrong file).
+    pub fn resume(path: &Path) -> Result<(Self, Vec<JournalEntry>), SimError> {
+        let mut bytes = Vec::new();
+        File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(|e| io_err(path, e))?;
+        if bytes.len() < 8 || &bytes[..4] != MAGIC {
+            return Err(SimError::Artifact(format!(
+                "{} is not a sweep journal (bad magic)",
+                path.display()
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(SimError::Artifact(format!(
+                "{}: journal version {version} (this build reads {VERSION})",
+                path.display()
+            )));
+        }
+        let mut entries = Vec::new();
+        let mut valid_end = 8usize;
+        let mut pos = 8usize;
+        while let Some((entry, next)) = decode_record(&bytes, pos) {
+            entries.push(entry);
+            valid_end = next;
+            pos = next;
+        }
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        file.set_len(valid_end as u64)
+            .map_err(|e| io_err(path, e))?;
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err(path, e))?;
+        Ok((
+            SweepJournal {
+                file,
+                path: path.to_path_buf(),
+            },
+            entries,
+        ))
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends a completed execution-driven run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] on a failed write.
+    pub fn append_run(&mut self, key: &str, stats: &RunStats) -> Result<(), SimError> {
+        let mut payload = ByteWriter::new();
+        payload.put_str(key);
+        stats.encode(&mut payload);
+        self.append_record(KIND_RUN, &payload.into_bytes())
+    }
+
+    /// Appends a completed trace replay.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] on a failed write.
+    pub fn append_replay(&mut self, key: &str, stats: &ReplayStats) -> Result<(), SimError> {
+        let mut payload = ByteWriter::new();
+        payload.put_str(key);
+        stats.encode(&mut payload);
+        self.append_record(KIND_REPLAY, &payload.into_bytes())
+    }
+
+    /// Writes one framed record and flushes, so a kill between appends
+    /// never tears more than the record being written.
+    fn append_record(&mut self, kind: u8, payload: &[u8]) -> Result<(), SimError> {
+        let mut frame = Vec::with_capacity(payload.len() + 9);
+        frame.push(kind);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(payload);
+        frame.extend_from_slice(&crc32::checksum(payload).to_le_bytes());
+        self.file
+            .write_all(&frame)
+            .and_then(|()| self.file.flush())
+            .map_err(|e| io_err(&self.path, e))
+    }
+}
+
+/// Decodes the record starting at `pos`, returning it and the offset of
+/// the next record — or `None` on a torn/corrupt record (end of the
+/// valid prefix).
+fn decode_record(bytes: &[u8], pos: usize) -> Option<(JournalEntry, usize)> {
+    let header = bytes.get(pos..pos + 5)?;
+    let kind = header[0];
+    let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+    let payload = bytes.get(pos + 5..pos + 5 + len)?;
+    let crc_bytes = bytes.get(pos + 5 + len..pos + 9 + len)?;
+    if crc32::checksum(payload) != u32::from_le_bytes(crc_bytes.try_into().unwrap()) {
+        return None;
+    }
+    let mut r = ByteReader::new(payload);
+    let key = r.get_str().ok()?;
+    let entry = match kind {
+        KIND_RUN => JournalEntry::Run {
+            key,
+            stats: RunStats::decode(&mut r).ok()?,
+        },
+        KIND_REPLAY => JournalEntry::Replay {
+            key,
+            stats: ReplayStats::decode(&mut r).ok()?,
+        },
+        _ => return None,
+    };
+    Some((entry, pos + 9 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SystemConfig, WorkloadKind};
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("critmem-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn small_stats() -> RunStats {
+        let mut cfg = SystemConfig::paper_baseline(300);
+        cfg.cores = 1;
+        cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(1);
+        crate::system::run(cfg, &WorkloadKind::Alone("swim"))
+    }
+
+    #[test]
+    fn round_trips_run_and_replay_records() {
+        let path = tmp("roundtrip");
+        let stats = small_stats();
+        let replay = ReplayStats {
+            injected: 11,
+            completed: 11,
+            ..Default::default()
+        };
+        {
+            let mut j = SweepJournal::create(&path).unwrap();
+            j.append_run("swim|FR-FCFS@300", &stats).unwrap();
+            j.append_replay("swim|FCFS|replay@300", &replay).unwrap();
+        }
+        let (_, entries) = SweepJournal::resume(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        match &entries[0] {
+            JournalEntry::Run { key, stats: got } => {
+                assert_eq!(key, "swim|FR-FCFS@300");
+                assert_eq!(got.cycles, stats.cycles);
+                assert_eq!(got.cores[0].committed, stats.cores[0].committed);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match &entries[1] {
+            JournalEntry::Replay { key, stats: got } => {
+                assert_eq!(key, "swim|FCFS|replay@300");
+                assert_eq!(got.injected, 11);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_appending_continues() {
+        let path = tmp("torn");
+        let stats = small_stats();
+        {
+            let mut j = SweepJournal::create(&path).unwrap();
+            j.append_run("a@300", &stats).unwrap();
+            j.append_run("b@300", &stats).unwrap();
+        }
+        // Simulate a kill mid-write: chop 7 bytes off the second record.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let (mut j, entries) = SweepJournal::resume(&path).unwrap();
+        assert_eq!(entries.len(), 1, "torn record must not survive");
+        assert_eq!(entries[0].key(), "a@300");
+        j.append_run("c@300", &stats).unwrap();
+        drop(j);
+        let (_, entries) = SweepJournal::resume(&path).unwrap();
+        let keys: Vec<&str> = entries.iter().map(|e| e.key()).collect();
+        assert_eq!(keys, ["a@300", "c@300"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_invalidates_exactly_the_flipped_record() {
+        let path = tmp("bitflip");
+        let stats = small_stats();
+        {
+            let mut j = SweepJournal::create(&path).unwrap();
+            j.append_run("a@300", &stats).unwrap();
+            j.append_run("b@300", &stats).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2; // inside the first or second payload
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, entries) = SweepJournal::resume(&path).unwrap();
+        assert!(
+            entries.len() < 2,
+            "a flipped bit must kill at least the record holding it"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_file_is_an_artifact_error() {
+        let path = tmp("wrongfile");
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        let err = SweepJournal::resume(&path).unwrap_err();
+        assert!(matches!(err, SimError::Artifact(_)), "{err:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

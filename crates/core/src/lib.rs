@@ -38,6 +38,8 @@
 
 pub mod config;
 pub mod experiments;
+pub mod faults;
+pub mod journal;
 pub mod metrics;
 pub mod overhead;
 pub mod pool;
@@ -45,4 +47,4 @@ pub mod system;
 
 pub use config::{PredictorKind, SystemConfig, WorkloadKind};
 pub use metrics::{geomean, speedup, Average};
-pub use system::{run, run_traced, RunStats, System};
+pub use system::{run, run_traced, try_run, try_run_traced, RunStats, System};

@@ -4,9 +4,10 @@
 
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
 use critmem_cache::CacheHierarchy;
+use critmem_common::codec::{ByteReader, ByteWriter, CodecError};
 use critmem_common::{
     ClockDivider, CoreId, CpuCycle, Criticality, MetricVisitor, Observable, RequestObserver,
-    Sampler, Schema, SeriesSet,
+    Sampler, Schema, SeriesSet, SimError, WatchdogReason, WatchdogSnapshot,
 };
 use critmem_cpu::{
     CbpPredictor, ClptPredictor, Core, CoreStats, InstrSource, LoadCriticalityPredictor,
@@ -114,6 +115,81 @@ impl RunStats {
             (one as f64 / ticks as f64, many as f64 / ticks as f64)
         }
     }
+
+    /// Serializes for the sweep journal.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_u64(self.cycles);
+        w.put_u64_seq(&self.core_finish);
+        w.put_u32(self.cores.len() as u32);
+        for c in &self.cores {
+            c.encode(w);
+        }
+        self.hierarchy.encode(w);
+        w.put_u32(self.channels.len() as u32);
+        for c in &self.channels {
+            c.encode(w);
+        }
+        w.put_u64_seq(&self.lq_full_cycles);
+        w.put_u64(self.instructions_per_core);
+        w.put_u32(self.predictor_observed.len() as u32);
+        for p in &self.predictor_observed {
+            w.put_bool(p.is_some());
+            if let Some((max, bits)) = p {
+                w.put_u64(*max);
+                w.put_u32(*bits);
+            }
+        }
+        w.put_bool(self.series.is_some());
+        if let Some(series) = &self.series {
+            series.encode(w);
+        }
+    }
+
+    /// Deserializes journaled run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or inconsistent stream.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let cycles = r.get_u64()?;
+        let core_finish = r.get_u64_seq()?;
+        let n_cores = r.get_u32()? as usize;
+        let cores = (0..n_cores)
+            .map(|_| CoreStats::decode(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        let hierarchy = critmem_cache::HierarchyStats::decode(r)?;
+        let n_channels = r.get_u32()? as usize;
+        let channels = (0..n_channels)
+            .map(|_| ChannelStats::decode(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        let lq_full_cycles = r.get_u64_seq()?;
+        let instructions_per_core = r.get_u64()?;
+        let n_pred = r.get_u32()? as usize;
+        let mut predictor_observed = Vec::with_capacity(n_pred);
+        for _ in 0..n_pred {
+            predictor_observed.push(if r.get_bool()? {
+                Some((r.get_u64()?, r.get_u32()?))
+            } else {
+                None
+            });
+        }
+        let series = if r.get_bool()? {
+            Some(SeriesSet::decode(r)?)
+        } else {
+            None
+        };
+        Ok(RunStats {
+            cycles,
+            core_finish,
+            cores,
+            hierarchy,
+            channels,
+            lq_full_cycles,
+            instructions_per_core,
+            predictor_observed,
+            series,
+        })
+    }
 }
 
 /// A pending naive-forwarding message (§5.1).
@@ -204,6 +280,17 @@ impl System {
     pub fn new(cfg: SystemConfig, workload: &WorkloadKind) -> Self {
         Self::with_observer(cfg, workload, ())
     }
+
+    /// Fallible version of [`System::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] if the configuration fails validation,
+    /// [`SimError::UnknownWorkload`] if the workload names an unknown
+    /// application or bundle.
+    pub fn try_new(cfg: SystemConfig, workload: &WorkloadKind) -> Result<Self, SimError> {
+        Self::try_with_observer(cfg, workload, ())
+    }
 }
 
 impl<O: RequestObserver> System<O> {
@@ -215,34 +302,73 @@ impl<O: RequestObserver> System<O> {
     /// Panics if the configuration fails validation or the workload
     /// names an unknown application.
     pub fn with_observer(cfg: SystemConfig, workload: &WorkloadKind, observer: O) -> Self {
-        cfg.validate().expect("invalid system configuration");
+        Self::try_with_observer(cfg, workload, observer).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Self::with_observer`]: operational
+    /// mistakes (bad configuration, unknown workload names) come back
+    /// as typed errors instead of panics, so the experiment harness can
+    /// report them per cell.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Config`] if the configuration fails validation,
+    /// [`SimError::UnknownWorkload`] if the workload names an unknown
+    /// application or bundle.
+    pub fn try_with_observer(
+        cfg: SystemConfig,
+        workload: &WorkloadKind,
+        observer: O,
+    ) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::Config)?;
         let sources: Vec<Box<dyn InstrSource>> = match workload {
             WorkloadKind::Parallel(app) => {
-                let spec =
-                    parallel_app(app).unwrap_or_else(|| panic!("unknown parallel app {app}"));
+                let spec = parallel_app(app).ok_or_else(|| SimError::UnknownWorkload {
+                    kind: "parallel app",
+                    name: (*app).to_string(),
+                })?;
                 (0..cfg.cores)
                     .map(|c| Box::new(AppThread::new(&spec, c, cfg.seed)) as Box<dyn InstrSource>)
                     .collect()
             }
             WorkloadKind::Bundle(name) => {
-                let bundle = critmem_workloads::bundle(name)
-                    .unwrap_or_else(|| panic!("unknown bundle {name}"));
-                assert_eq!(cfg.cores, 4, "bundles are four-application workloads");
+                let bundle =
+                    critmem_workloads::bundle(name).ok_or_else(|| SimError::UnknownWorkload {
+                        kind: "bundle",
+                        name: (*name).to_string(),
+                    })?;
+                if cfg.cores != 4 {
+                    return Err(SimError::Config(format!(
+                        "bundles are four-application workloads (got {} cores)",
+                        cfg.cores
+                    )));
+                }
                 bundle
                     .apps
                     .iter()
                     .enumerate()
                     .map(|(c, app)| {
-                        let spec = multi_app(app).unwrap_or_else(|| panic!("unknown app {app}"));
-                        Box::new(AppThread::new(&spec, c, cfg.seed)) as Box<dyn InstrSource>
+                        let spec = multi_app(app).ok_or_else(|| SimError::UnknownWorkload {
+                            kind: "application",
+                            name: (*app).to_string(),
+                        })?;
+                        Ok(Box::new(AppThread::new(&spec, c, cfg.seed)) as Box<dyn InstrSource>)
                     })
-                    .collect()
+                    .collect::<Result<_, SimError>>()?
             }
             WorkloadKind::Alone(app) => {
-                assert_eq!(cfg.cores, 1, "alone runs use a single core");
+                if cfg.cores != 1 {
+                    return Err(SimError::Config(format!(
+                        "alone runs use a single core (got {})",
+                        cfg.cores
+                    )));
+                }
                 let spec = multi_app(app)
                     .or_else(|| parallel_app(app))
-                    .unwrap_or_else(|| panic!("unknown app {app}"));
+                    .ok_or_else(|| SimError::UnknownWorkload {
+                        kind: "application",
+                        name: (*app).to_string(),
+                    })?;
                 vec![Box::new(AppThread::new(&spec, 0, cfg.seed)) as Box<dyn InstrSource>]
             }
         };
@@ -265,7 +391,7 @@ impl<O: RequestObserver> System<O> {
             let schema = Schema::build(|v| observe_components(&cores, &hierarchy, &dram, v));
             Sampler::new(schema, epoch)
         });
-        System {
+        Ok(System {
             hierarchy,
             dram,
             divider: ClockDivider::new(cfg.dram.preset.bus_mhz, cfg.cpu_mhz),
@@ -278,7 +404,7 @@ impl<O: RequestObserver> System<O> {
             sources,
             cfg,
             observer,
-        }
+        })
     }
 
     /// Current CPU cycle.
@@ -380,7 +506,8 @@ impl<O: RequestObserver> System<O> {
     ///
     /// # Panics
     ///
-    /// Panics if `max_cycles` elapses first (deadlock guard).
+    /// Panics if `max_cycles` elapses first or the forward-progress
+    /// watchdog trips (deadlock guard).
     pub fn run(self) -> RunStats {
         self.run_with_observer().0
     }
@@ -390,17 +517,86 @@ impl<O: RequestObserver> System<O> {
     ///
     /// # Panics
     ///
-    /// Panics if `max_cycles` elapses first (deadlock guard).
-    pub fn run_with_observer(mut self) -> (RunStats, O) {
+    /// Panics if `max_cycles` elapses first or the forward-progress
+    /// watchdog trips (deadlock guard).
+    pub fn run_with_observer(self) -> (RunStats, O) {
+        self.try_run_with_observer()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Self::run`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] when the run exceeds its cycle budget or
+    /// the forward-progress watchdog detects a livelock; the snapshot
+    /// in the error carries the diagnostic state.
+    pub fn try_run(self) -> Result<RunStats, SimError> {
+        self.try_run_with_observer().map(|(stats, _)| stats)
+    }
+
+    /// Fallible version of [`Self::run_with_observer`]: instead of
+    /// asserting on a wedged simulation, the tick loop carries a
+    /// forward-progress watchdog ([`SystemConfig::watchdog`]) and
+    /// returns a typed [`SimError::Watchdog`] whose snapshot shows
+    /// where every core is stuck (ROB head PC), how full the miss
+    /// machinery is (L2 MSHRs, outbox), and what every bank queue
+    /// holds.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] on a cycle-budget overrun, a commit
+    /// stall, or an over-aged DRAM request.
+    pub fn try_run_with_observer(mut self) -> Result<(RunStats, O), SimError> {
+        let wd = self.cfg.watchdog;
+        let mut last_committed_total = 0u64;
+        let mut last_commit_cycle = 0u64;
+        let mut next_check = wd.check_interval;
         while !self.done() {
-            assert!(
-                self.now < self.cfg.max_cycles,
-                "simulation exceeded {} cycles (possible deadlock)",
-                self.cfg.max_cycles
-            );
+            if self.now >= self.cfg.max_cycles {
+                return Err(self.watchdog_error(WatchdogReason::CycleLimit {
+                    max_cycles: self.cfg.max_cycles,
+                }));
+            }
             self.step();
+            if self.now >= next_check {
+                next_check = self.now.saturating_add(wd.check_interval);
+                if wd.no_commit_cycles > 0 {
+                    let total: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+                    if total > last_committed_total {
+                        last_committed_total = total;
+                        last_commit_cycle = self.now;
+                    } else if self.now - last_commit_cycle >= wd.no_commit_cycles {
+                        let idle_cycles = self.now - last_commit_cycle;
+                        return Err(self.watchdog_error(WatchdogReason::NoCommit { idle_cycles }));
+                    }
+                }
+                if wd.max_request_age > 0 {
+                    if let Some(age) = self.dram.oldest_queued_age() {
+                        if age > wd.max_request_age {
+                            return Err(self.watchdog_error(WatchdogReason::StarvedRequest {
+                                age,
+                                limit: wd.max_request_age,
+                            }));
+                        }
+                    }
+                }
+            }
         }
-        self.into_stats_and_observer()
+        Ok(self.into_stats_and_observer())
+    }
+
+    /// Builds the diagnostic snapshot for a watchdog trip.
+    fn watchdog_error(&self, reason: WatchdogReason) -> SimError {
+        SimError::Watchdog(Box::new(WatchdogSnapshot {
+            reason,
+            cycle: self.now,
+            committed: self.committed(),
+            rob_head_pc: self.cores.iter().map(|c| c.rob_head_pc()).collect(),
+            mshr_occupancy: self.hierarchy.l2_mshr_occupancy(),
+            outbox_len: self.hierarchy.outbox_len(),
+            bank_queues: self.dram.bank_queue_snapshot(),
+        }))
     }
 
     /// Finalizes statistics without requiring completion.
@@ -452,6 +648,16 @@ pub fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
     System::new(cfg, workload).run()
 }
 
+/// Fallible version of [`run`]: build-time and run-time failures come
+/// back as typed [`SimError`]s.
+///
+/// # Errors
+///
+/// See [`System::try_new`] and [`System::try_run`].
+pub fn try_run(cfg: SystemConfig, workload: &WorkloadKind) -> Result<RunStats, SimError> {
+    System::try_new(cfg, workload)?.try_run()
+}
+
 /// Builds, runs, and captures the run's LLC-miss request stream as a
 /// trace labeled `source`.
 ///
@@ -463,10 +669,24 @@ pub fn run_traced(
     workload: &WorkloadKind,
     source: &str,
 ) -> (RunStats, critmem_trace::Trace) {
+    try_run_traced(cfg, workload, source).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible version of [`run_traced`].
+///
+/// # Errors
+///
+/// See [`System::try_with_observer`] and
+/// [`System::try_run_with_observer`].
+pub fn try_run_traced(
+    cfg: SystemConfig,
+    workload: &WorkloadKind,
+    source: &str,
+) -> Result<(RunStats, critmem_trace::Trace), SimError> {
     let fingerprint = critmem_trace::Fingerprint::of(cfg.cores, cfg.cpu_mhz, &cfg.dram);
     let sink = critmem_trace::TraceSink::new(fingerprint, source);
-    let (stats, sink) = System::with_observer(cfg, workload, sink).run_with_observer();
-    (stats, sink.into_trace())
+    let (stats, sink) = System::try_with_observer(cfg, workload, sink)?.try_run_with_observer()?;
+    Ok((stats, sink.into_trace()))
 }
 
 #[cfg(test)]

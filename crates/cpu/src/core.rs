@@ -75,6 +75,56 @@ impl CoreStats {
             self.committed as f64 / self.cycles as f64
         }
     }
+
+    /// Serializes for the sweep journal.
+    pub fn encode(&self, w: &mut critmem_common::codec::ByteWriter) {
+        for v in [
+            self.cycles,
+            self.committed,
+            self.loads,
+            self.stores,
+            self.branches,
+            self.blocked_loads,
+            self.long_blocked_loads,
+            self.block_cycles,
+            self.long_block_cycles,
+            self.lq_full_cycles,
+            self.redirect_stall_cycles,
+            self.sb_full_cycles,
+            self.issued_loads,
+            self.issued_critical_loads,
+        ] {
+            w.put_u64(v);
+        }
+        self.stall_histogram.encode(w);
+    }
+
+    /// Deserializes journaled core statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or inconsistent stream.
+    pub fn decode(
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<Self, critmem_common::codec::CodecError> {
+        Ok(CoreStats {
+            cycles: r.get_u64()?,
+            committed: r.get_u64()?,
+            loads: r.get_u64()?,
+            stores: r.get_u64()?,
+            branches: r.get_u64()?,
+            blocked_loads: r.get_u64()?,
+            long_blocked_loads: r.get_u64()?,
+            block_cycles: r.get_u64()?,
+            long_block_cycles: r.get_u64()?,
+            lq_full_cycles: r.get_u64()?,
+            redirect_stall_cycles: r.get_u64()?,
+            sb_full_cycles: r.get_u64()?,
+            issued_loads: r.get_u64()?,
+            issued_critical_loads: r.get_u64()?,
+            stall_histogram: Histogram::decode(r)?,
+        })
+    }
 }
 
 impl critmem_common::Observable for CoreStats {
@@ -230,6 +280,12 @@ impl Core {
     /// analysis).
     pub fn lq_full(&self) -> bool {
         self.lq_used >= self.cfg.lq_entries
+    }
+
+    /// PC of the instruction at the ROB head (`None` when empty) — the
+    /// watchdog snapshots this to show where a stuck core is blocked.
+    pub fn rob_head_pc(&self) -> Option<Pc> {
+        self.rob.front().map(|e| e.instr.pc)
     }
 
     /// Delivers a memory completion (from the cache hierarchy) for a

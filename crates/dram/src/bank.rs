@@ -11,7 +11,7 @@ use crate::timing::TimingParams;
 use critmem_common::{DramCycle, RankId};
 
 /// Timing state of a single DRAM bank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Bank {
     /// Currently open row, if any.
     pub open_row: Option<u32>,
@@ -23,18 +23,6 @@ pub struct Bank {
     pub next_rd: DramCycle,
     /// Earliest cycle a WRITE may issue.
     pub next_wr: DramCycle,
-}
-
-impl Default for Bank {
-    fn default() -> Self {
-        Bank {
-            open_row: None,
-            next_act: 0,
-            next_pre: 0,
-            next_rd: 0,
-            next_wr: 0,
-        }
-    }
 }
 
 impl Bank {

@@ -125,6 +125,58 @@ impl ChannelStats {
             (self.read_latency_sum - self.critical_read_latency_sum) as f64 / n as f64
         }
     }
+
+    /// Serializes for the sweep journal.
+    pub fn encode(&self, w: &mut critmem_common::codec::ByteWriter) {
+        for v in [
+            self.reads_completed,
+            self.writes_completed,
+            self.row_hits,
+            self.row_misses,
+            self.row_conflicts,
+            self.refreshes,
+            self.ticks,
+            self.occupancy_sum,
+            self.ticks_with_critical,
+            self.ticks_with_multiple_critical,
+            self.read_latency_sum,
+            self.starvation_promotions,
+            self.rejected_full,
+            self.bus_busy_cycles,
+            self.critical_reads_completed,
+            self.critical_read_latency_sum,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    /// Deserializes journaled channel statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream.
+    pub fn decode(
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<Self, critmem_common::codec::CodecError> {
+        Ok(ChannelStats {
+            reads_completed: r.get_u64()?,
+            writes_completed: r.get_u64()?,
+            row_hits: r.get_u64()?,
+            row_misses: r.get_u64()?,
+            row_conflicts: r.get_u64()?,
+            refreshes: r.get_u64()?,
+            ticks: r.get_u64()?,
+            occupancy_sum: r.get_u64()?,
+            ticks_with_critical: r.get_u64()?,
+            ticks_with_multiple_critical: r.get_u64()?,
+            read_latency_sum: r.get_u64()?,
+            starvation_promotions: r.get_u64()?,
+            rejected_full: r.get_u64()?,
+            bus_busy_cycles: r.get_u64()?,
+            critical_reads_completed: r.get_u64()?,
+            critical_read_latency_sum: r.get_u64()?,
+        })
+    }
 }
 
 impl Observable for ChannelStats {
@@ -275,6 +327,40 @@ impl ChannelController {
     /// The scheduler's display name.
     pub fn scheduler_name(&self) -> &str {
         self.scheduler.name()
+    }
+
+    /// Age (in DRAM cycles) of the oldest queued transaction, or
+    /// `None` when the queue is empty. The forward-progress watchdog
+    /// compares this against its request-age limit: the §3.2
+    /// starvation cap should have forced anything this old out long
+    /// ago, so an ancient entry means the scheduler is wedged.
+    pub fn oldest_queued_age(&self) -> Option<DramCycle> {
+        self.queue.iter().map(|t| t.age(self.now)).max()
+    }
+
+    /// Appends the per-bank transaction-queue state (count and oldest
+    /// age per bank; only non-empty banks) for a watchdog diagnostic
+    /// snapshot.
+    pub fn bank_queue_snapshot(&self, out: &mut Vec<critmem_common::BankQueueState>) {
+        let bpr = self.timing.banks_per_rank();
+        let nbanks = self.timing.ranks() * bpr;
+        let mut queued = vec![0usize; nbanks];
+        let mut oldest = vec![0u64; nbanks];
+        for txn in &self.queue {
+            let idx = txn.loc.rank.index() * bpr + txn.loc.bank.index();
+            queued[idx] += 1;
+            oldest[idx] = oldest[idx].max(txn.age(self.now));
+        }
+        for (idx, &n) in queued.iter().enumerate() {
+            if n > 0 {
+                out.push(critmem_common::BankQueueState {
+                    channel: self.channel.0,
+                    bank: idx as u16,
+                    queued: n,
+                    oldest_age: oldest[idx],
+                });
+            }
+        }
     }
 
     /// Reports channel statistics plus scheduler-internal metrics (the
@@ -908,7 +994,7 @@ mod tests {
         for _ in 0..200 {
             out.clear();
             ctl.tick_into(&mut out);
-            done.extend(out.drain(..));
+            done.append(&mut out);
             if !done.is_empty() {
                 break;
             }

@@ -171,6 +171,26 @@ impl DramSystem {
     pub fn total_queued(&self) -> usize {
         self.controllers.iter().map(|c| c.queue_len()).sum()
     }
+
+    /// Age (in DRAM cycles) of the oldest transaction queued on any
+    /// channel, or `None` when all queues are empty. Polled by the
+    /// forward-progress watchdog.
+    pub fn oldest_queued_age(&self) -> Option<critmem_common::DramCycle> {
+        self.controllers
+            .iter()
+            .filter_map(|c| c.oldest_queued_age())
+            .max()
+    }
+
+    /// Per-bank transaction-queue state across every channel (only
+    /// non-empty banks), for a watchdog diagnostic snapshot.
+    pub fn bank_queue_snapshot(&self) -> Vec<critmem_common::BankQueueState> {
+        let mut out = Vec::new();
+        for c in &self.controllers {
+            c.bank_queue_snapshot(&mut out);
+        }
+        out
+    }
 }
 
 impl critmem_common::Observable for DramSystem {

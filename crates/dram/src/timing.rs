@@ -66,7 +66,7 @@ impl TimingParams {
                 self.t_rc, self.t_ras
             ));
         }
-        if self.burst_len == 0 || self.burst_len % 2 != 0 {
+        if self.burst_len == 0 || !self.burst_len.is_multiple_of(2) {
             return Err(format!(
                 "burst length ({}) must be a positive even number",
                 self.burst_len

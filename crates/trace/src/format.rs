@@ -29,6 +29,9 @@
 //!   crit             8  criticality magnitude (0 = non-critical)
 //!   core             1
 //!   kind             1  0 = read, 1 = write, 2 = prefetch
+//! chunk checksum (version 2):
+//!   crc32            4  after every 256 records, and after the final
+//!                       partial chunk when the stream is finished
 //! ```
 //!
 //! The fingerprint pins the *topology* of the capturing system — core
@@ -36,7 +39,16 @@
 //! interleaving — everything that determines where and when requests
 //! arrive. It deliberately excludes the scheduler and queue capacity,
 //! which are exactly the knobs a replay-based scheduler study varies.
+//!
+//! Version 2 interleaves a CRC-32 over the raw bytes of every
+//! 256-record chunk, so a flipped bit in a stored trace surfaces as
+//! [`TraceError::Corrupt`] instead of silently skewing a scheduler
+//! study. Truncation of a *finished* stream (declared count not
+//! reached) is likewise reported as `Corrupt`; a stream abandoned
+//! without [`TraceWriter::finish`] still reads to EOF, with only its
+//! final partial chunk unverified.
 
+use critmem_common::crc32::Crc32;
 use critmem_common::{AccessKind, CoreId, CpuCycle, Criticality, MemRequest, PhysAddr, ReqId};
 use critmem_dram::{DramConfig, Interleaving};
 use std::fmt;
@@ -45,11 +57,13 @@ use std::io::{self, Read, Seek, SeekFrom, Write};
 /// Format magic: "CritMem TRace".
 pub const MAGIC: [u8; 4] = *b"CMTR";
 /// Current format version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 /// `record_count` placeholder while a stream is still being written.
 const COUNT_STREAMING: u64 = u64::MAX;
 /// Encoded size of one record in bytes.
 pub const RECORD_BYTES: usize = 42;
+/// Records covered by each interleaved CRC-32 (version 2).
+pub const CHUNK_RECORDS: usize = 256;
 
 /// Errors raised by the trace reader/writer.
 #[derive(Debug)]
@@ -348,6 +362,8 @@ pub struct TraceWriter<W: Write + Seek> {
     w: W,
     count: u64,
     count_offset: u64,
+    chunk_crc: Crc32,
+    in_chunk: usize,
 }
 
 impl<W: Write + Seek> TraceWriter<W> {
@@ -369,17 +385,34 @@ impl<W: Write + Seek> TraceWriter<W> {
             w,
             count: 0,
             count_offset,
+            chunk_crc: Crc32::new(),
+            in_chunk: 0,
         })
     }
 
-    /// Appends one record.
+    /// Appends one record, emitting the chunk CRC when the 256th record
+    /// of a chunk lands.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn append(&mut self, rec: &TraceRecord) -> Result<(), TraceError> {
-        rec.write_to(&mut self.w)?;
+        let mut buf = [0u8; RECORD_BYTES];
+        rec.write_to(&mut &mut buf[..])?;
+        self.w.write_all(&buf)?;
+        self.chunk_crc.update(&buf);
         self.count += 1;
+        self.in_chunk += 1;
+        if self.in_chunk == CHUNK_RECORDS {
+            self.flush_chunk_crc()?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk_crc(&mut self) -> Result<(), TraceError> {
+        self.w.write_all(&self.chunk_crc.finish().to_le_bytes())?;
+        self.chunk_crc = Crc32::new();
+        self.in_chunk = 0;
         Ok(())
     }
 
@@ -388,13 +421,17 @@ impl<W: Write + Seek> TraceWriter<W> {
         self.count
     }
 
-    /// Patches the record count into the header and returns the inner
-    /// writer (positioned at end of stream).
+    /// Seals the final partial chunk's CRC, patches the record count
+    /// into the header, and returns the inner writer (positioned at end
+    /// of stream).
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn finish(mut self) -> Result<W, TraceError> {
+        if self.in_chunk > 0 {
+            self.flush_chunk_crc()?;
+        }
         self.w.seek(SeekFrom::Start(self.count_offset))?;
         self.w.write_all(&self.count.to_le_bytes())?;
         self.w.seek(SeekFrom::End(0))?;
@@ -404,11 +441,29 @@ impl<W: Write + Seek> TraceWriter<W> {
 }
 
 /// Streaming trace reader.
+///
+/// Verifies the interleaved chunk CRCs as it goes: a flipped bit in a
+/// record surfaces as [`TraceError::Corrupt`] no later than the end of
+/// its 256-record chunk.
 pub struct TraceReader<R: Read> {
     r: R,
     fingerprint: Fingerprint,
     source: String,
     remaining: Option<u64>,
+    chunk_crc: Crc32,
+    in_chunk: usize,
+    tail_checked: bool,
+}
+
+/// Re-badges an EOF inside a *finished* stream: the header promised
+/// more bytes, so this is data loss, not a normal end of stream.
+fn eof_is_corrupt(e: TraceError, what: &str) -> TraceError {
+    match e {
+        TraceError::Io(ref io) if io.kind() == io::ErrorKind::UnexpectedEof => {
+            TraceError::Corrupt(format!("stream truncated mid-{what}"))
+        }
+        other => other,
+    }
 }
 
 impl<R: Read> TraceReader<R> {
@@ -435,6 +490,9 @@ impl<R: Read> TraceReader<R> {
             fingerprint,
             source,
             remaining,
+            chunk_crc: Crc32::new(),
+            in_chunk: 0,
+            tail_checked: false,
         })
     }
 
@@ -453,15 +511,53 @@ impl<R: Read> TraceReader<R> {
         self.remaining
     }
 
+    /// Checks a chunk CRC against the bytes folded in so far. In a
+    /// finished stream a missing or wrong CRC is corruption; in an
+    /// abandoned stream a missing CRC is just the torn end of the data.
+    fn verify_chunk_crc(&mut self) -> Result<bool, TraceError> {
+        let stored = match read_array::<_, 4>(&mut self.r) {
+            Ok(b) => u32::from_le_bytes(b),
+            Err(e) if self.remaining.is_some() => return Err(eof_is_corrupt(e, "chunk checksum")),
+            Err(TraceError::Io(io)) if io.kind() == io::ErrorKind::UnexpectedEof => {
+                return Ok(false)
+            }
+            Err(e) => return Err(e),
+        };
+        let computed = self.chunk_crc.finish();
+        if stored != computed {
+            return Err(TraceError::Corrupt(format!(
+                "chunk checksum mismatch (stored {stored:#010X}, computed {computed:#010X})"
+            )));
+        }
+        self.chunk_crc = Crc32::new();
+        self.in_chunk = 0;
+        Ok(true)
+    }
+
     /// Reads the next record; `Ok(None)` at end of trace.
     ///
     /// # Errors
     ///
-    /// Fails on truncated or corrupt records.
+    /// [`TraceError::Corrupt`] on a truncated finished stream or a
+    /// chunk-checksum mismatch; I/O errors otherwise.
     pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
-        match self.remaining {
-            Some(0) => return Ok(None),
-            Some(ref mut n) => *n -= 1,
+        if self.in_chunk == CHUNK_RECORDS && !self.verify_chunk_crc()? {
+            return Ok(None);
+        }
+        let buf: [u8; RECORD_BYTES] = match self.remaining {
+            Some(0) => {
+                // Finished stream fully consumed: the final partial
+                // chunk's CRC is still pending.
+                if self.in_chunk > 0 && !self.tail_checked {
+                    self.tail_checked = true;
+                    self.verify_chunk_crc()?;
+                }
+                return Ok(None);
+            }
+            Some(ref mut n) => {
+                *n -= 1;
+                read_array(&mut self.r).map_err(|e| eof_is_corrupt(e, "record"))?
+            }
             None => {
                 // Unfinished stream: probe for EOF before committing to
                 // a full record read.
@@ -474,12 +570,14 @@ impl<R: Read> TraceReader<R> {
                         let mut buf = [0u8; RECORD_BYTES];
                         buf[0] = first[0];
                         buf[1..].copy_from_slice(&rest);
-                        return TraceRecord::read_from(&mut &buf[..]).map(Some);
+                        buf
                     }
                 }
             }
-        }
-        TraceRecord::read_from(&mut self.r).map(Some)
+        };
+        self.chunk_crc.update(&buf);
+        self.in_chunk += 1;
+        TraceRecord::read_from(&mut &buf[..]).map(Some)
     }
 
     /// Reads all remaining records.
@@ -679,7 +777,77 @@ mod tests {
         };
         let bytes = trace.to_bytes().unwrap();
         let err = Trace::read_from(Cursor::new(&bytes[..bytes.len() - 5])).unwrap_err();
-        assert!(matches!(err, TraceError::Io(_)));
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn truncated_chunk_checksum_is_corrupt() {
+        let trace = Trace {
+            fingerprint: sample_fingerprint(),
+            source: "x".into(),
+            records: sample_records(),
+        };
+        let bytes = trace.to_bytes().unwrap();
+        // Chop into the trailing 4-byte chunk CRC itself.
+        let err = Trace::read_from(Cursor::new(&bytes[..bytes.len() - 2])).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("chunk checksum"), "{err}");
+    }
+
+    #[test]
+    fn bit_flip_in_a_record_is_detected() {
+        let trace = Trace {
+            fingerprint: sample_fingerprint(),
+            source: "x".into(),
+            records: sample_records(),
+        };
+        let clean = trace.to_bytes().unwrap();
+        // Flip one bit in every record byte position of the last record
+        // (covers both payload bytes and the enum-tag byte).
+        let rec_start = clean.len() - 4 - RECORD_BYTES;
+        for offset in rec_start..rec_start + RECORD_BYTES {
+            let mut bytes = clean.clone();
+            bytes[offset] ^= 0x04;
+            let err = Trace::read_from(Cursor::new(&bytes)).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Corrupt(_)),
+                "offset {offset}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_chunk_traces_round_trip_and_verify() {
+        let records: Vec<TraceRecord> = (0..(2 * CHUNK_RECORDS as u64 + 37))
+            .map(|i| TraceRecord {
+                enqueue_cycle: i,
+                issued_at: i,
+                id: i,
+                addr: i * 64,
+                crit: i % 9,
+                core: (i % 8) as u8,
+                kind: AccessKind::Read,
+            })
+            .collect();
+        let trace = Trace {
+            fingerprint: sample_fingerprint(),
+            source: "big".into(),
+            records,
+        };
+        let bytes = trace.to_bytes().unwrap();
+        // Three CRCs: two full chunks + the partial tail.
+        let expected = trace.records.len() * RECORD_BYTES + 3 * 4;
+        assert!(bytes.len() > expected && bytes.len() < expected + 128);
+        let back = Trace::read_from(Cursor::new(&bytes)).unwrap();
+        assert_eq!(back, trace);
+        // A flip inside the *first* chunk is caught at that chunk's
+        // boundary, long before the end of the stream.
+        let mut corrupt = bytes.clone();
+        let flip_at = corrupt.len() - 4 - trace.records.len() * RECORD_BYTES - 2 * 4 + 10;
+        corrupt[flip_at] ^= 0x80;
+        let err = Trace::read_from(Cursor::new(&corrupt)).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err:?}");
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //! ([`ReplayConfig::max_outstanding`]) that mimics MSHR back-pressure.
 
 use crate::format::{Fingerprint, Trace, TraceError, TraceRecord};
-use critmem_common::{ClockDivider, Observable, Sampler, Schema, SeriesSet};
+use critmem_common::codec::{ByteReader, ByteWriter, CodecError};
+use critmem_common::{
+    ClockDivider, Observable, Sampler, Schema, SeriesSet, SimError, WatchdogConfig, WatchdogReason,
+    WatchdogSnapshot,
+};
 use critmem_dram::{timing::preset_by_name, ChannelStats, DramConfig, DramSystem};
 use std::collections::HashMap;
 
@@ -62,6 +66,11 @@ pub struct ReplayConfig {
     /// When set, sample the per-channel DRAM metrics every `N` CPU
     /// cycles into [`ReplayStats::series`].
     pub sample_epoch: Option<u64>,
+    /// Forward-progress watchdog. For replay, the commit check watches
+    /// injections + completions (there are no cores); the request-age
+    /// check watches the DRAM queues exactly as in the execution-driven
+    /// system.
+    pub watchdog: WatchdogConfig,
 }
 
 impl Default for ReplayConfig {
@@ -71,6 +80,7 @@ impl Default for ReplayConfig {
             stop_at_cycle: None,
             max_cycles: 10_000_000_000,
             sample_epoch: None,
+            watchdog: WatchdogConfig::default(),
         }
     }
 }
@@ -138,6 +148,73 @@ impl ReplayStats {
             .map(|c| c.reads_completed + c.writes_completed)
             .sum()
     }
+
+    /// Serializes for the sweep journal.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        for v in [
+            self.injected,
+            self.completed,
+            self.cpu_cycles,
+            self.throttled_cycles,
+            self.queue_full_retries,
+            self.reads,
+            self.read_latency_sum,
+            self.critical_reads,
+            self.critical_read_latency_sum,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u128(self.weighted_latency_sum);
+        w.put_u32(self.channels.len() as u32);
+        for c in &self.channels {
+            c.encode(w);
+        }
+        w.put_bool(self.series.is_some());
+        if let Some(series) = &self.series {
+            series.encode(w);
+        }
+    }
+
+    /// Deserializes journaled replay statistics.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or inconsistent stream.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let injected = r.get_u64()?;
+        let completed = r.get_u64()?;
+        let cpu_cycles = r.get_u64()?;
+        let throttled_cycles = r.get_u64()?;
+        let queue_full_retries = r.get_u64()?;
+        let reads = r.get_u64()?;
+        let read_latency_sum = r.get_u64()?;
+        let critical_reads = r.get_u64()?;
+        let critical_read_latency_sum = r.get_u64()?;
+        let weighted_latency_sum = r.get_u128()?;
+        let n_channels = r.get_u32()? as usize;
+        let channels = (0..n_channels)
+            .map(|_| ChannelStats::decode(r))
+            .collect::<Result<Vec<_>, _>>()?;
+        let series = if r.get_bool()? {
+            Some(SeriesSet::decode(r)?)
+        } else {
+            None
+        };
+        Ok(ReplayStats {
+            injected,
+            completed,
+            cpu_cycles,
+            throttled_cycles,
+            queue_full_retries,
+            reads,
+            read_latency_sum,
+            critical_reads,
+            critical_read_latency_sum,
+            weighted_latency_sum,
+            channels,
+            series,
+        })
+    }
 }
 
 /// Drives a [`DramSystem`] from a captured trace.
@@ -187,9 +264,24 @@ impl TraceReplayer {
     ///
     /// # Panics
     ///
-    /// Panics if the replay exceeds [`ReplayConfig::max_cycles`]
-    /// (deadlock guard, mirroring the execution-driven system).
-    pub fn run(mut self) -> ReplayStats {
+    /// Panics if the replay exceeds [`ReplayConfig::max_cycles`] or
+    /// the forward-progress watchdog trips (deadlock guard, mirroring
+    /// the execution-driven system).
+    pub fn run(self) -> ReplayStats {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible version of [`Self::run`]: a wedged replay comes back as
+    /// a typed [`SimError::Watchdog`] instead of a panic. In the
+    /// snapshot, `mshr_occupancy` holds the outstanding request count
+    /// and `outbox_len` the records not yet injected (the replayer has
+    /// no cores or caches).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] on a cycle-budget overrun, an injection/
+    /// completion stall, or an over-aged DRAM request.
+    pub fn try_run(mut self) -> Result<ReplayStats, SimError> {
         let mut stats = ReplayStats::default();
         let mut sampler = self.cfg.sample_epoch.map(|epoch| {
             let schema = Schema::build(|v| self.dram.observe(v));
@@ -201,15 +293,24 @@ impl TraceReplayer {
         let mut inject_cycle: HashMap<u64, u64> = HashMap::new();
         let mut crit_of: HashMap<u64, u64> = HashMap::new();
         let mut now = 0u64;
+        let wd = self.cfg.watchdog;
+        let mut last_events = 0u64;
+        let mut last_event_cycle = 0u64;
+        let mut next_check = wd.check_interval;
         while (idx < total || outstanding > 0)
             && self.cfg.stop_at_cycle.is_none_or(|stop| now < stop)
         {
             now += 1;
-            assert!(
-                now < self.cfg.max_cycles,
-                "trace replay exceeded {} cycles (possible deadlock)",
-                self.cfg.max_cycles
-            );
+            if now >= self.cfg.max_cycles {
+                return Err(self.watchdog_error(
+                    WatchdogReason::CycleLimit {
+                        max_cycles: self.cfg.max_cycles,
+                    },
+                    now,
+                    total - idx,
+                    outstanding,
+                ));
+            }
             // Inject every record whose recorded cycle has arrived,
             // respecting the closed-loop throttle and queue space. This
             // happens before the DRAM tick of the same CPU cycle —
@@ -260,6 +361,39 @@ impl TraceReplayer {
                     s.sample(now, |v| self.dram.observe(v));
                 }
             }
+            if now >= next_check {
+                next_check = now.saturating_add(wd.check_interval);
+                if wd.no_commit_cycles > 0 {
+                    let events = stats.injected + stats.completed;
+                    if events > last_events {
+                        last_events = events;
+                        last_event_cycle = now;
+                    } else if now - last_event_cycle >= wd.no_commit_cycles {
+                        let idle_cycles = now - last_event_cycle;
+                        return Err(self.watchdog_error(
+                            WatchdogReason::NoCommit { idle_cycles },
+                            now,
+                            total - idx,
+                            outstanding,
+                        ));
+                    }
+                }
+                if wd.max_request_age > 0 {
+                    if let Some(age) = self.dram.oldest_queued_age() {
+                        if age > wd.max_request_age {
+                            return Err(self.watchdog_error(
+                                WatchdogReason::StarvedRequest {
+                                    age,
+                                    limit: wd.max_request_age,
+                                },
+                                now,
+                                total - idx,
+                                outstanding,
+                            ));
+                        }
+                    }
+                }
+            }
         }
         stats.cpu_cycles = now;
         stats.channels = self.dram.channel_stats().into_iter().cloned().collect();
@@ -269,7 +403,26 @@ impl TraceReplayer {
             }
             s.into_series()
         });
-        stats
+        Ok(stats)
+    }
+
+    /// Builds the diagnostic snapshot for a watchdog trip.
+    fn watchdog_error(
+        &self,
+        reason: WatchdogReason,
+        now: u64,
+        pending: usize,
+        outstanding: usize,
+    ) -> SimError {
+        SimError::Watchdog(Box::new(WatchdogSnapshot {
+            reason,
+            cycle: now,
+            committed: Vec::new(),
+            rob_head_pc: Vec::new(),
+            mshr_occupancy: outstanding,
+            outbox_len: pending,
+            bank_queues: self.dram.bank_queue_snapshot(),
+        }))
     }
 }
 

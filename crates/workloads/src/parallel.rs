@@ -120,13 +120,14 @@ pub fn parallel_app(name: &str) -> Option<AppSpec> {
         // footprint in the suite (§5.3.1), making it by far the most
         // memory-bound app.
         "art" => {
-            let mut ops = Vec::new();
             // First-level pointer load, then the dependent second-level
             // load (the serial chase).
-            ops.push(load(AddrPattern::Random { region: 12 * MB }));
-            ops.push(load(AddrPattern::Chase { region: 12 * MB }).dep(DepSpec::PrevLoad));
-            ops.push(fp().dep(DepSpec::PrevLoad));
-            ops.push(fpmul().dep(DepSpec::Dist(2)));
+            let mut ops = vec![
+                load(AddrPattern::Random { region: 12 * MB }),
+                load(AddrPattern::Chase { region: 12 * MB }).dep(DepSpec::PrevLoad),
+                fp().dep(DepSpec::PrevLoad),
+                fpmul().dep(DepSpec::Dist(2)),
+            ];
             // Weight vectors: cache-resident, unit stride.
             warm_load(&mut ops, 192 * KB);
             resident(&mut ops);

@@ -13,6 +13,9 @@ echo "release build took $((SECONDS - build_start))s"
 echo "== cargo test -q (includes doc tests)"
 cargo test -q
 
+echo "== cargo clippy --all-targets -D warnings (lint gate)"
+cargo clippy --all-targets -- -D warnings
+
 echo "== cargo doc --no-deps (warnings are errors; docs cannot rot)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
@@ -33,6 +36,27 @@ echo "== stats export smoke test (JSONL, serial == --jobs 2)"
 ./target/release/repro --scale quick --jobs 2 stats swim --epoch 20000 > "$tmp/stats.jobs2" 2>/dev/null
 diff "$tmp/stats.serial" "$tmp/stats.jobs2"
 head -c 120 "$tmp/stats.serial" | grep -q '"type":"export"'
+
+echo "== fault-injection smoke test (isolation + journal resume)"
+# Build the harness with the injection hooks armed, wedge one cell of a
+# two-figure sweep, and check that (a) the sweep completes with a
+# non-zero exit and a failure report, and (b) --resume reproduces the
+# clean run's stdout byte for byte.
+cargo build --release --features critmem/fault-inject -q
+faulty=./target/release/repro
+"$faulty" --scale quick --jobs 4 fig4 fig6 > "$tmp/sweep.clean" 2>/dev/null
+if CRITMEM_FAULT_PANIC_KEY='mg|CASRAS-Crit|Binary' \
+    "$faulty" --scale quick --jobs 4 --journal "$tmp/sweep.cmjr" fig4 fig6 \
+    > "$tmp/sweep.faulted" 2>/dev/null; then
+  echo "fault-injection smoke: expected a non-zero exit" >&2
+  exit 1
+fi
+grep -q '=== Failed cells ===' "$tmp/sweep.faulted"
+"$faulty" --scale quick --jobs 4 --journal "$tmp/sweep.cmjr" --resume fig4 fig6 \
+  > "$tmp/sweep.resumed" 2>/dev/null
+cmp "$tmp/sweep.clean" "$tmp/sweep.resumed"
+# Rebuild without the feature so later runs use the production binary.
+cargo build --release -q
 
 echo "== cargo fmt --check (fails on rustfmt drift)"
 cargo fmt --check

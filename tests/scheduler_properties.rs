@@ -84,7 +84,7 @@ fn request_mix(rng: &mut SmallRng) -> Vec<(u64, bool, u8, u64)> {
 /// FR-FCFS never loses or starves a request.
 #[test]
 fn frfcfs_conserves() {
-    let mut rng = SmallRng::seed_from_u64(0x5C4ED_0001);
+    let mut rng = SmallRng::seed_from_u64(0x0005_C4ED_0001);
     for _ in 0..12 {
         let reqs = request_mix(&mut rng);
         drive(|| Box::new(FrFcfs::new()), &reqs);
@@ -96,7 +96,7 @@ fn frfcfs_conserves() {
 /// safety net, §3.2).
 #[test]
 fn crit_schedulers_conserve() {
-    let mut rng = SmallRng::seed_from_u64(0x5C4ED_0002);
+    let mut rng = SmallRng::seed_from_u64(0x0005_C4ED_0002);
     for _ in 0..12 {
         let reqs = request_mix(&mut rng);
         drive(
@@ -110,7 +110,7 @@ fn crit_schedulers_conserve() {
 /// The baseline comparison schedulers preserve liveness.
 #[test]
 fn baseline_schedulers_conserve() {
-    let mut rng = SmallRng::seed_from_u64(0x5C4ED_0003);
+    let mut rng = SmallRng::seed_from_u64(0x0005_C4ED_0003);
     for _ in 0..12 {
         let reqs = request_mix(&mut rng);
         drive(|| Box::new(Ahb::new()), &reqs);

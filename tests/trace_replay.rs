@@ -35,7 +35,7 @@ fn capture_and_replay_same_config(
     scheduler: SchedulerKind,
 ) -> (critmem::system::RunStats, critmem_trace::ReplayStats) {
     let cfg = capture_cfg(scheduler);
-    let dram_cfg = cfg.dram.clone();
+    let dram_cfg = cfg.dram;
     let threads = cfg.cores;
     let (stats, trace) = run_traced(cfg, &WorkloadKind::Parallel(APP), APP);
     assert!(!trace.records.is_empty(), "capture produced no requests");
@@ -175,7 +175,7 @@ fn mismatched_topology_is_rejected_end_to_end() {
     let (_, trace) = run_traced(cfg.clone(), &WorkloadKind::Parallel(APP), APP);
 
     // A DRAM system with a different channel count must be refused.
-    let mut narrow = cfg.dram.clone();
+    let mut narrow = cfg.dram;
     narrow.org.channels = cfg.dram.org.channels / 2;
     assert!(narrow.org.channels != cfg.dram.org.channels);
     let dram = DramSystem::new(narrow, |_| Box::new(critmem_sched::FrFcfs::new()));
