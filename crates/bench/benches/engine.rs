@@ -7,12 +7,14 @@
 //! claims in DESIGN.md are regenerable with `cargo bench --bench
 //! engine`.
 
+use critmem::config::PredictorKind;
 use critmem::experiments::{fig10, fig11, Runner, Scale};
 use critmem::pool::default_jobs;
 use critmem_bench::{black_box, Criterion};
 use critmem_common::{AccessKind, ChannelId, CoreId, Criticality, MemRequest};
 use critmem_dram::{AddressMapping, ChannelController, DramConfig, Interleaving};
-use critmem_sched::FrFcfs;
+use critmem_predict::CbpMetric;
+use critmem_sched::{FrFcfs, SchedulerKind};
 use std::time::Instant;
 
 /// Pre-overhaul numbers, measured on the same harness (loaded/idle
@@ -89,6 +91,43 @@ fn measure_compare_seconds(jobs: usize) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
+/// Checkpoint boundary of the warm-start study, in CPU cycles. The
+/// quick-scale swim run lasts ~120k cycles, so this models the
+/// intended regime: a warmup region covering most of the run, shared
+/// across cells instead of re-simulated by each one.
+const WARM_BOUNDARY: u64 = 80_000;
+
+/// Cells of the warm-start study: a serial scheduler sweep over one
+/// workload under the paper's metric (plus the predictor-less
+/// baseline), sharing a platform and workload so the warm path needs
+/// exactly one warmup.
+const WARM_CELLS: [(SchedulerKind, bool); 4] = [
+    (SchedulerKind::FrFcfs, false),
+    (SchedulerKind::FrFcfs, true),
+    (SchedulerKind::CritCasRas, true),
+    (SchedulerKind::CasRasCrit, true),
+];
+
+/// Wall-clock seconds for the warm-start study's sweep. `warm = None`
+/// runs every cell cold from cycle zero; `Some(b)` shares one warmup
+/// checkpoint taken at cycle `b`.
+fn measure_sweep_seconds(warm: Option<u64>) -> f64 {
+    let mut r = Runner::new(Scale::quick());
+    r.jobs = 1;
+    r.warm_cycles = warm;
+    let t = Instant::now();
+    for (sched, cbp) in WARM_CELLS {
+        let pred = if cbp {
+            PredictorKind::cbp64(CbpMetric::MaxStallTime)
+        } else {
+            PredictorKind::None
+        };
+        black_box(r.parallel("swim", sched, pred).cycles);
+    }
+    assert!(!r.has_failures(), "{:?}", r.failures());
+    t.elapsed().as_secs_f64()
+}
+
 fn main() {
     // Display benches through the usual harness first.
     let mut c = Criterion::default();
@@ -125,6 +164,15 @@ fn main() {
     let parallel = measure_compare_seconds(jobs);
     let cpus = default_jobs();
 
+    // The warm-start study. A cold sweep re-simulates the warmup
+    // region once per cell; a warm sweep simulates it exactly once
+    // (the shared checkpoint), so the warmup-cycle ratio equals the
+    // cell count by construction — wall clock is the measured part.
+    let cold_sweep = measure_sweep_seconds(None);
+    let warm_sweep = measure_sweep_seconds(Some(WARM_BOUNDARY));
+    let cells = WARM_CELLS.len() as u64;
+    let cold_warmup_cycles = cells * WARM_BOUNDARY;
+
     let json = format!(
         "{{\n  \"host\": {{ \"cpus\": {cpus} }},\n  \"tick_kernel\": {{\n    \
          \"loaded_before_mticks_per_s\": {BEFORE_LOADED_MTICKS},\n    \
@@ -140,10 +188,22 @@ fn main() {
          \"jobs\": {jobs},\n    \
          \"parallel_seconds\": {parallel:.2},\n    \
          \"parallel_speedup_vs_serial\": {:.2},\n    \
-         \"note\": \"parallel speedup requires >1 CPU; output is byte-identical either way\"\n  }}\n}}\n",
+         \"note\": \"parallel speedup requires >1 CPU; output is byte-identical either way\"\n  }},\n  \
+         \"warm_start\": {{\n    \
+         \"workload\": \"4-cell quick-scale scheduler sweep on swim, boundary {WARM_BOUNDARY} cycles\",\n    \
+         \"cells\": {cells},\n    \
+         \"cold_warmup_cycles\": {cold_warmup_cycles},\n    \
+         \"warm_warmup_cycles\": {WARM_BOUNDARY},\n    \
+         \"warmup_cycle_ratio\": {:.1},\n    \
+         \"cold_sweep_seconds\": {cold_sweep:.2},\n    \
+         \"warm_sweep_seconds\": {warm_sweep:.2},\n    \
+         \"warm_speedup\": {:.2},\n    \
+         \"acceptance\": \"warmup_cycle_ratio >= 3; per-cell stats byte-identical (tests/checkpoint.rs)\"\n  }}\n}}\n",
         loaded / BEFORE_LOADED_MTICKS,
         idle / BEFORE_IDLE_MTICKS,
         serial / parallel,
+        cells as f64,
+        cold_sweep / warm_sweep,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &json).expect("write BENCH_engine.json");

@@ -249,6 +249,55 @@ impl CacheArray {
     }
 }
 
+impl critmem_common::Snapshot for CacheArray {
+    /// Geometry comes from the constructor; the captured state is every
+    /// line's metadata plus the LRU clock and hit/miss counters.
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u32(self.lines.len() as u32);
+        for l in &self.lines {
+            w.put_u64(l.addr);
+            w.put_bool(l.valid);
+            w.put_bool(l.dirty);
+            w.put_bool(l.exclusive);
+            w.put_u8(l.sharers);
+            w.put_bool(l.prefetched);
+            w.put_u64(l.lru);
+        }
+        w.put_u64(self.clock);
+        w.put_u64(self.hits);
+        w.put_u64(self.misses);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        if n != self.lines.len() {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "cache array holds {} lines, snapshot has {n}",
+                    self.lines.len()
+                ),
+                offset: r.position(),
+            });
+        }
+        for l in &mut self.lines {
+            l.addr = r.get_u64()?;
+            l.valid = r.get_bool()?;
+            l.dirty = r.get_bool()?;
+            l.exclusive = r.get_bool()?;
+            l.sharers = r.get_u8()?;
+            l.prefetched = r.get_bool()?;
+            l.lru = r.get_u64()?;
+        }
+        self.clock = r.get_u64()?;
+        self.hits = r.get_u64()?;
+        self.misses = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

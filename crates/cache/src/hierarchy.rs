@@ -649,6 +649,106 @@ impl CacheHierarchy {
     }
 }
 
+impl critmem_common::Snapshot for CacheHierarchy {
+    /// Serializes every mutable field; the geometry (`cfg`) is supplied
+    /// by the constructor on restore. The in-flight `info` map is
+    /// encoded sorted by token for determinism; the outbox and MSHR
+    /// files keep their in-memory order (it is architectural state).
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        for l1 in &self.l1d {
+            l1.save_state(w);
+        }
+        for m in &self.l1_mshr {
+            m.save_state(w);
+        }
+        self.l2.save_state(w);
+        self.l2_mshr.save_state(w);
+        if let Some(pf) = &self.prefetcher {
+            w.put_bool(true);
+            pf.save_state(w);
+        } else {
+            w.put_bool(false);
+        }
+        w.put_u32(self.outbox.len() as u32);
+        for e in &self.outbox {
+            e.req.encode(w);
+            w.put_u64(e.ready_at);
+        }
+        let mut tokens: Vec<u64> = self.info.keys().copied().collect();
+        tokens.sort_unstable();
+        w.put_u32(tokens.len() as u32);
+        for t in tokens {
+            let i = &self.info[&t];
+            w.put_u64(t);
+            w.put_u64(i.addr);
+            w.put_bool(i.is_write);
+            w.put_u64(i.crit.magnitude());
+            w.put_u64(i.start);
+            w.put_u8(i.core.0);
+        }
+        w.put_u64(self.next_token);
+        w.put_u64(self.next_req);
+        self.stats.encode(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        for l1 in &mut self.l1d {
+            l1.load_state(r)?;
+        }
+        for m in &mut self.l1_mshr {
+            m.load_state(r)?;
+        }
+        self.l2.load_state(r)?;
+        self.l2_mshr.load_state(r)?;
+        let has_pf = r.get_bool()?;
+        match (&mut self.prefetcher, has_pf) {
+            (Some(pf), true) => pf.load_state(r)?,
+            (None, false) => {}
+            (pf, _) => {
+                return Err(critmem_common::codec::CodecError {
+                    message: format!(
+                        "prefetcher presence mismatch: snapshot {has_pf}, config {}",
+                        pf.is_some()
+                    ),
+                    offset: r.position(),
+                })
+            }
+        }
+        self.outbox.clear();
+        for _ in 0..r.get_u32()? {
+            let req = MemRequest::decode(r)?;
+            let ready_at = r.get_u64()?;
+            self.outbox.push_back(OutboxEntry { req, ready_at });
+        }
+        self.info.clear();
+        for _ in 0..r.get_u32()? {
+            let token = r.get_u64()?;
+            let addr = r.get_u64()?;
+            let is_write = r.get_bool()?;
+            let crit = Criticality::ranked(r.get_u64()?);
+            let start = r.get_u64()?;
+            let core = CoreId(r.get_u8()?);
+            self.info.insert(
+                token,
+                AccessInfo {
+                    addr,
+                    is_write,
+                    crit,
+                    start,
+                    core,
+                },
+            );
+        }
+        self.next_token = r.get_u64()?;
+        self.next_req = r.get_u64()?;
+        self.stats = HierarchyStats::decode(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

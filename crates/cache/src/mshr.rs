@@ -178,6 +178,64 @@ impl MshrFile {
     }
 }
 
+impl critmem_common::Snapshot for MshrFile {
+    /// Entry order is architectural state (`complete` uses
+    /// `swap_remove`), so entries are serialized verbatim.
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.put_u64(e.line_addr);
+            w.put_u32(e.targets.len() as u32);
+            for t in &e.targets {
+                w.put_u64(t.token);
+                w.put_bool(t.is_write);
+            }
+            w.put_bool(e.wants_exclusive);
+        }
+        w.put_u64(self.peak as u64);
+        w.put_u64(self.merges);
+        w.put_u64(self.rejections);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        if n > self.capacity {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "snapshot holds {n} MSHR entries, capacity is {}",
+                    self.capacity
+                ),
+                offset: r.position(),
+            });
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            let line_addr = r.get_u64()?;
+            let targets = (0..r.get_u32()? as usize)
+                .map(|_| {
+                    Ok(MshrTarget {
+                        token: r.get_u64()?,
+                        is_write: r.get_bool()?,
+                    })
+                })
+                .collect::<Result<_, critmem_common::codec::CodecError>>()?;
+            let wants_exclusive = r.get_bool()?;
+            self.entries.push(Entry {
+                line_addr,
+                targets,
+                wants_exclusive,
+            });
+        }
+        self.peak = r.get_u64()? as usize;
+        self.merges = r.get_u64()?;
+        self.rejections = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

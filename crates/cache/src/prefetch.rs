@@ -156,6 +156,57 @@ impl StreamPrefetcher {
     }
 }
 
+impl critmem_common::Snapshot for StreamPrefetcher {
+    /// Stream order is state (training matches the first covering
+    /// stream), so streams are serialized verbatim.
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u32(self.streams.len() as u32);
+        for s in &self.streams {
+            w.put_u64(s.last_line);
+            w.put_u64(s.next_pf);
+            w.put_u64(s.dir as u64);
+            w.put_bool(s.trained);
+            w.put_u64(s.lru);
+        }
+        w.put_u64(self.clock);
+        w.put_u64(self.issued);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        if n > self.cfg.streams {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "snapshot holds {n} streams, table capacity is {}",
+                    self.cfg.streams
+                ),
+                offset: r.position(),
+            });
+        }
+        self.streams.clear();
+        for _ in 0..n {
+            let last_line = r.get_u64()?;
+            let next_pf = r.get_u64()?;
+            let dir = r.get_u64()? as i64;
+            let trained = r.get_bool()?;
+            let lru = r.get_u64()?;
+            self.streams.push(Stream {
+                last_line,
+                next_pf,
+                dir,
+                trained,
+                lru,
+            });
+        }
+        self.clock = r.get_u64()?;
+        self.issued = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

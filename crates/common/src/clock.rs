@@ -105,6 +105,26 @@ impl ClockDivider {
     }
 }
 
+impl crate::codec::Snapshot for ClockDivider {
+    /// The frequencies come from the constructor; only the accumulator
+    /// and the two cycle counters are mutable state.
+    fn save_state(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_u64(self.acc);
+        w.put_u64(self.slow_cycles);
+        w.put_u64(self.fast_cycles);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<(), crate::codec::CodecError> {
+        self.acc = r.get_u64()?;
+        self.slow_cycles = r.get_u64()?;
+        self.fast_cycles = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,35 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Architectural-state capture for checkpointed warm-start simulation.
+///
+/// A component implementing `Snapshot` can serialize its *mutable*
+/// state into a [`ByteWriter`] and later overlay that state onto a
+/// freshly constructed instance. Restore never rebuilds structure: the
+/// caller reconstructs the component from its configuration through the
+/// normal constructor, then calls [`Snapshot::load_state`] to replay
+/// the captured fields. Anything derivable from configuration
+/// (capacities, geometry, seeds baked into constructor arguments) is
+/// deliberately *not* serialized.
+///
+/// Implementations must be deterministic: iteration over unordered
+/// containers (e.g. `HashMap`) must be sorted before encoding so that
+/// capturing the same state twice yields identical bytes.
+pub trait Snapshot {
+    /// Appends this component's mutable state to `w`.
+    fn save_state(&self, w: &mut ByteWriter);
+
+    /// Overlays previously captured state onto `self`.
+    ///
+    /// `self` must have been constructed with the same configuration
+    /// that produced the saved state.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or inconsistent stream.
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError>;
+}
+
 /// Growable little-endian encoder.
 #[derive(Debug, Clone, Default)]
 pub struct ByteWriter {

@@ -44,6 +44,7 @@ pub mod rng;
 pub mod stats;
 
 pub use clock::ClockDivider;
+pub use codec::Snapshot;
 pub use error::{BankQueueState, SimError, WatchdogConfig, WatchdogReason, WatchdogSnapshot};
 pub use ids::{BankId, ChannelId, CoreId, RankId, ThreadId};
 pub use mem::{AccessKind, Criticality, MemRequest, ReqId, RequestObserver};

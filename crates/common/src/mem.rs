@@ -168,6 +168,53 @@ impl MemRequest {
         self.issued_at = cycle;
         self
     }
+
+    /// Serializes for checkpoint artifacts.
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_u64(self.id);
+        w.put_u64(self.addr);
+        w.put_u8(match self.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+            AccessKind::Prefetch => 2,
+        });
+        w.put_u8(self.core.0);
+        w.put_u64(self.crit.magnitude());
+        w.put_u64(self.issued_at);
+    }
+
+    /// Deserializes a checkpointed request.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream or an unknown access-kind tag.
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        let id = r.get_u64()?;
+        let addr = r.get_u64()?;
+        let kind_at = r.position();
+        let kind = match r.get_u8()? {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            2 => AccessKind::Prefetch,
+            n => {
+                return Err(crate::codec::CodecError {
+                    message: format!("unknown access kind tag {n}"),
+                    offset: kind_at,
+                })
+            }
+        };
+        let core = CoreId(r.get_u8()?);
+        let crit = Criticality::ranked(r.get_u64()?);
+        let issued_at = r.get_u64()?;
+        Ok(MemRequest {
+            id,
+            addr,
+            kind,
+            core,
+            crit,
+            issued_at,
+        })
+    }
 }
 
 /// Observer of requests crossing the LLC-miss boundary into the DRAM

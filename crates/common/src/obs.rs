@@ -392,6 +392,30 @@ impl Sampler {
     }
 }
 
+impl crate::codec::Snapshot for Sampler {
+    /// The epoch and schema come from the constructor; the captured
+    /// state is the next fire cycle plus every recorded row.
+    fn save_state(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_u64(self.next_at);
+        w.put_u64_seq(&self.series.cycles);
+        w.put_u32(self.series.values.len() as u32);
+        for &v in &self.series.values {
+            w.put_f64(v);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<(), crate::codec::CodecError> {
+        self.next_at = r.get_u64()?;
+        self.series.cycles = r.get_u64_seq()?;
+        let n = r.get_u32()? as usize;
+        self.series.values = (0..n).map(|_| r.get_f64()).collect::<Result<_, _>>()?;
+        Ok(())
+    }
+}
+
 /// One run's labeled series within a [`SeriesExport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunSeries {

@@ -136,6 +136,24 @@ impl SmallRng {
     }
 }
 
+impl crate::codec::Snapshot for SmallRng {
+    fn save_state(&self, w: &mut crate::codec::ByteWriter) {
+        for &word in &self.s {
+            w.put_u64(word);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::codec::ByteReader<'_>,
+    ) -> Result<(), crate::codec::CodecError> {
+        for word in &mut self.s {
+            *word = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

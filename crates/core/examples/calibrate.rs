@@ -1,6 +1,6 @@
 //! Internal calibration probe: per-app baseline characteristics and
 //! the headline criticality speedup at small scale.
-use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem::{PredictorKind, Session, SystemConfig, WorkloadKind};
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 use std::time::Instant;
@@ -29,12 +29,17 @@ fn main() {
         let t0 = Instant::now();
         let mut cfg = SystemConfig::paper_baseline(instr);
         cfg.max_cycles = 500_000_000;
-        let base = run(cfg.clone(), &WorkloadKind::Parallel(app));
-        let crit_cfg = cfg
-            .clone()
-            .with_scheduler(SchedulerKind::CasRasCrit)
-            .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
-        let crit = run(crit_cfg, &WorkloadKind::Parallel(app));
+        let wl = WorkloadKind::Parallel(app);
+        let base = Session::new(cfg.clone(), &wl)
+            .run()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .stats;
+        let crit = Session::new(cfg.clone(), &wl)
+            .scheduler(SchedulerKind::CasRasCrit)
+            .predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime))
+            .run()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .stats;
         let speedup = base.cycles as f64 / crit.cycles as f64;
         let ipc = instr as f64 * 8.0 / base.cycles as f64;
         let rh: f64 = {

@@ -1,4 +1,4 @@
-use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem::{PredictorKind, Session, SystemConfig, WorkloadKind};
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 
@@ -20,7 +20,10 @@ fn main() {
     ] {
         let mut cfg = cfg;
         cfg.max_cycles = 2_000_000_000;
-        let s = run(cfg, &WorkloadKind::Parallel(app));
+        let s = Session::new(cfg, &WorkloadKind::Parallel(app))
+            .run()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .stats;
         let starv: u64 = s.channels.iter().map(|c| c.starvation_promotions).sum();
         let rh: u64 = s.channels.iter().map(|c| c.row_hits).sum();
         let rm: u64 = s.channels.iter().map(|c| c.row_misses).sum();

@@ -3,12 +3,15 @@
 //! studies.
 //!
 //! ```text
-//! repro [--scale quick|standard|full] [experiments...]
+//! repro [--scale quick|standard|full] [--warm-cycles N] [experiments...]
 //! repro trace capture <app> <file> [--scale ...]
 //! repro trace replay <file> --sched <name> [--max-outstanding N]
 //! repro trace sweep [app] [--scale ...]
 //! repro stats [apps...] [--sched <name>] [--pred <metric>]
 //!             [--epoch N] [--format jsonl|csv] [--out <file>]
+//! repro checkpoint save <app> <file> [--cycles N] [--scale ...]
+//! repro checkpoint restore <file> <app> [--sched <name>] [--pred <metric>]
+//! repro checkpoint sweep [app] [--cycles N] [--scale ...] [--jobs N]
 //!
 //! experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              fig11 fig12 table5 table7 naive reset tracesweep all
@@ -21,6 +24,7 @@ use critmem::experiments::{
     reset_study, stats_export, table5, table7, trace_sweep, Runner, Scale,
 };
 use critmem::journal::SweepJournal;
+use critmem::{Checkpoint, Session, SystemConfig, WorkloadKind};
 use critmem_common::SimError;
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
@@ -29,17 +33,22 @@ use critmem_trace::{ReplayConfig, Trace, TraceReplayer};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale quick|standard|full] [--jobs N] [--journal <file> [--resume]]\n\
-         \x20            [experiments...]\n\
+         \x20            [--warm-cycles N] [experiments...]\n\
          \x20      repro trace capture <app> <file> [--scale ...]\n\
          \x20      repro trace replay <file> --sched <name> [--max-outstanding N]\n\
          \x20      repro trace sweep [app] [--scale ...] [--jobs N]\n\
          \x20      repro stats [apps...] [--sched <name>] [--pred <metric>|none] [--epoch N]\n\
          \x20                  [--format jsonl|csv] [--out <file>] [--scale ...] [--jobs N]\n\
+         \x20      repro checkpoint save <app> <file> [--cycles N] [--scale ...]\n\
+         \x20      repro checkpoint restore <file> <app> [--sched <name>] [--pred <metric>|none]\n\
+         \x20      repro checkpoint sweep [app] [--cycles N] [--scale ...] [--jobs N]\n\
          experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
          table5 table7 naive reset tracesweep all\n\
          --jobs N: simulation worker threads (default: available cores; 1 = serial)\n\
          --journal <file>: record completed cells for crash recovery\n\
          --resume: reload a journal's completed cells, re-running only the missing ones\n\
+         --warm-cycles N: share one baseline warmup checkpoint (snapshotted at cycle N)\n\
+         \x20                across every non-sampling sweep cell\n\
          exit codes: 0 ok, 2 configuration error, 3 watchdog (livelocked run), 1 other failure"
     );
     std::process::exit(2);
@@ -97,12 +106,12 @@ fn trace_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
             let mut it = args.into_iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
-                    "--sched" => match it.next().and_then(|s| SchedulerKind::from_name(&s)) {
-                        Some(k) => sched = k,
+                    "--sched" => match it.next() {
+                        Some(s) => sched = s.parse().unwrap_or_else(|e| fail(e)),
                         None => usage(),
                     },
                     "--max-outstanding" => match it.next().and_then(|s| s.parse().ok()) {
-                        Some(n) => replay_cfg.max_outstanding = Some(n),
+                        Some(n) => replay_cfg = replay_cfg.with_max_outstanding(n),
                         None => usage(),
                     },
                     f if file.is_none() => file = Some(f.to_string()),
@@ -163,19 +172,150 @@ fn trace_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
     }
 }
 
-/// Maps a `--pred` argument to a predictor: a CBP metric name (the
-/// paper's 64-entry table) or `none`.
-fn predictor_by_name(name: &str) -> Option<PredictorKind> {
-    let metric = match name.to_ascii_lowercase().as_str() {
-        "none" => return Some(PredictorKind::None),
-        "binary" => CbpMetric::Binary,
-        "blockcount" => CbpMetric::BlockCount,
-        "laststalltime" => CbpMetric::LastStallTime,
-        "maxstalltime" => CbpMetric::MaxStallTime,
-        "totalstalltime" => CbpMetric::TotalStallTime,
-        _ => return None,
-    };
-    Some(PredictorKind::cbp64(metric))
+/// The platform every checkpoint subcommand builds: the same base
+/// configuration the figure sweeps use at this scale, so checkpoints
+/// written here restore onto sweep cells.
+fn checkpoint_cfg(scale: &Scale) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_baseline(scale.instructions);
+    cfg.max_cycles = scale.instructions.saturating_mul(20_000).max(1_000_000_000);
+    cfg
+}
+
+/// The warm-start table: one shared warmup, every scheduler fanned out
+/// from it (driven twice by [`Runner::run_parallel`]: plan + execute).
+fn checkpoint_sweep_table(r: &mut Runner, app: &'static str) -> experiments::TextTable {
+    let base = r.baseline(app);
+    let mut t = experiments::TextTable::new(
+        format!("Warm-started scheduler sweep — {app}"),
+        &["cycles", "speedup vs FR-FCFS"],
+    );
+    t.row(
+        SchedulerKind::FrFcfs.name(),
+        vec![
+            format!("{}", base.cycles),
+            experiments::TextTable::ratio(1.0),
+        ],
+    );
+    for sched in [SchedulerKind::CritCasRas, SchedulerKind::CasRasCrit] {
+        let stats = r.parallel(app, sched, PredictorKind::cbp64(CbpMetric::MaxStallTime));
+        t.row(
+            sched.name(),
+            vec![
+                format!("{}", stats.cycles),
+                experiments::TextTable::ratio(critmem::speedup(&base, &stats)),
+            ],
+        );
+    }
+    t
+}
+
+fn checkpoint_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
+    match args.first().map(String::as_str) {
+        Some("save") => {
+            let mut app = None;
+            let mut file = None;
+            let mut cycles = 20_000u64;
+            let mut it = args.into_iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--cycles" => match it.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if n > 0 => cycles = n,
+                        _ => usage(),
+                    },
+                    v if app.is_none() => app = Some(static_app(v)),
+                    v if file.is_none() => file = Some(v.to_string()),
+                    _ => usage(),
+                }
+            }
+            let (Some(app), Some(file)) = (app, file) else {
+                usage()
+            };
+            let ckpt = Session::new(checkpoint_cfg(&scale), &WorkloadKind::Parallel(app))
+                .checkpoint_at(cycles)
+                .run_to_checkpoint()
+                .unwrap_or_else(|e| fail(e));
+            ckpt.save(std::path::Path::new(&file))
+                .unwrap_or_else(|e| fail(e));
+            println!(
+                "checkpointed {app} at cycle {} ({} state bytes, {} instr/core target) -> {file}",
+                ckpt.cycle(),
+                ckpt.state_len(),
+                scale.instructions
+            );
+            std::process::exit(0);
+        }
+        Some("restore") => {
+            let mut file = None;
+            let mut app = None;
+            let mut sched = SchedulerKind::FrFcfs;
+            let mut pred = PredictorKind::None;
+            let mut it = args.into_iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--sched" => match it.next() {
+                        Some(s) => sched = s.parse().unwrap_or_else(|e| fail(e)),
+                        None => usage(),
+                    },
+                    "--pred" => match it.next() {
+                        Some(s) => pred = s.parse().unwrap_or_else(|e| fail(e)),
+                        None => usage(),
+                    },
+                    v if file.is_none() => file = Some(v.to_string()),
+                    v if app.is_none() => app = Some(static_app(v)),
+                    _ => usage(),
+                }
+            }
+            let (Some(file), Some(app)) = (file, app) else {
+                usage()
+            };
+            let ckpt = Checkpoint::load(std::path::Path::new(&file)).unwrap_or_else(|e| fail(e));
+            let cfg = checkpoint_cfg(&scale)
+                .with_scheduler(sched)
+                .with_predictor(pred);
+            let out = Session::from_checkpoint(&ckpt, cfg, &WorkloadKind::Parallel(app))
+                .run()
+                .unwrap_or_else(|e| fail(e));
+            let mean_ipc: f64 = (0..out.stats.cores.len())
+                .map(|c| out.stats.ipc(c))
+                .sum::<f64>()
+                / out.stats.cores.len().max(1) as f64;
+            println!(
+                "warm-started {app} from cycle {} under {} / {}: finished at cycle {} \
+                 (mean IPC {mean_ipc:.3})",
+                ckpt.cycle(),
+                sched.name(),
+                pred.name(),
+                out.stats.cycles
+            );
+            std::process::exit(0);
+        }
+        Some("sweep") => {
+            let mut app = "swim";
+            let mut cycles = 20_000u64;
+            let mut it = args.into_iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--cycles" => match it.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if n > 0 => cycles = n,
+                        _ => usage(),
+                    },
+                    v => app = static_app(v),
+                }
+            }
+            let mut r = Runner::new(scale);
+            r.verbose = true;
+            r.jobs = jobs;
+            r.warm_cycles = Some(cycles);
+            let table = r.run_parallel(|r| checkpoint_sweep_table(r, app));
+            println!("{table}");
+            eprintln!(
+                "{} distinct simulations executed (shared warmup at cycle {cycles})",
+                r.runs_executed()
+            );
+            std::process::exit(0);
+        }
+        _ => usage(),
+    }
 }
 
 fn stats_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
@@ -188,12 +328,12 @@ fn stats_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--sched" => match it.next().and_then(|s| SchedulerKind::from_name(&s)) {
-                Some(k) => sched = k,
+            "--sched" => match it.next() {
+                Some(s) => sched = s.parse().unwrap_or_else(|e| fail(e)),
                 None => usage(),
             },
-            "--pred" => match it.next().and_then(|s| predictor_by_name(&s)) {
-                Some(p) => pred = p,
+            "--pred" => match it.next() {
+                Some(s) => pred = s.parse().unwrap_or_else(|e| fail(e)),
                 None => usage(),
             },
             "--epoch" => match it.next().and_then(|s| s.parse().ok()) {
@@ -246,9 +386,14 @@ fn main() {
     let mut jobs = critmem::pool::default_jobs();
     let mut journal_path: Option<String> = None;
     let mut resume = false;
+    let mut warm_cycles: Option<u64> = None;
     let mut selected: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--warm-cycles" => match args.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => warm_cycles = Some(n),
+                _ => usage(),
+            },
             "--scale" => match args.next().as_deref() {
                 Some("quick") => scale = Scale::quick(),
                 Some("standard") => scale = Scale::standard(),
@@ -278,6 +423,9 @@ fn main() {
     if selected.first().map(String::as_str) == Some("stats") {
         stats_main(selected.split_off(1), scale, jobs);
     }
+    if selected.first().map(String::as_str) == Some("checkpoint") {
+        checkpoint_main(selected.split_off(1), scale, jobs);
+    }
     if selected.is_empty() {
         selected.push("all".to_string());
     }
@@ -287,6 +435,7 @@ fn main() {
     let mut r = Runner::new(scale);
     r.verbose = true;
     r.jobs = jobs;
+    r.warm_cycles = warm_cycles;
     if let Some(path) = &journal_path {
         let path = std::path::Path::new(path);
         if resume && path.exists() {

@@ -1,0 +1,319 @@
+//! Checkpoint & warm-start engine: full architectural-state snapshots
+//! of a running [`System`], framed as `CMCK` binary artifacts.
+//!
+//! A sweep over schedulers and predictor metrics re-simulates the same
+//! warmup region once per cell — byte-identical work, because warmup
+//! runs under the shared baseline configuration. A [`Checkpoint`]
+//! captures the complete mutable state of the platform at a chosen
+//! cycle (ROB/LQ/SQ and rename bookkeeping, predictor tables, cache
+//! arrays and MSHRs, DRAM bank/row/queue state, RNGs, and the clock
+//! divider), so every cell restores from the shared snapshot and pays
+//! the warmup cost once.
+//!
+//! Component state that a cell replaces at the boundary — the memory
+//! scheduler and the criticality predictor — is framed inside the
+//! snapshot as length-prefixed blocks. A restore whose configuration
+//! names the same component replays the block; a restore that swaps
+//! components discards it and keeps the fresh instance, which is
+//! byte-identical to driving the original system to the boundary and
+//! calling [`System::reconfigure`] (the property `tests/checkpoint.rs`
+//! enforces).
+//!
+//! # On-disk format (`CMCK`, DESIGN.md §6g)
+//!
+//! ```text
+//! b"CMCK" | u32 version | u32 payload_len | payload | u32 crc32(payload)
+//! payload = u32 fingerprint | u64 cycle | str scheduler | str predictor
+//!         | bytes state
+//! ```
+//!
+//! The same torn-tail discipline as the `CMJR` sweep journal: magic and
+//! version mismatches and CRC failures come back as typed
+//! [`SimError::Artifact`] values, never panics. The fingerprint is a
+//! CRC-32 over a canonical rendering of the *platform* — core count and
+//! microarchitecture, cache hierarchy, DRAM organization, clocks, seed,
+//! forwarding settings, and workload — so a checkpoint can only be
+//! restored onto the platform that produced it. Scheduler, predictor,
+//! instruction target, sampling, and watchdog settings are deliberately
+//! outside the fingerprint: those are exactly the knobs a warm-started
+//! cell varies.
+
+use crate::config::{SystemConfig, WorkloadKind};
+use crate::system::System;
+use critmem_common::codec::{ByteReader, ByteWriter};
+use critmem_common::{crc32, RequestObserver, SimError};
+use std::sync::Arc;
+
+/// Artifact magic: "CritMem ChecKpoint".
+const MAGIC: &[u8; 4] = b"CMCK";
+/// Current format version.
+const VERSION: u32 = 1;
+
+/// A full architectural-state snapshot of a [`System`] at one cycle.
+///
+/// The state bytes live behind an [`Arc`], so fanning one warmup
+/// checkpoint out across parallel sweep workers clones a pointer, not
+/// the (potentially large) snapshot.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    fingerprint: u32,
+    cycle: u64,
+    scheduler: String,
+    predictor: String,
+    state: Arc<Vec<u8>>,
+}
+
+/// Canonical platform fingerprint: everything that must be identical
+/// between the system that saved a checkpoint and one restoring it.
+pub(crate) fn fingerprint_of(cfg: &SystemConfig, workload: &WorkloadKind) -> u32 {
+    let canon = format!(
+        "cores={};core={:?};hier={:?};dram={:?};mhz={};seed={};fwd={}/{};wl={:?}",
+        cfg.cores,
+        cfg.core,
+        cfg.hierarchy,
+        cfg.dram,
+        cfg.cpu_mhz,
+        cfg.seed,
+        cfg.naive_forwarding,
+        cfg.forward_latency,
+        workload
+    );
+    crc32::checksum(canon.as_bytes())
+}
+
+impl Checkpoint {
+    /// Snapshots a running system.
+    pub(crate) fn capture<O: RequestObserver>(
+        sys: &System<O>,
+        workload: &WorkloadKind,
+    ) -> Checkpoint {
+        let mut w = ByteWriter::new();
+        sys.save_state(&mut w);
+        Checkpoint {
+            fingerprint: fingerprint_of(sys.config(), workload),
+            cycle: sys.now(),
+            scheduler: format!("{:?}", sys.config().scheduler),
+            predictor: format!("{:?}", sys.config().predictor),
+            state: Arc::new(w.into_bytes()),
+        }
+    }
+
+    /// Overlays this snapshot onto a freshly built system. Saved
+    /// scheduler/predictor state is replayed only when the target
+    /// configuration names the same component; otherwise the fresh
+    /// instance is kept (the warm-start component swap).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Artifact`] when the target platform's fingerprint
+    /// differs from the one that produced the snapshot, or the state
+    /// bytes fail to decode.
+    pub(crate) fn restore_into<O: RequestObserver>(
+        &self,
+        sys: &mut System<O>,
+        workload: &WorkloadKind,
+    ) -> Result<(), SimError> {
+        let expect = fingerprint_of(sys.config(), workload);
+        if expect != self.fingerprint {
+            return Err(SimError::Artifact(format!(
+                "checkpoint fingerprint {:08x} does not match the target platform {expect:08x} \
+                 (cores, caches, DRAM, clocks, seed, forwarding, and workload must be identical)",
+                self.fingerprint
+            )));
+        }
+        let load_predictors = format!("{:?}", sys.config().predictor) == self.predictor;
+        let load_schedulers = format!("{:?}", sys.config().scheduler) == self.scheduler;
+        let mut r = ByteReader::new(&self.state);
+        sys.load_state(&mut r, load_predictors, load_schedulers)?;
+        Ok(())
+    }
+
+    /// CPU cycle at which the snapshot was taken.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Size of the raw state payload in bytes.
+    pub fn state_len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Serializes to the `CMCK` wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = ByteWriter::new();
+        payload.put_u32(self.fingerprint);
+        payload.put_u64(self.cycle);
+        payload.put_str(&self.scheduler);
+        payload.put_str(&self.predictor);
+        payload.put_bytes(&self.state);
+        let payload = payload.into_bytes();
+        let mut out = Vec::with_capacity(payload.len() + 16);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&crc32::checksum(&payload).to_le_bytes());
+        out
+    }
+
+    /// Parses the `CMCK` wire format.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Artifact`] on a wrong magic, unsupported version,
+    /// truncation, or CRC mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, SimError> {
+        if bytes.len() < 12 {
+            return Err(SimError::Artifact(format!(
+                "checkpoint too short ({} bytes) to hold a CMCK header",
+                bytes.len()
+            )));
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(SimError::Artifact(format!(
+                "bad checkpoint magic {:02x?} (expected \"CMCK\")",
+                &bytes[..4]
+            )));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(SimError::Artifact(format!(
+                "unsupported checkpoint version {version} (this build reads {VERSION})"
+            )));
+        }
+        let len = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let rest = &bytes[12..];
+        if rest.len() < len + 4 {
+            return Err(SimError::Artifact(format!(
+                "truncated checkpoint: header promises {len} payload bytes + CRC, {} remain",
+                rest.len()
+            )));
+        }
+        let payload = &rest[..len];
+        let crc = u32::from_le_bytes(rest[len..len + 4].try_into().expect("4 bytes"));
+        if crc32::checksum(payload) != crc {
+            return Err(SimError::Artifact(
+                "checkpoint payload failed its CRC check (corrupt or torn write)".into(),
+            ));
+        }
+        let mut r = ByteReader::new(payload);
+        let fingerprint = r.get_u32()?;
+        let cycle = r.get_u64()?;
+        let scheduler = r.get_str()?.to_string();
+        let predictor = r.get_str()?.to_string();
+        let state = r.get_bytes()?;
+        Ok(Checkpoint {
+            fingerprint,
+            cycle,
+            scheduler,
+            predictor,
+            state: Arc::new(state),
+        })
+    }
+
+    /// Writes the checkpoint to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] with the path on any filesystem failure.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), SimError> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| SimError::from(e).with_path(path))
+    }
+
+    /// Reads a checkpoint from a file.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Io`] on filesystem failures, [`SimError::Artifact`]
+    /// on a corrupt or truncated file.
+    pub fn load(path: &std::path::Path) -> Result<Checkpoint, SimError> {
+        let bytes = std::fs::read(path).map_err(|e| SimError::from(e).with_path(path))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            fingerprint: 0xDEAD_BEEF,
+            cycle: 12_345,
+            scheduler: "FrFcfs".into(),
+            predictor: "None".into(),
+            state: Arc::new(vec![1, 2, 3, 4, 5]),
+        }
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let c = sample();
+        let d = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(d.fingerprint, c.fingerprint);
+        assert_eq!(d.cycle(), 12_345);
+        assert_eq!(d.scheduler, c.scheduler);
+        assert_eq!(*d.state, *c.state);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_crc_and_truncation() {
+        let bytes = sample().to_bytes();
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad),
+            Err(SimError::Artifact(_))
+        ));
+
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad),
+            Err(SimError::Artifact(_))
+        ));
+
+        let mut bad = bytes.clone();
+        let flip = bytes.len() - 10; // inside the payload
+        bad[flip] ^= 0xFF;
+        assert!(matches!(
+            Checkpoint::from_bytes(&bad),
+            Err(SimError::Artifact(_))
+        ));
+
+        for cut in [0, 3, 11, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    Checkpoint::from_bytes(&bytes[..cut]),
+                    Err(SimError::Artifact(_))
+                ),
+                "cut at {cut} must be a typed error"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_platform_not_cell_knobs() {
+        let cfg = SystemConfig::paper_baseline(1_000);
+        let wl = WorkloadKind::Parallel("swim");
+        let base = fingerprint_of(&cfg, &wl);
+
+        // Cell knobs (scheduler, predictor, target, sampling) do not
+        // change the fingerprint...
+        let cell = cfg
+            .clone()
+            .with_scheduler(critmem_sched::SchedulerKind::CasRasCrit)
+            .with_predictor(crate::config::PredictorKind::cbp64(
+                critmem_predict::CbpMetric::MaxStallTime,
+            ))
+            .with_sampling(1_000);
+        assert_eq!(fingerprint_of(&cell, &wl), base);
+
+        // ...but the platform and workload do.
+        let mut other = cfg.clone();
+        other.seed ^= 1;
+        assert_ne!(fingerprint_of(&other, &wl), base);
+        assert_ne!(fingerprint_of(&cfg, &WorkloadKind::Parallel("mg")), base);
+    }
+}

@@ -63,6 +63,42 @@ impl PredictorKind {
     }
 }
 
+impl std::str::FromStr for PredictorKind {
+    type Err = critmem_common::SimError;
+
+    /// Parses a predictor name: `none`, or a CBP annotation metric
+    /// (`binary`, `blockcount`, `laststalltime`, `maxstalltime`,
+    /// `totalstalltime`) mapped to the paper's 64-entry table.
+    /// Case-insensitive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use critmem::PredictorKind;
+    /// use critmem_predict::CbpMetric;
+    /// let p: PredictorKind = "maxstalltime".parse().unwrap();
+    /// assert_eq!(p, PredictorKind::cbp64(CbpMetric::MaxStallTime));
+    /// assert!("nope".parse::<PredictorKind>().is_err());
+    /// ```
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        let metric = match name.to_ascii_lowercase().as_str() {
+            "none" => return Ok(PredictorKind::None),
+            "binary" => CbpMetric::Binary,
+            "blockcount" => CbpMetric::BlockCount,
+            "laststalltime" => CbpMetric::LastStallTime,
+            "maxstalltime" => CbpMetric::MaxStallTime,
+            "totalstalltime" => CbpMetric::TotalStallTime,
+            _ => {
+                return Err(critmem_common::SimError::Config(format!(
+                    "unknown predictor {name:?} (expected none, binary, blockcount, \
+                     laststalltime, maxstalltime, or totalstalltime)"
+                )))
+            }
+        };
+        Ok(PredictorKind::cbp64(metric))
+    }
+}
+
 /// The workload to run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadKind {

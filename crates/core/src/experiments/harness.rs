@@ -1,10 +1,12 @@
 //! Shared experiment-harness machinery: run scaling, memoized
 //! simulation runs, and plain-text table rendering.
 
+use crate::checkpoint::{fingerprint_of, Checkpoint};
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
 use crate::journal::{JournalEntry, SweepJournal};
 use crate::pool::scoped_map_isolated;
-use crate::system::{try_run, try_run_traced, RunStats};
+use crate::session::Session;
+use crate::system::RunStats;
 use critmem_common::SimError;
 use critmem_dram::DramSystem;
 use critmem_sched::SchedulerKind;
@@ -121,6 +123,15 @@ pub struct Runner {
     /// Worker threads for [`Runner::run_parallel`]; `1` means fully
     /// serial (plan/execute is bypassed entirely).
     pub jobs: usize,
+    /// Warm-start boundary in CPU cycles. When set, each distinct
+    /// `(platform, workload, instruction budget)` is warmed once under
+    /// the shared baseline configuration (FR-FCFS, no predictor) up to
+    /// this cycle, the full architectural state is checkpointed, and
+    /// every sweep cell restores from the shared snapshot instead of
+    /// re-simulating the warmup. Cells that sample time series run cold
+    /// (their series must cover the whole run), as do trace captures
+    /// (the recorded stream must start at cycle zero).
+    pub warm_cycles: Option<u64>,
     cache: HashMap<String, Arc<RunStats>>,
     runs_executed: u64,
     traces: HashMap<String, Arc<Trace>>,
@@ -129,6 +140,10 @@ pub struct Runner {
     planning: Option<Plan>,
     failed: Vec<CellFailure>,
     journal: Option<SweepJournal>,
+    /// Shared warmup checkpoints, keyed by warm key; `None` records a
+    /// failed warmup so dependent cells fall back to cold runs instead
+    /// of retrying it.
+    checkpoints: HashMap<String, Option<Arc<Checkpoint>>>,
 }
 
 impl Runner {
@@ -138,6 +153,7 @@ impl Runner {
             scale,
             verbose: false,
             jobs: 1,
+            warm_cycles: None,
             cache: HashMap::new(),
             runs_executed: 0,
             traces: HashMap::new(),
@@ -146,6 +162,7 @@ impl Runner {
             planning: None,
             failed: Vec::new(),
             journal: None,
+            checkpoints: HashMap::new(),
         }
     }
 
@@ -220,6 +237,97 @@ impl Runner {
         self.replays_executed
     }
 
+    /// The baseline configuration a warmup shares across every cell of
+    /// a platform: scheduler and predictor reset to the sweep-neutral
+    /// baseline (FR-FCFS, no predictor), sampling off.
+    fn warmup_cfg(cfg: &SystemConfig) -> SystemConfig {
+        let mut w = cfg.clone();
+        w.scheduler = SchedulerKind::FrFcfs;
+        w.predictor = PredictorKind::None;
+        w.sample_epoch = None;
+        w
+    }
+
+    /// Memo key of the shared warmup checkpoint a cell restores from.
+    fn warm_key(cfg: &SystemConfig, workload: &WorkloadKind, cycles: u64) -> String {
+        format!(
+            "warmup:{:08x}@{}+warm{cycles}",
+            fingerprint_of(&Self::warmup_cfg(cfg), workload),
+            cfg.instructions_per_core,
+        )
+    }
+
+    /// Runs one warmup to the boundary (shared by the serial and pooled
+    /// paths).
+    fn warmup_cell(
+        cfg: &SystemConfig,
+        workload: &WorkloadKind,
+        cycles: u64,
+    ) -> Result<Checkpoint, SimError> {
+        Session::new(Self::warmup_cfg(cfg), workload)
+            .checkpoint_at(cycles)
+            .run_to_checkpoint()
+    }
+
+    /// Recalls or executes the shared warmup checkpoint for a cell
+    /// (serial path). `None` means warm starts are off, the cell
+    /// samples a time series (which must cover the whole run), or the
+    /// warmup failed — in every case the cell runs cold.
+    fn warm_checkpoint(
+        &mut self,
+        cfg: &SystemConfig,
+        workload: &WorkloadKind,
+    ) -> Option<Arc<Checkpoint>> {
+        let cycles = self.warm_cycles?;
+        if cfg.sample_epoch.is_some() {
+            return None;
+        }
+        let key = Self::warm_key(cfg, workload, cycles);
+        if let Some(hit) = self.checkpoints.get(&key) {
+            return hit.clone();
+        }
+        if self.verbose {
+            eprintln!("  [warmup] {key}");
+        }
+        let outcome = Self::isolated_cell(&key, || Self::warmup_cell(cfg, workload, cycles));
+        self.runs_executed += 1;
+        match outcome {
+            Ok(ckpt) => {
+                let ckpt = Arc::new(ckpt);
+                self.checkpoints.insert(key, Some(Arc::clone(&ckpt)));
+                Some(ckpt)
+            }
+            Err(err) => {
+                self.checkpoints.insert(key.clone(), None);
+                self.record_failure(key, err);
+                None
+            }
+        }
+    }
+
+    /// Runs one execution-driven cell, warm-starting from `warm` when a
+    /// shared checkpoint is available.
+    fn run_cell(
+        cfg: &SystemConfig,
+        workload: &WorkloadKind,
+        warm: Option<&Arc<Checkpoint>>,
+    ) -> Result<RunStats, SimError> {
+        let session = match warm {
+            Some(ckpt) => Session::from_checkpoint(ckpt, cfg.clone(), workload),
+            None => Session::new(cfg.clone(), workload),
+        };
+        session.run().map(|out| out.stats)
+    }
+
+    /// Captures one trace cell (always cold: the recorded request
+    /// stream must start at cycle zero).
+    fn capture_cell(cfg: &SystemConfig, app: &'static str) -> Result<Trace, SimError> {
+        Session::new(cfg.clone(), &WorkloadKind::Parallel(app))
+            .traced(app)
+            .run()
+            .map(|out| out.observer.into_trace())
+    }
+
     /// A sorted, comparable snapshot of the memo tables: one
     /// `(key, headline cycle count)` entry per cached run and replay.
     /// Two runners that executed the same experiments must produce
@@ -284,19 +392,76 @@ impl Runner {
             }
         }
         let executed = plan.jobs.len() as u64;
-        let jobs = plan.jobs;
-        let results = scoped_map_isolated(self.jobs, &jobs, |job| match job {
+        // Resolve the shared warmup checkpoints the planned cells need,
+        // before fanning the cells out: distinct warmups run once each
+        // on the pool, then every dependent cell restores from an
+        // `Arc`'d in-memory snapshot.
+        if let Some(cycles) = self.warm_cycles {
+            let mut seen = HashSet::new();
+            let mut needed: Vec<(String, SystemConfig, WorkloadKind)> = Vec::new();
+            for job in &plan.jobs {
+                if let PlannedJob::Run { cfg, workload, .. } = job {
+                    if cfg.sample_epoch.is_none() {
+                        let key = Self::warm_key(cfg, workload, cycles);
+                        if !self.checkpoints.contains_key(&key) && seen.insert(key.clone()) {
+                            needed.push((key, cfg.clone(), workload.clone()));
+                        }
+                    }
+                }
+            }
+            if !needed.is_empty() {
+                if self.verbose {
+                    for (key, ..) in &needed {
+                        eprintln!("  [warmup] {key}");
+                    }
+                }
+                let results = scoped_map_isolated(self.jobs, &needed, |(key, cfg, workload)| {
+                    crate::faults::maybe_inject(key);
+                    Self::warmup_cell(cfg, workload, cycles)
+                });
+                self.runs_executed += needed.len() as u64;
+                for ((key, ..), result) in needed.into_iter().zip(results) {
+                    match result.and_then(|r| r) {
+                        Ok(ckpt) => {
+                            self.checkpoints.insert(key, Some(Arc::new(ckpt)));
+                        }
+                        Err(err) => {
+                            self.checkpoints.insert(key.clone(), None);
+                            self.record_failure(key, err);
+                        }
+                    }
+                }
+            }
+        }
+        let jobs: Vec<(PlannedJob, Option<Arc<Checkpoint>>)> = plan
+            .jobs
+            .into_iter()
+            .map(|job| {
+                let warm = match (&job, self.warm_cycles) {
+                    (PlannedJob::Run { cfg, workload, .. }, Some(cycles))
+                        if cfg.sample_epoch.is_none() =>
+                    {
+                        self.checkpoints
+                            .get(&Self::warm_key(cfg, workload, cycles))
+                            .cloned()
+                            .flatten()
+                    }
+                    _ => None,
+                };
+                (job, warm)
+            })
+            .collect();
+        let results = scoped_map_isolated(self.jobs, &jobs, |(job, warm)| match job {
             PlannedJob::Run { key, cfg, workload } => {
                 crate::faults::maybe_inject(key);
-                try_run(cfg.clone(), workload).map(JobResult::Run)
+                Self::run_cell(cfg, workload, warm.as_ref()).map(JobResult::Run)
             }
             PlannedJob::Capture { key, app, cfg } => {
                 crate::faults::maybe_inject(key);
-                try_run_traced(cfg.clone(), &WorkloadKind::Parallel(app), app)
-                    .map(|(_, trace)| JobResult::Capture(trace))
+                Self::capture_cell(cfg, app).map(JobResult::Capture)
             }
         });
-        for (job, result) in jobs.into_iter().zip(results) {
+        for ((job, _), result) in jobs.into_iter().zip(results) {
             // Flatten: the outer error is a caught panic, the inner one
             // a typed failure from the simulation itself.
             match (job, result.and_then(|r| r)) {
@@ -427,13 +592,21 @@ impl Runner {
     /// budget: callers' keys encode app/scheduler/predictor, and the
     /// budget is the remaining `Scale`-dependent input, so a runner
     /// whose scale is changed mid-flight never recalls a stale result.
+    /// Warm-started cells additionally carry a `+warm{cycles}` suffix,
+    /// so a resumed journal never serves a cold run's result to a
+    /// warm-start cell (or vice versa).
     pub fn run_keyed(
         &mut self,
         key: String,
         cfg: SystemConfig,
         workload: &WorkloadKind,
     ) -> Arc<RunStats> {
-        let key = format!("{key}@{}", cfg.instructions_per_core);
+        let key = match (self.warm_cycles, cfg.sample_epoch) {
+            (Some(cycles), None) => {
+                format!("{key}@{}+warm{cycles}", cfg.instructions_per_core)
+            }
+            _ => format!("{key}@{}", cfg.instructions_per_core),
+        };
         if let Some(hit) = self.cache.get(&key) {
             return Arc::clone(hit);
         }
@@ -448,10 +621,11 @@ impl Runner {
             }
             return placeholder;
         }
+        let warm = self.warm_checkpoint(&cfg, workload);
         if self.verbose {
             eprintln!("  [run {:>3}] {key}", self.runs_executed + 1);
         }
-        let outcome = Self::isolated_cell(&key, || try_run(cfg.clone(), workload));
+        let outcome = Self::isolated_cell(&key, || Self::run_cell(&cfg, workload, warm.as_ref()));
         self.runs_executed += 1;
         match outcome {
             Ok(stats) => {
@@ -500,12 +674,10 @@ impl Runner {
         if self.verbose {
             eprintln!("  [capture] {key}");
         }
-        let outcome = Self::isolated_cell(&key, || {
-            try_run_traced(cfg.clone(), &WorkloadKind::Parallel(app), app)
-        });
+        let outcome = Self::isolated_cell(&key, || Self::capture_cell(&cfg, app));
         self.runs_executed += 1;
         match outcome {
-            Ok((_, trace)) => {
+            Ok(trace) => {
                 let trace = Arc::new(trace);
                 self.traces.insert(key, Arc::clone(&trace));
                 trace

@@ -243,7 +243,10 @@ mod tests {
         let mut cfg = SystemConfig::paper_baseline(300);
         cfg.cores = 1;
         cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(1);
-        crate::system::run(cfg, &WorkloadKind::Alone("swim"))
+        crate::session::Session::new(cfg, &WorkloadKind::Alone("swim"))
+            .run()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .stats
     }
 
     #[test]

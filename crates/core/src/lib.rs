@@ -11,6 +11,8 @@
 //! paper's evaluation:
 //!
 //! * [`SystemConfig`] / [`System`] — the 8-core CMP of Tables 1 and 3,
+//! * [`Session`] — the one run API: observe, sample, checkpoint, warm-start,
+//! * [`checkpoint`] — `CMCK` snapshots for warm-started sweeps,
 //! * [`experiments`] — one harness per paper figure/table,
 //! * [`overhead`] — the §5.7 storage-overhead accounting,
 //! * the `repro` binary — prints every reproduced table.
@@ -18,7 +20,7 @@
 //! # Quick start
 //!
 //! ```
-//! use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+//! use critmem::{PredictorKind, Session, SystemConfig, WorkloadKind};
 //! use critmem_predict::CbpMetric;
 //! use critmem_sched::SchedulerKind;
 //!
@@ -27,15 +29,27 @@
 //! let mut base = SystemConfig::paper_baseline(2_000);
 //! base.cores = 2;
 //! base.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
-//! let crit = base.clone()
-//!     .with_scheduler(SchedulerKind::CasRasCrit)
-//!     .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
+//! let wl = WorkloadKind::Parallel("swim");
 //!
-//! let b = run(base, &WorkloadKind::Parallel("swim"));
-//! let c = run(crit, &WorkloadKind::Parallel("swim"));
-//! assert!(b.cycles > 0 && c.cycles > 0);
+//! let b = Session::new(base.clone(), &wl).run().unwrap();
+//! let c = Session::new(base, &wl)
+//!     .scheduler(SchedulerKind::CasRasCrit)
+//!     .predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime))
+//!     .run()
+//!     .unwrap();
+//! assert!(b.stats.cycles > 0 && c.stats.cycles > 0);
 //! ```
+//!
+//! # Warm-started sweeps
+//!
+//! Sweep cells that share a workload and platform re-simulate a
+//! byte-identical warmup region. [`Session::checkpoint_at`] snapshots
+//! the full architectural state at a boundary cycle;
+//! [`Session::from_checkpoint`] fans every cell out from that shared
+//! [`checkpoint::Checkpoint`], swapping in the cell's scheduler and
+//! predictor fresh at the boundary.
 
+pub mod checkpoint;
 pub mod config;
 pub mod experiments;
 pub mod faults;
@@ -43,8 +57,13 @@ pub mod journal;
 pub mod metrics;
 pub mod overhead;
 pub mod pool;
+pub mod session;
 pub mod system;
 
+pub use checkpoint::Checkpoint;
 pub use config::{PredictorKind, SystemConfig, WorkloadKind};
 pub use metrics::{geomean, speedup, Average};
-pub use system::{run, run_traced, try_run, try_run_traced, RunStats, System};
+pub use session::{RunOutput, Session};
+#[allow(deprecated)]
+pub use system::{run, run_traced, try_run, try_run_traced};
+pub use system::{RunStats, System};

@@ -7,7 +7,7 @@ use critmem_cache::CacheHierarchy;
 use critmem_common::codec::{ByteReader, ByteWriter, CodecError};
 use critmem_common::{
     ClockDivider, CoreId, CpuCycle, Criticality, MetricVisitor, Observable, RequestObserver,
-    Sampler, Schema, SeriesSet, SimError, WatchdogReason, WatchdogSnapshot,
+    Sampler, Schema, SeriesSet, SimError, Snapshot, WatchdogReason, WatchdogSnapshot,
 };
 use critmem_cpu::{
     CbpPredictor, ClptPredictor, Core, CoreStats, InstrSource, LoadCriticalityPredictor,
@@ -508,7 +508,9 @@ impl<O: RequestObserver> System<O> {
     ///
     /// Panics if `max_cycles` elapses first or the forward-progress
     /// watchdog trips (deadlock guard).
+    #[deprecated(since = "0.2.0", note = "use `critmem::Session::run` instead")]
     pub fn run(self) -> RunStats {
+        #[allow(deprecated)]
         self.run_with_observer().0
     }
 
@@ -519,7 +521,9 @@ impl<O: RequestObserver> System<O> {
     ///
     /// Panics if `max_cycles` elapses first or the forward-progress
     /// watchdog trips (deadlock guard).
+    #[deprecated(since = "0.2.0", note = "use `critmem::Session::run` instead")]
     pub fn run_with_observer(self) -> (RunStats, O) {
+        #[allow(deprecated)]
         self.try_run_with_observer()
             .unwrap_or_else(|e| panic!("{e}"))
     }
@@ -531,28 +535,37 @@ impl<O: RequestObserver> System<O> {
     /// [`SimError::Watchdog`] when the run exceeds its cycle budget or
     /// the forward-progress watchdog detects a livelock; the snapshot
     /// in the error carries the diagnostic state.
+    #[deprecated(since = "0.2.0", note = "use `critmem::Session::run` instead")]
     pub fn try_run(self) -> Result<RunStats, SimError> {
+        #[allow(deprecated)]
         self.try_run_with_observer().map(|(stats, _)| stats)
     }
 
-    /// Fallible version of [`Self::run_with_observer`]: instead of
-    /// asserting on a wedged simulation, the tick loop carries a
-    /// forward-progress watchdog ([`SystemConfig::watchdog`]) and
-    /// returns a typed [`SimError::Watchdog`] whose snapshot shows
-    /// where every core is stuck (ROB head PC), how full the miss
-    /// machinery is (L2 MSHRs, outbox), and what every bank queue
-    /// holds.
+    /// Fallible version of [`Self::run_with_observer`].
     ///
     /// # Errors
     ///
     /// [`SimError::Watchdog`] on a cycle-budget overrun, a commit
     /// stall, or an over-aged DRAM request.
+    #[deprecated(since = "0.2.0", note = "use `critmem::Session::run` instead")]
     pub fn try_run_with_observer(mut self) -> Result<(RunStats, O), SimError> {
+        self.drive(None)?;
+        Ok(self.into_stats_and_observer())
+    }
+
+    /// Advances until every core finished, `stop` (a CPU cycle) is
+    /// reached, or a guard trips. The tick loop carries a
+    /// forward-progress watchdog ([`SystemConfig::watchdog`]) and
+    /// returns a typed [`SimError::Watchdog`] whose snapshot shows
+    /// where every core is stuck (ROB head PC), how full the miss
+    /// machinery is (L2 MSHRs, outbox), and what every bank queue
+    /// holds.
+    pub(crate) fn drive(&mut self, stop: Option<CpuCycle>) -> Result<(), SimError> {
         let wd = self.cfg.watchdog;
-        let mut last_committed_total = 0u64;
-        let mut last_commit_cycle = 0u64;
-        let mut next_check = wd.check_interval;
-        while !self.done() {
+        let mut last_committed_total: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+        let mut last_commit_cycle = self.now;
+        let mut next_check = self.now.saturating_add(wd.check_interval);
+        while !self.done() && stop.is_none_or(|s| self.now < s) {
             if self.now >= self.cfg.max_cycles {
                 return Err(self.watchdog_error(WatchdogReason::CycleLimit {
                     max_cycles: self.cfg.max_cycles,
@@ -583,7 +596,142 @@ impl<O: RequestObserver> System<O> {
                 }
             }
         }
-        Ok(self.into_stats_and_observer())
+        Ok(())
+    }
+
+    /// The configuration this system was built from.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Swaps the memory scheduler and the per-core criticality
+    /// predictor in place, preserving every other piece of
+    /// architectural state. This is the warm-start engine's component
+    /// switch expressed without serialization: restoring a checkpoint
+    /// under a different `(scheduler, predictor)` cell must be
+    /// byte-identical to driving the original system to the boundary
+    /// and calling this.
+    pub fn reconfigure(
+        &mut self,
+        scheduler: critmem_sched::SchedulerKind,
+        predictor: PredictorKind,
+    ) {
+        self.cfg.scheduler = scheduler;
+        self.cfg.predictor = predictor;
+        let num_threads = self.cfg.cores;
+        self.dram
+            .replace_schedulers(|ch| scheduler.build(num_threads, u64::from(ch.0)));
+        for core in &mut self.cores {
+            core.replace_predictor(build_predictor(predictor));
+        }
+    }
+
+    /// Captures the full mutable state of the system — cores,
+    /// instruction sources, caches, DRAM, clock divider, and run
+    /// bookkeeping — in deterministic order. The configuration itself
+    /// is not serialized: a restore rebuilds a fresh system from a
+    /// compatible configuration and overlays this state
+    /// ([`Self::load_state`]).
+    pub(crate) fn save_state(&self, w: &mut ByteWriter) {
+        w.put_u32(self.cores.len() as u32);
+        for core in &self.cores {
+            core.save_state(w);
+        }
+        for src in &self.sources {
+            src.save_state(w);
+        }
+        self.hierarchy.save_state(w);
+        self.dram.save_state(w);
+        self.divider.save_state(w);
+        w.put_u64(self.now);
+        for f in &self.core_finish {
+            match f {
+                Some(c) => {
+                    w.put_bool(true);
+                    w.put_u64(*c);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_u64_seq(&self.lq_full_cycles);
+        // The forwards queue is drained with swap_remove, so its order
+        // is state.
+        w.put_u32(self.forwards.len() as u32);
+        for m in &self.forwards {
+            w.put_u64(m.deliver_at);
+            w.put_u64(m.addr);
+            w.put_u8(m.core.0);
+        }
+        // The sampler travels as a length-prefixed block so a restore
+        // into a differently-sampled configuration can skip it.
+        let mut sampler = ByteWriter::new();
+        if let Some(s) = &self.sampler {
+            s.save_state(&mut sampler);
+        }
+        w.put_bool(self.sampler.is_some());
+        w.put_bytes(&sampler.into_bytes());
+    }
+
+    /// Overlays state captured by [`Self::save_state`] onto this
+    /// freshly built system. `load_predictors` / `load_schedulers`
+    /// select whether the saved predictor and scheduler blocks are
+    /// replayed or discarded in favor of the fresh components this
+    /// system was built with — the hook that lets one warmup checkpoint
+    /// fan out across every `(scheduler, predictor)` sweep cell.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or inconsistent stream, or when the
+    /// snapshot's core count does not match this configuration.
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut ByteReader<'_>,
+        load_predictors: bool,
+        load_schedulers: bool,
+    ) -> Result<(), CodecError> {
+        let n = r.get_u32()? as usize;
+        if n != self.cores.len() {
+            return Err(CodecError {
+                message: format!("snapshot holds {n} cores, system has {}", self.cores.len()),
+                offset: r.position(),
+            });
+        }
+        for core in &mut self.cores {
+            core.load_state(r, load_predictors)?;
+        }
+        for src in &mut self.sources {
+            src.load_state(r)?;
+        }
+        self.hierarchy.load_state(r)?;
+        self.dram.load_state(r, load_schedulers)?;
+        self.divider.load_state(r)?;
+        self.now = r.get_u64()?;
+        for f in &mut self.core_finish {
+            *f = if r.get_bool()? {
+                Some(r.get_u64()?)
+            } else {
+                None
+            };
+        }
+        self.lq_full_cycles = r.get_u64_seq()?;
+        let n = r.get_u32()? as usize;
+        self.forwards.clear();
+        for _ in 0..n {
+            self.forwards.push(ForwardMsg {
+                deliver_at: r.get_u64()?,
+                addr: r.get_u64()?,
+                core: CoreId(r.get_u8()?),
+            });
+        }
+        let had_sampler = r.get_bool()?;
+        let block = r.get_bytes()?;
+        if had_sampler {
+            if let Some(s) = &mut self.sampler {
+                let mut sr = ByteReader::new(&block);
+                s.load_state(&mut sr)?;
+            }
+        }
+        Ok(())
     }
 
     /// Builds the diagnostic snapshot for a watchdog trip.
@@ -644,8 +792,15 @@ impl<O: RequestObserver> System<O> {
 }
 
 /// Convenience: build and run in one call.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `critmem::Session::new(cfg, workload).run()` instead"
+)]
 pub fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
-    System::new(cfg, workload).run()
+    match crate::session::Session::new(cfg, workload).run() {
+        Ok(out) => out.stats,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Fallible version of [`run`]: build-time and run-time failures come
@@ -653,9 +808,15 @@ pub fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
 ///
 /// # Errors
 ///
-/// See [`System::try_new`] and [`System::try_run`].
+/// See [`crate::session::Session::run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `critmem::Session::new(cfg, workload).run()` instead"
+)]
 pub fn try_run(cfg: SystemConfig, workload: &WorkloadKind) -> Result<RunStats, SimError> {
-    System::try_new(cfg, workload)?.try_run()
+    crate::session::Session::new(cfg, workload)
+        .run()
+        .map(|out| out.stats)
 }
 
 /// Builds, runs, and captures the run's LLC-miss request stream as a
@@ -663,12 +824,18 @@ pub fn try_run(cfg: SystemConfig, workload: &WorkloadKind) -> Result<RunStats, S
 ///
 /// # Panics
 ///
-/// Panics under the same conditions as [`System::new`] / [`System::run`].
+/// Panics under the same conditions as [`System::new`] plus any
+/// run-time failure.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `critmem::Session::new(cfg, workload).traced(source).run()` instead"
+)]
 pub fn run_traced(
     cfg: SystemConfig,
     workload: &WorkloadKind,
     source: &str,
 ) -> (RunStats, critmem_trace::Trace) {
+    #[allow(deprecated)]
     try_run_traced(cfg, workload, source).unwrap_or_else(|e| panic!("{e}"))
 }
 
@@ -676,24 +843,35 @@ pub fn run_traced(
 ///
 /// # Errors
 ///
-/// See [`System::try_with_observer`] and
-/// [`System::try_run_with_observer`].
+/// See [`crate::session::Session::run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `critmem::Session::new(cfg, workload).traced(source).run()` instead"
+)]
 pub fn try_run_traced(
     cfg: SystemConfig,
     workload: &WorkloadKind,
     source: &str,
 ) -> Result<(RunStats, critmem_trace::Trace), SimError> {
-    let fingerprint = critmem_trace::Fingerprint::of(cfg.cores, cfg.cpu_mhz, &cfg.dram);
-    let sink = critmem_trace::TraceSink::new(fingerprint, source);
-    let (stats, sink) = System::try_with_observer(cfg, workload, sink)?.try_run_with_observer()?;
-    Ok((stats, sink.into_trace()))
+    let out = crate::session::Session::new(cfg, workload)
+        .traced(source)
+        .run()?;
+    Ok((out.stats, out.observer.into_trace()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use critmem_predict::CbpMetric;
     use critmem_sched::SchedulerKind;
+
+    fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+        Session::new(cfg, workload)
+            .run()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .stats
+    }
 
     fn quick(instr: u64) -> SystemConfig {
         let mut c = SystemConfig::paper_baseline(instr);

@@ -28,6 +28,23 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 pub trait InstrSource {
     /// Produces the next dynamic instruction.
     fn next_instr(&mut self) -> Instr;
+
+    /// Appends the generator's mutable state for checkpointing. The
+    /// default saves nothing (stateless/scripted sources).
+    fn save_state(&self, _w: &mut critmem_common::codec::ByteWriter) {}
+
+    /// Restores state captured by [`InstrSource::save_state`] onto a
+    /// freshly constructed generator of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or inconsistent stream.
+    fn load_state(
+        &mut self,
+        _r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        Ok(())
+    }
 }
 
 /// Statistics gathered by one core.
@@ -274,6 +291,12 @@ impl Core {
     /// The predictor driving this core's criticality annotations.
     pub fn predictor(&self) -> &dyn LoadCriticalityPredictor {
         self.predictor.as_ref()
+    }
+
+    /// Replaces the criticality predictor with a fresh one, keeping all
+    /// other core state — the warm-start engine's component-swap hook.
+    pub fn replace_predictor(&mut self, predictor: Box<dyn LoadCriticalityPredictor>) {
+        self.predictor = predictor;
     }
 
     /// Whether the load queue is currently full (Figure 9 / §5.4
@@ -558,6 +581,174 @@ impl Core {
             }
             idx += 1;
         }
+    }
+
+    /// Captures this core's mutable architectural state (ROB, queues,
+    /// store buffer, in-flight bookkeeping, statistics) plus the
+    /// predictor's tables as a length-prefixed block, so a restore can
+    /// either replay the predictor or discard it in favor of a fresh
+    /// one of a different kind.
+    pub fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u32(self.rob.len() as u32);
+        for e in &self.rob {
+            e.instr.encode(w);
+            w.put_u64(e.seq);
+            w.put_bool(e.issued);
+            w.put_bool(e.completed);
+            w.put_bool(e.waiting_mem);
+            w.put_u32(e.consumers);
+            match e.block_start {
+                Some(c) => {
+                    w.put_bool(true);
+                    w.put_u64(c);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_bool(e.block_reported);
+        }
+        w.put_u64(self.base_seq);
+        w.put_u64(self.next_seq);
+        w.put_u64(self.lq_used as u64);
+        w.put_u64(self.sq_used as u64);
+        w.put_u32(self.store_buffer.len() as u32);
+        for &(addr, state) in &self.store_buffer {
+            w.put_u64(addr);
+            match state {
+                StoreState::Waiting => w.put_u8(0),
+                StoreState::Inflight(token) => {
+                    w.put_u8(1);
+                    w.put_u64(token);
+                }
+            }
+        }
+        // The heap's internal layout is not deterministic; serialize
+        // its contents sorted (order is irrelevant on rebuild).
+        let mut completions: Vec<(CpuCycle, u64)> =
+            self.completions.iter().map(|Reverse(p)| *p).collect();
+        completions.sort_unstable();
+        w.put_u32(completions.len() as u32);
+        for (at, seq) in completions {
+            w.put_u64(at);
+            w.put_u64(seq);
+        }
+        let mut pending: Vec<(u64, u64)> = self.pending_mem.iter().map(|(&k, &v)| (k, v)).collect();
+        pending.sort_unstable();
+        w.put_u32(pending.len() as u32);
+        for (token, seq) in pending {
+            w.put_u64(token);
+            w.put_u64(seq);
+        }
+        // mem_ready is drained with swap_remove, so its order is state.
+        w.put_u32(self.mem_ready.len() as u32);
+        for &(done, token) in &self.mem_ready {
+            w.put_u64(done);
+            w.put_u64(token);
+        }
+        w.put_u64(self.fetch_stall_until);
+        w.put_u64(self.unresolved_branches as u64);
+        match &self.peeked {
+            Some(i) => {
+                w.put_bool(true);
+                i.encode(w);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.dispatched);
+        self.stats.encode(w);
+        let mut pred = critmem_common::codec::ByteWriter::new();
+        self.predictor.save_state(&mut pred);
+        w.put_bytes(&pred.into_bytes());
+    }
+
+    /// Overlays state captured by [`Core::save_state`] onto a freshly
+    /// constructed core of the same configuration. When
+    /// `load_predictor` is false the saved predictor block is
+    /// discarded and the core keeps its fresh predictor — the hook the
+    /// warm-start engine uses to swap predictor kinds at the
+    /// checkpoint boundary.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or inconsistent stream.
+    pub fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+        load_predictor: bool,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        self.rob.clear();
+        for _ in 0..n {
+            let instr = Instr::decode(r)?;
+            let seq = r.get_u64()?;
+            let issued = r.get_bool()?;
+            let completed = r.get_bool()?;
+            let waiting_mem = r.get_bool()?;
+            let consumers = r.get_u32()?;
+            let block_start = if r.get_bool()? {
+                Some(r.get_u64()?)
+            } else {
+                None
+            };
+            let block_reported = r.get_bool()?;
+            self.rob.push_back(RobEntry {
+                instr,
+                seq,
+                issued,
+                completed,
+                waiting_mem,
+                consumers,
+                block_start,
+                block_reported,
+            });
+        }
+        self.base_seq = r.get_u64()?;
+        self.next_seq = r.get_u64()?;
+        self.lq_used = r.get_u64()? as usize;
+        self.sq_used = r.get_u64()? as usize;
+        let n = r.get_u32()? as usize;
+        self.store_buffer.clear();
+        for _ in 0..n {
+            let addr = r.get_u64()?;
+            let tag_at = r.position();
+            let state = match r.get_u8()? {
+                0 => StoreState::Waiting,
+                1 => StoreState::Inflight(r.get_u64()?),
+                t => {
+                    return Err(critmem_common::codec::CodecError {
+                        message: format!("unknown store-buffer state tag {t}"),
+                        offset: tag_at,
+                    })
+                }
+            };
+            self.store_buffer.push_back((addr, state));
+        }
+        let n = r.get_u32()? as usize;
+        self.completions = (0..n)
+            .map(|_| Ok(Reverse((r.get_u64()?, r.get_u64()?))))
+            .collect::<Result<_, critmem_common::codec::CodecError>>()?;
+        let n = r.get_u32()? as usize;
+        self.pending_mem = (0..n)
+            .map(|_| Ok((r.get_u64()?, r.get_u64()?)))
+            .collect::<Result<_, critmem_common::codec::CodecError>>()?;
+        let n = r.get_u32()? as usize;
+        self.mem_ready = (0..n)
+            .map(|_| Ok((r.get_u64()?, r.get_u64()?)))
+            .collect::<Result<_, critmem_common::codec::CodecError>>()?;
+        self.fetch_stall_until = r.get_u64()?;
+        self.unresolved_branches = r.get_u64()? as usize;
+        self.peeked = if r.get_bool()? {
+            Some(Instr::decode(r)?)
+        } else {
+            None
+        };
+        self.dispatched = r.get_u64()?;
+        self.stats = CoreStats::decode(r)?;
+        let pred = r.get_bytes()?;
+        if load_predictor {
+            let mut pr = critmem_common::codec::ByteReader::new(&pred);
+            self.predictor.load_state(&mut pr)?;
+        }
+        Ok(())
     }
 
     fn dispatch(&mut self, now: CpuCycle, source: &mut dyn InstrSource) {

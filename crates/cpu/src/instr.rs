@@ -103,6 +103,86 @@ impl Instr {
         self.src2 = src2;
         self
     }
+
+    /// Serializes for checkpoint artifacts.
+    pub fn encode(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u64(self.pc);
+        match self.kind {
+            InstrKind::IntAlu => w.put_u8(0),
+            InstrKind::IntMul => w.put_u8(1),
+            InstrKind::FpAlu => w.put_u8(2),
+            InstrKind::FpMul => w.put_u8(3),
+            InstrKind::Load { addr } => {
+                w.put_u8(4);
+                w.put_u64(addr);
+            }
+            InstrKind::Store { addr } => {
+                w.put_u8(5);
+                w.put_u64(addr);
+            }
+            InstrKind::Branch { mispredict } => {
+                w.put_u8(6);
+                w.put_bool(mispredict);
+            }
+        }
+        for src in [self.src1, self.src2] {
+            match src {
+                Some(d) => {
+                    w.put_bool(true);
+                    w.put_u32(u32::from(d));
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+
+    /// Deserializes a checkpointed instruction.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream or an unknown kind tag.
+    pub fn decode(
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<Self, critmem_common::codec::CodecError> {
+        let pc = r.get_u64()?;
+        let tag_at = r.position();
+        let kind = match r.get_u8()? {
+            0 => InstrKind::IntAlu,
+            1 => InstrKind::IntMul,
+            2 => InstrKind::FpAlu,
+            3 => InstrKind::FpMul,
+            4 => InstrKind::Load { addr: r.get_u64()? },
+            5 => InstrKind::Store { addr: r.get_u64()? },
+            6 => InstrKind::Branch {
+                mispredict: r.get_bool()?,
+            },
+            n => {
+                return Err(critmem_common::codec::CodecError {
+                    message: format!("unknown instruction kind tag {n}"),
+                    offset: tag_at,
+                })
+            }
+        };
+        let mut srcs = [None, None];
+        for src in &mut srcs {
+            if r.get_bool()? {
+                let at = r.position();
+                let d = r.get_u32()?;
+                *src = Some(
+                    u16::try_from(d).map_err(|_| critmem_common::codec::CodecError {
+                        message: format!("producer distance {d} exceeds u16"),
+                        offset: at,
+                    })?,
+                );
+            }
+        }
+        Ok(Instr {
+            pc,
+            kind,
+            src1: srcs[0],
+            src2: srcs[1],
+        })
+    }
 }
 
 #[cfg(test)]

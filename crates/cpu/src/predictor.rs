@@ -45,6 +45,24 @@ pub trait LoadCriticalityPredictor {
     /// The caller sets the component path (e.g. `cbp.core0`) first.
     /// The default reports nothing.
     fn observe_metrics(&self, _v: &mut dyn critmem_common::MetricVisitor) {}
+
+    /// Appends the predictor's mutable state for checkpointing. The
+    /// default saves nothing (stateless predictors).
+    fn save_state(&self, _w: &mut critmem_common::codec::ByteWriter) {}
+
+    /// Restores state captured by
+    /// [`LoadCriticalityPredictor::save_state`] onto a freshly
+    /// constructed predictor of the same kind and configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or inconsistent stream.
+    fn load_state(
+        &mut self,
+        _r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        Ok(())
+    }
 }
 
 /// The always-non-critical predictor (baseline FR-FCFS runs).
@@ -102,6 +120,15 @@ impl LoadCriticalityPredictor for CbpPredictor {
     fn observe_metrics(&self, v: &mut dyn critmem_common::MetricVisitor) {
         self.cbp.observe_metrics(v);
     }
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        critmem_common::Snapshot::save_state(&self.cbp, w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        critmem_common::Snapshot::load_state(&mut self.cbp, r)
+    }
 }
 
 /// Adapter exposing a [`Clpt`] (Subramaniam et al.) to the core.
@@ -136,6 +163,15 @@ impl LoadCriticalityPredictor for ClptPredictor {
             critmem_predict::ClptMode::Binary { .. } => "CLPT-Binary",
             critmem_predict::ClptMode::Consumers { .. } => "CLPT-Consumers",
         }
+    }
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        critmem_common::Snapshot::save_state(&self.clpt, w);
+    }
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        critmem_common::Snapshot::load_state(&mut self.clpt, r)
     }
 }
 

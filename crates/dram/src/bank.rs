@@ -328,6 +328,85 @@ impl ChannelTiming {
     }
 }
 
+impl critmem_common::Snapshot for ChannelTiming {
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u32(self.banks.len() as u32);
+        for b in &self.banks {
+            match b.open_row {
+                Some(row) => {
+                    w.put_bool(true);
+                    w.put_u32(row);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_u64(b.next_act);
+            w.put_u64(b.next_pre);
+            w.put_u64(b.next_rd);
+            w.put_u64(b.next_wr);
+        }
+        w.put_u64(self.bus_free);
+        match self.last_data_rank {
+            Some(r) => {
+                w.put_bool(true);
+                w.put_u8(r.0);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64_seq(&self.refresh_due);
+        w.put_u32(self.refresh_pending.len() as u32);
+        for &p in &self.refresh_pending {
+            w.put_bool(p);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        if n != self.banks.len() {
+            return Err(critmem_common::codec::CodecError {
+                message: format!("snapshot holds {n} banks, channel has {}", self.banks.len()),
+                offset: r.position(),
+            });
+        }
+        for b in &mut self.banks {
+            b.open_row = if r.get_bool()? {
+                Some(r.get_u32()?)
+            } else {
+                None
+            };
+            b.next_act = r.get_u64()?;
+            b.next_pre = r.get_u64()?;
+            b.next_rd = r.get_u64()?;
+            b.next_wr = r.get_u64()?;
+        }
+        self.bus_free = r.get_u64()?;
+        self.last_data_rank = if r.get_bool()? {
+            Some(RankId(r.get_u8()?))
+        } else {
+            None
+        };
+        let due = r.get_u64_seq()?;
+        let np = r.get_u32()? as usize;
+        if due.len() != self.refresh_due.len() || np != self.refresh_pending.len() {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "snapshot holds {} ranks, channel has {}",
+                    due.len(),
+                    self.refresh_due.len()
+                ),
+                offset: r.position(),
+            });
+        }
+        self.refresh_due = due;
+        for p in &mut self.refresh_pending {
+            *p = r.get_bool()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,7 +14,9 @@ use crate::config::DramConfig;
 use crate::mapping::DramLocation;
 use crate::queue::{Direction, Transaction};
 use crate::scheduler::{Candidate, CommandScheduler, SchedContext};
-use critmem_common::{ChannelId, DramCycle, MemRequest, MetricVisitor, Observable, RankId};
+use critmem_common::{
+    ChannelId, DramCycle, MemRequest, MetricVisitor, Observable, RankId, Snapshot,
+};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -822,6 +824,124 @@ impl ChannelController {
             }
             out.push(txn);
         }
+    }
+
+    /// Swaps in a different scheduler, discarding the old one's state.
+    /// Used when restoring a checkpoint into a cell that studies a
+    /// different scheduling policy than the one that warmed it.
+    pub fn replace_scheduler(&mut self, scheduler: Box<dyn CommandScheduler>) {
+        self.scheduler = scheduler;
+        self.no_cand_until = 0;
+    }
+
+    /// Serializes the channel's architectural state (timing, queue,
+    /// in-flight CAS bursts, direction policy, statistics) plus the
+    /// scheduler's own state as a length-prefixed block — so a restore
+    /// may discard the block when swapping policies.
+    pub fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        self.timing.save_state(w);
+        w.put_u32(self.queue.len() as u32);
+        for txn in &self.queue {
+            txn.encode(w);
+        }
+        // BinaryHeap iteration order is unspecified: serialize sorted.
+        let mut inflight: Vec<(DramCycle, u64)> =
+            self.inflight.iter().map(|Reverse(p)| *p).collect();
+        inflight.sort_unstable();
+        w.put_u32(inflight.len() as u32);
+        for (done, key) in inflight {
+            w.put_u64(done);
+            w.put_u64(key);
+        }
+        w.put_u32(self.inflight_txns.len() as u32);
+        for (key, txn) in &self.inflight_txns {
+            w.put_u64(*key);
+            txn.req.encode(w);
+            w.put_u64(txn.done_at);
+            w.put_u64(txn.arrival);
+        }
+        w.put_u64(self.now);
+        w.put_u64(self.seq);
+        w.put_bool(self.direction == Direction::Write);
+        w.put_bool(self.draining);
+        self.stats.encode(w);
+        w.put_u64(self.queued_writes as u64);
+        w.put_u64(self.queued_crit_reads as u64);
+        w.put_u64(self.refresh_check_at);
+        let mut sched = critmem_common::codec::ByteWriter::new();
+        self.scheduler.save_state(&mut sched);
+        w.put_bytes(&sched.into_bytes());
+    }
+
+    /// Restores state written by [`Self::save_state`]. When
+    /// `load_scheduler` is `false` the scheduler block is skipped and
+    /// the freshly constructed scheduler keeps its initial state (the
+    /// policy-override hook).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or shape-mismatched snapshot.
+    pub fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+        load_scheduler: bool,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        self.timing.load_state(r)?;
+        let n = r.get_u32()? as usize;
+        if n > self.cfg.queue_capacity {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "snapshot holds {n} transactions, queue capacity is {}",
+                    self.cfg.queue_capacity
+                ),
+                offset: r.position(),
+            });
+        }
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push(Transaction::decode(r)?);
+        }
+        self.inflight.clear();
+        for _ in 0..r.get_u32()? {
+            let done = r.get_u64()?;
+            let key = r.get_u64()?;
+            self.inflight.push(Reverse((done, key)));
+        }
+        self.inflight_txns.clear();
+        for _ in 0..r.get_u32()? {
+            let key = r.get_u64()?;
+            let req = MemRequest::decode(r)?;
+            let done_at = r.get_u64()?;
+            let arrival = r.get_u64()?;
+            self.inflight_txns.push((
+                key,
+                CompletedTxn {
+                    req,
+                    done_at,
+                    arrival,
+                },
+            ));
+        }
+        self.now = r.get_u64()?;
+        self.seq = r.get_u64()?;
+        self.direction = if r.get_bool()? {
+            Direction::Write
+        } else {
+            Direction::Read
+        };
+        self.draining = r.get_bool()?;
+        self.stats = ChannelStats::decode(r)?;
+        self.queued_writes = r.get_u64()? as usize;
+        self.queued_crit_reads = r.get_u64()? as usize;
+        self.refresh_check_at = r.get_u64()?;
+        // Candidate-emptiness proofs do not survive a restore; rebuild.
+        self.no_cand_until = 0;
+        let sched = r.get_bytes()?;
+        if load_scheduler {
+            let mut sr = critmem_common::codec::ByteReader::new(&sched);
+            self.scheduler.load_state(&mut sr)?;
+        }
+        Ok(())
     }
 }
 

@@ -191,6 +191,57 @@ impl DramSystem {
         }
         out
     }
+
+    /// Swaps every channel's scheduler for a freshly built one,
+    /// discarding the old schedulers' state. Used when a checkpoint
+    /// restore studies a different policy than the one that warmed it.
+    pub fn replace_schedulers<F>(&mut self, mut make_scheduler: F)
+    where
+        F: FnMut(ChannelId) -> Box<dyn CommandScheduler>,
+    {
+        for (c, ctrl) in self.controllers.iter_mut().enumerate() {
+            ctrl.replace_scheduler(make_scheduler(ChannelId(c as u8)));
+        }
+    }
+
+    /// Serializes every channel's architectural state for a checkpoint.
+    /// The address mapping and configuration are derived from
+    /// [`DramConfig`] on restore and are not written.
+    pub fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u32(self.controllers.len() as u32);
+        for c in &self.controllers {
+            c.save_state(w);
+        }
+    }
+
+    /// Restores state written by [`Self::save_state`] into a freshly
+    /// built system of the same configuration. With
+    /// `load_schedulers = false` the per-channel scheduler blocks are
+    /// skipped, leaving the fresh schedulers' initial state intact.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated snapshot or a channel-count mismatch.
+    pub fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+        load_schedulers: bool,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        if n != self.controllers.len() {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "snapshot holds {n} channels, system has {}",
+                    self.controllers.len()
+                ),
+                offset: r.position(),
+            });
+        }
+        for c in &mut self.controllers {
+            c.load_state(r, load_schedulers)?;
+        }
+        Ok(())
+    }
 }
 
 impl critmem_common::Observable for DramSystem {

@@ -80,6 +80,48 @@ impl Transaction {
             Direction::Write => self.req.kind == AccessKind::Write,
         }
     }
+
+    /// Serializes for checkpoint artifacts.
+    pub fn encode(&self, w: &mut critmem_common::codec::ByteWriter) {
+        self.req.encode(w);
+        w.put_u8(self.loc.channel.0);
+        w.put_u8(self.loc.rank.0);
+        w.put_u8(self.loc.bank.0);
+        w.put_u32(self.loc.row);
+        w.put_u32(self.loc.column);
+        w.put_u64(self.arrival);
+        w.put_u64(self.seq);
+        w.put_bool(self.caused_activate);
+        w.put_bool(self.caused_precharge);
+        w.put_bool(self.starved);
+    }
+
+    /// Deserializes a checkpointed transaction.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated stream or a malformed request.
+    pub fn decode(
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<Self, critmem_common::codec::CodecError> {
+        let req = MemRequest::decode(r)?;
+        let loc = DramLocation {
+            channel: critmem_common::ChannelId(r.get_u8()?),
+            rank: critmem_common::RankId(r.get_u8()?),
+            bank: critmem_common::BankId(r.get_u8()?),
+            row: r.get_u32()?,
+            column: r.get_u32()?,
+        };
+        Ok(Transaction {
+            req,
+            loc,
+            arrival: r.get_u64()?,
+            seq: r.get_u64()?,
+            caused_activate: r.get_bool()?,
+            caused_precharge: r.get_bool()?,
+            starved: r.get_bool()?,
+        })
+    }
 }
 
 /// Which kind of transactions the controller is currently servicing.

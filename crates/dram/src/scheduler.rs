@@ -74,6 +74,25 @@ pub trait CommandScheduler {
     /// channel's [`crate::ChannelStats`] metrics inside the same
     /// `dram.chN` component. The default reports nothing.
     fn observe_metrics(&self, _v: &mut dyn MetricVisitor) {}
+
+    /// Serializes mutable scheduler state into a checkpoint. Stateless
+    /// schedulers keep the default no-op; stateful ones must write every
+    /// field that influences future [`Self::select`] decisions, in a
+    /// deterministic order.
+    fn save_state(&self, _w: &mut critmem_common::codec::ByteWriter) {}
+
+    /// Restores state written by [`Self::save_state`] into a
+    /// freshly constructed scheduler of the same kind and parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a truncated or shape-mismatched snapshot.
+    fn load_state(
+        &mut self,
+        _r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        Ok(())
+    }
 }
 
 /// Strict first-come-first-served: always the oldest ready command.

@@ -279,6 +279,62 @@ impl CommitBlockPredictor {
     }
 }
 
+impl critmem_common::Snapshot for CommitBlockPredictor {
+    /// The metric, geometry, and reset interval come from the
+    /// constructor; the captured state is the table contents, the
+    /// associative/blocker maps (sorted by PC for determinism), the
+    /// next reset cycle, and the observation statistics.
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u64_seq(&self.table);
+        let mut assoc: Vec<(Pc, u64)> = self.assoc.iter().map(|(&k, &v)| (k, v)).collect();
+        assoc.sort_unstable();
+        w.put_u32(assoc.len() as u32);
+        for (pc, v) in assoc {
+            w.put_u64(pc);
+            w.put_u64(v);
+        }
+        let mut blockers: Vec<Pc> = self.seen_blockers.keys().copied().collect();
+        blockers.sort_unstable();
+        w.put_u64_seq(&blockers);
+        w.put_u64(self.next_reset);
+        self.stats.written_values.encode(w);
+        w.put_u64(self.stats.critical_predictions);
+        w.put_u64(self.stats.lookups);
+        w.put_u64(self.stats.resets);
+        w.put_u64(self.stats.static_blockers);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let table = r.get_u64_seq()?;
+        if table.len() != self.table.len() {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "CBP table holds {} entries, snapshot has {}",
+                    self.table.len(),
+                    table.len()
+                ),
+                offset: r.position(),
+            });
+        }
+        self.table = table;
+        let n = r.get_u32()? as usize;
+        self.assoc = (0..n)
+            .map(|_| Ok((r.get_u64()?, r.get_u64()?)))
+            .collect::<Result<_, critmem_common::codec::CodecError>>()?;
+        self.seen_blockers = r.get_u64_seq()?.into_iter().map(|pc| (pc, ())).collect();
+        self.next_reset = r.get_u64()?;
+        self.stats.written_values = Histogram::decode(r)?;
+        self.stats.critical_predictions = r.get_u64()?;
+        self.stats.lookups = r.get_u64()?;
+        self.stats.resets = r.get_u64()?;
+        self.stats.static_blockers = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

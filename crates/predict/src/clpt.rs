@@ -133,6 +133,40 @@ impl Clpt {
     }
 }
 
+impl critmem_common::Snapshot for Clpt {
+    /// The mode comes from the constructor; the captured state is the
+    /// consumer-count table (sorted by PC for determinism) and the
+    /// analysis counters.
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        let mut rows: Vec<(Pc, u32)> = self.table.iter().map(|(&k, &v)| (k, v)).collect();
+        rows.sort_unstable();
+        w.put_u32(rows.len() as u32);
+        for (pc, count) in rows {
+            w.put_u64(pc);
+            w.put_u32(count);
+        }
+        w.put_u64(self.lookups);
+        w.put_u64(self.critical);
+        w.put_u64(self.single_consumer);
+        w.put_u64(self.recorded);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        self.table = (0..n)
+            .map(|_| Ok((r.get_u64()?, r.get_u32()?)))
+            .collect::<Result<_, critmem_common::codec::CodecError>>()?;
+        self.lookups = r.get_u64()?;
+        self.critical = r.get_u64()?;
+        self.single_consumer = r.get_u64()?;
+        self.recorded = r.get_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

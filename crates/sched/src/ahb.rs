@@ -142,6 +142,48 @@ impl CommandScheduler for Ahb {
     fn name(&self) -> &str {
         "AHB"
     }
+
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        match self.last_rank {
+            Some(r) => {
+                w.put_bool(true);
+                w.put_u8(r.0);
+            }
+            None => w.put_bool(false),
+        }
+        match self.last_was_read {
+            Some(b) => {
+                w.put_bool(true);
+                w.put_bool(b);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u64(self.arrived_reads);
+        w.put_u64(self.arrived_writes);
+        w.put_u64(self.issued_reads);
+        w.put_u64(self.issued_writes);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        self.last_rank = if r.get_bool()? {
+            Some(RankId(r.get_u8()?))
+        } else {
+            None
+        };
+        self.last_was_read = if r.get_bool()? {
+            Some(r.get_bool()?)
+        } else {
+            None
+        };
+        self.arrived_reads = r.get_u64()?;
+        self.arrived_writes = r.get_u64()?;
+        self.issued_reads = r.get_u64()?;
+        self.issued_writes = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -132,6 +132,36 @@ impl CommandScheduler for Atlas {
     fn name(&self) -> &str {
         "ATLAS"
     }
+
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        for v in &self.attained {
+            w.put_f64(*v);
+        }
+        for v in &self.current {
+            w.put_f64(*v);
+        }
+        for v in &self.rank {
+            w.put_u64(*v as u64);
+        }
+        w.put_u64(self.next_quantum);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        for v in &mut self.attained {
+            *v = r.get_f64()?;
+        }
+        for v in &mut self.current {
+            *v = r.get_f64()?;
+        }
+        for v in &mut self.rank {
+            *v = r.get_u64()? as usize;
+        }
+        self.next_quantum = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

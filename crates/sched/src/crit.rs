@@ -134,6 +134,20 @@ impl CommandScheduler for CritFrFcfs {
             self.critical_selections,
         );
     }
+
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u64(self.selections);
+        w.put_u64(self.critical_selections);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        self.selections = r.get_u64()?;
+        self.critical_selections = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -139,42 +139,14 @@ impl SchedulerKind {
         }
     }
 
-    /// Parses a display name (as printed by [`SchedulerKind::name`],
-    /// case-insensitive) back into a kind, using the paper's default
-    /// parameters for the parameterized schedulers.
+    /// Parses a display name into a kind.
     ///
-    /// # Examples
-    ///
-    /// ```
-    /// use critmem_sched::SchedulerKind;
-    /// let k = SchedulerKind::from_name("casras-crit").unwrap();
-    /// assert_eq!(k, SchedulerKind::CasRasCrit);
-    /// assert!(SchedulerKind::from_name("nope").is_none());
-    /// ```
+    /// Deprecated shim over the [`std::str::FromStr`] implementation,
+    /// which reports *which* name failed via a typed
+    /// [`critmem_common::SimError::Config`].
+    #[deprecated(since = "0.2.0", note = "use `str::parse::<SchedulerKind>()` instead")]
     pub fn from_name(name: &str) -> Option<Self> {
-        let kind = match name.to_ascii_lowercase().as_str() {
-            "fcfs" => SchedulerKind::Fcfs,
-            "fr-fcfs" | "frfcfs" => SchedulerKind::FrFcfs,
-            "crit-casras" | "critcasras" => SchedulerKind::CritCasRas,
-            "casras-crit" | "casrascrit" => SchedulerKind::CasRasCrit,
-            "ahb" => SchedulerKind::Ahb,
-            "atlas" => SchedulerKind::Atlas,
-            "minimalist" => SchedulerKind::Minimalist,
-            "par-bs" | "parbs" => SchedulerKind::ParBs { marking_cap: 5 },
-            "tcm" => SchedulerKind::Tcm {
-                tiebreak: TcmTiebreak::FrFcfs,
-            },
-            "tcm+crit" => SchedulerKind::Tcm {
-                tiebreak: TcmTiebreak::CritFrFcfs,
-            },
-            "morse-p" | "morse" => SchedulerKind::Morse(MorseConfig::default()),
-            "crit-rl" => SchedulerKind::Morse(MorseConfig {
-                use_criticality: true,
-                ..Default::default()
-            }),
-            _ => return None,
-        };
-        Some(kind)
+        name.parse().ok()
     }
 
     /// Display name matching the paper's figures.
@@ -203,6 +175,54 @@ impl SchedulerKind {
             }
             SchedulerKind::Wedged => "Wedged",
         }
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = critmem_common::SimError;
+
+    /// Parses a display name (as printed by [`SchedulerKind::name`],
+    /// case-insensitive) back into a kind, using the paper's default
+    /// parameters for the parameterized schedulers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use critmem_sched::SchedulerKind;
+    /// let k: SchedulerKind = "casras-crit".parse().unwrap();
+    /// assert_eq!(k, SchedulerKind::CasRasCrit);
+    /// assert!("nope".parse::<SchedulerKind>().is_err());
+    /// ```
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        let kind = match name.to_ascii_lowercase().as_str() {
+            "fcfs" => SchedulerKind::Fcfs,
+            "fr-fcfs" | "frfcfs" => SchedulerKind::FrFcfs,
+            "crit-casras" | "critcasras" => SchedulerKind::CritCasRas,
+            "casras-crit" | "casrascrit" => SchedulerKind::CasRasCrit,
+            "ahb" => SchedulerKind::Ahb,
+            "atlas" => SchedulerKind::Atlas,
+            "minimalist" => SchedulerKind::Minimalist,
+            "par-bs" | "parbs" => SchedulerKind::ParBs { marking_cap: 5 },
+            "tcm" => SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::FrFcfs,
+            },
+            "tcm+crit" => SchedulerKind::Tcm {
+                tiebreak: TcmTiebreak::CritFrFcfs,
+            },
+            "morse-p" | "morse" => SchedulerKind::Morse(MorseConfig::default()),
+            "crit-rl" => SchedulerKind::Morse(MorseConfig {
+                use_criticality: true,
+                ..Default::default()
+            }),
+            _ => {
+                return Err(critmem_common::SimError::Config(format!(
+                    "unknown scheduler '{name}' (expected one of: fcfs, fr-fcfs, \
+                     crit-casras, casras-crit, ahb, atlas, minimalist, par-bs, tcm, \
+                     tcm+crit, morse-p, crit-rl)"
+                )))
+            }
+        };
+        Ok(kind)
     }
 }
 
@@ -240,7 +260,7 @@ mod tests {
     }
 
     #[test]
-    fn names_round_trip_through_from_name() {
+    fn names_round_trip_through_parse() {
         let kinds = [
             SchedulerKind::Fcfs,
             SchedulerKind::FrFcfs,
@@ -259,10 +279,13 @@ mod tests {
             SchedulerKind::Morse(MorseConfig::default()),
         ];
         for kind in kinds {
-            let parsed = SchedulerKind::from_name(kind.name())
-                .unwrap_or_else(|| panic!("{} must parse", kind.name()));
+            let parsed: SchedulerKind = kind
+                .name()
+                .parse()
+                .unwrap_or_else(|e| panic!("{} must parse: {e}", kind.name()));
             assert_eq!(parsed.name(), kind.name());
         }
-        assert!(SchedulerKind::from_name("bogus").is_none());
+        let err = "bogus".parse::<SchedulerKind>().unwrap_err();
+        assert!(matches!(err, critmem_common::SimError::Config(_)));
     }
 }

@@ -113,6 +113,39 @@ impl CommandScheduler for MinimalistOpenPage {
     fn name(&self) -> &str {
         "Minimalist"
     }
+
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u32(self.burst.len() as u32);
+        for &b in &self.burst {
+            w.put_u32(b);
+        }
+        w.put_u64(self.banks_per_rank as u64);
+        match self.last_bank {
+            Some(b) => {
+                w.put_bool(true);
+                w.put_u64(b as u64);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        self.burst.clear();
+        for _ in 0..n {
+            self.burst.push(r.get_u32()?);
+        }
+        self.banks_per_rank = r.get_u64()? as usize;
+        self.last_bank = if r.get_bool()? {
+            Some(r.get_u64()? as usize)
+        } else {
+            None
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -257,6 +257,59 @@ impl CommandScheduler for Morse {
             "MORSE-P"
         }
     }
+
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u32(self.weights.len() as u32);
+        for &v in &self.weights {
+            w.put_u32(v.to_bits());
+        }
+        match &self.prev {
+            Some((idx, q)) => {
+                w.put_bool(true);
+                for &i in idx {
+                    w.put_u64(i as u64);
+                }
+                w.put_u32(q.to_bits());
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u32(self.pending_reward.to_bits());
+        critmem_common::Snapshot::save_state(&self.rng, w);
+        w.put_u64(self.decisions);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        if n != self.weights.len() {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "snapshot holds {n} CMAC weights, table size is {}",
+                    self.weights.len()
+                ),
+                offset: r.position(),
+            });
+        }
+        for v in &mut self.weights {
+            *v = f32::from_bits(r.get_u32()?);
+        }
+        self.prev = if r.get_bool()? {
+            let mut idx = [0usize; TILINGS];
+            for i in &mut idx {
+                *i = r.get_u64()? as usize;
+            }
+            let q = f32::from_bits(r.get_u32()?);
+            Some((idx, q))
+        } else {
+            None
+        };
+        self.pending_reward = f32::from_bits(r.get_u32()?);
+        critmem_common::Snapshot::load_state(&mut self.rng, r)?;
+        self.decisions = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,35 @@ impl CommandScheduler for ParBs {
     fn observe_metrics(&self, v: &mut dyn critmem_common::MetricVisitor) {
         v.counter("sched_batches_formed", "batches", self.batches_formed);
     }
+
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        let mut marked: Vec<u64> = self.marked.iter().copied().collect();
+        marked.sort_unstable();
+        w.put_u64_seq(&marked);
+        let mut ranks: Vec<(u8, usize)> = self.thread_rank.iter().map(|(&t, &r)| (t, r)).collect();
+        ranks.sort_unstable();
+        w.put_u32(ranks.len() as u32);
+        for (t, rank) in ranks {
+            w.put_u8(t);
+            w.put_u64(rank as u64);
+        }
+        w.put_u64(self.batches_formed);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        self.marked = r.get_u64_seq()?.into_iter().collect();
+        self.thread_rank.clear();
+        for _ in 0..r.get_u32()? {
+            let t = r.get_u8()?;
+            let rank = r.get_u64()? as usize;
+            self.thread_rank.insert(t, rank);
+        }
+        self.batches_formed = r.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

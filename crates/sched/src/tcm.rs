@@ -183,6 +183,46 @@ impl CommandScheduler for Tcm {
             TcmTiebreak::CritFrFcfs => "TCM+Crit",
         }
     }
+
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u64_seq(&self.reqs);
+        for &b in &self.latency_cluster {
+            w.put_bool(b);
+        }
+        for &r in &self.bw_rank {
+            w.put_u64(r as u64);
+        }
+        w.put_u64(self.next_quantum);
+        w.put_u64(self.next_shuffle);
+        critmem_common::Snapshot::save_state(&self.rng, w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let reqs = r.get_u64_seq()?;
+        if reqs.len() != self.num_threads {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "snapshot holds {} threads, scheduler has {}",
+                    reqs.len(),
+                    self.num_threads
+                ),
+                offset: r.position(),
+            });
+        }
+        self.reqs = reqs;
+        for b in &mut self.latency_cluster {
+            *b = r.get_bool()?;
+        }
+        for v in &mut self.bw_rank {
+            *v = r.get_u64()? as usize;
+        }
+        self.next_quantum = r.get_u64()?;
+        self.next_shuffle = r.get_u64()?;
+        critmem_common::Snapshot::load_state(&mut self.rng, r)
+    }
 }
 
 #[cfg(test)]

@@ -85,6 +85,31 @@ impl Default for ReplayConfig {
     }
 }
 
+impl ReplayConfig {
+    /// Caps requests in flight (the closed-loop throttle).
+    #[must_use]
+    pub fn with_max_outstanding(mut self, cap: usize) -> Self {
+        self.max_outstanding = Some(cap);
+        self
+    }
+
+    /// Harvests statistics at exactly `cycle` instead of draining.
+    #[must_use]
+    pub fn with_stop_at_cycle(mut self, cycle: u64) -> Self {
+        self.stop_at_cycle = Some(cycle);
+        self
+    }
+
+    /// Samples per-channel metrics every `epoch` CPU cycles into
+    /// [`ReplayStats::series`] (same name as
+    /// `critmem::SystemConfig::with_sampling`).
+    #[must_use]
+    pub fn with_sampling(mut self, epoch: u64) -> Self {
+        self.sample_epoch = Some(epoch);
+        self
+    }
+}
+
 /// Statistics of one replay run.
 #[derive(Debug, Clone, Default)]
 pub struct ReplayStats {

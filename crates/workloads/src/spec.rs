@@ -387,6 +387,38 @@ impl InstrSource for AppThread {
             src2,
         }
     }
+
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        critmem_common::Snapshot::save_state(&self.rng, w);
+        w.put_u64(self.phase as u64);
+        w.put_u64(self.iter_in_phase);
+        w.put_u64(self.global_iter);
+        w.put_u64(self.op_idx as u64);
+        w.put_u32(u32::from(self.since_load));
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        critmem_common::Snapshot::load_state(&mut self.rng, r)?;
+        let phase = r.get_u64()? as usize;
+        if phase >= self.spec.phases.len() {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "snapshot phase {phase} out of range for spec with {} phases",
+                    self.spec.phases.len()
+                ),
+                offset: r.position(),
+            });
+        }
+        self.phase = phase;
+        self.iter_in_phase = r.get_u64()?;
+        self.global_iter = r.get_u64()?;
+        self.op_idx = r.get_u64()? as usize;
+        self.since_load = r.get_u32()? as u16;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -6,10 +6,17 @@
 //! cargo run --release --example design_space
 //! ```
 
-use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
 use critmem_dram::timing::preset_by_name;
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
+
+fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+    Session::new(cfg, workload)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .stats
+}
 
 fn measure(cfg: SystemConfig, workload: &WorkloadKind) -> (u64, u64) {
     let base = run(cfg.clone(), workload);

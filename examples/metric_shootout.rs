@@ -9,9 +9,16 @@
 //! cargo run --release --example metric_shootout
 //! ```
 
-use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
 use critmem_predict::{CbpMetric, ClptMode};
 use critmem_sched::SchedulerKind;
+
+fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+    Session::new(cfg, workload)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .stats
+}
 
 fn main() {
     let instructions = 15_000;

@@ -10,10 +10,17 @@
 //! ```
 
 use critmem::metrics::{max_slowdown, weighted_speedup};
-use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
 use critmem_predict::CbpMetric;
 use critmem_sched::{SchedulerKind, TcmTiebreak};
 use critmem_workloads::bundle;
+
+fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+    Session::new(cfg, workload)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .stats
+}
 
 fn main() {
     let instructions = 12_000;

@@ -9,7 +9,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem::{PredictorKind, Session, SystemConfig, WorkloadKind};
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 
@@ -21,14 +21,19 @@ fn main() {
 
     // Baseline: FR-FCFS, no criticality information.
     let baseline_cfg = SystemConfig::paper_baseline(instructions);
-    let baseline = run(baseline_cfg.clone(), &workload);
+    let baseline = Session::new(baseline_cfg.clone(), &workload)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .stats;
 
     // The paper's design: a tiny per-core CBP + a lean criticality-
     // aware FR-FCFS (criticality bits prepended to the age comparator).
-    let crit_cfg = baseline_cfg
-        .with_scheduler(SchedulerKind::CasRasCrit)
-        .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
-    let crit = run(crit_cfg, &workload);
+    let crit = Session::new(baseline_cfg, &workload)
+        .scheduler(SchedulerKind::CasRasCrit)
+        .predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime))
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .stats;
 
     let speedup = baseline.cycles as f64 / crit.cycles as f64;
     println!();

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build, full test suite (unit + doc tests), docs,
-# trace capture/replay smoke test, stats-export smoke test, and
-# formatting. Run from anywhere inside the repo.
+# trace capture/replay, checkpoint warm-start, and stats-export smoke
+# tests, and formatting. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +12,9 @@ echo "release build took $((SECONDS - build_start))s"
 
 echo "== cargo test -q (includes doc tests)"
 cargo test -q
+
+echo "== cargo test --doc (explicit gate: Session/Checkpoint examples)"
+cargo test --doc -q
 
 echo "== cargo clippy --all-targets -D warnings (lint gate)"
 cargo clippy --all-targets -- -D warnings
@@ -30,6 +33,16 @@ echo "== parallel engine smoke test (--jobs 2 must match serial output)"
 ./target/release/repro --scale quick --jobs 1 fig10 > "$tmp/fig10.serial" 2>/dev/null
 ./target/release/repro --scale quick --jobs 2 fig10 > "$tmp/fig10.jobs2" 2>/dev/null
 diff "$tmp/fig10.serial" "$tmp/fig10.jobs2"
+
+echo "== checkpoint warm-start smoke test"
+# Round-trip a CMCK artifact through the CLI, then check that a
+# warm-started sweep is deterministic across worker counts.
+./target/release/repro --scale quick checkpoint save swim "$tmp/swim.cmck" --cycles 20000
+./target/release/repro --scale quick checkpoint restore "$tmp/swim.cmck" swim \
+  --sched casras-crit --pred maxstalltime
+./target/release/repro --scale quick --jobs 1 --warm-cycles 20000 fig10 > "$tmp/fig10.warm1" 2>/dev/null
+./target/release/repro --scale quick --jobs 2 --warm-cycles 20000 fig10 > "$tmp/fig10.warm2" 2>/dev/null
+diff "$tmp/fig10.warm1" "$tmp/fig10.warm2"
 
 echo "== stats export smoke test (JSONL, serial == --jobs 2)"
 ./target/release/repro --scale quick --jobs 1 stats swim --epoch 20000 > "$tmp/stats.serial" 2>/dev/null

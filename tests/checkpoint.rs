@@ -1,0 +1,257 @@
+//! End-to-end contract of the checkpoint & warm-start engine
+//! (DESIGN.md §6g): bit-exact same-config restores across every CBP
+//! annotation metric, the component-swap equivalence, typed errors on
+//! corrupt `CMCK` artifacts, and the `--jobs N` determinism of
+//! warm-started sweeps.
+
+use critmem::config::{PredictorKind, SystemConfig, WorkloadKind};
+use critmem::experiments::{Runner, Scale};
+use critmem::{Checkpoint, RunStats, Session, System};
+use critmem_common::codec::ByteWriter;
+use critmem_common::SimError;
+use critmem_predict::CbpMetric;
+use critmem_sched::SchedulerKind;
+
+const BOUNDARY: u64 = 2_500;
+
+fn small_cfg(instructions: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_baseline(instructions);
+    cfg.cores = 2;
+    cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
+    cfg.max_cycles = 50_000_000;
+    cfg
+}
+
+fn encode(stats: &RunStats) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    stats.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Checkpointing mid-run and restoring under the *same* configuration
+/// must be invisible: every statistic of the continued run is
+/// bit-identical to the uninterrupted run, for each of the five CBP
+/// annotation metrics (whose table state rides inside the snapshot).
+#[test]
+fn same_config_restore_is_bit_exact_for_every_cbp_metric() {
+    let wl = WorkloadKind::Parallel("swim");
+    for metric in [
+        CbpMetric::Binary,
+        CbpMetric::BlockCount,
+        CbpMetric::LastStallTime,
+        CbpMetric::MaxStallTime,
+        CbpMetric::TotalStallTime,
+    ] {
+        let cfg = small_cfg(2_000)
+            .with_scheduler(SchedulerKind::CasRasCrit)
+            .with_predictor(PredictorKind::cbp64(metric));
+        let cold = Session::new(cfg.clone(), &wl)
+            .run()
+            .unwrap_or_else(|e| panic!("{metric:?} cold: {e}"))
+            .stats;
+        let ckpt = Session::new(cfg.clone(), &wl)
+            .checkpoint_at(BOUNDARY)
+            .run_to_checkpoint()
+            .unwrap_or_else(|e| panic!("{metric:?} warmup: {e}"));
+        // Round-trip through the CMCK wire format so the on-disk path
+        // is part of the equivalence, not just the in-memory object.
+        let ckpt = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        let warm = Session::from_checkpoint(&ckpt, cfg, &wl)
+            .run()
+            .unwrap_or_else(|e| panic!("{metric:?} warm: {e}"))
+            .stats;
+        assert_eq!(
+            encode(&cold),
+            encode(&warm),
+            "{metric:?}: warm continuation diverged from the cold run"
+        );
+    }
+}
+
+/// Restoring a baseline checkpoint under a *different* scheduler and
+/// predictor must equal driving the baseline system to the boundary
+/// and swapping the components in place — the warm-start engine's
+/// correctness anchor for shared-warmup sweeps.
+#[test]
+fn component_swap_matches_in_place_reconfigure() {
+    let wl = WorkloadKind::Parallel("swim");
+    let base = small_cfg(2_000); // FR-FCFS, no predictor
+    let sched = SchedulerKind::CasRasCrit;
+    let pred = PredictorKind::cbp64(CbpMetric::MaxStallTime);
+
+    let ckpt = Session::new(base.clone(), &wl)
+        .checkpoint_at(BOUNDARY)
+        .run_to_checkpoint()
+        .unwrap();
+    let warm = Session::from_checkpoint(
+        &ckpt,
+        base.clone().with_scheduler(sched).with_predictor(pred),
+        &wl,
+    )
+    .run()
+    .unwrap()
+    .stats;
+
+    // Reference arm: one uninterrupted system, components swapped at
+    // the same cycle.
+    let mut sys = System::try_new(base, &wl).unwrap();
+    while sys.now() < BOUNDARY && !sys.done() {
+        sys.step();
+    }
+    sys.reconfigure(sched, pred);
+    #[allow(deprecated)]
+    let reference = sys.try_run().unwrap();
+
+    assert_eq!(
+        encode(&warm),
+        encode(&reference),
+        "warm component swap diverged from in-place reconfigure"
+    );
+}
+
+/// Damaged `CMCK` files surface as typed errors — never panics — and a
+/// healthy file survives the disk round-trip.
+#[test]
+fn corrupt_checkpoint_files_yield_typed_errors() {
+    let wl = WorkloadKind::Parallel("swim");
+    let ckpt = Session::new(small_cfg(1_000), &wl)
+        .checkpoint_at(500)
+        .run_to_checkpoint()
+        .unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "critmem-checkpoint-test-{}.cmck",
+        std::process::id()
+    ));
+    ckpt.save(&path).unwrap();
+    let loaded = Checkpoint::load(&path).unwrap();
+    assert_eq!(loaded.cycle(), ckpt.cycle());
+    assert_eq!(loaded.state_len(), ckpt.state_len());
+
+    let bytes = std::fs::read(&path).unwrap();
+
+    // Torn tail (crash mid-write).
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    match Checkpoint::load(&path) {
+        Err(SimError::Artifact(msg)) => {
+            assert!(msg.contains("truncated"), "diagnosis: {msg}")
+        }
+        other => panic!("truncated file: expected Artifact error, got {other:?}"),
+    }
+
+    // Flipped payload byte (bit rot) — the CRC must catch it.
+    let mut bad = bytes.clone();
+    let mid = bad.len() / 2;
+    bad[mid] ^= 0x40;
+    std::fs::write(&path, &bad).unwrap();
+    match Checkpoint::load(&path) {
+        Err(SimError::Artifact(msg)) => assert!(msg.contains("CRC"), "diagnosis: {msg}"),
+        other => panic!("corrupt file: expected Artifact error, got {other:?}"),
+    }
+
+    std::fs::remove_file(&path).ok();
+    match Checkpoint::load(&path) {
+        Err(SimError::Io { path: Some(p), .. }) => {
+            assert!(p.contains("critmem-checkpoint-test"))
+        }
+        other => panic!("missing file: expected Io error, got {other:?}"),
+    }
+}
+
+/// A warm-started sweep fanned out across worker threads produces the
+/// same memoized results, cell for cell, as the same sweep run
+/// serially — and every non-sampling cell carries the `+warm` memo
+/// suffix so journals never mix warm and cold results.
+#[test]
+fn warm_parallel_sweep_matches_serial() {
+    let drive = |r: &mut Runner| {
+        for sched in [
+            SchedulerKind::FrFcfs,
+            SchedulerKind::CritCasRas,
+            SchedulerKind::CasRasCrit,
+        ] {
+            r.parallel("swim", sched, PredictorKind::cbp64(CbpMetric::MaxStallTime));
+        }
+    };
+
+    // Serial arm: direct calls, no plan/execute pooling.
+    let mut serial = Runner::new(Scale::quick());
+    serial.jobs = 1;
+    serial.warm_cycles = Some(2_000);
+    drive(&mut serial);
+    assert!(!serial.has_failures(), "{:?}", serial.failures());
+
+    // Parallel arm: planned, warmed once on the pool, fanned out.
+    let mut pooled = Runner::new(Scale::quick());
+    pooled.jobs = 4;
+    pooled.warm_cycles = Some(2_000);
+    pooled.run_parallel(|r| drive(r));
+    assert!(!pooled.has_failures(), "{:?}", pooled.failures());
+
+    assert_eq!(serial.memo_snapshot(), pooled.memo_snapshot());
+    // 3 cells + 1 shared warmup on each arm.
+    assert_eq!(serial.runs_executed(), 4);
+    assert_eq!(pooled.runs_executed(), 4);
+    assert!(serial
+        .memo_snapshot()
+        .iter()
+        .all(|(key, _)| key.contains("+warm2000")));
+}
+
+/// Warm and cold runs of the same cell must occupy different memo
+/// keys, and sampling cells always run cold (their series must cover
+/// the whole run, warmup included).
+#[test]
+fn warm_memo_keys_never_collide_with_cold() {
+    let cell = |r: &mut Runner| {
+        r.parallel("swim", SchedulerKind::FrFcfs, PredictorKind::None);
+        r.parallel_with(
+            "swim",
+            SchedulerKind::FrFcfs,
+            PredictorKind::None,
+            "sampled",
+            |c| c.with_sampling(1_000),
+        );
+    };
+    let mut cold = Runner::new(Scale::quick());
+    cold.jobs = 1;
+    cell(&mut cold);
+    let mut warm = Runner::new(Scale::quick());
+    warm.jobs = 1;
+    warm.warm_cycles = Some(1_000);
+    cell(&mut warm);
+
+    let cold_keys: Vec<String> = cold.memo_snapshot().into_iter().map(|(k, _)| k).collect();
+    let warm_keys: Vec<String> = warm.memo_snapshot().into_iter().map(|(k, _)| k).collect();
+    assert!(cold_keys.iter().all(|k| !k.contains("+warm")));
+    // The plain cell is suffixed; the sampling cell stays on its cold
+    // key because it is excluded from warm starts.
+    assert_eq!(
+        warm_keys.iter().filter(|k| k.contains("+warm1000")).count(),
+        1,
+        "keys: {warm_keys:?}"
+    );
+    assert!(warm_keys
+        .iter()
+        .any(|k| k.contains("sampled") && !k.contains("+warm")));
+    // Warm and cold cells can share a journal without collisions.
+    assert!(cold_keys
+        .iter()
+        .all(|k| !warm_keys.contains(k) || k.contains("sampled")));
+}
+
+/// The warm path's results equal the cold path's warmup-equivalent:
+/// a cell whose configuration matches the warmup configuration
+/// (FR-FCFS, no predictor, no sampling) restores its own saved
+/// component state, so warm and cold stats for the baseline cell are
+/// bit-identical.
+#[test]
+fn baseline_cell_is_bit_exact_under_warm_start() {
+    let mut cold = Runner::new(Scale::quick());
+    cold.jobs = 1;
+    let a = cold.parallel("swim", SchedulerKind::FrFcfs, PredictorKind::None);
+    let mut warm = Runner::new(Scale::quick());
+    warm.jobs = 1;
+    warm.warm_cycles = Some(2_000);
+    let b = warm.parallel("swim", SchedulerKind::FrFcfs, PredictorKind::None);
+    assert_eq!(encode(&a), encode(&b));
+}

@@ -2,9 +2,16 @@
 //! commit stage, table-size/aliasing effects, periodic reset, and the
 //! §5.1 naive-forwarding contrast.
 
-use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
 use critmem_predict::{CbpMetric, TableSize};
 use critmem_sched::SchedulerKind;
+
+fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+    Session::new(cfg, workload)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .stats
+}
 
 fn cfg(instructions: u64) -> SystemConfig {
     let mut cfg = SystemConfig::paper_baseline(instructions);

@@ -66,8 +66,16 @@ fn sampled_run_matches_unsampled_results() {
     let mut cfg = SystemConfig::paper_baseline(2_000);
     cfg.cores = 2;
     cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
-    let plain = critmem::run(cfg.clone(), &WorkloadKind::Parallel("swim"));
-    let sampled = critmem::run(cfg.with_sampling(1_000), &WorkloadKind::Parallel("swim"));
+    let wl = WorkloadKind::Parallel("swim");
+    let plain = critmem::Session::new(cfg.clone(), &wl)
+        .run()
+        .expect("plain run")
+        .stats;
+    let sampled = critmem::Session::new(cfg, &wl)
+        .sampling(1_000)
+        .run()
+        .expect("sampled run")
+        .stats;
     assert_eq!(plain.cycles, sampled.cycles);
     assert_eq!(plain.hierarchy.l2_misses, sampled.hierarchy.l2_misses);
     assert!(plain.series.is_none());

@@ -1,9 +1,16 @@
 //! Cross-crate integration tests: end-to-end request flow through
 //! cores, caches, every scheduler, and the DDR3 model.
 
-use critmem::{run, PredictorKind, SystemConfig, WorkloadKind};
+use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
 use critmem_predict::{CbpMetric, ClptMode, TableSize};
 use critmem_sched::{MorseConfig, SchedulerKind, TcmTiebreak};
+
+fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+    Session::new(cfg, workload)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"))
+        .stats
+}
 
 fn small_cfg(instructions: u64) -> SystemConfig {
     let mut cfg = SystemConfig::paper_baseline(instructions);

@@ -10,7 +10,7 @@
 
 use critmem::config::{PredictorKind, SystemConfig, WorkloadKind};
 use critmem::experiments::{Runner, Scale};
-use critmem::system::run_traced;
+use critmem::Session;
 use critmem_dram::DramSystem;
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
@@ -18,6 +18,18 @@ use critmem_trace::{Fingerprint, ReplayConfig, Trace, TraceError, TraceReplayer,
 
 const INSTRUCTIONS: u64 = 2_000;
 const APP: &str = "swim";
+
+fn run_traced(
+    cfg: SystemConfig,
+    workload: &WorkloadKind,
+    source: &str,
+) -> (critmem::RunStats, Trace) {
+    let out = Session::new(cfg, workload)
+        .traced(source)
+        .run()
+        .unwrap_or_else(|e| panic!("{e}"));
+    (out.stats, out.observer.into_trace())
+}
 
 fn capture_cfg(scheduler: SchedulerKind) -> SystemConfig {
     SystemConfig::paper_baseline(INSTRUCTIONS)
@@ -209,16 +221,19 @@ fn trace_files_survive_disk_round_trip() {
 
 #[test]
 fn sink_observer_matches_run_traced() {
-    // `run_traced` is a convenience wrapper; wiring a `TraceSink`
-    // observer manually through `System::with_observer` must capture
-    // the same stream.
+    // `Session::traced` is a convenience wrapper; wiring a `TraceSink`
+    // observer manually through `Session::observer` must capture the
+    // same stream.
     let cfg = capture_cfg(SchedulerKind::FrFcfs);
     let fp = Fingerprint::of(cfg.cores, cfg.cpu_mhz, &cfg.dram);
     let sink = TraceSink::new(fp, APP);
     let workload = WorkloadKind::Parallel(APP);
-    let (_, sink) =
-        critmem::system::System::with_observer(cfg.clone(), &workload, sink).run_with_observer();
-    let manual = sink.into_trace();
+    let manual = Session::new(cfg.clone(), &workload)
+        .observer(sink)
+        .run()
+        .expect("manual capture")
+        .observer
+        .into_trace();
     let (_, auto) = run_traced(cfg, &workload, APP);
     assert_eq!(manual.records, auto.records);
 }

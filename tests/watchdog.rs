@@ -3,7 +3,7 @@
 //! snapshot) on an artificially wedged memory controller.
 
 use critmem::config::{PredictorKind, SystemConfig, WorkloadKind};
-use critmem::{try_run, System};
+use critmem::{RunStats, Session, System};
 use critmem_common::{SimError, WatchdogReason};
 use critmem_dram::DramSystem;
 use critmem_predict::CbpMetric;
@@ -15,6 +15,10 @@ fn small_cfg(instructions: u64) -> SystemConfig {
     cfg.cores = 2;
     cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
     cfg
+}
+
+fn try_run(cfg: SystemConfig, workload: &WorkloadKind) -> Result<RunStats, SimError> {
+    Session::new(cfg, workload).run().map(|out| out.stats)
 }
 
 /// The watchdog's thresholds sit far outside healthy behavior: a
@@ -109,8 +113,12 @@ fn cycle_budget_overrun_is_a_typed_error() {
 #[test]
 fn replay_watchdog_catches_a_wedged_scheduler() {
     let cfg = small_cfg(1_500);
-    let (_, trace) = critmem::try_run_traced(cfg.clone(), &WorkloadKind::Parallel("swim"), "swim")
-        .expect("capture must succeed");
+    let trace = Session::new(cfg.clone(), &WorkloadKind::Parallel("swim"))
+        .traced("swim")
+        .run()
+        .expect("capture must succeed")
+        .observer
+        .into_trace();
     assert!(!trace.records.is_empty(), "swim must miss the L2");
     let dram = DramSystem::new(cfg.dram, |_| Box::new(critmem_sched::Wedge));
     let err = TraceReplayer::new(trace, dram, ReplayConfig::default())
