@@ -8,13 +8,14 @@
 //! engine`.
 
 use critmem::config::PredictorKind;
-use critmem::experiments::{fig10, fig11, Runner, Scale};
+use critmem::experiments::{fig10, fig11, stream_replay, synth_replay, Runner, Scale};
 use critmem::pool::default_jobs;
 use critmem_bench::{black_box, Criterion};
 use critmem_common::{AccessKind, ChannelId, CoreId, Criticality, MemRequest};
 use critmem_dram::{AddressMapping, ChannelController, DramConfig, Interleaving};
 use critmem_predict::CbpMetric;
 use critmem_sched::{FrFcfs, SchedulerKind};
+use critmem_trace::{CoreProfile, Fingerprint, ReplayConfig, TrafficProfile, CHUNK_BYTES};
 use std::time::Instant;
 
 /// Pre-overhaul numbers, measured on the same harness (loaded/idle
@@ -128,6 +129,81 @@ fn measure_sweep_seconds(warm: Option<u64>) -> f64 {
     t.elapsed().as_secs_f64()
 }
 
+/// Request count of the long-horizon synthesis probe. Ten million
+/// requests is far beyond what an in-memory trace capture would hold
+/// comfortably (420 MB of records) — the point of the streaming
+/// pipeline is that this costs one chunk buffer, not the trace.
+const SYNTH_REQUESTS: u64 = 10_000_000;
+
+/// Hand-built dense traffic profile for the throughput probe: eight
+/// cores at the paper-baseline topology with one request every ~6 CPU
+/// cycles in aggregate, so the controller stays saturated and wall
+/// time measures simulation work rather than idle fast-forwarding.
+/// (A profile fitted to a quick-scale capture has a mean gap an order
+/// of magnitude larger, which would make the 10M-request run mostly
+/// idle ticks.)
+fn dense_profile() -> TrafficProfile {
+    let dram = DramConfig::paper_baseline();
+    let core = CoreProfile {
+        weight: 0.125,
+        write_frac: 0.25,
+        prefetch_frac: 0.10,
+        crit_frac: 0.30,
+        mean_crit: 40.0,
+        row_hit_frac: 0.60,
+        footprint_rows: 64,
+    };
+    TrafficProfile {
+        fingerprint: Fingerprint::of(8, 4_270, &dram),
+        source: "bench:dense".to_string(),
+        records_fitted: 0,
+        mean_gap: 6.0,
+        mean_issue_lag: 12.0,
+        cores: vec![core; 8],
+    }
+}
+
+struct StreamingNumbers {
+    synth_seconds: f64,
+    requests_per_sec: f64,
+    stream_records: u64,
+    peak_resident_bytes: usize,
+}
+
+/// The streaming-pipeline study: peak resident chunk memory while
+/// replaying a real capture from disk, and sustained requests/sec for
+/// a 10M-request synthesized run with windowed online stats enabled.
+fn measure_streaming() -> StreamingNumbers {
+    let mut r = Runner::new(Scale::quick());
+    r.jobs = 1;
+    let trace = r.capture("swim");
+    let path = std::env::temp_dir().join(format!("critmem-bench-{}.cmtr", std::process::id()));
+    trace.save(&path).expect("save bench trace");
+    let streamed = stream_replay(&path, SchedulerKind::FrFcfs, ReplayConfig::default())
+        .expect("stream replay");
+    std::fs::remove_file(&path).ok();
+    assert!(streamed.peak_resident_bytes <= CHUNK_BYTES);
+
+    let out = synth_replay(
+        &dense_profile(),
+        42,
+        SYNTH_REQUESTS,
+        SchedulerKind::FrFcfs,
+        ReplayConfig::default()
+            .with_max_outstanding(64)
+            .with_sampling(1_000_000)
+            .with_sample_window(64),
+    )
+    .expect("synth replay");
+    assert_eq!(out.generated, SYNTH_REQUESTS);
+    StreamingNumbers {
+        synth_seconds: out.seconds,
+        requests_per_sec: SYNTH_REQUESTS as f64 / out.seconds,
+        stream_records: streamed.records_read,
+        peak_resident_bytes: streamed.peak_resident_bytes,
+    }
+}
+
 fn main() {
     // Display benches through the usual harness first.
     let mut c = Criterion::default();
@@ -173,6 +249,13 @@ fn main() {
     let cells = WARM_CELLS.len() as u64;
     let cold_warmup_cycles = cells * WARM_BOUNDARY;
 
+    // The streaming-pipeline study.
+    let streaming = measure_streaming();
+    let synth_seconds = streaming.synth_seconds;
+    let requests_per_sec = streaming.requests_per_sec;
+    let stream_records = streaming.stream_records;
+    let peak_resident = streaming.peak_resident_bytes;
+
     let json = format!(
         "{{\n  \"host\": {{ \"cpus\": {cpus} }},\n  \"tick_kernel\": {{\n    \
          \"loaded_before_mticks_per_s\": {BEFORE_LOADED_MTICKS},\n    \
@@ -198,7 +281,16 @@ fn main() {
          \"cold_sweep_seconds\": {cold_sweep:.2},\n    \
          \"warm_sweep_seconds\": {warm_sweep:.2},\n    \
          \"warm_speedup\": {:.2},\n    \
-         \"acceptance\": \"warmup_cycle_ratio >= 3; per-cell stats byte-identical (tests/checkpoint.rs)\"\n  }}\n}}\n",
+         \"acceptance\": \"warmup_cycle_ratio >= 3; per-cell stats byte-identical (tests/checkpoint.rs)\"\n  }},\n  \
+         \"streaming\": {{\n    \
+         \"workload\": \"synthesized dense 8-core traffic, FR-FCFS, 64 outstanding, epoch 1M + window 64\",\n    \
+         \"synth_requests\": {SYNTH_REQUESTS},\n    \
+         \"synth_seconds\": {synth_seconds:.2},\n    \
+         \"requests_per_sec\": {requests_per_sec:.0},\n    \
+         \"stream_records\": {stream_records},\n    \
+         \"peak_resident_chunk_bytes\": {peak_resident},\n    \
+         \"chunk_bytes\": {CHUNK_BYTES},\n    \
+         \"acceptance\": \"requests_per_sec measured over >= 10000000 synthesized requests; peak_resident_chunk_bytes <= chunk_bytes\"\n  }}\n}}\n",
         loaded / BEFORE_LOADED_MTICKS,
         idle / BEFORE_IDLE_MTICKS,
         serial / parallel,

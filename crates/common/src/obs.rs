@@ -322,6 +322,7 @@ impl SeriesSet {
 pub struct Sampler {
     epoch: u64,
     next_at: u64,
+    window: Option<usize>,
     series: SeriesSet,
 }
 
@@ -337,13 +338,35 @@ impl Sampler {
         Sampler {
             epoch,
             next_at: epoch,
+            window: None,
             series: SeriesSet::new(schema),
         }
+    }
+
+    /// Retains only the most recent `window` samples: each new sample
+    /// past the cap evicts the oldest row. This bounds the sampler's
+    /// memory for unbounded-horizon runs (e.g. synthesized traffic
+    /// replay), turning the series into a sliding window of the run's
+    /// trailing behavior instead of its full history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "sample window must be nonzero");
+        self.window = Some(window);
+        self
     }
 
     /// The sampling epoch in cycles.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The sliding-window cap, when one was set.
+    pub fn window(&self) -> Option<usize> {
+        self.window
     }
 
     /// Whether a sample is due at `now`.
@@ -379,6 +402,13 @@ impl Sampler {
             "sample row width diverged from schema"
         );
         self.series.cycles.push(now);
+        if let Some(cap) = self.window {
+            let extra = self.series.cycles.len().saturating_sub(cap);
+            if extra > 0 {
+                self.series.cycles.drain(..extra);
+                self.series.values.drain(..extra * self.series.schema.len());
+            }
+        }
         // Epochs are anchored to the grid, not to the sample cycle, so
         // a caller that checks `due` late does not drift.
         while self.next_at <= now {
@@ -1007,6 +1037,30 @@ mod tests {
         // A late check lands back on the grid, not 250+100.
         s.sample(250, |v| f.observe(v));
         assert!(s.due(300));
+    }
+
+    #[test]
+    fn windowed_sampler_keeps_only_the_tail() {
+        let f = Fake { a: 0, b: 0.0 };
+        let schema = Schema::build(|v| {
+            v.component("fake");
+            f.observe(v);
+        });
+        let mut s = Sampler::new(schema, 10).with_window(3);
+        assert_eq!(s.window(), Some(3));
+        for i in 1..=8u64 {
+            let snap = Fake {
+                a: i,
+                b: i as f64 / 10.0,
+            };
+            s.sample(i * 10, |v| snap.observe(v));
+        }
+        let series = s.into_series();
+        assert_eq!(series.len(), 3, "window must cap retained rows");
+        assert_eq!(series.cycles(), &[60, 70, 80]);
+        assert_eq!(series.value(0, "fake.events"), Some(6.0));
+        assert_eq!(series.value(2, "fake.events"), Some(8.0));
+        assert_eq!(series.value(2, "fake.level"), Some(0.8));
     }
 
     #[test]

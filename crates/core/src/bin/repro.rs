@@ -6,6 +6,11 @@
 //! repro [--scale quick|standard|full] [--warm-cycles N] [experiments...]
 //! repro trace capture <app> <file> [--scale ...]
 //! repro trace replay <file> --sched <name> [--max-outstanding N]
+//! repro trace stream <file> [--sched <name>] [--max-outstanding N]
+//!                    [--epoch N] [--window W]
+//! repro trace profile <in.cmtr> <out.cmpf>
+//! repro trace synth <profile.cmpf> --requests N [--seed S] [--sched <name>]
+//!                   [--max-outstanding N] [--epoch N] [--window W]
 //! repro trace sweep [app] [--scale ...]
 //! repro stats [apps...] [--sched <name>] [--pred <metric>]
 //!             [--epoch N] [--format jsonl|csv] [--out <file>]
@@ -21,14 +26,15 @@
 use critmem::config::PredictorKind;
 use critmem::experiments::{
     self, config_dump, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig8, fig9, naive,
-    reset_study, stats_export, table5, table7, trace_sweep, Runner, Scale,
+    reset_study, stats_export, stream_replay, synth_replay, table5, table7, trace_sweep, Runner,
+    Scale,
 };
 use critmem::journal::SweepJournal;
 use critmem::{Checkpoint, Session, SystemConfig, WorkloadKind};
 use critmem_common::SimError;
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
-use critmem_trace::{ReplayConfig, Trace, TraceReplayer};
+use critmem_trace::{ReplayConfig, Trace, TraceReplayer, TrafficProfile};
 
 fn usage() -> ! {
     eprintln!(
@@ -36,6 +42,10 @@ fn usage() -> ! {
          \x20            [--warm-cycles N] [experiments...]\n\
          \x20      repro trace capture <app> <file> [--scale ...]\n\
          \x20      repro trace replay <file> --sched <name> [--max-outstanding N]\n\
+         \x20      repro trace stream <file> [--sched <name>] [--max-outstanding N] [--epoch N] [--window W]\n\
+         \x20      repro trace profile <in.cmtr> <out.cmpf>\n\
+         \x20      repro trace synth <profile.cmpf> --requests N [--seed S] [--sched <name>]\n\
+         \x20                        [--max-outstanding N] [--epoch N] [--window W]\n\
          \x20      repro trace sweep [app] [--scale ...] [--jobs N]\n\
          \x20      repro stats [apps...] [--sched <name>] [--pred <metric>|none] [--epoch N]\n\
          \x20                  [--format jsonl|csv] [--out <file>] [--scale ...] [--jobs N]\n\
@@ -141,24 +151,87 @@ fn trace_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
                 sched.name(),
                 stats.cpu_cycles
             );
+            print_replay_summary(&stats);
+            std::process::exit(0);
+        }
+        Some("stream") => {
+            let (file, sched, replay_cfg, _, _) = parse_replay_flags(args.into_iter().skip(1));
+            let Some(file) = file else { usage() };
+            let out = stream_replay(std::path::Path::new(&file), sched, replay_cfg)
+                .unwrap_or_else(|e| fail(e));
             println!(
-                "  mean read latency {:.0} cy, critical {:.0} cy ({} critical reads)",
-                stats.mean_read_latency(),
-                stats.mean_critical_read_latency(),
-                stats.critical_reads
+                "streamed {} requests ({} chunks) under {} in {} CPU cycles",
+                out.records_read,
+                out.chunks_read,
+                sched.name(),
+                out.stats.cpu_cycles
             );
-            let hits = stats.row_hits();
-            let total: u64 = stats
-                .channels
-                .iter()
-                .map(|c| c.row_hits + c.row_misses + c.row_conflicts)
-                .sum();
             println!(
-                "  row hits {hits}/{total} ({:.1}%), throttle stalls {}, queue-full retries {}",
-                100.0 * hits as f64 / total.max(1) as f64,
-                stats.throttled_cycles,
-                stats.queue_full_retries
+                "  {:.0} requests/sec wall, peak resident chunk memory {} B (cap {} B)",
+                out.records_read as f64 / out.seconds.max(1e-9),
+                out.peak_resident_bytes,
+                critmem_trace::CHUNK_BYTES
             );
+            print_replay_summary(&out.stats);
+            std::process::exit(0);
+        }
+        Some("profile") => {
+            let [_, input, output] = args.as_slice() else {
+                usage()
+            };
+            let trace = Trace::load(std::path::Path::new(input)).unwrap_or_else(|e| {
+                eprintln!("cannot read {input}: {e}");
+                std::process::exit(1);
+            });
+            let profile = TrafficProfile::fit(&trace)
+                .unwrap_or_else(|e| fail(SimError::Trace(e.to_string())));
+            profile
+                .save(std::path::Path::new(output))
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot write {output}: {e}");
+                    std::process::exit(1);
+                });
+            let active = profile.cores.iter().filter(|c| c.weight > 0.0).count();
+            println!(
+                "fitted {:?} profile from {} records: mean gap {:.1} cy, {active}/{} active cores -> {output}",
+                profile.source,
+                profile.records_fitted,
+                profile.mean_gap,
+                profile.cores.len()
+            );
+            std::process::exit(0);
+        }
+        Some("synth") => {
+            let mut requests = None;
+            let mut seed = 42u64;
+            let (file, sched, replay_cfg, req_flag, seed_flag) =
+                parse_replay_flags(args.into_iter().skip(1));
+            if let Some(n) = req_flag {
+                requests = Some(n);
+            }
+            if let Some(s) = seed_flag {
+                seed = s;
+            }
+            let (Some(file), Some(requests)) = (file, requests) else {
+                usage()
+            };
+            let profile = TrafficProfile::load(std::path::Path::new(&file))
+                .unwrap_or_else(|e| fail(SimError::Trace(e.to_string())));
+            let out = synth_replay(&profile, seed, requests, sched, replay_cfg)
+                .unwrap_or_else(|e| fail(e));
+            println!(
+                "synthesized {} requests (profile {:?}, seed {seed}) under {} in {} CPU cycles",
+                out.generated,
+                profile.source,
+                sched.name(),
+                out.stats.cpu_cycles
+            );
+            println!(
+                "  {:.0} requests/sec wall ({:.1} s)",
+                out.generated as f64 / out.seconds.max(1e-9),
+                out.seconds
+            );
+            print_replay_summary(&out.stats);
             std::process::exit(0);
         }
         Some("sweep") => {
@@ -169,6 +242,86 @@ fn trace_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
             std::process::exit(0);
         }
         _ => usage(),
+    }
+}
+
+/// Parses the flag set shared by `trace stream` and `trace synth`:
+/// returns (file, scheduler, replay config, --requests, --seed).
+fn parse_replay_flags(
+    it: impl Iterator<Item = String>,
+) -> (
+    Option<String>,
+    SchedulerKind,
+    ReplayConfig,
+    Option<u64>,
+    Option<u64>,
+) {
+    let mut file = None;
+    let mut sched = SchedulerKind::FrFcfs;
+    let mut cfg = ReplayConfig::default();
+    let mut requests = None;
+    let mut seed = None;
+    let mut it = it.peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sched" => match it.next() {
+                Some(s) => sched = s.parse().unwrap_or_else(|e| fail(e)),
+                None => usage(),
+            },
+            "--max-outstanding" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg = cfg.with_max_outstanding(n),
+                None => usage(),
+            },
+            "--epoch" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg = cfg.with_sampling(n),
+                None => usage(),
+            },
+            "--window" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg = cfg.with_sample_window(n),
+                None => usage(),
+            },
+            "--requests" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => requests = Some(n),
+                None => usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = Some(n),
+                None => usage(),
+            },
+            f if file.is_none() => file = Some(f.to_string()),
+            _ => usage(),
+        }
+    }
+    (file, sched, cfg, requests, seed)
+}
+
+/// The latency/row-locality lines shared by every replay-flavored
+/// subcommand.
+fn print_replay_summary(stats: &critmem_trace::ReplayStats) {
+    println!(
+        "  mean read latency {:.0} cy, critical {:.0} cy ({} critical reads)",
+        stats.mean_read_latency(),
+        stats.mean_critical_read_latency(),
+        stats.critical_reads
+    );
+    let hits = stats.row_hits();
+    let total: u64 = stats
+        .channels
+        .iter()
+        .map(|c| c.row_hits + c.row_misses + c.row_conflicts)
+        .sum();
+    println!(
+        "  row hits {hits}/{total} ({:.1}%), throttle stalls {}, queue-full retries {}",
+        100.0 * hits as f64 / total.max(1) as f64,
+        stats.throttled_cycles,
+        stats.queue_full_retries
+    );
+    if let Some(series) = &stats.series {
+        println!(
+            "  sampled series: {} rows x {} metrics (windowed online stats)",
+            series.len(),
+            series.schema().len()
+        );
     }
 }
 

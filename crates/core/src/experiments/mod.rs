@@ -11,6 +11,7 @@ pub mod harness;
 pub mod multiprog;
 pub mod parallel_figs;
 pub mod stats_export;
+pub mod streaming;
 pub mod tables;
 pub mod trace_sweep;
 
@@ -22,6 +23,7 @@ pub use parallel_figs::{
     SpeedupSeries,
 };
 pub use stats_export::stats_export;
+pub use streaming::{stream_replay, synth_replay, StreamReplayOutcome, SynthReplayOutcome};
 pub use tables::{
     config_dump, naive, reset_study, table5, table7, NaiveResult, ResetResult, Table5, Table7,
 };

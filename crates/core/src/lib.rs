@@ -64,6 +64,4 @@ pub use checkpoint::Checkpoint;
 pub use config::{PredictorKind, SystemConfig, WorkloadKind};
 pub use metrics::{geomean, speedup, Average};
 pub use session::{RunOutput, Session};
-#[allow(deprecated)]
-pub use system::{run, run_traced, try_run, try_run_traced};
 pub use system::{RunStats, System};

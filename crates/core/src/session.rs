@@ -2,10 +2,10 @@
 //! simulator is driven — plain runs, observed runs, trace capture,
 //! metric sampling, checkpoint capture, and warm starts.
 //!
-//! [`Session`] replaces the former six entry points (`run`, `try_run`,
+//! [`Session`] replaced the former six entry points (`run`, `try_run`,
 //! `run_traced`, `try_run_traced`, `run_with_observer`,
-//! `try_run_with_observer`), which survive as deprecated one-line
-//! shims. Every option is a chainable method; [`Session::run`] builds
+//! `try_run_with_observer`), whose deprecated shims have since been
+//! deleted. Every option is a chainable method; [`Session::run`] builds
 //! the [`System`], restores a checkpoint when one was attached, drives
 //! to completion, and returns a [`RunOutput`] carrying the statistics,
 //! the observer, and any checkpoint captured along the way.
@@ -109,7 +109,10 @@ impl<O: RequestObserver> Session<O> {
     }
 
     /// Samples every registered metric each `epoch` CPU cycles into
-    /// [`RunStats::series`].
+    /// [`RunStats::series`]. For trace/synth replay the equivalent
+    /// knob is [`critmem_trace::ReplayConfig::with_sampling`] — see
+    /// [`critmem_trace::ReplayConfig`] for the single reference on how
+    /// sampling, windowing, and the watchdog interact.
     #[must_use]
     pub fn sampling(mut self, epoch: u64) -> Self {
         self.cfg.sample_epoch = Some(epoch);
@@ -225,11 +228,10 @@ mod tests {
     }
 
     #[test]
-    fn session_matches_legacy_entry_point() {
+    fn identical_sessions_are_byte_deterministic() {
         let wl = WorkloadKind::Parallel("swim");
         let a = Session::new(quick(1_500), &wl).run().unwrap().stats;
-        #[allow(deprecated)]
-        let b = crate::system::run(quick(1_500), &wl);
+        let b = Session::new(quick(1_500), &wl).run().unwrap().stats;
         let (mut wa, mut wb) = (
             critmem_common::codec::ByteWriter::new(),
             critmem_common::codec::ByteWriter::new(),

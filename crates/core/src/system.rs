@@ -502,57 +502,6 @@ impl<O: RequestObserver> System<O> {
         self.core_finish.iter().all(|f| f.is_some())
     }
 
-    /// Runs to completion and returns the statistics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_cycles` elapses first or the forward-progress
-    /// watchdog trips (deadlock guard).
-    #[deprecated(since = "0.2.0", note = "use `critmem::Session::run` instead")]
-    pub fn run(self) -> RunStats {
-        #[allow(deprecated)]
-        self.run_with_observer().0
-    }
-
-    /// Runs to completion, returning the statistics and the observer
-    /// (e.g. a filled trace sink).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_cycles` elapses first or the forward-progress
-    /// watchdog trips (deadlock guard).
-    #[deprecated(since = "0.2.0", note = "use `critmem::Session::run` instead")]
-    pub fn run_with_observer(self) -> (RunStats, O) {
-        #[allow(deprecated)]
-        self.try_run_with_observer()
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Fallible version of [`Self::run`].
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Watchdog`] when the run exceeds its cycle budget or
-    /// the forward-progress watchdog detects a livelock; the snapshot
-    /// in the error carries the diagnostic state.
-    #[deprecated(since = "0.2.0", note = "use `critmem::Session::run` instead")]
-    pub fn try_run(self) -> Result<RunStats, SimError> {
-        #[allow(deprecated)]
-        self.try_run_with_observer().map(|(stats, _)| stats)
-    }
-
-    /// Fallible version of [`Self::run_with_observer`].
-    ///
-    /// # Errors
-    ///
-    /// [`SimError::Watchdog`] on a cycle-budget overrun, a commit
-    /// stall, or an over-aged DRAM request.
-    #[deprecated(since = "0.2.0", note = "use `critmem::Session::run` instead")]
-    pub fn try_run_with_observer(mut self) -> Result<(RunStats, O), SimError> {
-        self.drive(None)?;
-        Ok(self.into_stats_and_observer())
-    }
-
     /// Advances until every core finished, `stop` (a CPU cycle) is
     /// reached, or a guard trips. The tick loop carries a
     /// forward-progress watchdog ([`SystemConfig::watchdog`]) and
@@ -789,74 +738,6 @@ impl<O: RequestObserver> System<O> {
         };
         (stats, self.observer)
     }
-}
-
-/// Convenience: build and run in one call.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `critmem::Session::new(cfg, workload).run()` instead"
-)]
-pub fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
-    match crate::session::Session::new(cfg, workload).run() {
-        Ok(out) => out.stats,
-        Err(e) => panic!("{e}"),
-    }
-}
-
-/// Fallible version of [`run`]: build-time and run-time failures come
-/// back as typed [`SimError`]s.
-///
-/// # Errors
-///
-/// See [`crate::session::Session::run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `critmem::Session::new(cfg, workload).run()` instead"
-)]
-pub fn try_run(cfg: SystemConfig, workload: &WorkloadKind) -> Result<RunStats, SimError> {
-    crate::session::Session::new(cfg, workload)
-        .run()
-        .map(|out| out.stats)
-}
-
-/// Builds, runs, and captures the run's LLC-miss request stream as a
-/// trace labeled `source`.
-///
-/// # Panics
-///
-/// Panics under the same conditions as [`System::new`] plus any
-/// run-time failure.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `critmem::Session::new(cfg, workload).traced(source).run()` instead"
-)]
-pub fn run_traced(
-    cfg: SystemConfig,
-    workload: &WorkloadKind,
-    source: &str,
-) -> (RunStats, critmem_trace::Trace) {
-    #[allow(deprecated)]
-    try_run_traced(cfg, workload, source).unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Fallible version of [`run_traced`].
-///
-/// # Errors
-///
-/// See [`crate::session::Session::run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `critmem::Session::new(cfg, workload).traced(source).run()` instead"
-)]
-pub fn try_run_traced(
-    cfg: SystemConfig,
-    workload: &WorkloadKind,
-    source: &str,
-) -> Result<(RunStats, critmem_trace::Trace), SimError> {
-    let out = crate::session::Session::new(cfg, workload)
-        .traced(source)
-        .run()?;
-    Ok((out.stats, out.observer.into_trace()))
 }
 
 #[cfg(test)]

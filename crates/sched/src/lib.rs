@@ -139,16 +139,6 @@ impl SchedulerKind {
         }
     }
 
-    /// Parses a display name into a kind.
-    ///
-    /// Deprecated shim over the [`std::str::FromStr`] implementation,
-    /// which reports *which* name failed via a typed
-    /// [`critmem_common::SimError::Config`].
-    #[deprecated(since = "0.2.0", note = "use `str::parse::<SchedulerKind>()` instead")]
-    pub fn from_name(name: &str) -> Option<Self> {
-        name.parse().ok()
-    }
-
     /// Display name matching the paper's figures.
     pub fn name(self) -> &'static str {
         match self {

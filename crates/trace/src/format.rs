@@ -191,7 +191,7 @@ impl Fingerprint {
         }
     }
 
-    fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+    pub(crate) fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
         w.write_all(&self.cores.to_le_bytes())?;
         w.write_all(&self.cpu_mhz.to_le_bytes())?;
         w.write_all(&self.bus_mhz.to_le_bytes())?;
@@ -206,7 +206,7 @@ impl Fingerprint {
         write_string(w, &self.preset)
     }
 
-    fn read_from<R: Read>(r: &mut R) -> Result<Self, TraceError> {
+    pub(crate) fn read_from<R: Read>(r: &mut R) -> Result<Self, TraceError> {
         let cores = u16::from_le_bytes(read_array(r)?);
         let cpu_mhz = u64::from_le_bytes(read_array(r)?);
         let bus_mhz = u64::from_le_bytes(read_array(r)?);
@@ -331,7 +331,7 @@ impl TraceRecord {
         w.write_all(&buf)
     }
 
-    fn read_from<R: Read>(r: &mut R) -> Result<Self, TraceError> {
+    pub(crate) fn read_from<R: Read>(r: &mut R) -> Result<Self, TraceError> {
         let buf: [u8; RECORD_BYTES] = read_array(r)?;
         let word = |i: usize| u64::from_le_bytes(buf[i..i + 8].try_into().unwrap());
         let kind = match buf[41] {
@@ -359,7 +359,7 @@ impl TraceRecord {
 /// the count. A stream abandoned without `finish` is still readable —
 /// the reader treats the placeholder as "read until EOF".
 pub struct TraceWriter<W: Write + Seek> {
-    w: W,
+    pub(crate) w: W,
     count: u64,
     count_offset: u64,
     chunk_crc: Crc32,
@@ -440,6 +440,38 @@ impl<W: Write + Seek> TraceWriter<W> {
     }
 }
 
+/// A parsed CMTR header: fingerprint, provenance, and declared record
+/// count (`None` when the stream was abandoned without
+/// [`TraceWriter::finish`]).
+pub(crate) struct Header {
+    pub(crate) fingerprint: Fingerprint,
+    pub(crate) source: String,
+    pub(crate) declared: Option<u64>,
+}
+
+/// Parses the magic, version, fingerprint, source label, and record
+/// count off the front of a CMTR stream, leaving `r` positioned at the
+/// first record. Shared by the record-at-a-time [`TraceReader`] and the
+/// chunk-at-a-time [`crate::stream::TraceStream`].
+pub(crate) fn read_header<R: Read>(r: &mut R) -> Result<Header, TraceError> {
+    let magic: [u8; 4] = read_array(r)?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    let version = u16::from_le_bytes(read_array(r)?);
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let fingerprint = Fingerprint::read_from(r)?;
+    let source = read_string(r)?;
+    let count = u64::from_le_bytes(read_array(r)?);
+    Ok(Header {
+        fingerprint,
+        source,
+        declared: (count != COUNT_STREAMING).then_some(count),
+    })
+}
+
 /// Streaming trace reader.
 ///
 /// Verifies the interleaved chunk CRCs as it goes: a flipped bit in a
@@ -473,23 +505,12 @@ impl<R: Read> TraceReader<R> {
     ///
     /// Fails on bad magic, unsupported version, or I/O errors.
     pub fn new(mut r: R) -> Result<Self, TraceError> {
-        let magic: [u8; 4] = read_array(&mut r)?;
-        if magic != MAGIC {
-            return Err(TraceError::BadMagic);
-        }
-        let version = u16::from_le_bytes(read_array(&mut r)?);
-        if version != VERSION {
-            return Err(TraceError::UnsupportedVersion(version));
-        }
-        let fingerprint = Fingerprint::read_from(&mut r)?;
-        let source = read_string(&mut r)?;
-        let count = u64::from_le_bytes(read_array(&mut r)?);
-        let remaining = (count != COUNT_STREAMING).then_some(count);
+        let header = read_header(&mut r)?;
         Ok(TraceReader {
             r,
-            fingerprint,
-            source,
-            remaining,
+            fingerprint: header.fingerprint,
+            source: header.source,
+            remaining: header.declared,
             chunk_crc: Crc32::new(),
             in_chunk: 0,
             tail_checked: false,

@@ -22,6 +22,13 @@
 //! against a mismatched system is rejected with a field-by-field
 //! diagnosis.
 //!
+//! For horizons past what fits in RAM, the replayer is generic over a
+//! [`RequestSource`]: [`TraceStream`] iterates a CMTR file
+//! chunk-at-a-time at constant memory (one [`CHUNK_BYTES`] buffer),
+//! and [`SynthSource`] generates unbounded traffic from a
+//! [`TrafficProfile`] fitted to a capture — see the [`stream`] and
+//! [`synth`] modules.
+//!
 //! # Examples
 //!
 //! ```
@@ -58,7 +65,11 @@
 pub mod format;
 pub mod replay;
 pub mod sink;
+pub mod stream;
+pub mod synth;
 
 pub use format::{Fingerprint, Trace, TraceError, TraceReader, TraceRecord, TraceWriter};
 pub use replay::{ReplayConfig, ReplayStats, TraceReplayer};
 pub use sink::TraceSink;
+pub use stream::{RequestSource, TraceSource, TraceStream, CHUNK_BYTES};
+pub use synth::{CoreProfile, SynthSource, TrafficProfile};

@@ -14,6 +14,7 @@
 //! ([`ReplayConfig::max_outstanding`]) that mimics MSHR back-pressure.
 
 use crate::format::{Fingerprint, Trace, TraceError, TraceRecord};
+use crate::stream::{RequestSource, TraceSource};
 use critmem_common::codec::{ByteReader, ByteWriter, CodecError};
 use critmem_common::{
     ClockDivider, Observable, Sampler, Schema, SeriesSet, SimError, WatchdogConfig, WatchdogReason,
@@ -46,7 +47,47 @@ impl Fingerprint {
     }
 }
 
-/// Replay pacing policy.
+/// Replay pacing, sampling, and fault-detection policy.
+///
+/// This is the single reference for how the knobs interact (the
+/// `Session` builder and CLI flags all funnel into this struct):
+///
+/// - **Stopping.** The replay ends when the source is exhausted and
+///   every outstanding request has drained — unless
+///   [`stop_at_cycle`](Self::stop_at_cycle) harvests early, or
+///   [`max_cycles`](Self::max_cycles) aborts a runaway. For unbounded
+///   sources ([`crate::SynthSource`] without a limit), set one of the
+///   two or the replay never ends.
+/// - **Sampling.** [`sample_epoch`](Self::sample_epoch) turns on the
+///   cycle-anchored `obs` sampler; a final sample is always taken at
+///   the harvest cycle, whatever stopped the run. On a long-horizon
+///   replay the series would grow without bound, so pair it with
+///   [`sample_window`](Self::sample_window) to keep only the trailing
+///   `W` samples (a sliding window of constant memory). `sample_window`
+///   without `sample_epoch` is inert.
+/// - **Watchdog.** [`watchdog`](Self::watchdog) runs *independently* of
+///   sampling and stop conditions, on its own check interval: the
+///   no-commit check watches injections + completions (replay has no
+///   cores to commit), and the request-age check watches the DRAM
+///   queues exactly as the execution-driven system does. A trip
+///   surfaces as a typed [`SimError::Watchdog`] from
+///   [`TraceReplayer::try_run`] — sampling does not defer it, and a
+///   `stop_at_cycle` harvest cannot race it (the stop check runs
+///   first).
+///
+/// # Examples
+///
+/// ```
+/// use critmem_trace::ReplayConfig;
+///
+/// // Long-horizon shape: throttled injection, windowed sampling.
+/// let cfg = ReplayConfig::default()
+///     .with_max_outstanding(64)
+///     .with_sampling(10_000)
+///     .with_sample_window(512);
+/// assert_eq!(cfg.sample_epoch, Some(10_000));
+/// assert_eq!(cfg.sample_window, Some(512));
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ReplayConfig {
     /// Closed-loop throttle: cap on requests in flight. `None` injects
@@ -66,10 +107,12 @@ pub struct ReplayConfig {
     /// When set, sample the per-channel DRAM metrics every `N` CPU
     /// cycles into [`ReplayStats::series`].
     pub sample_epoch: Option<u64>,
-    /// Forward-progress watchdog. For replay, the commit check watches
-    /// injections + completions (there are no cores); the request-age
-    /// check watches the DRAM queues exactly as in the execution-driven
-    /// system.
+    /// When set (with `sample_epoch`), retain only the trailing `W`
+    /// samples — the sliding window that keeps unbounded-horizon
+    /// replays at constant memory. `None` keeps the full series.
+    pub sample_window: Option<usize>,
+    /// Forward-progress watchdog; see the struct-level docs for how it
+    /// interacts with sampling and the stop conditions.
     pub watchdog: WatchdogConfig,
 }
 
@@ -80,6 +123,7 @@ impl Default for ReplayConfig {
             stop_at_cycle: None,
             max_cycles: 10_000_000_000,
             sample_epoch: None,
+            sample_window: None,
             watchdog: WatchdogConfig::default(),
         }
     }
@@ -106,6 +150,15 @@ impl ReplayConfig {
     #[must_use]
     pub fn with_sampling(mut self, epoch: u64) -> Self {
         self.sample_epoch = Some(epoch);
+        self
+    }
+
+    /// Caps the sampled series at the trailing `window` samples (the
+    /// constant-memory knob for unbounded-horizon replays). Inert
+    /// unless [`Self::with_sampling`] is also set.
+    #[must_use]
+    pub fn with_sample_window(mut self, window: usize) -> Self {
+        self.sample_window = Some(window);
         self
     }
 }
@@ -242,26 +295,31 @@ impl ReplayStats {
     }
 }
 
-/// Drives a [`DramSystem`] from a captured trace.
-pub struct TraceReplayer {
-    records: Vec<TraceRecord>,
+/// Drives a [`DramSystem`] from a [`RequestSource`] — a fully loaded
+/// trace ([`TraceSource`]), a bounded-memory file stream
+/// ([`crate::TraceStream`]), or a profile-driven synthesizer
+/// ([`crate::SynthSource`]). The replay loop is identical for every
+/// source, so streamed replay of a CMTR file is byte-identical to
+/// in-memory replay of the same file.
+pub struct TraceReplayer<S: RequestSource = TraceSource> {
+    source: S,
     dram: DramSystem,
     divider: ClockDivider,
     cfg: ReplayConfig,
 }
 
-impl std::fmt::Debug for TraceReplayer {
+impl<S: RequestSource> std::fmt::Debug for TraceReplayer<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TraceReplayer")
-            .field("records", &self.records.len())
+            .field("len_hint", &self.source.len_hint())
             .field("cfg", &self.cfg)
             .finish_non_exhaustive()
     }
 }
 
-impl TraceReplayer {
-    /// Builds a replayer over `dram`, which the caller constructs with
-    /// whatever scheduler is under study.
+impl TraceReplayer<TraceSource> {
+    /// Builds a replayer over a fully loaded trace (the in-memory
+    /// path; see [`Self::from_source`] for streams and synthesizers).
     ///
     /// # Errors
     ///
@@ -269,23 +327,35 @@ impl TraceReplayer {
     /// trace's capture fingerprint (scheduler and queue capacity are
     /// free to differ; organization, preset, and interleaving are not).
     pub fn new(trace: Trace, dram: DramSystem, cfg: ReplayConfig) -> Result<Self, TraceError> {
-        let fp = &trace.fingerprint;
+        Self::from_source(TraceSource::from(trace), dram, cfg)
+    }
+}
+
+impl<S: RequestSource> TraceReplayer<S> {
+    /// Builds a replayer over any [`RequestSource`] — `dram` is
+    /// constructed by the caller with whatever scheduler is under
+    /// study. Pass `&mut source` to keep ownership (e.g. to read
+    /// [`crate::TraceStream::peak_resident_bytes`] afterwards).
+    ///
+    /// # Errors
+    ///
+    /// Rejects the pairing if `dram`'s topology does not match the
+    /// source's fingerprint (scheduler and queue capacity are free to
+    /// differ; organization, preset, and interleaving are not).
+    pub fn from_source(source: S, dram: DramSystem, cfg: ReplayConfig) -> Result<Self, TraceError> {
+        let fp = source.fingerprint();
         let system_fp = Fingerprint::of(fp.cores as usize, fp.cpu_mhz, dram.config());
         fp.check_compatible(&system_fp)?;
         let divider = ClockDivider::new(fp.bus_mhz, fp.cpu_mhz);
-        let mut records = trace.records;
-        // Capture emits records in nondecreasing enqueue order already;
-        // sort stably so hand-built traces behave too.
-        records.sort_by_key(|r| r.enqueue_cycle);
         Ok(TraceReplayer {
-            records,
+            source,
             dram,
             divider,
             cfg,
         })
     }
 
-    /// Runs the trace to completion.
+    /// Runs the source to exhaustion.
     ///
     /// # Panics
     ///
@@ -310,10 +380,18 @@ impl TraceReplayer {
         let mut stats = ReplayStats::default();
         let mut sampler = self.cfg.sample_epoch.map(|epoch| {
             let schema = Schema::build(|v| self.dram.observe(v));
-            Sampler::new(schema, epoch)
+            let s = Sampler::new(schema, epoch);
+            match self.cfg.sample_window {
+                Some(w) => s.with_window(w),
+                None => s,
+            }
         });
-        let total = self.records.len();
-        let mut idx = 0usize;
+        let trace_err = |e: TraceError| SimError::Trace(e.to_string());
+        // One-record lookahead: `pending` is the next record to inject
+        // (pulled but not yet accepted); `None` means the source is
+        // exhausted. Priming before the loop keeps an empty source at
+        // zero cycles, exactly like the old in-memory path.
+        let mut pending = self.source.next_record().map_err(trace_err)?;
         let mut outstanding = 0usize;
         let mut inject_cycle: HashMap<u64, u64> = HashMap::new();
         let mut crit_of: HashMap<u64, u64> = HashMap::new();
@@ -322,7 +400,7 @@ impl TraceReplayer {
         let mut last_events = 0u64;
         let mut last_event_cycle = 0u64;
         let mut next_check = wd.check_interval;
-        while (idx < total || outstanding > 0)
+        while (pending.is_some() || outstanding > 0)
             && self.cfg.stop_at_cycle.is_none_or(|stop| now < stop)
         {
             now += 1;
@@ -332,7 +410,7 @@ impl TraceReplayer {
                         max_cycles: self.cfg.max_cycles,
                     },
                     now,
-                    total - idx,
+                    Self::pending_count(&self.source, &pending),
                     outstanding,
                 ));
             }
@@ -340,21 +418,23 @@ impl TraceReplayer {
             // respecting the closed-loop throttle and queue space. This
             // happens before the DRAM tick of the same CPU cycle —
             // matching the execution-driven system's step order.
-            while idx < total && self.records[idx].enqueue_cycle <= now {
+            while let Some(rec) = pending {
+                if rec.enqueue_cycle > now {
+                    break;
+                }
                 if let Some(cap) = self.cfg.max_outstanding {
                     if outstanding >= cap {
                         stats.throttled_cycles += 1;
                         break;
                     }
                 }
-                let rec = self.records[idx];
                 match self.dram.enqueue(rec.to_request()) {
                     Ok(()) => {
-                        idx += 1;
                         outstanding += 1;
                         stats.injected += 1;
                         inject_cycle.insert(rec.id, now);
                         crit_of.insert(rec.id, rec.crit);
+                        pending = self.source.next_record().map_err(trace_err)?;
                     }
                     Err(_) => {
                         // Transaction queue full: retry on a later cycle.
@@ -398,7 +478,7 @@ impl TraceReplayer {
                         return Err(self.watchdog_error(
                             WatchdogReason::NoCommit { idle_cycles },
                             now,
-                            total - idx,
+                            Self::pending_count(&self.source, &pending),
                             outstanding,
                         ));
                     }
@@ -412,7 +492,7 @@ impl TraceReplayer {
                                     limit: wd.max_request_age,
                                 },
                                 now,
-                                total - idx,
+                                Self::pending_count(&self.source, &pending),
                                 outstanding,
                             ));
                         }
@@ -429,6 +509,13 @@ impl TraceReplayer {
             s.into_series()
         });
         Ok(stats)
+    }
+
+    /// Records not yet injected, for watchdog diagnostics: the one in
+    /// the lookahead slot plus whatever the source can count.
+    fn pending_count(source: &S, pending: &Option<TraceRecord>) -> usize {
+        let hinted = source.len_hint().unwrap_or(0).min(usize::MAX as u64) as usize;
+        usize::from(pending.is_some()) + hinted
     }
 
     /// Builds the diagnostic snapshot for a watchdog trip.
@@ -545,6 +632,58 @@ mod tests {
         assert_eq!(a.cpu_cycles, b.cpu_cycles);
         assert_eq!(a.read_latency_sum, b.read_latency_sum);
         assert_eq!(a.row_hits(), b.row_hits());
+    }
+
+    #[test]
+    fn windowed_sampling_caps_the_series() {
+        let trace = synthetic_trace(200);
+        let full = TraceReplayer::new(
+            trace.clone(),
+            dram_for(&trace),
+            ReplayConfig::default().with_sampling(100),
+        )
+        .unwrap()
+        .run();
+        let windowed = TraceReplayer::new(
+            trace.clone(),
+            dram_for(&trace),
+            ReplayConfig::default()
+                .with_sampling(100)
+                .with_sample_window(3),
+        )
+        .unwrap()
+        .run();
+        let full = full.series.expect("sampling was on");
+        let win = windowed.series.expect("sampling was on");
+        assert!(full.len() > 3, "trace too short to exercise the window");
+        assert_eq!(win.len(), 3);
+        // The window keeps the *tail* of the full series.
+        assert_eq!(win.cycles(), &full.cycles()[full.len() - 3..]);
+    }
+
+    #[test]
+    fn streamed_source_replays_identically_to_in_memory() {
+        let trace = synthetic_trace(600);
+        let bytes = trace.to_bytes().unwrap();
+        let memory = TraceReplayer::new(trace.clone(), dram_for(&trace), ReplayConfig::default())
+            .unwrap()
+            .run();
+        let mut stream = crate::TraceStream::new(std::io::Cursor::new(&bytes)).unwrap();
+        let streamed =
+            TraceReplayer::from_source(&mut stream, dram_for(&trace), ReplayConfig::default())
+                .unwrap()
+                .run();
+        let enc = |s: &ReplayStats| {
+            let mut w = ByteWriter::new();
+            s.encode(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(
+            enc(&memory),
+            enc(&streamed),
+            "streamed replay must be byte-identical to in-memory replay"
+        );
+        assert!(stream.peak_resident_bytes() <= crate::CHUNK_BYTES);
     }
 
     #[test]

@@ -1,0 +1,520 @@
+//! Bounded-memory streaming over CMTR files, and the [`RequestSource`]
+//! seam that makes [`crate::TraceReplayer`] source-agnostic.
+//!
+//! [`crate::Trace::load`] materializes every record before replay
+//! starts — 42 bytes per request, which caps study horizons at what
+//! fits in RAM. [`TraceStream`] instead iterates the file
+//! *chunk-at-a-time* over the format's per-256-record CRC-32 framing
+//! (see [`crate::format`]): one reusable buffer holds the current
+//! chunk (`[`CHUNK_BYTES`]` = 256 × 42 + 4 bytes), the whole chunk is
+//! read ahead in a single I/O call and checksum-verified, and records
+//! are decoded out of the buffer on demand. Peak resident memory is
+//! one chunk regardless of trace length.
+//!
+//! Both the in-memory path ([`TraceSource`]) and the stream implement
+//! [`RequestSource`], as does the profile-driven generator
+//! ([`crate::SynthSource`]) — the replayer pulls records through the
+//! trait and never sees the difference. Replay of the same CMTR file
+//! through either source is byte-identical (capture emits records in
+//! nondecreasing enqueue order, which the stream preserves and the
+//! in-memory path's stable sort leaves untouched).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use critmem_trace::{ReplayConfig, TraceReplayer, TraceStream};
+//! use critmem_dram::{DramSystem, Fcfs};
+//!
+//! let mut stream = TraceStream::open(std::path::Path::new("big.cmtr")).unwrap();
+//! let cfg = stream.fingerprint().dram_config().unwrap();
+//! let dram = DramSystem::new(cfg, |_| Box::new(Fcfs::new()));
+//! let stats = TraceReplayer::from_source(&mut stream, dram, ReplayConfig::default())
+//!     .unwrap()
+//!     .try_run()
+//!     .unwrap();
+//! assert_eq!(stats.completed, stream.records_read());
+//! assert!(stream.peak_resident_bytes() <= critmem_trace::CHUNK_BYTES);
+//! ```
+
+use crate::format::{
+    read_header, Fingerprint, Trace, TraceError, TraceRecord, CHUNK_RECORDS, RECORD_BYTES,
+};
+use critmem_common::crc32::Crc32;
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::Path;
+
+/// On-disk size of one full chunk: 256 records plus the trailing
+/// CRC-32. The streaming reader's buffer never grows past this.
+pub const CHUNK_BYTES: usize = CHUNK_RECORDS * RECORD_BYTES + 4;
+
+/// A pull-based stream of trace records feeding a
+/// [`crate::TraceReplayer`].
+///
+/// Records must arrive in nondecreasing `enqueue_cycle` order (the
+/// order capture emits them); the replayer injects each record when
+/// the replay clock reaches its cycle.
+pub trait RequestSource {
+    /// Topology fingerprint the records were captured on (or
+    /// synthesized for); replay validates it against the DRAM system.
+    fn fingerprint(&self) -> &Fingerprint;
+
+    /// The next record, or `Ok(None)` once the source is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError`] on a corrupt or truncated backing stream.
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError>;
+
+    /// Records remaining, when the source knows (bounded sources).
+    /// `None` for unbounded or abandoned-capture streams. Used for
+    /// watchdog diagnostics only.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// A `&mut` source is a source: lets callers keep ownership (e.g. to
+/// read [`TraceStream::peak_resident_bytes`] after the replay).
+impl<S: RequestSource + ?Sized> RequestSource for &mut S {
+    fn fingerprint(&self) -> &Fingerprint {
+        (**self).fingerprint()
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        (**self).next_record()
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+/// The in-memory [`RequestSource`]: a fully loaded [`Trace`], stably
+/// sorted by enqueue cycle (so hand-built traces behave like captured
+/// ones).
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    fingerprint: Fingerprint,
+    records: Vec<TraceRecord>,
+    idx: usize,
+}
+
+impl From<Trace> for TraceSource {
+    fn from(trace: Trace) -> Self {
+        let mut records = trace.records;
+        // Capture emits records in nondecreasing enqueue order already;
+        // sort stably so hand-built traces behave too.
+        records.sort_by_key(|r| r.enqueue_cycle);
+        TraceSource {
+            fingerprint: trace.fingerprint,
+            records,
+            idx: 0,
+        }
+    }
+}
+
+impl RequestSource for TraceSource {
+    fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        let rec = self.records.get(self.idx).copied();
+        self.idx += rec.is_some() as usize;
+        Ok(rec)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some((self.records.len() - self.idx) as u64)
+    }
+}
+
+/// Chunk-at-a-time CMTR reader with bounded resident memory.
+///
+/// Each refill reads one whole chunk (records + CRC) into a reusable
+/// buffer with a single I/O call and verifies the checksum before any
+/// record is handed out; a flipped bit therefore surfaces as
+/// [`TraceError::Corrupt`] *before* the replayer sees the chunk, not
+/// after. Torn tails are typed: a finished stream (header carries a
+/// record count) that ends early is `Corrupt("stream truncated …")`;
+/// an abandoned stream (no `finish`) reads every complete record and
+/// reports a partial trailing record as `Corrupt("torn record …")`,
+/// with only its final sub-chunk unverified (its CRC was never
+/// written).
+pub struct TraceStream<R: Read> {
+    r: R,
+    fingerprint: Fingerprint,
+    source: String,
+    /// Declared records left to read; `None` for abandoned streams.
+    remaining: Option<u64>,
+    /// The reusable chunk buffer (capacity never exceeds
+    /// [`CHUNK_BYTES`]).
+    buf: Vec<u8>,
+    /// Records decoded-able from `buf` this refill.
+    rec_in_buf: usize,
+    /// Next record index within `buf`.
+    next_rec: usize,
+    done: bool,
+    chunks_read: u64,
+    records_read: u64,
+    peak_resident: usize,
+}
+
+impl TraceStream<BufReader<File>> {
+    /// Opens a CMTR file for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and header-format errors.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        Self::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceStream<R> {
+    /// Parses the header and prepares the chunk buffer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on bad magic, unsupported version, or I/O errors.
+    pub fn new(mut r: R) -> Result<Self, TraceError> {
+        let header = read_header(&mut r)?;
+        Ok(TraceStream {
+            r,
+            fingerprint: header.fingerprint,
+            source: header.source,
+            remaining: header.declared,
+            buf: Vec::with_capacity(CHUNK_BYTES),
+            rec_in_buf: 0,
+            next_rec: 0,
+            done: false,
+            chunks_read: 0,
+            records_read: 0,
+            peak_resident: 0,
+        })
+    }
+
+    /// The capturing system's fingerprint.
+    pub fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
+    }
+
+    /// The workload label recorded at capture time.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// Declared record count still unread, if the stream was finished
+    /// cleanly.
+    pub fn declared_remaining(&self) -> Option<u64> {
+        self.remaining
+    }
+
+    /// Chunks pulled off the backing reader so far.
+    pub fn chunks_read(&self) -> u64 {
+        self.chunks_read
+    }
+
+    /// Records handed out so far.
+    pub fn records_read(&self) -> u64 {
+        self.records_read
+    }
+
+    /// Largest number of trace bytes ever resident in the chunk
+    /// buffer — at most [`CHUNK_BYTES`], by construction.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident
+    }
+
+    /// Reads the next chunk into the reusable buffer and verifies its
+    /// CRC. Returns `false` when the stream is exhausted.
+    fn refill(&mut self) -> Result<bool, TraceError> {
+        if self.done {
+            return Ok(false);
+        }
+        let want_records = match self.remaining {
+            Some(0) => {
+                self.done = true;
+                return Ok(false);
+            }
+            Some(n) => n.min(CHUNK_RECORDS as u64) as usize,
+            None => CHUNK_RECORDS,
+        };
+        let want = want_records * RECORD_BYTES + 4;
+        self.buf.resize(want, 0);
+        let got = read_full(&mut self.r, &mut self.buf)?;
+        self.peak_resident = self.peak_resident.max(got);
+        let verified_records = if let Some(n) = self.remaining.as_mut() {
+            // Finished stream: the header promised these bytes.
+            if got < want {
+                return Err(TraceError::Corrupt(format!(
+                    "stream truncated mid-chunk ({got} of {want} bytes)"
+                )));
+            }
+            *n -= want_records as u64;
+            Some(want_records)
+        } else if got == want {
+            Some(CHUNK_RECORDS)
+        } else {
+            // Abandoned stream: EOF lands wherever the capture died.
+            self.done = true;
+            if got == 0 {
+                return Ok(false);
+            }
+            let body = CHUNK_RECORDS * RECORD_BYTES;
+            if got >= body || got % RECORD_BYTES == 0 {
+                // Torn before (or inside) the chunk CRC: every complete
+                // record is usable, just unverified.
+                self.rec_in_buf = got.min(body) / RECORD_BYTES;
+                self.next_rec = 0;
+                self.chunks_read += 1;
+                return Ok(true);
+            }
+            return Err(TraceError::Corrupt(format!(
+                "torn record at end of unfinished stream ({} trailing bytes)",
+                got % RECORD_BYTES
+            )));
+        };
+        if let Some(records) = verified_records {
+            let body = records * RECORD_BYTES;
+            let mut crc = Crc32::new();
+            crc.update(&self.buf[..body]);
+            let computed = crc.finish();
+            let stored = u32::from_le_bytes(self.buf[body..body + 4].try_into().unwrap());
+            if stored != computed {
+                return Err(TraceError::Corrupt(format!(
+                    "chunk checksum mismatch (stored {stored:#010X}, computed {computed:#010X})"
+                )));
+            }
+            self.rec_in_buf = records;
+        }
+        self.next_rec = 0;
+        self.chunks_read += 1;
+        Ok(true)
+    }
+
+    /// Decodes the next record out of the chunk buffer, refilling when
+    /// the buffer is spent; `Ok(None)` at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Corrupt`] on a truncated finished stream, a
+    /// chunk-checksum mismatch, or a torn trailing record; I/O errors
+    /// otherwise.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        if self.next_rec == self.rec_in_buf && !self.refill()? {
+            return Ok(None);
+        }
+        let off = self.next_rec * RECORD_BYTES;
+        let rec = TraceRecord::read_from(&mut &self.buf[off..off + RECORD_BYTES])?;
+        self.next_rec += 1;
+        self.records_read += 1;
+        Ok(Some(rec))
+    }
+}
+
+impl<R: Read> RequestSource for TraceStream<R> {
+    fn fingerprint(&self) -> &Fingerprint {
+        &self.fingerprint
+    }
+
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, TraceError> {
+        TraceStream::next_record(self)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        self.remaining
+            .map(|n| n + (self.rec_in_buf - self.next_rec) as u64)
+    }
+}
+
+impl<R: Read> std::fmt::Debug for TraceStream<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceStream")
+            .field("source", &self.source)
+            .field("records_read", &self.records_read)
+            .field("chunks_read", &self.chunks_read)
+            .field("remaining", &self.remaining)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Reads until `buf` is full or EOF; returns the byte count (unlike
+/// `read_exact`, a short read is reported, not an error).
+fn read_full<R: Read>(r: &mut R, mut buf: &mut [u8]) -> io::Result<usize> {
+    let mut got = 0;
+    while !buf.is_empty() {
+        match r.read(buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                got += n;
+                buf = &mut buf[n..];
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(got)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{TraceWriter, VERSION};
+    use critmem_common::AccessKind;
+    use critmem_dram::DramConfig;
+    use std::io::Cursor;
+
+    fn fingerprint() -> Fingerprint {
+        Fingerprint::of(8, 4_270, &DramConfig::paper_baseline())
+    }
+
+    fn records(n: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord {
+                enqueue_cycle: i * 3,
+                issued_at: i * 3,
+                id: i,
+                addr: i * 64,
+                crit: i % 7,
+                core: (i % 8) as u8,
+                kind: if i % 5 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            })
+            .collect()
+    }
+
+    fn finished_bytes(recs: &[TraceRecord]) -> Vec<u8> {
+        Trace {
+            fingerprint: fingerprint(),
+            source: "t".into(),
+            records: recs.to_vec(),
+        }
+        .to_bytes()
+        .unwrap()
+    }
+
+    fn abandoned_bytes(recs: &[TraceRecord]) -> Vec<u8> {
+        let mut tw = TraceWriter::new(Cursor::new(Vec::new()), &fingerprint(), "t").unwrap();
+        for r in recs {
+            tw.append(r).unwrap();
+        }
+        // No finish(): the count stays at the streaming placeholder.
+        tw.w.into_inner()
+    }
+
+    fn drain(bytes: &[u8]) -> Result<Vec<TraceRecord>, TraceError> {
+        let mut s = TraceStream::new(Cursor::new(bytes))?;
+        let mut out = Vec::new();
+        while let Some(rec) = s.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn stream_matches_bulk_reader_across_chunk_boundaries() {
+        for n in [0u64, 1, 255, 256, 257, 600, 2 * 256 + 37] {
+            let recs = records(n);
+            let bytes = finished_bytes(&recs);
+            let streamed = drain(&bytes).unwrap();
+            assert_eq!(streamed, recs, "count {n}");
+        }
+    }
+
+    #[test]
+    fn resident_memory_is_one_chunk() {
+        let recs = records(5 * 256 + 19);
+        let bytes = finished_bytes(&recs);
+        let mut s = TraceStream::new(Cursor::new(&bytes)).unwrap();
+        while s.next_record().unwrap().is_some() {}
+        assert_eq!(s.records_read(), recs.len() as u64);
+        assert_eq!(s.chunks_read(), 6);
+        assert!(s.peak_resident_bytes() <= CHUNK_BYTES);
+        assert!(s.buf.capacity() <= CHUNK_BYTES);
+    }
+
+    #[test]
+    fn truncated_finished_stream_is_corrupt() {
+        let bytes = finished_bytes(&records(100));
+        for cut in [5usize, 43, 4] {
+            let err = drain(&bytes[..bytes.len() - cut]).unwrap_err();
+            assert!(matches!(err, TraceError::Corrupt(_)), "cut {cut}: {err:?}");
+            assert!(err.to_string().contains("truncated"), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_caught_before_any_record_escapes() {
+        let bytes = finished_bytes(&records(300));
+        // Flip a bit in the first chunk's records.
+        let mut corrupt = bytes.clone();
+        let flip_at = bytes.len() - (300 * RECORD_BYTES + 2 * 4) + 10;
+        corrupt[flip_at] ^= 0x40;
+        let mut s = TraceStream::new(Cursor::new(&corrupt)).unwrap();
+        // The very first pull fails: the chunk is verified on refill,
+        // before any of its records is handed out.
+        let err = s.next_record().unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        assert_eq!(s.records_read(), 0);
+    }
+
+    #[test]
+    fn abandoned_stream_reads_complete_records() {
+        // Mid-chunk abandonment: all records readable, unverified.
+        let recs = records(300);
+        let bytes = abandoned_bytes(&recs);
+        assert_eq!(drain(&bytes).unwrap(), recs);
+        // Abandonment exactly at a chunk boundary (CRC present).
+        let recs = records(256);
+        assert_eq!(drain(&abandoned_bytes(&recs)).unwrap(), recs);
+    }
+
+    #[test]
+    fn torn_tail_of_abandoned_stream_is_typed() {
+        let recs = records(10);
+        let mut bytes = abandoned_bytes(&recs);
+        // Tear the last record in half.
+        bytes.truncate(bytes.len() - RECORD_BYTES / 2);
+        let err = drain(&bytes).unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)), "{err:?}");
+        assert!(err.to_string().contains("torn record"), "{err}");
+    }
+
+    #[test]
+    fn header_errors_are_preserved() {
+        assert!(matches!(
+            TraceStream::new(Cursor::new(b"NOPE....".to_vec())).unwrap_err(),
+            TraceError::BadMagic
+        ));
+        let mut bytes = finished_bytes(&records(4));
+        bytes[4] = 0xFF;
+        assert!(matches!(
+            TraceStream::new(Cursor::new(&bytes)).unwrap_err(),
+            TraceError::UnsupportedVersion(v) if v != VERSION
+        ));
+    }
+
+    #[test]
+    fn trace_source_sorts_and_counts_down() {
+        let mut recs = records(5);
+        recs.swap(0, 4);
+        let mut src = TraceSource::from(Trace {
+            fingerprint: fingerprint(),
+            source: "t".into(),
+            records: recs,
+        });
+        assert_eq!(src.len_hint(), Some(5));
+        let first = src.next_record().unwrap().unwrap();
+        assert_eq!(first.enqueue_cycle, 0, "must be stably sorted");
+        assert_eq!(src.len_hint(), Some(4));
+        while src.next_record().unwrap().is_some() {}
+        assert_eq!(src.len_hint(), Some(0));
+        assert!(src.next_record().unwrap().is_none());
+    }
+}

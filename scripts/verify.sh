@@ -29,6 +29,25 @@ trap 'rm -rf "$tmp"' EXIT
 ./target/release/repro trace replay "$tmp/swim.cmtr" --sched fr-fcfs
 ./target/release/repro trace replay "$tmp/swim.cmtr" --sched casras-crit
 
+echo "== streaming pipeline smoke test (capture -> profile -> synth)"
+# Stream the capture back (constant chunk memory), fit a CMPF traffic
+# profile, and synthesize a 1M-request long-horizon run with windowed
+# online stats.
+./target/release/repro trace stream "$tmp/swim.cmtr" --sched fr-fcfs \
+  | tee "$tmp/stream.out"
+grep -q 'peak resident chunk memory 10756 B' "$tmp/stream.out"
+./target/release/repro trace profile "$tmp/swim.cmtr" "$tmp/swim.cmpf"
+./target/release/repro trace synth "$tmp/swim.cmpf" --requests 1000000 \
+  --sched casras-crit --max-outstanding 64 --epoch 1000000 --window 32 \
+  | tee "$tmp/synth.out"
+grep -q 'synthesized 1000000 requests' "$tmp/synth.out"
+grep -q 'windowed online stats' "$tmp/synth.out"
+# The recorded bench block must carry the long-horizon acceptance line
+# (regenerate with `cargo bench --bench engine`).
+grep -q '"streaming"' BENCH_engine.json
+grep -q '"requests_per_sec"' BENCH_engine.json
+grep -q '"acceptance": "requests_per_sec measured over >= 10000000 synthesized requests; peak_resident_chunk_bytes <= chunk_bytes"' BENCH_engine.json
+
 echo "== parallel engine smoke test (--jobs 2 must match serial output)"
 ./target/release/repro --scale quick --jobs 1 fig10 > "$tmp/fig10.serial" 2>/dev/null
 ./target/release/repro --scale quick --jobs 2 fig10 > "$tmp/fig10.jobs2" 2>/dev/null

@@ -99,8 +99,10 @@ fn component_swap_matches_in_place_reconfigure() {
         sys.step();
     }
     sys.reconfigure(sched, pred);
-    #[allow(deprecated)]
-    let reference = sys.try_run().unwrap();
+    while !sys.done() {
+        sys.step();
+    }
+    let reference = sys.into_stats();
 
     assert_eq!(
         encode(&warm),
