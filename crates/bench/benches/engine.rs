@@ -10,9 +10,11 @@
 use critmem::config::PredictorKind;
 use critmem::experiments::{fig10, fig11, stream_replay, synth_replay, Runner, Scale};
 use critmem::pool::default_jobs;
+use critmem::{RunStats, Session, SystemConfig, WorkloadKind};
 use critmem_bench::{black_box, Criterion};
-use critmem_common::{AccessKind, ChannelId, CoreId, Criticality, MemRequest};
-use critmem_dram::{AddressMapping, ChannelController, DramConfig, Interleaving};
+use critmem_common::codec::ByteWriter;
+use critmem_common::{AccessKind, ChannelId, CoreId, Criticality, MemRequest, ShardPool};
+use critmem_dram::{AddressMapping, ChannelController, DramConfig, DramSystem, Interleaving};
 use critmem_predict::CbpMetric;
 use critmem_sched::{FrFcfs, SchedulerKind};
 use critmem_trace::{CoreProfile, Fingerprint, ReplayConfig, TrafficProfile, CHUNK_BYTES};
@@ -204,6 +206,110 @@ fn measure_streaming() -> StreamingNumbers {
     }
 }
 
+/// Instruction budget of the skip-ahead probe: the `chase` latency
+/// microbenchmark (a serialized pointer chase, memory-level
+/// parallelism of one) alone on the paper baseline. The core spends
+/// nearly the whole run stalled on a single outstanding DRAM access
+/// with no forward delivery, sampler epoch, or controller event due —
+/// exactly the regime the event-driven skip-ahead targets.
+const SKIP_INSTR: u64 = 150_000;
+
+fn skip_probe_cfg(skip_ahead: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_baseline(SKIP_INSTR);
+    cfg.cores = 1;
+    cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(1);
+    cfg.max_cycles = 1_000_000_000;
+    cfg.skip_ahead = skip_ahead;
+    cfg
+}
+
+fn encoded(stats: &RunStats) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    stats.encode(&mut w);
+    w.into_bytes()
+}
+
+/// Wall-clock seconds for the DRAM-bound idle-heavy probe with the
+/// event-driven skip-ahead off vs on, asserting both runs end with
+/// byte-identical stats (the identity claim the speedup rides on).
+fn measure_skip_ahead() -> (f64, f64) {
+    let wl = WorkloadKind::Alone("chase");
+    let run = |skip: bool| {
+        let t = Instant::now();
+        let out = Session::new(skip_probe_cfg(skip), &wl)
+            .run()
+            .expect("skip-ahead probe");
+        (t.elapsed().as_secs_f64(), out.stats)
+    };
+    let (off_seconds, off_stats) = run(false);
+    let (on_seconds, on_stats) = run(true);
+    assert_eq!(
+        encoded(&on_stats),
+        encoded(&off_stats),
+        "skip-ahead changed the probe's results"
+    );
+    (off_seconds, on_seconds)
+}
+
+/// Tick budget for the serial half of the sharded-kernel probe.
+const SHARD_SERIAL_TICKS: u64 = 1_000_000;
+
+/// Tick budget for the sharded half — smaller, because on a host
+/// without spare cores every tick pays for worker wakeups with no
+/// parallelism to offset them, and the block records rates, not
+/// totals.
+const SHARD_POOL_TICKS: u64 = 100_000;
+
+fn eight_channel_system() -> DramSystem {
+    let mut cfg = DramConfig::paper_baseline();
+    cfg.org.channels = 8;
+    DramSystem::new(cfg, |_| Box::new(FrFcfs::new()))
+}
+
+fn feed(dram: &mut DramSystem, id: u64) {
+    // Spread across rows, banks, and all eight channels so every
+    // shard's chunk stays busy.
+    let addr = (id % 192) * 4 * 1024 + (id % 16) * 64;
+    let req = MemRequest::new(id, addr, AccessKind::Read, CoreId((id % 8) as u8)).with_criticality(
+        if id.is_multiple_of(3) {
+            Criticality::ranked(id * 10)
+        } else {
+            Criticality::non_critical()
+        },
+    );
+    let _ = dram.enqueue(req);
+}
+
+/// Steady-state Mticks/s of a loaded 8-channel system under the serial
+/// tick vs the sharded tick with `shards` pool workers.
+fn measure_sharded(shards: usize) -> (f64, f64) {
+    let run = |ticks: u64, mut pool: Option<ShardPool>| {
+        let mut dram = eight_channel_system();
+        let mut next_id = 0u64;
+        for _ in 0..192 {
+            feed(&mut dram, next_id);
+            next_id += 1;
+        }
+        let t = Instant::now();
+        for _ in 0..ticks {
+            let completed = match &mut pool {
+                Some(p) => dram.tick_sharded(p).len(),
+                None => dram.tick().len(),
+            };
+            for _ in 0..completed {
+                feed(&mut dram, next_id);
+                next_id += 1;
+            }
+        }
+        let reads: u64 = dram.channel_stats().iter().map(|c| c.reads_completed).sum();
+        black_box(reads);
+        ticks as f64 / t.elapsed().as_secs_f64() / 1e6
+    };
+    let serial = run(SHARD_SERIAL_TICKS, None);
+    let sharded = run(SHARD_POOL_TICKS, Some(ShardPool::new(shards)));
+    (serial, sharded)
+}
+
 fn main() {
     // Display benches through the usual harness first.
     let mut c = Criterion::default();
@@ -256,8 +362,20 @@ fn main() {
     let stream_records = streaming.stream_records;
     let peak_resident = streaming.peak_resident_bytes;
 
+    // The skip-ahead study: same simulation, clock advanced at event
+    // granularity instead of cycle granularity through quiet windows.
+    let (skip_off, skip_on) = measure_skip_ahead();
+
+    // The sharded-kernel study: the DRAM tick of one simulation split
+    // across pool workers. Worker count mirrors what a user would pick
+    // (one per CPU, at most one per channel, at least two so the
+    // barrier path is exercised even here).
+    let shard_workers = default_jobs().clamp(2, 8);
+    let (serial_mticks, sharded_mticks) = measure_sharded(shard_workers);
+
     let json = format!(
         "{{\n  \"host\": {{ \"cpus\": {cpus} }},\n  \"tick_kernel\": {{\n    \
+         \"host_cpus\": {cpus},\n    \
          \"loaded_before_mticks_per_s\": {BEFORE_LOADED_MTICKS},\n    \
          \"loaded_after_mticks_per_s\": {loaded:.2},\n    \
          \"loaded_speedup\": {:.2},\n    \
@@ -266,6 +384,7 @@ fn main() {
          \"idle_speedup\": {:.1},\n    \
          \"acceptance\": \"loaded_speedup >= 1.5\"\n  }},\n  \"engine\": {{\n    \
          \"workload\": \"repro --scale quick fig10 fig11 (fresh runner per measurement)\",\n    \
+         \"host_cpus\": {cpus},\n    \
          \"serial_before_seconds\": {BEFORE_COMPARE_SECONDS},\n    \
          \"serial_after_seconds\": {serial:.2},\n    \
          \"jobs\": {jobs},\n    \
@@ -274,6 +393,7 @@ fn main() {
          \"note\": \"parallel speedup requires >1 CPU; output is byte-identical either way\"\n  }},\n  \
          \"warm_start\": {{\n    \
          \"workload\": \"4-cell quick-scale scheduler sweep on swim, boundary {WARM_BOUNDARY} cycles\",\n    \
+         \"host_cpus\": {cpus},\n    \
          \"cells\": {cells},\n    \
          \"cold_warmup_cycles\": {cold_warmup_cycles},\n    \
          \"warm_warmup_cycles\": {WARM_BOUNDARY},\n    \
@@ -284,18 +404,37 @@ fn main() {
          \"acceptance\": \"warmup_cycle_ratio >= 3; per-cell stats byte-identical (tests/checkpoint.rs)\"\n  }},\n  \
          \"streaming\": {{\n    \
          \"workload\": \"synthesized dense 8-core traffic, FR-FCFS, 64 outstanding, epoch 1M + window 64\",\n    \
+         \"host_cpus\": {cpus},\n    \
          \"synth_requests\": {SYNTH_REQUESTS},\n    \
          \"synth_seconds\": {synth_seconds:.2},\n    \
          \"requests_per_sec\": {requests_per_sec:.0},\n    \
          \"stream_records\": {stream_records},\n    \
          \"peak_resident_chunk_bytes\": {peak_resident},\n    \
          \"chunk_bytes\": {CHUNK_BYTES},\n    \
-         \"acceptance\": \"requests_per_sec measured over >= 10000000 synthesized requests; peak_resident_chunk_bytes <= chunk_bytes\"\n  }}\n}}\n",
+         \"acceptance\": \"requests_per_sec measured over >= 10000000 synthesized requests; peak_resident_chunk_bytes <= chunk_bytes\"\n  }},\n  \
+         \"skip_ahead\": {{\n    \
+         \"workload\": \"chase latency microbenchmark alone ({SKIP_INSTR} instructions, MLP 1) on the paper baseline — DRAM-bound and idle-heavy\",\n    \
+         \"host_cpus\": {cpus},\n    \
+         \"off_seconds\": {skip_off:.2},\n    \
+         \"on_seconds\": {skip_on:.2},\n    \
+         \"speedup\": {:.2},\n    \
+         \"acceptance\": \"speedup >= 3 on the DRAM-bound idle-heavy probe; stats byte-identical (asserted here and in tests/sharded_kernel.rs)\"\n  }},\n  \
+         \"sharded\": {{\n    \
+         \"workload\": \"loaded 8-channel DramSystem steady-state tick, FR-FCFS\",\n    \
+         \"host_cpus\": {cpus},\n    \
+         \"shards\": {shard_workers},\n    \
+         \"serial_mticks_per_s\": {serial_mticks:.2},\n    \
+         \"sharded_mticks_per_s\": {sharded_mticks:.2},\n    \
+         \"sharded_speedup\": {:.2},\n    \
+         \"note\": \"speedup > 1 requires host_cpus > 1; a 1-CPU host measures pure barrier overhead — output is byte-identical either way\",\n    \
+         \"acceptance\": \"sharded_speedup > 1 when host_cpus > 1\"\n  }}\n}}\n",
         loaded / BEFORE_LOADED_MTICKS,
         idle / BEFORE_IDLE_MTICKS,
         serial / parallel,
         cells as f64,
         cold_sweep / warm_sweep,
+        skip_off / skip_on,
+        sharded_mticks / serial_mticks,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &json).expect("write BENCH_engine.json");

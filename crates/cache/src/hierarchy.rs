@@ -563,6 +563,16 @@ impl CacheHierarchy {
         self.outbox.len()
     }
 
+    /// CPU cycle at which the oldest outbox request becomes visible to
+    /// [`Self::pop_request`], or `None` when the outbox is empty.
+    /// Event-horizon accessor for skip-ahead; a rejected request handed
+    /// back via [`Self::unpop_request`] reports `ready_at` 0, so a
+    /// retry pending on DRAM queue space pins the horizon to the next
+    /// cycle.
+    pub fn next_request_ready_at(&self) -> Option<CpuCycle> {
+        self.outbox.front().map(|e| e.ready_at)
+    }
+
     /// Occupied shared-L2 MSHR entries — snapshotted by the
     /// forward-progress watchdog to show how full the miss machinery
     /// was at the moment of a livelock.

@@ -76,6 +76,39 @@ impl ClockDivider {
         }
     }
 
+    /// Advances the fast clock by `n` cycles at once; returns the number
+    /// of slow-clock ticks produced over that window.
+    ///
+    /// Byte-identical to calling [`ClockDivider::tick`] `n` times: the
+    /// accumulator invariant `acc < fast_hz` means each tick subtracts
+    /// `fast_hz` at most once, so the closed form
+    /// `ticks = (acc + n * slow_hz) / fast_hz` is exact.
+    #[inline]
+    pub fn advance(&mut self, n: u64) -> u64 {
+        self.fast_cycles += n;
+        let total = self.acc + n * self.slow_hz;
+        let ticks = total / self.fast_hz;
+        self.acc = total % self.fast_hz;
+        self.slow_cycles += ticks;
+        ticks
+    }
+
+    /// Number of fast cycles until the `ticks`-th future slow tick: the
+    /// smallest `f` such that [`ClockDivider::advance`]`(f)` would return
+    /// at least `ticks`. Returns 0 when `ticks` is 0 and `u64::MAX` when
+    /// the product overflows (an "event at infinity" horizon).
+    #[inline]
+    pub fn fast_cycles_until(&self, ticks: u64) -> u64 {
+        if ticks == 0 {
+            return 0;
+        }
+        // Smallest f with acc + f * slow_hz >= ticks * fast_hz.
+        let Some(need) = ticks.checked_mul(self.fast_hz) else {
+            return u64::MAX;
+        };
+        (need - self.acc).div_ceil(self.slow_hz)
+    }
+
     /// Number of slow-clock cycles elapsed so far.
     #[inline]
     pub fn slow_cycles(&self) -> u64 {
@@ -211,6 +244,51 @@ mod tests {
             }
             assert_eq!(ticks, slow * mult, "slow={slow} mult={mult}");
         }
+    }
+
+    /// `advance(n)` matches `n` individual ticks exactly — accumulator,
+    /// counters, and tick total — across random fractional ratios and
+    /// batch sizes (seeded property sweep).
+    #[test]
+    fn advance_matches_serial_ticks() {
+        let mut rng = crate::SmallRng::seed_from_u64(0xADA7);
+        for _ in 0..64 {
+            let slow = rng.gen_range(1..5_000);
+            let fast = slow + rng.gen_range(0..5_000);
+            let mut serial = ClockDivider::new(slow, fast);
+            let mut batched = ClockDivider::new(slow, fast);
+            for _ in 0..32 {
+                let n = rng.gen_range(0..10_000);
+                let mut ticks = 0u64;
+                for _ in 0..n {
+                    ticks += u64::from(serial.tick());
+                }
+                assert_eq!(batched.advance(n), ticks, "slow={slow} fast={fast} n={n}");
+                assert_eq!(batched, serial);
+            }
+        }
+    }
+
+    /// `fast_cycles_until(d)` is the exact first-crossing point: advancing
+    /// that many fast cycles yields at least `d` ticks, one fewer does not.
+    #[test]
+    fn fast_cycles_until_is_tight() {
+        let mut rng = crate::SmallRng::seed_from_u64(0xF1A5);
+        for _ in 0..64 {
+            let slow = rng.gen_range(1..5_000);
+            let fast = slow + rng.gen_range(0..5_000);
+            let mut d = ClockDivider::new(slow, fast);
+            d.advance(rng.gen_range(0..1_000)); // random accumulator phase
+            let want = rng.gen_range(1..100);
+            let f = d.fast_cycles_until(want);
+            let mut probe = d.clone();
+            assert!(probe.advance(f) >= want);
+            let mut probe = d.clone();
+            assert!(probe.advance(f - 1) < want, "slow={slow} fast={fast}");
+        }
+        let d = ClockDivider::new(1_066, 4_270);
+        assert_eq!(d.fast_cycles_until(0), 0);
+        assert_eq!(d.fast_cycles_until(u64::MAX), u64::MAX);
     }
 
     /// The accumulator never produces two slow ticks without at least

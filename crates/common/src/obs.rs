@@ -375,6 +375,19 @@ impl Sampler {
         now >= self.next_at
     }
 
+    /// The cycle at which the next sample falls due. Event-horizon
+    /// accessor for skip-ahead: a caller that batch-advances the clock
+    /// must stop no later than this cycle.
+    #[inline]
+    pub fn next_due(&self) -> u64 {
+        self.next_at
+    }
+
+    /// Number of samples recorded so far (after any window eviction).
+    pub fn samples_taken(&self) -> usize {
+        self.series.cycles.len()
+    }
+
     /// Cycle stamp of the most recent sample, if any.
     pub fn last_sampled(&self) -> Option<u64> {
         self.series.cycles.last().copied()

@@ -1,0 +1,371 @@
+//! A persistent shard pool for fine-grained, allocation-free fan-out.
+//!
+//! [`ShardPool`] drives the sharded DRAM tick: every memory-bus cycle
+//! the `System` fans the per-channel controller work out to a fixed set
+//! of workers and barriers on their completion before touching the
+//! results. That dispatch happens millions of times per simulated
+//! second, so the usual scoped-thread-per-batch approach (used by the
+//! sweep-level pool in `critmem::pool`, which spawns threads once per
+//! *sweep cell*) is far too heavy here: this pool spawns its workers
+//! once, then publishes each round of work with a single atomic
+//! generation bump and collects it with a single counter — no
+//! allocation, no channel, no thread spawn on the hot path.
+//!
+//! # Protocol
+//!
+//! Publishing (caller, [`ShardPool::run`]):
+//! 1. write the erased task pointer (plain store; happens-before via 3),
+//! 2. store `remaining = workers` (release),
+//! 3. bump `generation` under the park mutex (release) and notify.
+//!
+//! Each worker spins briefly on `generation` (acquire), parking on the
+//! condvar when a round does not arrive quickly; because the publisher
+//! bumps the generation *under the same mutex* the workers wait on, a
+//! wakeup can never be missed. On wakeup the worker runs the task with
+//! its fixed shard index, then decrements `remaining` (release). The
+//! caller runs shard 0 itself and spin-waits for `remaining == 0`
+//! (acquire) before returning, which is what makes the lifetime erasure
+//! of the task pointer sound: the borrow the pointer was made from is
+//! still live for the entire window in which any worker can touch it —
+//! including the unwinding path, which waits on the same barrier via a
+//! drop guard.
+//!
+//! A worker panic is caught ([`std::panic::catch_unwind`]), recorded,
+//! and re-raised on the caller's thread after the barrier, so a fault
+//! inside one shard behaves exactly like a fault in a serial tick.
+
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// An erased `&(dyn Fn(usize) + Sync)`: raw pointers carry no lifetime,
+/// and [`ShardPool::run`] guarantees the referent outlives every use.
+type Task = *const (dyn Fn(usize) + Sync);
+
+/// Spin iterations before a waiter parks (worker) or yields (caller).
+/// DRAM ticks arrive every ~4 CPU cycles of simulated time, so workers
+/// in a hot loop should never actually park; the limit only bounds the
+/// burn when the simulation goes quiet (skip-ahead, run teardown).
+const SPIN_LIMIT: u32 = 4_096;
+
+struct Shared {
+    /// Round counter; bumped under `lock` to publish work or shutdown.
+    generation: AtomicU64,
+    /// Workers that have not yet finished the current round.
+    remaining: AtomicUsize,
+    /// Set (under `lock`, before the final bump) to terminate workers.
+    shutdown: AtomicBool,
+    /// Latched by any worker whose task panicked this round.
+    panicked: AtomicBool,
+    /// The current round's task. Written only by `run` (which holds
+    /// `&mut self`, so rounds never overlap) before the generation bump;
+    /// read by workers after observing the bump.
+    task: UnsafeCell<Option<Task>>,
+    lock: Mutex<()>,
+    parked: Condvar,
+}
+
+// SAFETY: `task` holds a raw pointer that is only written while no
+// worker is between a generation observation and its `remaining`
+// decrement (enforced by `run(&mut self)` barriering on `remaining`),
+// and only read after an acquire of the generation that published it.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+/// A fixed set of worker threads that repeatedly execute one shared
+/// closure, each with its own shard index, with a barrier per round.
+///
+/// Shard 0 always runs on the calling thread; a pool created with
+/// `shards` executes indices `0..shards` per round. See the module
+/// docs for the publication protocol.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_common::pool::ShardPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let mut pool = ShardPool::new(4);
+/// let hits = [const { AtomicU64::new(0) }; 4];
+/// for round in 1..=100u64 {
+///     pool.run(&|shard| {
+///         hits[shard].fetch_add(1, Ordering::Relaxed);
+///     });
+///     // The barrier makes every shard's work visible here.
+///     assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == round));
+/// }
+/// ```
+pub struct ShardPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    shards: usize,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("shards", &self.shards)
+            .finish()
+    }
+}
+
+/// Blocks until every worker has acknowledged the current round, even
+/// when the caller's own shard panics and unwinds through `run`.
+struct RoundBarrier<'a>(&'a Shared);
+
+impl Drop for RoundBarrier<'_> {
+    fn drop(&mut self) {
+        let mut spins = 0u32;
+        while self.0.remaining.load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins > SPIN_LIMIT {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl ShardPool {
+    /// Creates a pool executing `shards` shard indices per round:
+    /// `shards - 1` worker threads plus the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or a worker thread cannot be spawned.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a shard pool needs at least one shard");
+        let shared = Arc::new(Shared {
+            generation: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+            task: UnsafeCell::new(None),
+            lock: Mutex::new(()),
+            parked: Condvar::new(),
+        });
+        let workers = (1..shards)
+            .map(|shard| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("critmem-shard{shard}"))
+                    .spawn(move || worker(&shared, shard))
+                    .expect("failed to spawn shard worker")
+            })
+            .collect();
+        ShardPool {
+            shared,
+            workers,
+            shards,
+        }
+    }
+
+    /// Number of shard indices executed per round.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Executes `f(shard)` for every shard index in `0..shards()`,
+    /// returning once all have completed. Shard 0 runs on the calling
+    /// thread. `&mut self` serializes rounds, which is what lets `f`
+    /// borrow local state without `'static`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from any shard (after the barrier, so the
+    /// other shards still complete their work first).
+    pub fn run(&mut self, f: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() {
+            f(0);
+            return;
+        }
+        let shared = &*self.shared;
+        // SAFETY (write): rounds are serialized by `&mut self` and the
+        // previous round's workers all decremented `remaining` before
+        // its barrier released, so no worker can be reading `task` now.
+        // The transmute only erases the borrow's lifetime; the barrier
+        // below keeps the referent alive for every possible use.
+        let task: Task =
+            unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + '_), Task>(f) };
+        unsafe { *shared.task.get() = Some(task) };
+        shared
+            .remaining
+            .store(self.workers.len(), Ordering::Release);
+        {
+            let _held = shared.lock.lock().expect("shard pool mutex poisoned");
+            shared.generation.fetch_add(1, Ordering::Release);
+        }
+        shared.parked.notify_all();
+        {
+            let _barrier = RoundBarrier(shared);
+            f(0);
+            // `_barrier` drops here, waiting out the workers whether or
+            // not `f(0)` unwound.
+        }
+        if shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("a shard pool worker panicked");
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _held = self.shared.lock.lock().expect("shard pool mutex poisoned");
+            self.shared.generation.fetch_add(1, Ordering::Release);
+        }
+        self.shared.parked.notify_all();
+        for handle in self.workers.drain(..) {
+            // A worker that panicked outside `catch_unwind` is already
+            // accounted for; joining only reaps the thread.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker(shared: &Shared, shard: usize) {
+    let mut seen = 0u64;
+    loop {
+        // Spin briefly for the next round, then park.
+        let mut spins = 0u32;
+        let current = loop {
+            let g = shared.generation.load(Ordering::Acquire);
+            if g != seen {
+                break g;
+            }
+            spins += 1;
+            if spins > SPIN_LIMIT {
+                let mut held = shared.lock.lock().expect("shard pool mutex poisoned");
+                while shared.generation.load(Ordering::Acquire) == seen {
+                    held = shared.parked.wait(held).expect("shard pool mutex poisoned");
+                }
+            }
+        };
+        seen = current;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY (read): the acquire load of `generation` above
+        // synchronizes with the release bump in `run`, which wrote the
+        // pointer first; the referent stays alive until our `remaining`
+        // decrement below releases the caller's barrier.
+        let task = unsafe { (*shared.task.get()).expect("round published without a task") };
+        if catch_unwind(AssertUnwindSafe(|| (unsafe { &*task })(shard))).is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        shared.remaining.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_shard_runs_inline() {
+        let mut pool = ShardPool::new(1);
+        assert_eq!(pool.shards(), 1);
+        let mut hits = 0u32;
+        let cell = Mutex::new(&mut hits);
+        pool.run(&|shard| {
+            assert_eq!(shard, 0);
+            **cell.lock().unwrap() += 1;
+        });
+        let _ = cell;
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn every_shard_runs_exactly_once_per_round() {
+        let mut pool = ShardPool::new(5);
+        let hits: Vec<AtomicU64> = (0..5).map(|_| AtomicU64::new(0)).collect();
+        for round in 1..=1_000u64 {
+            pool.run(&|shard| {
+                hits[shard].fetch_add(1, Ordering::Relaxed);
+            });
+            for (shard, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), round, "shard {shard}");
+            }
+        }
+    }
+
+    /// The barrier publishes plain (non-atomic) writes made through
+    /// disjoint `&mut` chunks — the exact shape of the sharded DRAM
+    /// tick.
+    #[test]
+    fn barrier_publishes_disjoint_mutable_chunks() {
+        let mut pool = ShardPool::new(4);
+        let mut data = vec![0u64; 64];
+        for round in 1..=200u64 {
+            let mut rest = data.as_mut_slice();
+            let mut chunks: Vec<Mutex<&mut [u64]>> = Vec::new();
+            for _ in 0..4 {
+                let (head, tail) = rest.split_at_mut(16);
+                chunks.push(Mutex::new(head));
+                rest = tail;
+            }
+            pool.run(&|shard| {
+                for v in chunks[shard].lock().unwrap().iter_mut() {
+                    *v += 1;
+                }
+            });
+            drop(chunks);
+            assert!(data.iter().all(|&v| v == round), "round {round}");
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_reraised_after_the_barrier() {
+        let mut pool = ShardPool::new(3);
+        let done = [const { AtomicU64::new(0) }; 3];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(&|shard| {
+                if shard == 1 {
+                    panic!("injected shard fault");
+                }
+                done[shard].fetch_add(1, Ordering::Relaxed);
+            });
+        }));
+        assert!(result.is_err());
+        // The non-faulting shards still completed their round.
+        assert_eq!(done[0].load(Ordering::Relaxed), 1);
+        assert_eq!(done[2].load(Ordering::Relaxed), 1);
+        // The pool is reusable after a fault.
+        pool.run(&|shard| {
+            done[shard].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(done.iter().all(|d| d.load(Ordering::Relaxed) >= 1));
+    }
+
+    #[test]
+    fn workers_park_and_wake_across_idle_gaps() {
+        let mut pool = ShardPool::new(2);
+        let hits = AtomicU64::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        // Long enough for the worker to exhaust its spin budget and park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        let pool = ShardPool::new(4);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        let _ = ShardPool::new(0);
+    }
+}

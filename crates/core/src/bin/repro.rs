@@ -39,7 +39,7 @@ use critmem_trace::{ReplayConfig, Trace, TraceReplayer, TrafficProfile};
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale quick|standard|full] [--jobs N] [--journal <file> [--resume]]\n\
-         \x20            [--warm-cycles N] [experiments...]\n\
+         \x20            [--warm-cycles N] [--shards N] [--no-skip-ahead] [experiments...]\n\
          \x20      repro trace capture <app> <file> [--scale ...]\n\
          \x20      repro trace replay <file> --sched <name> [--max-outstanding N]\n\
          \x20      repro trace stream <file> [--sched <name>] [--max-outstanding N] [--epoch N] [--window W]\n\
@@ -55,6 +55,9 @@ fn usage() -> ! {
          experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
          table5 table7 naive reset tracesweep all\n\
          --jobs N: simulation worker threads (default: available cores; 1 = serial)\n\
+         --shards N: worker threads per simulation's DRAM tick (default 1; results are\n\
+         \x20           byte-identical at any value — this only changes wall clock)\n\
+         --no-skip-ahead: disable event-driven clock skip-ahead (same results, slower)\n\
          --journal <file>: record completed cells for crash recovery\n\
          --resume: reload a journal's completed cells, re-running only the missing ones\n\
          --warm-cycles N: share one baseline warmup checkpoint (snapshotted at cycle N)\n\
@@ -69,6 +72,24 @@ fn usage() -> ! {
 fn fail(err: SimError) -> ! {
     eprintln!("error: {err}");
     std::process::exit(err.exit_code());
+}
+
+/// The engine-level knobs shared by every subcommand: sweep-level
+/// worker threads, per-simulation DRAM-tick shards, and skip-ahead.
+/// None of them change results; all of them change wall clock.
+#[derive(Clone, Copy)]
+struct EngineKnobs {
+    jobs: usize,
+    shards: usize,
+    skip_ahead: bool,
+}
+
+impl EngineKnobs {
+    fn apply(self, r: &mut Runner) {
+        r.jobs = self.jobs;
+        r.shards = self.shards;
+        r.skip_ahead = self.skip_ahead;
+    }
 }
 
 /// Leaks an app name into the `&'static str` the workload tables use,
@@ -87,10 +108,10 @@ fn static_app(name: &str) -> &'static str {
         })
 }
 
-fn trace_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
+fn trace_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
     let mut r = Runner::new(scale);
     r.verbose = true;
-    r.jobs = jobs;
+    knobs.apply(&mut r);
     match args.first().map(String::as_str) {
         Some("capture") => {
             let [_, app, file] = args.as_slice() else {
@@ -328,9 +349,11 @@ fn print_replay_summary(stats: &critmem_trace::ReplayStats) {
 /// The platform every checkpoint subcommand builds: the same base
 /// configuration the figure sweeps use at this scale, so checkpoints
 /// written here restore onto sweep cells.
-fn checkpoint_cfg(scale: &Scale) -> SystemConfig {
+fn checkpoint_cfg(scale: &Scale, knobs: EngineKnobs) -> SystemConfig {
     let mut cfg = SystemConfig::paper_baseline(scale.instructions);
     cfg.max_cycles = scale.instructions.saturating_mul(20_000).max(1_000_000_000);
+    cfg.shards = knobs.shards;
+    cfg.skip_ahead = knobs.skip_ahead;
     cfg
 }
 
@@ -362,7 +385,7 @@ fn checkpoint_sweep_table(r: &mut Runner, app: &'static str) -> experiments::Tex
     t
 }
 
-fn checkpoint_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
+fn checkpoint_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
     match args.first().map(String::as_str) {
         Some("save") => {
             let mut app = None;
@@ -383,7 +406,7 @@ fn checkpoint_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
             let (Some(app), Some(file)) = (app, file) else {
                 usage()
             };
-            let ckpt = Session::new(checkpoint_cfg(&scale), &WorkloadKind::Parallel(app))
+            let ckpt = Session::new(checkpoint_cfg(&scale, knobs), &WorkloadKind::Parallel(app))
                 .checkpoint_at(cycles)
                 .run_to_checkpoint()
                 .unwrap_or_else(|e| fail(e));
@@ -422,7 +445,7 @@ fn checkpoint_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
                 usage()
             };
             let ckpt = Checkpoint::load(std::path::Path::new(&file)).unwrap_or_else(|e| fail(e));
-            let cfg = checkpoint_cfg(&scale)
+            let cfg = checkpoint_cfg(&scale, knobs)
                 .with_scheduler(sched)
                 .with_predictor(pred);
             let out = Session::from_checkpoint(&ckpt, cfg, &WorkloadKind::Parallel(app))
@@ -457,7 +480,7 @@ fn checkpoint_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
             }
             let mut r = Runner::new(scale);
             r.verbose = true;
-            r.jobs = jobs;
+            knobs.apply(&mut r);
             r.warm_cycles = Some(cycles);
             let table = r.run_parallel(|r| checkpoint_sweep_table(r, app));
             println!("{table}");
@@ -471,7 +494,7 @@ fn checkpoint_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
     }
 }
 
-fn stats_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
+fn stats_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
     let mut apps: Vec<&'static str> = Vec::new();
     let mut sched = SchedulerKind::CasRasCrit;
     let mut pred = PredictorKind::cbp64(CbpMetric::MaxStallTime);
@@ -509,7 +532,7 @@ fn stats_main(args: Vec<String>, scale: Scale, jobs: usize) -> ! {
     }
     let mut r = Runner::new(scale);
     r.verbose = true;
-    r.jobs = jobs;
+    knobs.apply(&mut r);
     let export = stats_export(&mut r, &apps, sched, pred, epoch);
     let text = match format.as_str() {
         "csv" => export.to_csv(),
@@ -537,6 +560,8 @@ fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale = Scale::standard();
     let mut jobs = critmem::pool::default_jobs();
+    let mut shards = 1usize;
+    let mut skip_ahead = true;
     let mut journal_path: Option<String> = None;
     let mut resume = false;
     let mut warm_cycles: Option<u64> = None;
@@ -557,6 +582,11 @@ fn main() {
                 Some(n) if n >= 1 => jobs = n,
                 _ => usage(),
             },
+            "--shards" => match args.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => usage(),
+            },
+            "--no-skip-ahead" => skip_ahead = false,
             "--journal" => match args.next() {
                 Some(f) => journal_path = Some(f),
                 None => usage(),
@@ -570,14 +600,19 @@ fn main() {
         eprintln!("--resume requires --journal <file>");
         std::process::exit(2);
     }
+    let knobs = EngineKnobs {
+        jobs,
+        shards,
+        skip_ahead,
+    };
     if selected.first().map(String::as_str) == Some("trace") {
-        trace_main(selected.split_off(1), scale, jobs);
+        trace_main(selected.split_off(1), scale, knobs);
     }
     if selected.first().map(String::as_str) == Some("stats") {
-        stats_main(selected.split_off(1), scale, jobs);
+        stats_main(selected.split_off(1), scale, knobs);
     }
     if selected.first().map(String::as_str) == Some("checkpoint") {
-        checkpoint_main(selected.split_off(1), scale, jobs);
+        checkpoint_main(selected.split_off(1), scale, knobs);
     }
     if selected.is_empty() {
         selected.push("all".to_string());
@@ -587,7 +622,7 @@ fn main() {
 
     let mut r = Runner::new(scale);
     r.verbose = true;
-    r.jobs = jobs;
+    knobs.apply(&mut r);
     r.warm_cycles = warm_cycles;
     if let Some(path) = &journal_path {
         let path = std::path::Path::new(path);

@@ -148,6 +148,19 @@ pub struct SystemConfig {
     /// [`critmem_common::WatchdogConfig::disabled`] to turn the checks
     /// off entirely.
     pub watchdog: critmem_common::WatchdogConfig,
+    /// Worker threads for the sharded DRAM tick. `1` (the default)
+    /// keeps the tick serial; values above one partition the channels
+    /// across a scoped worker pool with a cycle barrier at the
+    /// L2↔controller boundary. Output is byte-identical at any shard
+    /// count — this is purely a wall-clock knob, so it is deliberately
+    /// excluded from checkpoint fingerprints and sweep memo keys.
+    pub shards: usize,
+    /// Event-driven skip-ahead: when every component reports a quiet
+    /// window, batch-advance the clock to the next event horizon
+    /// instead of stepping cycle by cycle. Byte-identical to serial
+    /// stepping by construction (and asserted by the identity suite);
+    /// also excluded from checkpoint fingerprints and memo keys.
+    pub skip_ahead: bool,
 }
 
 impl SystemConfig {
@@ -169,6 +182,8 @@ impl SystemConfig {
             max_cycles: u64::MAX,
             sample_epoch: None,
             watchdog: critmem_common::WatchdogConfig::default(),
+            shards: 1,
+            skip_ahead: true,
         }
     }
 
@@ -213,6 +228,15 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the DRAM-tick shard count (builder style). The effective
+    /// worker count is clamped to the channel count at system build
+    /// time, so oversizing is harmless.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -239,6 +263,9 @@ impl SystemConfig {
         if self.watchdog.enabled() && self.watchdog.check_interval == 0 {
             return Err("watchdog check interval must be nonzero".into());
         }
+        if self.shards == 0 {
+            return Err("shard count must be nonzero (1 = serial tick)".into());
+        }
         Ok(())
     }
 }
@@ -262,6 +289,16 @@ mod tests {
         assert_eq!(c.dram.org.channels, 2);
         assert_eq!(c.hierarchy.l2_mshrs, 32);
         assert_eq!(c.scheduler, SchedulerKind::ParBs { marking_cap: 5 });
+    }
+
+    #[test]
+    fn validation_rejects_zero_shards() {
+        let mut c = SystemConfig::paper_baseline(1000);
+        assert_eq!(c.shards, 1, "default tick is serial");
+        assert!(c.skip_ahead, "skip-ahead is on by default");
+        c.shards = 0;
+        assert!(c.validate().is_err());
+        assert!(SystemConfig::paper_baseline(1000).with_shards(4).shards == 4);
     }
 
     #[test]

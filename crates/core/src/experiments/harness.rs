@@ -123,6 +123,13 @@ pub struct Runner {
     /// Worker threads for [`Runner::run_parallel`]; `1` means fully
     /// serial (plan/execute is bypassed entirely).
     pub jobs: usize,
+    /// Shard count for every simulation's DRAM tick
+    /// ([`SystemConfig::shards`]). Results are byte-identical at any
+    /// value, so the memo keys deliberately do not encode it.
+    pub shards: usize,
+    /// Event-driven skip-ahead ([`SystemConfig::skip_ahead`]); also
+    /// identical-by-construction and therefore absent from memo keys.
+    pub skip_ahead: bool,
     /// Warm-start boundary in CPU cycles. When set, each distinct
     /// `(platform, workload, instruction budget)` is warmed once under
     /// the shared baseline configuration (FR-FCFS, no predictor) up to
@@ -153,6 +160,8 @@ impl Runner {
             scale,
             verbose: false,
             jobs: 1,
+            shards: 1,
+            skip_ahead: true,
             warm_cycles: None,
             cache: HashMap::new(),
             runs_executed: 0,
@@ -745,6 +754,8 @@ impl Runner {
             .instructions
             .saturating_mul(20_000)
             .max(1_000_000_000);
+        cfg.shards = self.shards;
+        cfg.skip_ahead = self.skip_ahead;
         cfg
     }
 

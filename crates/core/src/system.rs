@@ -7,7 +7,7 @@ use critmem_cache::CacheHierarchy;
 use critmem_common::codec::{ByteReader, ByteWriter, CodecError};
 use critmem_common::{
     ClockDivider, CoreId, CpuCycle, Criticality, MetricVisitor, Observable, RequestObserver,
-    Sampler, Schema, SeriesSet, SimError, Snapshot, WatchdogReason, WatchdogSnapshot,
+    Sampler, Schema, SeriesSet, ShardPool, SimError, Snapshot, WatchdogReason, WatchdogSnapshot,
 };
 use critmem_cpu::{
     CbpPredictor, ClptPredictor, Core, CoreStats, InstrSource, LoadCriticalityPredictor,
@@ -16,6 +16,7 @@ use critmem_cpu::{
 use critmem_dram::{ChannelStats, DramSystem};
 use critmem_predict::{Clpt, CommitBlockPredictor};
 use critmem_workloads::{multi_app, parallel_app, AppThread};
+use std::collections::VecDeque;
 
 /// Aggregated result of one simulation run.
 #[derive(Debug, Clone)]
@@ -216,8 +217,15 @@ pub struct System<O: RequestObserver = ()> {
     now: CpuCycle,
     core_finish: Vec<Option<u64>>,
     lq_full_cycles: Vec<u64>,
-    forwards: Vec<ForwardMsg>,
+    /// Pending §5.1 forwarding messages. `forward_latency` is constant,
+    /// so `deliver_at` is monotone over the queue and the due set is
+    /// always a prefix.
+    forwards: VecDeque<ForwardMsg>,
     sampler: Option<Sampler>,
+    /// Worker pool for the sharded DRAM tick; `None` runs the channels
+    /// serially. Purely a wall-clock accelerator — never serialized,
+    /// never observable in results.
+    shard_pool: Option<ShardPool>,
     observer: O,
 }
 
@@ -391,6 +399,11 @@ impl<O: RequestObserver> System<O> {
             let schema = Schema::build(|v| observe_components(&cores, &hierarchy, &dram, v));
             Sampler::new(schema, epoch)
         });
+        // A pool with one worker per shard, clamped so no worker can
+        // ever be left without a channel chunk to tick.
+        let channels = cfg.dram.org.channels as usize;
+        let shard_pool = (cfg.shards > 1 && channels > 1)
+            .then(|| ShardPool::new(cfg.shards.min(channels).min(critmem_dram::MAX_TICK_SHARDS)));
         Ok(System {
             hierarchy,
             dram,
@@ -398,8 +411,9 @@ impl<O: RequestObserver> System<O> {
             now: 0,
             core_finish: vec![None; cfg.cores],
             lq_full_cycles: vec![0; cfg.cores],
-            forwards: Vec::new(),
+            forwards: VecDeque::new(),
             sampler,
+            shard_pool,
             cores,
             sources,
             cfg,
@@ -435,7 +449,7 @@ impl<O: RequestObserver> System<O> {
             }
             if self.cfg.naive_forwarding {
                 if let Some(b) = events.block_started {
-                    self.forwards.push(ForwardMsg {
+                    self.forwards.push_back(ForwardMsg {
                         deliver_at: now + self.cfg.forward_latency,
                         addr: b.addr & !63,
                         core: CoreId(i as u8),
@@ -443,18 +457,14 @@ impl<O: RequestObserver> System<O> {
                 }
             }
         }
-        // 2. Deliver naive-forwarding promotions.
-        if !self.forwards.is_empty() {
-            let mut i = 0;
-            while i < self.forwards.len() {
-                if self.forwards[i].deliver_at <= now {
-                    let m = self.forwards.swap_remove(i);
-                    self.dram
-                        .promote_by_addr(m.addr, m.core, Criticality::binary());
-                } else {
-                    i += 1;
-                }
-            }
+        // 2. Deliver naive-forwarding promotions. Messages are pushed
+        // with a constant latency, so `deliver_at` is non-decreasing
+        // from front to back and the due messages are exactly a prefix:
+        // delivery is O(delivered), not O(queue) per cycle.
+        while self.forwards.front().is_some_and(|m| m.deliver_at <= now) {
+            let m = self.forwards.pop_front().expect("front checked above");
+            self.dram
+                .promote_by_addr(m.addr, m.core, Criticality::binary());
         }
         // 3. Drain cache-miss requests into the DRAM queues. The
         // observer sees exactly the accepted requests, stamped with the
@@ -468,9 +478,15 @@ impl<O: RequestObserver> System<O> {
                 }
             }
         }
-        // 4. DRAM bus clock.
+        // 4. DRAM bus clock. With a shard pool the channels tick on
+        // worker threads behind a cycle barrier; the merged completion
+        // list is identical to the serial tick either way.
         if self.divider.tick() {
-            for done in self.dram.tick() {
+            let completions = match &mut self.shard_pool {
+                Some(pool) => self.dram.tick_sharded(pool),
+                None => self.dram.tick(),
+            };
+            for done in completions {
                 for c in self.hierarchy.dram_completed(&done.req, now) {
                     self.cores[c.core.index()].mem_completed(c.token.0, c.done);
                 }
@@ -484,6 +500,96 @@ impl<O: RequestObserver> System<O> {
                 sampler.sample(now, |v| observe_components(cores, hierarchy, dram, v));
             }
         }
+    }
+
+    /// The earliest future CPU cycle at which [`Self::step`] could do
+    /// observable work — the system-wide event horizon for the
+    /// skip-ahead kernel.
+    ///
+    /// Every cycle in `now + 1 .. horizon` is provably quiescent: each
+    /// core reports it cannot commit, issue, dispatch, or retire a
+    /// store ([`Core::quiescent_until`]); no forwarding message comes
+    /// due (the queue is deliver-time ordered, so the front bounds the
+    /// whole queue); the cache outbox has nothing ready (an unpopped
+    /// DRAM-full retry carries `ready_at = 0` and pins the horizon to
+    /// `now + 1`); no DRAM controller has a completion, refresh,
+    /// candidate re-check, direction flip, or scheduler quantum due
+    /// before the CPU cycle of the corresponding bus tick; and the
+    /// sampler's next epoch has not arrived. The (private) `skip` step
+    /// the run loop pairs this with replays the
+    /// per-cycle bookkeeping those quiescent cycles would have done in
+    /// closed form, which is what makes batch-advancing byte-identical
+    /// to stepping.
+    ///
+    /// Always returns at least `now + 1`; returning exactly `now + 1`
+    /// means "no skippable window".
+    pub fn idle_horizon(&self) -> CpuCycle {
+        let now = self.now;
+        let nxt = now + 1;
+        let mut horizon = CpuCycle::MAX;
+        for core in &self.cores {
+            horizon = horizon.min(core.quiescent_until(now));
+            if horizon <= nxt {
+                return nxt;
+            }
+        }
+        if let Some(m) = self.forwards.front() {
+            horizon = horizon.min(m.deliver_at.max(nxt));
+        }
+        if let Some(ready) = self.hierarchy.next_request_ready_at() {
+            horizon = horizon.min(ready.max(nxt));
+        }
+        // Translate the DRAM-clock horizon into the CPU cycle whose
+        // divider tick reaches it: the d-th future bus tick falls on
+        // CPU cycle `now + fast_cycles_until(d)`, so every skipped
+        // cycle strictly before that produces strictly fewer ticks.
+        let d = self
+            .dram
+            .next_event_cycle()
+            .saturating_sub(self.divider.slow_cycles());
+        horizon = horizon.min(now.saturating_add(self.divider.fast_cycles_until(d)));
+        if let Some(s) = &self.sampler {
+            horizon = horizon.min(s.next_due().max(nxt));
+        }
+        horizon.max(nxt)
+    }
+
+    /// Batch-advances the clock across `n` cycles that
+    /// [`Self::idle_horizon`] proved quiescent, replaying exactly the
+    /// bookkeeping [`Self::step`] would have accumulated: per-core
+    /// stall counters ([`Core::skip`]), the system's LQ-full counter,
+    /// the clock divider (whose bus ticks in the window are all empty
+    /// controller cycles, applied in closed form via
+    /// [`DramSystem::skip`]), and `now` itself. No commits, deliveries,
+    /// enqueues, completions, or samples can occur in the window, so
+    /// nothing else changes.
+    fn skip(&mut self, n: u64) {
+        let now = self.now;
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.skip(now, n);
+            // The LQ occupancy is frozen while the core is quiescent,
+            // so either every skipped cycle counts or none does.
+            if core.lq_full() {
+                self.lq_full_cycles[i] += n;
+            }
+        }
+        let d = self.divider.advance(n);
+        if d > 0 {
+            self.dram.skip(d);
+        }
+        self.now += n;
+    }
+
+    /// Number of naive-forwarding messages still in flight (test and
+    /// inspection hook for the skip-ahead identity suite).
+    pub fn pending_forwards(&self) -> usize {
+        self.forwards.len()
+    }
+
+    /// Number of metric samples recorded so far; zero when sampling is
+    /// disabled.
+    pub fn samples_taken(&self) -> usize {
+        self.sampler.as_ref().map_or(0, Sampler::samples_taken)
     }
 
     /// Per-core committed instruction counts (progress inspection).
@@ -519,6 +625,21 @@ impl<O: RequestObserver> System<O> {
                 return Err(self.watchdog_error(WatchdogReason::CycleLimit {
                     max_cycles: self.cfg.max_cycles,
                 }));
+            }
+            if self.cfg.skip_ahead {
+                // Cap the jump so every loop-level decision point —
+                // watchdog check, cycle limit, stop boundary — still
+                // lands on exactly the cycle it would serially. With a
+                // zero check interval `next_check` trails `now`, so it
+                // only caps when the watchdog actually paces checks.
+                let mut cap = self.cfg.max_cycles.min(stop.unwrap_or(CpuCycle::MAX));
+                if wd.check_interval > 0 {
+                    cap = cap.min(next_check);
+                }
+                let horizon = self.idle_horizon().min(cap);
+                if horizon > self.now + 1 {
+                    self.skip(horizon - self.now - 1);
+                }
             }
             self.step();
             if self.now >= next_check {
@@ -603,8 +724,8 @@ impl<O: RequestObserver> System<O> {
             }
         }
         w.put_u64_seq(&self.lq_full_cycles);
-        // The forwards queue is drained with swap_remove, so its order
-        // is state.
+        // The forwards queue delivers in order from the front, so its
+        // front-to-back order is state.
         w.put_u32(self.forwards.len() as u32);
         for m in &self.forwards {
             w.put_u64(m.deliver_at);
@@ -666,7 +787,7 @@ impl<O: RequestObserver> System<O> {
         let n = r.get_u32()? as usize;
         self.forwards.clear();
         for _ in 0..n {
-            self.forwards.push(ForwardMsg {
+            self.forwards.push_back(ForwardMsg {
                 deliver_at: r.get_u64()?,
                 addr: r.get_u64()?,
                 core: CoreId(r.get_u8()?),
@@ -816,6 +937,99 @@ mod tests {
         let stats = run(cfg, &WorkloadKind::Alone("mcf"));
         assert_eq!(stats.cores.len(), 1);
         assert!(stats.cores[0].committed >= 1_500);
+    }
+
+    #[test]
+    fn forwards_deliver_in_fifo_order() {
+        // Same-deliver-cycle messages must come out in push order and
+        // later ones must stay queued: the due set is a strict prefix
+        // of the deliver-time-ordered queue.
+        let mut sys = System::new(quick(1_000), &WorkloadKind::Parallel("swim"));
+        let at = sys.now() + 1;
+        for (addr, core, deliver_at) in [(0x40, 0, at), (0x80, 1, at), (0xC0, 0, at + 1)] {
+            sys.forwards.push_back(ForwardMsg {
+                deliver_at,
+                addr,
+                core: CoreId(core),
+            });
+        }
+        sys.step();
+        assert_eq!(
+            sys.pending_forwards(),
+            1,
+            "the due prefix is delivered, the later message is retained"
+        );
+        assert_eq!(sys.forwards.front().unwrap().addr, 0xC0);
+        sys.step();
+        assert_eq!(sys.pending_forwards(), 0);
+    }
+
+    #[test]
+    fn idle_horizon_never_hides_events() {
+        // Step serially; every time the horizon claims a quiet window,
+        // walk through that window cycle by cycle and check nothing
+        // event-observable changes before the horizon cycle.
+        let mut cfg = quick(600);
+        cfg.naive_forwarding = true;
+        cfg.scheduler = SchedulerKind::CasRasCrit;
+        cfg.sample_epoch = Some(5_000);
+        cfg.skip_ahead = false; // this test IS the skip, done by hand
+        let mut sys = System::new(cfg, &WorkloadKind::Parallel("art"));
+        fn fingerprint<O: critmem_common::RequestObserver>(
+            s: &System<O>,
+        ) -> (u64, u64, usize, usize, (usize, usize)) {
+            (
+                s.committed().iter().sum(),
+                s.dram
+                    .channel_stats()
+                    .iter()
+                    .map(|c| c.reads_completed + c.writes_completed + c.refreshes)
+                    .sum(),
+                s.pending_forwards(),
+                s.samples_taken(),
+                s.queue_depths(),
+            )
+        }
+        let mut windows = 0u32;
+        while !sys.done() && sys.now() < 5_000_000 {
+            let h = sys.idle_horizon();
+            if h > sys.now() + 1 {
+                windows += 1;
+                let before = fingerprint(&sys);
+                while sys.now() < h - 1 {
+                    sys.step();
+                    assert_eq!(
+                        fingerprint(&sys),
+                        before,
+                        "an event fired inside a claimed quiet window at cycle {}",
+                        sys.now()
+                    );
+                }
+            }
+            sys.step();
+        }
+        assert!(sys.done(), "run must finish under the cycle bound");
+        assert!(windows > 0, "workload never produced a quiet window");
+    }
+
+    #[test]
+    fn skip_ahead_matches_serial_stepping() {
+        let mut cfg = quick(1_200);
+        cfg.naive_forwarding = true;
+        cfg.scheduler = SchedulerKind::CasRasCrit;
+        cfg.sample_epoch = Some(10_000);
+        let mut serial = cfg.clone();
+        serial.skip_ahead = false;
+        let a = run(cfg, &WorkloadKind::Parallel("art"));
+        let b = run(serial, &WorkloadKind::Parallel("art"));
+        let (mut wa, mut wb) = (ByteWriter::new(), ByteWriter::new());
+        a.encode(&mut wa);
+        b.encode(&mut wb);
+        assert_eq!(
+            wa.into_bytes(),
+            wb.into_bytes(),
+            "skip-ahead must be byte-identical to serial stepping"
+        );
     }
 
     #[test]

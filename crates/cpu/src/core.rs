@@ -340,6 +340,132 @@ impl Core {
         self.entry(producer).map(|e| e.completed).unwrap_or(true)
     }
 
+    /// The earliest future cycle at which stepping this core could do
+    /// anything beyond batch-replayable counter updates, assuming no
+    /// external event (memory completion, forward delivery) arrives
+    /// first. Returns at least `now + 1`; `u64::MAX` means "inert until
+    /// something external happens".
+    ///
+    /// This is the core's half of the skip-ahead contract: for every
+    /// cycle `c` in `now + 1 .. quiescent_until(now)`, `step(c, ..)`
+    /// would leave all architectural state unchanged and only bump the
+    /// per-cycle stall counters that [`Core::skip`] replays in closed
+    /// form. Each pipeline stage is mirrored explicitly:
+    ///
+    /// * **commit** — a completed head retires (event at `now + 1`)
+    ///   unless it is a store facing a full store buffer (pure
+    ///   `sb_full_cycles` counter); a blocked load head is inert only
+    ///   after its one-shot block transitions (and the §5.1 forwarding
+    ///   event they surface) have fired.
+    /// * **store buffer** — a `Waiting` entry retries the hierarchy
+    ///   every cycle.
+    /// * **issue** — any dependence-ready unissued entry inside the
+    ///   issue window reaches a functional unit or probes the cache.
+    /// * **dispatch** — mirrors `dispatch`'s precedence: redirect
+    ///   stall (counter until `fetch_stall_until`), fetch-target cap
+    ///   and full ROB (inert), then a stashed structurally-stalled
+    ///   instruction (pure `lq_full_cycles` counter for loads; a
+    ///   missing stash would pull the instruction source).
+    /// * **events** — pending fixed-latency completions, delivered
+    ///   memory completions, and the predictor's periodic reset bound
+    ///   the horizon.
+    pub fn quiescent_until(&self, now: CpuCycle) -> CpuCycle {
+        let nxt = now + 1;
+        if let Some(head) = self.rob.front() {
+            if head.completed {
+                if !(head.instr.kind.is_store() && self.store_buffer.len() >= self.cfg.store_buffer)
+                {
+                    return nxt;
+                }
+            } else if head.instr.kind.is_load()
+                && head.issued
+                && !(head.block_start.is_some() && head.block_reported)
+            {
+                return nxt;
+            }
+        }
+        if self
+            .store_buffer
+            .iter()
+            .any(|(_, s)| *s == StoreState::Waiting)
+        {
+            return nxt;
+        }
+        let mut window = self.cfg.issue_window;
+        for e in &self.rob {
+            if window == 0 {
+                break;
+            }
+            if e.issued {
+                continue;
+            }
+            window -= 1;
+            if self.dep_ready(e.seq, e.instr.src1) && self.dep_ready(e.seq, e.instr.src2) {
+                return nxt;
+            }
+        }
+        let mut horizon = CpuCycle::MAX;
+        if nxt < self.fetch_stall_until {
+            horizon = self.fetch_stall_until;
+        } else if self.dispatched < self.target + self.cfg.rob_entries as u64
+            && self.rob.len() < self.cfg.rob_entries
+        {
+            match &self.peeked {
+                Some(i) => {
+                    let stalled = match i.kind {
+                        InstrKind::Load { .. } => self.lq_used >= self.cfg.lq_entries,
+                        InstrKind::Store { .. } => self.sq_used >= self.cfg.sq_entries,
+                        InstrKind::Branch { .. } => {
+                            self.unresolved_branches >= self.cfg.max_unresolved_branches
+                        }
+                        _ => false,
+                    };
+                    if !stalled {
+                        return nxt;
+                    }
+                }
+                None => return nxt,
+            }
+        }
+        if let Some(&Reverse((at, _))) = self.completions.peek() {
+            horizon = horizon.min(at);
+        }
+        for &(done, _) in &self.mem_ready {
+            horizon = horizon.min(done);
+        }
+        horizon = horizon.min(self.predictor.next_event_cycle(now));
+        horizon.max(nxt)
+    }
+
+    /// Batch-advances `n` cycles that [`Core::quiescent_until`] proved
+    /// inert (the caller guarantees `now + n < quiescent_until(now)`),
+    /// replaying exactly the per-cycle counters a serial run of
+    /// `step(now + 1) .. step(now + n)` would have accumulated.
+    pub fn skip(&mut self, now: CpuCycle, n: u64) {
+        self.stats.cycles += n;
+        if let Some(head) = self.rob.front() {
+            if !head.completed && head.instr.kind.is_load() && head.issued {
+                self.stats.block_cycles += n;
+            } else if head.completed
+                && head.instr.kind.is_store()
+                && self.store_buffer.len() >= self.cfg.store_buffer
+            {
+                self.stats.sb_full_cycles += n;
+            }
+        }
+        if now + 1 < self.fetch_stall_until {
+            self.stats.redirect_stall_cycles += n;
+        } else if self.dispatched < self.target + self.cfg.rob_entries as u64
+            && self.rob.len() < self.cfg.rob_entries
+        {
+            if let Some(i) = &self.peeked {
+                if matches!(i.kind, InstrKind::Load { .. }) && self.lq_used >= self.cfg.lq_entries {
+                    self.stats.lq_full_cycles += n;
+                }
+            }
+        }
+    }
+
     /// Advances the core one cycle.
     pub fn step(
         &mut self,

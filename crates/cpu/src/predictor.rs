@@ -31,6 +31,15 @@ pub trait LoadCriticalityPredictor {
     /// Once-per-cycle housekeeping (periodic table reset).
     fn tick(&mut self, now: CpuCycle);
 
+    /// The earliest future cycle at which
+    /// [`LoadCriticalityPredictor::tick`] would do observable work, or
+    /// `u64::MAX` when its tick is a no-op. Event-horizon accessor for
+    /// the skip-ahead kernel: ticks strictly before the returned cycle
+    /// may be batched without calling `tick` for each.
+    fn next_event_cycle(&self, _now: CpuCycle) -> CpuCycle {
+        CpuCycle::MAX
+    }
+
     /// Display name for reports.
     fn name(&self) -> &'static str;
 
@@ -109,6 +118,9 @@ impl LoadCriticalityPredictor for CbpPredictor {
     fn on_load_commit(&mut self, _pc: Pc, _consumers: u32) {}
     fn tick(&mut self, now: CpuCycle) {
         self.cbp.tick(now);
+    }
+    fn next_event_cycle(&self, _now: CpuCycle) -> CpuCycle {
+        self.cbp.next_reset_due()
     }
     fn name(&self) -> &'static str {
         self.cbp.metric().name()

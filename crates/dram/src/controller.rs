@@ -18,6 +18,15 @@ use critmem_common::{
     ChannelId, DramCycle, MemRequest, MetricVisitor, Observable, RankId, Snapshot,
 };
 use std::cmp::Reverse;
+
+/// Queue-depth ceiling for the post-issue emptiness proof in
+/// [`ChannelController::tick_into`]. Above this, a second candidate
+/// build per issued command costs more than the skipped ticks it could
+/// prove away; below it (the DRAM-bound single-program regime the
+/// skip-ahead kernel targets), it converts the post-command timing
+/// shadow into an immediately visible quiet window.
+const POST_ISSUE_PROOF_MAX_QUEUE: usize = 8;
+
 use std::collections::BinaryHeap;
 
 /// A completed transaction handed back to the cache hierarchy.
@@ -535,18 +544,127 @@ impl ChannelController {
                         self.scheduler.select(&ctx, &candidates)
                     }
                 };
+                let mut issued_cmd = false;
                 if let Some(i) = choice {
                     self.issue_candidate(candidates[i]);
+                    issued_cmd = true;
                 } else if candidates.is_empty() && self.refresh_ranks.is_empty() {
                     // No refresh exclusions were in force, so the
                     // emptiness proof holds until `next_cand_at`.
                     self.no_cand_until = next_cand_at;
                 }
                 self.cand_buf = candidates;
+                // Post-issue emptiness proof: issuing wipes the window
+                // (`issue_candidate` resets it), which used to leave
+                // the event horizon pinned to the very next tick just
+                // to rebuild the proof — turning every command into a
+                // one-tick skip barrier on otherwise-idle channels.
+                // Rebuilding right here, against the just-updated bank
+                // timing, lets a lightly loaded channel publish the
+                // full post-command quiet window (tRCD, tRP, CAS
+                // latency) immediately. Gated on queue depth so busy
+                // channels — where the next tick almost certainly has
+                // a candidate anyway — never pay a second build.
+                if issued_cmd
+                    && self.refresh_ranks.is_empty()
+                    && !self.queue.is_empty()
+                    && self.queue.len() <= POST_ISSUE_PROOF_MAX_QUEUE
+                {
+                    let next = self.build_candidates();
+                    if self.cand_buf.is_empty() {
+                        self.no_cand_until = next;
+                    }
+                }
             }
         }
 
         self.collect_completions_into(out);
+    }
+
+    /// The earliest future DRAM cycle at which [`Self::tick_into`]
+    /// could do anything beyond the per-cycle bookkeeping that
+    /// [`Self::skip`] replays in closed form. Returns at least
+    /// `now + 1`; `DramCycle::MAX` means the channel is inert until new
+    /// work arrives.
+    ///
+    /// This is the channel's half of the skip-ahead contract,
+    /// generalizing the proven-empty candidate-window optimization
+    /// (`no_cand_until`) into a full event horizon. A tick is pure
+    /// bookkeeping exactly when every stage of `tick_into` is provably
+    /// a no-op, so the horizon is the min over:
+    ///
+    /// * the earliest in-flight CAS completion,
+    /// * the refresh scan gate (`refresh_check_at`; the gate "stays
+    ///   hot" — equals `now` — while a REF is pending, pinning the
+    ///   horizon to `now + 1` until it issues),
+    /// * the proven-empty candidate window (`no_cand_until`) when
+    ///   transactions are queued — a window of 0 means "rebuild next
+    ///   tick". `build_candidates` already folds starvation-cap
+    ///   crossings into this bound, so a promotion-counting cycle is
+    ///   never jumped,
+    /// * a pending read/write direction switch (would fire next tick),
+    /// * the scheduler's own quantum/shuffle horizon
+    ///   ([`CommandScheduler::next_event_cycle`]).
+    pub fn next_event_cycle(&self) -> DramCycle {
+        let nxt = self.now + 1;
+        let mut horizon = DramCycle::MAX;
+        if let Some(&Reverse((done, _))) = self.inflight.peek() {
+            horizon = horizon.min(done);
+        }
+        if self.cfg.refresh_enabled {
+            horizon = horizon.min(self.refresh_check_at.max(nxt));
+        }
+        if !self.queue.is_empty() {
+            horizon = horizon.min(self.no_cand_until.max(nxt));
+        }
+        if self.direction_would_change() {
+            horizon = horizon.min(nxt);
+        }
+        horizon = horizon.min(
+            self.scheduler
+                .next_event_cycle(self.now, self.queue.len())
+                .max(nxt),
+        );
+        horizon.max(nxt)
+    }
+
+    /// Whether the next [`Self::tick_into`]'s `update_direction` would
+    /// flip the service direction or the draining flag. Non-mutating
+    /// replica of `update_direction`'s transition conditions; both
+    /// fields are checkpointed state, so a skipped cycle must not
+    /// change them.
+    fn direction_would_change(&self) -> bool {
+        let writes = self.queued_writes;
+        let reads = self.queue.len() - writes;
+        match self.direction {
+            Direction::Read => {
+                writes >= self.cfg.write_high_watermark || (reads == 0 && writes > 0)
+            }
+            Direction::Write => {
+                writes == 0
+                    || (self.draining && writes <= self.cfg.write_low_watermark)
+                    || (!self.draining && reads > 0)
+            }
+        }
+    }
+
+    /// Batch-advances `d` DRAM cycles that [`Self::next_event_cycle`]
+    /// proved inert (the caller guarantees
+    /// `now + d < next_event_cycle()`), replaying exactly the per-cycle
+    /// statistics a serial run of `d` such ticks would have
+    /// accumulated. Timing state, the transaction queue, the scheduler,
+    /// and the direction machine are untouched — that is what the
+    /// horizon proved.
+    pub fn skip(&mut self, d: DramCycle) {
+        self.now += d;
+        self.stats.ticks += d;
+        self.stats.occupancy_sum += self.queue.len() as u64 * d;
+        if self.queued_crit_reads >= 1 {
+            self.stats.ticks_with_critical += d;
+            if self.queued_crit_reads > 1 {
+                self.stats.ticks_with_multiple_critical += d;
+            }
+        }
     }
 
     fn update_direction(&mut self) {

@@ -47,7 +47,11 @@ pub struct SchedContext<'a> {
 /// Implementations must be deterministic given their construction
 /// parameters (seeded RNG where randomness is part of the algorithm,
 /// e.g. TCM's rank shuffling) so that experiments are reproducible.
-pub trait CommandScheduler {
+///
+/// The `Send` bound lets a channel controller (which owns its scheduler
+/// box) migrate to a shard-pool worker for the sharded multi-channel
+/// tick; schedulers are still only ever *used* by one thread at a time.
+pub trait CommandScheduler: Send {
     /// Chooses one of `candidates` (by index) to issue this cycle, or
     /// `None` to idle. All candidates are timing-ready; returning an
     /// out-of-range index is a logic error and panics in the
@@ -63,6 +67,19 @@ pub trait CommandScheduler {
     /// Called once per DRAM cycle before candidate selection; lets
     /// quantum-based schedulers (TCM, PAR-BS batching) advance state.
     fn on_tick(&mut self, _ctx: &SchedContext<'_>) {}
+
+    /// The earliest future cycle at which [`Self::on_tick`] would do
+    /// observable work given `queue_len` queued transactions, or
+    /// `DramCycle::MAX` when its tick is a no-op (the default).
+    /// Event-horizon accessor for the skip-ahead kernel: ticks strictly
+    /// before the returned cycle may be batched without calling
+    /// `on_tick` for each. Quantum-based schedulers return their next
+    /// quantum/shuffle boundary; schedulers that accumulate per-cycle
+    /// state while transactions are queued must return `now + 1`
+    /// whenever `queue_len > 0`.
+    fn next_event_cycle(&self, _now: DramCycle, _queue_len: usize) -> DramCycle {
+        DramCycle::MAX
+    }
 
     /// Human-readable name for reports.
     fn name(&self) -> &str;

@@ -198,6 +198,18 @@ impl CommitBlockPredictor {
         ((pc >> 2) as usize) & self.index_mask
     }
 
+    /// The CPU cycle at which the next periodic reset falls due, or
+    /// `u64::MAX` when resets are disabled. Event-horizon accessor for
+    /// skip-ahead: [`CommitBlockPredictor::tick`] is a no-op strictly
+    /// before this cycle.
+    pub fn next_reset_due(&self) -> CpuCycle {
+        if self.reset_interval.is_some() {
+            self.next_reset
+        } else {
+            CpuCycle::MAX
+        }
+    }
+
     /// Advances predictor-local time; performs the periodic reset when
     /// it falls due.
     pub fn tick(&mut self, now: CpuCycle) {

@@ -177,6 +177,12 @@ impl CommandScheduler for Tcm {
         }
     }
 
+    fn next_event_cycle(&self, _now: u64, _queue_len: usize) -> u64 {
+        // Reclustering and rank shuffling fire on fixed boundaries
+        // whether or not anything is queued.
+        self.next_quantum.min(self.next_shuffle)
+    }
+
     fn name(&self) -> &str {
         match self.tiebreak {
             TcmTiebreak::FrFcfs => "TCM",

@@ -212,6 +212,30 @@ fn memory_kernel(name: &'static str, region: u64, chase: bool, accuracy: f64) ->
     }
 }
 
+/// A pure serialized pointer chase in the lmbench `lat_mem_rd`
+/// tradition: every load's address comes from the previous load, so
+/// memory-level parallelism is exactly one and the core spends almost
+/// the entire run stalled on a single outstanding DRAM access. Not
+/// part of any paper figure or bundle — this is the latency
+/// microbenchmark, and the reference workload for the event-driven
+/// skip-ahead kernel (`BENCH_engine.json` `skip_ahead` block), whose
+/// wins are largest exactly when the simulated machine is idle.
+fn chase_kernel() -> AppSpec {
+    let ops = vec![
+        load(AddrPattern::Chase { region: 24 * MB }).dep(DepSpec::PrevLoad),
+        alu().dep(DepSpec::PrevLoad),
+        branch().dep(DepSpec::Dist(1)),
+    ];
+    AppSpec {
+        name: "chase",
+        phases: vec![Phase {
+            ops,
+            iterations: u64::MAX,
+        }],
+        branch_accuracy: 0.999,
+    }
+}
+
 /// Looks up a single-threaded (multiprogrammed-bundle) app by name.
 /// Returns `None` for unknown names.
 pub fn multi_app(name: &str) -> Option<AppSpec> {
@@ -233,6 +257,8 @@ pub fn multi_app(name: &str) -> Option<AppSpec> {
         "mg1" => memory_kernel("mg1", 16 * MB, false, 0.99),
         "mcf" => memory_kernel("mcf", 24 * MB, true, 0.96),
         "twolf" => memory_kernel("twolf", 12 * MB, false, 0.95),
+        // Latency microbenchmark (not in any bundle or figure).
+        "chase" => chase_kernel(),
         _ => return None,
     };
     Some(spec)
@@ -257,6 +283,29 @@ mod tests {
             assert_eq!(spec.name, name);
             assert!(app_class(name).is_some(), "{name} has no class");
         }
+    }
+
+    #[test]
+    fn chase_microbenchmark_is_a_serialized_pointer_chain() {
+        let spec = multi_app("chase").expect("chase app exists");
+        spec.validate().expect("chase validates");
+        // Not part of the paper's Table 4 population.
+        assert!(!MULTI_APPS.contains(&"chase"));
+        // Exactly one load per iteration, and it depends on the
+        // previous load — memory-level parallelism is pinned to one.
+        let mut t = AppThread::new(&spec, 0, 7);
+        let mut addrs = Vec::new();
+        while addrs.len() < 8 {
+            if let InstrKind::Load { addr } = t.next_instr().kind {
+                addrs.push(addr);
+            }
+        }
+        addrs.dedup();
+        assert_eq!(
+            addrs.len(),
+            8,
+            "chase must not repeat addresses back to back"
+        );
     }
 
     #[test]

@@ -53,6 +53,20 @@ echo "== parallel engine smoke test (--jobs 2 must match serial output)"
 ./target/release/repro --scale quick --jobs 2 fig10 > "$tmp/fig10.jobs2" 2>/dev/null
 diff "$tmp/fig10.serial" "$tmp/fig10.jobs2"
 
+echo "== sharded kernel smoke test (--shards 2 / --no-skip-ahead match serial)"
+# Per-tick channel sharding and event-driven skip-ahead change
+# wall-clock time only; figure output must be byte-identical.
+./target/release/repro --scale quick --jobs 1 --shards 2 fig10 > "$tmp/fig10.shards2" 2>/dev/null
+diff "$tmp/fig10.serial" "$tmp/fig10.shards2"
+./target/release/repro --scale quick --jobs 1 --no-skip-ahead fig10 > "$tmp/fig10.noskip" 2>/dev/null
+diff "$tmp/fig10.serial" "$tmp/fig10.noskip"
+# The recorded bench blocks must exist with their acceptance lines
+# (regenerate with `cargo bench --bench engine`).
+grep -q '"skip_ahead"' BENCH_engine.json
+grep -q '"sharded"' BENCH_engine.json
+grep -q '"acceptance": "speedup >= 3 on the DRAM-bound idle-heavy probe; stats byte-identical (asserted here and in tests/sharded_kernel.rs)"' BENCH_engine.json
+grep -q '"acceptance": "sharded_speedup > 1 when host_cpus > 1"' BENCH_engine.json
+
 echo "== checkpoint warm-start smoke test"
 # Round-trip a CMCK artifact through the CLI, then check that a
 # warm-started sweep is deterministic across worker counts.
