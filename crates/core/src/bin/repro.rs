@@ -14,6 +14,7 @@
 //! repro trace sweep [app] [--scale ...]
 //! repro stats [apps...] [--sched <name>] [--pred <metric>]
 //!             [--epoch N] [--format jsonl|csv] [--out <file>]
+//! repro fairness [bundles...] [--format jsonl|csv] [--out <file>]
 //! repro checkpoint save <app> <file> [--cycles N] [--scale ...]
 //! repro checkpoint restore <file> <app> [--sched <name>] [--pred <metric>]
 //! repro checkpoint sweep [app] [--cycles N] [--scale ...] [--jobs N]
@@ -25,9 +26,9 @@
 
 use critmem::config::PredictorKind;
 use critmem::experiments::{
-    self, config_dump, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7, fig8, fig9, naive,
-    reset_study, stats_export, stream_replay, synth_replay, table5, table7, trace_sweep, Runner,
-    Scale,
+    self, config_dump, fairness_frontier, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7,
+    fig8, fig9, naive, reset_study, stats_export, stream_replay, synth_replay, table5, table7,
+    trace_sweep, Runner, Scale,
 };
 use critmem::journal::SweepJournal;
 use critmem::{Checkpoint, Session, SystemConfig, WorkloadKind};
@@ -49,6 +50,8 @@ fn usage() -> ! {
          \x20      repro trace sweep [app] [--scale ...] [--jobs N]\n\
          \x20      repro stats [apps...] [--sched <name>] [--pred <metric>|none] [--epoch N]\n\
          \x20                  [--format jsonl|csv] [--out <file>] [--scale ...] [--jobs N]\n\
+         \x20      repro fairness [bundles...] [--format jsonl|csv] [--out <file>]\n\
+         \x20                     [--scale ...] [--jobs N] [--shards N]\n\
          \x20      repro checkpoint save <app> <file> [--cycles N] [--scale ...]\n\
          \x20      repro checkpoint restore <file> <app> [--sched <name>] [--pred <metric>|none]\n\
          \x20      repro checkpoint sweep [app] [--cycles N] [--scale ...] [--jobs N]\n\
@@ -556,6 +559,69 @@ fn stats_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
     std::process::exit(0);
 }
 
+/// Validates a bundle name against the Table 4 bundle list, returning
+/// its `&'static str` form.
+fn static_bundle(name: &str) -> &'static str {
+    critmem_workloads::BUNDLES
+        .iter()
+        .find(|b| b.name == name)
+        .map(|b| b.name)
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = critmem_workloads::BUNDLES.iter().map(|b| b.name).collect();
+            eprintln!("unknown bundle {name:?} (expected one of {known:?})");
+            std::process::exit(2);
+        })
+}
+
+fn fairness_main(args: Vec<String>, mut scale: Scale, knobs: EngineKnobs) -> ! {
+    let mut bundles: Vec<&'static str> = Vec::new();
+    let mut format = "jsonl".to_string();
+    let mut out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some(f @ ("jsonl" | "csv")) => format = f.to_string(),
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(f),
+                None => usage(),
+            },
+            b => bundles.push(static_bundle(b)),
+        }
+    }
+    if !bundles.is_empty() {
+        scale.bundles = bundles;
+    }
+    let mut r = Runner::new(scale);
+    r.verbose = true;
+    knobs.apply(&mut r);
+    let frontier = fairness_frontier(&mut r);
+    println!("{}", frontier.to_table());
+    let export = frontier.to_export();
+    let text = match format.as_str() {
+        "csv" => export.to_csv(),
+        _ => export.to_jsonl(),
+    };
+    match out {
+        Some(file) => {
+            std::fs::write(&file, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {file}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "wrote {} schedulers x {} bundles -> {file}",
+                export.runs.len(),
+                frontier.bundles.len()
+            );
+        }
+        None => print!("{text}"),
+    }
+    eprintln!("{} distinct simulations executed", r.runs_executed());
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale = Scale::standard();
@@ -613,6 +679,9 @@ fn main() {
     }
     if selected.first().map(String::as_str) == Some("checkpoint") {
         checkpoint_main(selected.split_off(1), scale, knobs);
+    }
+    if selected.first().map(String::as_str) == Some("fairness") {
+        fairness_main(selected.split_off(1), scale, knobs);
     }
     if selected.is_empty() {
         selected.push("all".to_string());

@@ -7,6 +7,7 @@
 //! the same rows/series the paper's figure reports.
 
 pub mod compare;
+pub mod fairness;
 pub mod harness;
 pub mod multiprog;
 pub mod parallel_figs;
@@ -16,6 +17,7 @@ pub mod tables;
 pub mod trace_sweep;
 
 pub use compare::{fig10, fig11, Fig11};
+pub use fairness::{fairness_frontier, frontier_schedulers, FairnessFrontier, FrontierPoint};
 pub use harness::{CellFailure, Runner, Scale, TextTable};
 pub use multiprog::{fig12, Fig12};
 pub use parallel_figs::{

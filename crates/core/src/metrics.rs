@@ -98,6 +98,28 @@ pub fn max_slowdown(shared: &RunStats, alone_ipc: &[f64]) -> f64 {
         .fold(0.0f64, f64::max)
 }
 
+/// Harmonic speedup of a multiprogrammed run:
+/// `N / Σ_i IPC_alone_i / IPC_shared_i` (Luo, Gummaraju & Franklin) —
+/// the balanced performance–fairness metric: it rewards throughput but
+/// collapses toward the slowest application, so a run that sacrifices
+/// one application for the others scores poorly.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the slice is empty.
+pub fn harmonic_speedup(shared: &RunStats, alone_ipc: &[f64]) -> f64 {
+    assert_eq!(
+        shared.cores.len(),
+        alone_ipc.len(),
+        "per-app IPC length mismatch"
+    );
+    assert!(!alone_ipc.is_empty(), "harmonic speedup of zero apps");
+    let slowdown_sum: f64 = (0..alone_ipc.len())
+        .map(|i| alone_ipc[i] / shared.ipc(i))
+        .sum();
+    alone_ipc.len() as f64 / slowdown_sum
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

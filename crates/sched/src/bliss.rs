@@ -1,0 +1,302 @@
+//! BLISS — Subramanian, Seshadri, Ghosh, Khan, Mutlu (ICCD 2014 /
+//! TPDS 2016): the Blacklisting Memory Scheduler. The fairness-oriented
+//! counterpoint to the paper's criticality-first designs: instead of
+//! ranking *all* threads every quantum (TCM, ATLAS), BLISS only
+//! separates applications into two groups — *blacklisted* (recently
+//! interference-causing) and everyone else — which is enough to break
+//! up the long per-application request streaks that row-hit-first
+//! scheduling rewards.
+//!
+//! Mechanism (§4 of the BLISS paper):
+//!
+//! 1. The controller counts *consecutively served* requests per
+//!    application. When an application is served `streak_threshold`
+//!    times in a row (default 4), it is blacklisted.
+//! 2. Arbitration prefers non-blacklisted applications first, then
+//!    row hits (CAS over activate/precharge), then age — a plain
+//!    FR-FCFS comparator with one extra leading bit.
+//! 3. The whole blacklist is cleared every `clear_interval` DRAM
+//!    cycles (default 10,000), so a blacklisting is a short penalty,
+//!    not a permanent demotion.
+//!
+//! The result bounds how long a memory-intensive streak can starve the
+//! other applications — which is exactly what the starvation regression
+//! test in `tests/fairness_frontier.rs` measures against the unbounded
+//! criticality-first Crit-CASRAS ordering.
+
+use critmem_dram::{Candidate, CommandScheduler, SchedContext, Transaction};
+
+/// Tuning knobs for [`Bliss`]. All fields are plain literals so the
+/// config can live inside const [`crate::SchedulerKind`] values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlissConfig {
+    /// Consecutive served requests from one application before it is
+    /// blacklisted (the BLISS paper's "Blacklisting Threshold", 4).
+    pub streak_threshold: u64,
+    /// DRAM cycles between blacklist clearings (the paper's "Clearing
+    /// Interval", 10,000).
+    pub clear_interval: u64,
+}
+
+impl BlissConfig {
+    /// The BLISS paper's defaults: threshold 4, clearing interval
+    /// 10,000 DRAM cycles.
+    pub const DEFAULT: BlissConfig = BlissConfig {
+        streak_threshold: 4,
+        clear_interval: 10_000,
+    };
+}
+
+impl Default for BlissConfig {
+    fn default() -> Self {
+        BlissConfig::DEFAULT
+    }
+}
+
+/// The Blacklisting Memory Scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use critmem_sched::Bliss;
+/// use critmem_dram::CommandScheduler;
+/// assert_eq!(Bliss::new(8, Default::default()).name(), "BLISS");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bliss {
+    cfg: BlissConfig,
+    /// Per-application blacklist bit.
+    blacklisted: Vec<bool>,
+    /// Application whose requests are currently being served
+    /// back-to-back (`usize::MAX` = none yet).
+    streak_app: usize,
+    /// Length of that streak.
+    streak_len: u64,
+    /// Next blacklist-clearing boundary (fires on a fixed grid so the
+    /// schedule is identical with and without skip-ahead).
+    next_clear: u64,
+    /// Total applications ever blacklisted (cumulative).
+    blacklistings: u64,
+    /// Total clearing events.
+    clears: u64,
+}
+
+impl Bliss {
+    /// Creates the scheduler for `num_threads` applications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero or a config field is zero.
+    pub fn new(num_threads: usize, cfg: BlissConfig) -> Self {
+        assert!(num_threads > 0, "thread count must be nonzero");
+        assert!(cfg.streak_threshold > 0, "streak threshold must be nonzero");
+        assert!(cfg.clear_interval > 0, "clearing interval must be nonzero");
+        Bliss {
+            cfg,
+            blacklisted: vec![false; num_threads],
+            streak_app: usize::MAX,
+            streak_len: 0,
+            next_clear: cfg.clear_interval,
+            blacklistings: 0,
+            clears: 0,
+        }
+    }
+
+    /// Current blacklist bits, for tests.
+    pub fn blacklist(&self) -> &[bool] {
+        &self.blacklisted
+    }
+
+    fn app_of(&self, txn: &Transaction) -> usize {
+        txn.thread().index().min(self.blacklisted.len() - 1)
+    }
+}
+
+impl CommandScheduler for Bliss {
+    fn select(&mut self, ctx: &SchedContext<'_>, candidates: &[Candidate]) -> Option<usize> {
+        candidates
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, c)| {
+                let txn = &ctx.queue[c.txn];
+                // Non-blacklisted first, then row hits, then age —
+                // FR-FCFS with one leading blacklist bit (BLISS §4.3).
+                (
+                    self.blacklisted[self.app_of(txn)],
+                    !c.cmd.kind.is_cas(),
+                    txn.seq,
+                )
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn on_complete(&mut self, txn: &Transaction, _now: u64) {
+        let app = self.app_of(txn);
+        if app == self.streak_app {
+            self.streak_len += 1;
+        } else {
+            self.streak_app = app;
+            self.streak_len = 1;
+        }
+        if self.streak_len >= self.cfg.streak_threshold && !self.blacklisted[app] {
+            self.blacklisted[app] = true;
+            self.blacklistings += 1;
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &SchedContext<'_>) {
+        if ctx.now >= self.next_clear {
+            self.blacklisted.fill(false);
+            self.streak_app = usize::MAX;
+            self.streak_len = 0;
+            self.clears += 1;
+            // Anchored to the grid (like the sampler), so a late tick
+            // cannot drift the boundary.
+            while self.next_clear <= ctx.now {
+                self.next_clear += self.cfg.clear_interval;
+            }
+        }
+    }
+
+    fn next_event_cycle(&self, _now: u64, _queue_len: usize) -> u64 {
+        // The clearing boundary fires whether or not the queue holds
+        // transactions (same contract as TCM's shuffle), keeping
+        // `next_clear` path-independent under skip-ahead. Streak state
+        // changes only on `on_complete`, which cannot happen during a
+        // skipped window.
+        self.next_clear
+    }
+
+    fn name(&self) -> &str {
+        "BLISS"
+    }
+
+    fn observe_metrics(&self, v: &mut dyn critmem_common::MetricVisitor) {
+        let size = self.blacklisted.iter().filter(|&&b| b).count();
+        v.gauge("sched_blacklist_size", "apps", size as f64);
+        v.counter("sched_blacklistings", "events", self.blacklistings);
+        v.counter("sched_blacklist_clears", "events", self.clears);
+    }
+
+    fn save_state(&self, w: &mut critmem_common::codec::ByteWriter) {
+        w.put_u32(self.blacklisted.len() as u32);
+        for &b in &self.blacklisted {
+            w.put_bool(b);
+        }
+        w.put_u64(self.streak_app as u64);
+        w.put_u64(self.streak_len);
+        w.put_u64(self.next_clear);
+        w.put_u64(self.blacklistings);
+        w.put_u64(self.clears);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut critmem_common::codec::ByteReader<'_>,
+    ) -> Result<(), critmem_common::codec::CodecError> {
+        let n = r.get_u32()? as usize;
+        if n != self.blacklisted.len() {
+            return Err(critmem_common::codec::CodecError {
+                message: format!(
+                    "BLISS snapshot holds {n} apps, scheduler has {}",
+                    self.blacklisted.len()
+                ),
+                offset: r.position(),
+            });
+        }
+        for b in &mut self.blacklisted {
+            *b = r.get_bool()?;
+        }
+        self.streak_app = r.get_u64()? as usize;
+        self.streak_len = r.get_u64()?;
+        self.next_clear = r.get_u64()?;
+        self.blacklistings = r.get_u64()?;
+        self.clears = r.get_u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{mk_candidate, mk_ctx, mk_txn, Timing};
+    use critmem_common::codec::{ByteReader, ByteWriter};
+    use critmem_dram::CommandKind;
+
+    fn serve(s: &mut Bliss, core: u8, times: usize) {
+        for _ in 0..times {
+            s.on_complete(&mk_txn(core, 0, 1), 0);
+        }
+    }
+
+    #[test]
+    fn streak_blacklists_and_arbitration_demotes() {
+        let mut s = Bliss::new(2, BlissConfig::DEFAULT);
+        serve(&mut s, 0, 4);
+        assert_eq!(s.blacklist(), &[true, false]);
+        let queue = vec![mk_txn(0, 0, 0), mk_txn(1, 1, 5)];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t);
+        // Core 0 is older *and* a row hit; blacklisting still loses.
+        let cands = vec![
+            mk_candidate(0, CommandKind::Read, true, 0),
+            mk_candidate(1, CommandKind::Activate, false, 0),
+        ];
+        assert_eq!(s.select(&ctx, &cands), Some(1));
+    }
+
+    #[test]
+    fn interleaved_service_never_blacklists() {
+        let mut s = Bliss::new(2, BlissConfig::DEFAULT);
+        for _ in 0..20 {
+            serve(&mut s, 0, 3); // below the threshold each time
+            serve(&mut s, 1, 1);
+        }
+        assert_eq!(s.blacklist(), &[false, false]);
+    }
+
+    #[test]
+    fn clearing_interval_resets_the_blacklist() {
+        let mut s = Bliss::new(
+            2,
+            BlissConfig {
+                streak_threshold: 4,
+                clear_interval: 50,
+            },
+        );
+        serve(&mut s, 0, 4);
+        assert_eq!(s.blacklist(), &[true, false]);
+        assert_eq!(s.next_event_cycle(0, 0), 50);
+        let queue = vec![];
+        let t = Timing::default_timing();
+        let ctx = mk_ctx(&queue, &t); // now == 100 >= the 50-cycle boundary
+        s.on_tick(&ctx);
+        assert_eq!(s.blacklist(), &[false, false]);
+        // The boundary advances on the fixed grid past `now`.
+        assert_eq!(s.next_event_cycle(100, 0), 150);
+    }
+
+    #[test]
+    fn state_round_trips_and_rejects_shape_mismatch() {
+        let mut s = Bliss::new(4, BlissConfig::DEFAULT);
+        serve(&mut s, 2, 6);
+        let mut w = ByteWriter::new();
+        s.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = Bliss::new(4, BlissConfig::DEFAULT);
+        fresh
+            .load_state(&mut ByteReader::new(&bytes))
+            .expect("round trip");
+        assert_eq!(fresh.blacklist(), s.blacklist());
+        assert_eq!(fresh.streak_len, s.streak_len);
+        assert_eq!(fresh.blacklistings, s.blacklistings);
+        let mut wrong = Bliss::new(8, BlissConfig::DEFAULT);
+        assert!(wrong.load_state(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn rejects_zero_threads() {
+        let _ = Bliss::new(0, BlissConfig::DEFAULT);
+    }
+}

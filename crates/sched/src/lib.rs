@@ -24,8 +24,10 @@
 
 pub mod ahb;
 pub mod atlas;
+pub mod bliss;
 pub mod crit;
 pub mod frfcfs;
+pub mod meta;
 pub mod minimalist;
 pub mod morse;
 pub mod parbs;
@@ -36,8 +38,10 @@ pub(crate) mod testutil;
 
 pub use ahb::Ahb;
 pub use atlas::Atlas;
+pub use bliss::{Bliss, BlissConfig};
 pub use crit::{Arrangement, CritFrFcfs};
 pub use frfcfs::FrFcfs;
+pub use meta::{MetaSwitch, MetaSwitchConfig};
 pub use minimalist::MinimalistOpenPage;
 pub use morse::{Morse, MorseConfig};
 pub use parbs::ParBs;
@@ -82,6 +86,23 @@ pub enum SchedulerKind {
     },
     /// MORSE-style RL scheduler (MORSE-P or Crit-RL).
     Morse(MorseConfig),
+    /// BLISS: the Blacklisting Memory Scheduler (Subramanian et al.).
+    Bliss(BlissConfig),
+    /// Mode-switching meta-scheduler: wraps a performance-mode and a
+    /// fairness-mode inner scheduler and flips between them on queue
+    /// occupancy / stall-time watermarks. The inner kinds are
+    /// `&'static` references so this enum stays `Copy`; const
+    /// promotion covers literal kinds
+    /// (`&SchedulerKind::CasRasCrit`), and
+    /// [`SchedulerKind::DEFAULT_META`] provides the canonical pairing.
+    MetaSwitch {
+        /// Inner scheduler active in performance mode.
+        perf: &'static SchedulerKind,
+        /// Inner scheduler active in fairness mode.
+        fair: &'static SchedulerKind,
+        /// Watermarks and hysteresis.
+        cfg: MetaSwitchConfig,
+    },
     /// A scheduler that never issues a command — an artificial
     /// livelock used by the resilience tests to exercise the
     /// forward-progress watchdog. Not a paper configuration.
@@ -112,6 +133,16 @@ impl CommandScheduler for Wedge {
 }
 
 impl SchedulerKind {
+    /// The canonical meta-scheduler pairing: CASRAS-Crit (the paper's
+    /// advocated performance design) in performance mode, BLISS in
+    /// fairness mode, default watermarks. This is what
+    /// `"metaswitch"` parses to.
+    pub const DEFAULT_META: SchedulerKind = SchedulerKind::MetaSwitch {
+        perf: &SchedulerKind::CasRasCrit,
+        fair: &SchedulerKind::Bliss(BlissConfig::DEFAULT),
+        cfg: MetaSwitchConfig::DEFAULT,
+    };
+
     /// Instantiates a scheduler for one channel. `num_threads` sizes
     /// the per-thread state of TCM; `channel_seed` decorrelates the
     /// seeded RNGs of different channels.
@@ -135,6 +166,12 @@ impl SchedulerKind {
                 };
                 Box::new(Morse::new(cfg))
             }
+            SchedulerKind::Bliss(cfg) => Box::new(Bliss::new(num_threads, cfg)),
+            SchedulerKind::MetaSwitch { perf, fair, cfg } => Box::new(MetaSwitch::new(
+                perf.build(num_threads, channel_seed),
+                fair.build(num_threads, channel_seed),
+                cfg,
+            )),
             SchedulerKind::Wedged => Box::new(Wedge),
         }
     }
@@ -163,6 +200,8 @@ impl SchedulerKind {
                     "MORSE-P"
                 }
             }
+            SchedulerKind::Bliss(_) => "BLISS",
+            SchedulerKind::MetaSwitch { .. } => "MetaSwitch",
             SchedulerKind::Wedged => "Wedged",
         }
     }
@@ -204,11 +243,13 @@ impl std::str::FromStr for SchedulerKind {
                 use_criticality: true,
                 ..Default::default()
             }),
+            "bliss" => SchedulerKind::Bliss(BlissConfig::DEFAULT),
+            "metaswitch" | "meta" => SchedulerKind::DEFAULT_META,
             _ => {
                 return Err(critmem_common::SimError::Config(format!(
                     "unknown scheduler '{name}' (expected one of: fcfs, fr-fcfs, \
                      crit-casras, casras-crit, ahb, atlas, minimalist, par-bs, tcm, \
-                     tcm+crit, morse-p, crit-rl)"
+                     tcm+crit, morse-p, crit-rl, bliss, metaswitch)"
                 )))
             }
         };
@@ -242,6 +283,13 @@ mod tests {
                 use_criticality: true,
                 ..Default::default()
             }),
+            SchedulerKind::Bliss(BlissConfig::DEFAULT),
+            SchedulerKind::DEFAULT_META,
+            SchedulerKind::MetaSwitch {
+                perf: &SchedulerKind::Atlas,
+                fair: &SchedulerKind::FrFcfs,
+                cfg: MetaSwitchConfig::DEFAULT,
+            },
         ];
         for kind in kinds {
             let built = kind.build(8, 3);
@@ -267,6 +315,8 @@ mod tests {
                 tiebreak: TcmTiebreak::CritFrFcfs,
             },
             SchedulerKind::Morse(MorseConfig::default()),
+            SchedulerKind::Bliss(BlissConfig::DEFAULT),
+            SchedulerKind::DEFAULT_META,
         ];
         for kind in kinds {
             let parsed: SchedulerKind = kind
@@ -277,5 +327,16 @@ mod tests {
         }
         let err = "bogus".parse::<SchedulerKind>().unwrap_err();
         assert!(matches!(err, critmem_common::SimError::Config(_)));
+    }
+
+    #[test]
+    fn default_meta_parses_to_the_canonical_pairing() {
+        let parsed: SchedulerKind = "metaswitch".parse().unwrap();
+        assert_eq!(parsed, SchedulerKind::DEFAULT_META);
+        let alias: SchedulerKind = "meta".parse().unwrap();
+        assert_eq!(alias, parsed);
+        // The kind stays Copy: inner schedulers are &'static refs.
+        let copied = parsed;
+        assert_eq!(copied, parsed);
     }
 }

@@ -83,6 +83,22 @@ echo "== stats export smoke test (JSONL, serial == --jobs 2)"
 diff "$tmp/stats.serial" "$tmp/stats.jobs2"
 head -c 120 "$tmp/stats.serial" | grep -q '"type":"export"'
 
+echo "== fairness frontier smoke test (table + export, deterministic)"
+# One bundle through the scheduler zoo: the table must list BLISS and
+# MetaSwitch, the JSONL export block must follow, and stdout must be
+# byte-identical across --jobs, --shards, and --no-skip-ahead.
+./target/release/repro --scale quick --jobs 1 fairness AELV > "$tmp/fair.serial" 2>/dev/null
+grep -q 'Performance-fairness frontier' "$tmp/fair.serial"
+grep -q '^BLISS ' "$tmp/fair.serial"
+grep -q '^MetaSwitch ' "$tmp/fair.serial"
+grep -q '"type":"export"' "$tmp/fair.serial"
+./target/release/repro --scale quick --jobs 2 fairness AELV > "$tmp/fair.jobs2" 2>/dev/null
+diff "$tmp/fair.serial" "$tmp/fair.jobs2"
+./target/release/repro --scale quick --jobs 1 --shards 2 fairness AELV > "$tmp/fair.shards2" 2>/dev/null
+diff "$tmp/fair.serial" "$tmp/fair.shards2"
+./target/release/repro --scale quick --jobs 1 --no-skip-ahead fairness AELV > "$tmp/fair.noskip" 2>/dev/null
+diff "$tmp/fair.serial" "$tmp/fair.noskip"
+
 echo "== fault-injection smoke test (isolation + journal resume)"
 # Build the harness with the injection hooks armed, wedge one cell of a
 # two-figure sweep, and check that (a) the sweep completes with a
