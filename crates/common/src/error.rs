@@ -172,6 +172,41 @@ impl fmt::Display for WatchdogSnapshot {
     }
 }
 
+/// Diagnostic state captured when a runtime invariant auditor rejects
+/// the simulation: which auditor fired, the invariant that failed, and
+/// where. Auditors are shadow state machines — they recompute legality
+/// independently of the component they watch, so a snapshot here means
+/// the *model* did something the protocol (or conservation law)
+/// forbids, not that an input was malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditSnapshot {
+    /// Which auditor raised the violation (`"protocol"` for the
+    /// per-bank DDR3 shadow state machine, `"conservation"` for the
+    /// request-accounting auditor at the L2↔controller boundary).
+    pub auditor: &'static str,
+    /// The invariant that failed, with the offending values.
+    pub what: String,
+    /// Cycle at which the violation was detected (DRAM cycles for the
+    /// protocol auditor, CPU cycles for the conservation auditor).
+    pub cycle: u64,
+    /// Channel the violation occurred on, when it is per-channel.
+    pub channel: Option<u16>,
+}
+
+impl fmt::Display for AuditSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} audit violation at cycle {}",
+            self.auditor, self.cycle
+        )?;
+        if let Some(ch) = self.channel {
+            write!(f, " on channel {ch}")?;
+        }
+        write!(f, ": {}", self.what)
+    }
+}
+
 /// The operational error type shared by every library crate.
 #[derive(Debug)]
 pub enum SimError {
@@ -209,6 +244,9 @@ pub enum SimError {
         /// How many attempts were made before giving up.
         attempts: u32,
     },
+    /// A runtime invariant auditor (protocol or conservation) rejected
+    /// the simulation; the boxed snapshot names the invariant.
+    AuditViolation(Box<AuditSnapshot>),
 }
 
 impl fmt::Display for SimError {
@@ -228,6 +266,7 @@ impl fmt::Display for SimError {
             SimError::CellPanic { payload, attempts } => {
                 write!(f, "worker panicked after {attempts} attempt(s): {payload}")
             }
+            SimError::AuditViolation(snap) => write!(f, "{snap}"),
         }
     }
 }
@@ -256,12 +295,14 @@ impl From<crate::codec::CodecError> for SimError {
 impl SimError {
     /// The process exit code this error maps to: `2` for configuration
     /// mistakes the user can fix before any cycle runs, `3` for a
-    /// watchdog trip (the run itself is pathological), `1` for
-    /// everything else (run/artifact/worker failures).
+    /// watchdog trip (the run itself is pathological), `4` for an audit
+    /// violation (the model broke an invariant), `1` for everything
+    /// else (run/artifact/worker failures).
     pub fn exit_code(&self) -> i32 {
         match self {
             SimError::Config(_) | SimError::UnknownWorkload { .. } => 2,
             SimError::Watchdog(_) => 3,
+            SimError::AuditViolation(_) => 4,
             _ => 1,
         }
     }
@@ -323,6 +364,16 @@ mod tests {
             2
         );
         assert_eq!(SimError::Watchdog(Box::new(snapshot())).exit_code(), 3);
+        assert_eq!(
+            SimError::AuditViolation(Box::new(AuditSnapshot {
+                auditor: "protocol",
+                what: "ACT on open bank".into(),
+                cycle: 1234,
+                channel: Some(0),
+            }))
+            .exit_code(),
+            4
+        );
         assert_eq!(SimError::Trace("bad".into()).exit_code(), 1);
         assert_eq!(
             SimError::CellPanic {

@@ -49,7 +49,9 @@ pub mod stats;
 
 pub use clock::ClockDivider;
 pub use codec::Snapshot;
-pub use error::{BankQueueState, SimError, WatchdogConfig, WatchdogReason, WatchdogSnapshot};
+pub use error::{
+    AuditSnapshot, BankQueueState, SimError, WatchdogConfig, WatchdogReason, WatchdogSnapshot,
+};
 pub use ids::{BankId, ChannelId, CoreId, RankId, ThreadId};
 pub use mem::{AccessKind, Criticality, MemRequest, ReqId, RequestObserver};
 pub use obs::{MetricVisitor, Observable, Sampler, Schema, SeriesExport, SeriesSet};

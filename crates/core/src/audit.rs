@@ -1,0 +1,252 @@
+//! Request-conservation auditing at the L2↔controller boundary.
+//!
+//! The DRAM-side shadow auditor ([`critmem_dram::ProtocolAuditor`])
+//! checks that every *command* is legal; this module checks that every
+//! *request* is conserved: a request accepted by a memory controller
+//! completes exactly once — never lost, never duplicated — the
+//! boundary's occupancy stays within the physical queue capacity, and
+//! the clock observed at the boundary is monotone (skip-ahead jumps
+//! included). Like the protocol auditor it is an independent witness:
+//! it keeps its own books from the enqueue/complete events alone and
+//! never reads controller internals, so a bookkeeping bug in the model
+//! cannot hide itself from the audit.
+//!
+//! The auditor is optimistic about requests it never saw enqueued
+//! (e.g. transactions restored from a checkpoint taken before it was
+//! attached): their completions are ignored rather than flagged, which
+//! makes mid-run attachment safe. Only the *first* violation is kept —
+//! later ones are usually cascading noise from the same root cause.
+
+use critmem_common::{AuditSnapshot, ReqId};
+use std::collections::HashSet;
+
+/// Shadow accounting of every request crossing the L2↔controller
+/// boundary. Owned by the system when [`crate::SystemConfig::audit`]
+/// is set; see the module docs for the invariants checked.
+#[derive(Debug)]
+pub struct ConservationAuditor {
+    /// Requests enqueued since attach and not yet completed.
+    pending: HashSet<ReqId>,
+    /// Requests that completed exactly once since attach.
+    completed: HashSet<ReqId>,
+    /// Hard cap on `pending` (physical queue capacity plus in-flight
+    /// slack across channels).
+    occupancy_bound: usize,
+    /// Last CPU cycle observed; the clock must never move backwards.
+    last_cycle: u64,
+    violation: Option<Box<AuditSnapshot>>,
+}
+
+impl ConservationAuditor {
+    /// Creates an auditor. `occupancy_bound` is the largest number of
+    /// simultaneously outstanding requests the platform can physically
+    /// hold (summed transaction-queue capacity plus in-flight slack).
+    pub fn new(occupancy_bound: usize) -> Self {
+        ConservationAuditor {
+            pending: HashSet::new(),
+            completed: HashSet::new(),
+            occupancy_bound,
+            last_cycle: 0,
+            violation: None,
+        }
+    }
+
+    /// Records the first violation; later ones are dropped (they are
+    /// almost always knock-on effects of the first).
+    fn flag(&mut self, what: String, cycle: u64) {
+        if self.violation.is_none() {
+            self.violation = Some(Box::new(AuditSnapshot {
+                auditor: "conservation",
+                what,
+                cycle,
+                channel: None,
+            }));
+        }
+    }
+
+    /// Witnesses a request accepted by a memory controller.
+    pub fn on_enqueue(&mut self, id: ReqId, now: u64) {
+        if self.completed.contains(&id) {
+            self.flag(
+                format!("request {id} re-entered the controller after completing"),
+                now,
+            );
+            return;
+        }
+        if !self.pending.insert(id) {
+            self.flag(
+                format!("request {id} enqueued twice without completing (duplicate)"),
+                now,
+            );
+            return;
+        }
+        if self.pending.len() > self.occupancy_bound {
+            self.flag(
+                format!(
+                    "{} requests outstanding exceeds the physical bound of {}",
+                    self.pending.len(),
+                    self.occupancy_bound
+                ),
+                now,
+            );
+        }
+    }
+
+    /// Witnesses a completion delivered back across the boundary.
+    /// Completions of requests enqueued before the auditor attached are
+    /// ignored (see the module docs).
+    pub fn on_complete(&mut self, id: ReqId, now: u64) {
+        if self.pending.remove(&id) {
+            self.completed.insert(id);
+        } else if self.completed.contains(&id) {
+            self.flag(format!("request {id} completed twice"), now);
+        }
+        // Unknown id: enqueued before attach — not a violation.
+    }
+
+    /// Witnesses the clock. Skip-ahead jumps land here too, so a
+    /// backwards step anywhere in the batching logic is caught.
+    pub fn check_clock(&mut self, now: u64) {
+        if now < self.last_cycle {
+            self.flag(
+                format!("clock moved backwards ({} -> {now})", self.last_cycle),
+                now,
+            );
+        }
+        self.last_cycle = now;
+    }
+
+    /// End-of-run reconciliation: every request this auditor saw
+    /// enqueued must either have completed or still be owned by a
+    /// controller (`outstanding`, from the controllers' own books).
+    /// A shortfall means a request vanished without completing.
+    pub fn finish(&mut self, outstanding: usize, now: u64) {
+        if self.pending.len() > outstanding {
+            self.flag(
+                format!(
+                    "{} requests pending at end of run but only {outstanding} \
+                     outstanding in the controllers (requests lost)",
+                    self.pending.len()
+                ),
+                now,
+            );
+        }
+    }
+
+    /// Forgets all request tracking and re-anchors the clock —
+    /// called after a checkpoint restore invalidates the books.
+    pub fn reset(&mut self, now: u64) {
+        self.pending.clear();
+        self.completed.clear();
+        self.last_cycle = now;
+        self.violation = None;
+    }
+
+    /// The recorded violation, if any (non-destructive).
+    pub fn violation(&self) -> Option<&AuditSnapshot> {
+        self.violation.as_deref()
+    }
+
+    /// Removes and returns the recorded violation.
+    pub fn take_violation(&mut self) -> Option<Box<AuditSnapshot>> {
+        self.violation.take()
+    }
+
+    /// Requests currently tracked as outstanding.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_lifecycle_is_silent() {
+        let mut a = ConservationAuditor::new(4);
+        for id in 0..3u64 {
+            a.on_enqueue(id, 10 + id);
+        }
+        for id in 0..3u64 {
+            a.on_complete(id, 100 + id);
+        }
+        a.check_clock(200);
+        a.finish(0, 200);
+        assert!(a.violation().is_none());
+    }
+
+    #[test]
+    fn duplicate_enqueue_is_flagged() {
+        let mut a = ConservationAuditor::new(16);
+        a.on_enqueue(7, 10);
+        a.on_enqueue(7, 11);
+        let v = a.violation().expect("duplicate must be flagged");
+        assert!(v.what.contains("enqueued twice"), "{}", v.what);
+        assert_eq!(v.cycle, 11);
+    }
+
+    #[test]
+    fn double_completion_is_flagged() {
+        let mut a = ConservationAuditor::new(16);
+        a.on_enqueue(3, 1);
+        a.on_complete(3, 50);
+        a.on_complete(3, 51);
+        let v = a.violation().expect("double completion must be flagged");
+        assert!(v.what.contains("completed twice"), "{}", v.what);
+    }
+
+    #[test]
+    fn pre_attach_completion_is_ignored() {
+        let mut a = ConservationAuditor::new(16);
+        a.on_complete(99, 5); // restored from a checkpoint: unknown id
+        assert!(a.violation().is_none());
+    }
+
+    #[test]
+    fn occupancy_bound_is_enforced() {
+        let mut a = ConservationAuditor::new(2);
+        a.on_enqueue(0, 1);
+        a.on_enqueue(1, 2);
+        assert!(a.violation().is_none());
+        a.on_enqueue(2, 3);
+        let v = a.violation().expect("third request exceeds the bound");
+        assert!(v.what.contains("physical bound"), "{}", v.what);
+    }
+
+    #[test]
+    fn backwards_clock_is_flagged() {
+        let mut a = ConservationAuditor::new(16);
+        a.check_clock(100);
+        a.check_clock(100); // equal is fine (same-cycle polls)
+        assert!(a.violation().is_none());
+        a.check_clock(99);
+        assert!(a.violation().unwrap().what.contains("backwards"));
+    }
+
+    #[test]
+    fn lost_request_fails_reconciliation() {
+        let mut a = ConservationAuditor::new(16);
+        a.on_enqueue(1, 1);
+        a.on_enqueue(2, 2);
+        a.on_complete(1, 60);
+        // Request 2 never completed and the controllers claim nothing
+        // outstanding: it vanished.
+        a.finish(0, 100);
+        let v = a.violation().expect("lost request must be flagged");
+        assert!(v.what.contains("lost"), "{}", v.what);
+    }
+
+    #[test]
+    fn reset_clears_books_and_violation() {
+        let mut a = ConservationAuditor::new(16);
+        a.on_enqueue(1, 1);
+        a.on_enqueue(1, 2);
+        assert!(a.violation().is_some());
+        a.reset(500);
+        assert!(a.violation().is_none());
+        assert_eq!(a.pending_len(), 0);
+        a.check_clock(500);
+        assert!(a.violation().is_none());
+    }
+}

@@ -18,6 +18,9 @@
 //! repro checkpoint save <app> <file> [--cycles N] [--scale ...]
 //! repro checkpoint restore <file> <app> [--sched <name>] [--pred <metric>]
 //! repro checkpoint sweep [app] [--cycles N] [--scale ...] [--jobs N]
+//! repro audit                       certification: every scheduler audited
+//! repro audit campaign              fault-injection detection-coverage table
+//! repro audit inject <spec>         inject one fault, exit with its class code
 //!
 //! experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              fig11 fig12 table5 table7 naive reset tracesweep all
@@ -55,17 +58,23 @@ fn usage() -> ! {
          \x20      repro checkpoint save <app> <file> [--cycles N] [--scale ...]\n\
          \x20      repro checkpoint restore <file> <app> [--sched <name>] [--pred <metric>|none]\n\
          \x20      repro checkpoint sweep [app] [--cycles N] [--scale ...] [--jobs N]\n\
+         \x20      repro audit                       (certify auditors silent + byte-identical)\n\
+         \x20      repro audit campaign              (inject every fault, require detection)\n\
+         \x20      repro audit inject <spec>         (one fault, e.g. corrupt-sched@ch0,c5000)\n\
          experiments: config fig1 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 \
          table5 table7 naive reset tracesweep all\n\
          --jobs N: simulation worker threads (default: available cores; 1 = serial)\n\
          --shards N: worker threads per simulation's DRAM tick (default 1; results are\n\
          \x20           byte-identical at any value — this only changes wall clock)\n\
          --no-skip-ahead: disable event-driven clock skip-ahead (same results, slower)\n\
+         --audit: attach the independent protocol/conservation auditors to every run\n\
+         \x20        (results stay byte-identical; violations exit 4)\n\
          --journal <file>: record completed cells for crash recovery\n\
          --resume: reload a journal's completed cells, re-running only the missing ones\n\
          --warm-cycles N: share one baseline warmup checkpoint (snapshotted at cycle N)\n\
          \x20                across every non-sampling sweep cell\n\
-         exit codes: 0 ok, 2 configuration error, 3 watchdog (livelocked run), 1 other failure"
+         exit codes: 0 ok, 2 configuration error, 3 watchdog (livelocked run),\n\
+         \x20           4 audit violation, 1 other failure"
     );
     std::process::exit(2);
 }
@@ -85,6 +94,7 @@ struct EngineKnobs {
     jobs: usize,
     shards: usize,
     skip_ahead: bool,
+    audit: bool,
 }
 
 impl EngineKnobs {
@@ -92,6 +102,7 @@ impl EngineKnobs {
         r.jobs = self.jobs;
         r.shards = self.shards;
         r.skip_ahead = self.skip_ahead;
+        r.audit = self.audit;
     }
 }
 
@@ -136,7 +147,7 @@ fn trace_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
         Some("replay") => {
             let mut file = None;
             let mut sched = SchedulerKind::FrFcfs;
-            let mut replay_cfg = ReplayConfig::default();
+            let mut replay_cfg = ReplayConfig::default().with_audit(knobs.audit);
             let mut it = args.into_iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -180,6 +191,7 @@ fn trace_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
         }
         Some("stream") => {
             let (file, sched, replay_cfg, _, _) = parse_replay_flags(args.into_iter().skip(1));
+            let replay_cfg = replay_cfg.with_audit(knobs.audit);
             let Some(file) = file else { usage() };
             let out = stream_replay(std::path::Path::new(&file), sched, replay_cfg)
                 .unwrap_or_else(|e| fail(e));
@@ -230,6 +242,7 @@ fn trace_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
             let mut seed = 42u64;
             let (file, sched, replay_cfg, req_flag, seed_flag) =
                 parse_replay_flags(args.into_iter().skip(1));
+            let replay_cfg = replay_cfg.with_audit(knobs.audit);
             if let Some(n) = req_flag {
                 requests = Some(n);
             }
@@ -357,6 +370,7 @@ fn checkpoint_cfg(scale: &Scale, knobs: EngineKnobs) -> SystemConfig {
     cfg.max_cycles = scale.instructions.saturating_mul(20_000).max(1_000_000_000);
     cfg.shards = knobs.shards;
     cfg.skip_ahead = knobs.skip_ahead;
+    cfg.audit = knobs.audit;
     cfg
 }
 
@@ -622,12 +636,70 @@ fn fairness_main(args: Vec<String>, mut scale: Scale, knobs: EngineKnobs) -> ! {
     std::process::exit(0);
 }
 
+/// `repro audit [campaign | inject <spec>]`: certification by
+/// default, the fault-injection matrix with `campaign`, one targeted
+/// fault with `inject`.
+fn audit_main(args: Vec<String>) -> ! {
+    match args.first().map(String::as_str) {
+        None => {
+            let cert = experiments::certify();
+            println!("{}", cert.to_table());
+            if cert.all_clean() {
+                println!("all schedulers certified: zero violations, statistics byte-identical");
+                std::process::exit(0);
+            }
+            eprintln!("certification FAILED: auditing perturbed a run or raised a violation");
+            std::process::exit(1);
+        }
+        Some("campaign") => {
+            let report = experiments::campaign();
+            println!("{}", report.to_table());
+            if report.all_detected() {
+                println!(
+                    "{}/{} faults detected (zero silent outcomes)",
+                    report.rows.len(),
+                    report.rows.len()
+                );
+                std::process::exit(0);
+            }
+            let silent = report
+                .rows
+                .iter()
+                .filter(|r| r.detection == experiments::Detection::Silent)
+                .count();
+            eprintln!("campaign FAILED: {silent} fault(s) were silently absorbed");
+            std::process::exit(1);
+        }
+        Some("inject") => {
+            let Some(spec) = args.get(1) else { usage() };
+            let row = experiments::inject(spec).unwrap_or_else(|e| fail(e));
+            match row.detection {
+                experiments::Detection::Silent => {
+                    eprintln!("fault {} was NOT detected", row.spec);
+                    std::process::exit(1);
+                }
+                d => {
+                    println!(
+                        "fault {} detected as {}: {}",
+                        row.spec,
+                        d.label(),
+                        row.detail
+                    );
+                    std::process::exit(row.exit_code);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale = Scale::standard();
     let mut jobs = critmem::pool::default_jobs();
     let mut shards = 1usize;
     let mut skip_ahead = true;
+    let mut audit = false;
     let mut journal_path: Option<String> = None;
     let mut resume = false;
     let mut warm_cycles: Option<u64> = None;
@@ -653,6 +725,7 @@ fn main() {
                 _ => usage(),
             },
             "--no-skip-ahead" => skip_ahead = false,
+            "--audit" => audit = true,
             "--journal" => match args.next() {
                 Some(f) => journal_path = Some(f),
                 None => usage(),
@@ -670,7 +743,11 @@ fn main() {
         jobs,
         shards,
         skip_ahead,
+        audit,
     };
+    if selected.first().map(String::as_str) == Some("audit") {
+        audit_main(selected.split_off(1));
+    }
     if selected.first().map(String::as_str) == Some("trace") {
         trace_main(selected.split_off(1), scale, knobs);
     }

@@ -46,8 +46,10 @@ use std::sync::Arc;
 
 /// Artifact magic: "CritMem ChecKpoint".
 const MAGIC: &[u8; 4] = b"CMCK";
-/// Current format version.
-const VERSION: u32 = 1;
+/// Current format version. Version 2 extended the per-rank bank-state
+/// block with the tFAW rolling-window ring; version-1 checkpoints would
+/// misdecode it and are rejected up front.
+const VERSION: u32 = 2;
 
 /// A full architectural-state snapshot of a [`System`] at one cycle.
 ///

@@ -161,6 +161,15 @@ pub struct SystemConfig {
     /// stepping by construction (and asserted by the identity suite);
     /// also excluded from checkpoint fingerprints and memo keys.
     pub skip_ahead: bool,
+    /// Independent run auditing: attach a shadow protocol auditor to
+    /// every DRAM channel and a request-conservation auditor to the
+    /// L2↔controller boundary. Audited runs are byte-identical in
+    /// exported statistics to unaudited ones — the auditors only watch —
+    /// so, like [`SystemConfig::shards`] and
+    /// [`SystemConfig::skip_ahead`], this knob is excluded from
+    /// checkpoint fingerprints and sweep memo keys. A violation
+    /// surfaces as a typed [`critmem_common::SimError::AuditViolation`].
+    pub audit: bool,
 }
 
 impl SystemConfig {
@@ -184,6 +193,7 @@ impl SystemConfig {
             watchdog: critmem_common::WatchdogConfig::default(),
             shards: 1,
             skip_ahead: true,
+            audit: false,
         }
     }
 
@@ -234,6 +244,13 @@ impl SystemConfig {
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Enables the independent run auditors (builder style).
+    #[must_use]
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
         self
     }
 

@@ -3,6 +3,7 @@
 
 use crate::checkpoint::{fingerprint_of, Checkpoint};
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::faults::FaultHooks;
 use crate::journal::{JournalEntry, SweepJournal};
 use crate::pool::scoped_map_isolated;
 use crate::session::Session;
@@ -130,6 +131,11 @@ pub struct Runner {
     /// Event-driven skip-ahead ([`SystemConfig::skip_ahead`]); also
     /// identical-by-construction and therefore absent from memo keys.
     pub skip_ahead: bool,
+    /// Independent run auditors ([`SystemConfig::audit`]) on every
+    /// simulation. Audited runs are byte-identical in exported
+    /// statistics, so this too is absent from memo keys; a violation
+    /// fails the cell with a typed error like any other.
+    pub audit: bool,
     /// Warm-start boundary in CPU cycles. When set, each distinct
     /// `(platform, workload, instruction budget)` is warmed once under
     /// the shared baseline configuration (FR-FCFS, no predictor) up to
@@ -147,6 +153,10 @@ pub struct Runner {
     planning: Option<Plan>,
     failed: Vec<CellFailure>,
     journal: Option<SweepJournal>,
+    /// Panic-injection hooks for the resilience tests, owned per
+    /// runner so once-per-cell state never leaks across sweeps that
+    /// share a process.
+    hooks: FaultHooks,
     /// Shared warmup checkpoints, keyed by warm key; `None` records a
     /// failed warmup so dependent cells fall back to cold runs instead
     /// of retrying it.
@@ -162,6 +172,7 @@ impl Runner {
             jobs: 1,
             shards: 1,
             skip_ahead: true,
+            audit: false,
             warm_cycles: None,
             cache: HashMap::new(),
             runs_executed: 0,
@@ -171,6 +182,7 @@ impl Runner {
             planning: None,
             failed: Vec::new(),
             journal: None,
+            hooks: FaultHooks::from_env(),
             checkpoints: HashMap::new(),
         }
     }
@@ -298,7 +310,9 @@ impl Runner {
         if self.verbose {
             eprintln!("  [warmup] {key}");
         }
-        let outcome = Self::isolated_cell(&key, || Self::warmup_cell(cfg, workload, cycles));
+        let outcome = Self::isolated_cell(&self.hooks, &key, || {
+            Self::warmup_cell(cfg, workload, cycles)
+        });
         self.runs_executed += 1;
         match outcome {
             Ok(ckpt) => {
@@ -424,8 +438,9 @@ impl Runner {
                         eprintln!("  [warmup] {key}");
                     }
                 }
+                let hooks = &self.hooks;
                 let results = scoped_map_isolated(self.jobs, &needed, |(key, cfg, workload)| {
-                    crate::faults::maybe_inject(key);
+                    hooks.maybe_inject(key);
                     Self::warmup_cell(cfg, workload, cycles)
                 });
                 self.runs_executed += needed.len() as u64;
@@ -460,13 +475,14 @@ impl Runner {
                 (job, warm)
             })
             .collect();
+        let hooks = &self.hooks;
         let results = scoped_map_isolated(self.jobs, &jobs, |(job, warm)| match job {
             PlannedJob::Run { key, cfg, workload } => {
-                crate::faults::maybe_inject(key);
+                hooks.maybe_inject(key);
                 Self::run_cell(cfg, workload, warm.as_ref()).map(JobResult::Run)
             }
             PlannedJob::Capture { key, app, cfg } => {
-                crate::faults::maybe_inject(key);
+                hooks.maybe_inject(key);
                 Self::capture_cell(cfg, app).map(JobResult::Capture)
             }
         });
@@ -518,8 +534,9 @@ impl Runner {
                 (rep.key, trace, rep.scheduler, cfg)
             })
             .collect();
+        let hooks = &self.hooks;
         let results = scoped_map_isolated(self.jobs, &items, |(key, trace, scheduler, cfg)| {
-            crate::faults::maybe_inject(key);
+            hooks.maybe_inject(key);
             Self::replay_cell(trace, *scheduler, cfg)
         });
         for ((key, ..), result) in items.into_iter().zip(results) {
@@ -547,20 +564,25 @@ impl Runner {
     ) -> Result<ReplayStats, SimError> {
         let num_threads = cfg.cores;
         let dram = DramSystem::new(cfg.dram, |ch| scheduler.build(num_threads, u64::from(ch.0)));
-        TraceReplayer::new((**trace).clone(), dram, ReplayConfig::default())
-            .map_err(|e| SimError::Trace(e.to_string()))?
-            .try_run()
+        TraceReplayer::new(
+            (**trace).clone(),
+            dram,
+            ReplayConfig::default().with_audit(cfg.audit),
+        )
+        .map_err(|e| SimError::Trace(e.to_string()))?
+        .try_run()
     }
 
     /// Runs one cell on the calling thread under the same
     /// panic-isolation and fault-injection policy as the worker pool,
     /// so failure semantics do not depend on the job count.
     fn isolated_cell<O: Send>(
+        hooks: &FaultHooks,
         key: &str,
         f: impl Fn() -> Result<O, SimError> + Sync,
     ) -> Result<O, SimError> {
         scoped_map_isolated(1, &[()], |_| {
-            crate::faults::maybe_inject(key);
+            hooks.maybe_inject(key);
             f()
         })
         .pop()
@@ -634,7 +656,9 @@ impl Runner {
         if self.verbose {
             eprintln!("  [run {:>3}] {key}", self.runs_executed + 1);
         }
-        let outcome = Self::isolated_cell(&key, || Self::run_cell(&cfg, workload, warm.as_ref()));
+        let outcome = Self::isolated_cell(&self.hooks, &key, || {
+            Self::run_cell(&cfg, workload, warm.as_ref())
+        });
         self.runs_executed += 1;
         match outcome {
             Ok(stats) => {
@@ -683,7 +707,7 @@ impl Runner {
         if self.verbose {
             eprintln!("  [capture] {key}");
         }
-        let outcome = Self::isolated_cell(&key, || Self::capture_cell(&cfg, app));
+        let outcome = Self::isolated_cell(&self.hooks, &key, || Self::capture_cell(&cfg, app));
         self.runs_executed += 1;
         match outcome {
             Ok(trace) => {
@@ -728,7 +752,9 @@ impl Runner {
             eprintln!("  [replay {:>3}] {key}", self.replays_executed + 1);
         }
         let cfg = self.parallel_cfg().with_scheduler(scheduler);
-        let outcome = Self::isolated_cell(&key, || Self::replay_cell(&trace, scheduler, &cfg));
+        let outcome = Self::isolated_cell(&self.hooks, &key, || {
+            Self::replay_cell(&trace, scheduler, &cfg)
+        });
         self.replays_executed += 1;
         match outcome {
             Ok(stats) => {
@@ -756,6 +782,7 @@ impl Runner {
             .max(1_000_000_000);
         cfg.shards = self.shards;
         cfg.skip_ahead = self.skip_ahead;
+        cfg.audit = self.audit;
         cfg
     }
 

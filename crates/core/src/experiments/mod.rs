@@ -6,6 +6,7 @@
 //! returns a structured result with a `to_table()` text rendering —
 //! the same rows/series the paper's figure reports.
 
+pub mod audit;
 pub mod compare;
 pub mod fairness;
 pub mod harness;
@@ -16,6 +17,10 @@ pub mod streaming;
 pub mod tables;
 pub mod trace_sweep;
 
+pub use audit::{
+    audit_schedulers, campaign, certify, inject, AuditCertification, CampaignRow, CertifyRow,
+    Detection, FaultCampaign,
+};
 pub use compare::{fig10, fig11, Fig11};
 pub use fairness::{fairness_frontier, frontier_schedulers, FairnessFrontier, FrontierPoint};
 pub use harness::{CellFailure, Runner, Scale, TextTable};

@@ -15,6 +15,8 @@
 //! * [`checkpoint`] — `CMCK` snapshots for warm-started sweeps,
 //! * [`experiments`] — one harness per paper figure/table,
 //! * [`overhead`] — the §5.7 storage-overhead accounting,
+//! * [`audit`] / [`faults`] — independent run auditors and typed,
+//!   deterministic fault-injection plans (`repro audit`),
 //! * the `repro` binary — prints every reproduced table.
 //!
 //! # Quick start
@@ -49,6 +51,7 @@
 //! [`checkpoint::Checkpoint`], swapping in the cell's scheduler and
 //! predictor fresh at the boundary.
 
+pub mod audit;
 pub mod checkpoint;
 pub mod config;
 pub mod experiments;
@@ -60,8 +63,10 @@ pub mod pool;
 pub mod session;
 pub mod system;
 
+pub use audit::ConservationAuditor;
 pub use checkpoint::Checkpoint;
 pub use config::{PredictorKind, SystemConfig, WorkloadKind};
+pub use faults::{FaultHooks, FaultKind, FaultPlan};
 pub use metrics::{geomean, speedup, Average};
 pub use session::{RunOutput, Session};
 pub use system::{RunStats, System};

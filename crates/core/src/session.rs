@@ -24,6 +24,7 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::faults::FaultPlan;
 use crate::system::{RunStats, System};
 use critmem_common::{RequestObserver, SimError};
 use critmem_sched::SchedulerKind;
@@ -53,6 +54,7 @@ pub struct Session<O: RequestObserver = ()> {
     observer: O,
     checkpoint_at: Option<u64>,
     restore: Option<Checkpoint>,
+    fault: Option<FaultPlan>,
 }
 
 impl Session<()> {
@@ -64,6 +66,7 @@ impl Session<()> {
             observer: (),
             checkpoint_at: None,
             restore: None,
+            fault: None,
         }
     }
 
@@ -94,6 +97,7 @@ impl<O: RequestObserver> Session<O> {
             observer,
             checkpoint_at: self.checkpoint_at,
             restore: self.restore,
+            fault: self.fault,
         }
     }
 
@@ -150,6 +154,29 @@ impl<O: RequestObserver> Session<O> {
         self
     }
 
+    /// Enables (or disables) the independent run auditors
+    /// ([`SystemConfig::audit`]): a shadow protocol auditor per DRAM
+    /// channel plus a request-conservation auditor at the
+    /// L2↔controller boundary. Audited runs export byte-identical
+    /// statistics; a violation surfaces as a typed
+    /// [`SimError::AuditViolation`] from [`Session::run`].
+    #[must_use]
+    pub fn audit(mut self, on: bool) -> Self {
+        self.cfg.audit = on;
+        self
+    }
+
+    /// Arms a deterministic [`FaultPlan`]: its live faults inject at
+    /// their component boundaries during the run (artifact faults in
+    /// the plan are ignored here — they target serialized bytes, not a
+    /// live system). Pair with [`Session::audit`] so every injected
+    /// fault is *detected* rather than silently absorbed.
+    #[must_use]
+    pub fn fault(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
     /// Builds the system (restoring the attached checkpoint, if any)
     /// ready to drive.
     fn build(self) -> Result<(System<O>, WorkloadKind, Option<u64>), SimError> {
@@ -159,10 +186,14 @@ impl<O: RequestObserver> Session<O> {
             observer,
             checkpoint_at,
             restore,
+            fault,
         } = self;
         let mut sys = System::try_with_observer(cfg, &workload, observer)?;
         if let Some(ckpt) = &restore {
             ckpt.restore_into(&mut sys, &workload)?;
+        }
+        if let Some(plan) = &fault {
+            sys.arm_faults(plan);
         }
         Ok((sys, workload, checkpoint_at))
     }

@@ -2,12 +2,15 @@
 //! lock-step under the CPU clock with the DRAM channels ticking on the
 //! divided bus clock.
 
+use crate::audit::ConservationAuditor;
 use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::faults::{FaultKind, FaultPlan};
 use critmem_cache::CacheHierarchy;
 use critmem_common::codec::{ByteReader, ByteWriter, CodecError};
 use critmem_common::{
-    ClockDivider, CoreId, CpuCycle, Criticality, MetricVisitor, Observable, RequestObserver,
-    Sampler, Schema, SeriesSet, ShardPool, SimError, Snapshot, WatchdogReason, WatchdogSnapshot,
+    AccessKind, BankId, ClockDivider, CoreId, CpuCycle, Criticality, MemRequest, MetricVisitor,
+    Observable, RankId, RequestObserver, Sampler, Schema, SeriesSet, ShardPool, SimError, Snapshot,
+    WatchdogReason, WatchdogSnapshot,
 };
 use critmem_cpu::{
     CbpPredictor, ClptPredictor, Core, CoreStats, InstrSource, LoadCriticalityPredictor,
@@ -201,6 +204,57 @@ struct ForwardMsg {
     core: CoreId,
 }
 
+/// A [`FaultKind::WedgeBank`] waiting for its trigger cycle.
+#[derive(Debug)]
+struct ArmedWedge {
+    channel: usize,
+    rank: RankId,
+    bank: BankId,
+    at: CpuCycle,
+    fired: bool,
+}
+
+/// A [`FaultKind::CorruptSchedulerDecision`] waiting for its trigger
+/// cycle.
+#[derive(Debug)]
+struct ArmedCorrupt {
+    channel: usize,
+    at: CpuCycle,
+    fired: bool,
+}
+
+/// Runtime state of an armed [`FaultPlan`]: counters, held-back
+/// requests, and one-shot device-fault triggers. Boxed behind an
+/// `Option` on the system so an un-faulted run pays one branch.
+#[derive(Debug, Default)]
+struct FaultState {
+    /// 1-based index of the demand read to drop.
+    drop_nth: Option<u64>,
+    /// 1-based index of the demand read to duplicate.
+    dup_nth: Option<u64>,
+    /// `(1-based index, delay in CPU cycles)` of the read to delay.
+    delay_nth: Option<(u64, u64)>,
+    /// Demand reads seen at the boundary so far.
+    reads_seen: u64,
+    /// A duplicated request waiting to be enqueued a second time.
+    dup_pending: Option<MemRequest>,
+    /// A delayed request and the cycle at which to release it.
+    delayed: Option<(MemRequest, CpuCycle)>,
+    wedges: Vec<ArmedWedge>,
+    corrupts: Vec<ArmedCorrupt>,
+}
+
+impl FaultState {
+    /// Whether any time-triggered or held-back work remains, i.e. the
+    /// per-step fault bookkeeping still has something to do.
+    fn idle(&self) -> bool {
+        self.dup_pending.is_none()
+            && self.delayed.is_none()
+            && self.wedges.iter().all(|w| w.fired)
+            && self.corrupts.iter().all(|c| c.fired)
+    }
+}
+
 /// The full simulated system.
 ///
 /// Generic over a [`RequestObserver`] attached to the LLC-miss → DRAM
@@ -226,6 +280,12 @@ pub struct System<O: RequestObserver = ()> {
     /// serially. Purely a wall-clock accelerator — never serialized,
     /// never observable in results.
     shard_pool: Option<ShardPool>,
+    /// Request-conservation auditor at the L2↔controller boundary;
+    /// `Some` exactly when [`SystemConfig::audit`] is set (the DRAM
+    /// protocol auditors are enabled alongside it).
+    conservation: Option<Box<ConservationAuditor>>,
+    /// Armed fault plan, `None` for healthy runs.
+    faults: Option<Box<FaultState>>,
     observer: O,
 }
 
@@ -391,8 +451,15 @@ impl<O: RequestObserver> System<O> {
             })
             .collect();
         let num_threads = cfg.cores;
-        let dram = DramSystem::new(cfg.dram, |ch| {
+        let mut dram = DramSystem::new(cfg.dram, |ch| {
             cfg.scheduler.build(num_threads, u64::from(ch.0))
+        });
+        let conservation = cfg.audit.then(|| {
+            dram.enable_audit();
+            // The physical occupancy ceiling: every transaction queue
+            // full plus a per-channel slack for in-flight CAS bursts.
+            let bound = cfg.dram.org.channels as usize * (cfg.dram.queue_capacity + 64);
+            Box::new(ConservationAuditor::new(bound))
         });
         let hierarchy = CacheHierarchy::new(cfg.hierarchy);
         let sampler = cfg.sample_epoch.map(|epoch| {
@@ -414,11 +481,145 @@ impl<O: RequestObserver> System<O> {
             forwards: VecDeque::new(),
             sampler,
             shard_pool,
+            conservation,
+            faults: None,
             cores,
             sources,
             cfg,
             observer,
         })
+    }
+
+    /// Arms a [`FaultPlan`]: live faults (request drops/duplicates/
+    /// delays, bank wedges, corrupted scheduler decisions) inject at
+    /// their component boundaries as the run executes. Artifact faults
+    /// in the plan ([`FaultKind::is_artifact_fault`]) do not touch the
+    /// live system and are ignored here — the campaign runner applies
+    /// them to serialized bytes directly.
+    pub fn arm_faults(&mut self, plan: &FaultPlan) {
+        let mut st = FaultState::default();
+        for fault in &plan.faults {
+            match *fault {
+                FaultKind::DropRequest { nth_read } => st.drop_nth = Some(nth_read),
+                FaultKind::DuplicateRequest { nth_read } => st.dup_nth = Some(nth_read),
+                FaultKind::DelayRequest { nth_read, delay } => {
+                    st.delay_nth = Some((nth_read, delay));
+                }
+                FaultKind::WedgeBank {
+                    channel,
+                    rank,
+                    bank,
+                    at_cycle,
+                } => st.wedges.push(ArmedWedge {
+                    channel: channel as usize,
+                    rank: RankId(rank),
+                    bank: BankId(bank),
+                    at: at_cycle,
+                    fired: false,
+                }),
+                FaultKind::CorruptSchedulerDecision { channel, at_cycle } => {
+                    st.corrupts.push(ArmedCorrupt {
+                        channel: channel as usize,
+                        at: at_cycle,
+                        fired: false,
+                    });
+                }
+                FaultKind::BitFlipTraceChunk { .. } | FaultKind::BitFlipCheckpoint { .. } => {}
+            }
+        }
+        self.faults = Some(Box::new(st));
+    }
+
+    /// Per-step fault bookkeeping: fire due device faults and retry
+    /// held-back requests. Runs before the phase-3 drain so a released
+    /// request competes for queue space like a fresh one. Skip-ahead
+    /// may overshoot a trigger cycle; the trigger then fires on the
+    /// next executed cycle (`now >= at`), which is all the detection
+    /// contract needs.
+    fn fault_step(&mut self, now: CpuCycle) {
+        let Some(f) = self.faults.as_deref_mut() else {
+            return;
+        };
+        if f.idle() {
+            return;
+        }
+        for w in &mut f.wedges {
+            if !w.fired && now >= w.at {
+                w.fired = true;
+                self.dram.wedge_bank(w.channel, w.rank, w.bank);
+            }
+        }
+        for c in &mut f.corrupts {
+            if !c.fired && now >= c.at {
+                c.fired = true;
+                self.dram.corrupt_decision(c.channel);
+            }
+        }
+        if let Some(dup) = f.dup_pending.take() {
+            match self.dram.enqueue(dup) {
+                Ok(()) => {
+                    // The phantom copy is invisible to the observer (a
+                    // trace must not record it) but not to the
+                    // conservation auditor — catching it is the point.
+                    if let Some(a) = &mut self.conservation {
+                        a.on_enqueue(dup.id, now);
+                    }
+                }
+                Err(back) => f.dup_pending = Some(back),
+            }
+        }
+        if let Some((req, release_at)) = f.delayed {
+            if release_at <= now {
+                // Queue full leaves `f.delayed` set: retry next cycle.
+                if self.dram.enqueue(req).is_ok() {
+                    f.delayed = None;
+                    if let Some(a) = &mut self.conservation {
+                        a.on_enqueue(req.id, now);
+                    }
+                    self.observer.on_enqueue(now, &req);
+                }
+            }
+        }
+    }
+
+    /// Intercepts one popped request under the armed fault plan.
+    /// Returns `true` when the request was consumed (dropped or held
+    /// back) and must not be enqueued this cycle.
+    fn fault_intercept(&mut self, req: MemRequest, now: CpuCycle) -> bool {
+        let Some(f) = self.faults.as_deref_mut() else {
+            return false;
+        };
+        if req.kind != AccessKind::Read {
+            return false; // faults target demand reads: they stall cores
+        }
+        f.reads_seen += 1;
+        let n = f.reads_seen;
+        if f.drop_nth == Some(n) {
+            return true; // silently discarded: the core never hears back
+        }
+        if f.delay_nth.is_some_and(|(nth, _)| nth == n) {
+            let delay = f.delay_nth.expect("checked above").1;
+            f.delayed = Some((req, now.saturating_add(delay)));
+            return true;
+        }
+        if f.dup_nth == Some(n) {
+            f.dup_pending = Some(req); // the copy; the original proceeds
+        }
+        false
+    }
+
+    /// The first violation any attached auditor holds, wrapped as a
+    /// typed error; `None` while the run is clean.
+    fn audit_violation_error(&mut self) -> Option<SimError> {
+        if let Some(snap) = self.dram.take_audit_violation() {
+            return Some(SimError::AuditViolation(snap));
+        }
+        if let Some(a) = &mut self.conservation {
+            if let Some(snap) = a.take_violation() {
+                return Some(SimError::AuditViolation(snap));
+            }
+        }
+        None
     }
 
     /// Current CPU cycle.
@@ -468,10 +669,22 @@ impl<O: RequestObserver> System<O> {
         }
         // 3. Drain cache-miss requests into the DRAM queues. The
         // observer sees exactly the accepted requests, stamped with the
-        // cycle of successful enqueue.
+        // cycle of successful enqueue. An armed fault plan intercepts
+        // here — this is the boundary the conservation auditor watches.
+        if self.faults.is_some() {
+            self.fault_step(now);
+        }
         while let Some(req) = self.hierarchy.pop_request(now) {
+            if self.faults.is_some() && self.fault_intercept(req, now) {
+                continue;
+            }
             match self.dram.enqueue(req) {
-                Ok(()) => self.observer.on_enqueue(now, &req),
+                Ok(()) => {
+                    if let Some(a) = &mut self.conservation {
+                        a.on_enqueue(req.id, now);
+                    }
+                    self.observer.on_enqueue(now, &req);
+                }
                 Err(back) => {
                     self.hierarchy.unpop_request(back);
                     break;
@@ -487,6 +700,9 @@ impl<O: RequestObserver> System<O> {
                 None => self.dram.tick(),
             };
             for done in completions {
+                if let Some(a) = &mut self.conservation {
+                    a.on_complete(done.req.id, now);
+                }
                 for c in self.hierarchy.dram_completed(&done.req, now) {
                     self.cores[c.core.index()].mem_completed(c.token.0, c.done);
                 }
@@ -642,6 +858,24 @@ impl<O: RequestObserver> System<O> {
                 }
             }
             self.step();
+            // Poll the auditors every iteration (audited runs only):
+            // a violation must surface at the cycle it occurred, before
+            // a faulty completion can corrupt downstream state.
+            if self.conservation.is_some() {
+                if let Some(a) = &mut self.conservation {
+                    a.check_clock(self.now);
+                }
+                if self.dram.has_audit_violation()
+                    || self
+                        .conservation
+                        .as_ref()
+                        .is_some_and(|a| a.violation().is_some())
+                {
+                    if let Some(e) = self.audit_violation_error() {
+                        return Err(e);
+                    }
+                }
+            }
             if self.now >= next_check {
                 next_check = self.now.saturating_add(wd.check_interval);
                 if wd.no_commit_cycles > 0 {
@@ -664,6 +898,18 @@ impl<O: RequestObserver> System<O> {
                         }
                     }
                 }
+            }
+        }
+        // End-of-run audit reconciliation, only at a true finish (this
+        // method also drives to intermediate checkpoint boundaries).
+        if self.conservation.is_some() && self.done() {
+            self.dram.finish_audit();
+            let outstanding = self.dram.outstanding();
+            if let Some(a) = &mut self.conservation {
+                a.finish(outstanding, self.now);
+            }
+            if let Some(e) = self.audit_violation_error() {
+                return Err(e);
             }
         }
         Ok(())
@@ -800,6 +1046,14 @@ impl<O: RequestObserver> System<O> {
                 let mut sr = ByteReader::new(&block);
                 s.load_state(&mut sr)?;
             }
+        }
+        // Restored state invalidates the conservation books: requests
+        // outstanding in the snapshot were never seen enqueued here.
+        // Re-anchor at the restored cycle; pre-attach completions are
+        // ignored by design. (The DRAM-side protocol auditors re-seed
+        // themselves inside `DramSystem::load_state`.)
+        if let Some(a) = &mut self.conservation {
+            a.reset(self.now);
         }
         Ok(())
     }
@@ -1043,6 +1297,102 @@ mod tests {
             crit_ticks > 0,
             "forwarded blocks should mark queued requests"
         );
+    }
+
+    #[test]
+    fn audited_run_is_silent_and_byte_identical() {
+        let wl = WorkloadKind::Parallel("swim");
+        let plain = run(quick(1_500), &wl);
+        let audited = Session::new(quick(1_500), &wl)
+            .audit(true)
+            .run()
+            .expect("a clean run must not raise audit violations")
+            .stats;
+        let (mut wa, mut wb) = (ByteWriter::new(), ByteWriter::new());
+        plain.encode(&mut wa);
+        audited.encode(&mut wb);
+        assert_eq!(
+            wa.into_bytes(),
+            wb.into_bytes(),
+            "auditing must not perturb the run"
+        );
+    }
+
+    /// A tight watchdog for fault-detection tests: trips quickly so an
+    /// injected stall surfaces in well under a second.
+    fn faulted(instr: u64) -> SystemConfig {
+        let mut cfg = quick(instr);
+        cfg.watchdog.no_commit_cycles = 30_000;
+        cfg.watchdog.check_interval = 1_024;
+        cfg
+    }
+
+    #[test]
+    fn dropped_read_trips_the_watchdog() {
+        let wl = WorkloadKind::Parallel("swim");
+        let plan = crate::faults::FaultPlan::new(7)
+            .with_fault(crate::faults::FaultKind::DropRequest { nth_read: 3 });
+        let err = Session::new(faulted(1_500), &wl)
+            .audit(true)
+            .fault(plan)
+            .run()
+            .expect_err("a dropped read must never complete silently");
+        assert!(
+            matches!(err, SimError::Watchdog(_)),
+            "expected a watchdog trip, got {err}"
+        );
+    }
+
+    #[test]
+    fn duplicated_read_flags_conservation() {
+        let wl = WorkloadKind::Parallel("swim");
+        let plan = crate::faults::FaultPlan::new(7)
+            .with_fault(crate::faults::FaultKind::DuplicateRequest { nth_read: 3 });
+        let err = Session::new(faulted(1_500), &wl)
+            .audit(true)
+            .fault(plan)
+            .run()
+            .expect_err("a duplicated request must be flagged");
+        match err {
+            SimError::AuditViolation(snap) => assert_eq!(snap.auditor, "conservation"),
+            other => panic!("expected a conservation violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_decision_flags_protocol() {
+        let wl = WorkloadKind::Parallel("swim");
+        let plan = crate::faults::FaultPlan::new(7).with_fault(
+            crate::faults::FaultKind::CorruptSchedulerDecision {
+                channel: 0,
+                at_cycle: 5_000,
+            },
+        );
+        let err = Session::new(faulted(1_500), &wl)
+            .audit(true)
+            .fault(plan)
+            .run()
+            .expect_err("a rogue command must be flagged");
+        match err {
+            SimError::AuditViolation(snap) => assert_eq!(snap.auditor, "protocol"),
+            other => panic!("expected a protocol violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn delayed_read_trips_the_watchdog() {
+        let wl = WorkloadKind::Parallel("swim");
+        let plan =
+            crate::faults::FaultPlan::new(7).with_fault(crate::faults::FaultKind::DelayRequest {
+                nth_read: 3,
+                delay: 40_000_000,
+            });
+        let err = Session::new(faulted(1_500), &wl)
+            .audit(true)
+            .fault(plan)
+            .run()
+            .expect_err("a delayed read must never complete silently");
+        assert!(matches!(err, SimError::Watchdog(_)), "got {err}");
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Independent shadow-state protocol auditor.
+//!
+//! [`ProtocolAuditor`] keeps its own per-bank/per-rank command history
+//! — separate from the [`ChannelTiming`]
+//! state machine the controller schedules against — and re-derives the
+//! legality of every issued command directly from the raw timing table
+//! (tRCD/tRP/tRAS/tRC/tCCD/tRRD/tFAW/tWTR/tWR/tRTP/tRFC, data-bus
+//! occupancy, refresh-interval bounds) plus bank-state rules (ACT only
+//! on a precharged bank, CAS only on the matching open row). Because it
+//! never reads the model's `next_*` floors, a bug that corrupts them —
+//! or an injected fault that bypasses them — surfaces as a typed
+//! [`AuditSnapshot`] instead of silently skewing a figure.
+//!
+//! The auditor is deliberately *optimistic about unseen history*: every
+//! `last_*` field starts as `None`, meaning "no constraint recorded".
+//! That makes mid-run attachment (checkpoint warm-start) safe — open
+//! rows are seeded from the live state, timing floors accumulate from
+//! the first observed command — at the cost of not validating the first
+//! command of each class per bank. A clean run must produce **zero**
+//! violations; the property tests in `critmem` certify that across the
+//! whole scheduler zoo.
+
+use crate::bank::ChannelTiming;
+use crate::command::{CommandKind, DramCommand};
+use crate::timing::TimingParams;
+use critmem_common::{AuditSnapshot, DramCycle, RankId};
+
+/// Shadow history of one bank: when each command class last issued.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShadowBank {
+    open_row: Option<u32>,
+    last_act: Option<DramCycle>,
+    last_pre: Option<DramCycle>,
+    last_rd: Option<DramCycle>,
+    last_wr: Option<DramCycle>,
+}
+
+/// Shadow history of one rank: cross-bank constraints.
+#[derive(Debug, Clone, Copy, Default)]
+struct ShadowRank {
+    /// Ring of the last four ACT cycles (tFAW window).
+    faw_acts: [DramCycle; 4],
+    faw_idx: u8,
+    faw_count: u8,
+    last_act: Option<DramCycle>,
+    last_rd: Option<DramCycle>,
+    last_wr: Option<DramCycle>,
+    last_refresh: Option<DramCycle>,
+}
+
+/// An independent per-channel DDR3 protocol checker.
+///
+/// Call [`observe`](Self::observe) for every command the controller
+/// issues; the first violated invariant is captured as an
+/// [`AuditSnapshot`] (later commands are still tracked so state stays
+/// coherent, but only the first violation is reported — it is the root
+/// cause). Call [`finish`](Self::finish) at end of run for the
+/// refresh-interval liveness bound.
+#[derive(Debug, Clone)]
+pub struct ProtocolAuditor {
+    channel: u16,
+    timing: TimingParams,
+    banks: Vec<ShadowBank>,
+    ranks: Vec<ShadowRank>,
+    banks_per_rank: usize,
+    /// Channel-wide data-bus shadow: cycle the bus frees up, and which
+    /// rank last drove it (rank switches pay tRTRS).
+    bus_free: DramCycle,
+    last_data_rank: Option<RankId>,
+    /// Whether to enforce the refresh-interval upper bound (off when
+    /// the configuration disables refresh entirely).
+    check_refresh_interval: bool,
+    attach_at: DramCycle,
+    last_observed: DramCycle,
+    violation: Option<Box<AuditSnapshot>>,
+}
+
+/// How far a rank may run past its nominal tREFI before the auditor
+/// flags the refresh cadence, in multiples of tREFI. JEDEC permits
+/// postponing up to eight refresh commands; nine intervals is therefore
+/// the loosest legal gap.
+const REFRESH_SLACK: u64 = 9;
+
+impl ProtocolAuditor {
+    /// Creates an auditor for a `ranks` x `banks_per_rank` channel with
+    /// no recorded history (every constraint starts inactive).
+    pub fn new(
+        channel: u16,
+        ranks: usize,
+        banks_per_rank: usize,
+        timing: TimingParams,
+        check_refresh_interval: bool,
+    ) -> Self {
+        ProtocolAuditor {
+            channel,
+            timing,
+            banks: vec![ShadowBank::default(); ranks * banks_per_rank],
+            ranks: vec![ShadowRank::default(); ranks],
+            banks_per_rank,
+            bus_free: 0,
+            last_data_rank: None,
+            check_refresh_interval,
+            attach_at: 0,
+            last_observed: 0,
+            violation: None,
+        }
+    }
+
+    /// Seeds the shadow open-row state from the live timing state and
+    /// records the attach cycle. Required when attaching mid-run (e.g.
+    /// after a checkpoint restore): CAS/PRE legality depends on which
+    /// rows are open *now*, which no future command reveals.
+    pub fn attach(&mut self, live: &ChannelTiming, now: DramCycle) {
+        for (rank, bank, b) in live.banks() {
+            let i = rank.index() * self.banks_per_rank + bank.index();
+            self.banks[i].open_row = b.open_row;
+        }
+        self.attach_at = now;
+        self.last_observed = now;
+    }
+
+    /// The first violation recorded, if any.
+    pub fn violation(&self) -> Option<&AuditSnapshot> {
+        self.violation.as_deref()
+    }
+
+    /// Removes and returns the first recorded violation.
+    pub fn take_violation(&mut self) -> Option<Box<AuditSnapshot>> {
+        self.violation.take()
+    }
+
+    fn flag(&mut self, now: DramCycle, what: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Box::new(AuditSnapshot {
+                auditor: "protocol",
+                what,
+                cycle: now,
+                channel: Some(self.channel),
+            }));
+        }
+    }
+
+    /// Checks `now >= since + gap` for an optional history point.
+    fn check_gap(&mut self, now: DramCycle, since: Option<DramCycle>, gap: u64, what: &str) {
+        if let Some(s) = since {
+            let floor = s.saturating_add(gap);
+            if now < floor {
+                self.flag(
+                    now,
+                    format!("{what}: issued at {now}, earliest legal {floor} (prev {s})"),
+                );
+            }
+        }
+    }
+
+    /// Validates and records one issued command.
+    pub fn observe(&mut self, cmd: &DramCommand, now: DramCycle) {
+        if now < self.last_observed {
+            self.flag(
+                now,
+                format!(
+                    "clock ran backwards: observed cycle {now} after {}",
+                    self.last_observed
+                ),
+            );
+        }
+        self.last_observed = self.last_observed.max(now);
+        let t = self.timing;
+        let bl = t.burst_cycles();
+        let r = cmd.rank.index();
+        let bi = r * self.banks_per_rank + cmd.bank.index();
+        match cmd.kind {
+            CommandKind::Activate => {
+                if let Some(row) = self.banks[bi].open_row {
+                    self.flag(
+                        now,
+                        format!(
+                            "ACT to rank {r} bank {} with row {row} already open",
+                            cmd.bank.index()
+                        ),
+                    );
+                }
+                let b = self.banks[bi];
+                let rk = self.ranks[r];
+                self.check_gap(now, b.last_act, t.t_rc, "tRC (ACT-to-ACT, same bank)");
+                self.check_gap(now, b.last_pre, t.t_rp, "tRP (PRE-to-ACT)");
+                self.check_gap(now, rk.last_act, t.t_rrd, "tRRD (ACT-to-ACT, same rank)");
+                self.check_gap(now, rk.last_refresh, t.t_rfc, "tRFC (REF-to-ACT)");
+                if t.t_faw > 0 && rk.faw_count >= 4 {
+                    let oldest = rk.faw_acts[rk.faw_idx as usize];
+                    if now < oldest + t.t_faw {
+                        self.flag(
+                            now,
+                            format!(
+                                "tFAW: fifth ACT to rank {r} at {now}, window opened at {oldest}, \
+                                 earliest legal {}",
+                                oldest + t.t_faw
+                            ),
+                        );
+                    }
+                }
+                let rk = &mut self.ranks[r];
+                rk.faw_acts[rk.faw_idx as usize] = now;
+                rk.faw_idx = (rk.faw_idx + 1) % 4;
+                rk.faw_count = (rk.faw_count + 1).min(4);
+                rk.last_act = Some(now);
+                let b = &mut self.banks[bi];
+                b.open_row = Some(cmd.row);
+                b.last_act = Some(now);
+            }
+            CommandKind::Precharge => {
+                if self.banks[bi].open_row.is_none() {
+                    self.flag(
+                        now,
+                        format!(
+                            "PRE to rank {r} bank {} which is already precharged",
+                            cmd.bank.index()
+                        ),
+                    );
+                }
+                let b = self.banks[bi];
+                self.check_gap(now, b.last_act, t.t_ras, "tRAS (ACT-to-PRE)");
+                self.check_gap(now, b.last_rd, t.t_rtp, "tRTP (RD-to-PRE)");
+                self.check_gap(now, b.last_wr, t.t_wl + bl + t.t_wr, "tWR (WR-to-PRE)");
+                let b = &mut self.banks[bi];
+                b.open_row = None;
+                b.last_pre = Some(now);
+            }
+            CommandKind::Read | CommandKind::Write => {
+                if self.banks[bi].open_row != Some(cmd.row) {
+                    self.flag(
+                        now,
+                        format!(
+                            "{:?} to rank {r} bank {} row {}, but open row is {:?}",
+                            cmd.kind,
+                            cmd.bank.index(),
+                            cmd.row,
+                            self.banks[bi].open_row
+                        ),
+                    );
+                }
+                let b = self.banks[bi];
+                let rk = self.ranks[r];
+                self.check_gap(now, b.last_act, t.t_rcd, "tRCD (ACT-to-CAS)");
+                if cmd.kind == CommandKind::Read {
+                    self.check_gap(now, rk.last_rd, t.t_ccd, "tCCD (RD-to-RD, same rank)");
+                    self.check_gap(
+                        now,
+                        rk.last_wr,
+                        t.t_wl + bl + t.t_wtr,
+                        "tWTR (WR-to-RD, same rank)",
+                    );
+                } else {
+                    self.check_gap(now, rk.last_wr, t.t_ccd, "tCCD (WR-to-WR, same rank)");
+                    self.check_gap(
+                        now,
+                        rk.last_rd,
+                        (t.t_cl + bl + t.t_rtrs).saturating_sub(t.t_wl),
+                        "RD-to-WR turnaround (same rank)",
+                    );
+                }
+                // Shared data bus: the burst must start after the bus
+                // frees (plus tRTRS on a rank switch) and then owns it.
+                let data_lat = if cmd.kind == CommandKind::Read {
+                    t.t_cl
+                } else {
+                    t.t_wl
+                };
+                let mut bus_ready = self.bus_free;
+                if let Some(last) = self.last_data_rank {
+                    if last != cmd.rank {
+                        bus_ready += t.t_rtrs;
+                    }
+                }
+                let data_start = now + data_lat;
+                if data_start < bus_ready {
+                    self.flag(
+                        now,
+                        format!(
+                            "data-bus overlap: burst starts at {data_start}, bus busy until {bus_ready}"
+                        ),
+                    );
+                }
+                self.bus_free = self.bus_free.max(data_start + bl);
+                self.last_data_rank = Some(cmd.rank);
+                let rk = &mut self.ranks[r];
+                if cmd.kind == CommandKind::Read {
+                    rk.last_rd = Some(now);
+                    self.banks[bi].last_rd = Some(now);
+                } else {
+                    rk.last_wr = Some(now);
+                    self.banks[bi].last_wr = Some(now);
+                }
+            }
+            CommandKind::Refresh => {
+                let base = r * self.banks_per_rank;
+                for (j, b) in self.banks[base..base + self.banks_per_rank]
+                    .iter()
+                    .enumerate()
+                {
+                    if let Some(row) = b.open_row {
+                        self.flag(
+                            now,
+                            format!("REF to rank {r} with bank {j} open (row {row})"),
+                        );
+                        break;
+                    }
+                }
+                for j in 0..self.banks_per_rank {
+                    let b = self.banks[base + j];
+                    self.check_gap(now, b.last_pre, t.t_rp, "tRP (PRE-to-REF)");
+                    self.check_gap(now, b.last_act, t.t_rc, "tRC (ACT-to-REF)");
+                }
+                let rk = self.ranks[r];
+                self.check_gap(now, rk.last_refresh, t.t_rfc, "tRFC (REF-to-REF)");
+                if self.check_refresh_interval {
+                    let since = rk.last_refresh.unwrap_or(self.attach_at);
+                    let bound = REFRESH_SLACK * t.t_refi;
+                    if now.saturating_sub(since) > bound {
+                        self.flag(
+                            now,
+                            format!(
+                                "refresh interval exceeded on rank {r}: {} cycles since last REF \
+                                 (bound {bound})",
+                                now - since
+                            ),
+                        );
+                    }
+                }
+                self.ranks[r].last_refresh = Some(now);
+            }
+        }
+    }
+
+    /// End-of-run liveness check: every rank must have refreshed
+    /// recently enough (within nine tREFI intervals, the loosest gap
+    /// JEDEC's postponement rule permits) when refresh is enabled and
+    /// the run lasted long enough to require it.
+    pub fn finish(&mut self, now: DramCycle) {
+        if !self.check_refresh_interval {
+            return;
+        }
+        let bound = REFRESH_SLACK * self.timing.t_refi;
+        for r in 0..self.ranks.len() {
+            let since = self.ranks[r].last_refresh.unwrap_or(self.attach_at);
+            if now.saturating_sub(since) > bound {
+                self.flag(
+                    now,
+                    format!(
+                        "refresh overdue on rank {r}: {} cycles since last REF (bound {bound})",
+                        now - since
+                    ),
+                );
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::DDR3_2133;
+    use critmem_common::BankId;
+
+    fn auditor() -> ProtocolAuditor {
+        ProtocolAuditor::new(0, 4, 8, DDR3_2133.timing, true)
+    }
+
+    fn cmd(kind: CommandKind, rank: u8, bank: u8, row: u32) -> DramCommand {
+        DramCommand {
+            kind,
+            rank: RankId(rank),
+            bank: BankId(bank),
+            row,
+        }
+    }
+
+    #[test]
+    fn legal_sequence_is_silent() {
+        let t = DDR3_2133.timing;
+        let mut a = auditor();
+        a.observe(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        a.observe(&cmd(CommandKind::Read, 0, 0, 5), t.t_rcd);
+        a.observe(&cmd(CommandKind::Precharge, 0, 0, 0), t.t_ras);
+        a.observe(&cmd(CommandKind::Activate, 0, 0, 6), t.t_rc);
+        assert!(a.violation().is_none(), "{:?}", a.violation());
+    }
+
+    #[test]
+    fn act_on_open_bank_is_flagged() {
+        let mut a = auditor();
+        a.observe(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        a.observe(&cmd(CommandKind::Activate, 0, 0, 6), 1_000);
+        let v = a.violation().expect("expected a violation");
+        assert!(v.what.contains("already open"), "{}", v.what);
+        assert_eq!(v.channel, Some(0));
+    }
+
+    #[test]
+    fn early_cas_violates_trcd() {
+        let mut a = auditor();
+        a.observe(&cmd(CommandKind::Activate, 0, 0, 5), 100);
+        a.observe(&cmd(CommandKind::Read, 0, 0, 5), 101);
+        let v = a.violation().expect("expected a violation");
+        assert!(v.what.contains("tRCD"), "{}", v.what);
+    }
+
+    #[test]
+    fn cas_to_wrong_row_is_flagged() {
+        let t = DDR3_2133.timing;
+        let mut a = auditor();
+        a.observe(&cmd(CommandKind::Activate, 0, 0, 5), 0);
+        a.observe(&cmd(CommandKind::Read, 0, 0, 9), t.t_rcd);
+        let v = a.violation().expect("expected a violation");
+        assert!(v.what.contains("open row"), "{}", v.what);
+    }
+
+    #[test]
+    fn fifth_act_in_faw_window_is_flagged() {
+        let t = DDR3_2133.timing;
+        let mut a = auditor();
+        for b in 0..4u8 {
+            a.observe(&cmd(CommandKind::Activate, 0, b, 1), b as u64 * t.t_rrd);
+        }
+        a.observe(&cmd(CommandKind::Activate, 0, 4, 1), 4 * t.t_rrd);
+        let v = a.violation().expect("expected a violation");
+        assert!(v.what.contains("tFAW"), "{}", v.what);
+    }
+
+    #[test]
+    fn only_first_violation_is_kept() {
+        let mut a = auditor();
+        a.observe(&cmd(CommandKind::Read, 0, 0, 5), 0); // no open row
+        a.observe(&cmd(CommandKind::Precharge, 0, 1, 0), 1); // also illegal
+        let v = a.violation().expect("expected a violation");
+        assert!(v.what.contains("Read"), "{}", v.what);
+    }
+
+    #[test]
+    fn finish_flags_overdue_refresh() {
+        let t = DDR3_2133.timing;
+        let mut a = auditor();
+        a.finish(100 * t.t_refi);
+        assert!(a.violation().is_some());
+        let mut quiet = ProtocolAuditor::new(0, 4, 8, t, false);
+        quiet.finish(100 * t.t_refi);
+        assert!(quiet.violation().is_none());
+    }
+
+    #[test]
+    fn backwards_clock_is_flagged() {
+        let t = DDR3_2133.timing;
+        let mut a = auditor();
+        a.observe(&cmd(CommandKind::Activate, 0, 0, 5), 500);
+        a.observe(&cmd(CommandKind::Read, 0, 0, 5), 500 + t.t_rcd);
+        a.observe(&cmd(CommandKind::Precharge, 0, 0, 0), 400);
+        let v = a.violation().expect("expected a violation");
+        assert!(v.what.contains("backwards"), "{}", v.what);
+    }
+}

@@ -55,6 +55,12 @@ pub struct ChannelTiming {
     refresh_due: Vec<DramCycle>,
     /// Per-rank: refresh currently wanted (due and not yet issued).
     refresh_pending: Vec<bool>,
+    /// Per-rank ring of the last four ACT cycles (tFAW rolling window).
+    faw_acts: Vec<[DramCycle; 4]>,
+    /// Per-rank write cursor into `faw_acts`.
+    faw_idx: Vec<u8>,
+    /// Per-rank count of recorded ACTs, saturating at 4.
+    faw_count: Vec<u8>,
 }
 
 impl ChannelTiming {
@@ -70,6 +76,9 @@ impl ChannelTiming {
                 .map(|r| timing.t_refi + (r as u64 * timing.t_refi / ranks.max(1) as u64))
                 .collect(),
             refresh_pending: vec![false; ranks],
+            faw_acts: vec![[0; 4]; ranks],
+            faw_idx: vec![0; ranks],
+            faw_count: vec![0; ranks],
         }
     }
 
@@ -178,6 +187,15 @@ impl ChannelTiming {
             self.earliest_issue(cmd).map(|e| e <= now).unwrap_or(false),
             "illegal command {cmd:?} at cycle {now}"
         );
+        self.issue_unchecked(cmd, now);
+    }
+
+    /// Applies `cmd`'s state updates without the legality
+    /// `debug_assert`. Exists solely so fault injection
+    /// (`CorruptSchedulerDecision`) can feed the model an illegal
+    /// command and let the *auditor* catch it as a typed error instead
+    /// of a debug-build panic; normal code paths use [`Self::issue`].
+    pub(crate) fn issue_unchecked(&mut self, cmd: &DramCommand, now: DramCycle) {
         let t = self.timing;
         let bl = t.burst_cycles();
         let rank_base = cmd.rank.index() * self.banks_per_rank;
@@ -195,6 +213,30 @@ impl ChannelTiming {
                     if i != idx {
                         let s = &mut self.banks[i];
                         s.next_act = s.next_act.max(now + t.t_rrd);
+                    }
+                }
+                // tFAW rolling window: once four ACTs have hit this
+                // rank, the fifth may not issue before the oldest of
+                // the four + tFAW. Folding the floor into next_act
+                // keeps candidate generation and skip-ahead horizons
+                // consistent without a separate check.
+                if t.t_faw > 0 {
+                    let r = cmd.rank.index();
+                    let cursor = self.faw_idx[r] as usize;
+                    self.faw_acts[r][cursor] = now;
+                    self.faw_idx[r] = ((cursor + 1) % 4) as u8;
+                    if self.faw_count[r] < 4 {
+                        self.faw_count[r] += 1;
+                    }
+                    if self.faw_count[r] == 4 {
+                        // The slot the cursor now points at holds the
+                        // oldest of the last four ACTs.
+                        let oldest = self.faw_acts[r][self.faw_idx[r] as usize];
+                        let floor = oldest + t.t_faw;
+                        for i in rank_base..rank_base + self.banks_per_rank {
+                            let s = &mut self.banks[i];
+                            s.next_act = s.next_act.max(floor);
+                        }
                     }
                 }
             }
@@ -326,6 +368,19 @@ impl ChannelTiming {
             _ => panic!("cas_done_at called for non-CAS command"),
         }
     }
+
+    /// Freezes one bank: every per-command floor is pushed to the end
+    /// of time, so no command ever becomes issuable to it again. This
+    /// is the `WedgeBank` fault-injection seam — requests queued for
+    /// the bank starve and the forward-progress watchdog must trip.
+    pub fn wedge_bank(&mut self, rank: RankId, bank: critmem_common::BankId) {
+        let i = self.bank_index(rank, bank);
+        let b = &mut self.banks[i];
+        b.next_act = DramCycle::MAX;
+        b.next_pre = DramCycle::MAX;
+        b.next_rd = DramCycle::MAX;
+        b.next_wr = DramCycle::MAX;
+    }
 }
 
 impl critmem_common::Snapshot for ChannelTiming {
@@ -356,6 +411,11 @@ impl critmem_common::Snapshot for ChannelTiming {
         w.put_u32(self.refresh_pending.len() as u32);
         for &p in &self.refresh_pending {
             w.put_bool(p);
+        }
+        for (r, ring) in self.faw_acts.iter().enumerate() {
+            w.put_u64_seq(ring);
+            w.put_u8(self.faw_idx[r]);
+            w.put_u8(self.faw_count[r]);
         }
     }
 
@@ -402,6 +462,18 @@ impl critmem_common::Snapshot for ChannelTiming {
         self.refresh_due = due;
         for p in &mut self.refresh_pending {
             *p = r.get_bool()?;
+        }
+        for rank in 0..self.faw_acts.len() {
+            let ring = r.get_u64_seq()?;
+            if ring.len() != 4 {
+                return Err(critmem_common::codec::CodecError {
+                    message: format!("tFAW ring holds {} entries, expected 4", ring.len()),
+                    offset: r.position(),
+                });
+            }
+            self.faw_acts[rank].copy_from_slice(&ring);
+            self.faw_idx[rank] = r.get_u8()?;
+            self.faw_count[rank] = r.get_u8()?;
         }
         Ok(())
     }
@@ -607,5 +679,88 @@ mod tests {
             ct.earliest_issue(&cmd(CommandKind::Precharge, 0, 0, 0)),
             None
         );
+    }
+
+    #[test]
+    fn tfaw_blocks_fifth_activate_in_window() {
+        let t = timing();
+        let mut ct = ChannelTiming::new(1, 8, t);
+        // Four ACTs to distinct banks at the minimum tRRD spacing.
+        for b in 0..4u8 {
+            ct.issue(&cmd(CommandKind::Activate, 0, b, 1), b as u64 * t.t_rrd);
+        }
+        // The fifth ACT is tFAW-bound: oldest ACT was at 0, so the
+        // floor is tFAW, which exceeds the tRRD chain (4*tRRD).
+        let e = ct
+            .earliest_issue(&cmd(CommandKind::Activate, 0, 4, 1))
+            .unwrap();
+        assert_eq!(e, t.t_faw);
+        assert!(e > 4 * t.t_rrd);
+    }
+
+    #[test]
+    fn tfaw_window_slides() {
+        let t = timing();
+        let mut ct = ChannelTiming::new(1, 8, t);
+        for b in 0..4u8 {
+            ct.issue(&cmd(CommandKind::Activate, 0, b, 1), b as u64 * t.t_rrd);
+        }
+        ct.issue(&cmd(CommandKind::Activate, 0, 4, 1), t.t_faw);
+        // Sixth ACT: oldest in the window is now the ACT at tRRD.
+        let e = ct
+            .earliest_issue(&cmd(CommandKind::Activate, 0, 5, 1))
+            .unwrap();
+        assert_eq!(e, t.t_rrd + t.t_faw);
+    }
+
+    #[test]
+    fn tfaw_does_not_cross_ranks() {
+        let t = timing();
+        let mut ct = ChannelTiming::new(2, 8, t);
+        for b in 0..4u8 {
+            ct.issue(&cmd(CommandKind::Activate, 0, b, 1), b as u64 * t.t_rrd);
+        }
+        // A different rank is free of rank 0's window.
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Activate, 1, 0, 1)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn wedged_bank_never_accepts_commands() {
+        let mut ct = ChannelTiming::new(1, 8, timing());
+        ct.wedge_bank(RankId(0), BankId(0));
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Activate, 0, 0, 1)),
+            Some(DramCycle::MAX)
+        );
+        // Sibling banks are unaffected.
+        assert_eq!(
+            ct.earliest_issue(&cmd(CommandKind::Activate, 0, 1, 1)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrips_tfaw_state() {
+        use critmem_common::Snapshot as _;
+        let t = timing();
+        let mut ct = ChannelTiming::new(2, 8, t);
+        for b in 0..4u8 {
+            ct.issue(&cmd(CommandKind::Activate, 0, b, 1), b as u64 * t.t_rrd);
+        }
+        let mut w = critmem_common::codec::ByteWriter::new();
+        ct.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut fresh = ChannelTiming::new(2, 8, t);
+        let mut r = critmem_common::codec::ByteReader::new(&bytes);
+        fresh.load_state(&mut r).unwrap();
+        assert_eq!(
+            fresh.earliest_issue(&cmd(CommandKind::Activate, 0, 4, 1)),
+            ct.earliest_issue(&cmd(CommandKind::Activate, 0, 4, 1))
+        );
+        assert_eq!(fresh.faw_count, ct.faw_count);
+        assert_eq!(fresh.faw_acts, ct.faw_acts);
     }
 }

@@ -8,6 +8,7 @@
 //! machinery lives in the scheduler and in the annotation carried by
 //! each transaction.
 
+use crate::audit::ProtocolAuditor;
 use crate::bank::ChannelTiming;
 use crate::command::{CommandKind, DramCommand};
 use crate::config::DramConfig;
@@ -15,7 +16,7 @@ use crate::mapping::DramLocation;
 use crate::queue::{Direction, Transaction};
 use crate::scheduler::{Candidate, CommandScheduler, SchedContext};
 use critmem_common::{
-    ChannelId, DramCycle, MemRequest, MetricVisitor, Observable, RankId, Snapshot,
+    AuditSnapshot, ChannelId, DramCycle, MemRequest, MetricVisitor, Observable, RankId, Snapshot,
 };
 use std::cmp::Reverse;
 
@@ -268,6 +269,9 @@ pub struct ChannelController {
     open_row_wanted: Vec<bool>,
     starved_bank: Vec<bool>,
     bus_floor: Vec<DramCycle>,
+    /// Shadow protocol auditor (`None` when auditing is off — the hot
+    /// path pays one branch and the zero-allocation guarantee holds).
+    audit: Option<Box<ProtocolAuditor>>,
 }
 
 impl std::fmt::Debug for ChannelController {
@@ -312,7 +316,87 @@ impl ChannelController {
             open_row_wanted: vec![false; nbanks],
             starved_bank: vec![false; nbanks],
             bus_floor: Vec::with_capacity(nbanks),
+            audit: None,
         }
+    }
+
+    /// Attaches a fresh shadow protocol auditor, seeded from the live
+    /// bank state at the current cycle. Every subsequently issued
+    /// command is independently re-validated against the timing table;
+    /// the first violation is held until [`Self::take_audit_violation`].
+    pub fn enable_audit(&mut self) {
+        let mut a = Box::new(ProtocolAuditor::new(
+            u16::from(self.channel.0),
+            self.timing.ranks(),
+            self.timing.banks_per_rank(),
+            *self.timing.timing(),
+            self.cfg.refresh_enabled,
+        ));
+        a.attach(&self.timing, self.now);
+        self.audit = Some(a);
+    }
+
+    /// Whether a shadow auditor is attached.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// The auditor's first recorded violation, if any.
+    pub fn audit_violation(&self) -> Option<&AuditSnapshot> {
+        self.audit.as_ref().and_then(|a| a.violation())
+    }
+
+    /// Removes and returns the auditor's first recorded violation.
+    pub fn take_audit_violation(&mut self) -> Option<Box<AuditSnapshot>> {
+        self.audit.as_mut().and_then(|a| a.take_violation())
+    }
+
+    /// Runs the auditor's end-of-run checks (refresh-interval bounds).
+    pub fn finish_audit(&mut self) {
+        let now = self.now;
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.finish(now);
+        }
+    }
+
+    /// Transactions the channel currently owns: queued plus in-flight
+    /// CAS bursts. The conservation auditor reconciles this against its
+    /// own request accounting.
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + self.inflight_txns.len()
+    }
+
+    /// Fault-injection seam (`WedgeBank`): freezes one bank so no
+    /// command ever becomes issuable to it again. Requests queued for
+    /// it starve; the forward-progress watchdog must trip.
+    pub fn wedge_bank(&mut self, rank: RankId, bank: critmem_common::BankId) {
+        self.timing.wedge_bank(rank, bank);
+        self.no_cand_until = 0;
+    }
+
+    /// Fault-injection seam (`CorruptSchedulerDecision`): mutates the
+    /// bank timing state with a rogue pair of back-to-back ACTs to rank
+    /// 0 bank 0 in the same cycle — the second lands on the bank the
+    /// first just opened, which no legal scheduler decision can
+    /// produce. The model's own assertions are bypassed on purpose:
+    /// without the auditor this silently perturbs timing (exactly the
+    /// corruption class the audit exists to catch); with it, the
+    /// violation surfaces as a typed error.
+    pub fn corrupt_decision(&mut self) {
+        let now = self.now;
+        for row in [1, 2] {
+            let cmd = DramCommand {
+                kind: CommandKind::Activate,
+                rank: RankId(0),
+                bank: critmem_common::BankId(0),
+                row,
+            };
+            if let Some(a) = self.audit.as_deref_mut() {
+                a.observe(&cmd, now);
+            }
+            self.timing.issue_unchecked(&cmd, now);
+        }
+        self.no_cand_until = 0;
     }
 
     /// Current DRAM cycle.
@@ -722,6 +806,9 @@ impl ChannelController {
             };
             if let Some(t) = self.timing.earliest_issue(&refresh) {
                 if t <= now {
+                    if let Some(a) = self.audit.as_deref_mut() {
+                        a.observe(&refresh, now);
+                    }
                     self.timing.issue(&refresh, now);
                     self.stats.refreshes += 1;
                     return true;
@@ -743,6 +830,9 @@ impl ChannelController {
                 };
                 if let Some(t) = self.timing.earliest_issue(&pre) {
                     if t <= now {
+                        if let Some(a) = self.audit.as_deref_mut() {
+                            a.observe(&pre, now);
+                        }
                         self.timing.issue(&pre, now);
                         return true;
                     }
@@ -878,6 +968,9 @@ impl ChannelController {
     fn issue_candidate(&mut self, cand: Candidate) {
         let now = self.now;
         self.no_cand_until = 0;
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.observe(&cand.cmd, now);
+        }
         self.timing.issue(&cand.cmd, now);
         match cand.cmd.kind {
             CommandKind::Activate => {
@@ -1058,6 +1151,12 @@ impl ChannelController {
         if load_scheduler {
             let mut sr = critmem_common::codec::ByteReader::new(&sched);
             self.scheduler.load_state(&mut sr)?;
+        }
+        // Shadow history does not survive a restore either: re-seed
+        // from the freshly loaded bank state (open rows; timing floors
+        // re-accumulate from the first observed command).
+        if self.audit.is_some() {
+            self.enable_audit();
         }
         Ok(())
     }

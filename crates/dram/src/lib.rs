@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod bank;
 pub mod command;
 pub mod config;
@@ -40,6 +41,7 @@ pub mod queue;
 pub mod scheduler;
 pub mod timing;
 
+pub use audit::ProtocolAuditor;
 pub use bank::{Bank, ChannelTiming};
 pub use command::{CommandKind, DramCommand};
 pub use config::{DramConfig, DramOrganization};
@@ -273,6 +275,61 @@ impl DramSystem {
             c.bank_queue_snapshot(&mut out);
         }
         out
+    }
+
+    /// Attaches a shadow protocol auditor to every channel (see
+    /// [`ChannelController::enable_audit`]).
+    pub fn enable_audit(&mut self) {
+        for c in &mut self.controllers {
+            c.enable_audit();
+        }
+    }
+
+    /// The first protocol violation recorded on any channel, removed
+    /// from its auditor. `None` while the run is clean.
+    pub fn take_audit_violation(&mut self) -> Option<Box<critmem_common::AuditSnapshot>> {
+        self.controllers
+            .iter_mut()
+            .find_map(|c| c.take_audit_violation())
+    }
+
+    /// Whether any channel's auditor holds a violation (non-destructive
+    /// poll; cheap enough for the drive loop to call every iteration).
+    pub fn has_audit_violation(&self) -> bool {
+        self.controllers
+            .iter()
+            .any(|c| c.audit_violation().is_some())
+    }
+
+    /// Runs every channel auditor's end-of-run checks.
+    pub fn finish_audit(&mut self) {
+        for c in &mut self.controllers {
+            c.finish_audit();
+        }
+    }
+
+    /// Transactions the DRAM subsystem currently owns (queued plus
+    /// in-flight CAS bursts), summed over channels. The conservation
+    /// auditor reconciles this against its request accounting.
+    pub fn outstanding(&self) -> usize {
+        self.controllers.iter().map(|c| c.outstanding()).sum()
+    }
+
+    /// Fault-injection seam: freezes one bank of one channel (see
+    /// [`ChannelController::wedge_bank`]).
+    pub fn wedge_bank(
+        &mut self,
+        channel: usize,
+        rank: critmem_common::RankId,
+        bank: critmem_common::BankId,
+    ) {
+        self.controllers[channel].wedge_bank(rank, bank);
+    }
+
+    /// Fault-injection seam: feeds one channel a rogue illegal command
+    /// pair (see [`ChannelController::corrupt_decision`]).
+    pub fn corrupt_decision(&mut self, channel: usize) {
+        self.controllers[channel].corrupt_decision();
     }
 
     /// Swaps every channel's scheduler for a freshly built one,

@@ -30,6 +30,9 @@ pub struct TimingParams {
     pub t_rp: u64,
     /// ACT to ACT, different banks of the same rank.
     pub t_rrd: u64,
+    /// Four-activate window: at most four ACTs to one rank within this
+    /// many cycles (rolling window). `0` disables the constraint.
+    pub t_faw: u64,
     /// Rank-to-rank data-bus switch penalty.
     pub t_rtrs: u64,
     /// ACT to PRECHARGE (row active time).
@@ -78,6 +81,15 @@ impl TimingParams {
                 self.t_refi, self.t_rfc
             ));
         }
+        if self.t_faw != 0 && self.t_faw < self.t_rrd * 3 {
+            // Four ACTs spaced at tRRD already span 3*tRRD; a shorter
+            // tFAW would never bind and almost certainly a typo.
+            return Err(format!(
+                "tFAW ({}) must be 0 or >= 3*tRRD ({})",
+                self.t_faw,
+                self.t_rrd * 3
+            ));
+        }
         for (name, v) in [
             ("tRCD", self.t_rcd),
             ("tCL", self.t_cl),
@@ -119,6 +131,8 @@ pub const DDR3_2133: DevicePreset = DevicePreset {
         t_rtp: 8,
         t_rp: 14,
         t_rrd: 6,
+        // ~40 ns four-activate window at 1,066 MHz (2 KB-page DDR3).
+        t_faw: 43,
         t_rtrs: 2,
         t_ras: 36,
         t_rc: 50,
@@ -144,6 +158,7 @@ pub const DDR3_1600: DevicePreset = DevicePreset {
         t_rtp: 6,
         t_rp: 11,
         t_rrd: 5,
+        t_faw: 32,
         t_rtrs: 2,
         t_ras: 28,
         t_rc: 39,
@@ -168,6 +183,7 @@ pub const DDR3_1066: DevicePreset = DevicePreset {
         t_rtp: 4,
         t_rp: 7,
         t_rrd: 4,
+        t_faw: 21,
         t_rtrs: 2,
         t_ras: 20,
         t_rc: 27,
@@ -213,6 +229,7 @@ mod tests {
         assert_eq!(t.t_rtp, 8);
         assert_eq!(t.t_rp, 14);
         assert_eq!(t.t_rrd, 6);
+        assert_eq!(t.t_faw, 43);
         assert_eq!(t.t_rtrs, 2);
         assert_eq!(t.t_ras, 36);
         assert_eq!(t.t_rc, 50);
@@ -247,6 +264,20 @@ mod tests {
         let mut t = DDR3_2133.timing;
         t.t_rcd = 0;
         assert!(t.validate().is_err());
+        let mut t = DDR3_2133.timing;
+        t.t_faw = t.t_rrd; // nonzero but below 3*tRRD
+        assert!(t.validate().is_err());
+        t.t_faw = 0; // disabled is fine
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn faw_window_binds_beyond_rrd_spacing() {
+        // tFAW only matters if it exceeds the span of four tRRD-spaced
+        // ACTs (3*tRRD); all presets should actually bind.
+        for p in [DDR3_2133, DDR3_1600, DDR3_1066] {
+            assert!(p.timing.t_faw > 3 * p.timing.t_rrd, "{}", p.name);
+        }
     }
 
     #[test]

@@ -114,6 +114,12 @@ pub struct ReplayConfig {
     /// Forward-progress watchdog; see the struct-level docs for how it
     /// interacts with sampling and the stop conditions.
     pub watchdog: WatchdogConfig,
+    /// Attaches the shadow protocol auditor to every DRAM channel for
+    /// the replay. Auditing never changes scheduling decisions — an
+    /// audited replay is byte-identical to an unaudited one — but a
+    /// timing or bank-state violation surfaces as a typed
+    /// [`SimError::AuditViolation`] from [`TraceReplayer::try_run`].
+    pub audit: bool,
 }
 
 impl Default for ReplayConfig {
@@ -125,6 +131,7 @@ impl Default for ReplayConfig {
             sample_epoch: None,
             sample_window: None,
             watchdog: WatchdogConfig::default(),
+            audit: false,
         }
     }
 }
@@ -159,6 +166,13 @@ impl ReplayConfig {
     #[must_use]
     pub fn with_sample_window(mut self, window: usize) -> Self {
         self.sample_window = Some(window);
+        self
+    }
+
+    /// Enables the shadow protocol auditor ([`Self::audit`]).
+    #[must_use]
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
         self
     }
 }
@@ -377,6 +391,9 @@ impl<S: RequestSource> TraceReplayer<S> {
     /// [`SimError::Watchdog`] on a cycle-budget overrun, an injection/
     /// completion stall, or an over-aged DRAM request.
     pub fn try_run(mut self) -> Result<ReplayStats, SimError> {
+        if self.cfg.audit {
+            self.dram.enable_audit();
+        }
         let mut stats = ReplayStats::default();
         let mut sampler = self.cfg.sample_epoch.map(|epoch| {
             let schema = Schema::build(|v| self.dram.observe(v));
@@ -461,6 +478,13 @@ impl<S: RequestSource> TraceReplayer<S> {
                     }
                 }
             }
+            if self.cfg.audit && self.dram.has_audit_violation() {
+                let snap = self
+                    .dram
+                    .take_audit_violation()
+                    .expect("has_audit_violation checked");
+                return Err(SimError::AuditViolation(snap));
+            }
             if let Some(s) = &mut sampler {
                 if s.due(now) {
                     s.sample(now, |v| self.dram.observe(v));
@@ -498,6 +522,12 @@ impl<S: RequestSource> TraceReplayer<S> {
                         }
                     }
                 }
+            }
+        }
+        if self.cfg.audit {
+            self.dram.finish_audit();
+            if let Some(snap) = self.dram.take_audit_violation() {
+                return Err(SimError::AuditViolation(snap));
             }
         }
         stats.cpu_cycles = now;
@@ -684,6 +714,52 @@ mod tests {
             "streamed replay must be byte-identical to in-memory replay"
         );
         assert!(stream.peak_resident_bytes() <= crate::CHUNK_BYTES);
+    }
+
+    #[test]
+    fn audited_replay_is_silent_and_byte_identical() {
+        let trace = synthetic_trace(300);
+        let plain = TraceReplayer::new(trace.clone(), dram_for(&trace), ReplayConfig::default())
+            .unwrap()
+            .try_run()
+            .unwrap();
+        let audited = TraceReplayer::new(
+            trace.clone(),
+            dram_for(&trace),
+            ReplayConfig::default().with_audit(true),
+        )
+        .unwrap()
+        .try_run()
+        .expect("a clean replay must not raise audit violations");
+        let enc = |s: &ReplayStats| {
+            let mut w = ByteWriter::new();
+            s.encode(&mut w);
+            w.into_bytes()
+        };
+        assert_eq!(
+            enc(&plain),
+            enc(&audited),
+            "auditing must not perturb the replay"
+        );
+    }
+
+    #[test]
+    fn audited_replay_detects_a_wedged_bank() {
+        use critmem_common::{BankId, RankId};
+        let trace = synthetic_trace(100);
+        let mut dram = dram_for(&trace);
+        dram.wedge_bank(0, RankId(0), BankId(0));
+        let mut cfg = ReplayConfig::default().with_audit(true);
+        cfg.watchdog.no_commit_cycles = 50_000;
+        cfg.watchdog.check_interval = 1_024;
+        let err = TraceReplayer::new(trace, dram, cfg)
+            .unwrap()
+            .try_run()
+            .expect_err("a wedged bank must never complete silently");
+        assert!(
+            matches!(err, SimError::Watchdog(_) | SimError::AuditViolation(_)),
+            "got {err}"
+        );
     }
 
     #[test]

@@ -99,6 +99,29 @@ diff "$tmp/fair.serial" "$tmp/fair.shards2"
 ./target/release/repro --scale quick --jobs 1 --no-skip-ahead fairness AELV > "$tmp/fair.noskip" 2>/dev/null
 diff "$tmp/fair.serial" "$tmp/fair.noskip"
 
+echo "== audit smoke test (--audit byte-identical, campaign 100% detection)"
+# An audited run must be silent and byte-identical to the unaudited
+# baseline; the scheduler certification and the fault-injection
+# campaign must report zero silent outcomes; a single injected fault
+# must surface with its documented exit code (4 = audit violation).
+./target/release/repro --scale quick --jobs 1 --audit fig10 > "$tmp/fig10.audit" 2>/dev/null
+diff "$tmp/fig10.serial" "$tmp/fig10.audit"
+./target/release/repro audit
+./target/release/repro audit campaign | tee "$tmp/campaign.out"
+grep -q 'faults detected (zero silent outcomes)' "$tmp/campaign.out"
+if ./target/release/repro audit inject corrupt-sched@ch0,c5000 \
+    > "$tmp/inject.out" 2>/dev/null; then
+  echo "audit smoke: corrupt-sched injection was expected to exit non-zero" >&2
+  exit 1
+else
+  rc=$?
+fi
+if [ "$rc" -ne 4 ]; then
+  echo "audit smoke: corrupt-sched exit code was $rc, expected 4" >&2
+  exit 1
+fi
+grep -q 'detected as audit violation' "$tmp/inject.out"
+
 echo "== fault-injection smoke test (isolation + journal resume)"
 # Build the harness with the injection hooks armed, wedge one cell of a
 # two-figure sweep, and check that (a) the sweep completes with a
