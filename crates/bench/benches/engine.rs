@@ -10,7 +10,7 @@
 use critmem::config::PredictorKind;
 use critmem::experiments::{fig10, fig11, stream_replay, synth_replay, Runner, Scale};
 use critmem::pool::default_jobs;
-use critmem::{RunStats, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, RunStats, Session, SystemConfig};
 use critmem_bench::{black_box, Criterion};
 use critmem_common::codec::ByteWriter;
 use critmem_common::{AccessKind, ChannelId, CoreId, Criticality, MemRequest, ShardPool};
@@ -233,7 +233,7 @@ fn encoded(stats: &RunStats) -> Vec<u8> {
 /// event-driven skip-ahead off vs on, asserting both runs end with
 /// byte-identical stats (the identity claim the speedup rides on).
 fn measure_skip_ahead() -> (f64, f64) {
-    let wl = WorkloadKind::Alone("chase");
+    let wl = AgentMix::Alone("chase");
     let run = |skip: bool| {
         let t = Instant::now();
         let out = Session::new(skip_probe_cfg(skip), &wl)

@@ -4,7 +4,7 @@
 //! argument: CASRAS-Crit arbitration should cost no more than plain
 //! FR-FCFS arbitration (it is the same comparator, a few bits wider).
 
-use critmem::{PredictorKind, System, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, System, SystemConfig};
 use critmem_bench::{black_box, criterion_group, criterion_main, Criterion};
 use critmem_common::{AccessKind, ChannelId, CoreId, Criticality, MemRequest};
 use critmem_dram::{AddressMapping, ChannelController, DramConfig, Interleaving};
@@ -77,7 +77,7 @@ fn bench_system(c: &mut Criterion) {
         let cfg = SystemConfig::paper_baseline(u64::MAX / 4)
             .with_scheduler(SchedulerKind::CasRasCrit)
             .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
-        let mut sys = System::new(cfg, &WorkloadKind::Parallel("mg"));
+        let mut sys = System::new(cfg, &AgentMix::Parallel("mg"));
         // Warm up past cold caches.
         for _ in 0..20_000 {
             sys.step();

@@ -1,6 +1,6 @@
 //! Internal calibration probe: per-app baseline characteristics and
 //! the headline criticality speedup at small scale.
-use critmem::{PredictorKind, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, Session, SystemConfig};
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 use std::time::Instant;
@@ -29,7 +29,7 @@ fn main() {
         let t0 = Instant::now();
         let mut cfg = SystemConfig::paper_baseline(instr);
         cfg.max_cycles = 500_000_000;
-        let wl = WorkloadKind::Parallel(app);
+        let wl = AgentMix::Parallel(app);
         let base = Session::new(cfg.clone(), &wl)
             .run()
             .unwrap_or_else(|e| panic!("{e}"))

@@ -1,4 +1,4 @@
-use critmem::{PredictorKind, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, Session, SystemConfig};
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 
@@ -20,7 +20,7 @@ fn main() {
     ] {
         let mut cfg = cfg;
         cfg.max_cycles = 2_000_000_000;
-        let s = Session::new(cfg, &WorkloadKind::Parallel(app))
+        let s = Session::new(cfg, &AgentMix::Parallel(app))
             .run()
             .unwrap_or_else(|e| panic!("{e}"))
             .stats;

@@ -1,12 +1,12 @@
 //! Internal progress probe (not part of the public example set).
-use critmem::{System, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, System, SystemConfig};
 
 fn main() {
     let app = std::env::args().nth(1).unwrap_or_else(|| "swim".into());
     let app: &'static str = Box::leak(app.into_boxed_str());
     let mut cfg = SystemConfig::paper_baseline(20_000);
     cfg.max_cycles = u64::MAX;
-    let mut sys = System::new(cfg, &WorkloadKind::Parallel(app));
+    let mut sys = System::new(cfg, &AgentMix::Parallel(app));
     while !sys.done() && sys.now() < 20_000_000 {
         sys.step();
         if sys.now().is_multiple_of(500_000) {

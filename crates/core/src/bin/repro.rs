@@ -15,6 +15,7 @@
 //! repro stats [apps...] [--sched <name>] [--pred <metric>]
 //!             [--epoch N] [--format jsonl|csv] [--out <file>]
 //! repro fairness [bundles...] [--format jsonl|csv] [--out <file>]
+//! repro hetero [mixes...] [--format jsonl|csv] [--out <file>]
 //! repro checkpoint save <app> <file> [--cycles N] [--scale ...]
 //! repro checkpoint restore <file> <app> [--sched <name>] [--pred <metric>]
 //! repro checkpoint sweep [app] [--cycles N] [--scale ...] [--jobs N]
@@ -30,11 +31,11 @@
 use critmem::config::PredictorKind;
 use critmem::experiments::{
     self, config_dump, fairness_frontier, fig1, fig10, fig11, fig12, fig3, fig4, fig5, fig6, fig7,
-    fig8, fig9, naive, reset_study, stats_export, stream_replay, synth_replay, table5, table7,
-    trace_sweep, Runner, Scale,
+    fig8, fig9, hetero_study, naive, reset_study, stats_export, stream_replay, synth_replay,
+    table5, table7, trace_sweep, Runner, Scale,
 };
 use critmem::journal::SweepJournal;
-use critmem::{Checkpoint, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, Checkpoint, Session, SystemConfig};
 use critmem_common::SimError;
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
@@ -55,6 +56,10 @@ fn usage() -> ! {
          \x20                  [--format jsonl|csv] [--out <file>] [--scale ...] [--jobs N]\n\
          \x20      repro fairness [bundles...] [--format jsonl|csv] [--out <file>]\n\
          \x20                     [--scale ...] [--jobs N] [--shards N]\n\
+         \x20      repro hetero [mixes...] [--format jsonl|csv] [--out <file>]\n\
+         \x20                   [--scale ...] [--jobs N] [--shards N]\n\
+         \x20                   (a mix is agent-grammar, e.g. ooo:mcf*2+stream:2@1.5;\n\
+         \x20                    default: the three standard hetero mixes)\n\
          \x20      repro checkpoint save <app> <file> [--cycles N] [--scale ...]\n\
          \x20      repro checkpoint restore <file> <app> [--sched <name>] [--pred <metric>|none]\n\
          \x20      repro checkpoint sweep [app] [--cycles N] [--scale ...] [--jobs N]\n\
@@ -423,7 +428,7 @@ fn checkpoint_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
             let (Some(app), Some(file)) = (app, file) else {
                 usage()
             };
-            let ckpt = Session::new(checkpoint_cfg(&scale, knobs), &WorkloadKind::Parallel(app))
+            let ckpt = Session::new(checkpoint_cfg(&scale, knobs), &AgentMix::Parallel(app))
                 .checkpoint_at(cycles)
                 .run_to_checkpoint()
                 .unwrap_or_else(|e| fail(e));
@@ -465,7 +470,7 @@ fn checkpoint_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
             let cfg = checkpoint_cfg(&scale, knobs)
                 .with_scheduler(sched)
                 .with_predictor(pred);
-            let out = Session::from_checkpoint(&ckpt, cfg, &WorkloadKind::Parallel(app))
+            let out = Session::from_checkpoint(&ckpt, cfg, &AgentMix::Parallel(app))
                 .run()
                 .unwrap_or_else(|e| fail(e));
             let mean_ipc: f64 = (0..out.stats.cores.len())
@@ -636,6 +641,78 @@ fn fairness_main(args: Vec<String>, mut scale: Scale, knobs: EngineKnobs) -> ! {
     std::process::exit(0);
 }
 
+fn hetero_main(args: Vec<String>, scale: Scale, knobs: EngineKnobs) -> ! {
+    let mut mixes: Vec<(String, AgentMix)> = Vec::new();
+    let mut format = "jsonl".to_string();
+    let mut out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some(f @ ("jsonl" | "csv")) => format = f.to_string(),
+                _ => usage(),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(f),
+                None => usage(),
+            },
+            spec => {
+                // Grammar parse errors surface as typed
+                // SimError::UnknownWorkload (exit code 2).
+                let mix: AgentMix = spec.parse().unwrap_or_else(|e| fail(e));
+                mixes.push((mix.to_string(), mix));
+            }
+        }
+    }
+    if mixes.is_empty() {
+        mixes = experiments::default_mixes()
+            .into_iter()
+            .map(|s| {
+                let mix: AgentMix = s.parse().expect("default mixes parse");
+                (mix.to_string(), mix)
+            })
+            .collect();
+    }
+    let mut r = Runner::new(scale);
+    r.verbose = true;
+    knobs.apply(&mut r);
+    let study = hetero_study(&mut r, &mixes);
+    println!("{}", study.to_table());
+    let export = study.to_export();
+    let text = match format.as_str() {
+        "csv" => export.to_csv(),
+        _ => export.to_jsonl(),
+    };
+    match out {
+        Some(file) => {
+            std::fs::write(&file, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write {file}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "wrote {} schedulers x {} mixes -> {file}",
+                export.runs.len(),
+                study.mixes.len()
+            );
+        }
+        None => print!("{text}"),
+    }
+    eprintln!("{} distinct simulations executed", r.runs_executed());
+    if r.has_failures() {
+        for f in r.failures() {
+            eprintln!("{}: {}", f.key, f.error);
+        }
+        let code = r
+            .failures()
+            .iter()
+            .map(|f| f.error.exit_code())
+            .max()
+            .unwrap_or(1);
+        std::process::exit(code);
+    }
+    std::process::exit(0);
+}
+
 /// `repro audit [campaign | inject <spec>]`: certification by
 /// default, the fault-injection matrix with `campaign`, one targeted
 /// fault with `inject`.
@@ -759,6 +836,9 @@ fn main() {
     }
     if selected.first().map(String::as_str) == Some("fairness") {
         fairness_main(selected.split_off(1), scale, knobs);
+    }
+    if selected.first().map(String::as_str) == Some("hetero") {
+        hetero_main(selected.split_off(1), scale, knobs);
     }
     if selected.is_empty() {
         selected.push("all".to_string());

@@ -38,7 +38,7 @@
 //! outside the fingerprint: those are exactly the knobs a warm-started
 //! cell varies.
 
-use crate::config::{SystemConfig, WorkloadKind};
+use crate::config::{AgentMix, SystemConfig};
 use crate::system::System;
 use critmem_common::codec::{ByteReader, ByteWriter};
 use critmem_common::{crc32, RequestObserver, SimError};
@@ -67,7 +67,7 @@ pub struct Checkpoint {
 
 /// Canonical platform fingerprint: everything that must be identical
 /// between the system that saved a checkpoint and one restoring it.
-pub(crate) fn fingerprint_of(cfg: &SystemConfig, workload: &WorkloadKind) -> u32 {
+pub(crate) fn fingerprint_of(cfg: &SystemConfig, workload: &AgentMix) -> u32 {
     let canon = format!(
         "cores={};core={:?};hier={:?};dram={:?};mhz={};seed={};fwd={}/{};wl={:?}",
         cfg.cores,
@@ -85,10 +85,7 @@ pub(crate) fn fingerprint_of(cfg: &SystemConfig, workload: &WorkloadKind) -> u32
 
 impl Checkpoint {
     /// Snapshots a running system.
-    pub(crate) fn capture<O: RequestObserver>(
-        sys: &System<O>,
-        workload: &WorkloadKind,
-    ) -> Checkpoint {
+    pub(crate) fn capture<O: RequestObserver>(sys: &System<O>, workload: &AgentMix) -> Checkpoint {
         let mut w = ByteWriter::new();
         sys.save_state(&mut w);
         Checkpoint {
@@ -113,7 +110,7 @@ impl Checkpoint {
     pub(crate) fn restore_into<O: RequestObserver>(
         &self,
         sys: &mut System<O>,
-        workload: &WorkloadKind,
+        workload: &AgentMix,
     ) -> Result<(), SimError> {
         let expect = fingerprint_of(sys.config(), workload);
         if expect != self.fingerprint {
@@ -298,7 +295,7 @@ mod tests {
     #[test]
     fn fingerprint_tracks_platform_not_cell_knobs() {
         let cfg = SystemConfig::paper_baseline(1_000);
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let base = fingerprint_of(&cfg, &wl);
 
         // Cell knobs (scheduler, predictor, target, sampling) do not
@@ -316,6 +313,6 @@ mod tests {
         let mut other = cfg.clone();
         other.seed ^= 1;
         assert_ne!(fingerprint_of(&other, &wl), base);
-        assert_ne!(fingerprint_of(&cfg, &WorkloadKind::Parallel("mg")), base);
+        assert_ne!(fingerprint_of(&cfg, &AgentMix::Parallel("mg")), base);
     }
 }

@@ -2,7 +2,7 @@
 //! the scheduler, and the processor-side predictor.
 
 use critmem_cache::{HierarchyConfig, PrefetchConfig};
-use critmem_cpu::CoreConfig;
+use critmem_cpu::{AgentClass, CoreConfig};
 use critmem_dram::DramConfig;
 use critmem_predict::{CbpMetric, ClptMode, TableSize};
 use critmem_sched::SchedulerKind;
@@ -99,9 +99,169 @@ impl std::str::FromStr for PredictorKind {
     }
 }
 
-/// The workload to run.
+/// One term of a heterogeneous agent mix: a class, an application (for
+/// OoO cores) or traffic profile (for accelerator-class agents), an
+/// instance count, and a QoS slowdown budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentSpec {
+    /// What kind of producer this term instantiates.
+    pub class: AgentClass,
+    /// Application name (OoO) or traffic profile (other classes; see
+    /// [`critmem_workloads::agent_profiles`]). Always the canonical
+    /// `'static` spelling, so the derived `Debug` rendering — which
+    /// feeds checkpoint fingerprints — is stable.
+    pub profile: &'static str,
+    /// How many instances of this term to build (>= 1).
+    pub count: u32,
+    /// QoS slowdown budget in thousandths; `0` inherits the class
+    /// default ([`AgentClass::default_qos_millis`]).
+    pub qos_millis: u32,
+}
+
+impl AgentSpec {
+    /// An OoO core running `app`.
+    pub fn ooo(app: &'static str) -> Self {
+        AgentSpec {
+            class: AgentClass::Ooo,
+            profile: app,
+            count: 1,
+            qos_millis: 0,
+        }
+    }
+
+    /// An accelerator-class agent with its default profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`AgentClass::Ooo`], whose profile is an application
+    /// name — use [`AgentSpec::ooo`].
+    pub fn agent(class: AgentClass) -> Self {
+        let profile =
+            critmem_workloads::default_profile(class).expect("non-ooo classes have a profile");
+        AgentSpec {
+            class,
+            profile,
+            count: 1,
+            qos_millis: 0,
+        }
+    }
+
+    /// Sets the instance count (builder style).
+    #[must_use]
+    pub fn with_count(mut self, count: u32) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Sets the QoS slowdown budget in thousandths (builder style).
+    #[must_use]
+    pub fn with_qos_millis(mut self, millis: u32) -> Self {
+        self.qos_millis = millis;
+        self
+    }
+
+    /// The budget this spec's instances actually carry: the explicit
+    /// value, or the class default when none was given.
+    pub fn effective_qos_millis(&self) -> u32 {
+        if self.qos_millis == 0 {
+            self.class.default_qos_millis()
+        } else {
+            self.qos_millis
+        }
+    }
+
+    /// Renders the canonical grammar term (`class[:name][*count]
+    /// [@budget]`).
+    fn write_term(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.class.keyword())?;
+        if self.class == AgentClass::Ooo
+            || Some(self.profile) != critmem_workloads::default_profile(self.class)
+        {
+            write!(f, ":{}", self.profile)?;
+        }
+        if self.count != 1 {
+            write!(f, "*{}", self.count)?;
+        }
+        if self.qos_millis != 0 {
+            write!(f, "@{}", fmt_qos(self.qos_millis))?;
+        }
+        Ok(())
+    }
+}
+
+/// Thousandths -> decimal text without floating-point round-trips
+/// (`1500` -> `"1.5"`, `3000` -> `"3"`).
+fn fmt_qos(millis: u32) -> String {
+    let (int, frac) = (millis / 1000, millis % 1000);
+    if frac == 0 {
+        int.to_string()
+    } else {
+        format!("{int}.{}", format!("{frac:03}").trim_end_matches('0'))
+    }
+}
+
+/// Decimal text -> thousandths; `None` on malformed input or more than
+/// three fractional digits.
+fn parse_qos(s: &str) -> Option<u32> {
+    let (int, frac) = match s.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (s, ""),
+    };
+    if int.is_empty() && frac.is_empty() {
+        return None;
+    }
+    if frac.len() > 3 || !frac.chars().all(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    let int: u32 = if int.is_empty() { 0 } else { int.parse().ok()? };
+    let mut frac_val = 0u32;
+    for (i, c) in frac.chars().enumerate() {
+        frac_val += c.to_digit(10)? * 10u32.pow(2 - i as u32);
+    }
+    int.checked_mul(1000)?.checked_add(frac_val)
+}
+
+/// The workload: which agents share the memory system.
+///
+/// The three legacy shapes (`Parallel`, `Bundle`, `Alone`) are
+/// preserved as first-class variants — their derived `Debug`
+/// renderings feed checkpoint fingerprints and warmup memo keys, so
+/// existing CMCK artifacts and `--resume` journals stay valid.
+/// `Hetero` is the composable shape: any sequence of [`AgentSpec`]
+/// terms.
+///
+/// # Grammar
+///
+/// [`AgentMix::from_str`] and [`AgentMix::to_string`] round-trip a
+/// compact spec grammar:
+///
+/// ```text
+/// mix    := "parallel:" app | "bundle:" NAME | "alone:" app
+///         | term ("+" term)*
+/// term   := class [":" name] ["*" count] ["@" budget]
+/// class  := "ooo" | "stream" | "bulk" | "prefetch"
+/// ```
+///
+/// `ooo` terms name an application (`ooo:mcf*2`); the other classes
+/// take an optional traffic profile (`prefetch:wild`) or, as sugar, a
+/// bare count (`stream:2` == `stream*2`). `budget` is a decimal
+/// slowdown bound (`@1.5`), resolved in thousandths.
+///
+/// # Examples
+///
+/// ```
+/// use critmem::AgentMix;
+///
+/// let legacy: AgentMix = "bundle:RGTM".parse().unwrap();
+/// assert_eq!(legacy, AgentMix::Bundle("RGTM"));
+///
+/// let mix: AgentMix = "ooo:mcf*2+stream:2@1.5".parse().unwrap();
+/// assert_eq!(mix.ooo_count(), Some(2));
+/// assert_eq!(mix.to_string(), "ooo:mcf*2+stream*2@1.5");
+/// assert!("ooo:unknown-app".parse::<AgentMix>().is_err());
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum WorkloadKind {
+pub enum AgentMix {
     /// One of the nine parallel apps (Table 2), all cores running its
     /// threads.
     Parallel(&'static str),
@@ -109,6 +269,185 @@ pub enum WorkloadKind {
     Bundle(&'static str),
     /// A single app alone on core 0 (for weighted-speedup baselines).
     Alone(&'static str),
+    /// A composed heterogeneous mix of agent terms.
+    Hetero(Vec<AgentSpec>),
+}
+
+/// Canonicalizes an application name usable by an OoO agent (bundle
+/// apps, parallel apps, and the `chase` microbenchmark).
+fn static_ooo_app(name: &str) -> Option<&'static str> {
+    critmem_workloads::MULTI_APPS
+        .iter()
+        .chain(critmem_workloads::PARALLEL_APPS.iter())
+        .chain(std::iter::once(&"chase"))
+        .copied()
+        .find(|a| *a == name)
+}
+
+fn unknown(kind: &'static str, name: impl Into<String>) -> critmem_common::SimError {
+    critmem_common::SimError::UnknownWorkload {
+        kind,
+        name: name.into(),
+    }
+}
+
+impl AgentMix {
+    /// Number of OoO cores this mix requires, when the mix itself pins
+    /// it: `Bundle` -> 4, `Alone` -> 1, `Hetero` -> the sum of its
+    /// `ooo` counts. `Parallel` runs on however many cores the
+    /// platform has, so it returns `None`.
+    pub fn ooo_count(&self) -> Option<usize> {
+        match self {
+            AgentMix::Parallel(_) => None,
+            AgentMix::Bundle(_) => Some(4),
+            AgentMix::Alone(_) => Some(1),
+            AgentMix::Hetero(specs) => Some(
+                specs
+                    .iter()
+                    .filter(|s| s.class == AgentClass::Ooo)
+                    .map(|s| s.count as usize)
+                    .sum(),
+            ),
+        }
+    }
+
+    /// Number of non-core (accelerator-class) agents in the mix.
+    pub fn agent_count(&self) -> usize {
+        match self {
+            AgentMix::Hetero(specs) => specs
+                .iter()
+                .filter(|s| s.class != AgentClass::Ooo)
+                .map(|s| s.count as usize)
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    /// The hetero terms, when this is a [`AgentMix::Hetero`] mix.
+    pub fn specs(&self) -> Option<&[AgentSpec]> {
+        match self {
+            AgentMix::Hetero(specs) => Some(specs),
+            _ => None,
+        }
+    }
+
+    /// Parses one hetero grammar term.
+    fn parse_term(term: &str) -> Result<AgentSpec, critmem_common::SimError> {
+        let term = term.trim();
+        // Split off `@budget`, then `*count`, then `:name`.
+        let (head, qos) = match term.rsplit_once('@') {
+            Some((h, q)) => (
+                h,
+                parse_qos(q).ok_or_else(|| unknown("QoS budget", format!("{q} (in {term:?})")))?,
+            ),
+            None => (term, 0),
+        };
+        let (head, count) = match head.rsplit_once('*') {
+            Some((h, c)) => (
+                h,
+                c.parse::<u32>()
+                    .ok()
+                    .filter(|&c| c >= 1)
+                    .ok_or_else(|| unknown("agent count", format!("{c} (in {term:?})")))?,
+            ),
+            None => (head, 1),
+        };
+        let (class_word, name) = match head.split_once(':') {
+            Some((c, n)) => (c, Some(n)),
+            None => (head, None),
+        };
+        let class = AgentClass::parse(class_word)
+            .ok_or_else(|| unknown("agent class", format!("{class_word} (in {term:?})")))?;
+        if class == AgentClass::Ooo {
+            let app =
+                name.ok_or_else(|| unknown("application", format!("<missing> (in {term:?})")))?;
+            let app = static_ooo_app(app).ok_or_else(|| unknown("application", app))?;
+            return Ok(AgentSpec {
+                class,
+                profile: app,
+                count,
+                qos_millis: qos,
+            });
+        }
+        // Sugar: a bare integer after the colon is a count
+        // (`stream:2` == `stream*2`).
+        let profile = match name {
+            None => critmem_workloads::default_profile(class).expect("non-ooo default"),
+            Some(n) if n.chars().all(|c| c.is_ascii_digit()) && !n.is_empty() => {
+                let sugar: u32 = n.parse().map_err(|_| unknown("agent count", n))?;
+                if sugar < 1 || count != 1 {
+                    return Err(unknown("agent count", format!("{n} (in {term:?})")));
+                }
+                return Ok(AgentSpec {
+                    class,
+                    profile: critmem_workloads::default_profile(class).expect("non-ooo default"),
+                    count: sugar,
+                    qos_millis: qos,
+                });
+            }
+            Some(n) => critmem_workloads::resolve_profile(class, n)
+                .ok_or_else(|| unknown("agent profile", format!("{n} (for {class})")))?,
+        };
+        Ok(AgentSpec {
+            class,
+            profile,
+            count,
+            qos_millis: qos,
+        })
+    }
+}
+
+impl std::str::FromStr for AgentMix {
+    type Err = critmem_common::SimError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if let Some(app) = s.strip_prefix("parallel:") {
+            let app = critmem_workloads::PARALLEL_APPS
+                .iter()
+                .copied()
+                .find(|a| *a == app)
+                .ok_or_else(|| unknown("parallel app", app))?;
+            return Ok(AgentMix::Parallel(app));
+        }
+        if let Some(name) = s.strip_prefix("bundle:") {
+            let b = critmem_workloads::bundle(name).ok_or_else(|| unknown("bundle", name))?;
+            return Ok(AgentMix::Bundle(b.name));
+        }
+        if let Some(app) = s.strip_prefix("alone:") {
+            let app = static_ooo_app(app).ok_or_else(|| unknown("application", app))?;
+            return Ok(AgentMix::Alone(app));
+        }
+        if s.is_empty() {
+            return Err(unknown("agent mix", "<empty>"));
+        }
+        let specs = s
+            .split('+')
+            .map(Self::parse_term)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(AgentMix::Hetero(specs))
+    }
+}
+
+impl std::fmt::Display for AgentMix {
+    /// The canonical grammar rendering; [`AgentMix::from_str`] parses
+    /// it back to an equal value.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentMix::Parallel(app) => write!(f, "parallel:{app}"),
+            AgentMix::Bundle(name) => write!(f, "bundle:{name}"),
+            AgentMix::Alone(app) => write!(f, "alone:{app}"),
+            AgentMix::Hetero(specs) => {
+                for (i, spec) in specs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("+")?;
+                    }
+                    spec.write_term(f)?;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 /// Complete system configuration.
@@ -262,7 +601,11 @@ impl SystemConfig {
     pub fn validate(&self) -> Result<(), String> {
         self.core.validate()?;
         self.dram.validate()?;
-        if self.cores == 0 || self.cores != self.hierarchy.num_cores {
+        // `cores == 0` is legal: an agent-only [`AgentMix::Hetero`]
+        // run (the alone baseline for accelerator-class agents) has no
+        // OoO cores at all. The system build rejects zero-core runs of
+        // workloads that need cores.
+        if self.cores != self.hierarchy.num_cores {
             return Err(format!(
                 "core count ({}) must match hierarchy ({})",
                 self.cores, self.hierarchy.num_cores
@@ -323,6 +666,155 @@ mod tests {
         let mut c = SystemConfig::paper_baseline(1000);
         c.cores = 4; // hierarchy still sized for 8
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mix_grammar_parses_legacy_shapes() {
+        assert_eq!(
+            "parallel:swim".parse::<AgentMix>().unwrap(),
+            AgentMix::Parallel("swim")
+        );
+        assert_eq!(
+            "bundle:RGTM".parse::<AgentMix>().unwrap(),
+            AgentMix::Bundle("RGTM")
+        );
+        assert_eq!(
+            "alone:mcf".parse::<AgentMix>().unwrap(),
+            AgentMix::Alone("mcf")
+        );
+        for bad in ["parallel:mcf", "bundle:XXXX", "alone:nope", ""] {
+            assert!(
+                matches!(
+                    bad.parse::<AgentMix>(),
+                    Err(critmem_common::SimError::UnknownWorkload { .. })
+                ),
+                "{bad:?} must be a typed error"
+            );
+        }
+    }
+
+    #[test]
+    fn mix_grammar_parses_hetero_terms() {
+        let mix: AgentMix = "ooo:swim*4+stream:2".parse().unwrap();
+        assert_eq!(mix.ooo_count(), Some(4));
+        assert_eq!(mix.agent_count(), 2);
+        let specs = mix.specs().unwrap();
+        assert_eq!(specs[0], AgentSpec::ooo("swim").with_count(4));
+        assert_eq!(specs[1], AgentSpec::agent(AgentClass::Stream).with_count(2));
+
+        let mix: AgentMix = "ooo:mcf+prefetch:wild@2.5+bulk".parse().unwrap();
+        let specs = mix.specs().unwrap();
+        assert_eq!(specs[1].profile, "wild");
+        assert_eq!(specs[1].qos_millis, 2_500);
+        assert_eq!(specs[2], AgentSpec::agent(AgentClass::Bulk));
+        assert_eq!(
+            specs[2].effective_qos_millis(),
+            AgentClass::Bulk.default_qos_millis()
+        );
+
+        for bad in [
+            "ooo",           // ooo needs an app
+            "ooo:nosuchapp", // unknown app
+            "stream:nope",   // unknown profile
+            "gpu:2",         // unknown class
+            "stream*0",      // zero count
+            "stream:2*3",    // count sugar + explicit count
+            "stream@1.2345", // too many budget digits
+        ] {
+            assert!(
+                matches!(
+                    bad.parse::<AgentMix>(),
+                    Err(critmem_common::SimError::UnknownWorkload { .. })
+                ),
+                "{bad:?} must be a typed error"
+            );
+        }
+    }
+
+    /// Display -> FromStr round-trip over a systematic property sweep:
+    /// every class x profile x count x budget combination the grammar
+    /// can express must print to a string that parses back to an equal
+    /// mix (and printing is a fixed point).
+    #[test]
+    fn mix_grammar_round_trips() {
+        let mut mixes = vec![
+            AgentMix::Parallel("swim"),
+            AgentMix::Bundle("RGTM"),
+            AgentMix::Alone("mcf"),
+        ];
+        let classes = [AgentClass::Stream, AgentClass::Bulk, AgentClass::Prefetch];
+        for class in classes {
+            for &profile in critmem_workloads::agent_profiles(class) {
+                for count in [1, 2, 7] {
+                    for qos in [0u32, 500, 1_000, 1_500, 2_125, 10_000] {
+                        let spec = AgentSpec {
+                            class,
+                            profile,
+                            count,
+                            qos_millis: qos,
+                        };
+                        mixes.push(AgentMix::Hetero(vec![
+                            AgentSpec::ooo("mcf").with_count(2),
+                            spec,
+                        ]));
+                    }
+                }
+            }
+        }
+        mixes.push(AgentMix::Hetero(vec![
+            AgentSpec::ooo("art1"),
+            AgentSpec::ooo("mcf"),
+            AgentSpec::agent(AgentClass::Stream).with_qos_millis(1_500),
+            AgentSpec::agent(AgentClass::Bulk).with_count(3),
+            AgentSpec::agent(AgentClass::Prefetch),
+        ]));
+        for mix in mixes {
+            let text = mix.to_string();
+            let parsed: AgentMix = text.parse().unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(parsed, mix, "round trip through {text:?}");
+            assert_eq!(parsed.to_string(), text, "printing is a fixed point");
+        }
+    }
+
+    #[test]
+    fn qos_text_is_exact() {
+        for (millis, text) in [
+            (3_000, "3"),
+            (1_500, "1.5"),
+            (2_125, "2.125"),
+            (500, "0.5"),
+            (10, "0.01"),
+        ] {
+            assert_eq!(super::fmt_qos(millis), text);
+            assert_eq!(super::parse_qos(text), Some(millis));
+        }
+        assert_eq!(super::parse_qos("1.2345"), None);
+        assert_eq!(super::parse_qos(""), None);
+        assert_eq!(super::parse_qos("x.5"), None);
+    }
+
+    #[test]
+    fn legacy_debug_renderings_are_stable() {
+        // Checkpoint fingerprints and warmup memo keys embed the
+        // workload's Debug form; the three legacy shapes must render
+        // exactly as the retired `WorkloadKind` did.
+        assert_eq!(
+            format!("{:?}", AgentMix::Parallel("swim")),
+            "Parallel(\"swim\")"
+        );
+        assert_eq!(
+            format!("{:?}", AgentMix::Bundle("RGTM")),
+            "Bundle(\"RGTM\")"
+        );
+        assert_eq!(format!("{:?}", AgentMix::Alone("mcf")), "Alone(\"mcf\")");
+    }
+
+    #[test]
+    fn zero_core_config_validates_for_agent_only_mixes() {
+        let mut c = SystemConfig::paper_baseline(1000);
+        c.cores = 0;
+        c.hierarchy = HierarchyConfig::paper_baseline(0);
+        c.validate().unwrap();
     }
 
     #[test]

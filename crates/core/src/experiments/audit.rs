@@ -18,7 +18,7 @@
 //! reproduction (`repro audit inject corrupt-sched@ch0,c5000`).
 
 use crate::checkpoint::Checkpoint;
-use crate::config::{SystemConfig, WorkloadKind};
+use crate::config::{AgentMix, SystemConfig};
 use crate::experiments::harness::TextTable;
 use crate::faults::{FaultKind, FaultPlan};
 use crate::session::Session;
@@ -123,7 +123,7 @@ impl AuditCertification {
 /// and certifies that auditing is invisible: zero violations, and the
 /// exported statistics byte-identical.
 pub fn certify() -> AuditCertification {
-    let wl = WorkloadKind::Parallel("swim");
+    let wl = AgentMix::Parallel("swim");
     let encode = |stats: &crate::system::RunStats| {
         let mut w = ByteWriter::new();
         stats.encode(&mut w);
@@ -289,7 +289,7 @@ fn run_fault(kind: FaultKind) -> CampaignRow {
         } => wedge_replay(channel, rank, bank),
         live => {
             let plan = FaultPlan::new(0xC0FFEE).with_fault(live);
-            Session::new(faulted_cfg(1_500), &WorkloadKind::Parallel("swim"))
+            Session::new(faulted_cfg(1_500), &AgentMix::Parallel("swim"))
                 .audit(true)
                 .fault(plan)
                 .run()
@@ -383,7 +383,7 @@ fn flip_trace(byte_offset: u64) -> Result<(), SimError> {
 /// Captures a checkpoint, flips one byte of its serialized form, and
 /// reads it back: the CMCK CRC must reject it with a typed error.
 fn flip_checkpoint(byte_offset: u64) -> Result<(), SimError> {
-    let ckpt = Session::new(campaign_cfg(1_500), &WorkloadKind::Parallel("swim"))
+    let ckpt = Session::new(campaign_cfg(1_500), &AgentMix::Parallel("swim"))
         .checkpoint_at(2_000)
         .run_to_checkpoint()?;
     let mut bytes = ckpt.to_bytes();

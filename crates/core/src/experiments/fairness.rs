@@ -17,7 +17,7 @@
 //! from label-sorted runs, so it is byte-identical for any `--jobs` or
 //! `--shards` value.
 
-use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::config::{AgentMix, PredictorKind, SystemConfig};
 use crate::experiments::harness::{Runner, TextTable};
 use crate::metrics::{harmonic_speedup, max_slowdown, mean, weighted_speedup};
 use critmem_common::obs::{MetricVisitor, Sampler, Schema, SeriesExport};
@@ -157,14 +157,15 @@ fn multiprog_cfg(r: &Runner) -> SystemConfig {
     cfg
 }
 
-/// Alone-IPC denominator, shared (memoized) with Figure 12: the app on
-/// one core of the PAR-BS baseline platform.
-fn alone_ipc(r: &mut Runner, app: &'static str) -> f64 {
+/// Alone-IPC denominator, shared (memoized) with Figure 12 and the
+/// heterogeneous-mix study: the app on one core of the PAR-BS baseline
+/// platform.
+pub(crate) fn alone_ipc(r: &mut Runner, app: &'static str) -> f64 {
     let mut cfg = multiprog_cfg(r);
     cfg.cores = 1;
     cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(1);
     cfg.hierarchy.l2_mshrs = 32;
-    let stats = r.run_keyed(format!("alone|{app}"), cfg, &WorkloadKind::Alone(app));
+    let stats = r.run_keyed(format!("alone|{app}"), cfg, &AgentMix::Alone(app));
     stats.ipc(0)
 }
 
@@ -194,7 +195,7 @@ pub fn fairness_frontier(runner: &mut Runner) -> FairnessFrontier {
                 let stats = r.run_keyed(
                     format!("bundle|{bname}|{label}"),
                     cfg,
-                    &WorkloadKind::Bundle(bname),
+                    &AgentMix::Bundle(bname),
                 );
                 points[si]
                     .weighted_speedup

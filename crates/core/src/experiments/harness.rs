@@ -2,7 +2,7 @@
 //! simulation runs, and plain-text table rendering.
 
 use crate::checkpoint::{fingerprint_of, Checkpoint};
-use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::config::{AgentMix, PredictorKind, SystemConfig};
 use crate::faults::FaultHooks;
 use crate::journal::{JournalEntry, SweepJournal};
 use crate::pool::scoped_map_isolated;
@@ -72,7 +72,7 @@ enum PlannedJob {
     Run {
         key: String,
         cfg: SystemConfig,
-        workload: WorkloadKind,
+        workload: AgentMix,
     },
     Capture {
         key: String,
@@ -90,7 +90,7 @@ struct PlannedReplay {
 
 /// The result of one executed [`PlannedJob`].
 enum JobResult {
-    Run(RunStats),
+    Run(Box<RunStats>),
     Capture(Trace),
 }
 
@@ -270,7 +270,7 @@ impl Runner {
     }
 
     /// Memo key of the shared warmup checkpoint a cell restores from.
-    fn warm_key(cfg: &SystemConfig, workload: &WorkloadKind, cycles: u64) -> String {
+    fn warm_key(cfg: &SystemConfig, workload: &AgentMix, cycles: u64) -> String {
         format!(
             "warmup:{:08x}@{}+warm{cycles}",
             fingerprint_of(&Self::warmup_cfg(cfg), workload),
@@ -282,7 +282,7 @@ impl Runner {
     /// paths).
     fn warmup_cell(
         cfg: &SystemConfig,
-        workload: &WorkloadKind,
+        workload: &AgentMix,
         cycles: u64,
     ) -> Result<Checkpoint, SimError> {
         Session::new(Self::warmup_cfg(cfg), workload)
@@ -297,7 +297,7 @@ impl Runner {
     fn warm_checkpoint(
         &mut self,
         cfg: &SystemConfig,
-        workload: &WorkloadKind,
+        workload: &AgentMix,
     ) -> Option<Arc<Checkpoint>> {
         let cycles = self.warm_cycles?;
         if cfg.sample_epoch.is_some() {
@@ -332,7 +332,7 @@ impl Runner {
     /// shared checkpoint is available.
     fn run_cell(
         cfg: &SystemConfig,
-        workload: &WorkloadKind,
+        workload: &AgentMix,
         warm: Option<&Arc<Checkpoint>>,
     ) -> Result<RunStats, SimError> {
         let session = match warm {
@@ -345,7 +345,7 @@ impl Runner {
     /// Captures one trace cell (always cold: the recorded request
     /// stream must start at cycle zero).
     fn capture_cell(cfg: &SystemConfig, app: &'static str) -> Result<Trace, SimError> {
-        Session::new(cfg.clone(), &WorkloadKind::Parallel(app))
+        Session::new(cfg.clone(), &AgentMix::Parallel(app))
             .traced(app)
             .run()
             .map(|out| out.observer.into_trace())
@@ -421,7 +421,7 @@ impl Runner {
         // `Arc`'d in-memory snapshot.
         if let Some(cycles) = self.warm_cycles {
             let mut seen = HashSet::new();
-            let mut needed: Vec<(String, SystemConfig, WorkloadKind)> = Vec::new();
+            let mut needed: Vec<(String, SystemConfig, AgentMix)> = Vec::new();
             for job in &plan.jobs {
                 if let PlannedJob::Run { cfg, workload, .. } = job {
                     if cfg.sample_epoch.is_none() {
@@ -479,7 +479,8 @@ impl Runner {
         let results = scoped_map_isolated(self.jobs, &jobs, |(job, warm)| match job {
             PlannedJob::Run { key, cfg, workload } => {
                 hooks.maybe_inject(key);
-                Self::run_cell(cfg, workload, warm.as_ref()).map(JobResult::Run)
+                Self::run_cell(cfg, workload, warm.as_ref())
+                    .map(|stats| JobResult::Run(Box::new(stats)))
             }
             PlannedJob::Capture { key, app, cfg } => {
                 hooks.maybe_inject(key);
@@ -492,7 +493,7 @@ impl Runner {
             match (job, result.and_then(|r| r)) {
                 (PlannedJob::Run { key, .. }, Ok(JobResult::Run(stats))) => {
                     self.journal_run(&key, &stats);
-                    self.cache.insert(key, Arc::new(stats));
+                    self.cache.insert(key, Arc::new(*stats));
                 }
                 (PlannedJob::Capture { key, .. }, Ok(JobResult::Capture(trace))) => {
                     self.traces.insert(key, Arc::new(trace));
@@ -605,6 +606,7 @@ impl Runner {
             instructions_per_core: cfg.instructions_per_core.max(1),
             predictor_observed: vec![None; cfg.cores],
             series: None,
+            agents: Vec::new(),
         }
     }
 
@@ -630,7 +632,7 @@ impl Runner {
         &mut self,
         key: String,
         cfg: SystemConfig,
-        workload: &WorkloadKind,
+        workload: &AgentMix,
     ) -> Arc<RunStats> {
         let key = match (self.warm_cycles, cfg.sample_epoch) {
             (Some(cycles), None) => {
@@ -806,7 +808,7 @@ impl Runner {
                 .with_predictor(predictor),
         );
         let key = format!("{app}|{}|{}|{tag}", scheduler.name(), predictor.name());
-        self.run_keyed(key, cfg, &WorkloadKind::Parallel(app))
+        self.run_keyed(key, cfg, &AgentMix::Parallel(app))
     }
 
     /// Runs a parallel app under `(scheduler, predictor)`.

@@ -10,6 +10,7 @@ pub mod audit;
 pub mod compare;
 pub mod fairness;
 pub mod harness;
+pub mod hetero;
 pub mod multiprog;
 pub mod parallel_figs;
 pub mod stats_export;
@@ -24,6 +25,7 @@ pub use audit::{
 pub use compare::{fig10, fig11, Fig11};
 pub use fairness::{fairness_frontier, frontier_schedulers, FairnessFrontier, FrontierPoint};
 pub use harness::{CellFailure, Runner, Scale, TextTable};
+pub use hetero::{default_mixes, hetero_study, HeteroPoint, HeteroStudy};
 pub use multiprog::{fig12, Fig12};
 pub use parallel_figs::{
     fig1, fig3, fig4, fig5, fig6, fig7, fig8, fig9, Fig1, Fig6, Fig8, Fig9, SpeedupFigure,

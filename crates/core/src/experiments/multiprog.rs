@@ -2,7 +2,7 @@
 //! (§5.8.2) — plus the maximum-slowdown fairness comparison against
 //! TCM.
 
-use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::config::{AgentMix, PredictorKind, SystemConfig};
 use crate::experiments::harness::{Runner, TextTable};
 use crate::metrics::{max_slowdown, mean, weighted_speedup};
 use critmem_predict::CbpMetric;
@@ -113,7 +113,7 @@ fn alone_ipc(r: &mut Runner, app: &'static str) -> f64 {
     cfg.cores = 1;
     cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(1);
     cfg.hierarchy.l2_mshrs = 32;
-    let stats = r.run_keyed(format!("alone|{app}"), cfg, &WorkloadKind::Alone(app));
+    let stats = r.run_keyed(format!("alone|{app}"), cfg, &AgentMix::Alone(app));
     stats.ipc(0)
 }
 
@@ -128,7 +128,7 @@ fn bundle_run(
     r.run_keyed(
         format!("bundle|{name}|{label}"),
         cfg,
-        &WorkloadKind::Bundle(name),
+        &AgentMix::Bundle(name),
     )
 }
 

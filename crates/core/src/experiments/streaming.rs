@@ -110,7 +110,7 @@ pub fn synth_replay(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+    use crate::config::{AgentMix, PredictorKind, SystemConfig};
     use crate::Session;
     use critmem_predict::CbpMetric;
     use critmem_trace::Trace;
@@ -118,7 +118,7 @@ mod tests {
     fn captured_trace() -> Trace {
         let cfg = SystemConfig::paper_baseline(1_500)
             .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
-        Session::new(cfg, &WorkloadKind::Parallel("swim"))
+        Session::new(cfg, &AgentMix::Parallel("swim"))
             .traced("swim")
             .run()
             .unwrap()

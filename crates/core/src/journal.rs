@@ -231,7 +231,7 @@ fn decode_record(bytes: &[u8], pos: usize) -> Option<(JournalEntry, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{SystemConfig, WorkloadKind};
+    use crate::config::{AgentMix, SystemConfig};
 
     fn tmp(name: &str) -> PathBuf {
         let mut p = std::env::temp_dir();
@@ -243,7 +243,7 @@ mod tests {
         let mut cfg = SystemConfig::paper_baseline(300);
         cfg.cores = 1;
         cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(1);
-        crate::session::Session::new(cfg, &WorkloadKind::Alone("swim"))
+        crate::session::Session::new(cfg, &AgentMix::Alone("swim"))
             .run()
             .unwrap_or_else(|e| panic!("{e}"))
             .stats

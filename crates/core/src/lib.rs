@@ -22,7 +22,7 @@
 //! # Quick start
 //!
 //! ```
-//! use critmem::{PredictorKind, Session, SystemConfig, WorkloadKind};
+//! use critmem::{PredictorKind, Session, SystemConfig, AgentMix};
 //! use critmem_predict::CbpMetric;
 //! use critmem_sched::SchedulerKind;
 //!
@@ -31,7 +31,7 @@
 //! let mut base = SystemConfig::paper_baseline(2_000);
 //! base.cores = 2;
 //! base.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
-//! let wl = WorkloadKind::Parallel("swim");
+//! let wl = AgentMix::Parallel("swim");
 //!
 //! let b = Session::new(base.clone(), &wl).run().unwrap();
 //! let c = Session::new(base, &wl)
@@ -65,7 +65,7 @@ pub mod system;
 
 pub use audit::ConservationAuditor;
 pub use checkpoint::Checkpoint;
-pub use config::{PredictorKind, SystemConfig, WorkloadKind};
+pub use config::{AgentMix, PredictorKind, SystemConfig};
 pub use faults::{FaultHooks, FaultKind, FaultPlan};
 pub use metrics::{geomean, speedup, Average};
 pub use session::{RunOutput, Session};

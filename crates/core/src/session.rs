@@ -11,19 +11,19 @@
 //! the observer, and any checkpoint captured along the way.
 //!
 //! ```
-//! use critmem::{Session, SystemConfig, WorkloadKind};
+//! use critmem::{Session, SystemConfig, AgentMix};
 //!
 //! let mut cfg = SystemConfig::paper_baseline(1_000);
 //! cfg.cores = 2;
 //! cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
-//! let out = Session::new(cfg, &WorkloadKind::Parallel("swim"))
+//! let out = Session::new(cfg, &AgentMix::Parallel("swim"))
 //!     .run()
 //!     .unwrap();
 //! assert!(out.stats.cycles > 0);
 //! ```
 
 use crate::checkpoint::Checkpoint;
-use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::config::{AgentMix, PredictorKind, SystemConfig};
 use crate::faults::FaultPlan;
 use crate::system::{RunStats, System};
 use critmem_common::{RequestObserver, SimError};
@@ -50,7 +50,7 @@ pub struct RunOutput<O = ()> {
 #[derive(Debug)]
 pub struct Session<O: RequestObserver = ()> {
     cfg: SystemConfig,
-    workload: WorkloadKind,
+    workload: AgentMix,
     observer: O,
     checkpoint_at: Option<u64>,
     restore: Option<Checkpoint>,
@@ -59,7 +59,7 @@ pub struct Session<O: RequestObserver = ()> {
 
 impl Session<()> {
     /// Starts a session from a cold (cycle-zero) system.
-    pub fn new(cfg: SystemConfig, workload: &WorkloadKind) -> Self {
+    pub fn new(cfg: SystemConfig, workload: &AgentMix) -> Self {
         Session {
             cfg,
             workload: workload.clone(),
@@ -80,7 +80,7 @@ impl Session<()> {
     pub fn from_checkpoint(
         checkpoint: &Checkpoint,
         cfg: SystemConfig,
-        workload: &WorkloadKind,
+        workload: &AgentMix,
     ) -> Self {
         let mut s = Self::new(cfg, workload);
         s.restore = Some(checkpoint.clone());
@@ -110,6 +110,29 @@ impl<O: RequestObserver> Session<O> {
             critmem_trace::Fingerprint::of(self.cfg.cores, self.cfg.cpu_mhz, &self.cfg.dram);
         let sink = critmem_trace::TraceSink::new(fingerprint, source);
         self.observer(sink)
+    }
+
+    /// Replaces the session's workload with `mix` — the entry point for
+    /// heterogeneous agent mixes, typically parsed from the grammar:
+    ///
+    /// ```
+    /// use critmem::{Session, SystemConfig, AgentMix};
+    ///
+    /// let mix: AgentMix = "ooo:mcf*2+stream:2".parse().unwrap();
+    /// let mut cfg = SystemConfig::multiprogrammed_baseline(500);
+    /// cfg.cores = 2;
+    /// cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
+    /// cfg.max_cycles = 50_000_000;
+    /// let out = Session::new(cfg, &AgentMix::Parallel("swim"))
+    ///     .agents(&mix)
+    ///     .run()
+    ///     .unwrap();
+    /// assert_eq!(out.stats.agents.len(), 2);
+    /// ```
+    #[must_use]
+    pub fn agents(mut self, mix: &AgentMix) -> Self {
+        self.workload = mix.clone();
+        self
     }
 
     /// Samples every registered metric each `epoch` CPU cycles into
@@ -179,7 +202,7 @@ impl<O: RequestObserver> Session<O> {
 
     /// Builds the system (restoring the attached checkpoint, if any)
     /// ready to drive.
-    fn build(self) -> Result<(System<O>, WorkloadKind, Option<u64>), SimError> {
+    fn build(self) -> Result<(System<O>, AgentMix, Option<u64>), SimError> {
         let Session {
             cfg,
             workload,
@@ -260,7 +283,7 @@ mod tests {
 
     #[test]
     fn identical_sessions_are_byte_deterministic() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let a = Session::new(quick(1_500), &wl).run().unwrap().stats;
         let b = Session::new(quick(1_500), &wl).run().unwrap().stats;
         let (mut wa, mut wb) = (
@@ -274,7 +297,7 @@ mod tests {
 
     #[test]
     fn builder_options_compose() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let out = Session::new(quick(1_500), &wl)
             .scheduler(SchedulerKind::CasRasCrit)
             .predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime))
@@ -287,7 +310,7 @@ mod tests {
 
     #[test]
     fn traced_session_captures_requests() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let out = Session::new(quick(1_500), &wl)
             .traced("swim")
             .run()
@@ -298,7 +321,7 @@ mod tests {
 
     #[test]
     fn checkpointed_run_reports_boundary() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let out = Session::new(quick(1_500), &wl)
             .checkpoint_at(2_000)
             .run()
@@ -311,7 +334,7 @@ mod tests {
 
     #[test]
     fn run_to_checkpoint_requires_boundary() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let err = Session::new(quick(1_500), &wl)
             .run_to_checkpoint()
             .unwrap_err();
@@ -320,7 +343,7 @@ mod tests {
 
     #[test]
     fn restore_rejects_platform_mismatch() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let ckpt = Session::new(quick(1_500), &wl)
             .checkpoint_at(1_000)
             .run_to_checkpoint()

@@ -3,7 +3,7 @@
 //! divided bus clock.
 
 use crate::audit::ConservationAuditor;
-use crate::config::{PredictorKind, SystemConfig, WorkloadKind};
+use crate::config::{AgentMix, PredictorKind, SystemConfig};
 use crate::faults::{FaultKind, FaultPlan};
 use critmem_cache::CacheHierarchy;
 use critmem_common::codec::{ByteReader, ByteWriter, CodecError};
@@ -13,12 +13,12 @@ use critmem_common::{
     WatchdogReason, WatchdogSnapshot,
 };
 use critmem_cpu::{
-    CbpPredictor, ClptPredictor, Core, CoreStats, InstrSource, LoadCriticalityPredictor,
-    NoPredictor,
+    AgentClass, AgentStats, CbpPredictor, ClptPredictor, Core, CoreStats, InstrSource,
+    LoadCriticalityPredictor, MemoryAgent, NoPredictor,
 };
 use critmem_dram::{ChannelStats, DramSystem};
 use critmem_predict::{Clpt, CommitBlockPredictor};
-use critmem_workloads::{multi_app, parallel_app, AppThread};
+use critmem_workloads::{build_agent, multi_app, parallel_app, target_units_for, AppThread};
 use std::collections::VecDeque;
 
 /// Aggregated result of one simulation run.
@@ -44,6 +44,9 @@ pub struct RunStats {
     /// Cycle-sampled metric time series, present when
     /// [`SystemConfig::sample_epoch`] was set.
     pub series: Option<SeriesSet>,
+    /// Per-agent statistics for the non-OoO agents of a heterogeneous
+    /// mix, in agent-index order. Empty for core-only workloads.
+    pub agents: Vec<AgentStats>,
 }
 
 impl RunStats {
@@ -147,6 +150,13 @@ impl RunStats {
         if let Some(series) = &self.series {
             series.encode(w);
         }
+        // Trailing field: readers of journals written before the agent
+        // model existed see an exhausted stream here and decode an
+        // empty agent list, keeping old `--resume` journals valid.
+        w.put_u32(self.agents.len() as u32);
+        for a in &self.agents {
+            a.encode(w);
+        }
     }
 
     /// Deserializes journaled run statistics.
@@ -182,6 +192,14 @@ impl RunStats {
         } else {
             None
         };
+        let agents = if r.is_empty() {
+            Vec::new() // journal entry predates the agent model
+        } else {
+            let n_agents = r.get_u32()? as usize;
+            (0..n_agents)
+                .map(|_| AgentStats::decode(r))
+                .collect::<Result<Vec<_>, _>>()?
+        };
         Ok(RunStats {
             cycles,
             core_finish,
@@ -192,6 +210,7 @@ impl RunStats {
             instructions_per_core,
             predictor_observed,
             series,
+            agents,
         })
     }
 }
@@ -265,6 +284,15 @@ pub struct System<O: RequestObserver = ()> {
     cfg: SystemConfig,
     cores: Vec<Core>,
     sources: Vec<Box<dyn InstrSource>>,
+    /// Non-OoO memory agents of a heterogeneous mix, indexed after the
+    /// cores: agent `i` issues as scheduler thread `cores + i`.
+    agents: Vec<Box<dyn MemoryAgent>>,
+    /// Agent requests that found the DRAM queues full, retried in FIFO
+    /// order ahead of fresh generation so backpressure is fair.
+    agent_pending: VecDeque<MemRequest>,
+    /// Reused per-cycle generation buffer (keeps the tick loop
+    /// allocation-free once warm).
+    agent_scratch: Vec<MemRequest>,
     hierarchy: CacheHierarchy,
     dram: DramSystem,
     divider: ClockDivider,
@@ -290,11 +318,14 @@ pub struct System<O: RequestObserver = ()> {
 }
 
 /// One registration/sampling pass over every observable component, in
-/// a fixed order: `cpu.coreN`, `cbp.coreN`, `cache.l2`, `dram.chN`.
+/// a fixed order: `cpu.coreN`, `cbp.coreN`, `cache.l2`, `dram.chN`,
+/// then `agent.aN` for heterogeneous mixes — agents come last so
+/// core-only schemas are unchanged from before the agent model.
 /// Driving both the schema build and every sample row through this one
 /// function guarantees they can never disagree.
 fn observe_components(
     cores: &[Core],
+    agents: &[Box<dyn MemoryAgent>],
     hierarchy: &CacheHierarchy,
     dram: &DramSystem,
     v: &mut dyn MetricVisitor,
@@ -309,6 +340,10 @@ fn observe_components(
     }
     hierarchy.observe(v);
     dram.observe(v);
+    for (i, agent) in agents.iter().enumerate() {
+        v.component(&format!("agent.a{i}"));
+        agent.observe(v);
+    }
 }
 
 impl<O: RequestObserver> std::fmt::Debug for System<O> {
@@ -345,7 +380,7 @@ impl System {
     ///
     /// Panics if the configuration fails validation or the workload
     /// names an unknown application.
-    pub fn new(cfg: SystemConfig, workload: &WorkloadKind) -> Self {
+    pub fn new(cfg: SystemConfig, workload: &AgentMix) -> Self {
         Self::with_observer(cfg, workload, ())
     }
 
@@ -356,7 +391,7 @@ impl System {
     /// [`SimError::Config`] if the configuration fails validation,
     /// [`SimError::UnknownWorkload`] if the workload names an unknown
     /// application or bundle.
-    pub fn try_new(cfg: SystemConfig, workload: &WorkloadKind) -> Result<Self, SimError> {
+    pub fn try_new(cfg: SystemConfig, workload: &AgentMix) -> Result<Self, SimError> {
         Self::try_with_observer(cfg, workload, ())
     }
 }
@@ -369,7 +404,7 @@ impl<O: RequestObserver> System<O> {
     ///
     /// Panics if the configuration fails validation or the workload
     /// names an unknown application.
-    pub fn with_observer(cfg: SystemConfig, workload: &WorkloadKind, observer: O) -> Self {
+    pub fn with_observer(cfg: SystemConfig, workload: &AgentMix, observer: O) -> Self {
         Self::try_with_observer(cfg, workload, observer).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -385,12 +420,12 @@ impl<O: RequestObserver> System<O> {
     /// application or bundle.
     pub fn try_with_observer(
         cfg: SystemConfig,
-        workload: &WorkloadKind,
+        workload: &AgentMix,
         observer: O,
     ) -> Result<Self, SimError> {
         cfg.validate().map_err(SimError::Config)?;
         let sources: Vec<Box<dyn InstrSource>> = match workload {
-            WorkloadKind::Parallel(app) => {
+            AgentMix::Parallel(app) => {
                 let spec = parallel_app(app).ok_or_else(|| SimError::UnknownWorkload {
                     kind: "parallel app",
                     name: (*app).to_string(),
@@ -399,7 +434,7 @@ impl<O: RequestObserver> System<O> {
                     .map(|c| Box::new(AppThread::new(&spec, c, cfg.seed)) as Box<dyn InstrSource>)
                     .collect()
             }
-            WorkloadKind::Bundle(name) => {
+            AgentMix::Bundle(name) => {
                 let bundle =
                     critmem_workloads::bundle(name).ok_or_else(|| SimError::UnknownWorkload {
                         kind: "bundle",
@@ -424,7 +459,7 @@ impl<O: RequestObserver> System<O> {
                     })
                     .collect::<Result<_, SimError>>()?
             }
-            WorkloadKind::Alone(app) => {
+            AgentMix::Alone(app) => {
                 if cfg.cores != 1 {
                     return Err(SimError::Config(format!(
                         "alone runs use a single core (got {})",
@@ -439,18 +474,98 @@ impl<O: RequestObserver> System<O> {
                     })?;
                 vec![Box::new(AppThread::new(&spec, 0, cfg.seed)) as Box<dyn InstrSource>]
             }
+            AgentMix::Hetero(specs) => {
+                let mut srcs: Vec<Box<dyn InstrSource>> = Vec::new();
+                for spec in specs.iter().filter(|s| s.class == AgentClass::Ooo) {
+                    let app = spec.profile;
+                    let app_spec =
+                        multi_app(app)
+                            .or_else(|| parallel_app(app))
+                            .ok_or_else(|| SimError::UnknownWorkload {
+                                kind: "application",
+                                name: app.to_string(),
+                            })?;
+                    for _ in 0..spec.count {
+                        let thread = srcs.len();
+                        srcs.push(Box::new(AppThread::new(&app_spec, thread, cfg.seed)));
+                    }
+                }
+                if srcs.len() != cfg.cores {
+                    return Err(SimError::Config(format!(
+                        "mix has {} ooo agents but the configuration has {} cores",
+                        srcs.len(),
+                        cfg.cores
+                    )));
+                }
+                srcs
+            }
         };
-        let cores: Vec<Core> = (0..cfg.cores)
-            .map(|c| {
-                Core::new(
-                    CoreId(c as u8),
-                    cfg.core,
-                    build_predictor(cfg.predictor),
-                    u64::MAX / 2, // the system, not the core, ends the run
-                )
-            })
-            .collect();
-        let num_threads = cfg.cores;
+        let cores: Vec<Core>;
+        let mut agents: Vec<Box<dyn MemoryAgent>> = Vec::new();
+        if let AgentMix::Hetero(specs) = workload {
+            let mut qos = Vec::new();
+            for spec in specs {
+                for _ in 0..spec.count {
+                    if spec.class == AgentClass::Ooo {
+                        qos.push(spec.effective_qos_millis());
+                    } else {
+                        let index = agents.len();
+                        let thread = cfg.cores + index;
+                        let target = target_units_for(spec.class, cfg.instructions_per_core);
+                        let agent = build_agent(
+                            spec.class,
+                            spec.profile,
+                            index,
+                            CoreId(thread as u8),
+                            spec.effective_qos_millis(),
+                            target,
+                            cfg.seed,
+                        )
+                        .ok_or_else(|| SimError::UnknownWorkload {
+                            kind: "agent profile",
+                            name: format!("{}:{}", spec.class.keyword(), spec.profile),
+                        })?;
+                        agents.push(agent);
+                    }
+                }
+            }
+            if agents.is_empty() && cfg.cores == 0 {
+                return Err(SimError::Config("empty agent mix".to_string()));
+            }
+            if cfg.cores + agents.len() > 64 {
+                return Err(SimError::Config(format!(
+                    "mix has {} participants (64 max)",
+                    cfg.cores + agents.len()
+                )));
+            }
+            cores = qos
+                .into_iter()
+                .enumerate()
+                .map(|(c, millis)| {
+                    Core::new(
+                        CoreId(c as u8),
+                        cfg.core,
+                        build_predictor(cfg.predictor),
+                        u64::MAX / 2, // the system, not the core, ends the run
+                    )
+                    .with_qos_budget_millis(millis)
+                })
+                .collect();
+        } else {
+            cores = (0..cfg.cores)
+                .map(|c| {
+                    Core::new(
+                        CoreId(c as u8),
+                        cfg.core,
+                        build_predictor(cfg.predictor),
+                        u64::MAX / 2, // the system, not the core, ends the run
+                    )
+                })
+                .collect();
+        }
+        // Agents are scheduler threads too: TCM/ATLAS/BLISS rank them
+        // alongside the cores.
+        let num_threads = cfg.cores + agents.len();
         let mut dram = DramSystem::new(cfg.dram, |ch| {
             cfg.scheduler.build(num_threads, u64::from(ch.0))
         });
@@ -463,7 +578,8 @@ impl<O: RequestObserver> System<O> {
         });
         let hierarchy = CacheHierarchy::new(cfg.hierarchy);
         let sampler = cfg.sample_epoch.map(|epoch| {
-            let schema = Schema::build(|v| observe_components(&cores, &hierarchy, &dram, v));
+            let schema =
+                Schema::build(|v| observe_components(&cores, &agents, &hierarchy, &dram, v));
             Sampler::new(schema, epoch)
         });
         // A pool with one worker per shard, clamped so no worker can
@@ -485,6 +601,9 @@ impl<O: RequestObserver> System<O> {
             faults: None,
             cores,
             sources,
+            agents,
+            agent_pending: VecDeque::new(),
+            agent_scratch: Vec::new(),
             cfg,
             observer,
         })
@@ -633,9 +752,9 @@ impl<O: RequestObserver> System<O> {
         let now = self.now;
         // 1. Cores, in rotating order: shared-resource races (L2 MSHRs,
         // transaction-queue slots) must not systematically favor
-        // low-numbered cores.
+        // low-numbered cores. An agent-only mix has none.
         let n = self.cores.len();
-        let start = (now as usize) % n;
+        let start = if n > 0 { (now as usize) % n } else { 0 };
         for k in 0..n {
             let i = (start + k) % n;
             let core = &mut self.cores[i];
@@ -691,6 +810,13 @@ impl<O: RequestObserver> System<O> {
                 }
             }
         }
+        // 3b. Heterogeneous agents inject their traffic directly at the
+        // controller boundary (no cache hierarchy in front of a GPU-like
+        // streamer or a PIM engine): overflow from earlier cycles drains
+        // first, then each agent generates in rotating order.
+        if !self.agents.is_empty() {
+            self.agent_step(now);
+        }
         // 4. DRAM bus clock. With a shard pool the channels tick on
         // worker threads behind a cycle barrier; the merged completion
         // list is identical to the serial tick either way.
@@ -703,8 +829,15 @@ impl<O: RequestObserver> System<O> {
                 if let Some(a) = &mut self.conservation {
                     a.on_complete(done.req.id, now);
                 }
-                for c in self.hierarchy.dram_completed(&done.req, now) {
-                    self.cores[c.core.index()].mem_completed(c.token.0, c.done);
+                let origin = done.req.core.index();
+                if origin >= self.cores.len() {
+                    // Agent traffic bypasses the hierarchy on the way
+                    // back too: completions route by thread index.
+                    self.agents[origin - self.cores.len()].complete(&done.req, now);
+                } else {
+                    for c in self.hierarchy.dram_completed(&done.req, now) {
+                        self.cores[c.core.index()].mem_completed(c.token.0, c.done);
+                    }
                 }
             }
         }
@@ -712,10 +845,60 @@ impl<O: RequestObserver> System<O> {
         // components already maintain; nothing runs when disabled).
         if let Some(sampler) = &mut self.sampler {
             if sampler.due(now) {
-                let (cores, hierarchy, dram) = (&self.cores, &self.hierarchy, &self.dram);
-                sampler.sample(now, |v| observe_components(cores, hierarchy, dram, v));
+                let (cores, agents, hierarchy, dram) =
+                    (&self.cores, &self.agents, &self.hierarchy, &self.dram);
+                sampler.sample(now, |v| {
+                    observe_components(cores, agents, hierarchy, dram, v)
+                });
             }
         }
+    }
+
+    /// Phase 3b of [`Self::step`]: drain the agent overflow queue into
+    /// the DRAM controllers, then let each unfinished agent generate
+    /// this cycle's requests in rotating order. A full transaction
+    /// queue pushes the remainder back onto the overflow queue, which
+    /// keeps strict FIFO priority next cycle — the same backpressure
+    /// discipline the cache outbox gets from `unpop_request`.
+    fn agent_step(&mut self, now: CpuCycle) {
+        while let Some(req) = self.agent_pending.front().copied() {
+            match self.dram.enqueue(req) {
+                Ok(()) => {
+                    self.agent_pending.pop_front();
+                    if let Some(a) = &mut self.conservation {
+                        a.on_enqueue(req.id, now);
+                    }
+                    self.observer.on_enqueue(now, &req);
+                }
+                Err(_) => break,
+            }
+        }
+        let n = self.agents.len();
+        let start = (now as usize) % n;
+        let mut scratch = std::mem::take(&mut self.agent_scratch);
+        for k in 0..n {
+            let i = (start + k) % n;
+            scratch.clear();
+            self.agents[i].generate(now, &mut scratch);
+            for &req in scratch.iter() {
+                // Once anything queued up behind a full controller,
+                // later requests must queue too or ordering inverts.
+                if !self.agent_pending.is_empty() {
+                    self.agent_pending.push_back(req);
+                    continue;
+                }
+                match self.dram.enqueue(req) {
+                    Ok(()) => {
+                        if let Some(a) = &mut self.conservation {
+                            a.on_enqueue(req.id, now);
+                        }
+                        self.observer.on_enqueue(now, &req);
+                    }
+                    Err(back) => self.agent_pending.push_back(back),
+                }
+            }
+        }
+        self.agent_scratch = scratch;
     }
 
     /// The earliest future CPU cycle at which [`Self::step`] could do
@@ -745,6 +928,18 @@ impl<O: RequestObserver> System<O> {
         let mut horizon = CpuCycle::MAX;
         for core in &self.cores {
             horizon = horizon.min(core.quiescent_until(now));
+            if horizon <= nxt {
+                return nxt;
+            }
+        }
+        // Agents honor the same contract: `quiescent_until` bounds the
+        // first cycle at which `generate` could emit. Overflow pending
+        // against a full controller pins the horizon outright.
+        if !self.agent_pending.is_empty() {
+            return nxt;
+        }
+        for agent in &self.agents {
+            horizon = horizon.min(agent.quiescent_until(now));
             if horizon <= nxt {
                 return nxt;
             }
@@ -819,9 +1014,10 @@ impl<O: RequestObserver> System<O> {
         (self.dram.total_queued(), self.hierarchy.outbox_len())
     }
 
-    /// Whether every core has reached the instruction target.
+    /// Whether every core has reached the instruction target and every
+    /// agent its work-unit target.
     pub fn done(&self) -> bool {
-        self.core_finish.iter().all(|f| f.is_some())
+        self.core_finish.iter().all(|f| f.is_some()) && self.agents.iter().all(|a| a.finished())
     }
 
     /// Advances until every core finished, `stop` (a CPU cycle) is
@@ -833,7 +1029,11 @@ impl<O: RequestObserver> System<O> {
     /// holds.
     pub(crate) fn drive(&mut self, stop: Option<CpuCycle>) -> Result<(), SimError> {
         let wd = self.cfg.watchdog;
-        let mut last_committed_total: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+        let progress_total = |cores: &[Core], agents: &[Box<dyn MemoryAgent>]| -> u64 {
+            cores.iter().map(|c| c.stats().committed).sum::<u64>()
+                + agents.iter().map(|a| a.units_done()).sum::<u64>()
+        };
+        let mut last_committed_total: u64 = progress_total(&self.cores, &self.agents);
         let mut last_commit_cycle = self.now;
         let mut next_check = self.now.saturating_add(wd.check_interval);
         while !self.done() && stop.is_none_or(|s| self.now < s) {
@@ -879,7 +1079,7 @@ impl<O: RequestObserver> System<O> {
             if self.now >= next_check {
                 next_check = self.now.saturating_add(wd.check_interval);
                 if wd.no_commit_cycles > 0 {
-                    let total: u64 = self.cores.iter().map(|c| c.stats().committed).sum();
+                    let total: u64 = progress_total(&self.cores, &self.agents);
                     if total > last_committed_total {
                         last_committed_total = total;
                         last_commit_cycle = self.now;
@@ -934,7 +1134,7 @@ impl<O: RequestObserver> System<O> {
     ) {
         self.cfg.scheduler = scheduler;
         self.cfg.predictor = predictor;
-        let num_threads = self.cfg.cores;
+        let num_threads = self.cfg.cores + self.agents.len();
         self.dram
             .replace_schedulers(|ch| scheduler.build(num_threads, u64::from(ch.0)));
         for core in &mut self.cores {
@@ -986,6 +1186,19 @@ impl<O: RequestObserver> System<O> {
         }
         w.put_bool(self.sampler.is_some());
         w.put_bytes(&sampler.into_bytes());
+        // Agent block, present exactly when the mix has agents. The
+        // checkpoint fingerprint covers the workload, so a restore
+        // always agrees with the save on whether this block exists —
+        // core-only checkpoints keep their pre-agent byte layout.
+        if !self.agents.is_empty() {
+            for agent in &self.agents {
+                agent.save_state(w);
+            }
+            w.put_u32(self.agent_pending.len() as u32);
+            for req in &self.agent_pending {
+                req.encode(w);
+            }
+        }
     }
 
     /// Overlays state captured by [`Self::save_state`] onto this
@@ -1047,6 +1260,16 @@ impl<O: RequestObserver> System<O> {
                 s.load_state(&mut sr)?;
             }
         }
+        if !self.agents.is_empty() {
+            for agent in &mut self.agents {
+                agent.load_state(r)?;
+            }
+            let n = r.get_u32()? as usize;
+            self.agent_pending.clear();
+            for _ in 0..n {
+                self.agent_pending.push_back(MemRequest::decode(r)?);
+            }
+        }
         // Restored state invalidates the conservation books: requests
         // outstanding in the snapshot were never seen enqueued here.
         // Re-anchor at the restored cycle; pre-attach completions are
@@ -1082,8 +1305,11 @@ impl<O: RequestObserver> System<O> {
         // counter values are always present, even mid-epoch.
         let series = self.sampler.take().map(|mut sampler| {
             if sampler.last_sampled() != Some(self.now) {
-                let (cores, hierarchy, dram) = (&self.cores, &self.hierarchy, &self.dram);
-                sampler.sample(self.now, |v| observe_components(cores, hierarchy, dram, v));
+                let (cores, agents, hierarchy, dram) =
+                    (&self.cores, &self.agents, &self.hierarchy, &self.dram);
+                sampler.sample(self.now, |v| {
+                    observe_components(cores, agents, hierarchy, dram, v);
+                });
             }
             sampler.into_series()
         });
@@ -1092,6 +1318,11 @@ impl<O: RequestObserver> System<O> {
                 .core_finish
                 .iter()
                 .map(|f| f.unwrap_or(self.now))
+                .chain(
+                    self.agents
+                        .iter()
+                        .map(|a| a.finish_cycle().unwrap_or(self.now)),
+                )
                 .max()
                 .unwrap_or(0),
             core_finish: self
@@ -1110,6 +1341,7 @@ impl<O: RequestObserver> System<O> {
                 .map(|c| c.predictor().observed_extremes())
                 .collect(),
             series,
+            agents: self.agents.iter().map(|a| a.stats()).collect(),
         };
         (stats, self.observer)
     }
@@ -1122,7 +1354,7 @@ mod tests {
     use critmem_predict::CbpMetric;
     use critmem_sched::SchedulerKind;
 
-    fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+    fn run(cfg: SystemConfig, workload: &AgentMix) -> RunStats {
         Session::new(cfg, workload)
             .run()
             .unwrap_or_else(|e| panic!("{e}"))
@@ -1139,7 +1371,7 @@ mod tests {
 
     #[test]
     fn small_parallel_run_completes() {
-        let stats = run(quick(2_000), &WorkloadKind::Parallel("swim"));
+        let stats = run(quick(2_000), &AgentMix::Parallel("swim"));
         assert!(stats.cycles > 0);
         assert_eq!(stats.cores.len(), 2);
         for c in &stats.cores {
@@ -1154,8 +1386,8 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let a = run(quick(1_500), &WorkloadKind::Parallel("mg"));
-        let b = run(quick(1_500), &WorkloadKind::Parallel("mg"));
+        let a = run(quick(1_500), &AgentMix::Parallel("mg"));
+        let b = run(quick(1_500), &AgentMix::Parallel("mg"));
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.hierarchy.l2_misses, b.hierarchy.l2_misses);
     }
@@ -1165,7 +1397,7 @@ mod tests {
         let cfg = quick(3_000)
             .with_scheduler(SchedulerKind::CasRasCrit)
             .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
-        let stats = run(cfg, &WorkloadKind::Parallel("swim"));
+        let stats = run(cfg, &AgentMix::Parallel("swim"));
         let crit_ticks: u64 = stats.channels.iter().map(|c| c.ticks_with_critical).sum();
         assert!(crit_ticks > 0, "critical requests never reached a queue");
         let crit_issued: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
@@ -1176,7 +1408,7 @@ mod tests {
     fn bundle_runs_on_four_cores() {
         let mut cfg = SystemConfig::multiprogrammed_baseline(1_500);
         cfg.max_cycles = 50_000_000;
-        let stats = run(cfg, &WorkloadKind::Bundle("AELV"));
+        let stats = run(cfg, &AgentMix::Bundle("AELV"));
         assert_eq!(stats.cores.len(), 4);
         assert!(stats.ipc(0) > 0.0);
     }
@@ -1188,7 +1420,7 @@ mod tests {
         cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(1);
         cfg.hierarchy.l2_mshrs = 32;
         cfg.max_cycles = 50_000_000;
-        let stats = run(cfg, &WorkloadKind::Alone("mcf"));
+        let stats = run(cfg, &AgentMix::Alone("mcf"));
         assert_eq!(stats.cores.len(), 1);
         assert!(stats.cores[0].committed >= 1_500);
     }
@@ -1198,7 +1430,7 @@ mod tests {
         // Same-deliver-cycle messages must come out in push order and
         // later ones must stay queued: the due set is a strict prefix
         // of the deliver-time-ordered queue.
-        let mut sys = System::new(quick(1_000), &WorkloadKind::Parallel("swim"));
+        let mut sys = System::new(quick(1_000), &AgentMix::Parallel("swim"));
         let at = sys.now() + 1;
         for (addr, core, deliver_at) in [(0x40, 0, at), (0x80, 1, at), (0xC0, 0, at + 1)] {
             sys.forwards.push_back(ForwardMsg {
@@ -1228,7 +1460,7 @@ mod tests {
         cfg.scheduler = SchedulerKind::CasRasCrit;
         cfg.sample_epoch = Some(5_000);
         cfg.skip_ahead = false; // this test IS the skip, done by hand
-        let mut sys = System::new(cfg, &WorkloadKind::Parallel("art"));
+        let mut sys = System::new(cfg, &AgentMix::Parallel("art"));
         fn fingerprint<O: critmem_common::RequestObserver>(
             s: &System<O>,
         ) -> (u64, u64, usize, usize, (usize, usize)) {
@@ -1274,8 +1506,8 @@ mod tests {
         cfg.sample_epoch = Some(10_000);
         let mut serial = cfg.clone();
         serial.skip_ahead = false;
-        let a = run(cfg, &WorkloadKind::Parallel("art"));
-        let b = run(serial, &WorkloadKind::Parallel("art"));
+        let a = run(cfg, &AgentMix::Parallel("art"));
+        let b = run(serial, &AgentMix::Parallel("art"));
         let (mut wa, mut wb) = (ByteWriter::new(), ByteWriter::new());
         a.encode(&mut wa);
         b.encode(&mut wb);
@@ -1291,7 +1523,7 @@ mod tests {
         let mut cfg = quick(3_000);
         cfg.naive_forwarding = true;
         cfg.scheduler = SchedulerKind::CasRasCrit;
-        let stats = run(cfg, &WorkloadKind::Parallel("art"));
+        let stats = run(cfg, &AgentMix::Parallel("art"));
         let crit_ticks: u64 = stats.channels.iter().map(|c| c.ticks_with_critical).sum();
         assert!(
             crit_ticks > 0,
@@ -1301,7 +1533,7 @@ mod tests {
 
     #[test]
     fn audited_run_is_silent_and_byte_identical() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let plain = run(quick(1_500), &wl);
         let audited = Session::new(quick(1_500), &wl)
             .audit(true)
@@ -1329,7 +1561,7 @@ mod tests {
 
     #[test]
     fn dropped_read_trips_the_watchdog() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let plan = crate::faults::FaultPlan::new(7)
             .with_fault(crate::faults::FaultKind::DropRequest { nth_read: 3 });
         let err = Session::new(faulted(1_500), &wl)
@@ -1345,7 +1577,7 @@ mod tests {
 
     #[test]
     fn duplicated_read_flags_conservation() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let plan = crate::faults::FaultPlan::new(7)
             .with_fault(crate::faults::FaultKind::DuplicateRequest { nth_read: 3 });
         let err = Session::new(faulted(1_500), &wl)
@@ -1361,7 +1593,7 @@ mod tests {
 
     #[test]
     fn corrupted_decision_flags_protocol() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let plan = crate::faults::FaultPlan::new(7).with_fault(
             crate::faults::FaultKind::CorruptSchedulerDecision {
                 channel: 0,
@@ -1381,7 +1613,7 @@ mod tests {
 
     #[test]
     fn delayed_read_trips_the_watchdog() {
-        let wl = WorkloadKind::Parallel("swim");
+        let wl = AgentMix::Parallel("swim");
         let plan =
             crate::faults::FaultPlan::new(7).with_fault(crate::faults::FaultKind::DelayRequest {
                 nth_read: 3,
@@ -1395,9 +1627,101 @@ mod tests {
         assert!(matches!(err, SimError::Watchdog(_)), "got {err}");
     }
 
+    /// A baseline for heterogeneous mixes. Streaming agents keep a row
+    /// open for long stretches, so FR-FCFS legitimately queues same-bank
+    /// victims for hundreds of thousands of cycles — that starvation is
+    /// the phenomenon under study, not a hang, so the starved-request
+    /// watchdog gets a much looser leash than the core-only default.
+    fn hetero(cores: usize, instr: u64) -> SystemConfig {
+        let mut cfg = SystemConfig::multiprogrammed_baseline(instr);
+        cfg.cores = cores;
+        cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(cores);
+        cfg.max_cycles = 50_000_000;
+        cfg.watchdog.max_request_age = 2_000_000;
+        cfg
+    }
+
+    #[test]
+    fn hetero_mix_runs_and_completes() {
+        let mix: AgentMix = "ooo:mcf*2+stream:2+bulk".parse().unwrap();
+        let stats = run(hetero(2, 1_000), &mix);
+        assert_eq!(stats.cores.len(), 2);
+        assert_eq!(stats.agents.len(), 3);
+        for a in &stats.agents {
+            assert!(a.units_done >= a.units_target, "agent missed its target");
+            assert!(a.completed > 0);
+        }
+        assert!(stats.cores.iter().all(|c| c.committed >= 1_000));
+    }
+
+    #[test]
+    fn agent_only_mix_runs_without_cores() {
+        let mix: AgentMix = "stream:2+prefetch".parse().unwrap();
+        let stats = run(hetero(0, 2_000), &mix);
+        assert!(stats.cores.is_empty());
+        assert_eq!(stats.agents.len(), 3);
+        assert!(stats.cycles > 0, "cycles must come from agent finishes");
+        let dram_total: u64 = stats
+            .channels
+            .iter()
+            .map(|c| c.reads_completed + c.writes_completed)
+            .sum();
+        assert!(dram_total > 0);
+    }
+
+    #[test]
+    fn hetero_mix_byte_identical_across_engine_knobs() {
+        let mix: AgentMix = "ooo:mcf+stream+bulk:copy+prefetch".parse().unwrap();
+        let base = || {
+            let mut cfg = hetero(1, 800);
+            cfg.hierarchy.l2_mshrs = 32;
+            cfg.sample_epoch = Some(10_000);
+            cfg
+        };
+        let bytes = |stats: RunStats| {
+            let mut w = ByteWriter::new();
+            stats.encode(&mut w);
+            w.into_bytes()
+        };
+        let reference = bytes(run(base(), &mix));
+        let mut serial = base();
+        serial.skip_ahead = false;
+        assert_eq!(
+            bytes(run(serial, &mix)),
+            reference,
+            "--no-skip-ahead must not perturb a hetero run"
+        );
+        let mut sharded = base();
+        sharded.shards = 2;
+        assert_eq!(
+            bytes(run(sharded, &mix)),
+            reference,
+            "--shards must not perturb a hetero run"
+        );
+        let audited = Session::new(base(), &mix)
+            .audit(true)
+            .run()
+            .expect("a clean hetero run must not raise audit violations")
+            .stats;
+        assert_eq!(
+            bytes(audited),
+            reference,
+            "--audit must not perturb a hetero run"
+        );
+    }
+
+    #[test]
+    fn hetero_mix_rejects_core_count_mismatch() {
+        let mix: AgentMix = "ooo:mcf*2+stream".parse().unwrap();
+        let mut cfg = SystemConfig::multiprogrammed_baseline(500);
+        cfg.cores = 4;
+        let err = System::try_new(cfg, &mix).unwrap_err();
+        assert!(matches!(err, SimError::Config(_)), "got {err}");
+    }
+
     #[test]
     fn rob_blocking_is_observed() {
-        let stats = run(quick(3_000), &WorkloadKind::Parallel("art"));
+        let stats = run(quick(3_000), &AgentMix::Parallel("art"));
         assert!(stats.blocked_load_fraction() > 0.0);
         assert!(
             stats.blocked_cycle_fraction() > 0.05,

@@ -4,7 +4,7 @@
 //! stepping, across schedulers, predictors, sampling, trace capture,
 //! and checkpoint restore.
 
-use critmem::{PredictorKind, RunStats, Session, System, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, RunStats, Session, System, SystemConfig};
 use critmem_common::codec::ByteWriter;
 use critmem_predict::CbpMetric;
 use critmem_sched::{MorseConfig, SchedulerKind, TcmTiebreak};
@@ -26,7 +26,7 @@ fn with_kernel(cfg: &SystemConfig, shards: usize, skip_ahead: bool) -> SystemCon
     c
 }
 
-fn run(cfg: SystemConfig, wl: &WorkloadKind) -> RunStats {
+fn run(cfg: SystemConfig, wl: &AgentMix) -> RunStats {
     Session::new(cfg, wl)
         .run()
         .unwrap_or_else(|e| panic!("{e}"))
@@ -61,7 +61,7 @@ fn every_scheduler_is_identical_under_the_accelerated_kernel() {
         },
         SchedulerKind::Morse(MorseConfig::default()),
     ];
-    let wl = WorkloadKind::Parallel("swim");
+    let wl = AgentMix::Parallel("swim");
     for sched in schedulers {
         let cfg = base_cfg(600)
             .with_scheduler(sched)
@@ -83,7 +83,7 @@ fn every_cbp_metric_is_identical_under_the_accelerated_kernel() {
         CbpMetric::MaxStallTime,
         CbpMetric::TotalStallTime,
     ];
-    let wl = WorkloadKind::Parallel("art");
+    let wl = AgentMix::Parallel("art");
     for metric in metrics {
         let cfg = base_cfg(600)
             .with_scheduler(SchedulerKind::CasRasCrit)
@@ -107,7 +107,7 @@ fn all_modes_identical_with_forwarding_and_sampling() {
         .with_scheduler(SchedulerKind::CasRasCrit)
         .with_sampling(7_500);
     cfg.naive_forwarding = true;
-    let wl = WorkloadKind::Parallel("art");
+    let wl = AgentMix::Parallel("art");
     let reference = bytes(&run(with_kernel(&cfg, 1, false), &wl));
     for (name, shards, skip) in [
         ("skip-ahead", 1, true),
@@ -125,7 +125,7 @@ fn all_modes_identical_with_forwarding_and_sampling() {
 #[test]
 fn trace_capture_is_identical_under_the_accelerated_kernel() {
     let cfg = base_cfg(800).with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
-    let wl = WorkloadKind::Parallel("swim");
+    let wl = AgentMix::Parallel("swim");
     let capture = |cfg: SystemConfig| {
         Session::new(cfg, &wl)
             .traced("swim")
@@ -146,7 +146,7 @@ fn trace_capture_is_identical_under_the_accelerated_kernel() {
 #[test]
 fn checkpoint_restore_mid_run_is_identical() {
     let cfg = base_cfg(1_200).with_scheduler(SchedulerKind::CasRasCrit);
-    let wl = WorkloadKind::Parallel("swim");
+    let wl = AgentMix::Parallel("swim");
     let reference = bytes(&run(with_kernel(&cfg, 1, false), &wl));
     let ckpt = Session::new(with_kernel(&cfg, 1, false), &wl)
         .checkpoint_at(5_000)
@@ -169,7 +169,7 @@ fn idle_horizon_is_sound_through_the_public_api() {
     cfg.naive_forwarding = true;
     cfg.sample_epoch = Some(5_000);
     cfg.skip_ahead = false; // this test performs the window walk itself
-    let mut sys = System::new(cfg, &WorkloadKind::Parallel("art"));
+    let mut sys = System::new(cfg, &AgentMix::Parallel("art"));
     fn fingerprint(s: &System) -> (Vec<u64>, (usize, usize), usize, usize) {
         (
             s.committed(),

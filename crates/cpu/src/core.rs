@@ -226,6 +226,10 @@ pub struct Core {
     target: u64,
     dispatched: u64,
     stats: CoreStats,
+    /// QoS slowdown budget in thousandths (see
+    /// [`crate::AgentClass::default_qos_millis`]). Configuration, not
+    /// mutable state: deliberately outside `save_state`.
+    qos_millis: u32,
 }
 
 impl std::fmt::Debug for Core {
@@ -270,12 +274,25 @@ impl Core {
             target,
             dispatched: 0,
             stats: CoreStats::default(),
+            qos_millis: crate::AgentClass::Ooo.default_qos_millis(),
         }
     }
 
     /// This core's id.
     pub fn id(&self) -> CoreId {
         self.id
+    }
+
+    /// QoS slowdown budget in thousandths.
+    pub fn qos_budget_millis(&self) -> u32 {
+        self.qos_millis
+    }
+
+    /// Sets the QoS slowdown budget (thousandths; builder style).
+    #[must_use]
+    pub fn with_qos_budget_millis(mut self, millis: u32) -> Self {
+        self.qos_millis = millis;
+        self
     }
 
     /// Whether the core has committed its instruction target.

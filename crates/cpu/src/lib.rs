@@ -33,12 +33,14 @@
 //! assert!(core.stats().committed >= 100);
 //! ```
 
+pub mod agent;
 pub mod config;
 pub mod core;
 pub mod instr;
 pub mod predictor;
 
 pub use crate::core::{BlockStart, Core, CoreStats, InstrSource, StepEvents, LONG_BLOCK_CYCLES};
+pub use agent::{AgentClass, AgentStats, MemoryAgent, AGENT_REQ_BASE, AGENT_REQ_STRIDE};
 pub use config::CoreConfig;
 pub use instr::{Instr, InstrKind};
 pub use predictor::{CbpPredictor, ClptPredictor, LoadCriticalityPredictor, NoPredictor};

@@ -21,10 +21,15 @@
 //! assert!(instr.pc >= 0x1000);
 //! ```
 
+pub mod agents;
 pub mod multi;
 pub mod parallel;
 pub mod spec;
 
+pub use agents::{
+    agent_profiles, build_agent, default_profile, resolve_profile, target_units_for, BulkAgent,
+    PrefetchAgent, StreamAgent,
+};
 pub use multi::{app_class, bundle, multi_app, AppClass, Bundle, BUNDLES, MULTI_APPS};
 pub use parallel::{parallel_app, PARALLEL_APPS};
 pub use spec::{AddrPattern, AppSpec, AppThread, DepSpec, OpClass, Phase, StaticOp, SHARED_BASE};

@@ -6,19 +6,19 @@
 //! cargo run --release --example design_space
 //! ```
 
-use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, RunStats, Session, SystemConfig};
 use critmem_dram::timing::preset_by_name;
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 
-fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+fn run(cfg: SystemConfig, workload: &AgentMix) -> RunStats {
     Session::new(cfg, workload)
         .run()
         .unwrap_or_else(|e| panic!("{e}"))
         .stats
 }
 
-fn measure(cfg: SystemConfig, workload: &WorkloadKind) -> (u64, u64) {
+fn measure(cfg: SystemConfig, workload: &AgentMix) -> (u64, u64) {
     let base = run(cfg.clone(), workload);
     let crit = run(
         cfg.with_scheduler(SchedulerKind::CasRasCrit)
@@ -30,7 +30,7 @@ fn measure(cfg: SystemConfig, workload: &WorkloadKind) -> (u64, u64) {
 
 fn main() {
     let instructions = 10_000;
-    let workload = WorkloadKind::Parallel("mg");
+    let workload = AgentMix::Parallel("mg");
 
     println!("rank sweep (DDR3-2133, app = mg): fewer ranks => more contention");
     for ranks in [1u8, 2, 4] {

@@ -9,11 +9,11 @@
 //! cargo run --release --example metric_shootout
 //! ```
 
-use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, RunStats, Session, SystemConfig};
 use critmem_predict::{CbpMetric, ClptMode};
 use critmem_sched::SchedulerKind;
 
-fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+fn run(cfg: SystemConfig, workload: &AgentMix) -> RunStats {
     Session::new(cfg, workload)
         .run()
         .unwrap_or_else(|e| panic!("{e}"))
@@ -22,7 +22,7 @@ fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
 
 fn main() {
     let instructions = 15_000;
-    let workload = WorkloadKind::Parallel("art");
+    let workload = AgentMix::Parallel("art");
     let base_cfg = SystemConfig::paper_baseline(instructions);
 
     println!("app = art, {instructions} instructions/core, CASRAS-Crit scheduler\n");

@@ -10,12 +10,12 @@
 //! ```
 
 use critmem::metrics::{max_slowdown, weighted_speedup};
-use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, RunStats, Session, SystemConfig};
 use critmem_predict::CbpMetric;
 use critmem_sched::{SchedulerKind, TcmTiebreak};
 use critmem_workloads::bundle;
 
-fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+fn run(cfg: SystemConfig, workload: &AgentMix) -> RunStats {
     Session::new(cfg, workload)
         .run()
         .unwrap_or_else(|e| panic!("{e}"))
@@ -40,7 +40,7 @@ fn main() {
             cfg.cores = 1;
             cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(1);
             cfg.hierarchy.l2_mshrs = 32;
-            let stats = run(cfg, &WorkloadKind::Alone(app));
+            let stats = run(cfg, &AgentMix::Alone(app));
             let ipc = stats.ipc(0);
             println!("  alone IPC {app:<7} = {ipc:.3}");
             ipc
@@ -81,7 +81,7 @@ fn main() {
         let cfg = SystemConfig::multiprogrammed_baseline(instructions)
             .with_scheduler(sched)
             .with_predictor(pred);
-        let stats = run(cfg, &WorkloadKind::Bundle(bundle_name));
+        let stats = run(cfg, &AgentMix::Bundle(bundle_name));
         let ws = weighted_speedup(&stats, &alone);
         let ms = max_slowdown(&stats, &alone);
         let ws_parbs = *ws_parbs.get_or_insert(ws);

@@ -9,13 +9,13 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use critmem::{PredictorKind, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, Session, SystemConfig};
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
 
 fn main() {
     let instructions = 20_000;
-    let workload = WorkloadKind::Parallel("swim");
+    let workload = AgentMix::Parallel("swim");
 
     println!("simulating swim on 8 cores, {instructions} instructions/core ...");
 

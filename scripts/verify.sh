@@ -99,6 +99,21 @@ diff "$tmp/fair.serial" "$tmp/fair.shards2"
 ./target/release/repro --scale quick --jobs 1 --no-skip-ahead fairness AELV > "$tmp/fair.noskip" 2>/dev/null
 diff "$tmp/fair.serial" "$tmp/fair.noskip"
 
+echo "== hetero mix smoke test (table + export, deterministic)"
+# A small heterogeneous mix through the scheduler zoo: the table and
+# JSONL export must emit, and stdout must be byte-identical across
+# --jobs (the engine-knob matrix is covered by the fairness smoke and
+# the hetero system/checkpoint tests).
+./target/release/repro --scale quick --jobs 1 hetero 'ooo:mcf+stream+bulk' \
+  > "$tmp/hetero.serial" 2>/dev/null
+grep -q 'Heterogeneous-mix sweep' "$tmp/hetero.serial"
+grep -q '^BLISS ' "$tmp/hetero.serial"
+grep -q 'QoS violations' "$tmp/hetero.serial"
+grep -q '"type":"export"' "$tmp/hetero.serial"
+./target/release/repro --scale quick --jobs 2 hetero 'ooo:mcf+stream+bulk' \
+  > "$tmp/hetero.jobs2" 2>/dev/null
+diff "$tmp/hetero.serial" "$tmp/hetero.jobs2"
+
 echo "== audit smoke test (--audit byte-identical, campaign 100% detection)"
 # An audited run must be silent and byte-identical to the unaudited
 # baseline; the scheduler certification and the fault-injection

@@ -5,7 +5,7 @@
 //! unaudited run's.
 
 use critmem::experiments::audit_schedulers;
-use critmem::{Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, Session, SystemConfig};
 use critmem_common::codec::ByteWriter;
 use critmem_sched::SchedulerKind;
 
@@ -20,7 +20,7 @@ fn cfg(sched: SchedulerKind, seed_xor: u64, shards: usize, skip_ahead: bool) -> 
 }
 
 fn stats_bytes(c: SystemConfig, audit: bool, what: &str) -> Vec<u8> {
-    let out = Session::new(c, &WorkloadKind::Bundle("AELV"))
+    let out = Session::new(c, &AgentMix::Bundle("AELV"))
         .audit(audit)
         .run()
         .unwrap_or_else(|e| panic!("{what}: clean run raised {e}"));

@@ -4,7 +4,7 @@
 //! corrupt `CMCK` artifacts, and the `--jobs N` determinism of
 //! warm-started sweeps.
 
-use critmem::config::{PredictorKind, SystemConfig, WorkloadKind};
+use critmem::config::{AgentMix, PredictorKind, SystemConfig};
 use critmem::experiments::{Runner, Scale};
 use critmem::{Checkpoint, RunStats, Session, System};
 use critmem_common::codec::ByteWriter;
@@ -34,7 +34,7 @@ fn encode(stats: &RunStats) -> Vec<u8> {
 /// annotation metrics (whose table state rides inside the snapshot).
 #[test]
 fn same_config_restore_is_bit_exact_for_every_cbp_metric() {
-    let wl = WorkloadKind::Parallel("swim");
+    let wl = AgentMix::Parallel("swim");
     for metric in [
         CbpMetric::Binary,
         CbpMetric::BlockCount,
@@ -74,7 +74,7 @@ fn same_config_restore_is_bit_exact_for_every_cbp_metric() {
 /// correctness anchor for shared-warmup sweeps.
 #[test]
 fn component_swap_matches_in_place_reconfigure() {
-    let wl = WorkloadKind::Parallel("swim");
+    let wl = AgentMix::Parallel("swim");
     let base = small_cfg(2_000); // FR-FCFS, no predictor
     let sched = SchedulerKind::CasRasCrit;
     let pred = PredictorKind::cbp64(CbpMetric::MaxStallTime);
@@ -111,11 +111,46 @@ fn component_swap_matches_in_place_reconfigure() {
     );
 }
 
+/// Checkpointing a heterogeneous mix holding all four agent classes
+/// and restoring through the on-disk `CMCK` wire format must be
+/// invisible: the continued run is bit-identical to the uninterrupted
+/// one, agent state (stream positions, open batches, prefetch RNG,
+/// overflow queue) included.
+#[test]
+fn hetero_mix_restore_is_bit_exact_for_all_four_classes() {
+    let mix: AgentMix = "ooo:mcf*2+stream+bulk:copy+prefetch:wild"
+        .parse()
+        .expect("grammar");
+    let mut cfg = SystemConfig::multiprogrammed_baseline(1_200);
+    cfg.cores = 2;
+    cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
+    cfg.max_cycles = 50_000_000;
+    // Streaming agents legitimately starve same-bank victims under
+    // FR-FCFS; loosen the starvation watchdog accordingly.
+    cfg.watchdog.max_request_age = 2_000_000;
+    let cold = Session::new(cfg.clone(), &mix).run().unwrap().stats;
+    let ckpt = Session::new(cfg.clone(), &mix)
+        .checkpoint_at(BOUNDARY)
+        .run_to_checkpoint()
+        .unwrap();
+    let ckpt = Checkpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+    let warm = Session::from_checkpoint(&ckpt, cfg, &mix)
+        .run()
+        .unwrap()
+        .stats;
+    assert_eq!(
+        encode(&cold),
+        encode(&warm),
+        "hetero warm continuation diverged from the cold run"
+    );
+    assert_eq!(warm.agents.len(), 3);
+}
+
 /// Damaged `CMCK` files surface as typed errors — never panics — and a
 /// healthy file survives the disk round-trip.
 #[test]
 fn corrupt_checkpoint_files_yield_typed_errors() {
-    let wl = WorkloadKind::Parallel("swim");
+    let wl = AgentMix::Parallel("swim");
     let ckpt = Session::new(small_cfg(1_000), &wl)
         .checkpoint_at(500)
         .run_to_checkpoint()

@@ -2,11 +2,11 @@
 //! commit stage, table-size/aliasing effects, periodic reset, and the
 //! §5.1 naive-forwarding contrast.
 
-use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, RunStats, Session, SystemConfig};
 use critmem_predict::{CbpMetric, TableSize};
 use critmem_sched::SchedulerKind;
 
-fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+fn run(cfg: SystemConfig, workload: &AgentMix) -> RunStats {
     Session::new(cfg, workload)
         .run()
         .unwrap_or_else(|e| panic!("{e}"))
@@ -27,7 +27,7 @@ fn cbp_learns_and_requests_become_critical() {
         cfg(4_000)
             .with_scheduler(SchedulerKind::CasRasCrit)
             .with_predictor(PredictorKind::cbp64(CbpMetric::Binary)),
-        &WorkloadKind::Parallel("swim"),
+        &AgentMix::Parallel("swim"),
     );
     let issued: u64 = stats.cores.iter().map(|c| c.issued_loads).sum();
     let critical: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
@@ -51,7 +51,7 @@ fn observed_counter_widths_are_plausible() {
             cfg(4_000)
                 .with_scheduler(SchedulerKind::CasRasCrit)
                 .with_predictor(PredictorKind::cbp64(metric)),
-            &WorkloadKind::Parallel("art"),
+            &AgentMix::Parallel("art"),
         );
         stats
             .predictor_observed
@@ -84,7 +84,7 @@ fn aliased_64_entry_table_tracks_unlimited_closely() {
                     size,
                     reset_interval: None,
                 }),
-            &WorkloadKind::Parallel("mg"),
+            &AgentMix::Parallel("mg"),
         )
         .cycles as f64
     };
@@ -107,7 +107,7 @@ fn periodic_reset_clears_saturation_without_breaking_anything() {
                 size: TableSize::Entries(64),
                 reset_interval: Some(5_000),
             }),
-        &WorkloadKind::Parallel("swim"),
+        &AgentMix::Parallel("swim"),
     );
     // The run spans several reset intervals, and the predictor kept
     // marking loads after each reset.
@@ -124,7 +124,7 @@ fn periodic_reset_clears_saturation_without_breaking_anything() {
 fn naive_forwarding_marks_queued_requests_but_learns_nothing() {
     let mut c = cfg(4_000).with_scheduler(SchedulerKind::CasRasCrit);
     c.naive_forwarding = true;
-    let stats = run(c, &WorkloadKind::Parallel("art"));
+    let stats = run(c, &AgentMix::Parallel("art"));
     // Requests got promoted in the queues...
     let (one, _) = stats.critical_queue_fractions();
     assert!(one > 0.0, "naive forwarding should promote queued requests");
@@ -145,7 +145,7 @@ fn clpt_marks_are_disjoint_from_dram_boundness() {
             .with_predictor(PredictorKind::Clpt(critmem_predict::ClptMode::Binary {
                 threshold: 3,
             })),
-        &WorkloadKind::Parallel("swim"),
+        &AgentMix::Parallel("swim"),
     );
     let issued_crit: u64 = stats.cores.iter().map(|c| c.issued_critical_loads).sum();
     assert!(

@@ -2,7 +2,7 @@
 //! never cost the rest of the sweep, and a journaled sweep must resume
 //! to byte-identical results.
 
-use critmem::config::{PredictorKind, WorkloadKind};
+use critmem::config::{AgentMix, PredictorKind};
 use critmem::experiments::{Runner, Scale};
 use critmem::journal::SweepJournal;
 use critmem_common::SimError;
@@ -81,7 +81,7 @@ fn unknown_workload_cell_is_contained() {
     let stats = r.run_keyed(
         "bogus|case".to_string(),
         r.parallel_cfg(),
-        &WorkloadKind::Parallel("not-an-app"),
+        &AgentMix::Parallel("not-an-app"),
     );
     assert_eq!(stats.cycles, 1, "placeholder for the failed cell");
     assert_eq!(r.failures().len(), 1);

@@ -4,7 +4,7 @@
 
 use critmem::config::PredictorKind;
 use critmem::experiments::{stats_export, Runner, Scale};
-use critmem::{SystemConfig, WorkloadKind};
+use critmem::{AgentMix, SystemConfig};
 use critmem_common::SeriesExport;
 use critmem_predict::CbpMetric;
 use critmem_sched::SchedulerKind;
@@ -66,7 +66,7 @@ fn sampled_run_matches_unsampled_results() {
     let mut cfg = SystemConfig::paper_baseline(2_000);
     cfg.cores = 2;
     cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
-    let wl = WorkloadKind::Parallel("swim");
+    let wl = AgentMix::Parallel("swim");
     let plain = critmem::Session::new(cfg.clone(), &wl)
         .run()
         .expect("plain run")
@@ -96,8 +96,8 @@ fn empty_run_stats_stay_finite() {
     let mut cfg = SystemConfig::paper_baseline(1_000);
     cfg.cores = 2;
     cfg.hierarchy = critmem_cache::HierarchyConfig::paper_baseline(2);
-    let stats = critmem::System::new(cfg.with_sampling(10_000), &WorkloadKind::Parallel("swim"))
-        .into_stats();
+    let stats =
+        critmem::System::new(cfg.with_sampling(10_000), &AgentMix::Parallel("swim")).into_stats();
     for core in 0..2 {
         assert!(stats.ipc(core).is_finite());
         assert!(stats.cores[core].ipc().is_finite());

@@ -1,11 +1,11 @@
 //! Cross-crate integration tests: end-to-end request flow through
 //! cores, caches, every scheduler, and the DDR3 model.
 
-use critmem::{PredictorKind, RunStats, Session, SystemConfig, WorkloadKind};
+use critmem::{AgentMix, PredictorKind, RunStats, Session, SystemConfig};
 use critmem_predict::{CbpMetric, ClptMode, TableSize};
 use critmem_sched::{MorseConfig, SchedulerKind, TcmTiebreak};
 
-fn run(cfg: SystemConfig, workload: &WorkloadKind) -> RunStats {
+fn run(cfg: SystemConfig, workload: &AgentMix) -> RunStats {
     Session::new(cfg, workload)
         .run()
         .unwrap_or_else(|e| panic!("{e}"))
@@ -45,7 +45,7 @@ fn every_scheduler_completes_a_parallel_run() {
         let cfg = small_cfg(2_000)
             .with_scheduler(sched)
             .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
-        let stats = run(cfg, &WorkloadKind::Parallel("mg"));
+        let stats = run(cfg, &AgentMix::Parallel("mg"));
         assert!(stats.cycles > 0, "{}", sched.name());
         for (i, c) in stats.cores.iter().enumerate() {
             assert!(
@@ -89,7 +89,7 @@ fn every_predictor_kind_completes() {
         let cfg = small_cfg(1_500)
             .with_scheduler(SchedulerKind::CasRasCrit)
             .with_predictor(pred);
-        let stats = run(cfg, &WorkloadKind::Parallel("equake"));
+        let stats = run(cfg, &AgentMix::Parallel("equake"));
         assert!(stats.cycles > 0, "{}", pred.name());
     }
 }
@@ -97,7 +97,7 @@ fn every_predictor_kind_completes() {
 #[test]
 fn all_parallel_apps_run_end_to_end() {
     for app in critmem_workloads::PARALLEL_APPS {
-        let stats = run(small_cfg(1_200), &WorkloadKind::Parallel(app));
+        let stats = run(small_cfg(1_200), &AgentMix::Parallel(app));
         assert!(stats.cycles > 0, "{app}");
         assert!(stats.hierarchy.l2_misses > 0, "{app} should miss the L2");
         let loads: u64 = stats.cores.iter().map(|c| c.loads).sum();
@@ -110,7 +110,7 @@ fn all_bundles_run_end_to_end() {
     for b in critmem_workloads::BUNDLES {
         let mut cfg = SystemConfig::multiprogrammed_baseline(1_200);
         cfg.max_cycles = 200_000_000;
-        let stats = run(cfg, &WorkloadKind::Bundle(b.name));
+        let stats = run(cfg, &AgentMix::Bundle(b.name));
         assert_eq!(stats.cores.len(), 4, "{}", b.name);
         for i in 0..4 {
             assert!(stats.ipc(i) > 0.0, "{} app {i}", b.name);
@@ -120,10 +120,10 @@ fn all_bundles_run_end_to_end() {
 
 #[test]
 fn prefetcher_reduces_baseline_cycles_on_streaming_app() {
-    let base = run(small_cfg(4_000), &WorkloadKind::Parallel("swim"));
+    let base = run(small_cfg(4_000), &AgentMix::Parallel("swim"));
     let pf = run(
         small_cfg(4_000).with_prefetcher(),
-        &WorkloadKind::Parallel("swim"),
+        &AgentMix::Parallel("swim"),
     );
     assert!(pf.hierarchy.prefetches_sent > 0);
     assert!(
@@ -137,15 +137,15 @@ fn prefetcher_reduces_baseline_cycles_on_streaming_app() {
 
 #[test]
 fn refresh_actually_happens_in_long_runs() {
-    let stats = run(small_cfg(6_000), &WorkloadKind::Parallel("swim"));
+    let stats = run(small_cfg(6_000), &AgentMix::Parallel("swim"));
     let refreshes: u64 = stats.channels.iter().map(|c| c.refreshes).sum();
     assert!(refreshes > 0, "tREFI should have elapsed at least once");
 }
 
 #[test]
 fn identical_configs_are_bit_identical() {
-    let a = run(small_cfg(2_000), &WorkloadKind::Parallel("radix"));
-    let b = run(small_cfg(2_000), &WorkloadKind::Parallel("radix"));
+    let a = run(small_cfg(2_000), &AgentMix::Parallel("radix"));
+    let b = run(small_cfg(2_000), &AgentMix::Parallel("radix"));
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.core_finish, b.core_finish);
     assert_eq!(a.hierarchy.l2_misses, b.hierarchy.l2_misses);
@@ -155,10 +155,10 @@ fn identical_configs_are_bit_identical() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = run(small_cfg(2_000), &WorkloadKind::Parallel("radix"));
+    let a = run(small_cfg(2_000), &AgentMix::Parallel("radix"));
     let mut cfg = small_cfg(2_000);
     cfg.seed ^= 0xDEAD_BEEF;
-    let b = run(cfg, &WorkloadKind::Parallel("radix"));
+    let b = run(cfg, &AgentMix::Parallel("radix"));
     assert_ne!(
         a.cycles, b.cycles,
         "seed must influence random address streams"
@@ -170,7 +170,7 @@ fn ddr3_1066_and_1600_presets_run() {
     for dev in ["DDR3-1066", "DDR3-1600"] {
         let mut cfg = small_cfg(1_500);
         cfg.dram.preset = critmem_dram::timing::preset_by_name(dev).unwrap();
-        let stats = run(cfg, &WorkloadKind::Parallel("mg"));
+        let stats = run(cfg, &AgentMix::Parallel("mg"));
         assert!(stats.cycles > 0, "{dev}");
     }
 }
@@ -181,8 +181,8 @@ fn slower_memory_means_more_cycles() {
     fast.dram.preset = critmem_dram::timing::preset_by_name("DDR3-2133").unwrap();
     let mut slow = small_cfg(3_000);
     slow.dram.preset = critmem_dram::timing::preset_by_name("DDR3-1066").unwrap();
-    let f = run(fast, &WorkloadKind::Parallel("swim"));
-    let s = run(slow, &WorkloadKind::Parallel("swim"));
+    let f = run(fast, &AgentMix::Parallel("swim"));
+    let s = run(slow, &AgentMix::Parallel("swim"));
     assert!(
         s.cycles > f.cycles,
         "halving the bus clock must cost cycles ({} vs {})",
@@ -195,6 +195,6 @@ fn slower_memory_means_more_cycles() {
 fn cacheline_interleaving_also_works() {
     let mut cfg = small_cfg(1_500);
     cfg.dram.interleaving = critmem_dram::Interleaving::CacheLine;
-    let stats = run(cfg, &WorkloadKind::Parallel("ocean"));
+    let stats = run(cfg, &AgentMix::Parallel("ocean"));
     assert!(stats.cycles > 0);
 }

@@ -8,7 +8,7 @@
 //! rejected), and fidelity (the replay path ranks schedulers the same
 //! way the execution-driven path does).
 
-use critmem::config::{PredictorKind, SystemConfig, WorkloadKind};
+use critmem::config::{AgentMix, PredictorKind, SystemConfig};
 use critmem::experiments::{Runner, Scale};
 use critmem::Session;
 use critmem_dram::DramSystem;
@@ -19,11 +19,7 @@ use critmem_trace::{Fingerprint, ReplayConfig, Trace, TraceError, TraceReplayer,
 const INSTRUCTIONS: u64 = 2_000;
 const APP: &str = "swim";
 
-fn run_traced(
-    cfg: SystemConfig,
-    workload: &WorkloadKind,
-    source: &str,
-) -> (critmem::RunStats, Trace) {
+fn run_traced(cfg: SystemConfig, workload: &AgentMix, source: &str) -> (critmem::RunStats, Trace) {
     let out = Session::new(cfg, workload)
         .traced(source)
         .run()
@@ -49,7 +45,7 @@ fn capture_and_replay_same_config(
     let cfg = capture_cfg(scheduler);
     let dram_cfg = cfg.dram;
     let threads = cfg.cores;
-    let (stats, trace) = run_traced(cfg, &WorkloadKind::Parallel(APP), APP);
+    let (stats, trace) = run_traced(cfg, &AgentMix::Parallel(APP), APP);
     assert!(!trace.records.is_empty(), "capture produced no requests");
     let dram = DramSystem::new(dram_cfg, |ch| scheduler.build(threads, u64::from(ch.0)));
     let replay_cfg = ReplayConfig {
@@ -67,7 +63,7 @@ fn identical_executions_serialize_to_byte_identical_traces() {
     let run = || {
         let (_, trace) = run_traced(
             capture_cfg(SchedulerKind::FrFcfs),
-            &WorkloadKind::Parallel(APP),
+            &AgentMix::Parallel(APP),
             APP,
         );
         trace
@@ -184,7 +180,7 @@ fn replay_ranks_schedulers_like_execution() {
 #[test]
 fn mismatched_topology_is_rejected_end_to_end() {
     let cfg = capture_cfg(SchedulerKind::FrFcfs);
-    let (_, trace) = run_traced(cfg.clone(), &WorkloadKind::Parallel(APP), APP);
+    let (_, trace) = run_traced(cfg.clone(), &AgentMix::Parallel(APP), APP);
 
     // A DRAM system with a different channel count must be refused.
     let mut narrow = cfg.dram;
@@ -206,7 +202,7 @@ fn mismatched_topology_is_rejected_end_to_end() {
 fn trace_files_survive_disk_round_trip() {
     let (_, trace) = run_traced(
         capture_cfg(SchedulerKind::FrFcfs),
-        &WorkloadKind::Parallel(APP),
+        &AgentMix::Parallel(APP),
         APP,
     );
     let dir = std::env::temp_dir();
@@ -227,7 +223,7 @@ fn sink_observer_matches_run_traced() {
     let cfg = capture_cfg(SchedulerKind::FrFcfs);
     let fp = Fingerprint::of(cfg.cores, cfg.cpu_mhz, &cfg.dram);
     let sink = TraceSink::new(fp, APP);
-    let workload = WorkloadKind::Parallel(APP);
+    let workload = AgentMix::Parallel(APP);
     let manual = Session::new(cfg.clone(), &workload)
         .observer(sink)
         .run()

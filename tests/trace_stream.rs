@@ -9,7 +9,7 @@
 //! seed-deterministic end to end (same profile + seed ⇒ identical
 //! replay statistics).
 
-use critmem::config::{PredictorKind, SystemConfig, WorkloadKind};
+use critmem::config::{AgentMix, PredictorKind, SystemConfig};
 use critmem::experiments::{stream_replay, synth_replay, Runner, Scale};
 use critmem::Session;
 use critmem_common::codec::ByteWriter;
@@ -28,7 +28,7 @@ const APP: &str = "swim";
 fn captured_trace() -> Trace {
     let cfg = SystemConfig::paper_baseline(INSTRUCTIONS)
         .with_predictor(PredictorKind::cbp64(CbpMetric::MaxStallTime));
-    Session::new(cfg, &WorkloadKind::Parallel(APP))
+    Session::new(cfg, &AgentMix::Parallel(APP))
         .traced(APP)
         .run()
         .unwrap_or_else(|e| panic!("{e}"))

@@ -2,7 +2,7 @@
 //! under any ranking metric, always fires (with a complete diagnostic
 //! snapshot) on an artificially wedged memory controller.
 
-use critmem::config::{PredictorKind, SystemConfig, WorkloadKind};
+use critmem::config::{AgentMix, PredictorKind, SystemConfig};
 use critmem::{RunStats, Session, System};
 use critmem_common::{SimError, WatchdogReason};
 use critmem_dram::DramSystem;
@@ -17,7 +17,7 @@ fn small_cfg(instructions: u64) -> SystemConfig {
     cfg
 }
 
-fn try_run(cfg: SystemConfig, workload: &WorkloadKind) -> Result<RunStats, SimError> {
+fn try_run(cfg: SystemConfig, workload: &AgentMix) -> Result<RunStats, SimError> {
     Session::new(cfg, workload).run().map(|out| out.stats)
 }
 
@@ -39,7 +39,7 @@ fn never_fires_on_healthy_workloads_under_all_metrics() {
                 .with_scheduler(SchedulerKind::CasRasCrit)
                 .with_predictor(PredictorKind::cbp64(metric));
             assert!(cfg.watchdog.enabled(), "default watchdog must be armed");
-            let stats = try_run(cfg, &WorkloadKind::Parallel(app)).unwrap_or_else(|e| {
+            let stats = try_run(cfg, &AgentMix::Parallel(app)).unwrap_or_else(|e| {
                 panic!("watchdog fired on healthy {app}/{metric:?}: {e}");
             });
             assert!(
@@ -56,7 +56,7 @@ fn never_fires_on_healthy_workloads_under_all_metrics() {
 #[test]
 fn wedged_scheduler_trips_with_complete_snapshot() {
     let cfg = small_cfg(5_000).with_scheduler(SchedulerKind::Wedged);
-    let err = try_run(cfg, &WorkloadKind::Parallel("swim"))
+    let err = try_run(cfg, &AgentMix::Parallel("swim"))
         .expect_err("a wedged controller must trip the watchdog");
     let SimError::Watchdog(snap) = err else {
         panic!("expected a watchdog error, got {err:?}");
@@ -96,7 +96,7 @@ fn cycle_budget_overrun_is_a_typed_error() {
     let mut cfg = small_cfg(50_000);
     cfg.max_cycles = 2_000; // far too small to finish
     let err =
-        try_run(cfg, &WorkloadKind::Parallel("swim")).expect_err("budget overrun must be an error");
+        try_run(cfg, &AgentMix::Parallel("swim")).expect_err("budget overrun must be an error");
     match err {
         SimError::Watchdog(snap) => {
             assert_eq!(
@@ -113,7 +113,7 @@ fn cycle_budget_overrun_is_a_typed_error() {
 #[test]
 fn replay_watchdog_catches_a_wedged_scheduler() {
     let cfg = small_cfg(1_500);
-    let trace = Session::new(cfg.clone(), &WorkloadKind::Parallel("swim"))
+    let trace = Session::new(cfg.clone(), &AgentMix::Parallel("swim"))
         .traced("swim")
         .run()
         .expect("capture must succeed")
@@ -145,7 +145,7 @@ fn disabled_watchdog_falls_through_to_cycle_budget() {
     let mut cfg = small_cfg(5_000).with_scheduler(SchedulerKind::Wedged);
     cfg.watchdog = critmem_common::WatchdogConfig::disabled();
     cfg.max_cycles = 100_000;
-    let err = try_run(cfg, &WorkloadKind::Parallel("swim")).expect_err("still wedged");
+    let err = try_run(cfg, &AgentMix::Parallel("swim")).expect_err("still wedged");
     match err {
         SimError::Watchdog(snap) => assert_eq!(
             snap.reason,
@@ -162,7 +162,7 @@ fn disabled_watchdog_falls_through_to_cycle_budget() {
 #[test]
 fn unknown_workloads_are_config_errors() {
     let cfg = small_cfg(1_000);
-    let err = System::try_new(cfg, &WorkloadKind::Parallel("not-an-app"))
+    let err = System::try_new(cfg, &AgentMix::Parallel("not-an-app"))
         .map(|_| ())
         .expect_err("unknown app must be rejected");
     assert!(matches!(err, SimError::UnknownWorkload { .. }), "{err:?}");
